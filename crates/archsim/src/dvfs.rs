@@ -1,0 +1,106 @@
+//! DVFS operating points and the paper's voltage-boost sprint arithmetic.
+//!
+//! Section 8.4 compares parallel sprinting against "sprinting via boosting
+//! voltage and frequency": a linear voltage increase buys a linear
+//! frequency increase but costs power cubically (P ∝ f·V² with V ∝ f), so
+//! a 16× power headroom affords only a ∛16 ≈ 2.5× frequency boost, and
+//! each instruction costs V² ≈ 6.3× more energy.
+
+use serde::{Deserialize, Serialize};
+
+/// An operating point: clock multiplier and the implied energy multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Clock frequency relative to nominal.
+    pub frequency_multiplier: f64,
+    /// Per-operation energy relative to nominal (V² scaling).
+    pub energy_multiplier: f64,
+}
+
+impl OperatingPoint {
+    /// The nominal point.
+    pub fn nominal() -> Self {
+        Self {
+            frequency_multiplier: 1.0,
+            energy_multiplier: 1.0,
+        }
+    }
+
+    /// A voltage-frequency boost: frequency scales by `f`, voltage scales
+    /// proportionally, so energy per operation scales by `f²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f` is positive and finite.
+    pub fn voltage_boost(f: f64) -> Self {
+        assert!(f.is_finite() && f > 0.0, "boost must be positive");
+        Self {
+            frequency_multiplier: f,
+            energy_multiplier: f * f,
+        }
+    }
+
+    /// The largest voltage-boost point that fits a given power headroom:
+    /// P ∝ f³, so f = headroom^(1/3). A 16× headroom gives ≈ 2.52×.
+    pub fn max_boost_for_power_headroom(headroom: f64) -> Self {
+        assert!(headroom >= 1.0, "headroom must be at least 1x");
+        Self::voltage_boost(headroom.powf(1.0 / 3.0))
+    }
+
+    /// A frequency throttle at constant voltage (the hardware failsafe of
+    /// Section 7): power and energy-per-time fall linearly with frequency,
+    /// energy per operation is unchanged.
+    pub fn throttle(f: f64) -> Self {
+        assert!(f.is_finite() && f > 0.0 && f <= 1.0, "throttle must be in (0, 1]");
+        Self {
+            frequency_multiplier: f,
+            energy_multiplier: 1.0,
+        }
+    }
+
+    /// Instantaneous power multiplier of this point relative to nominal
+    /// (per active core): f × V² = f × energy multiplier.
+    pub fn power_multiplier(&self) -> f64 {
+        self.frequency_multiplier * self.energy_multiplier
+    }
+}
+
+impl Default for OperatingPoint {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_x_headroom_boosts_2_5x() {
+        let p = OperatingPoint::max_boost_for_power_headroom(16.0);
+        assert!((p.frequency_multiplier - 2.5198).abs() < 1e-3);
+        // Power: f^3 = 16.
+        assert!((p.power_multiplier() - 16.0).abs() < 1e-9);
+        // Energy per op: ~6.35x.
+        assert!((p.energy_multiplier - 6.3496).abs() < 1e-3);
+    }
+
+    #[test]
+    fn throttle_preserves_energy_per_op() {
+        let p = OperatingPoint::throttle(1.0 / 16.0);
+        assert!((p.power_multiplier() - 1.0 / 16.0).abs() < 1e-12);
+        assert_eq!(p.energy_multiplier, 1.0);
+    }
+
+    #[test]
+    fn nominal_is_identity() {
+        let p = OperatingPoint::nominal();
+        assert_eq!(p.power_multiplier(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1x")]
+    fn sub_unity_headroom_rejected() {
+        let _ = OperatingPoint::max_boost_for_power_headroom(0.5);
+    }
+}

@@ -1,0 +1,142 @@
+//! The dynamic energy model (Section 8.1).
+//!
+//! The paper derives per-instruction-class energies from McPAT configured
+//! for a 1 GHz, 1 W core at the 22 nm LOP (low-operating-power) node. We
+//! embed an equivalent table calibrated so that an active core at IPC 1
+//! with a typical instruction mix averages ≈ 1 W (1 nJ/cycle at 1 GHz),
+//! a sleeping core dissipates 10% of active power, and voltage scaling
+//! costs energy quadratically (the assumption behind the paper's DVFS
+//! comparison).
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::OpClass;
+
+/// Per-instruction-class dynamic energy table, joules per instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Integer ALU op energy, J.
+    pub int_alu_j: f64,
+    /// Integer multiply/divide energy, J.
+    pub int_mul_j: f64,
+    /// Floating-point op energy, J.
+    pub fp_alu_j: f64,
+    /// Branch energy, J.
+    pub branch_j: f64,
+    /// L1 access energy (added to loads/stores), J.
+    pub l1_access_j: f64,
+    /// LLC access energy (added on L1 misses), J.
+    pub llc_access_j: f64,
+    /// DRAM access energy (added on LLC misses), J.
+    pub dram_access_j: f64,
+    /// Baseline per-cycle pipeline/clock energy while active, J.
+    pub active_cycle_j: f64,
+}
+
+impl EnergyModel {
+    /// The McPAT-derived table for a 1 GHz / 1 W core at 22 nm LOP.
+    ///
+    /// Calibrated such that a typical mix (≈55% ALU, 10% mul, 10% FP, 10%
+    /// branch, 25% memory with ~5% L1 miss rate) averages ≈ 1 nJ/cycle.
+    pub fn mcpat_22nm_lop() -> Self {
+        Self {
+            int_alu_j: 0.45e-9,
+            int_mul_j: 0.90e-9,
+            fp_alu_j: 0.80e-9,
+            branch_j: 0.40e-9,
+            l1_access_j: 0.55e-9,
+            llc_access_j: 2.0e-9,
+            dram_access_j: 15.0e-9,
+            active_cycle_j: 0.35e-9,
+        }
+    }
+
+    /// Energy of one compute instruction of `class`, J.
+    pub fn compute_j(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::IntAlu => self.int_alu_j,
+            OpClass::IntMul => self.int_mul_j,
+            OpClass::FpAlu => self.fp_alu_j,
+            OpClass::Branch => self.branch_j,
+        }
+    }
+
+    /// Scales every entry by `factor` (used for voltage scaling: energy
+    /// per operation goes as V^2).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        Self {
+            int_alu_j: self.int_alu_j * factor,
+            int_mul_j: self.int_mul_j * factor,
+            fp_alu_j: self.fp_alu_j * factor,
+            branch_j: self.branch_j * factor,
+            l1_access_j: self.l1_access_j * factor,
+            llc_access_j: self.llc_access_j * factor,
+            dram_access_j: self.dram_access_j * factor,
+            active_cycle_j: self.active_cycle_j * factor,
+        }
+    }
+
+    /// Estimated average power of an active core at IPC 1, watts, for a
+    /// representative instruction mix (used by tests and budget
+    /// estimation).
+    pub fn nominal_core_power_w(&self, freq_ghz: f64) -> f64 {
+        // Mix: 50% IntAlu, 5% IntMul, 10% FpAlu, 10% Branch, 25% memory
+        // (of which ~5% miss to LLC, ~1% to DRAM).
+        let per_instr = 0.50 * self.int_alu_j
+            + 0.05 * self.int_mul_j
+            + 0.10 * self.fp_alu_j
+            + 0.10 * self.branch_j
+            + 0.25 * (self.l1_access_j + 0.05 * self.llc_access_j + 0.01 * self.dram_access_j)
+            + self.active_cycle_j;
+        per_instr * freq_ghz * 1e9
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::mcpat_22nm_lop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_power_close_to_one_watt() {
+        let e = EnergyModel::mcpat_22nm_lop();
+        let p = e.nominal_core_power_w(1.0);
+        assert!(
+            (0.85..1.15).contains(&p),
+            "nominal core power {p:.3} W should be ≈ 1 W"
+        );
+    }
+
+    #[test]
+    fn scaling_is_uniform() {
+        let e = EnergyModel::mcpat_22nm_lop();
+        let s = e.scaled(2.0);
+        for class in OpClass::ALL {
+            assert!((s.compute_j(class) - 2.0 * e.compute_j(class)).abs() < 1e-24);
+        }
+        assert!((s.dram_access_j - 2.0 * e.dram_access_j).abs() < 1e-24);
+    }
+
+    #[test]
+    fn dvfs_boost_energy_ratio_matches_quadratic_rule() {
+        // A 2.52x frequency boost at proportionally higher voltage costs
+        // (2.52)^2 ≈ 6.35x energy per instruction — the paper's ~6x figure.
+        let boost = 16.0f64.powf(1.0 / 3.0);
+        let e = EnergyModel::mcpat_22nm_lop();
+        let boosted = e.scaled(boost * boost);
+        let ratio = boosted.int_alu_j / e.int_alu_j;
+        assert!((ratio - 6.35).abs() < 0.05, "ratio {ratio:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = EnergyModel::mcpat_22nm_lop().scaled(0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The abstract instruction set executed by simulated cores.
+//!
+//! The paper models in-order x86 cores with "a CPI of one plus cache miss
+//! penalties" (Section 8.1); the precise instruction encoding is irrelevant
+//! to the evaluation, so this simulator executes *operation batches*:
+//! runs of single-cycle compute operations, individual memory references
+//! (which carry addresses through the cache hierarchy), and the
+//! synchronization operations the sprint runtime reacts to (PAUSE on
+//! spinning, barriers, locks and task fetches).
+
+use serde::{Deserialize, Serialize};
+
+/// Class of a compute operation; determines latency (one cycle each, as in
+/// the paper's CPI-1 model) and per-instruction dynamic energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU (add/sub/logic/shift).
+    IntAlu,
+    /// Integer multiply/divide.
+    IntMul,
+    /// Floating-point arithmetic.
+    FpAlu,
+    /// Branch (taken or not; no misprediction modelling at CPI 1).
+    Branch,
+}
+
+impl OpClass {
+    /// All compute classes, for iteration in energy tables and tests.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAlu,
+        OpClass::Branch,
+    ];
+}
+
+/// One operation (or batch of identical operations) for a simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// `count` back-to-back compute operations of the same class
+    /// (one cycle each).
+    Compute {
+        /// Operation class.
+        class: OpClass,
+        /// Number of operations in the batch.
+        count: u32,
+    },
+    /// A load from a byte address (cache-line granularity for timing).
+    Load {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A store to a byte address.
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+    /// The PAUSE hint: the runtime puts the core to sleep for a fixed nap
+    /// (1000 cycles in the paper) at ~10% of active power.
+    Pause,
+    /// Arrive at a global barrier; blocks until all live threads arrive.
+    Barrier,
+    /// Acquire a lock (spin-with-pause while held elsewhere).
+    LockAcquire {
+        /// Lock index.
+        lock: u32,
+    },
+    /// Release a lock.
+    LockRelease {
+        /// Lock index.
+        lock: u32,
+    },
+    /// Pop the next task index from a shared work queue; the result is
+    /// delivered to the kernel through its inbox before its next step.
+    FetchTask {
+        /// Queue index.
+        queue: u32,
+    },
+}
+
+impl Op {
+    /// Number of dynamic instructions this op represents.
+    pub fn instruction_count(&self) -> u64 {
+        match self {
+            Op::Compute { count, .. } => u64::from(*count),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_batches_count_all_instructions() {
+        let op = Op::Compute {
+            class: OpClass::IntAlu,
+            count: 37,
+        };
+        assert_eq!(op.instruction_count(), 37);
+        assert_eq!(Op::Load { addr: 0x40 }.instruction_count(), 1);
+        assert_eq!(Op::Pause.instruction_count(), 1);
+    }
+
+    #[test]
+    fn all_classes_distinct() {
+        for (i, a) in OpClass::ALL.iter().enumerate() {
+            for b in &OpClass::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The memory controller: dual-channel bandwidth and latency modelling.
+//!
+//! Lines interleave across channels. Each channel is a single-server queue:
+//! a read completes after the uncontended round-trip latency plus any time
+//! spent waiting for the channel; each transfer occupies the channel for
+//! one line time (64 B / 4 GB/s = 16 ns in the paper's configuration).
+//! Writebacks consume channel time but nobody waits on them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MemoryConfig;
+
+/// Per-channel queue state.
+///
+/// The machine simulates cores *sequentially* within each time window, so
+/// request timestamps arrive out of order (a later-simulated core replays
+/// times earlier-simulated cores already passed). A strict busy-until
+/// timestamp would make late-simulated cores queue behind bandwidth that
+/// was notionally reserved in their future. Instead each channel tracks a
+/// fluid queue per window: the backlog carried into the window plus the
+/// transfer time enqueued so far, drained at line rate relative to the
+/// window start. Queueing then depends only on *how much* traffic the
+/// window carries, not on core simulation order, and backlog persists
+/// across windows exactly when offered load exceeds channel bandwidth.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct Channel {
+    /// Start of the current accounting window, picoseconds.
+    window_start_ps: u64,
+    /// Backlog carried into the window, picoseconds of transfer time.
+    carried_ps: u64,
+    /// Transfer time enqueued within the current window.
+    added_ps: u64,
+}
+
+impl Channel {
+    /// Enqueues one line transfer at `now_ps`, returning the queueing
+    /// delay it experiences.
+    fn enqueue(&mut self, now_ps: u64, line_transfer_ps: u64) -> u64 {
+        let drained = now_ps.saturating_sub(self.window_start_ps);
+        let delay = (self.carried_ps + self.added_ps).saturating_sub(drained);
+        self.added_ps += line_transfer_ps;
+        delay
+    }
+
+    /// Rolls the accounting window forward to `start_ps`.
+    fn advance_window(&mut self, start_ps: u64) {
+        let span = start_ps.saturating_sub(self.window_start_ps);
+        self.carried_ps = (self.carried_ps + self.added_ps).saturating_sub(span);
+        self.added_ps = 0;
+        self.window_start_ps = start_ps;
+    }
+}
+
+/// The memory interface model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryController {
+    channels: Vec<Channel>,
+    base_line_transfer_ps: u64,
+    base_latency_ps: u64,
+    line_transfer_ps: u64,
+    latency_ps: u64,
+    reads: u64,
+    writebacks: u64,
+    /// Total picosecond-channel time consumed (utilization accounting).
+    busy_ps: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller for the given configuration and line size.
+    pub fn new(cfg: &MemoryConfig, line_bytes: usize) -> Self {
+        let line_transfer_ps = cfg.line_transfer_ps(line_bytes);
+        let latency_ps = (cfg.latency_ns * 1000.0) as u64;
+        Self {
+            channels: vec![Channel::default(); cfg.channels],
+            base_line_transfer_ps: line_transfer_ps,
+            base_latency_ps: latency_ps,
+            line_transfer_ps,
+            latency_ps,
+            reads: 0,
+            writebacks: 0,
+            busy_ps: 0,
+        }
+    }
+
+    /// Rescales latency and bandwidth by a speed multiplier (used by the
+    /// *idealized DVFS* model, where the whole system — not just the core
+    /// clock — speeds up with frequency, as the paper's Section 8.4
+    /// comparison assumes).
+    pub fn set_speed_multiplier(&mut self, multiplier: f64) {
+        assert!(multiplier.is_finite() && multiplier > 0.0, "multiplier must be positive");
+        self.line_transfer_ps =
+            ((self.base_line_transfer_ps as f64 / multiplier).round() as u64).max(1);
+        self.latency_ps = ((self.base_latency_ps as f64 / multiplier).round() as u64).max(1);
+    }
+
+    #[inline]
+    fn channel_of(&self, line: u64) -> usize {
+        (line as usize) % self.channels.len()
+    }
+
+    /// Issues a read of `line` at `now_ps`; returns the completion time
+    /// (queueing delay plus the uncontended round-trip latency).
+    pub fn read(&mut self, line: u64, now_ps: u64) -> u64 {
+        let ch = self.channel_of(line);
+        let delay = self.channels[ch].enqueue(now_ps, self.line_transfer_ps);
+        self.busy_ps += self.line_transfer_ps;
+        self.reads += 1;
+        now_ps + delay + self.latency_ps
+    }
+
+    /// Issues a writeback of `line` at `now_ps` (fire-and-forget: consumes
+    /// bandwidth, nobody stalls on completion).
+    pub fn writeback(&mut self, line: u64, now_ps: u64) {
+        let ch = self.channel_of(line);
+        let _ = self.channels[ch].enqueue(now_ps, self.line_transfer_ps);
+        self.busy_ps += self.line_transfer_ps;
+        self.writebacks += 1;
+    }
+
+    /// Rolls the bandwidth-accounting window forward (called by the
+    /// machine at each simulation window boundary).
+    pub fn advance_window(&mut self, start_ps: u64) {
+        for ch in &mut self.channels {
+            ch.advance_window(start_ps);
+        }
+    }
+
+    /// Reads issued so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writebacks issued so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Aggregate channel-busy time, picoseconds (across channels).
+    pub fn busy_ps(&self) -> u64 {
+        self.busy_ps
+    }
+
+    /// Average bandwidth utilization over `elapsed_ps` (0-1 per channel).
+    pub fn utilization(&self, elapsed_ps: u64) -> f64 {
+        if elapsed_ps == 0 {
+            return 0.0;
+        }
+        self.busy_ps as f64 / (elapsed_ps as f64 * self.channels.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> MemoryController {
+        MemoryController::new(&MemoryConfig::hpca(), 64)
+    }
+
+    #[test]
+    fn uncontended_read_takes_round_trip_latency() {
+        let mut m = ctl();
+        let done = m.read(0, 1_000_000);
+        assert_eq!(done, 1_000_000 + 60_000);
+    }
+
+    #[test]
+    fn same_channel_reads_queue() {
+        let mut m = ctl();
+        // Lines 0 and 2 share channel 0 (even lines, 2 channels).
+        let a = m.read(0, 0);
+        let b = m.read(2, 0);
+        assert_eq!(a, 60_000);
+        assert_eq!(b, 16_000 + 60_000, "second read waits one line transfer");
+    }
+
+    #[test]
+    fn different_channels_do_not_queue() {
+        let mut m = ctl();
+        let a = m.read(0, 0);
+        let b = m.read(1, 0);
+        assert_eq!(a, b, "odd/even lines land on distinct channels");
+    }
+
+    #[test]
+    fn writebacks_consume_bandwidth() {
+        let mut m = ctl();
+        m.writeback(0, 0);
+        let read_done = m.read(0, 0);
+        assert_eq!(read_done, 16_000 + 60_000, "read queues behind the writeback");
+        assert_eq!(m.writebacks(), 1);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut m = ctl();
+        for i in 0..10 {
+            let _ = m.read(i * 2, 0); // all on channel 0
+        }
+        // 10 transfers x 16 ns = 160 ns busy on one of two channels.
+        assert_eq!(m.busy_ps(), 160_000);
+        assert!((m.utilization(160_000) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubled_bandwidth_halves_queueing() {
+        let cfg = MemoryConfig::hpca().with_doubled_bandwidth();
+        let mut m = MemoryController::new(&cfg, 64);
+        let _ = m.read(0, 0);
+        let b = m.read(2, 0);
+        assert_eq!(b, 8_000 + 60_000);
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulated address-space allocation for workloads.
+//!
+//! Simulated memory carries *no contents* — kernels compute natively on
+//! data they own and emit addresses purely for timing. This allocator hands
+//! out disjoint, line-aligned address ranges so different arrays (and
+//! different threads' private data) land in distinct cache lines exactly as
+//! a real allocator would arrange.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous simulated array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    base: u64,
+    bytes: u64,
+}
+
+impl Region {
+    /// Base byte address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Address of element `index` with `elem_bytes`-byte elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the element lies outside the region.
+    #[inline]
+    pub fn addr(&self, index: u64, elem_bytes: u64) -> u64 {
+        debug_assert!(
+            (index + 1) * elem_bytes <= self.bytes,
+            "element {index} x {elem_bytes} B outside region of {} B",
+            self.bytes
+        );
+        self.base + index * elem_bytes
+    }
+
+    /// Address of a 4-byte element (the common case: f32/u32 pixels).
+    #[inline]
+    pub fn addr4(&self, index: u64) -> u64 {
+        self.addr(index, 4)
+    }
+}
+
+/// A bump allocator over the simulated address space.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_archsim::memmap::AddressSpace;
+///
+/// let mut mem = AddressSpace::new();
+/// let image = mem.alloc_bytes(1920 * 1080 * 4);
+/// let histogram = mem.alloc_bytes(256 * 4);
+/// assert_ne!(image.base(), histogram.base());
+/// assert_eq!(image.base() % 64, 0); // line aligned
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AddressSpace {
+    next: u64,
+    line_bytes: u64,
+}
+
+impl AddressSpace {
+    /// Creates an address space with 64-byte line alignment, starting at a
+    /// non-zero base (so address 0 never aliases a real array).
+    pub fn new() -> Self {
+        Self {
+            next: 1 << 20,
+            line_bytes: 64,
+        }
+    }
+
+    /// Allocates `bytes` bytes, line-aligned, padded so no two regions
+    /// share a cache line (avoiding accidental false sharing between
+    /// logically separate arrays).
+    pub fn alloc_bytes(&mut self, bytes: u64) -> Region {
+        assert!(bytes > 0, "allocation must be non-empty");
+        let base = self.next;
+        let padded = bytes.div_ceil(self.line_bytes) * self.line_bytes;
+        self.next += padded;
+        Region { base, bytes: padded }
+    }
+
+    /// Allocates an array of `count` elements of `elem_bytes` bytes.
+    pub fn alloc_elems(&mut self, count: u64, elem_bytes: u64) -> Region {
+        self.alloc_bytes(count * elem_bytes)
+    }
+
+    /// Total simulated bytes allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - (1 << 20)
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let mut mem = AddressSpace::new();
+        let a = mem.alloc_bytes(100);
+        let b = mem.alloc_bytes(1);
+        assert_eq!(a.base() % 64, 0);
+        assert_eq!(b.base() % 64, 0);
+        assert!(b.base() >= a.base() + 128, "100 B pads to 128 B");
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut mem = AddressSpace::new();
+        let a = mem.alloc_elems(10, 4);
+        assert_eq!(a.addr4(3), a.base() + 12);
+        assert_eq!(a.addr(2, 8), a.base() + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_allocation_rejected() {
+        let mut mem = AddressSpace::new();
+        let _ = mem.alloc_bytes(0);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_padding() {
+        let mut mem = AddressSpace::new();
+        mem.alloc_bytes(1);
+        assert_eq!(mem.allocated_bytes(), 64);
+    }
+}

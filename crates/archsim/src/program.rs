@@ -1,0 +1,230 @@
+//! The kernel (program) interface: how workloads feed operations to cores.
+//!
+//! Workloads are implemented as resumable state machines. Each simulated
+//! thread owns a [`Kernel`]; whenever the thread's operation buffer runs
+//! dry, the machine calls [`Kernel::step`] to refill it. Kernels perform
+//! their *real* computation natively (on data they own) while emitting the
+//! corresponding operation/address trace — data-dependent control flow
+//! (e.g. k-means convergence) therefore shapes the trace exactly as it
+//! would on real hardware, while simulated memory carries no contents.
+
+use crate::isa::Op;
+
+/// Identifier of a simulated software thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub usize);
+
+impl ThreadId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Status returned by a kernel step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStatus {
+    /// More work remains; call `step` again when the buffer drains.
+    Running,
+    /// The thread has finished (any ops emitted this step still execute).
+    Done,
+}
+
+/// Reply to an [`Op::FetchTask`] request, delivered before the next step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskFetch {
+    /// Queue the fetch targeted.
+    pub queue: u32,
+    /// The popped task index, or `None` when the queue was empty.
+    pub task: Option<u32>,
+}
+
+/// Mailbox carrying replies from the machine to a kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Inbox {
+    /// Reply to the most recent task fetch, if one completed.
+    pub task: Option<TaskFetch>,
+}
+
+/// A resumable, trace-emitting workload thread.
+///
+/// # Examples
+///
+/// A kernel that computes, touches memory, and finishes:
+///
+/// ```
+/// use sprint_archsim::isa::{Op, OpClass};
+/// use sprint_archsim::program::{Inbox, Kernel, KernelStatus, ThreadId};
+///
+/// struct Fill { remaining: u32, addr: u64 }
+///
+/// impl Kernel for Fill {
+///     fn step(&mut self, _t: ThreadId, _in: &mut Inbox, out: &mut Vec<Op>) -> KernelStatus {
+///         if self.remaining == 0 {
+///             return KernelStatus::Done;
+///         }
+///         out.push(Op::Compute { class: OpClass::IntAlu, count: 4 });
+///         out.push(Op::Store { addr: self.addr });
+///         self.addr += 64;
+///         self.remaining -= 1;
+///         KernelStatus::Running
+///     }
+/// }
+/// ```
+pub trait Kernel: Send {
+    /// Emits the next batch of operations into `out`.
+    ///
+    /// `inbox` carries the reply to a previously-issued
+    /// [`Op::FetchTask`]; it is consumed (reset) by the machine after
+    /// this call. Implementations should emit a bounded batch (tens to a
+    /// few hundred ops) per step to keep scheduling responsive.
+    fn step(&mut self, tid: ThreadId, inbox: &mut Inbox, out: &mut Vec<Op>) -> KernelStatus;
+}
+
+/// A kernel assembled from a closure — convenient for tests and examples.
+pub struct FnKernel<F>(pub F);
+
+impl<F> Kernel for FnKernel<F>
+where
+    F: FnMut(ThreadId, &mut Inbox, &mut Vec<Op>) -> KernelStatus + Send,
+{
+    fn step(&mut self, tid: ThreadId, inbox: &mut Inbox, out: &mut Vec<Op>) -> KernelStatus {
+        (self.0)(tid, inbox, out)
+    }
+}
+
+impl<F> std::fmt::Debug for FnKernel<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnKernel").finish_non_exhaustive()
+    }
+}
+
+/// A ready-made kernel that emits a fixed homogeneous instruction mix;
+/// useful as a calibration load and in examples.
+#[derive(Debug, Clone)]
+pub struct SyntheticKernel {
+    /// Compute operations between consecutive memory accesses.
+    pub compute_per_access: u32,
+    /// Total memory accesses to perform.
+    pub accesses: u64,
+    /// First address; accesses stride by `stride` bytes.
+    pub base_addr: u64,
+    /// Stride between accesses, bytes.
+    pub stride: u64,
+    /// Fraction (0-255 scale) of accesses that are stores.
+    pub store_ratio_256: u8,
+    emitted: u64,
+}
+
+impl SyntheticKernel {
+    /// Creates a synthetic streaming kernel.
+    pub fn new(compute_per_access: u32, accesses: u64, base_addr: u64, stride: u64) -> Self {
+        Self {
+            compute_per_access,
+            accesses,
+            base_addr,
+            stride,
+            store_ratio_256: 64, // 25% stores
+            emitted: 0,
+        }
+    }
+}
+
+impl Kernel for SyntheticKernel {
+    fn step(&mut self, _tid: ThreadId, _inbox: &mut Inbox, out: &mut Vec<Op>) -> KernelStatus {
+        use crate::isa::OpClass;
+        if self.emitted >= self.accesses {
+            return KernelStatus::Done;
+        }
+        let batch = 64.min(self.accesses - self.emitted);
+        for i in 0..batch {
+            let k = self.emitted + i;
+            if self.compute_per_access > 0 {
+                out.push(Op::Compute {
+                    class: OpClass::IntAlu,
+                    count: self.compute_per_access,
+                });
+            }
+            let addr = self.base_addr + k * self.stride;
+            // Deterministic store mix using low address bits.
+            if (k % 256) < u64::from(self.store_ratio_256) {
+                out.push(Op::Store { addr });
+            } else {
+                out.push(Op::Load { addr });
+            }
+        }
+        self.emitted += batch;
+        if self.emitted >= self.accesses {
+            KernelStatus::Done
+        } else {
+            KernelStatus::Running
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::OpClass;
+
+    #[test]
+    fn fn_kernel_delegates() {
+        let mut calls = 0;
+        let mut k = FnKernel(move |_t, _i: &mut Inbox, out: &mut Vec<Op>| {
+            calls += 1;
+            out.push(Op::Pause);
+            if calls >= 2 {
+                KernelStatus::Done
+            } else {
+                KernelStatus::Running
+            }
+        });
+        let mut inbox = Inbox::default();
+        let mut out = Vec::new();
+        assert_eq!(k.step(ThreadId(0), &mut inbox, &mut out), KernelStatus::Running);
+        assert_eq!(k.step(ThreadId(0), &mut inbox, &mut out), KernelStatus::Done);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn synthetic_kernel_emits_exact_access_count() {
+        let mut k = SyntheticKernel::new(3, 150, 0x1000, 64);
+        let mut inbox = Inbox::default();
+        let mut out = Vec::new();
+        loop {
+            let status = k.step(ThreadId(0), &mut inbox, &mut out);
+            if status == KernelStatus::Done {
+                break;
+            }
+        }
+        let accesses = out
+            .iter()
+            .filter(|op| matches!(op, Op::Load { .. } | Op::Store { .. }))
+            .count();
+        assert_eq!(accesses, 150);
+        let computes: u64 = out
+            .iter()
+            .filter_map(|op| match op {
+                Op::Compute { count, class: OpClass::IntAlu } => Some(u64::from(*count)),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(computes, 450);
+    }
+
+    #[test]
+    fn synthetic_kernel_strides_addresses() {
+        let mut k = SyntheticKernel::new(0, 4, 0x0, 128);
+        let mut inbox = Inbox::default();
+        let mut out = Vec::new();
+        while k.step(ThreadId(0), &mut inbox, &mut out) != KernelStatus::Done {}
+        let addrs: Vec<u64> = out
+            .iter()
+            .map(|op| match op {
+                Op::Load { addr } | Op::Store { addr } => *addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![0, 128, 256, 384]);
+    }
+}

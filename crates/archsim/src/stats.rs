@@ -1,0 +1,116 @@
+//! Execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Dynamic instructions executed (compute batches count individually).
+    pub instructions: u64,
+    /// Integer ALU instructions.
+    pub int_alu: u64,
+    /// Integer multiply instructions.
+    pub int_mul: u64,
+    /// Floating-point instructions.
+    pub fp_alu: u64,
+    /// Branch instructions.
+    pub branches: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// LLC hits (on L1 misses).
+    pub llc_hits: u64,
+    /// LLC misses (to memory).
+    pub llc_misses: u64,
+    /// Directory-induced L1 invalidations.
+    pub invalidations: u64,
+    /// Store upgrades (S -> M) requiring remote invalidation.
+    pub upgrades: u64,
+    /// Dirty transfers from a remote L1 (owner downgrade/writeback).
+    pub owner_interventions: u64,
+    /// PAUSE naps taken.
+    pub pauses: u64,
+    /// Cycles spent asleep (PAUSE, idle cores, lock/barrier waits).
+    pub sleep_cycles: u64,
+    /// Cycles spent actively executing or stalled on memory.
+    pub active_cycles: u64,
+    /// Total dynamic energy, joules.
+    pub dynamic_energy_j: f64,
+    /// Barrier episodes completed.
+    pub barrier_episodes: u64,
+    /// Thread migrations performed.
+    pub migrations: u64,
+}
+
+impl Stats {
+    /// L1 miss ratio (misses over accesses), 0 when no accesses.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let acc = self.l1_hits + self.l1_misses;
+        if acc == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / acc as f64
+        }
+    }
+
+    /// Memory accesses (loads + stores).
+    pub fn mem_accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        self.instructions += other.instructions;
+        self.int_alu += other.int_alu;
+        self.int_mul += other.int_mul;
+        self.fp_alu += other.fp_alu;
+        self.branches += other.branches;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.llc_hits += other.llc_hits;
+        self.llc_misses += other.llc_misses;
+        self.invalidations += other.invalidations;
+        self.upgrades += other.upgrades;
+        self.owner_interventions += other.owner_interventions;
+        self.pauses += other.pauses;
+        self.sleep_cycles += other.sleep_cycles;
+        self.active_cycles += other.active_cycles;
+        self.dynamic_energy_j += other.dynamic_energy_j;
+        self.barrier_episodes += other.barrier_episodes;
+        self.migrations += other.migrations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_zero() {
+        assert_eq!(Stats::default().l1_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Stats {
+            instructions: 10,
+            dynamic_energy_j: 1.5,
+            ..Stats::default()
+        };
+        let b = Stats {
+            instructions: 5,
+            dynamic_energy_j: 0.5,
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.instructions, 15);
+        assert!((a.dynamic_energy_j - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,238 @@
+//! Synchronization state: the global barrier, locks, and task queues.
+//!
+//! These model the runtime constructs the paper's kernels use (OpenMP-style
+//! barriers, spin locks with PAUSE, and chunked dynamic scheduling through
+//! shared counters).
+
+use serde::{Deserialize, Serialize};
+
+/// The machine-wide sense-reversing barrier over all live threads.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BarrierState {
+    /// Threads currently waiting (by index).
+    waiting: Vec<usize>,
+    /// Number of barrier episodes completed.
+    episodes: u64,
+}
+
+impl BarrierState {
+    /// Records `thread` arriving. If arrival completes the barrier (i.e.
+    /// `waiting + 1 == live_threads`), returns the set of threads to wake
+    /// and clears the barrier.
+    pub fn arrive(&mut self, thread: usize, live_threads: usize) -> Option<Vec<usize>> {
+        debug_assert!(!self.waiting.contains(&thread), "double arrival");
+        if self.waiting.len() + 1 >= live_threads {
+            let released = std::mem::take(&mut self.waiting);
+            self.episodes += 1;
+            Some(released)
+        } else {
+            self.waiting.push(thread);
+            None
+        }
+    }
+
+    /// Re-checks the release condition after the live-thread count drops
+    /// (a thread finished while others waited). Returns threads to wake if
+    /// the barrier now completes.
+    pub fn recheck(&mut self, live_threads: usize) -> Option<Vec<usize>> {
+        if !self.waiting.is_empty() && self.waiting.len() >= live_threads {
+            self.episodes += 1;
+            Some(std::mem::take(&mut self.waiting))
+        } else {
+            None
+        }
+    }
+
+    /// Completed barrier episodes.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Threads currently parked at the barrier.
+    pub fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+/// A pool of test-and-set locks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LockPool {
+    owners: Vec<Option<usize>>,
+    acquisitions: u64,
+    contended_attempts: u64,
+}
+
+impl LockPool {
+    /// Ensures at least `n` locks exist.
+    pub fn ensure(&mut self, n: usize) {
+        if self.owners.len() < n {
+            self.owners.resize(n, None);
+        }
+    }
+
+    /// Attempts to acquire `lock` for `thread`. Returns true on success.
+    pub fn try_acquire(&mut self, lock: u32, thread: usize) -> bool {
+        self.ensure(lock as usize + 1);
+        let slot = &mut self.owners[lock as usize];
+        match slot {
+            None => {
+                *slot = Some(thread);
+                self.acquisitions += 1;
+                true
+            }
+            Some(owner) if *owner == thread => {
+                panic!("thread {thread} re-acquiring lock {lock} it already holds")
+            }
+            Some(_) => {
+                self.contended_attempts += 1;
+                false
+            }
+        }
+    }
+
+    /// Releases `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held by `thread` (a workload bug).
+    pub fn release(&mut self, lock: u32, thread: usize) {
+        self.ensure(lock as usize + 1);
+        let slot = &mut self.owners[lock as usize];
+        assert_eq!(
+            *slot,
+            Some(thread),
+            "thread {thread} releasing lock {lock} it does not hold"
+        );
+        *slot = None;
+    }
+
+    /// Successful acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Failed (contended) acquisition attempts so far.
+    pub fn contended_attempts(&self) -> u64 {
+        self.contended_attempts
+    }
+}
+
+/// Shared chunked work queues (an atomic "next chunk" counter per queue).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskQueues {
+    queues: Vec<TaskQueue>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TaskQueue {
+    next: u32,
+    limit: u32,
+}
+
+impl TaskQueues {
+    /// Creates a queue of `tasks` sequential task indices; returns its id.
+    pub fn create(&mut self, tasks: u32) -> u32 {
+        self.queues.push(TaskQueue {
+            next: 0,
+            limit: tasks,
+        });
+        (self.queues.len() - 1) as u32
+    }
+
+    /// Pops the next task index, or `None` when exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue id was never created.
+    pub fn pop(&mut self, queue: u32) -> Option<u32> {
+        let q = self
+            .queues
+            .get_mut(queue as usize)
+            .expect("task queue not created");
+        if q.next < q.limit {
+            let t = q.next;
+            q.next += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// Remaining tasks in a queue.
+    pub fn remaining(&self, queue: u32) -> u32 {
+        let q = &self.queues[queue as usize];
+        q.limit - q.next
+    }
+
+    /// Resets a queue to a new task count (for multi-phase kernels).
+    pub fn reset(&mut self, queue: u32, tasks: u32) {
+        let q = self
+            .queues
+            .get_mut(queue as usize)
+            .expect("task queue not created");
+        q.next = 0;
+        q.limit = tasks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut b = BarrierState::default();
+        assert_eq!(b.arrive(0, 3), None);
+        assert_eq!(b.arrive(1, 3), None);
+        let released = b.arrive(2, 3).expect("last arrival releases");
+        assert_eq!(released, vec![0, 1]);
+        assert_eq!(b.episodes(), 1);
+    }
+
+    #[test]
+    fn barrier_recheck_after_thread_exit() {
+        let mut b = BarrierState::default();
+        assert_eq!(b.arrive(0, 3), None);
+        assert_eq!(b.arrive(1, 3), None);
+        // Thread 2 finished instead of arriving: live count drops to 2.
+        let released = b.recheck(2).expect("barrier must release");
+        assert_eq!(released, vec![0, 1]);
+    }
+
+    #[test]
+    fn single_thread_barrier_is_transparent() {
+        let mut b = BarrierState::default();
+        assert!(b.arrive(0, 1).is_some());
+    }
+
+    #[test]
+    fn locks_mutually_exclude() {
+        let mut l = LockPool::default();
+        assert!(l.try_acquire(0, 1));
+        assert!(!l.try_acquire(0, 2));
+        l.release(0, 1);
+        assert!(l.try_acquire(0, 2));
+        assert_eq!(l.acquisitions(), 2);
+        assert_eq!(l.contended_attempts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn release_by_non_owner_panics() {
+        let mut l = LockPool::default();
+        assert!(l.try_acquire(0, 1));
+        l.release(0, 2);
+    }
+
+    #[test]
+    fn task_queue_hands_out_each_task_once() {
+        let mut q = TaskQueues::default();
+        let id = q.create(3);
+        assert_eq!(q.pop(id), Some(0));
+        assert_eq!(q.pop(id), Some(1));
+        assert_eq!(q.pop(id), Some(2));
+        assert_eq!(q.pop(id), None);
+        q.reset(id, 1);
+        assert_eq!(q.pop(id), Some(0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Coherence-protocol integration tests: directory/L1 invariants hold
+//! under randomized sharing patterns.
+
+use proptest::prelude::*;
+use sprint_archsim::config::MachineConfig;
+use sprint_archsim::isa::{Op, OpClass};
+use sprint_archsim::machine::Machine;
+use sprint_archsim::program::{FnKernel, Inbox, KernelStatus};
+
+/// A kernel producing a pseudo-random mix of loads/stores over a small
+/// shared region (maximizing coherence churn) plus private work.
+fn churn_kernel(seed: u64, iters: u32) -> Box<FnKernel<impl FnMut(sprint_archsim::ThreadId, &mut Inbox, &mut Vec<Op>) -> KernelStatus + Send>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut remaining = iters;
+    Box::new(FnKernel(move |_tid, _inbox: &mut Inbox, out: &mut Vec<Op>| {
+        if remaining == 0 {
+            return KernelStatus::Done;
+        }
+        remaining -= 1;
+        for _ in 0..16 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // 16 shared lines + per-thread private lines.
+            let shared = (state >> 33) % 16;
+            let addr = 0x10_0000 + shared * 64;
+            if state & 1 == 0 {
+                out.push(Op::Load { addr });
+            } else {
+                out.push(Op::Store { addr });
+            }
+            out.push(Op::Compute {
+                class: OpClass::IntAlu,
+                count: 4,
+            });
+        }
+        KernelStatus::Running
+    }))
+}
+
+#[test]
+fn invariants_hold_under_heavy_sharing() {
+    let mut m = Machine::new(MachineConfig::hpca().with_cores(8));
+    for t in 0..8 {
+        m.spawn(churn_kernel(t as u64 + 1, 200));
+    }
+    let mut windows = 0;
+    while !m.all_done() {
+        m.run_window(10_000);
+        windows += 1;
+        if windows % 50 == 0 {
+            m.check_coherence().expect("coherence invariant violated mid-run");
+        }
+        assert!(windows < 1_000_000);
+    }
+    m.check_coherence().expect("coherence invariant violated at end");
+    assert!(m.stats().invalidations > 0, "sharing must cause invalidations");
+    assert!(m.stats().owner_interventions > 0, "dirty sharing must intervene");
+}
+
+#[test]
+fn invariants_hold_across_migration() {
+    let mut m = Machine::new(MachineConfig::hpca().with_cores(8));
+    for t in 0..8 {
+        m.spawn(churn_kernel(t as u64 + 100, 400));
+    }
+    for step in 0..10_000 {
+        if m.all_done() {
+            break;
+        }
+        m.run_window(10_000);
+        match step {
+            50 => m.set_active_cores(2),
+            120 => m.set_active_cores(8),
+            200 => m.set_active_cores(1),
+            300 => m.set_active_cores(4),
+            _ => {}
+        }
+        if step % 25 == 0 {
+            m.check_coherence().expect("coherence broken around migration");
+        }
+    }
+    m.check_coherence().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random thread counts, iteration counts and window sizes never break
+    /// the protocol.
+    #[test]
+    fn random_configs_stay_coherent(
+        threads in 2usize..8,
+        iters in 20u32..200,
+        window in 2_000u64..50_000,
+    ) {
+        let mut m = Machine::new(MachineConfig::hpca().with_cores(threads));
+        for t in 0..threads {
+            m.spawn(churn_kernel((t as u64 + 7) * 31, iters));
+        }
+        let mut n = 0;
+        while !m.all_done() {
+            m.run_window(window);
+            n += 1;
+            prop_assert!(n < 2_000_000, "livelock");
+        }
+        prop_assert!(m.check_coherence().is_ok());
+    }
+}

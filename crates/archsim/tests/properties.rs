@@ -1,0 +1,106 @@
+//! Property-based tests for the architectural simulator.
+
+use proptest::prelude::*;
+use sprint_archsim::config::MachineConfig;
+use sprint_archsim::machine::Machine;
+use sprint_archsim::program::SyntheticKernel;
+
+fn run_machine(
+    cores: usize,
+    threads: usize,
+    accesses: u64,
+    compute: u32,
+    stride: u64,
+) -> (u64, sprint_archsim::Stats) {
+    let mut m = Machine::new(MachineConfig::hpca().with_cores(cores));
+    for t in 0..threads as u64 {
+        m.spawn(Box::new(SyntheticKernel::new(
+            compute,
+            accesses,
+            (t + 1) << 26,
+            stride,
+        )));
+    }
+    let mut windows = 0;
+    while !m.all_done() {
+        m.run_window(1_000_000);
+        windows += 1;
+        assert!(windows < 2_000_000, "livelock: machine never finished");
+    }
+    (m.time_ps(), *m.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The simulator is deterministic: identical inputs give identical
+    /// timing and energy.
+    #[test]
+    fn deterministic(
+        cores in 1usize..8,
+        accesses in 100u64..2_000,
+        compute in 0u32..32,
+    ) {
+        let a = run_machine(cores, cores, accesses, compute, 64);
+        let b = run_machine(cores, cores, accesses, compute, 64);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1.instructions, b.1.instructions);
+        prop_assert!((a.1.dynamic_energy_j - b.1.dynamic_energy_j).abs() < 1e-18);
+    }
+
+    /// Instruction count is invariant to the core count: scheduling changes
+    /// timing, never the work.
+    #[test]
+    fn work_conservation(
+        threads in 1usize..6,
+        accesses in 100u64..1_500,
+        compute in 1u32..16,
+    ) {
+        let single = run_machine(1, threads, accesses, compute, 64);
+        let multi = run_machine(threads.max(2), threads, accesses, compute, 64);
+        prop_assert_eq!(single.1.instructions, multi.1.instructions);
+        prop_assert_eq!(single.1.loads + single.1.stores, multi.1.loads + multi.1.stores);
+    }
+
+    /// More cores never slow the wall clock by more than bounded scheduling
+    /// noise (work is embarrassingly parallel here), and never beat the
+    /// single-core run by more than the core count.
+    #[test]
+    fn speedup_bounds(threads in 2usize..6, accesses in 200u64..1_000) {
+        let t1 = run_machine(1, threads, accesses, 16, 64).0;
+        let tn = run_machine(threads, threads, accesses, 16, 64).0;
+        let speedup = t1 as f64 / tn as f64;
+        prop_assert!(speedup <= threads as f64 * 1.10, "impossible speedup {speedup}");
+        prop_assert!(speedup >= 0.9, "parallel run much slower than serial: {speedup}");
+    }
+
+    /// Energy grows monotonically with work.
+    #[test]
+    fn energy_monotone_in_work(accesses in 100u64..1_000, compute in 1u32..16) {
+        let small = run_machine(2, 2, accesses, compute, 64);
+        let large = run_machine(2, 2, accesses * 2, compute, 64);
+        prop_assert!(large.1.dynamic_energy_j > small.1.dynamic_energy_j);
+    }
+
+    /// Frequency throttling (constant voltage) stretches time but leaves
+    /// per-op energy unchanged: total dynamic energy within a small factor.
+    #[test]
+    fn throttle_preserves_energy(divisor in 2.0f64..8.0) {
+        let base = {
+            let mut m = Machine::new(MachineConfig::hpca().with_cores(1));
+            m.spawn(Box::new(SyntheticKernel::new(16, 500, 1 << 26, 0)));
+            while !m.all_done() { m.run_window(1_000_000); }
+            (m.time_ps(), m.stats().dynamic_energy_j)
+        };
+        let throttled = {
+            let mut m = Machine::new(MachineConfig::hpca().with_cores(1));
+            m.set_operating_point(1.0 / divisor, 1.0);
+            m.spawn(Box::new(SyntheticKernel::new(16, 500, 1 << 26, 0)));
+            while !m.all_done() { m.run_window(1_000_000); }
+            (m.time_ps(), m.stats().dynamic_energy_j)
+        };
+        prop_assert!(throttled.0 > base.0, "throttling must slow execution");
+        let ratio = throttled.1 / base.1;
+        prop_assert!((0.8..1.3).contains(&ratio), "energy ratio {ratio}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Criterion bench: the PCM melting-point ablation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprint_thermal::analysis::simulate_sprint;
+use sprint_thermal::material::Material;
+use sprint_thermal::phone::PhoneThermalParams;
+
+fn bench_tmelt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tmelt");
+    g.sample_size(10);
+    for melt_c in [40.0, 50.0, 60.0] {
+        g.bench_function(format!("sprint_tmelt_{melt_c}"), |b| {
+            b.iter(|| {
+                let mut params = PhoneThermalParams::hpca();
+                params.pcm_material =
+                    Material::new("pcm", 0.3, 1.0, 100.0, Some(melt_c), 5.0);
+                let mut phone = params.build();
+                let t = simulate_sprint(&mut phone, 16.0, 0.005, 5.0);
+                std::hint::black_box(t.duration_s)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tmelt);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: Figure 1's scaling-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprint_scaling::model::ScalingModel;
+
+fn bench_scaling(c: &mut Criterion) {
+    c.bench_function("fig1/all_models_series", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for model in ScalingModel::ALL {
+                for (_, pd, dark) in model.series() {
+                    acc += pd + dark;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: Figure 4's thermal transients.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprint_thermal::analysis::simulate_sprint;
+use sprint_thermal::phone::PhoneThermalParams;
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("sprint_16w_full_pcm", |b| {
+        b.iter(|| {
+            let mut phone = PhoneThermalParams::hpca().build();
+            let t = simulate_sprint(&mut phone, 16.0, 0.005, 5.0);
+            std::hint::black_box(t.duration_s)
+        })
+    });
+    g.bench_function("sprint_16w_limited_pcm", |b| {
+        b.iter(|| {
+            let mut phone = PhoneThermalParams::limited().build();
+            let t = simulate_sprint(&mut phone, 16.0, 0.001, 5.0);
+            std::hint::black_box(t.duration_s)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_thermal);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: Figure 6's PDN activation transients.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprint_powergrid::activation::{ActivationExperiment, ActivationSchedule};
+
+fn bench_powergrid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("abrupt_16core_40us", |b| {
+        b.iter(|| {
+            let exp = ActivationExperiment::hpca(ActivationSchedule::Simultaneous);
+            std::hint::black_box(exp.run().unwrap().report.min_v)
+        })
+    });
+    g.bench_function("ramp_128us_4core_160us", |b| {
+        b.iter(|| {
+            let mut exp = ActivationExperiment::hpca(ActivationSchedule::LinearRamp {
+                total_s: 128e-6,
+            });
+            exp.pdn = exp.pdn.with_cores(4);
+            exp.horizon_s = 160e-6;
+            std::hint::black_box(exp.run().unwrap().report.min_v)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_powergrid);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: one Figure 7 configuration (sobel, 16-core sprint).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprint_bench::harness::{run_coupled, ThermalDesign};
+use sprint_core::config::SprintConfig;
+use sprint_workloads::suite::{InputSize, WorkloadKind};
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("sobel_A_parallel_sprint", |b| {
+        b.iter(|| {
+            let o = run_coupled(
+                WorkloadKind::Sobel,
+                InputSize::A,
+                16,
+                SprintConfig::hpca_parallel(),
+                ThermalDesign::FullPcm,
+            );
+            std::hint::black_box(o.time_s)
+        })
+    });
+    g.bench_function("kmeans_A_limited_sprint", |b| {
+        b.iter(|| {
+            let o = run_coupled(
+                WorkloadKind::Kmeans,
+                InputSize::A,
+                16,
+                SprintConfig::hpca_parallel(),
+                ThermalDesign::LimitedPcm,
+            );
+            std::hint::black_box(o.time_s)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! repro <experiment>... [--quick] [--full] [--bw2x] [--size A|B|C|D]
+//! repro all [--quick]
+//! ```
+//!
+//! Tables print to stdout; series are written to `results/*.csv`
+//! (override the directory with `SPRINT_RESULTS_DIR`).
+
+use std::time::Instant;
+
+use sprint_bench::{figs_arch, figs_model};
+use sprint_workloads::suite::InputSize;
+
+struct Options {
+    quick: bool,
+    full: bool,
+    bw2x: bool,
+    size: InputSize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut opts = Options {
+        quick: false,
+        full: false,
+        bw2x: false,
+        size: InputSize::C,
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--full" => opts.full = true,
+            "--bw2x" => opts.bw2x = true,
+            "--size" => {
+                let v = iter.next().expect("--size needs A|B|C|D");
+                opts.size = match v.as_str() {
+                    "A" => InputSize::A,
+                    "B" => InputSize::B,
+                    "C" => InputSize::C,
+                    "D" => InputSize::D,
+                    other => {
+                        eprintln!("unknown size {other}; use A|B|C|D");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            name => experiments.push(name.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        eprintln!("usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--size A|B|C|D]");
+        eprintln!("experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power");
+        eprintln!("             ablation_tmelt ablation_metal ablation_budget ablation_abort");
+        std::process::exit(2);
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "fig1", "table1", "fig2", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "power", "ablation_tmelt", "ablation_metal",
+            "ablation_budget", "ablation_abort", "ablation_pacing",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    for exp in &experiments {
+        let start = Instant::now();
+        println!("==================================================================");
+        let text = match exp.as_str() {
+            "fig1" => figs_model::fig1(),
+            "fig2" => figs_arch::fig2(),
+            "table1" => figs_arch::table1(),
+            "fig4a" => figs_model::fig4a(),
+            "fig4b" => figs_model::fig4b(),
+            "fig5" => figs_model::fig5(),
+            "fig6" => figs_model::fig6(opts.full),
+            "fig7" => figs_arch::fig7(),
+            "fig8" => figs_arch::fig8(opts.quick),
+            "fig9" => figs_arch::fig9(opts.quick),
+            "fig10" | "fig11" => figs_arch::fig10_fig11(opts.size, opts.bw2x),
+            "power" | "table_power" => figs_model::table_power(),
+            "ablation_tmelt" => figs_model::ablation_tmelt(),
+            "ablation_metal" => figs_model::ablation_metal(),
+            "ablation_budget" => figs_arch::ablation_budget(),
+            "ablation_abort" => figs_arch::ablation_abort(),
+            "ablation_pacing" => figs_arch::ablation_pacing(),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                continue;
+            }
+        };
+        println!("{text}");
+        println!("[{exp} took {:.1} s]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,478 @@
+//! Architecture-level figure reproductions: Figure 2 (conceptual traces),
+//! Table 1 (kernel inventory), Figures 7-11 (the evaluation section), and
+//! the runtime ablations.
+
+use sprint_archsim::config::MachineConfig;
+use sprint_archsim::machine::Machine;
+use sprint_core::conceptual::{run_conceptual, ConceptualMode};
+use sprint_core::config::{AbortPolicy, BudgetEstimator, ExecutionMode, PacingPolicy, SprintConfig};
+use sprint_core::metrics::arithmetic_mean;
+use sprint_core::system::SprintSystem;
+use sprint_workloads::sobel::SobelWorkload;
+use sprint_workloads::suite::{build_workload, InputSize, Workload, WorkloadKind};
+
+use crate::harness::{
+    run_baseline, run_coupled, run_fixed_cores_with, ThermalDesign,
+};
+use crate::output::{Csv, TextTable};
+
+/// Figure 2: the three conceptual execution modes.
+pub fn fig2() -> String {
+    let mut out = String::from(
+        "Figure 2 — sustained vs. sprint vs. PCM-augmented sprint (16 cores)\n",
+    );
+    let mut table = TextTable::new();
+    table.row(&[&"mode", &"completion ms", &"sprint end ms", &"peak junction C"]);
+    for mode in ConceptualMode::ALL {
+        let report = run_conceptual(mode, 1_600_000, 1000.0);
+        let mut csv = Csv::new(
+            &format!("fig2_{}", mode.label().replace('+', "_")),
+            &["time_ms", "active_cores", "instructions", "junction_c", "melt_fraction"],
+        );
+        for s in &report.trace {
+            csv.row(&[
+                &format!("{:.4}", s.time_s * 1e3),
+                &s.active_cores,
+                &s.instructions,
+                &format!("{:.2}", s.junction_c),
+                &format!("{:.3}", s.melt_fraction),
+            ]);
+        }
+        let path = csv.finish();
+        table.row(&[
+            &mode.label(),
+            &format!("{:.2}", report.completion_s * 1e3),
+            &report
+                .sprint_end_s
+                .map_or("-".to_string(), |t| format!("{:.2}", t * 1e3)),
+            &format!("{:.1}", report.max_junction_c),
+        ]);
+        out.push_str(&format!("wrote {}\n", path.display()));
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "the PCM panel sustains the full-core sprint longer before falling back\n\
+         to one core, completing the same work soonest (paper Figure 2(c)).\n",
+    );
+    out
+}
+
+/// Table 1: the kernel suite with measured instruction mixes.
+pub fn table1() -> String {
+    let mut out = String::from("Table 1 — parallel kernels used in the evaluation\n");
+    let mut table = TextTable::new();
+    table.row(&[&"kernel", &"description", &"Minstr", &"%mem", &"%fp", &"%branch"]);
+    for kind in WorkloadKind::ALL {
+        let workload = build_workload(kind, InputSize::A);
+        let mut machine = Machine::new(MachineConfig::hpca().with_cores(4));
+        workload.setup(&mut machine, 4);
+        while !machine.all_done() {
+            machine.run_window(1_000_000);
+        }
+        let s = machine.stats();
+        let total = s.instructions as f64;
+        table.row(&[
+            &kind.name(),
+            &kind.description(),
+            &format!("{:.1}", total / 1e6),
+            &format!("{:.0}%", 100.0 * (s.loads + s.stores) as f64 / total),
+            &format!("{:.0}%", 100.0 * s.fp_alu as f64 / total),
+            &format!("{:.0}%", 100.0 * s.branches as f64 / total),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// One Figure 7 stack: speedups for both thermal designs of one mode.
+struct Stack {
+    full: f64,
+    limited: f64,
+}
+
+fn speedup_stack(
+    kind: WorkloadKind,
+    size: InputSize,
+    config: &SprintConfig,
+    baseline_s: f64,
+) -> Stack {
+    let full = run_coupled(kind, size, 16, config.clone(), ThermalDesign::FullPcm);
+    let limited = run_coupled(kind, size, 16, config.clone(), ThermalDesign::LimitedPcm);
+    Stack {
+        full: baseline_s / full.time_s,
+        limited: baseline_s / limited.time_s,
+    }
+}
+
+/// Figure 7: 16-core parallel sprint vs. idealized DVFS, both PCM sizes.
+pub fn fig7() -> String {
+    let mut out = String::from(
+        "Figure 7 — speedup on 16 cores vs. idealized DVFS (C inputs)\n",
+    );
+    let mut table = TextTable::new();
+    table.row(&[
+        &"kernel",
+        &"par 150mg",
+        &"par 1.5mg",
+        &"dvfs 150mg",
+        &"dvfs 1.5mg",
+    ]);
+    let mut csv = Csv::new(
+        "fig7",
+        &["kernel", "parallel_150mg", "parallel_1p5mg", "dvfs_150mg", "dvfs_1p5mg"],
+    );
+    let mut par_speedups = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let size = InputSize::C;
+        let base = run_baseline(kind, size);
+        let par = speedup_stack(kind, size, &SprintConfig::hpca_parallel(), base.time_s);
+        let dvfs = speedup_stack(kind, size, &SprintConfig::hpca_dvfs(), base.time_s);
+        par_speedups.push(par.full);
+        table.row(&[
+            &kind.name(),
+            &format!("{:.1}x", par.full),
+            &format!("{:.1}x", par.limited),
+            &format!("{:.1}x", dvfs.full),
+            &format!("{:.1}x", dvfs.limited),
+        ]);
+        csv.row(&[
+            &kind.name(),
+            &format!("{:.2}", par.full),
+            &format!("{:.2}", par.limited),
+            &format!("{:.2}", dvfs.full),
+            &format!("{:.2}", dvfs.limited),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "average parallel (150mg) speedup: {:.1}x   (paper: 10.2x)\n\
+         DVFS tops out near the 2.5x cube-root bound; limited PCM truncates both.\n\
+         wrote {}\n",
+        arithmetic_mean(&par_speedups),
+        csv.finish().display()
+    ));
+    out
+}
+
+/// Figure 8: sobel speedup vs. image size (megapixels).
+pub fn fig8(quick: bool) -> String {
+    let mut out = String::from("Figure 8 — sobel speedup vs. input size (16 cores)\n");
+    let mut table = TextTable::new();
+    table.row(&[&"megapixels", &"par 150mg", &"par 1.5mg", &"dvfs 1.5mg"]);
+    let mut csv = Csv::new(
+        "fig8",
+        &["megapixels", "parallel_150mg", "parallel_1p5mg", "dvfs_1p5mg"],
+    );
+    let sizes: &[(usize, usize)] = if quick {
+        &[(800, 640), (1600, 1280)]
+    } else {
+        &[(800, 640), (1136, 896), (1600, 1280), (2272, 1808), (3216, 2560)]
+    };
+    for &(w, h) in sizes {
+        let mp = (w * h) as f64 / 1e6;
+        let run = |config: SprintConfig, design: ThermalDesign| -> f64 {
+            let workload = SobelWorkload::with_dims(w, h, 0xE05E1);
+            let mut machine = Machine::new(MachineConfig::hpca());
+            let threads = if matches!(
+                config.mode,
+                sprint_core::config::ExecutionMode::Sustained
+            ) {
+                16
+            } else {
+                16
+            };
+            workload.setup(&mut machine, threads);
+            SprintSystem::new(machine, design.build(), config)
+                .with_trace_capacity(0)
+                .run()
+                .completion_s
+        };
+        let base = run(SprintConfig::hpca_sustained(), ThermalDesign::FullPcm);
+        let par_full = base / run(SprintConfig::hpca_parallel(), ThermalDesign::FullPcm);
+        let par_lim = base / run(SprintConfig::hpca_parallel(), ThermalDesign::LimitedPcm);
+        let dvfs_lim = base / run(SprintConfig::hpca_dvfs(), ThermalDesign::LimitedPcm);
+        table.row(&[
+            &format!("{mp:.1}"),
+            &format!("{par_full:.1}x"),
+            &format!("{par_lim:.1}x"),
+            &format!("{dvfs_lim:.1}x"),
+        ]);
+        csv.row(&[
+            &format!("{mp:.2}"),
+            &format!("{par_full:.2}"),
+            &format!("{par_lim:.2}"),
+            &format!("{dvfs_lim:.2}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "full PCM sustains the sprint at every size; the limited design's speedup\n\
+         falls off as the fixed sprint covers less of the growing task (paper Fig 8).\n\
+         wrote {}\n",
+        csv.finish().display()
+    ));
+    out
+}
+
+/// Figure 9: speedups across input classes A-D for both designs.
+pub fn fig9(quick: bool) -> String {
+    let mut out = String::from("Figure 9 — speedup on 16 cores across input sizes\n");
+    let mut table = TextTable::new();
+    table.row(&[&"kernel", &"size", &"par 150mg", &"par 1.5mg"]);
+    let mut csv = Csv::new("fig9", &["kernel", "size", "parallel_150mg", "parallel_1p5mg"]);
+    let sizes: &[InputSize] = if quick {
+        &[InputSize::A, InputSize::B]
+    } else {
+        &InputSize::ALL
+    };
+    for kind in WorkloadKind::ALL {
+        for &size in sizes {
+            let base = run_baseline(kind, size);
+            let stack =
+                speedup_stack(kind, size, &SprintConfig::hpca_parallel(), base.time_s);
+            table.row(&[
+                &kind.name(),
+                &size.label(),
+                &format!("{:.1}x", stack.full),
+                &format!("{:.1}x", stack.limited),
+            ]);
+            csv.row(&[
+                &kind.name(),
+                &size.label(),
+                &format!("{:.2}", stack.full),
+                &format!("{:.2}", stack.limited),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "larger inputs speed up more under the full design but exhaust the limited\n\
+         design sooner (paper Fig 9; feature reaches ~8x at its largest input).\n\
+         wrote {}\n",
+        csv.finish().display()
+    ));
+    out
+}
+
+/// Figures 10 and 11: speedup and dynamic energy at 1/4/16/64 cores.
+pub fn fig10_fig11(size: InputSize, doubled_bw: bool) -> String {
+    let mut out = format!(
+        "Figures 10 & 11 — scaling at fixed V/f (size {}{})\n",
+        size.label(),
+        if doubled_bw { ", 2x memory bandwidth" } else { "" }
+    );
+    let mut t10 = TextTable::new();
+    t10.row(&[&"kernel", &"1", &"4", &"16", &"64"]);
+    let mut t11 = TextTable::new();
+    t11.row(&[&"kernel", &"1", &"4", &"16", &"64"]);
+    let mut csv = Csv::new(
+        if doubled_bw { "fig10_fig11_bw2x" } else { "fig10_fig11" },
+        &["kernel", "cores", "speedup", "normalized_energy"],
+    );
+    let core_counts = [1usize, 4, 16, 64];
+    for kind in WorkloadKind::ALL {
+        let mut speedups = Vec::new();
+        let mut energies = Vec::new();
+        let base = run_fixed_cores_with(kind, size, 1, doubled_bw);
+        for &cores in &core_counts {
+            let o = if cores == 1 {
+                base.clone()
+            } else {
+                run_fixed_cores_with(kind, size, cores, doubled_bw)
+            };
+            let speedup = base.time_s / o.time_s;
+            let energy = o.energy_j / base.energy_j;
+            csv.row(&[
+                &kind.name(),
+                &cores,
+                &format!("{speedup:.2}"),
+                &format!("{energy:.3}"),
+            ]);
+            speedups.push(format!("{speedup:.1}x"));
+            energies.push(format!("{energy:.2}"));
+        }
+        t10.row(&[&kind.name(), &speedups[0], &speedups[1], &speedups[2], &speedups[3]]);
+        t11.row(&[&kind.name(), &energies[0], &energies[1], &energies[2], &energies[3]]);
+    }
+    out.push_str("Figure 10 — normalized speedup\n");
+    out.push_str(&t10.render());
+    out.push_str("Figure 11 — normalized dynamic energy\n");
+    out.push_str(&t11.render());
+    out.push_str(&format!(
+        "paper anchors: kmeans/sobel keep scaling to 64; feature/disparity are\n\
+         bandwidth-limited ({}); segment/texture are parallelism-limited;\n\
+         energy ≈ 1x in the linear regime, rising where scaling breaks down.\n\
+         wrote {}\n",
+        if doubled_bw {
+            "doubling bandwidth lifts them toward ~12x at 64"
+        } else {
+            "try --bw2x to double channel bandwidth"
+        },
+        csv.finish().display()
+    ));
+    out
+}
+
+/// Ablation: energy-accounting budget estimator vs. oracle temperature.
+pub fn ablation_budget() -> String {
+    let mut out = String::from(
+        "Ablation — budget estimator (feature C, limited PCM, 16-core sprint)\n",
+    );
+    let mut table = TextTable::new();
+    table.row(&[&"estimator", &"speedup", &"peak junction C", &"sprint end ms"]);
+    let base = run_baseline(WorkloadKind::Feature, InputSize::C);
+    for (name, estimator) in [
+        ("energy-accounting", BudgetEstimator::EnergyAccounting),
+        ("oracle-temperature", BudgetEstimator::OracleTemperature),
+    ] {
+        let mut cfg = SprintConfig::hpca_parallel();
+        cfg.estimator = estimator;
+        let o = run_coupled(
+            WorkloadKind::Feature,
+            InputSize::C,
+            16,
+            cfg,
+            ThermalDesign::LimitedPcm,
+        );
+        table.row(&[
+            &name,
+            &format!("{:.2}x", base.time_s / o.time_s),
+            &format!("{:.1}", o.max_junction_c),
+            &o.sprint_end_s
+                .map_or("-".to_string(), |t| format!("{:.2}", t * 1e3)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "the energy estimator tracks the oracle closely while never reading a\n\
+         temperature sensor on the fast path (paper Section 7).\n",
+    );
+    out
+}
+
+/// Ablation: migrate-then-sustain vs. hardware throttle-only.
+pub fn ablation_abort() -> String {
+    let mut out = String::from(
+        "Ablation — sprint-abort policy (disparity C, limited PCM, 16-core sprint)\n",
+    );
+    let mut table = TextTable::new();
+    table.row(&[&"policy", &"speedup", &"peak junction C"]);
+    let base = run_baseline(WorkloadKind::Disparity, InputSize::C);
+    for (name, policy, estimator) in [
+        (
+            "migrate-to-1-core",
+            AbortPolicy::MigrateToSingleCore,
+            BudgetEstimator::EnergyAccounting,
+        ),
+        (
+            "throttle-only",
+            AbortPolicy::ThrottleOnly,
+            // Throttle-only is the failsafe path: let the temperature trip it.
+            BudgetEstimator::OracleTemperature,
+        ),
+    ] {
+        let mut cfg = SprintConfig::hpca_parallel();
+        cfg.abort_policy = policy;
+        cfg.estimator = estimator;
+        if policy == AbortPolicy::ThrottleOnly {
+            cfg.budget_margin = 0.001; // ride the thermal limit
+        }
+        let o = run_coupled(
+            WorkloadKind::Disparity,
+            InputSize::C,
+            16,
+            cfg,
+            ThermalDesign::LimitedPcm,
+        );
+        table.row(&[
+            &name,
+            &format!("{:.2}x", base.time_s / o.time_s),
+            &format!("{:.1}", o.max_junction_c),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "migration resumes nominal-frequency execution on one core; the throttle\n\
+         keeps 16 cores at 1/16th clock — similar throughput, but migration frees\n\
+         the other cores' leakage/state (the paper prefers migration, Section 7).\n",
+    );
+    out
+}
+
+/// Extension: sprint pacing (budget-aware intensity control).
+///
+/// For a task larger than the sprint budget, all-out sprinting wastes
+/// budget on excess over-TDP drain; pacing spends the same joules at lower
+/// intensity, completing more work inside the sprint and shortening the
+/// single-core tail.
+pub fn ablation_pacing() -> String {
+    let mut out = String::from(
+        "Extension — sprint pacing (disparity C, limited PCM, budget-aware intensity)\n",
+    );
+    let mut table = TextTable::new();
+    table.row(&[&"policy", &"speedup", &"sprint end ms", &"peak junction C"]);
+    let base = run_baseline(WorkloadKind::Disparity, InputSize::C);
+    let mut csv = Csv::new(
+        "ablation_pacing",
+        &["policy", "speedup", "sprint_end_ms", "peak_junction_c"],
+    );
+    let policies: [(&str, PacingPolicy, usize); 4] = [
+        ("all-out-16", PacingPolicy::AllOut, 16),
+        ("fixed-8", PacingPolicy::FixedIntensity { cores: 8 }, 16),
+        ("fixed-4", PacingPolicy::FixedIntensity { cores: 4 }, 16),
+        (
+            "staged 16->8->4",
+            PacingPolicy::StagedDecay {
+                stages: vec![(0.4, 8), (0.75, 4)],
+            },
+            16,
+        ),
+    ];
+    for (name, pacing, cores) in policies {
+        let mut cfg = SprintConfig::hpca_parallel()
+            .with_mode(ExecutionMode::ParallelSprint { cores });
+        cfg.pacing = pacing;
+        let o = run_coupled(
+            WorkloadKind::Disparity,
+            InputSize::C,
+            16,
+            cfg,
+            ThermalDesign::LimitedPcm,
+        );
+        let speedup = base.time_s / o.time_s;
+        let end_ms = o.sprint_end_s.map_or(f64::NAN, |t| t * 1e3);
+        table.row(&[
+            &name,
+            &format!("{speedup:.2}x"),
+            &format!("{end_ms:.2}"),
+            &format!("{:.1}", o.max_junction_c),
+        ]);
+        csv.row(&[
+            &name,
+            &format!("{speedup:.3}"),
+            &format!("{end_ms:.3}"),
+            &format!("{:.1}", o.max_junction_c),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "pacing stretches the same joule budget over more work: lower-intensity\n\
+         sprints drain (P - TDP) watts for P watts of throughput, so they hold the\n\
+         sprint longer and shrink the single-core tail on budget-bound tasks.\n",
+    );
+    out.push_str(&format!("wrote {}\n", csv.finish().display()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_kernels() {
+        let s = table1();
+        for kind in WorkloadKind::ALL {
+            assert!(s.contains(kind.name()), "missing {}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Model-level figure reproductions: Figure 1 (scaling trends), Figure 4
+//! (thermal transients), Figure 5/6 (power grid), the Section 6 power
+//! source table, and the thermal ablations.
+
+use sprint_powergrid::activation::{ActivationExperiment, ActivationSchedule};
+use sprint_powersource::feasibility::{evaluate_pins, evaluate_sources};
+use sprint_scaling::model::ScalingModel;
+use sprint_scaling::node::NODES;
+use sprint_thermal::analysis::{simulate_cooldown, simulate_sprint};
+use sprint_thermal::material::Material;
+use sprint_thermal::phone::PhoneThermalParams;
+
+use crate::output::{Csv, TextTable};
+
+/// Figure 1: power density and dark-silicon fraction per node.
+pub fn fig1() -> String {
+    let mut csv = Csv::new(
+        "fig1",
+        &["model", "nm", "power_density", "percent_dark"],
+    );
+    let mut table = TextTable::new();
+    table.row(&[&"model", &"node", &"power density", &"% dark Si"]);
+    for model in ScalingModel::ALL {
+        for (nm, pd, dark) in model.series() {
+            csv.row(&[&model.label(), &nm, &format!("{pd:.3}"), &format!("{dark:.1}")]);
+            table.row(&[
+                &model.label(),
+                &format!("{nm} nm"),
+                &format!("{pd:.2}x"),
+                &format!("{dark:.0}%"),
+            ]);
+        }
+    }
+    let path = csv.finish();
+    format!(
+        "Figure 1 — power density & dark silicon (45→6 nm)\n{}\nwrote {}\n\
+         paper anchor: ARM CTO prediction of ~9% active (91% dark) silicon by 2019;\n\
+         the pessimistic curve reaches {:.0}% dark at the final node.\n",
+        TextTable::render(&table),
+        path.display(),
+        ScalingModel::ItrsWithBorkarVdd.percent_dark_silicon(NODES.len() - 1)
+    )
+}
+
+/// Figure 4(a): sprint-initiation transient at 16 W on the full design.
+pub fn fig4a() -> String {
+    let mut phone = PhoneThermalParams::hpca().build();
+    let sprint = simulate_sprint(&mut phone, 16.0, 0.002, 5.0);
+    let mut csv = Csv::new("fig4a", &["time_s", "junction_c", "pcm_c", "melt_fraction"]);
+    for p in sprint.trace.downsample(250) {
+        csv.row(&[
+            &format!("{:.4}", p.time_s),
+            &format!("{:.2}", p.junction_c),
+            &format!("{:.2}", p.pcm_c),
+            &format!("{:.3}", p.melt_fraction),
+        ]);
+    }
+    let path = csv.finish();
+    format!(
+        "Figure 4(a) — sprint initiation (16 W, 140 mg PCM, Tmelt 60 C, Tmax 70 C)\n\
+         melt begins      {:>6.2} s   (paper: shortly after onset)\n\
+         melt completes   {:>6.2} s\n\
+         plateau length   {:>6.2} s   (paper: 0.95 s)\n\
+         sprint duration  {:>6.2} s   (paper: 'a little over 1 s')\n\
+         wrote {}\n",
+        sprint.t_melt_start_s.unwrap_or(f64::NAN),
+        sprint.t_melt_end_s.unwrap_or(f64::NAN),
+        sprint.plateau_s().unwrap_or(f64::NAN),
+        sprint.duration_s.unwrap_or(f64::NAN),
+        path.display()
+    )
+}
+
+/// Figure 4(b): post-sprint cooldown.
+pub fn fig4b() -> String {
+    let mut phone = PhoneThermalParams::hpca().build();
+    let _ = simulate_sprint(&mut phone, 16.0, 0.002, 5.0);
+    let cooldown = simulate_cooldown(&mut phone, 0.0, 3.0, 0.02, 120.0);
+    let mut csv = Csv::new("fig4b", &["time_s", "junction_c", "melt_fraction"]);
+    for p in cooldown.trace.downsample(250) {
+        csv.row(&[
+            &format!("{:.3}", p.time_s),
+            &format!("{:.2}", p.junction_c),
+            &format!("{:.3}", p.melt_fraction),
+        ]);
+    }
+    let path = csv.finish();
+    format!(
+        "Figure 4(b) — post-sprint cooldown\n\
+         refreeze starts   {:>6.1} s\n\
+         refreeze complete {:>6.1} s\n\
+         near ambient      {:>6.1} s   (paper: ~24 s; rule of thumb 16 s)\n\
+         wrote {}\n",
+        cooldown.t_freeze_start_s.unwrap_or(f64::NAN),
+        cooldown.t_freeze_end_s.unwrap_or(f64::NAN),
+        cooldown.t_near_ambient_s.unwrap_or(f64::NAN),
+        path.display()
+    )
+}
+
+/// Figure 5: print the PDN structure (element inventory).
+pub fn fig5() -> String {
+    let pdn = sprint_powergrid::grid::PdnParams::hpca();
+    let built = pdn.build();
+    format!(
+        "Figure 5 — sprint power distribution network\n\
+         cores: {}   nominal: {} V   per-core load: {} A\n\
+         round-trip series resistance: {:.2} mΩ (expected IR droop {:.1} mV)\n\
+         netlist: {} nodes, {} elements ({} current sources)\n",
+        pdn.cores,
+        pdn.nominal_v,
+        pdn.core_current_a,
+        pdn.round_trip_resistance_ohms() * 1e3,
+        pdn.expected_ir_droop_v() * 1e3,
+        built.circuit().node_count(),
+        built.circuit().element_count(),
+        built.circuit().isource_count(),
+    )
+}
+
+/// Figure 6: activation schedules vs. supply integrity.
+pub fn fig6(full_horizon: bool) -> String {
+    let mut out = String::from(
+        "Figure 6 — supply voltage during core activation (2% tolerance at 1.2 V)\n",
+    );
+    let mut table = TextTable::new();
+    table.row(&[&"schedule", &"min V", &"% nominal", &"droop mV", &"settle us", &"verdict"]);
+    let horizon = if full_horizon { 2000e-6 } else { 320e-6 };
+    for (name, schedule) in [
+        ("abrupt", ActivationSchedule::Simultaneous),
+        ("ramp-1.28us", ActivationSchedule::LinearRamp { total_s: 1.28e-6 }),
+        ("ramp-128us", ActivationSchedule::LinearRamp { total_s: 128e-6 }),
+    ] {
+        let mut exp = ActivationExperiment::hpca(schedule);
+        exp.horizon_s = horizon;
+        let result = exp.run().expect("PDN must compile");
+        let mut csv = Csv::new(
+            &format!("fig6_{name}"),
+            &["time_us", "supply_v", "min_supply_v", "load_a"],
+        );
+        for s in result.samples.iter().step_by(8) {
+            csv.row(&[
+                &format!("{:.3}", s.time_s * 1e6),
+                &format!("{:.5}", s.supply_v),
+                &format!("{:.5}", s.min_supply_v),
+                &format!("{:.3}", s.load_a),
+            ]);
+        }
+        let path = csv.finish();
+        let r = &result.report;
+        table.row(&[
+            &name,
+            &format!("{:.4}", r.min_v),
+            &format!("{:.2}%", 100.0 * r.min_fraction_of_nominal()),
+            &format!("{:.1}", r.droop_v() * 1e3),
+            &format!("{:.2}", r.settle_time_s * 1e6),
+            &(if r.violated { "VIOLATES" } else { "ok" }),
+        ]);
+        out.push_str(&format!("wrote {}\n", path.display()));
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "paper anchors: abrupt bounces to 1.171 V (97.5%) settling in 2.53 us;\n\
+         1.28 us ramp still violates; 128 us ramp passes, settling ~10 mV low.\n",
+    );
+    out
+}
+
+/// Section 6 power-source feasibility table.
+pub fn table_power() -> String {
+    let mut out = String::from("Section 6 — power sources for a 16 W x 1 s sprint\n");
+    let mut table = TextTable::new();
+    table.row(&[&"source", &"max W", &"peak ok", &"energy ok", &"mass g", &"max cores"]);
+    let mut csv = Csv::new(
+        "table_power",
+        &["source", "max_w", "covers_peak", "covers_energy", "mass_g", "max_cores"],
+    );
+    for v in evaluate_sources(16.0, 1.0) {
+        table.row(&[
+            &v.source,
+            &format!("{:.1}", v.max_power_w),
+            &v.covers_peak,
+            &v.covers_energy,
+            &format!("{:.1}", v.mass_g),
+            &v.max_sprint_cores,
+        ]);
+        csv.row(&[
+            &v.source,
+            &format!("{:.1}", v.max_power_w),
+            &v.covers_peak,
+            &v.covers_energy,
+            &format!("{:.1}", v.mass_g),
+            &v.max_sprint_cores,
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push('\n');
+    let mut pins = TextTable::new();
+    pins.row(&[&"package", &"pins needed (16 A @ 1 V)", &"fraction of package"]);
+    for (name, needed, fraction) in evaluate_pins(16.0) {
+        pins.row(&[&name, &needed, &format!("{:.0}%", fraction * 100.0)]);
+    }
+    out.push_str(&pins.render());
+    out.push_str(&format!("wrote {}\n", csv.finish().display()));
+    out
+}
+
+/// Ablation: PCM melting point vs. sprint capacity, TDP and cooldown.
+pub fn ablation_tmelt() -> String {
+    let mut out =
+        String::from("Ablation — PCM melting point (140 mg, 16 W sprint, Tmax 70 C)\n");
+    let mut table = TextTable::new();
+    table.row(&[&"Tmelt", &"TDP W", &"sprint s", &"plateau s", &"cooldown s"]);
+    let mut csv = Csv::new(
+        "ablation_tmelt",
+        &["tmelt_c", "tdp_w", "sprint_s", "plateau_s", "cooldown_s"],
+    );
+    for melt_c in [40.0, 50.0, 60.0, 65.0] {
+        let mut params = PhoneThermalParams::hpca();
+        params.pcm_material =
+            Material::new(format!("pcm-{melt_c}"), 0.3, 1.0, 100.0, Some(melt_c), 5.0);
+        let tdp = params.clone().build().tdp_w();
+        let mut phone = params.build();
+        let sprint = simulate_sprint(&mut phone, 16.0, 0.002, 10.0);
+        let cooldown = simulate_cooldown(&mut phone, 0.0, 3.0, 0.02, 300.0);
+        let (s, p, c) = (
+            sprint.duration_s.unwrap_or(f64::NAN),
+            sprint.plateau_s().unwrap_or(f64::NAN),
+            cooldown.t_near_ambient_s.unwrap_or(f64::NAN),
+        );
+        table.row(&[
+            &format!("{melt_c:.0} C"),
+            &format!("{tdp:.2}"),
+            &format!("{s:.2}"),
+            &format!("{p:.2}"),
+            &format!("{c:.0}"),
+        ]);
+        csv.row(&[
+            &melt_c,
+            &format!("{tdp:.3}"),
+            &format!("{s:.3}"),
+            &format!("{p:.3}"),
+            &format!("{c:.1}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "higher melting points trade sustained power (TDP) against cooldown speed\n\
+         (hotter PCM rejects heat faster), matching the Section 4.5 discussion.\n",
+    );
+    out.push_str(&format!("wrote {}\n", csv.finish().display()));
+    out
+}
+
+/// Ablation: solid metal heat storage vs. phase-change storage (§4.1/4.2).
+pub fn ablation_metal() -> String {
+    let mut out = String::from(
+        "Ablation — heat storage media at equal package volume (2.3 mm over 64 mm2)\n",
+    );
+    let mut table = TextTable::new();
+    table.row(&[&"medium", &"mass g", &"capacity J", &"sprint s", &"pre-heated sprint s"]);
+    let volume_cm3 = 0.1472; // 2.3 mm x 64 mm^2
+    let cases = [
+        ("copper", Material::copper()),
+        ("aluminum", Material::aluminum()),
+        ("reference-pcm", Material::reference_pcm()),
+    ];
+    let mut csv = Csv::new(
+        "ablation_metal",
+        &["medium", "mass_g", "capacity_j", "sprint_s", "preheated_sprint_s"],
+    );
+    for (name, material) in cases {
+        let mass = material.density_g_per_cm3() * volume_cm3;
+        let capacity = material.block_latent_heat_j(mass)
+            + material.block_heat_capacity_j_per_k(mass) * 10.0;
+        let mut params = PhoneThermalParams::hpca();
+        params.pcm_material = material.clone();
+        params.pcm_mass_g = mass;
+        // Cold-start sprint.
+        let mut phone = params.clone().build();
+        let cold = simulate_sprint(&mut phone, 16.0, 0.002, 20.0)
+            .duration_s
+            .unwrap_or(f64::NAN);
+        // Sprint after sustained operation: the drawback the paper notes
+        // for metals — the block is already warm, shrinking headroom.
+        let mut warm_phone = params.build();
+        warm_phone.set_chip_power_w(1.0);
+        warm_phone.advance(600.0);
+        let warm = simulate_sprint(&mut warm_phone, 16.0, 0.002, 20.0)
+            .duration_s
+            .unwrap_or(f64::NAN);
+        table.row(&[
+            &name,
+            &format!("{mass:.2}"),
+            &format!("{capacity:.1}"),
+            &format!("{cold:.2}"),
+            &format!("{warm:.2}"),
+        ]);
+        csv.row(&[
+            &name,
+            &format!("{mass:.3}"),
+            &format!("{capacity:.2}"),
+            &format!("{cold:.3}"),
+            &format!("{warm:.3}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "the PCM's latent heat packs far more sprint capacity into the same volume,\n\
+         and melting-point storage is immune to pre-heating from sustained load.\n",
+    );
+    out.push_str(&format!("wrote {}\n", csv.finish().display()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_mentions_all_models() {
+        std::env::set_var("SPRINT_RESULTS_DIR", std::env::temp_dir().join("sprint-bench-t1"));
+        let s = fig1();
+        for m in ScalingModel::ALL {
+            assert!(s.contains(m.label()));
+        }
+    }
+
+    #[test]
+    fn fig5_reports_structure() {
+        let s = fig5();
+        assert!(s.contains("cores: 16"));
+    }
+
+    #[test]
+    fn power_table_flags_li_ion() {
+        std::env::set_var("SPRINT_RESULTS_DIR", std::env::temp_dir().join("sprint-bench-t2"));
+        let s = table_power();
+        assert!(s.contains("phone-li-ion"));
+        assert!(s.contains("false"), "the phone cell must fail the peak check");
+    }
+}

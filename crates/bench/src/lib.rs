@@ -1,0 +1,29 @@
+//! The benchmark harness: reproduces every table and figure of
+//! *Computational Sprinting* (HPCA 2012).
+//!
+//! Run `cargo run --release -p sprint-bench --bin repro -- all` to
+//! regenerate the full evaluation (tables to stdout, series to
+//! `results/*.csv`), or name individual experiments:
+//!
+//! ```text
+//! repro fig1        # power density / dark silicon trends
+//! repro fig2        # conceptual sprint traces
+//! repro table1      # kernel suite inventory
+//! repro fig4a fig4b # thermal transients
+//! repro fig5 fig6   # power grid + activation schedules
+//! repro fig7        # 16-core sprint vs DVFS speedups
+//! repro fig8        # sobel input-size sweep
+//! repro fig9        # input classes A-D
+//! repro fig10       # core-count scaling (+ fig11 energy)
+//! repro power       # Section 6 power-source table
+//! repro ablation_tmelt | ablation_metal | ablation_budget | ablation_abort
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figs_arch;
+pub mod figs_model;
+pub mod harness;
+pub mod output;
+
+pub use harness::{run_baseline, run_coupled, run_fixed_cores, Outcome, ThermalDesign};

@@ -1,0 +1,145 @@
+//! Output helpers: CSV files under `results/` and aligned stdout tables.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory where the repro harness drops CSV series.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("SPRINT_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// A CSV file being written under `results/`.
+#[derive(Debug)]
+pub struct Csv {
+    path: PathBuf,
+    buf: String,
+    columns: usize,
+}
+
+impl Csv {
+    /// Creates `results/<name>.csv` with a header row.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        let mut csv = Self {
+            path: results_dir().join(format!("{name}.csv")),
+            buf: String::new(),
+            columns: header.len(),
+        };
+        csv.raw_row(header.iter());
+        csv
+    }
+
+    fn raw_row<T: Display>(&mut self, cells: impl Iterator<Item = T>) {
+        let mut first = true;
+        for c in cells {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            let cell = c.to_string();
+            debug_assert!(
+                !cell.contains(',') && !cell.contains('\n'),
+                "cell needs quoting: {cell}"
+            );
+            self.buf.push_str(&cell);
+        }
+        self.buf.push('\n');
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.columns, "row arity mismatch");
+        self.raw_row(cells.iter());
+    }
+
+    /// Flushes the file to disk, returning its path.
+    pub fn finish(self) -> PathBuf {
+        fs::create_dir_all(self.path.parent().expect("results dir has a parent"))
+            .expect("create results dir");
+        let mut f = fs::File::create(&self.path).expect("create csv");
+        f.write_all(self.buf.as_bytes()).expect("write csv");
+        self.path
+    }
+}
+
+/// An aligned plain-text table for stdout.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a row of cells.
+    pub fn row(&mut self, cells: &[&dyn Display]) -> &mut Self {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Renders with column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let cols = self.rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{cell:<width$}", width = widths[0]));
+                } else {
+                    out.push_str(&format!("  {cell:>width$}", width = widths[i]));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new();
+        t.row(&[&"kernel", &"speedup"]);
+        t.row(&[&"sobel", &15.2]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn csv_writes_rows() {
+        std::env::set_var("SPRINT_RESULTS_DIR", std::env::temp_dir().join("sprint-test-results"));
+        let mut c = Csv::new("unit_test", &["a", "b"]);
+        c.row(&[&1, &2.5]);
+        let path = c.finish();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,2.5\n");
+        std::env::remove_var("SPRINT_RESULTS_DIR");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn csv_rejects_wrong_arity() {
+        let mut c = Csv::new("unit_test_arity", &["a", "b"]);
+        c.row(&[&1]);
+    }
+}

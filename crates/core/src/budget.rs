@@ -1,0 +1,119 @@
+//! Activity-based thermal budget estimation (Section 7).
+//!
+//! The paper's hardware "monitors energy dissipation since sprint
+//! initiation; based on the dynamic energy consumption and a thermal model
+//! of the system, the hardware estimates when the available thermal budget
+//! is nearly exhausted". This module implements that estimator: the sprint
+//! budget is the joule capacity of the package's thermal storage (latent
+//! heat plus sensible headroom), drained by dissipated energy and
+//! replenished at the sustainable (TDP) drain rate.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks remaining sprint capacity from energy accounting alone (no
+/// temperature sensor on the fast path).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalBudget {
+    /// Total storage capacity at sprint start, joules.
+    capacity_j: f64,
+    /// Net energy absorbed so far (dissipated minus leaked), joules.
+    absorbed_j: f64,
+    /// Sustainable drain rate assumed by the estimator, watts.
+    tdp_w: f64,
+}
+
+impl ThermalBudget {
+    /// Starts accounting against `capacity_j` of storage with a steady
+    /// leak of `tdp_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are positive and finite.
+    pub fn new(capacity_j: f64, tdp_w: f64) -> Self {
+        assert!(capacity_j.is_finite() && capacity_j > 0.0, "capacity must be positive");
+        assert!(tdp_w.is_finite() && tdp_w > 0.0, "TDP must be positive");
+        Self {
+            capacity_j,
+            absorbed_j: 0.0,
+            tdp_w,
+        }
+    }
+
+    /// Records one sampling window: `energy_j` dissipated over
+    /// `window_s` seconds. Absorption can go negative only down to zero
+    /// (a cooler-than-start package is clamped; the estimator is
+    /// deliberately conservative).
+    pub fn record(&mut self, energy_j: f64, window_s: f64) {
+        debug_assert!(energy_j >= 0.0 && window_s >= 0.0);
+        self.absorbed_j = (self.absorbed_j + energy_j - self.tdp_w * window_s).max(0.0);
+    }
+
+    /// Remaining capacity, joules.
+    pub fn remaining_j(&self) -> f64 {
+        (self.capacity_j - self.absorbed_j).max(0.0)
+    }
+
+    /// Fraction of capacity spent, in `[0, 1]`.
+    pub fn spent_fraction(&self) -> f64 {
+        (self.absorbed_j / self.capacity_j).min(1.0)
+    }
+
+    /// True once less than `margin` of the capacity remains.
+    pub fn nearly_exhausted(&self, margin: f64) -> bool {
+        self.remaining_j() <= margin * self.capacity_j
+    }
+
+    /// Total capacity, joules.
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_drains_by_excess_over_tdp() {
+        let mut b = ThermalBudget::new(16.0, 1.0);
+        // 16 W for 0.5 s: absorbs (16 - 1) * 0.5 = 7.5 J.
+        for _ in 0..500 {
+            b.record(16.0e-3, 1e-3);
+        }
+        assert!((b.remaining_j() - 8.5).abs() < 1e-9);
+        assert!(!b.nearly_exhausted(0.05));
+    }
+
+    #[test]
+    fn sustainable_power_never_drains() {
+        let mut b = ThermalBudget::new(16.0, 1.0);
+        for _ in 0..10_000 {
+            b.record(1.0e-3, 1e-3);
+        }
+        assert!((b.remaining_j() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustion_trips_at_margin() {
+        let mut b = ThermalBudget::new(10.0, 1.0);
+        b.record(10.3, 0.1); // absorbs 10.2 J > capacity
+        assert!(b.nearly_exhausted(0.05));
+        assert_eq!(b.remaining_j(), 0.0);
+        assert_eq!(b.spent_fraction(), 1.0);
+    }
+
+    #[test]
+    fn idle_windows_do_not_go_negative() {
+        let mut b = ThermalBudget::new(5.0, 1.0);
+        b.record(0.0, 3.0); // idle for 3 s
+        assert!((b.remaining_j() - 5.0).abs() < 1e-12);
+        b.record(2.0, 0.5); // then a burst
+        assert!((b.remaining_j() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = ThermalBudget::new(0.0, 1.0);
+    }
+}

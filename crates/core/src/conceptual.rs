@@ -1,0 +1,114 @@
+//! Figure 2 generator: the three conceptual execution modes.
+//!
+//! Runs the same fixed computation under (a) sustained single-core
+//! execution, (b) a parallel sprint on a conventional (PCM-free) package,
+//! and (c) a parallel sprint on the PCM-augmented package, producing the
+//! cores/cumulative-compute/temperature traces of Figure 2.
+
+use serde::{Deserialize, Serialize};
+use sprint_archsim::config::MachineConfig;
+use sprint_archsim::machine::Machine;
+use sprint_archsim::program::SyntheticKernel;
+use sprint_thermal::phone::PhoneThermalParams;
+
+use crate::config::{ExecutionMode, SprintConfig};
+use crate::system::{RunReport, SprintSystem};
+
+/// The three panels of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConceptualMode {
+    /// (a) Sustained single-core execution.
+    Sustained,
+    /// (b) Sprint on a conventional package (junction capacitance only).
+    SprintNoPcm,
+    /// (c) Sprint with the PCM-augmented package.
+    SprintWithPcm,
+}
+
+impl ConceptualMode {
+    /// All three panels.
+    pub const ALL: [ConceptualMode; 3] = [
+        ConceptualMode::Sustained,
+        ConceptualMode::SprintNoPcm,
+        ConceptualMode::SprintWithPcm,
+    ];
+
+    /// Panel label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConceptualMode::Sustained => "sustained",
+            ConceptualMode::SprintNoPcm => "sprint",
+            ConceptualMode::SprintWithPcm => "sprint+pcm",
+        }
+    }
+}
+
+/// Runs one Figure 2 panel. `work_accesses` sizes the fixed computation;
+/// `time_compress` scales the thermal model (use ~100 for quick runs).
+pub fn run_conceptual(
+    mode: ConceptualMode,
+    work_accesses: u64,
+    time_compress: f64,
+) -> RunReport {
+    let cores = 16;
+    let mut machine = Machine::new(MachineConfig::hpca().with_cores(cores));
+    for t in 0..cores as u64 {
+        machine.spawn(Box::new(SyntheticKernel::new(
+            24,
+            work_accesses / cores as u64,
+            (t + 1) << 26,
+            0,
+        )));
+    }
+    let (thermal_params, exec) = match mode {
+        ConceptualMode::Sustained => (PhoneThermalParams::hpca(), ExecutionMode::Sustained),
+        ConceptualMode::SprintNoPcm => (
+            PhoneThermalParams::without_pcm(),
+            ExecutionMode::ParallelSprint { cores },
+        ),
+        ConceptualMode::SprintWithPcm => (
+            PhoneThermalParams::hpca(),
+            ExecutionMode::ParallelSprint { cores },
+        ),
+    };
+    let thermal = thermal_params.time_scaled(time_compress).build();
+    let config = SprintConfig::hpca_parallel().with_mode(exec);
+    SprintSystem::new(machine, thermal, config)
+        .with_trace_capacity(512)
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcm_panel_computes_more_during_sprint_than_no_pcm() {
+        let work = 1_200_000;
+        let no_pcm = run_conceptual(ConceptualMode::SprintNoPcm, work, 1000.0);
+        let with_pcm = run_conceptual(ConceptualMode::SprintWithPcm, work, 1000.0);
+        // Both finish, but the PCM panel sustains the sprint longer.
+        assert!(no_pcm.finished && with_pcm.finished);
+        assert!(
+            with_pcm.completion_s < no_pcm.completion_s,
+            "PCM sprint {:.4}s should beat PCM-free sprint {:.4}s",
+            with_pcm.completion_s,
+            no_pcm.completion_s
+        );
+    }
+
+    #[test]
+    fn sustained_panel_is_slowest() {
+        let work = 600_000;
+        let sustained = run_conceptual(ConceptualMode::Sustained, work, 1000.0);
+        let sprint = run_conceptual(ConceptualMode::SprintWithPcm, work, 1000.0);
+        assert!(sustained.completion_s > sprint.completion_s * 2.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            ConceptualMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! Sprint system configuration.
+
+use serde::{Deserialize, Serialize};
+use sprint_archsim::dvfs::OperatingPoint;
+
+/// How the chip uses its thermal headroom for a burst (Section 8's three
+/// configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Conventional operation: one core at nominal frequency, never
+    /// exceeding TDP.
+    Sustained,
+    /// Parallel sprint: activate `cores` nominally-dark cores at nominal
+    /// voltage/frequency (power ≈ cores × 1 W).
+    ParallelSprint {
+        /// Number of cores to sprint with.
+        cores: usize,
+    },
+    /// Single-core voltage/frequency sprint with the same power envelope:
+    /// f = headroom^(1/3) (Section 8.4's idealized DVFS).
+    DvfsSprint {
+        /// Power headroom relative to TDP (16 in the paper).
+        headroom: f64,
+    },
+}
+
+impl ExecutionMode {
+    /// Cores active while sprinting in this mode.
+    pub fn sprint_cores(&self) -> usize {
+        match self {
+            ExecutionMode::Sustained => 1,
+            ExecutionMode::ParallelSprint { cores } => *cores,
+            ExecutionMode::DvfsSprint { .. } => 1,
+        }
+    }
+
+    /// Operating point used while sprinting.
+    pub fn sprint_operating_point(&self) -> OperatingPoint {
+        match self {
+            ExecutionMode::Sustained => OperatingPoint::nominal(),
+            ExecutionMode::ParallelSprint { .. } => OperatingPoint::nominal(),
+            ExecutionMode::DvfsSprint { headroom } => {
+                OperatingPoint::max_boost_for_power_headroom(*headroom)
+            }
+        }
+    }
+}
+
+/// How the controller spends the thermal budget over the sprint — the
+/// *sprint pacing* extension (the paper's conclusion hints at budget
+/// shifting; pacing was developed in the authors' follow-on work).
+///
+/// With power linear in active cores, a lower intensity drains the budget
+/// more slowly than it gives up throughput: at 16 cores the chip drains
+/// `16 - TDP = 15` budget-watts for 16 units of throughput, while at 8
+/// cores it drains 7 for 8 — so for tasks that exceed the budget, pacing
+/// completes *more total work within the sprint* and shortens the
+/// single-core tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PacingPolicy {
+    /// The paper's default: sprint at full intensity until the budget is
+    /// nearly exhausted, then migrate to one core.
+    AllOut,
+    /// Sprint at a reduced, fixed core count.
+    FixedIntensity {
+        /// Cores to sprint with (≤ the mode's sprint cores).
+        cores: usize,
+    },
+    /// Step intensity down as the budget depletes: each stage gives the
+    /// spent-fraction threshold at which to drop to the given core count.
+    /// Thresholds must be increasing; core counts decreasing.
+    StagedDecay {
+        /// `(spent_fraction, cores)` stages, checked in order.
+        stages: Vec<(f64, usize)>,
+    },
+}
+
+impl PacingPolicy {
+    /// The core count to run right now, given the starting count and the
+    /// budget fraction spent.
+    pub fn cores_at(&self, start_cores: usize, spent_fraction: f64) -> usize {
+        match self {
+            PacingPolicy::AllOut => start_cores,
+            PacingPolicy::FixedIntensity { cores } => (*cores).min(start_cores).max(1),
+            PacingPolicy::StagedDecay { stages } => {
+                let mut current = start_cores;
+                for &(threshold, cores) in stages {
+                    if spent_fraction >= threshold {
+                        current = cores.min(start_cores).max(1);
+                    }
+                }
+                current
+            }
+        }
+    }
+
+    /// Validates stage ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-increasing thresholds or non-decreasing core counts.
+    pub fn validate(&self) {
+        if let PacingPolicy::StagedDecay { stages } = self {
+            for w in stages.windows(2) {
+                assert!(w[1].0 > w[0].0, "pacing thresholds must increase");
+                assert!(w[1].1 < w[0].1, "pacing core counts must decrease");
+            }
+            for &(t, c) in stages {
+                assert!((0.0..1.0).contains(&t), "threshold in [0,1)");
+                assert!(c >= 1, "stage needs at least one core");
+            }
+        }
+        if let PacingPolicy::FixedIntensity { cores } = self {
+            assert!(*cores >= 1, "at least one core");
+        }
+    }
+}
+
+impl Default for PacingPolicy {
+    fn default() -> Self {
+        PacingPolicy::AllOut
+    }
+}
+
+/// What the controller does when the sprint budget runs out with work
+/// remaining (Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortPolicy {
+    /// Software migrates all threads to one core and powers the rest down;
+    /// the hardware throttle covers only the migration window (default).
+    MigrateToSingleCore,
+    /// Hardware-only failsafe: throttle frequency by the active core count
+    /// and keep all cores running (the paper's last-resort mechanism, as
+    /// an ablation).
+    ThrottleOnly,
+}
+
+/// How the controller estimates remaining sprint capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetEstimator {
+    /// Activity-based: integrate dissipated energy since sprint start
+    /// against the thermal model's budget (the paper's proposal).
+    EnergyAccounting,
+    /// Oracle: read the junction temperature directly (ablation baseline).
+    OracleTemperature,
+}
+
+/// Full sprint-system configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SprintConfig {
+    /// Execution mode for this run.
+    pub mode: ExecutionMode,
+    /// Pacing policy while sprinting.
+    pub pacing: PacingPolicy,
+    /// Abort policy when capacity runs out.
+    pub abort_policy: AbortPolicy,
+    /// Budget estimation mechanism.
+    pub estimator: BudgetEstimator,
+    /// Fraction of the budget held back as a safety margin before the
+    /// controller ends the sprint (0.05 = terminate at 95% spent).
+    pub budget_margin: f64,
+    /// Core-activation ramp (Section 5: 128 µs keeps the supply within
+    /// tolerance), seconds.
+    pub activation_ramp_s: f64,
+    /// Energy-sampling window (the paper samples every 1000 cycles ≈ 1 µs
+    /// at 1 GHz), picoseconds.
+    pub sample_window_ps: u64,
+    /// Sustainable chip power (TDP) used by the energy-accounting
+    /// estimator as the steady drain term, watts.
+    pub tdp_w: f64,
+    /// Hard time limit for a run, seconds (guards runaway simulations).
+    pub max_time_s: f64,
+}
+
+impl SprintConfig {
+    /// The paper's flagship configuration: sprint with 16 cores, migrate
+    /// on exhaustion, energy-based budget estimation, 128 µs ramp.
+    pub fn hpca_parallel() -> Self {
+        Self {
+            mode: ExecutionMode::ParallelSprint { cores: 16 },
+            pacing: PacingPolicy::AllOut,
+            abort_policy: AbortPolicy::MigrateToSingleCore,
+            estimator: BudgetEstimator::EnergyAccounting,
+            budget_margin: 0.05,
+            activation_ramp_s: 128e-6,
+            sample_window_ps: 1_000_000,
+            tdp_w: 1.0,
+            max_time_s: 10.0,
+        }
+    }
+
+    /// Sustained single-core baseline.
+    pub fn hpca_sustained() -> Self {
+        Self {
+            mode: ExecutionMode::Sustained,
+            ..Self::hpca_parallel()
+        }
+    }
+
+    /// Idealized DVFS sprint with 16x power headroom.
+    pub fn hpca_dvfs() -> Self {
+        Self {
+            mode: ExecutionMode::DvfsSprint { headroom: 16.0 },
+            ..Self::hpca_parallel()
+        }
+    }
+
+    /// Sets the execution mode (builder style).
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive windows/limits or a margin outside `[0, 1)`.
+    pub fn validate(&self) {
+        assert!(self.sample_window_ps > 0, "sample window must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.budget_margin),
+            "budget margin must be in [0, 1)"
+        );
+        assert!(self.activation_ramp_s >= 0.0, "ramp must be non-negative");
+        assert!(self.tdp_w > 0.0, "TDP must be positive");
+        assert!(self.max_time_s > 0.0, "time limit must be positive");
+        if let ExecutionMode::ParallelSprint { cores } = self.mode {
+            assert!(cores >= 1, "sprint needs at least one core");
+        }
+        if let ExecutionMode::DvfsSprint { headroom } = self.mode {
+            assert!(headroom >= 1.0, "headroom must be at least 1x");
+        }
+        self.pacing.validate();
+    }
+}
+
+impl Default for SprintConfig {
+    fn default() -> Self {
+        Self::hpca_parallel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagship_config_validates() {
+        SprintConfig::hpca_parallel().validate();
+        SprintConfig::hpca_sustained().validate();
+        SprintConfig::hpca_dvfs().validate();
+    }
+
+    #[test]
+    fn dvfs_mode_boosts_cube_root() {
+        let p = SprintConfig::hpca_dvfs().mode.sprint_operating_point();
+        assert!((p.frequency_multiplier - 2.52).abs() < 0.01);
+        assert_eq!(SprintConfig::hpca_dvfs().mode.sprint_cores(), 1);
+    }
+
+    #[test]
+    fn parallel_mode_uses_nominal_point() {
+        let mode = ExecutionMode::ParallelSprint { cores: 16 };
+        assert_eq!(mode.sprint_cores(), 16);
+        assert_eq!(mode.sprint_operating_point().frequency_multiplier, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn bad_margin_rejected() {
+        let mut c = SprintConfig::hpca_parallel();
+        c.budget_margin = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    fn pacing_all_out_keeps_full_intensity() {
+        let p = PacingPolicy::AllOut;
+        assert_eq!(p.cores_at(16, 0.0), 16);
+        assert_eq!(p.cores_at(16, 0.99), 16);
+    }
+
+    #[test]
+    fn pacing_fixed_caps_cores() {
+        let p = PacingPolicy::FixedIntensity { cores: 8 };
+        assert_eq!(p.cores_at(16, 0.5), 8);
+        assert_eq!(p.cores_at(4, 0.5), 4, "cannot exceed the mode's cores");
+    }
+
+    #[test]
+    fn pacing_stages_step_down() {
+        let p = PacingPolicy::StagedDecay {
+            stages: vec![(0.4, 8), (0.75, 4)],
+        };
+        p.validate();
+        assert_eq!(p.cores_at(16, 0.0), 16);
+        assert_eq!(p.cores_at(16, 0.39), 16);
+        assert_eq!(p.cores_at(16, 0.4), 8);
+        assert_eq!(p.cores_at(16, 0.8), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must increase")]
+    fn pacing_bad_stage_order_rejected() {
+        PacingPolicy::StagedDecay {
+            stages: vec![(0.7, 8), (0.4, 4)],
+        }
+        .validate();
+    }
+}

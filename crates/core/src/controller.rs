@@ -1,0 +1,299 @@
+//! The sprint controller: activation, termination and the failsafe.
+//!
+//! Implements Section 7's mechanism split: *software* starts the sprint
+//! when parallelism is available and migrates threads to a single core
+//! when capacity nears exhaustion; *hardware* tracks the energy budget
+//! and, as a last resort, throttles the clock so the chip stays under the
+//! sustainable TDP even if migration is late.
+
+use serde::{Deserialize, Serialize};
+use sprint_archsim::dvfs::OperatingPoint;
+use sprint_archsim::machine::Machine;
+use sprint_thermal::phone::PhoneThermal;
+
+use crate::budget::ThermalBudget;
+use crate::config::{AbortPolicy, BudgetEstimator, ExecutionMode, SprintConfig};
+
+/// Controller state (Figure 2's execution phases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SprintState {
+    /// Cores are activating along the gradual ramp.
+    Ramping,
+    /// Sprinting above TDP.
+    Sprinting,
+    /// Sprint over; all work multiplexed on one core at nominal frequency.
+    Sustained,
+    /// Hardware failsafe engaged: frequency throttled to fit TDP.
+    Throttled,
+}
+
+/// Events the controller reports upward for tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControllerEvent {
+    /// Sprint began (cores active).
+    SprintStarted {
+        /// Active core count.
+        cores: usize,
+    },
+    /// Budget estimator ended the sprint; threads migrated.
+    SprintEnded {
+        /// Time of the decision, seconds.
+        at_s: f64,
+        /// Budget fraction spent at the decision.
+        spent_fraction: f64,
+    },
+    /// Hardware failsafe throttled the clock.
+    FailsafeThrottled {
+        /// Time, seconds.
+        at_s: f64,
+    },
+}
+
+/// The sprint controller. Drives a [`Machine`] according to thermal state.
+#[derive(Debug)]
+pub struct SprintController {
+    config: SprintConfig,
+    state: SprintState,
+    budget: ThermalBudget,
+    ramp_remaining_s: f64,
+    events: Vec<ControllerEvent>,
+    sprint_end_s: Option<f64>,
+}
+
+impl SprintController {
+    /// Creates a controller and applies the initial operating mode to the
+    /// machine (sustained runs start on one core; sprints start ramping).
+    pub fn new(config: SprintConfig, thermal: &PhoneThermal, machine: &mut Machine) -> Self {
+        config.validate();
+        let capacity = thermal.sprint_energy_budget_j().max(1e-9);
+        let budget = ThermalBudget::new(capacity, config.tdp_w);
+        let mut ctl = Self {
+            state: SprintState::Ramping,
+            budget,
+            ramp_remaining_s: config.activation_ramp_s,
+            events: Vec::new(),
+            sprint_end_s: None,
+            config,
+        };
+        match ctl.config.mode {
+            ExecutionMode::Sustained => {
+                machine.set_active_cores(1);
+                machine.set_operating_point(1.0, 1.0);
+                ctl.state = SprintState::Sustained;
+            }
+            ExecutionMode::ParallelSprint { cores } => {
+                // During the ramp the machine runs on one core; remaining
+                // cores come up when the ramp completes (the 128 µs ramp
+                // is negligible against the sprint, Section 5.3).
+                machine.set_active_cores(1);
+                machine.set_operating_point(1.0, 1.0);
+                ctl.events.push(ControllerEvent::SprintStarted { cores });
+            }
+            ExecutionMode::DvfsSprint { .. } => {
+                machine.set_active_cores(1);
+                let p = ctl.config.mode.sprint_operating_point();
+                machine.set_operating_point(p.frequency_multiplier, p.energy_multiplier);
+                ctl.events.push(ControllerEvent::SprintStarted { cores: 1 });
+            }
+        }
+        ctl
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SprintState {
+        self.state
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[ControllerEvent] {
+        &self.events
+    }
+
+    /// When the sprint ended (seconds), if it has.
+    pub fn sprint_end_s(&self) -> Option<f64> {
+        self.sprint_end_s
+    }
+
+    /// Remaining budget fraction.
+    pub fn budget_remaining_fraction(&self) -> f64 {
+        1.0 - self.budget.spent_fraction()
+    }
+
+    /// Advances the controller by one sampling window: accounts energy,
+    /// checks the budget and thermal failsafe, and reconfigures the
+    /// machine on transitions.
+    pub fn step(
+        &mut self,
+        thermal: &PhoneThermal,
+        window_energy_j: f64,
+        window_s: f64,
+        now_s: f64,
+        machine: &mut Machine,
+    ) {
+        match self.state {
+            SprintState::Ramping => {
+                self.budget.record(window_energy_j, window_s);
+                self.ramp_remaining_s -= window_s;
+                if self.ramp_remaining_s <= 0.0 {
+                    let start = self.config.mode.sprint_cores();
+                    machine.set_active_cores(
+                        self.config.pacing.cores_at(start, self.budget.spent_fraction()),
+                    );
+                    self.state = SprintState::Sprinting;
+                }
+            }
+            SprintState::Sprinting => {
+                self.budget.record(window_energy_j, window_s);
+                // Pacing: step intensity down as the budget depletes.
+                let paced = self
+                    .config
+                    .pacing
+                    .cores_at(self.config.mode.sprint_cores(), self.budget.spent_fraction());
+                if paced != machine.active_cores() && machine.live_threads() > 0 {
+                    machine.set_active_cores(paced);
+                }
+                let exhausted = match self.config.estimator {
+                    BudgetEstimator::EnergyAccounting => {
+                        self.budget.nearly_exhausted(self.config.budget_margin)
+                    }
+                    BudgetEstimator::OracleTemperature => {
+                        let guard =
+                            self.config.budget_margin * (thermal.params().t_max_c - 25.0);
+                        thermal.headroom_k() <= guard
+                    }
+                };
+                if thermal.at_thermal_limit() {
+                    // Failsafe: the estimator missed (or margin too thin);
+                    // hardware throttles below TDP immediately.
+                    self.engage_failsafe(now_s, machine);
+                } else if exhausted && machine.live_threads() > 0 {
+                    self.end_sprint(now_s, machine);
+                } else if machine.all_done() {
+                    self.sprint_end_s.get_or_insert(now_s);
+                }
+            }
+            SprintState::Throttled => {
+                // Stay throttled until the junction recovers some headroom,
+                // then complete the migration (or remain throttled under
+                // the ThrottleOnly ablation policy).
+                if thermal.headroom_k() > 1.0
+                    && self.config.abort_policy == AbortPolicy::MigrateToSingleCore
+                {
+                    self.end_sprint(now_s, machine);
+                }
+            }
+            SprintState::Sustained => {}
+        }
+    }
+
+    fn engage_failsafe(&mut self, now_s: f64, machine: &mut Machine) {
+        self.events.push(ControllerEvent::FailsafeThrottled { at_s: now_s });
+        // Throttle frequency by the active core count so aggregate power
+        // fits the sustainable budget (Section 7: "the hardware must
+        // throttle the frequency by at least a factor equal to the number
+        // of active cores").
+        let cores = machine.active_cores().max(1);
+        let p = OperatingPoint::throttle(1.0 / cores as f64);
+        machine.set_operating_point(p.frequency_multiplier, p.energy_multiplier);
+        self.state = SprintState::Throttled;
+    }
+
+    fn end_sprint(&mut self, now_s: f64, machine: &mut Machine) {
+        self.events.push(ControllerEvent::SprintEnded {
+            at_s: now_s,
+            spent_fraction: self.budget.spent_fraction(),
+        });
+        machine.set_active_cores(1);
+        machine.set_operating_point(1.0, 1.0);
+        self.sprint_end_s = Some(now_s);
+        self.state = SprintState::Sustained;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_archsim::config::MachineConfig;
+    use sprint_archsim::program::SyntheticKernel;
+    use sprint_thermal::phone::PhoneThermalParams;
+
+    fn machine16() -> Machine {
+        let mut m = Machine::new(MachineConfig::hpca());
+        for t in 0..16u64 {
+            m.spawn(Box::new(SyntheticKernel::new(16, 100_000, (t + 1) << 26, 0)));
+        }
+        m
+    }
+
+    #[test]
+    fn sustained_mode_runs_one_core() {
+        let thermal = PhoneThermalParams::hpca().build();
+        let mut m = machine16();
+        let ctl = SprintController::new(SprintConfig::hpca_sustained(), &thermal, &mut m);
+        assert_eq!(ctl.state(), SprintState::Sustained);
+        assert_eq!(m.active_cores(), 1);
+    }
+
+    #[test]
+    fn ramp_completes_then_sprints() {
+        let thermal = PhoneThermalParams::hpca().build();
+        let mut m = machine16();
+        let mut ctl = SprintController::new(SprintConfig::hpca_parallel(), &thermal, &mut m);
+        assert_eq!(ctl.state(), SprintState::Ramping);
+        // 128 windows of 1 µs covers the 128 µs ramp.
+        for i in 0..129 {
+            ctl.step(&thermal, 1e-6, 1e-6, i as f64 * 1e-6, &mut m);
+        }
+        assert_eq!(ctl.state(), SprintState::Sprinting);
+        assert_eq!(m.active_cores(), 16);
+    }
+
+    #[test]
+    fn budget_exhaustion_migrates_to_one_core() {
+        let thermal = PhoneThermalParams::limited().build();
+        let mut m = machine16();
+        let mut ctl = SprintController::new(SprintConfig::hpca_parallel(), &thermal, &mut m);
+        // Skip the ramp.
+        for i in 0..129 {
+            ctl.step(&thermal, 0.0, 1e-6, i as f64 * 1e-6, &mut m);
+        }
+        // Pour 16 W windows in until the (small) limited budget trips.
+        let mut t = 130e-6;
+        for _ in 0..200_000 {
+            ctl.step(&thermal, 16.0 * 1e-6, 1e-6, t, &mut m);
+            t += 1e-6;
+            if ctl.state() == SprintState::Sustained {
+                break;
+            }
+        }
+        assert_eq!(ctl.state(), SprintState::Sustained);
+        assert_eq!(m.active_cores(), 1);
+        assert!(ctl.sprint_end_s().is_some());
+        assert!(ctl
+            .events()
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::SprintEnded { .. })));
+    }
+
+    #[test]
+    fn thermal_limit_engages_failsafe_throttle() {
+        let mut thermal = PhoneThermalParams::hpca().build();
+        let mut m = machine16();
+        let mut cfg = SprintConfig::hpca_parallel();
+        cfg.abort_policy = AbortPolicy::ThrottleOnly;
+        // An oracle-blind estimator with a huge budget never trips, so the
+        // failsafe must catch the hot junction.
+        let mut ctl = SprintController::new(cfg, &thermal, &mut m);
+        for i in 0..129 {
+            ctl.step(&thermal, 0.0, 1e-6, i as f64 * 1e-6, &mut m);
+        }
+        // Force the junction to the limit.
+        thermal.set_chip_power_w(40.0);
+        while !thermal.at_thermal_limit() {
+            thermal.advance(0.01);
+        }
+        ctl.step(&thermal, 16e-6, 1e-6, 1.0, &mut m);
+        assert_eq!(ctl.state(), SprintState::Throttled);
+        assert!(m.frequency_multiplier() < 0.1, "throttled by ~16x");
+    }
+}

@@ -1,0 +1,54 @@
+//! Computational sprinting: the paper's primary contribution.
+//!
+//! This crate implements the sprint *mechanism* of Raghavan et al.'s
+//! *Computational Sprinting* (HPCA 2012): briefly exceeding a mobile
+//! chip's sustainable thermal budget by an order of magnitude — activating
+//! up to 16 otherwise-dark cores — to compress a burst of computation,
+//! then migrating back to a single core to cool down.
+//!
+//! The pieces map directly onto the paper's Section 7 design:
+//!
+//! * [`budget::ThermalBudget`] — the activity-based estimator that
+//!   integrates dissipated energy against the package's joule capacity.
+//! * [`controller::SprintController`] — activation ramp, sprint
+//!   termination (thread migration to one core) and the hardware
+//!   frequency-throttle failsafe.
+//! * [`system::SprintSystem`] — the coupled architecture ⇄ thermal
+//!   co-simulation (energy sampled every 1000 cycles drives the RC
+//!   network, exactly as in Section 8.1).
+//! * [`config::SprintConfig`] — the paper's three configurations:
+//!   sustained, 16-core parallel sprint, and idealized DVFS sprint.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sprint_archsim::{Machine, MachineConfig, SyntheticKernel};
+//! use sprint_core::config::SprintConfig;
+//! use sprint_core::system::SprintSystem;
+//! use sprint_thermal::phone::PhoneThermalParams;
+//!
+//! // 16 threads of bursty work on a 16-core chip.
+//! let mut machine = Machine::new(MachineConfig::hpca());
+//! for t in 0..16u64 {
+//!     machine.spawn(Box::new(SyntheticKernel::new(32, 5_000, (t + 1) << 26, 0)));
+//! }
+//! // Thermal model compressed 1000x so this doc-test runs instantly.
+//! let thermal = PhoneThermalParams::hpca().time_scaled(1000.0).build();
+//! let report = SprintSystem::new(machine, thermal, SprintConfig::hpca_parallel()).run();
+//! assert!(report.finished);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod conceptual;
+pub mod config;
+pub mod controller;
+pub mod metrics;
+pub mod system;
+
+pub use budget::ThermalBudget;
+pub use config::{AbortPolicy, BudgetEstimator, ExecutionMode, PacingPolicy, SprintConfig};
+pub use controller::{ControllerEvent, SprintController, SprintState};
+pub use metrics::{arithmetic_mean, geometric_mean, Comparison};
+pub use system::{RunReport, RunSample, SprintSystem};

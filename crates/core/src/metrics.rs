@@ -1,0 +1,80 @@
+//! Responsiveness and energy metrics (the quantities plotted in
+//! Figures 7-11).
+
+use serde::{Deserialize, Serialize};
+
+/// Speedup/energy comparison of one configuration against the single-core
+/// non-sprinting baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Label of the configuration (e.g. "parallel-150mg").
+    pub label: String,
+    /// Baseline completion time, seconds.
+    pub baseline_s: f64,
+    /// This configuration's completion time, seconds.
+    pub time_s: f64,
+    /// Baseline dynamic energy, joules.
+    pub baseline_energy_j: f64,
+    /// This configuration's dynamic energy, joules.
+    pub energy_j: f64,
+}
+
+impl Comparison {
+    /// Responsiveness improvement (the paper's "normalized speedup").
+    pub fn speedup(&self) -> f64 {
+        self.baseline_s / self.time_s
+    }
+
+    /// Dynamic energy normalized to the baseline (Figure 11's y-axis).
+    pub fn normalized_energy(&self) -> f64 {
+        self.energy_j / self.baseline_energy_j
+    }
+}
+
+/// Geometric mean of speedups — the paper quotes the arithmetic average
+/// ("average parallel speedup of 10.2x"); both are provided.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp(time_s: f64, energy: f64) -> Comparison {
+        Comparison {
+            label: "x".into(),
+            baseline_s: 10.0,
+            time_s,
+            baseline_energy_j: 2.0,
+            energy_j: energy,
+        }
+    }
+
+    #[test]
+    fn speedup_and_energy_ratios() {
+        let c = cmp(1.0, 2.2);
+        assert!((c.speedup() - 10.0).abs() < 1e-12);
+        assert!((c.normalized_energy() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((arithmetic_mean(&[1.0, 4.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_mean_rejected() {
+        let _ = geometric_mean(&[]);
+    }
+}

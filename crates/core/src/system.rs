@@ -1,0 +1,330 @@
+//! The coupled sprint system: architecture ⇄ thermal co-simulation.
+//!
+//! Mirrors the paper's methodology (Section 8.1): the machine runs in
+//! energy-sampling windows (1000 cycles); each window's dissipated energy
+//! drives the thermal RC network; the sprint controller watches the
+//! budget/temperature and reconfigures the machine (core count, operating
+//! point) as the sprint progresses.
+
+use serde::{Deserialize, Serialize};
+use sprint_archsim::machine::Machine;
+use sprint_thermal::phone::PhoneThermal;
+
+use crate::config::SprintConfig;
+use crate::controller::{ControllerEvent, SprintController, SprintState};
+
+/// One sampled point of a coupled run (for Figure 2-style traces).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSample {
+    /// Time, seconds.
+    pub time_s: f64,
+    /// Active cores.
+    pub active_cores: usize,
+    /// Cumulative instructions retired.
+    pub instructions: u64,
+    /// Chip power over the last window, watts.
+    pub power_w: f64,
+    /// Junction temperature, Celsius.
+    pub junction_c: f64,
+    /// PCM melt fraction.
+    pub melt_fraction: f64,
+}
+
+/// Result of a coupled run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Wall-clock completion time of the computation, seconds.
+    pub completion_s: f64,
+    /// Total dynamic energy, joules.
+    pub energy_j: f64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Time the sprint ended (migration or completion), if it was a sprint.
+    pub sprint_end_s: Option<f64>,
+    /// Maximum junction temperature observed, Celsius.
+    pub max_junction_c: f64,
+    /// Controller events.
+    pub events: Vec<ControllerEvent>,
+    /// Whether the run finished within the configured time limit.
+    pub finished: bool,
+    /// Sampled trace (decimated).
+    pub trace: Vec<RunSample>,
+}
+
+impl RunReport {
+    /// Responsiveness gain over a baseline completion time.
+    pub fn speedup_over(&self, baseline_s: f64) -> f64 {
+        baseline_s / self.completion_s
+    }
+}
+
+/// The coupled system.
+#[derive(Debug)]
+pub struct SprintSystem {
+    machine: Machine,
+    thermal: PhoneThermal,
+    config: SprintConfig,
+    /// Keep roughly this many trace samples (decimating as needed).
+    trace_capacity: usize,
+}
+
+impl SprintSystem {
+    /// Couples a loaded machine (threads already spawned) with a thermal
+    /// model under a sprint configuration.
+    pub fn new(machine: Machine, thermal: PhoneThermal, config: SprintConfig) -> Self {
+        config.validate();
+        Self {
+            machine,
+            thermal,
+            config,
+            trace_capacity: 2048,
+        }
+    }
+
+    /// Limits the retained trace length (0 disables tracing).
+    pub fn with_trace_capacity(mut self, samples: usize) -> Self {
+        self.trace_capacity = samples;
+        self
+    }
+
+    /// Read access to the machine (e.g. for stats after a run).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Read access to the thermal model.
+    pub fn thermal(&self) -> &PhoneThermal {
+        &self.thermal
+    }
+
+    /// Runs the computation to completion (or the configured time limit),
+    /// returning the coupled report.
+    pub fn run(mut self) -> RunReport {
+        let mut controller =
+            SprintController::new(self.config.clone(), &self.thermal, &mut self.machine);
+        let window_ps = self.config.sample_window_ps;
+        let window_s = window_ps as f64 * 1e-12;
+        let max_windows = (self.config.max_time_s / window_s).ceil() as u64;
+        let mut max_junction: f64 = self.thermal.junction_temp_c();
+        let mut trace: Vec<RunSample> = Vec::new();
+        // Sample decimation: grow stride when the trace would overflow.
+        let mut stride = 1u64;
+        let mut finished = false;
+        let mut windows = 0u64;
+        while windows < max_windows {
+            let report = self.machine.run_window(window_ps);
+            windows += 1;
+            let now_s = self.machine.time_s();
+            let power_w = report.energy_j / window_s;
+            self.thermal.set_chip_power_w(power_w);
+            self.thermal.advance(window_s);
+            max_junction = max_junction.max(self.thermal.junction_temp_c());
+            controller.step(
+                &self.thermal,
+                report.energy_j,
+                window_s,
+                now_s,
+                &mut self.machine,
+            );
+            if self.trace_capacity > 0 && windows % stride == 0 {
+                trace.push(RunSample {
+                    time_s: now_s,
+                    active_cores: self.machine.active_cores(),
+                    instructions: self.machine.stats().instructions,
+                    power_w,
+                    junction_c: self.thermal.junction_temp_c(),
+                    melt_fraction: self.thermal.melt_fraction(),
+                });
+                if trace.len() >= self.trace_capacity {
+                    // Halve resolution: keep every other sample.
+                    let kept: Vec<RunSample> =
+                        trace.iter().copied().step_by(2).collect();
+                    trace = kept;
+                    stride *= 2;
+                }
+            }
+            if report.all_done {
+                finished = true;
+                break;
+            }
+        }
+        let sprint_end = controller.sprint_end_s().or({
+            if controller.state() == SprintState::Sprinting && finished {
+                Some(self.machine.time_s())
+            } else {
+                None
+            }
+        });
+        RunReport {
+            completion_s: self.machine.time_s(),
+            energy_j: self.machine.stats().dynamic_energy_j,
+            instructions: self.machine.stats().instructions,
+            sprint_end_s: sprint_end,
+            max_junction_c: max_junction,
+            events: controller.events().to_vec(),
+            finished,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecutionMode;
+    use sprint_archsim::config::MachineConfig;
+    use sprint_archsim::program::SyntheticKernel;
+    use sprint_thermal::phone::PhoneThermalParams;
+
+    /// A compute-heavy load: `threads` kernels with `accesses` L1-resident
+    /// accesses each.
+    fn loaded_machine(cores: usize, threads: usize, accesses: u64) -> Machine {
+        let mut m = Machine::new(MachineConfig::hpca().with_cores(cores));
+        for t in 0..threads as u64 {
+            m.spawn(Box::new(SyntheticKernel::new(32, accesses, (t + 1) << 26, 0)));
+        }
+        m
+    }
+
+    /// Thermal model compressed 1000x so tests run in milliseconds of
+    /// simulated time.
+    fn fast_thermal() -> PhoneThermal {
+        PhoneThermalParams::hpca().time_scaled(1000.0).build()
+    }
+
+    fn fast_limited_thermal() -> PhoneThermal {
+        PhoneThermalParams::limited().time_scaled(1000.0).build()
+    }
+
+    #[test]
+    fn parallel_sprint_beats_sustained() {
+        let work = 20_000;
+        let sustained = SprintSystem::new(
+            loaded_machine(16, 16, work),
+            fast_thermal(),
+            SprintConfig::hpca_sustained(),
+        )
+        .run();
+        let sprint = SprintSystem::new(
+            loaded_machine(16, 16, work),
+            fast_thermal(),
+            SprintConfig::hpca_parallel(),
+        )
+        .run();
+        assert!(sustained.finished && sprint.finished);
+        let speedup = sprint.speedup_over(sustained.completion_s);
+        assert!(
+            speedup > 8.0,
+            "16-core sprint of independent work should approach 16x: {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn limited_budget_forces_migration_midway() {
+        // Large work against the 100x-smaller PCM: the sprint must end
+        // early and finish on one core.
+        let report = SprintSystem::new(
+            loaded_machine(16, 16, 120_000),
+            fast_limited_thermal(),
+            SprintConfig::hpca_parallel(),
+        )
+        .run();
+        assert!(report.finished, "run must complete post-sprint");
+        let end = report.sprint_end_s.expect("sprint should have ended");
+        assert!(
+            end < report.completion_s * 0.8,
+            "sprint end {end} should precede completion {}",
+            report.completion_s
+        );
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::SprintEnded { .. })));
+    }
+
+    #[test]
+    fn junction_never_exceeds_tmax_materially() {
+        let report = SprintSystem::new(
+            loaded_machine(16, 16, 80_000),
+            fast_limited_thermal(),
+            SprintConfig::hpca_parallel(),
+        )
+        .run();
+        assert!(
+            report.max_junction_c < 70.0 + 2.0,
+            "thermal limit respected: {:.1} C",
+            report.max_junction_c
+        );
+    }
+
+    #[test]
+    fn dvfs_sprint_is_slower_than_parallel_but_faster_than_sustained() {
+        // Sized so even the boosted single-core run fits inside the
+        // (compressed) sprint budget — the "sufficient thermal
+        // capacitance" regime of Figure 7's full-PCM bars.
+        let work = 4_000;
+        let base = SprintSystem::new(
+            loaded_machine(16, 16, work),
+            fast_thermal(),
+            SprintConfig::hpca_sustained(),
+        )
+        .run();
+        let dvfs = SprintSystem::new(
+            loaded_machine(16, 16, work),
+            fast_thermal(),
+            SprintConfig::hpca_dvfs(),
+        )
+        .run();
+        let parallel = SprintSystem::new(
+            loaded_machine(16, 16, work),
+            fast_thermal(),
+            SprintConfig::hpca_parallel(),
+        )
+        .run();
+        let s_dvfs = dvfs.speedup_over(base.completion_s);
+        let s_par = parallel.speedup_over(base.completion_s);
+        assert!(
+            s_dvfs > 1.5 && s_dvfs < 3.2,
+            "DVFS sprint ≈ 2.5x on compute-bound work: {s_dvfs:.2}"
+        );
+        assert!(s_par > s_dvfs, "parallel {s_par:.2} must beat DVFS {s_dvfs:.2}");
+    }
+
+    #[test]
+    fn dvfs_costs_much_more_energy() {
+        let work = 4_000;
+        let base = SprintSystem::new(
+            loaded_machine(16, 16, work),
+            fast_thermal(),
+            SprintConfig::hpca_sustained(),
+        )
+        .run();
+        let dvfs = SprintSystem::new(
+            loaded_machine(16, 16, work),
+            fast_thermal(),
+            SprintConfig::hpca_dvfs(),
+        )
+        .run();
+        let ratio = dvfs.energy_j / base.energy_j;
+        assert!(
+            ratio > 3.0,
+            "quadratic voltage cost should show up: {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn trace_is_bounded_and_ordered() {
+        let report = SprintSystem::new(
+            loaded_machine(4, 4, 30_000),
+            fast_thermal(),
+            SprintConfig::hpca_parallel().with_mode(ExecutionMode::ParallelSprint { cores: 4 }),
+        )
+        .with_trace_capacity(128)
+        .run();
+        assert!(report.trace.len() <= 128);
+        for w in report.trace.windows(2) {
+            assert!(w[1].time_s > w[0].time_s);
+            assert!(w[1].instructions >= w[0].instructions);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Calibration helper: prints the Figure 6 headline numbers.
+
+use sprint_powergrid::activation::{ActivationExperiment, ActivationSchedule};
+
+fn main() {
+    for (name, schedule, horizon) in [
+        ("abrupt", ActivationSchedule::Simultaneous, 40e-6),
+        (
+            "ramp 1.28us",
+            ActivationSchedule::LinearRamp { total_s: 1.28e-6 },
+            40e-6,
+        ),
+        (
+            "ramp 128us",
+            ActivationSchedule::LinearRamp { total_s: 128e-6 },
+            300e-6,
+        ),
+    ] {
+        let mut exp = ActivationExperiment::hpca(schedule);
+        exp.horizon_s = horizon;
+        let r = exp.run().unwrap();
+        println!(
+            "{name:12} min={:.4} V ({:.2}% nominal) settle_v={:.4} V droop={:.1} mV settle_t={:.2} us violated={}",
+            r.report.min_v,
+            100.0 * r.report.min_fraction_of_nominal(),
+            r.report.settle_v,
+            r.report.droop_v() * 1e3,
+            r.report.settle_time_s * 1e6,
+            r.report.violated
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Supply-integrity analysis: tolerance bands, bounce, and settling time.
+
+use serde::{Deserialize, Serialize};
+
+/// A supply tolerance specification (nominal voltage and allowed fractional
+/// deviation; the paper uses 1-2%, checking against 2%).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToleranceSpec {
+    /// Nominal supply voltage, volts.
+    pub nominal_v: f64,
+    /// Allowed fractional deviation (0.02 = 2%).
+    pub fraction: f64,
+}
+
+impl ToleranceSpec {
+    /// A 2%-of-nominal specification.
+    pub fn two_percent_of(nominal_v: f64) -> Self {
+        Self {
+            nominal_v,
+            fraction: 0.02,
+        }
+    }
+
+    /// Lower bound of the acceptable band, volts.
+    pub fn floor_v(&self) -> f64 {
+        self.nominal_v * (1.0 - self.fraction)
+    }
+
+    /// Upper bound of the acceptable band, volts.
+    pub fn ceiling_v(&self) -> f64 {
+        self.nominal_v * (1.0 + self.fraction)
+    }
+
+    /// Analyzes a `(time, voltage)` waveform against this tolerance.
+    ///
+    /// The settling voltage is taken as the final sample; the settling time
+    /// is the last instant the waveform sat outside a `fraction`-wide band
+    /// around that settling voltage (the paper's "time for the supply to
+    /// come within 2% of its settling voltage").
+    pub fn analyze(&self, waveform: impl IntoIterator<Item = (f64, f64)>) -> SupplyIntegrityReport {
+        let points: Vec<(f64, f64)> = waveform.into_iter().collect();
+        assert!(!points.is_empty(), "waveform must contain samples");
+        let settle_v = points.last().unwrap().1;
+        let mut min_v = f64::INFINITY;
+        let mut max_v = f64::NEG_INFINITY;
+        let mut t_min = 0.0;
+        let mut violation_time_s = 0.0;
+        let mut violated = false;
+        let band = self.fraction * self.nominal_v;
+        let mut settle_time_s = 0.0;
+        let mut prev_t = points.first().unwrap().0;
+        for &(t, v) in &points {
+            if v < min_v {
+                min_v = v;
+                t_min = t;
+            }
+            if v > max_v {
+                max_v = v;
+            }
+            let dt = t - prev_t;
+            prev_t = t;
+            if v < self.floor_v() || v > self.ceiling_v() {
+                violated = true;
+                violation_time_s += dt;
+            }
+            if (v - settle_v).abs() > band {
+                settle_time_s = t;
+            }
+        }
+        SupplyIntegrityReport {
+            spec: *self,
+            min_v,
+            max_v,
+            t_min_s: t_min,
+            settle_v,
+            settle_time_s,
+            violated,
+            violation_time_s,
+        }
+    }
+}
+
+/// Summary of a supply waveform against a [`ToleranceSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupplyIntegrityReport {
+    /// The specification analyzed against.
+    pub spec: ToleranceSpec,
+    /// Lowest voltage observed (the paper's "bounce"), volts.
+    pub min_v: f64,
+    /// Highest voltage observed, volts.
+    pub max_v: f64,
+    /// Time of the minimum, seconds.
+    pub t_min_s: f64,
+    /// Settling voltage (final sample), volts.
+    pub settle_v: f64,
+    /// Last time the waveform was outside the band around the settling
+    /// voltage, seconds.
+    pub settle_time_s: f64,
+    /// Whether the absolute tolerance band was ever violated.
+    pub violated: bool,
+    /// Total time spent outside the absolute tolerance band, seconds.
+    pub violation_time_s: f64,
+}
+
+impl SupplyIntegrityReport {
+    /// Bounce depth below nominal, volts.
+    pub fn bounce_v(&self) -> f64 {
+        self.spec.nominal_v - self.min_v
+    }
+
+    /// Minimum voltage as a fraction of nominal (0.975 = 97.5%).
+    pub fn min_fraction_of_nominal(&self) -> f64 {
+        self.min_v / self.spec.nominal_v
+    }
+
+    /// Steady-state droop below nominal, volts.
+    pub fn droop_v(&self) -> f64 {
+        self.spec.nominal_v - self.settle_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ToleranceSpec {
+        ToleranceSpec::two_percent_of(1.2)
+    }
+
+    #[test]
+    fn band_edges() {
+        let s = spec();
+        assert!((s.floor_v() - 1.176).abs() < 1e-12);
+        assert!((s.ceiling_v() - 1.224).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_waveform_passes() {
+        let wave = (0..100).map(|i| (i as f64 * 1e-6, 1.19));
+        let r = spec().analyze(wave);
+        assert!(!r.violated);
+        assert_eq!(r.violation_time_s, 0.0);
+        assert!((r.min_v - 1.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dip_detected_and_measured() {
+        let wave = (0..100).map(|i| {
+            let t = i as f64 * 1e-6;
+            let v = if (10..20).contains(&i) { 1.171 } else { 1.19 };
+            (t, v)
+        });
+        let r = spec().analyze(wave);
+        assert!(r.violated);
+        assert!((r.min_v - 1.171).abs() < 1e-12);
+        assert!((r.min_fraction_of_nominal() - 0.9758).abs() < 1e-3);
+        assert!((r.violation_time_s - 10e-6).abs() < 1.5e-6);
+    }
+
+    #[test]
+    fn settle_time_tracks_last_excursion() {
+        // Ringing that decays: excursions beyond the band end at t = 30 µs.
+        let wave = (0..100).map(|i| {
+            let t = i as f64 * 1e-6;
+            let v = if i <= 30 && i % 2 == 0 { 1.15 } else { 1.19 };
+            (t, v)
+        });
+        let r = spec().analyze(wave);
+        assert!((r.settle_time_s - 30e-6).abs() < 1e-9);
+        assert!((r.settle_v - 1.19).abs() < 1e-12);
+    }
+
+    #[test]
+    fn droop_and_bounce_helpers() {
+        let wave = vec![(0.0, 1.2), (1.0, 1.15), (2.0, 1.19)];
+        let r = spec().analyze(wave);
+        assert!((r.bounce_v() - 0.05).abs() < 1e-12);
+        assert!((r.droop_v() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain samples")]
+    fn empty_waveform_rejected() {
+        let _ = spec().analyze(Vec::<(f64, f64)>::new());
+    }
+}

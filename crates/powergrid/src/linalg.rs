@@ -1,0 +1,238 @@
+//! Minimal dense linear algebra: LU factorization with partial pivoting.
+//!
+//! The MNA matrices produced by the transient simulator are small (tens of
+//! unknowns) and constant between time steps for a fixed step size, so a
+//! single factorization amortizes over the whole transient and each step is
+//! one forward/backward substitution.
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n + col]
+    }
+
+    /// Writes entry `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` to entry `(row, col)` — the MNA "stamp" operation.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] += value;
+    }
+}
+
+/// LU factorization (with partial pivoting) of a [`Matrix`].
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    n: usize,
+    lu: Vec<f64>,
+    pivots: Vec<usize>,
+}
+
+/// Error returned when a matrix is singular to working precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl LuFactor {
+    /// Factors `a` (consumed), returning the reusable factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] if a pivot is smaller than `1e-300`.
+    pub fn factor(a: Matrix) -> Result<Self, SingularMatrix> {
+        let n = a.n;
+        let mut lu = a.data;
+        let mut pivots = vec![0usize; n];
+        for col in 0..n {
+            // Find pivot.
+            let mut pivot = col;
+            let mut best = lu[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = lu[row * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = row;
+                }
+            }
+            if best < 1e-300 {
+                return Err(SingularMatrix);
+            }
+            pivots[col] = pivot;
+            if pivot != col {
+                for k in 0..n {
+                    lu.swap(col * n + k, pivot * n + k);
+                }
+            }
+            let d = lu[col * n + col];
+            for row in (col + 1)..n {
+                let factor = lu[row * n + col] / d;
+                lu[row * n + col] = factor;
+                if factor != 0.0 {
+                    for k in (col + 1)..n {
+                        lu[row * n + k] -= factor * lu[col * n + k];
+                    }
+                }
+            }
+        }
+        Ok(Self { n, lu, pivots })
+    }
+
+    /// Solves `A x = b`, overwriting `b` with the solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        // Apply row swaps.
+        for col in 0..n {
+            let p = self.pivots[col];
+            if p != col {
+                b.swap(col, p);
+            }
+            // Forward elimination for this column.
+            let bc = b[col];
+            if bc != 0.0 {
+                for row in (col + 1)..n {
+                    b[row] -= self.lu[row * n + col] * bc;
+                }
+            }
+        }
+        // Back substitution.
+        for row in (0..n).rev() {
+            let mut acc = b[row];
+            for k in (row + 1)..n {
+                acc -= self.lu[row * n + k] * b[k];
+            }
+            b[row] = acc / self.lu[row * n + row];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(a: Matrix, mut b: Vec<f64>) -> Vec<f64> {
+        let f = LuFactor::factor(a).unwrap();
+        f.solve_in_place(&mut b);
+        b
+    }
+
+    #[test]
+    fn identity_solve() {
+        let mut a = Matrix::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let x = solve(a, vec![3.0, -1.0, 2.5]);
+        assert_eq!(x, vec![3.0, -1.0, 2.5]);
+    }
+
+    #[test]
+    fn known_3x3_system() {
+        // A = [[2,1,0],[1,3,1],[0,1,4]], x = [1,2,3] => b = [4, 10, 14].
+        let mut a = Matrix::zeros(3);
+        let vals = [[2.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 4.0]];
+        for (i, row) in vals.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                a.set(i, j, *v);
+            }
+        }
+        let x = solve(a, vec![4.0, 10.0, 14.0]);
+        for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [[0,1],[1,0]] x = [5, 7] => x = [7, 5].
+        let mut a = Matrix::zeros(2);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        let x = solve(a, vec![5.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::zeros(2);
+        assert_eq!(LuFactor::factor(a).unwrap_err(), SingularMatrix);
+    }
+
+    #[test]
+    fn factorization_is_reusable() {
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 2.0);
+        a.set(1, 1, 4.0);
+        let f = LuFactor::factor(a).unwrap();
+        let mut b1 = vec![2.0, 4.0];
+        let mut b2 = vec![6.0, 8.0];
+        f.solve_in_place(&mut b1);
+        f.solve_in_place(&mut b2);
+        assert_eq!(b1, vec![1.0, 1.0]);
+        assert_eq!(b2, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        // Deterministic pseudo-random matrix; verify A * x ≈ b.
+        let n = 8;
+        let mut a = Matrix::zeros(n);
+        let mut seed = 0x12345678u64;
+        let mut rand = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, rand() + if i == j { 4.0 } else { 0.0 });
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|_| rand()).collect();
+        let a2 = a.clone();
+        let x = solve(a, b.clone());
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += a2.get(i, j) * x[j];
+            }
+            assert!((acc - b[i]).abs() < 1e-9, "row {i}: {acc} vs {}", b[i]);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Circuit netlists: nodes and R/L/C/source elements.
+//!
+//! A [`Circuit`] is a passive description; the transient solver in
+//! [`crate::transient`] compiles it into a modified-nodal-analysis system.
+
+use serde::{Deserialize, Serialize};
+
+/// A circuit node. Node 0 is always ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Node(pub(crate) usize);
+
+impl Node {
+    /// The ground (reference) node.
+    pub const GROUND: Node = Node(0);
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a current source whose value can be changed mid-simulation
+/// (cores are modelled as time-varying current sources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CurrentSourceId(pub(crate) usize);
+
+/// Identifier of an ideal voltage source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VoltageSourceId(pub(crate) usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Resistor {
+    pub a: usize,
+    pub b: usize,
+    pub ohms: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Inductor {
+    pub a: usize,
+    pub b: usize,
+    pub henries: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Capacitor {
+    pub a: usize,
+    pub b: usize,
+    pub farads: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct VoltageSource {
+    pub pos: usize,
+    pub neg: usize,
+    pub volts: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CurrentSource {
+    /// Current flows out of `from` through the source into `to` (i.e. a
+    /// load drawing current from the `from` rail into the `to` rail).
+    pub from: usize,
+    pub to: usize,
+    pub amps: f64,
+}
+
+/// An RLC netlist with ideal voltage sources and settable current sources.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_powergrid::netlist::{Circuit, Node};
+///
+/// let mut ckt = Circuit::new();
+/// let vdd = ckt.node();
+/// ckt.vsource(vdd, Node::GROUND, 1.2);
+/// let out = ckt.node();
+/// ckt.resistor(vdd, out, 100.0);
+/// ckt.capacitor(out, Node::GROUND, 1e-6);
+/// assert_eq!(ckt.node_count(), 3); // ground + 2
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    pub(crate) node_count: usize,
+    pub(crate) resistors: Vec<Resistor>,
+    pub(crate) inductors: Vec<Inductor>,
+    pub(crate) capacitors: Vec<Capacitor>,
+    pub(crate) vsources: Vec<VoltageSource>,
+    pub(crate) isources: Vec<CurrentSource>,
+}
+
+impl Circuit {
+    /// Creates a circuit containing only the ground node.
+    pub fn new() -> Self {
+        Self {
+            node_count: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Allocates a new node.
+    pub fn node(&mut self) -> Node {
+        let n = Node(self.node_count);
+        self.node_count += 1;
+        n
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn check(&self, n: Node) {
+        assert!(n.0 < self.node_count, "node out of range");
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ohms` is finite and strictly positive.
+    pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) {
+        self.check(a);
+        self.check(b);
+        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        assert_ne!(a, b, "resistor endpoints must differ");
+        self.resistors.push(Resistor { a: a.0, b: b.0, ohms });
+    }
+
+    /// Adds an inductor between `a` and `b` (initial current zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `henries` is finite and strictly positive.
+    pub fn inductor(&mut self, a: Node, b: Node, henries: f64) {
+        self.check(a);
+        self.check(b);
+        assert!(henries.is_finite() && henries > 0.0, "inductance must be positive");
+        assert_ne!(a, b, "inductor endpoints must differ");
+        self.inductors.push(Inductor { a: a.0, b: b.0, henries });
+    }
+
+    /// Adds a capacitor between `a` and `b` (initially discharged).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `farads` is finite and strictly positive.
+    pub fn capacitor(&mut self, a: Node, b: Node, farads: f64) {
+        self.check(a);
+        self.check(b);
+        assert!(farads.is_finite() && farads > 0.0, "capacitance must be positive");
+        assert_ne!(a, b, "capacitor endpoints must differ");
+        self.capacitors.push(Capacitor { a: a.0, b: b.0, farads });
+    }
+
+    /// Adds a decoupling capacitor with equivalent series resistance: an
+    /// internal node is created so the ESR is in series with the capacitor.
+    pub fn decap(&mut self, a: Node, b: Node, farads: f64, esr_ohms: f64) {
+        let inner = self.node();
+        self.resistor(a, inner, esr_ohms);
+        self.capacitor(inner, b, farads);
+    }
+
+    /// Adds an ideal DC voltage source (`pos` minus `neg` equals `volts`).
+    pub fn vsource(&mut self, pos: Node, neg: Node, volts: f64) -> VoltageSourceId {
+        self.check(pos);
+        self.check(neg);
+        assert!(volts.is_finite(), "voltage must be finite");
+        self.vsources.push(VoltageSource {
+            pos: pos.0,
+            neg: neg.0,
+            volts,
+        });
+        VoltageSourceId(self.vsources.len() - 1)
+    }
+
+    /// Adds a current source drawing `amps` from node `from` into node `to`
+    /// (a load). The value can be changed during simulation via
+    /// [`crate::transient::TransientSim::set_current`].
+    pub fn isource(&mut self, from: Node, to: Node, amps: f64) -> CurrentSourceId {
+        self.check(from);
+        self.check(to);
+        assert!(amps.is_finite(), "current must be finite");
+        self.isources.push(CurrentSource {
+            from: from.0,
+            to: to.0,
+            amps,
+        });
+        CurrentSourceId(self.isources.len() - 1)
+    }
+
+    /// Number of ideal voltage sources.
+    pub fn vsource_count(&self) -> usize {
+        self.vsources.len()
+    }
+
+    /// Number of current sources.
+    pub fn isource_count(&self) -> usize {
+        self.isources.len()
+    }
+
+    /// Total element count (diagnostics).
+    pub fn element_count(&self) -> usize {
+        self.resistors.len()
+            + self.inductors.len()
+            + self.capacitors.len()
+            + self.vsources.len()
+            + self.isources.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_allocation_is_sequential() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node().index(), 1);
+        assert_eq!(c.node().index(), 2);
+        assert_eq!(c.node_count(), 3);
+    }
+
+    #[test]
+    fn decap_creates_internal_node() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let before = c.node_count();
+        c.decap(a, Node::GROUND, 1e-6, 0.01);
+        assert_eq!(c.node_count(), before + 1);
+        assert_eq!(c.resistors.len(), 1);
+        assert_eq!(c.capacitors.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_resistance_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.resistor(a, Node::GROUND, -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_node_rejected() {
+        let mut c = Circuit::new();
+        c.resistor(Node(7), Node::GROUND, 1.0);
+    }
+
+    #[test]
+    fn element_count_sums_all() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        c.resistor(a, b, 1.0);
+        c.inductor(a, b, 1e-9);
+        c.capacitor(a, b, 1e-9);
+        c.vsource(a, Node::GROUND, 1.0);
+        c.isource(a, b, 0.1);
+        assert_eq!(c.element_count(), 5);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the power-grid transient simulator.
+
+use proptest::prelude::*;
+use sprint_powergrid::activation::ActivationSchedule;
+use sprint_powergrid::grid::PdnParams;
+use sprint_powergrid::netlist::{Circuit, Node};
+use sprint_powergrid::transient::{Integration, TransientSim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A resistive divider settles exactly to the analytic ratio for any
+    /// component values.
+    #[test]
+    fn divider_ratio(r1 in 1.0f64..1e4, r2 in 1.0f64..1e4, v in 0.1f64..10.0) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node();
+        let mid = ckt.node();
+        ckt.vsource(vin, Node::GROUND, v);
+        ckt.resistor(vin, mid, r1);
+        ckt.resistor(mid, Node::GROUND, r2);
+        let sim = TransientSim::new(&ckt, 1e-6, Integration::Trapezoidal).unwrap();
+        let expected = v * r2 / (r1 + r2);
+        prop_assert!((sim.voltage(mid) - expected).abs() < 1e-9 * v.max(1.0));
+    }
+
+    /// RC step response matches the analytic solution at one time constant
+    /// across a wide range of R, C and load values.
+    #[test]
+    fn rc_analytic_one_tau(
+        r in 10.0f64..1e4,
+        c in 1e-9f64..1e-5,
+        i_load in 1e-5f64..1e-2,
+    ) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node();
+        let out = ckt.node();
+        ckt.vsource(vin, Node::GROUND, 1.0);
+        ckt.resistor(vin, out, r);
+        ckt.capacitor(out, Node::GROUND, c);
+        let load = ckt.isource(out, Node::GROUND, 0.0);
+        let tau = r * c;
+        let dt = tau / 200.0;
+        let mut sim = TransientSim::new(&ckt, dt, Integration::Trapezoidal).unwrap();
+        sim.set_current(load, i_load);
+        sim.run(200);
+        let drop = i_load * r;
+        let expected = 1.0 - drop * (1.0 - (-1.0f64).exp());
+        prop_assert!(
+            (sim.voltage(out) - expected).abs() < 1e-3 * drop.max(1e-3),
+            "got {}, want {expected}",
+            sim.voltage(out)
+        );
+    }
+
+    /// Passivity: node voltages in the PDN never exceed the regulator
+    /// voltage (no active elements, so no boost is possible) and the min
+    /// supply never goes below zero for sane loads.
+    #[test]
+    fn pdn_voltages_bounded(cores in 1usize..6, load_frac in 0.0f64..2.0) {
+        let params = PdnParams::hpca().with_cores(cores);
+        let pdn = params.build();
+        let mut sim = TransientSim::new(pdn.circuit(), 5e-9, Integration::Trapezoidal).unwrap();
+        let amps = params.core_current_a * load_frac;
+        for &c in pdn.cores() {
+            sim.set_current(c, amps);
+        }
+        for _ in 0..2000 {
+            sim.step();
+            let v = pdn.min_core_supply_v(&sim);
+            prop_assert!(v <= 1.2 + 1e-6, "supply exceeded source: {v}");
+            prop_assert!(v > 0.0, "supply collapsed: {v}");
+        }
+    }
+
+    /// Slower linear ramps never make the worst-case bounce worse.
+    #[test]
+    fn slower_ramps_are_no_worse(scale in 1.0f64..8.0) {
+        let params = PdnParams::hpca().with_cores(4);
+        let fast = run_ramp(&params, 2e-6);
+        let slow = run_ramp(&params, 2e-6 * scale);
+        prop_assert!(
+            slow + 1e-4 >= fast,
+            "slow ramp min {slow} below fast ramp min {fast}"
+        );
+    }
+}
+
+/// Runs a linear activation ramp and returns the minimum observed supply.
+fn run_ramp(params: &PdnParams, total_s: f64) -> f64 {
+    use sprint_powergrid::activation::drive_activation;
+    use sprint_powergrid::integrity::ToleranceSpec;
+    let pdn = params.build();
+    let mut sim = TransientSim::new(pdn.circuit(), 5e-9, Integration::Trapezoidal).unwrap();
+    let result = drive_activation(
+        &pdn,
+        &mut sim,
+        ActivationSchedule::LinearRamp { total_s },
+        10e-9,
+        total_s + 10e-6,
+        4,
+        &ToleranceSpec::two_percent_of(1.2),
+    );
+    result.report.min_v
+}

@@ -1,0 +1,202 @@
+//! Battery models (Section 6).
+//!
+//! Conventional smart-phone Li-ion cells cap discharge at a few amps
+//! (internal thermal constraints), limiting sprint intensity; high-
+//! discharge Li-polymer packs (power-tool/EV class) comfortably supply a
+//! 16 W sprint. The model covers voltage, internal resistance, discharge
+//! limits, and capacity draw-down.
+
+use serde::{Deserialize, Serialize};
+
+/// A battery model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    name: String,
+    /// Open-circuit voltage, volts.
+    pub voltage_v: f64,
+    /// Internal resistance, ohms.
+    pub internal_resistance_ohm: f64,
+    /// Maximum continuous discharge current, amps.
+    pub max_discharge_a: f64,
+    /// Capacity, joules.
+    pub capacity_j: f64,
+    /// Mass, grams.
+    pub mass_g: f64,
+    /// Remaining charge, joules.
+    charge_j: f64,
+}
+
+impl Battery {
+    /// Creates a battery at full charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive electrical parameters.
+    pub fn new(
+        name: impl Into<String>,
+        voltage_v: f64,
+        internal_resistance_ohm: f64,
+        max_discharge_a: f64,
+        capacity_j: f64,
+        mass_g: f64,
+    ) -> Self {
+        assert!(voltage_v > 0.0 && internal_resistance_ohm > 0.0, "bad electrical params");
+        assert!(max_discharge_a > 0.0 && capacity_j > 0.0 && mass_g > 0.0, "bad ratings");
+        Self {
+            name: name.into(),
+            voltage_v,
+            internal_resistance_ohm,
+            max_discharge_a,
+            capacity_j,
+            mass_g,
+            charge_j: capacity_j,
+        }
+    }
+
+    /// A representative smart-phone Li-ion cell: ~10 W burst ceiling
+    /// (2.7 A at 3.7 V), ~5 Wh.
+    pub fn phone_li_ion() -> Self {
+        Self::new("phone-li-ion", 3.7, 0.15, 2.7, 5.3 * 3600.0, 40.0)
+    }
+
+    /// A high-discharge Li-polymer pack (the paper's Dualsky GT 850 2s
+    /// example): 43 A at 7 V, 51 g.
+    pub fn high_discharge_li_po() -> Self {
+        Self::new("high-discharge-li-po", 7.0, 0.02, 43.0, 6.3 * 3600.0, 51.0)
+    }
+
+    /// Battery name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Remaining charge, joules.
+    pub fn charge_j(&self) -> f64 {
+        self.charge_j
+    }
+
+    /// Maximum power deliverable without exceeding the discharge limit,
+    /// watts (at the sagged terminal voltage).
+    pub fn max_power_w(&self) -> f64 {
+        let i = self.max_discharge_a;
+        (self.voltage_v - i * self.internal_resistance_ohm) * i
+    }
+
+    /// Terminal voltage at a given load current, volts.
+    pub fn terminal_voltage_v(&self, current_a: f64) -> f64 {
+        self.voltage_v - current_a * self.internal_resistance_ohm
+    }
+
+    /// True if the battery can supply `power_w` continuously.
+    pub fn can_supply_w(&self, power_w: f64) -> bool {
+        power_w <= self.max_power_w()
+    }
+
+    /// Draws `power_w` for `dt_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shortfall when the current limit or remaining charge
+    /// would be exceeded; no charge is drawn in that case.
+    pub fn draw(&mut self, power_w: f64, dt_s: f64) -> Result<(), SupplyError> {
+        if !self.can_supply_w(power_w) {
+            return Err(SupplyError::CurrentLimit {
+                requested_w: power_w,
+                available_w: self.max_power_w(),
+            });
+        }
+        let energy = power_w * dt_s;
+        if energy > self.charge_j {
+            return Err(SupplyError::Depleted);
+        }
+        self.charge_j -= energy;
+        Ok(())
+    }
+
+    /// Recharges by `joules` (clamped to capacity).
+    pub fn recharge(&mut self, joules: f64) {
+        self.charge_j = (self.charge_j + joules).min(self.capacity_j);
+    }
+}
+
+/// Power-source failure conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SupplyError {
+    /// The requested power exceeds the source's current limit.
+    CurrentLimit {
+        /// Requested power, watts.
+        requested_w: f64,
+        /// Deliverable power, watts.
+        available_w: f64,
+    },
+    /// Stored energy exhausted.
+    Depleted,
+}
+
+impl std::fmt::Display for SupplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupplyError::CurrentLimit {
+                requested_w,
+                available_w,
+            } => write!(
+                f,
+                "requested {requested_w:.1} W exceeds the {available_w:.1} W discharge limit"
+            ),
+            SupplyError::Depleted => write!(f, "stored energy exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SupplyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phone_battery_caps_near_10w() {
+        let b = Battery::phone_li_ion();
+        let p = b.max_power_w();
+        assert!((8.0..11.0).contains(&p), "phone cell ≈ 10 W bursts: {p:.1}");
+        assert!(!b.can_supply_w(16.0), "cannot feed a 16-core sprint");
+    }
+
+    #[test]
+    fn li_po_feeds_a_16w_sprint() {
+        let b = Battery::high_discharge_li_po();
+        assert!(b.can_supply_w(16.0));
+        assert!(b.max_power_w() > 100.0);
+    }
+
+    #[test]
+    fn draw_depletes_charge() {
+        let mut b = Battery::phone_li_ion();
+        let c0 = b.charge_j();
+        b.draw(5.0, 2.0).unwrap();
+        assert!((c0 - b.charge_j() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overcurrent_rejected_without_draw() {
+        let mut b = Battery::phone_li_ion();
+        let c0 = b.charge_j();
+        let err = b.draw(16.0, 1.0).unwrap_err();
+        assert!(matches!(err, SupplyError::CurrentLimit { .. }));
+        assert_eq!(b.charge_j(), c0);
+    }
+
+    #[test]
+    fn terminal_voltage_sags_with_current() {
+        let b = Battery::phone_li_ion();
+        assert!(b.terminal_voltage_v(2.0) < b.voltage_v);
+    }
+
+    #[test]
+    fn recharge_clamps_at_capacity() {
+        let mut b = Battery::phone_li_ion();
+        b.draw(1.0, 10.0).unwrap();
+        b.recharge(1e9);
+        assert_eq!(b.charge_j(), b.capacity_j);
+    }
+}

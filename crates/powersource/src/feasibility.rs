@@ -1,0 +1,128 @@
+//! The Section 6 feasibility analysis, as one queryable table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::battery::Battery;
+use crate::hybrid::HybridSupply;
+use crate::pins::PackagePins;
+use crate::ultracap::Ultracapacitor;
+
+/// Verdict for one power-source option against a sprint demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceVerdict {
+    /// Option name.
+    pub source: String,
+    /// Peak power it can deliver, watts.
+    pub max_power_w: f64,
+    /// Whether it covers the sprint's peak power.
+    pub covers_peak: bool,
+    /// Whether it covers the sprint's energy.
+    pub covers_energy: bool,
+    /// Mass, grams.
+    pub mass_g: f64,
+    /// Largest number of 1 W cores this source alone can sprint with.
+    pub max_sprint_cores: u32,
+}
+
+/// Evaluates the paper's candidate sources against a sprint of
+/// `power_w` × `duration_s` (16 W × 1 s in the paper).
+pub fn evaluate_sources(power_w: f64, duration_s: f64) -> Vec<SourceVerdict> {
+    let energy = power_w * duration_s;
+    let mut out = Vec::new();
+
+    let li_ion = Battery::phone_li_ion();
+    out.push(SourceVerdict {
+        source: li_ion.name().to_string(),
+        max_power_w: li_ion.max_power_w(),
+        covers_peak: li_ion.can_supply_w(power_w),
+        covers_energy: li_ion.charge_j() >= energy,
+        mass_g: li_ion.mass_g,
+        max_sprint_cores: li_ion.max_power_w().floor() as u32,
+    });
+
+    let li_po = Battery::high_discharge_li_po();
+    out.push(SourceVerdict {
+        source: li_po.name().to_string(),
+        max_power_w: li_po.max_power_w(),
+        covers_peak: li_po.can_supply_w(power_w),
+        covers_energy: li_po.charge_j() >= energy,
+        mass_g: li_po.mass_g,
+        max_sprint_cores: li_po.max_power_w().floor() as u32,
+    });
+
+    let cap = Ultracapacitor::nesscap_25f();
+    out.push(SourceVerdict {
+        source: "nesscap-25f-ultracap".to_string(),
+        max_power_w: cap.max_power_w(),
+        covers_peak: cap.max_power_w() >= power_w,
+        covers_energy: cap.usable_j(1.0) >= energy,
+        mass_g: cap.mass_g,
+        max_sprint_cores: cap
+            .max_power_w()
+            .min(cap.usable_j(1.0) / duration_s)
+            .floor() as u32,
+    });
+
+    let hybrid = HybridSupply::phone();
+    let hybrid_peak = hybrid.battery.max_power_w() - hybrid.system_reserve_w
+        + hybrid.cap.max_power_w();
+    out.push(SourceVerdict {
+        source: "hybrid-li-ion+ultracap".to_string(),
+        max_power_w: hybrid_peak,
+        covers_peak: hybrid_peak >= power_w,
+        covers_energy: hybrid.sprint_capacity_j() >= energy,
+        mass_g: hybrid.battery.mass_g + hybrid.cap.mass_g,
+        max_sprint_cores: hybrid_peak
+            .min(hybrid.sprint_capacity_j() / duration_s)
+            .floor() as u32,
+    });
+    out
+}
+
+/// Pin-delivery feasibility for the same sprint (two package classes).
+pub fn evaluate_pins(power_w: f64) -> Vec<(String, u32, f64)> {
+    [
+        ("apple-a4-531pin", PackagePins::apple_a4()),
+        ("qualcomm-msm8660-976pin", PackagePins::qualcomm_msm8660()),
+    ]
+    .into_iter()
+    .map(|(name, pkg)| {
+        (
+            name.to_string(),
+            pkg.pins_needed(power_w, 1.0),
+            pkg.pin_fraction(power_w, 1.0),
+        )
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_verdicts_reproduce() {
+        let v = evaluate_sources(16.0, 1.0);
+        let find = |n: &str| v.iter().find(|s| s.source.contains(n)).unwrap();
+        // Phone Li-ion: limited to fewer than ten 1 W cores.
+        let li_ion = find("li-ion");
+        assert!(!li_ion.covers_peak);
+        assert!(li_ion.max_sprint_cores < 10);
+        // High-discharge Li-Po: easily covers it.
+        assert!(find("li-po").covers_peak);
+        // Ultracap: covers peak and energy.
+        let cap = find("ultracap");
+        assert!(cap.covers_peak && cap.covers_energy);
+        // Hybrid: covers it too.
+        let hybrid = find("hybrid");
+        assert!(hybrid.covers_peak && hybrid.covers_energy);
+        assert!(hybrid.max_sprint_cores >= 16);
+    }
+
+    #[test]
+    fn pin_analysis_matches_paper() {
+        let pins = evaluate_pins(16.0);
+        assert_eq!(pins[0].1, 320, "A4-class package needs 320 pins");
+        assert!(pins[1].2 < 0.35, "976-pin package absorbs it more easily");
+    }
+}

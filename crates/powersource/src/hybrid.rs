@@ -1,0 +1,139 @@
+//! Hybrid battery + ultracapacitor supply (Section 6).
+//!
+//! The capacitor serves sprint peaks (its discharge rate is effectively
+//! unlimited at these scales); the battery carries the sustained load and
+//! recharges the capacitor between sprints at whatever current headroom it
+//! has left.
+
+use serde::{Deserialize, Serialize};
+
+use crate::battery::{Battery, SupplyError};
+use crate::ultracap::Ultracapacitor;
+
+/// A hybrid supply: battery plus ultracapacitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridSupply {
+    /// The battery.
+    pub battery: Battery,
+    /// The ultracapacitor.
+    pub cap: Ultracapacitor,
+    /// Minimum capacitor voltage the regulator can work from, volts.
+    pub cap_min_v: f64,
+    /// Power the battery reserves for the rest of the system, watts.
+    pub system_reserve_w: f64,
+    sprints_served: u64,
+}
+
+impl HybridSupply {
+    /// Builds the paper's phone configuration: a standard Li-ion cell
+    /// plus the 25 F ultracapacitor.
+    pub fn phone() -> Self {
+        Self {
+            battery: Battery::phone_li_ion(),
+            cap: Ultracapacitor::nesscap_25f(),
+            cap_min_v: 1.0,
+            system_reserve_w: 1.0,
+            sprints_served: 0,
+        }
+    }
+
+    /// Sprints served so far.
+    pub fn sprints_served(&self) -> u64 {
+        self.sprints_served
+    }
+
+    /// Maximum sprint energy available right now, joules.
+    pub fn sprint_capacity_j(&self) -> f64 {
+        self.cap.usable_j(self.cap_min_v)
+    }
+
+    /// Draws a sprint of `power_w` for `duration_s`: the capacitor covers
+    /// everything above the battery's safe share.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the capacitor cannot cover the peak (current limit or
+    /// depleted).
+    pub fn sprint(&mut self, power_w: f64, duration_s: f64) -> Result<(), SupplyError> {
+        let battery_share = (self.battery.max_power_w() - self.system_reserve_w).max(0.0);
+        let from_battery = power_w.min(battery_share);
+        let from_cap = power_w - from_battery;
+        // Check the capacitor can deliver the peak and the energy first.
+        if from_cap > self.cap.max_power_w() {
+            return Err(SupplyError::CurrentLimit {
+                requested_w: from_cap,
+                available_w: self.cap.max_power_w(),
+            });
+        }
+        if from_cap * duration_s >= self.cap.usable_j(self.cap_min_v) {
+            return Err(SupplyError::Depleted);
+        }
+        self.battery.draw(from_battery, duration_s)?;
+        self.cap.draw(from_cap, duration_s)?;
+        self.sprints_served += 1;
+        Ok(())
+    }
+
+    /// Recharges the capacitor from the battery during an idle period of
+    /// `duration_s` seconds, using current headroom above the system
+    /// reserve. Returns the energy transferred, joules.
+    pub fn recharge_between_sprints(&mut self, duration_s: f64) -> f64 {
+        let headroom_w = (self.battery.max_power_w() - self.system_reserve_w).max(0.0);
+        // Transfer at most what the cap can absorb.
+        let deficit = 0.5 * self.cap.capacitance_f * self.cap.rated_v * self.cap.rated_v
+            - self.cap.stored_j();
+        let transfer = (headroom_w * duration_s).min(deficit.max(0.0));
+        if transfer > 0.0 && self.battery.draw(transfer / duration_s, duration_s).is_ok() {
+            self.cap.recharge(transfer);
+            transfer
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phone_hybrid_serves_a_16w_one_second_sprint() {
+        let mut s = HybridSupply::phone();
+        s.sprint(16.0, 1.0).expect("hybrid must cover the paper's sprint");
+        assert_eq!(s.sprints_served(), 1);
+    }
+
+    #[test]
+    fn battery_alone_cannot() {
+        let b = Battery::phone_li_ion();
+        assert!(!b.can_supply_w(16.0));
+    }
+
+    #[test]
+    fn repeated_sprints_need_recharge() {
+        let mut s = HybridSupply::phone();
+        let mut served = 0;
+        // Back-to-back sprints with no recharge eventually deplete the cap.
+        for _ in 0..20 {
+            if s.sprint(16.0, 1.0).is_ok() {
+                served += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(served >= 2, "the 91 J cap covers several 16 J sprints: {served}");
+        assert!(served < 20, "but not indefinitely many");
+        // After a recharge interval, sprinting works again.
+        let transferred = s.recharge_between_sprints(30.0);
+        assert!(transferred > 10.0, "recharge moved {transferred:.1} J");
+        s.sprint(16.0, 1.0).expect("sprint after recharge");
+    }
+
+    #[test]
+    fn sprint_capacity_reflects_cap_state() {
+        let mut s = HybridSupply::phone();
+        let c0 = s.sprint_capacity_j();
+        s.sprint(16.0, 1.0).unwrap();
+        assert!(s.sprint_capacity_j() < c0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Power-source modelling for computational sprinting (Section 6).
+//!
+//! A 16x sprint needs 16 W for up to a second — far beyond the ~2.7 A a
+//! phone's Li-ion cell can safely discharge. This crate models the
+//! candidate solutions the paper analyzes: high-discharge Li-polymer
+//! batteries, ultracapacitors, hybrid battery+capacitor supplies with
+//! inter-sprint recharge, and the package pin budget needed to deliver
+//! 16 A peaks onto the die.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sprint_powersource::hybrid::HybridSupply;
+//!
+//! let mut supply = HybridSupply::phone();
+//! supply.sprint(16.0, 1.0).expect("ultracap covers the 16 J sprint");
+//! supply.recharge_between_sprints(24.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod feasibility;
+pub mod hybrid;
+pub mod pins;
+pub mod ultracap;
+
+pub use battery::{Battery, SupplyError};
+pub use feasibility::{evaluate_pins, evaluate_sources, SourceVerdict};
+pub use hybrid::HybridSupply;
+pub use pins::PackagePins;
+pub use ultracap::Ultracapacitor;

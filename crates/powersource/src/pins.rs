@@ -1,0 +1,83 @@
+//! Package pin-count feasibility (Section 6).
+//!
+//! Delivering 16 A peaks over the chip pins: at ~100 mA per power/ground
+//! pin pair, 16 A at 1 V needs ~320 pins — a significant fraction of a
+//! mobile package's pin budget. Higher supply voltages with on-chip
+//! regulation reduce the requirement.
+
+use serde::{Deserialize, Serialize};
+
+/// A package pin budget model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackagePins {
+    /// Total pins on the package.
+    pub total_pins: u32,
+    /// Peak current per power/ground pin *pair*, amps.
+    pub amps_per_pair: f64,
+}
+
+impl PackagePins {
+    /// Apple A4-class package: 531 pins, 0.5 mm pitch.
+    pub fn apple_a4() -> Self {
+        Self {
+            total_pins: 531,
+            amps_per_pair: 0.1,
+        }
+    }
+
+    /// Qualcomm MSM8660-class package: 976 pins, 0.4 mm pitch.
+    pub fn qualcomm_msm8660() -> Self {
+        Self {
+            total_pins: 976,
+            amps_per_pair: 0.1,
+        }
+    }
+
+    /// Pins (power + ground) needed to deliver `power_w` at `supply_v`.
+    pub fn pins_needed(&self, power_w: f64, supply_v: f64) -> u32 {
+        assert!(supply_v > 0.0, "supply voltage must be positive");
+        let amps = power_w / supply_v;
+        let pairs = (amps / self.amps_per_pair).ceil() as u32;
+        pairs * 2
+    }
+
+    /// Fraction of the package's pins consumed by power delivery.
+    pub fn pin_fraction(&self, power_w: f64, supply_v: f64) -> f64 {
+        f64::from(self.pins_needed(power_w, supply_v)) / f64::from(self.total_pins)
+    }
+
+    /// True when power delivery fits within `budget_fraction` of the pins.
+    pub fn feasible(&self, power_w: f64, supply_v: f64, budget_fraction: f64) -> bool {
+        self.pin_fraction(power_w, supply_v) <= budget_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_320_pins() {
+        // 16 A at 1 V with 100 mA pairs -> 160 pairs -> 320 pins.
+        let p = PackagePins::apple_a4();
+        assert_eq!(p.pins_needed(16.0, 1.0), 320);
+    }
+
+    #[test]
+    fn higher_voltage_cuts_pins() {
+        let p = PackagePins::apple_a4();
+        // On-chip regulation from 3.3 V: 16 W needs ~4.85 A -> 49 pairs.
+        assert!(p.pins_needed(16.0, 3.3) < 100);
+    }
+
+    #[test]
+    fn sixteen_watt_sprint_strains_a4_package() {
+        let p = PackagePins::apple_a4();
+        assert!(
+            p.pin_fraction(16.0, 1.0) > 0.5,
+            "320 of 531 pins is a heavy fraction"
+        );
+        assert!(!p.feasible(16.0, 1.0, 0.3));
+        assert!(PackagePins::qualcomm_msm8660().feasible(16.0, 1.0, 0.35));
+    }
+}

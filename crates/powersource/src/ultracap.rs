@@ -1,0 +1,175 @@
+//! Ultracapacitor model (Section 6).
+//!
+//! The paper's example: a 25 F NESSCAP cell at 2.7 V rated voltage weighs
+//! 6.5 g, stores 91 J usable (182 J total at rating per the paper's
+//! figure), delivers 20 A peaks and leaks under 0.1 mA.
+
+use serde::{Deserialize, Serialize};
+
+use crate::battery::SupplyError;
+
+/// An ultracapacitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ultracapacitor {
+    /// Capacitance, farads.
+    pub capacitance_f: f64,
+    /// Rated (maximum) voltage, volts.
+    pub rated_v: f64,
+    /// Peak discharge current, amps.
+    pub peak_current_a: f64,
+    /// Leakage current, amps.
+    pub leakage_a: f64,
+    /// Mass, grams.
+    pub mass_g: f64,
+    /// Present voltage, volts.
+    voltage_v: f64,
+}
+
+impl Ultracapacitor {
+    /// Creates a capacitor charged to its rated voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive ratings.
+    pub fn new(
+        capacitance_f: f64,
+        rated_v: f64,
+        peak_current_a: f64,
+        leakage_a: f64,
+        mass_g: f64,
+    ) -> Self {
+        assert!(capacitance_f > 0.0 && rated_v > 0.0, "bad capacitor ratings");
+        assert!(peak_current_a > 0.0 && mass_g > 0.0, "bad capacitor ratings");
+        assert!(leakage_a >= 0.0, "leakage cannot be negative");
+        Self {
+            capacitance_f,
+            rated_v,
+            peak_current_a,
+            leakage_a,
+            mass_g,
+            voltage_v: rated_v,
+        }
+    }
+
+    /// The paper's 25 F / 2.7 V / 20 A / 6.5 g NESSCAP example.
+    pub fn nesscap_25f() -> Self {
+        Self::new(25.0, 2.7, 20.0, 0.1e-3, 6.5)
+    }
+
+    /// Present voltage, volts.
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Total stored energy at the present voltage, joules
+    /// (`E = C V^2 / 2`; 91 J at 2.7 V for the 25 F part — the paper's
+    /// "182 joules" counts the C·V² figure of merit).
+    pub fn stored_j(&self) -> f64 {
+        0.5 * self.capacitance_f * self.voltage_v * self.voltage_v
+    }
+
+    /// Energy extractable before the voltage falls below `v_min` (the
+    /// regulator's dropout), joules.
+    pub fn usable_j(&self, v_min: f64) -> f64 {
+        if self.voltage_v <= v_min {
+            0.0
+        } else {
+            0.5 * self.capacitance_f * (self.voltage_v * self.voltage_v - v_min * v_min)
+        }
+    }
+
+    /// Maximum instantaneous power at the present voltage, watts.
+    pub fn max_power_w(&self) -> f64 {
+        self.voltage_v * self.peak_current_a
+    }
+
+    /// Draws `power_w` for `dt_s` seconds (plus leakage), updating the
+    /// voltage.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the current limit is exceeded or the stored energy is
+    /// insufficient.
+    pub fn draw(&mut self, power_w: f64, dt_s: f64) -> Result<(), SupplyError> {
+        if power_w > self.max_power_w() {
+            return Err(SupplyError::CurrentLimit {
+                requested_w: power_w,
+                available_w: self.max_power_w(),
+            });
+        }
+        let energy = power_w * dt_s + self.leakage_a * self.voltage_v * dt_s;
+        let stored = self.stored_j();
+        if energy >= stored {
+            return Err(SupplyError::Depleted);
+        }
+        let remaining = stored - energy;
+        self.voltage_v = (2.0 * remaining / self.capacitance_f).sqrt();
+        Ok(())
+    }
+
+    /// Recharges toward the rated voltage with `joules` of input energy.
+    pub fn recharge(&mut self, joules: f64) {
+        let e = (self.stored_j() + joules)
+            .min(0.5 * self.capacitance_f * self.rated_v * self.rated_v);
+        self.voltage_v = (2.0 * e / self.capacitance_f).sqrt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesscap_matches_paper_numbers() {
+        let c = Ultracapacitor::nesscap_25f();
+        // 0.5 * 25 * 2.7^2 = 91 J stored; C*V^2 = 182 J (paper's figure).
+        assert!((c.stored_j() - 91.125).abs() < 1e-9);
+        assert!((c.max_power_w() - 54.0).abs() < 1e-9);
+        assert!(c.mass_g < 10.0, "form factor fits a phone");
+    }
+
+    #[test]
+    fn sixteen_joule_sprint_fits_easily() {
+        let mut c = Ultracapacitor::nesscap_25f();
+        // 16 W for 1 s.
+        for _ in 0..1000 {
+            c.draw(16.0, 1e-3).unwrap();
+        }
+        assert!(c.voltage_v() > 2.3, "voltage barely sags: {:.2}", c.voltage_v());
+    }
+
+    #[test]
+    fn voltage_drops_as_energy_leaves() {
+        let mut c = Ultracapacitor::nesscap_25f();
+        let v0 = c.voltage_v();
+        c.draw(50.0, 0.5).unwrap();
+        assert!(c.voltage_v() < v0);
+        let expected = (2.0f64 * (91.125 - 25.0 - 0.1e-3 * 2.7 * 0.5) / 25.0).sqrt();
+        assert!((c.voltage_v() - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn leakage_is_negligible_over_seconds() {
+        let mut c = Ultracapacitor::nesscap_25f();
+        let e0 = c.stored_j();
+        c.draw(0.0, 10.0).unwrap();
+        assert!(e0 - c.stored_j() < 0.01, "leakage < 10 mJ over 10 s");
+    }
+
+    #[test]
+    fn overcurrent_rejected() {
+        let mut c = Ultracapacitor::nesscap_25f();
+        assert!(matches!(
+            c.draw(100.0, 0.1),
+            Err(SupplyError::CurrentLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn recharge_restores_rated_voltage() {
+        let mut c = Ultracapacitor::nesscap_25f();
+        c.draw(40.0, 1.0).unwrap();
+        c.recharge(1e6);
+        assert!((c.voltage_v() - 2.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! Dark-silicon technology scaling models (Figure 1 / Section 2).
+//!
+//! Projections of power density and the dark-silicon fraction for a
+//! fixed-area chip across process nodes 45 nm → 6 nm, under ITRS and
+//! Borkar scaling assumptions — the trend data motivating computational
+//! sprinting.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sprint_scaling::model::ScalingModel;
+//!
+//! for (nm, density, dark) in ScalingModel::ItrsWithBorkarVdd.series() {
+//!     println!("{nm:>2} nm: {density:.2}x power density, {dark:.0}% dark");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod node;
+
+pub use model::ScalingModel;
+pub use node::{TechNode, NODES};

@@ -1,0 +1,160 @@
+//! Power-density and dark-silicon projections (Figure 1).
+//!
+//! The mechanics behind the dark-silicon argument (Section 2): device
+//! density roughly doubles per generation while per-device capacitance
+//! falls only ~25% (Borkar), so at fixed frequency the power a fully-
+//! active chip would draw grows each generation unless voltage falls to
+//! compensate — and voltage scaling has stalled. Relative power density
+//! for a fixed-area chip follows
+//!
+//! `density_gain × capacitance_ratio × (Vdd/Vdd0)²`
+//!
+//! per generation, and the powerable (non-dark) fraction of the chip is
+//! the reciprocal of that growth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::{TechNode, NODES};
+
+/// Scaling-assumption sets plotted in Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingModel {
+    /// ITRS roadmap: optimistic voltage scaling, ~2x density per node.
+    Itrs,
+    /// Borkar: 75% density increase and 25% capacitance reduction per
+    /// generation.
+    Borkar,
+    /// ITRS density with Borkar's pessimistic voltage scaling.
+    ItrsWithBorkarVdd,
+}
+
+impl ScalingModel {
+    /// All three curve families of Figure 1.
+    pub const ALL: [ScalingModel; 3] = [
+        ScalingModel::Itrs,
+        ScalingModel::Borkar,
+        ScalingModel::ItrsWithBorkarVdd,
+    ];
+
+    /// Label used in the figure legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalingModel::Itrs => "ITRS",
+            ScalingModel::Borkar => "Borkar",
+            ScalingModel::ItrsWithBorkarVdd => "ITRS + Borkar Vdd scaling",
+        }
+    }
+
+    /// Transistor-density multiplier per generation.
+    fn density_per_gen(&self) -> f64 {
+        match self {
+            ScalingModel::Itrs | ScalingModel::ItrsWithBorkarVdd => 2.0,
+            ScalingModel::Borkar => 1.75,
+        }
+    }
+
+    /// Per-device capacitance multiplier per generation.
+    fn capacitance_per_gen(&self) -> f64 {
+        match self {
+            ScalingModel::Itrs | ScalingModel::ItrsWithBorkarVdd => 0.67,
+            ScalingModel::Borkar => 0.75,
+        }
+    }
+
+    /// Supply voltage at a node under this model's assumptions.
+    fn vdd(&self, node: &TechNode) -> f64 {
+        match self {
+            ScalingModel::Itrs => node.vdd_itrs,
+            ScalingModel::Borkar | ScalingModel::ItrsWithBorkarVdd => node.vdd_borkar,
+        }
+    }
+
+    /// Relative power density (fixed area, fixed frequency) at node
+    /// `index` of [`NODES`], normalized to the 45 nm node.
+    pub fn power_density(&self, index: usize) -> f64 {
+        let gens = index as f64;
+        let node = &NODES[index];
+        let v0 = self.vdd(&NODES[0]);
+        let density = self.density_per_gen().powf(gens);
+        let cap = self.capacitance_per_gen().powf(gens);
+        let v = self.vdd(node) / v0;
+        density * cap * v * v
+    }
+
+    /// Percent of a fixed-area, fixed-power chip that must stay dark at
+    /// node `index`.
+    pub fn percent_dark_silicon(&self, index: usize) -> f64 {
+        let pd = self.power_density(index);
+        if pd <= 1.0 {
+            0.0
+        } else {
+            (1.0 - 1.0 / pd) * 100.0
+        }
+    }
+
+    /// The full Figure 1 series: `(nm, power_density, percent_dark)`.
+    pub fn series(&self) -> Vec<(u32, f64, f64)> {
+        (0..NODES.len())
+            .map(|i| {
+                (
+                    NODES[i].nm,
+                    self.power_density(i),
+                    self.percent_dark_silicon(i),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_density_rises_monotonically() {
+        for model in ScalingModel::ALL {
+            let series = model.series();
+            for w in series.windows(2) {
+                assert!(
+                    w[1].1 > w[0].1,
+                    "{}: power density must rise: {:?}",
+                    model.label(),
+                    series
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_to_unity_at_45nm() {
+        for model in ScalingModel::ALL {
+            assert!((model.power_density(0) - 1.0).abs() < 1e-12);
+            assert_eq!(model.percent_dark_silicon(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn pessimistic_vdd_darkens_more_silicon() {
+        // At the end of the roadmap, ITRS+Borkar-Vdd must be the worst.
+        let last = NODES.len() - 1;
+        let itrs = ScalingModel::Itrs.percent_dark_silicon(last);
+        let worst = ScalingModel::ItrsWithBorkarVdd.percent_dark_silicon(last);
+        assert!(worst > itrs, "stalled Vdd means more dark silicon");
+        // The paper/ARM prediction territory: the pessimistic model leaves
+        // only a small active fraction by the final node.
+        assert!(
+            worst > 75.0,
+            "expected >75% dark at the last node, got {worst:.0}%"
+        );
+    }
+
+    #[test]
+    fn dark_fraction_in_valid_range() {
+        for model in ScalingModel::ALL {
+            for i in 0..NODES.len() {
+                let d = model.percent_dark_silicon(i);
+                assert!((0.0..100.0).contains(&d));
+            }
+        }
+    }
+}

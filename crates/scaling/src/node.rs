@@ -1,0 +1,48 @@
+//! Technology nodes and their scaling parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// A CMOS process node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechNode {
+    /// Feature size, nanometres.
+    pub nm: u32,
+    /// Supply voltage under ITRS projections, volts.
+    pub vdd_itrs: f64,
+    /// Supply voltage under Borkar's (pessimistic) projections, volts.
+    pub vdd_borkar: f64,
+}
+
+/// The node sequence of Figure 1: 45 nm down to 6 nm.
+pub const NODES: [TechNode; 7] = [
+    TechNode { nm: 45, vdd_itrs: 1.00, vdd_borkar: 1.00 },
+    TechNode { nm: 32, vdd_itrs: 0.93, vdd_borkar: 0.97 },
+    TechNode { nm: 22, vdd_itrs: 0.87, vdd_borkar: 0.95 },
+    TechNode { nm: 16, vdd_itrs: 0.81, vdd_borkar: 0.93 },
+    TechNode { nm: 11, vdd_itrs: 0.76, vdd_borkar: 0.91 },
+    TechNode { nm: 8, vdd_itrs: 0.71, vdd_borkar: 0.89 },
+    TechNode { nm: 6, vdd_itrs: 0.66, vdd_borkar: 0.87 },
+];
+
+/// Generations elapsed since the 45 nm reference for a node index.
+pub fn generation(index: usize) -> u32 {
+    index as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_shrink_monotonically() {
+        for w in NODES.windows(2) {
+            assert!(w[1].nm < w[0].nm);
+            assert!(w[1].vdd_itrs < w[0].vdd_itrs, "ITRS Vdd keeps scaling");
+            assert!(w[1].vdd_borkar < w[0].vdd_borkar);
+            assert!(
+                w[0].vdd_itrs - w[1].vdd_itrs > w[0].vdd_borkar - w[1].vdd_borkar,
+                "Borkar assumes slower voltage scaling"
+            );
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Thermal-equivalent circuit networks (Figure 3 of the paper).
+//!
+//! Heat flow is modelled as current in an electrical-equivalent circuit:
+//! temperature is voltage, power is current, thermal resistance (K/W) is
+//! resistance and heat capacity (J/K) is capacitance to the reference.
+//! Storage nodes hold enthalpy; boundary nodes (the ambient) hold a fixed
+//! temperature and absorb whatever flows into them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::StorageNode;
+
+/// Identifier of a node within a [`ThermalNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index of the node in the network.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum Node {
+    Storage(StorageNode),
+    Boundary { name: String, temp_c: f64 },
+}
+
+impl Node {
+    pub(crate) fn temperature_c(&self) -> f64 {
+        match self {
+            Node::Storage(s) => s.temperature_c(),
+            Node::Boundary { temp_c, .. } => *temp_c,
+        }
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        match self {
+            Node::Storage(s) => s.name(),
+            Node::Boundary { name, .. } => name,
+        }
+    }
+}
+
+/// A thermal resistance connecting two nodes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) struct Edge {
+    pub a: usize,
+    pub b: usize,
+    /// Thermal resistance in K/W.
+    pub resistance_k_per_w: f64,
+}
+
+/// A lumped thermal RC network with power injection.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_thermal::circuit::ThermalNetwork;
+/// use sprint_thermal::node::StorageNode;
+///
+/// let mut net = ThermalNetwork::new();
+/// let junction = net.add_storage(StorageNode::sensible_only("junction", 0.02, 25.0));
+/// let ambient = net.add_boundary("ambient", 25.0);
+/// net.connect(junction, ambient, 35.0); // 35 K/W to ambient
+/// net.set_power(junction, 1.0); // dissipate 1 W
+/// let t = net.steady_state();
+/// assert!((t[junction.index()] - 60.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct ThermalNetwork {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    /// Power injected at each node, watts.
+    pub(crate) power_w: Vec<f64>,
+    /// Cumulative energy absorbed by boundary nodes, joules (bookkeeping for
+    /// conservation checks).
+    pub(crate) boundary_absorbed_j: f64,
+}
+
+impl ThermalNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a heat-storing node, returning its id.
+    pub fn add_storage(&mut self, node: StorageNode) -> NodeId {
+        self.nodes.push(Node::Storage(node));
+        self.power_w.push(0.0);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a fixed-temperature boundary node (e.g. the ambient).
+    pub fn add_boundary(&mut self, name: impl Into<String>, temp_c: f64) -> NodeId {
+        self.nodes.push(Node::Boundary {
+            name: name.into(),
+            temp_c,
+        });
+        self.power_w.push(0.0);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects two nodes with a thermal resistance in K/W.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is not strictly positive or the ids are
+    /// equal or out of range.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, resistance_k_per_w: f64) {
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "node id out of range");
+        assert_ne!(a, b, "cannot connect a node to itself");
+        assert!(
+            resistance_k_per_w.is_finite() && resistance_k_per_w > 0.0,
+            "thermal resistance must be positive"
+        );
+        self.edges.push(Edge {
+            a: a.0,
+            b: b.0,
+            resistance_k_per_w,
+        });
+    }
+
+    /// Sets the power (W) injected at a node. Overwrites any previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on boundary nodes — injecting power into a fixed-temperature
+    /// node silently disappears, which is almost always a modelling bug.
+    pub fn set_power(&mut self, node: NodeId, watts: f64) {
+        assert!(
+            matches!(self.nodes[node.0], Node::Storage(_)),
+            "cannot inject power into a boundary node"
+        );
+        assert!(watts.is_finite(), "power must be finite");
+        self.power_w[node.0] = watts;
+    }
+
+    /// Power currently injected at a node, watts.
+    pub fn power(&self, node: NodeId) -> f64 {
+        self.power_w[node.0]
+    }
+
+    /// Number of nodes (storage + boundary).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Temperature of a node in Celsius.
+    pub fn temperature_c(&self, node: NodeId) -> f64 {
+        self.nodes[node.0].temperature_c()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        self.nodes[node.0].name()
+    }
+
+    /// Melt fraction of a node (zero for non-PCM nodes).
+    pub fn melt_fraction(&self, node: NodeId) -> f64 {
+        match &self.nodes[node.0] {
+            Node::Storage(s) => s.melt_fraction(),
+            Node::Boundary { .. } => 0.0,
+        }
+    }
+
+    /// Mutable access to a storage node (e.g. to reset its temperature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is a boundary node.
+    pub fn storage_mut(&mut self, node: NodeId) -> &mut StorageNode {
+        match &mut self.nodes[node.0] {
+            Node::Storage(s) => s,
+            Node::Boundary { .. } => panic!("node is a boundary, not storage"),
+        }
+    }
+
+    /// Shared access to a storage node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is a boundary node.
+    pub fn storage(&self, node: NodeId) -> &StorageNode {
+        match &self.nodes[node.0] {
+            Node::Storage(s) => s,
+            Node::Boundary { .. } => panic!("node is a boundary, not storage"),
+        }
+    }
+
+    /// Total enthalpy of all storage nodes, joules. Together with
+    /// [`Self::boundary_absorbed_j`] this lets callers verify energy
+    /// conservation across a simulation.
+    pub fn total_stored_enthalpy_j(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Storage(s) => Some(s.enthalpy_j()),
+                Node::Boundary { .. } => None,
+            })
+            .sum()
+    }
+
+    /// Cumulative energy (J) absorbed by boundary nodes since construction.
+    pub fn boundary_absorbed_j(&self) -> f64 {
+        self.boundary_absorbed_j
+    }
+
+    /// Net heat flow (W) into each node from edges plus injected power,
+    /// evaluated at the current temperatures.
+    pub(crate) fn net_flows(&self, flows: &mut [f64]) {
+        for (i, f) in flows.iter_mut().enumerate() {
+            *f = self.power_w[i];
+        }
+        for e in &self.edges {
+            let ta = self.nodes[e.a].temperature_c();
+            let tb = self.nodes[e.b].temperature_c();
+            let q = (ta - tb) / e.resistance_k_per_w; // W from a to b
+            flows[e.a] -= q;
+            flows[e.b] += q;
+        }
+    }
+
+    /// Solves for the steady-state temperatures with the current power
+    /// injection, returning one temperature per node (boundary nodes keep
+    /// their fixed temperature). The network state is not modified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no boundary node reachable from some
+    /// storage node (the system would be singular: temperatures diverge).
+    pub fn steady_state(&self) -> Vec<f64> {
+        let n = self.nodes.len();
+        // Unknowns: storage node temperatures. Boundary temps are knowns.
+        let mut index = vec![usize::MAX; n];
+        let mut unknowns = 0usize;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node, Node::Storage(_)) {
+                index[i] = unknowns;
+                unknowns += 1;
+            }
+        }
+        let mut a = vec![0.0f64; unknowns * unknowns];
+        let mut b = vec![0.0f64; unknowns];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Storage(_) = node {
+                b[index[i]] += self.power_w[i];
+            }
+        }
+        for e in &self.edges {
+            let g = 1.0 / e.resistance_k_per_w;
+            for (x, y) in [(e.a, e.b), (e.b, e.a)] {
+                if index[x] != usize::MAX {
+                    let r = index[x];
+                    a[r * unknowns + r] += g;
+                    if index[y] != usize::MAX {
+                        a[r * unknowns + index[y]] -= g;
+                    } else {
+                        b[r] += g * self.nodes[y].temperature_c();
+                    }
+                }
+            }
+        }
+        let t = solve_dense(&mut a, &mut b, unknowns);
+        let mut out = Vec::with_capacity(n);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if index[i] == usize::MAX {
+                out.push(node.temperature_c());
+            } else {
+                out.push(t[index[i]]);
+            }
+        }
+        out
+    }
+
+    /// Thermal resistance (K/W) from `from` to the set of boundary nodes:
+    /// inject 1 W at `from` (only), solve steady state, and report the
+    /// temperature rise above the (power-weighted) boundary temperature.
+    ///
+    /// For a single ambient this is the equivalent resistance `R_eq` that
+    /// determines TDP via `TDP = (Tlimit - Tambient) / R_eq`.
+    pub fn equivalent_resistance_to_ambient(&self, from: NodeId) -> f64 {
+        let mut probe = self.clone();
+        for p in probe.power_w.iter_mut() {
+            *p = 0.0;
+        }
+        probe.set_power(from, 1.0);
+        let t = probe.steady_state();
+        // Reference: minimum boundary temperature (single-ambient networks
+        // have exactly one).
+        let ambient = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Boundary { temp_c, .. } => Some(*temp_c),
+                Node::Storage(_) => None,
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            ambient.is_finite(),
+            "network has no boundary node; equivalent resistance undefined"
+        );
+        t[from.0] - ambient
+    }
+}
+
+/// Solves the dense linear system `A x = b` in place via Gaussian
+/// elimination with partial pivoting. `a` is row-major `n x n`.
+///
+/// # Panics
+///
+/// Panics if the matrix is singular to working precision.
+pub(crate) fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        assert!(best > 1e-300, "singular thermal system (unreachable boundary?)");
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let d = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / d;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::StorageNode;
+
+    #[test]
+    fn steady_state_single_resistor() {
+        let mut net = ThermalNetwork::new();
+        let j = net.add_storage(StorageNode::sensible_only("j", 1.0, 25.0));
+        let amb = net.add_boundary("amb", 25.0);
+        net.connect(j, amb, 10.0);
+        net.set_power(j, 2.0);
+        let t = net.steady_state();
+        assert!((t[j.index()] - 45.0).abs() < 1e-9);
+        assert!((t[amb.index()] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_two_hop_chain() {
+        let mut net = ThermalNetwork::new();
+        let j = net.add_storage(StorageNode::sensible_only("j", 1.0, 25.0));
+        let c = net.add_storage(StorageNode::sensible_only("c", 1.0, 25.0));
+        let amb = net.add_boundary("amb", 20.0);
+        net.connect(j, c, 5.0);
+        net.connect(c, amb, 15.0);
+        net.set_power(j, 1.0);
+        let t = net.steady_state();
+        assert!((t[c.index()] - 35.0).abs() < 1e-9);
+        assert!((t[j.index()] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_parallel_paths() {
+        // Two parallel 20 K/W paths = 10 K/W equivalent.
+        let mut net = ThermalNetwork::new();
+        let j = net.add_storage(StorageNode::sensible_only("j", 1.0, 25.0));
+        let amb = net.add_boundary("amb", 25.0);
+        net.connect(j, amb, 20.0);
+        net.connect(j, amb, 20.0);
+        net.set_power(j, 1.0);
+        let t = net.steady_state();
+        assert!((t[j.index()] - 35.0).abs() < 1e-9);
+        assert!((net.equivalent_resistance_to_ambient(j) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equivalent_resistance_ignores_existing_power() {
+        let mut net = ThermalNetwork::new();
+        let j = net.add_storage(StorageNode::sensible_only("j", 1.0, 25.0));
+        let amb = net.add_boundary("amb", 25.0);
+        net.connect(j, amb, 33.0);
+        net.set_power(j, 5.0);
+        assert!((net.equivalent_resistance_to_ambient(j) - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn net_flows_balance_between_nodes() {
+        let mut net = ThermalNetwork::new();
+        let a = net.add_storage(StorageNode::sensible_only("a", 1.0, 50.0));
+        let b = net.add_storage(StorageNode::sensible_only("b", 1.0, 30.0));
+        net.connect(a, b, 4.0);
+        let mut flows = vec![0.0; 2];
+        net.net_flows(&mut flows);
+        // 20 K across 4 K/W = 5 W from a to b.
+        assert!((flows[a.index()] + 5.0).abs() < 1e-12);
+        assert!((flows[b.index()] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary node")]
+    fn power_into_boundary_rejected() {
+        let mut net = ThermalNetwork::new();
+        let _j = net.add_storage(StorageNode::sensible_only("j", 1.0, 25.0));
+        let amb = net.add_boundary("amb", 25.0);
+        net.set_power(amb, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resistance_rejected() {
+        let mut net = ThermalNetwork::new();
+        let j = net.add_storage(StorageNode::sensible_only("j", 1.0, 25.0));
+        let amb = net.add_boundary("amb", 25.0);
+        net.connect(j, amb, 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Thermal modelling for computational sprinting.
+//!
+//! This crate implements the thermal side of *Computational Sprinting*
+//! (Raghavan et al., HPCA 2012): lumped thermal RC networks with
+//! phase-change-material (PCM) nodes, the paper's smart-phone package model
+//! (Figure 3), and the transient analyses behind Figure 4.
+//!
+//! Heat storage uses the *enthalpy method*: nodes store joules, and
+//! temperature is a piecewise function of enthalpy. A PCM node therefore
+//! exhibits an exact temperature plateau at its melting point while latent
+//! heat is absorbed — precisely the behaviour sprinting exploits to buffer
+//! an order-of-magnitude power overshoot for sub-second bursts.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sprint_thermal::phone::PhoneThermalParams;
+//! use sprint_thermal::analysis::simulate_sprint;
+//!
+//! // The paper's design point: 150 mg PCM, 60 C melting point, 70 C limit.
+//! let mut phone = PhoneThermalParams::hpca().build();
+//! assert!(phone.max_sprint_power_w() >= 16.0);
+//!
+//! // Sprint at 16x the ~1 W TDP: lasts a little over one second.
+//! let transient = simulate_sprint(&mut phone, 16.0, 0.002, 5.0);
+//! let duration = transient.duration_s.unwrap();
+//! assert!(duration > 1.0 && duration < 2.0);
+//! ```
+//!
+//! # Modules
+//!
+//! * [`material`] — thermophysical property database (Cu, Al, icosane, the
+//!   paper's reference PCM) and block-sizing helpers.
+//! * [`node`] — enthalpy-method storage nodes with optional phase change.
+//! * [`circuit`] — thermal RC networks with steady-state solving.
+//! * [`solver`] — stable explicit transient integration.
+//! * [`phone`] — the Figure 3 smart-phone model with PCM.
+//! * [`analysis`] — sprint and cooldown transients (Figure 4).
+//! * [`trace`] — time-series recording.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod circuit;
+pub mod material;
+pub mod node;
+pub mod phone;
+pub mod solver;
+pub mod trace;
+
+pub use analysis::{
+    cooldown_rule_of_thumb_s, pcm_mass_for_sprint_g, simulate_cooldown, simulate_sprint,
+    CooldownTransient, SprintTransient,
+};
+pub use circuit::{NodeId, ThermalNetwork};
+pub use material::Material;
+pub use node::{PhaseChange, StorageNode};
+pub use phone::{BoardPath, PhoneThermal, PhoneThermalParams};
+pub use solver::TransientSolver;
+pub use trace::{Trace, TracePoint};

@@ -1,0 +1,259 @@
+//! Material property database for thermal design studies.
+//!
+//! Properties are those the paper's Section 4 relies on: volumetric heat
+//! capacity for solid heat storage (copper, aluminum), and melting point plus
+//! latent heat of fusion for phase-change materials (icosane and the generic
+//! engineered PCM assumed in the paper's design: latent heat 100 J/g at a
+//! density of 1 g/cm^3 with a 60 C melting point).
+
+use serde::{Deserialize, Serialize};
+
+/// Thermophysical properties of a packaging/heat-storage material.
+///
+/// All properties are in SI-derived units commonly used in package-level
+/// thermal design: J/(g*K) for specific heat, g/cm^3 for density, J/g for
+/// latent heat, W/(m*K) for bulk conductivity and degrees Celsius for the
+/// melting point.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_thermal::material::Material;
+///
+/// let cu = Material::copper();
+/// // Copper's volumetric heat capacity is ~3.45 J/(cm^3 K) (paper Section 4.1).
+/// assert!((cu.volumetric_heat_capacity_j_per_cm3_k() - 3.45).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    name: String,
+    /// Specific heat capacity of the solid phase, J/(g*K).
+    specific_heat_j_per_g_k: f64,
+    /// Density, g/cm^3.
+    density_g_per_cm3: f64,
+    /// Latent heat of fusion, J/g. Zero for materials used below their
+    /// melting point (or with no useful phase transition).
+    latent_heat_j_per_g: f64,
+    /// Melting point in degrees Celsius. `None` when irrelevant in the
+    /// operating range (e.g. copper in a mobile device).
+    melting_point_c: Option<f64>,
+    /// Bulk thermal conductivity, W/(m*K).
+    thermal_conductivity_w_per_m_k: f64,
+}
+
+impl Material {
+    /// Creates a material with explicit properties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any magnitude is negative or not finite.
+    pub fn new(
+        name: impl Into<String>,
+        specific_heat_j_per_g_k: f64,
+        density_g_per_cm3: f64,
+        latent_heat_j_per_g: f64,
+        melting_point_c: Option<f64>,
+        thermal_conductivity_w_per_m_k: f64,
+    ) -> Self {
+        for v in [
+            specific_heat_j_per_g_k,
+            density_g_per_cm3,
+            latent_heat_j_per_g,
+            thermal_conductivity_w_per_m_k,
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "material property must be finite and non-negative");
+        }
+        Self {
+            name: name.into(),
+            specific_heat_j_per_g_k,
+            density_g_per_cm3,
+            latent_heat_j_per_g,
+            melting_point_c,
+            thermal_conductivity_w_per_m_k,
+        }
+    }
+
+    /// Copper: the straightforward solid heat-storage option of Section 4.1.
+    pub fn copper() -> Self {
+        Self::new("copper", 0.385, 8.96, 0.0, None, 401.0)
+    }
+
+    /// Aluminum: lighter solid heat-storage alternative (2.42 J/(cm^3 K)).
+    pub fn aluminum() -> Self {
+        Self::new("aluminum", 0.897, 2.70, 0.0, None, 237.0)
+    }
+
+    /// Icosane ("candle wax"): melting point 36.8 C, latent heat 241 J/g
+    /// (paper Section 4.2, citing Alawadhi & Amon).
+    pub fn icosane() -> Self {
+        Self::new("icosane", 2.21, 0.788, 241.0, Some(36.8), 0.15)
+    }
+
+    /// The paper's reference engineered PCM: latent heat 100 J/g, density
+    /// 1 g/cm^3, melting point 60 C, assumed mesh-enhanced conductivity.
+    ///
+    /// The specific heat is set low (0.3 J/(g*K)) to reflect that the paper's
+    /// Figure 4 transient attributes almost all of the PCM's storage to
+    /// latent rather than sensible heat (the plateau dominates the rise).
+    pub fn reference_pcm() -> Self {
+        Self::new("reference-pcm", 0.3, 1.0, 100.0, Some(60.0), 5.0)
+    }
+
+    /// Name of the material.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Specific heat capacity in J/(g*K).
+    pub fn specific_heat_j_per_g_k(&self) -> f64 {
+        self.specific_heat_j_per_g_k
+    }
+
+    /// Density in g/cm^3.
+    pub fn density_g_per_cm3(&self) -> f64 {
+        self.density_g_per_cm3
+    }
+
+    /// Latent heat of fusion in J/g (zero when no phase change is modelled).
+    pub fn latent_heat_j_per_g(&self) -> f64 {
+        self.latent_heat_j_per_g
+    }
+
+    /// Melting point in Celsius, when modelled.
+    pub fn melting_point_c(&self) -> Option<f64> {
+        self.melting_point_c
+    }
+
+    /// Bulk thermal conductivity in W/(m*K).
+    pub fn thermal_conductivity_w_per_m_k(&self) -> f64 {
+        self.thermal_conductivity_w_per_m_k
+    }
+
+    /// Volumetric heat capacity in J/(cm^3*K) — the figure of merit the paper
+    /// quotes for copper (3.45) and aluminum (2.42).
+    pub fn volumetric_heat_capacity_j_per_cm3_k(&self) -> f64 {
+        self.specific_heat_j_per_g_k * self.density_g_per_cm3
+    }
+
+    /// Sensible heat capacity of a block of `mass_g` grams, in J/K.
+    pub fn block_heat_capacity_j_per_k(&self, mass_g: f64) -> f64 {
+        self.specific_heat_j_per_g_k * mass_g
+    }
+
+    /// Latent heat stored by fully melting `mass_g` grams, in joules.
+    pub fn block_latent_heat_j(&self, mass_g: f64) -> f64 {
+        self.latent_heat_j_per_g * mass_g
+    }
+
+    /// Block thickness (mm) needed for a given mass over a die of
+    /// `die_area_mm2` square millimetres.
+    ///
+    /// Reproduces the paper's "2.3 mm thick block of PCM in contact with a
+    /// 64 mm^2 die" style calculations.
+    pub fn block_thickness_mm(&self, mass_g: f64, die_area_mm2: f64) -> f64 {
+        assert!(die_area_mm2 > 0.0, "die area must be positive");
+        // volume cm^3 = mass / density; thickness mm = volume / area.
+        let volume_cm3 = mass_g / self.density_g_per_cm3;
+        let volume_mm3 = volume_cm3 * 1000.0;
+        volume_mm3 / die_area_mm2
+    }
+
+    /// Mass (g) of this material required to absorb `energy_j` joules within
+    /// a `delta_t_k` kelvin temperature rise using sensible heat only.
+    ///
+    /// This is the Section 4.1 solid-storage sizing rule.
+    pub fn mass_for_sensible_storage_g(&self, energy_j: f64, delta_t_k: f64) -> f64 {
+        assert!(delta_t_k > 0.0, "temperature rise must be positive");
+        energy_j / (self.specific_heat_j_per_g_k * delta_t_k)
+    }
+
+    /// Mass (g) required to absorb `energy_j` joules purely in latent heat.
+    ///
+    /// Returns `None` for materials with no latent heat. This is the Section
+    /// 4.2 sizing rule (150 mg of 100 J/g PCM stores ~16 J — wait, 160 mg
+    /// exactly; the paper rounds to "about 150 milligrams").
+    pub fn mass_for_latent_storage_g(&self, energy_j: f64) -> Option<f64> {
+        if self.latent_heat_j_per_g == 0.0 {
+            None
+        } else {
+            Some(energy_j / self.latent_heat_j_per_g)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copper_volumetric_heat_capacity_matches_paper() {
+        let cu = Material::copper();
+        assert!((cu.volumetric_heat_capacity_j_per_cm3_k() - 3.45).abs() < 0.05);
+    }
+
+    #[test]
+    fn aluminum_volumetric_heat_capacity_matches_paper() {
+        let al = Material::aluminum();
+        assert!((al.volumetric_heat_capacity_j_per_cm3_k() - 2.42).abs() < 0.01);
+    }
+
+    #[test]
+    fn copper_block_sized_for_16_joules_is_about_7mm() {
+        // Paper: absorbing 16 J over a 64 mm^2 die with a 10 C rise needs a
+        // ~7.2 mm thick copper block.
+        let cu = Material::copper();
+        let mass = cu.mass_for_sensible_storage_g(16.0, 10.0);
+        let thickness = cu.block_thickness_mm(mass, 64.0);
+        assert!(
+            (thickness - 7.2).abs() < 0.3,
+            "expected ~7.2 mm, got {thickness:.2}"
+        );
+    }
+
+    #[test]
+    fn aluminum_block_sized_for_16_joules_is_about_10mm() {
+        let al = Material::aluminum();
+        let mass = al.mass_for_sensible_storage_g(16.0, 10.0);
+        let thickness = al.block_thickness_mm(mass, 64.0);
+        assert!(
+            (thickness - 10.3).abs() < 0.5,
+            "expected ~10.3 mm, got {thickness:.2}"
+        );
+    }
+
+    #[test]
+    fn reference_pcm_mass_for_16_joules_is_about_150mg() {
+        let pcm = Material::reference_pcm();
+        let mass = pcm.mass_for_latent_storage_g(16.0).unwrap();
+        // 16 J / 100 J/g = 0.16 g; the paper rounds to "about 150 mg".
+        assert!((mass - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_pcm_block_is_millimetre_scale() {
+        let pcm = Material::reference_pcm();
+        let thickness = pcm.block_thickness_mm(0.15, 64.0);
+        assert!(
+            (1.0..4.0).contains(&thickness),
+            "expected mm-scale block, got {thickness:.2}"
+        );
+    }
+
+    #[test]
+    fn icosane_has_paper_properties() {
+        let ic = Material::icosane();
+        assert_eq!(ic.melting_point_c(), Some(36.8));
+        assert_eq!(ic.latent_heat_j_per_g(), 241.0);
+    }
+
+    #[test]
+    fn copper_has_no_latent_storage() {
+        assert!(Material::copper().mass_for_latent_storage_g(16.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_property_rejected() {
+        let _ = Material::new("bad", -1.0, 1.0, 0.0, None, 1.0);
+    }
+}

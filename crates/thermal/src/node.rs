@@ -1,0 +1,338 @@
+//! Thermal storage nodes using the enthalpy method.
+//!
+//! Every heat-storing node tracks its state as enthalpy (joules relative to
+//! a reference temperature) rather than temperature. Temperature is a
+//! piecewise function of enthalpy, which makes phase change (a temperature
+//! plateau while latent heat is absorbed) exact and makes energy
+//! conservation trivial to verify.
+
+use serde::{Deserialize, Serialize};
+
+use crate::material::Material;
+
+/// Reference temperature (Celsius) at which enthalpy is defined to be zero
+/// for a node initialised "cold". Individual nodes may be initialised at any
+/// temperature; this constant only anchors the internal representation.
+const REFERENCE_TEMP_C: f64 = 0.0;
+
+/// Phase-change parameters for a storage node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseChange {
+    /// Melting temperature in Celsius.
+    pub melt_temp_c: f64,
+    /// Total latent heat of the block in joules (mass x latent heat of
+    /// fusion).
+    pub latent_heat_j: f64,
+    /// Sensible heat capacity of the liquid phase in J/K. Often close to the
+    /// solid value; modelled separately for completeness.
+    pub liquid_heat_capacity_j_per_k: f64,
+}
+
+/// A heat-storing node: a lump of material with sensible heat capacity and
+/// an optional phase transition.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_thermal::node::StorageNode;
+///
+/// let mut node = StorageNode::sensible_only("case", 5.0, 25.0);
+/// node.add_enthalpy(10.0); // inject 10 J
+/// assert!((node.temperature_c() - 27.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageNode {
+    name: String,
+    /// Sensible heat capacity of the solid phase, J/K.
+    solid_heat_capacity_j_per_k: f64,
+    phase_change: Option<PhaseChange>,
+    /// Current enthalpy relative to `REFERENCE_TEMP_C`, joules.
+    enthalpy_j: f64,
+}
+
+impl StorageNode {
+    /// Creates a node with sensible heat storage only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heat_capacity_j_per_k` is not strictly positive and finite.
+    pub fn sensible_only(
+        name: impl Into<String>,
+        heat_capacity_j_per_k: f64,
+        initial_temp_c: f64,
+    ) -> Self {
+        assert!(
+            heat_capacity_j_per_k.is_finite() && heat_capacity_j_per_k > 0.0,
+            "heat capacity must be positive"
+        );
+        let mut node = Self {
+            name: name.into(),
+            solid_heat_capacity_j_per_k: heat_capacity_j_per_k,
+            phase_change: None,
+            enthalpy_j: 0.0,
+        };
+        node.set_temperature(initial_temp_c);
+        node
+    }
+
+    /// Creates a phase-change node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if heat capacities or latent heat are non-positive, or if the
+    /// initial temperature is above the melting point (nodes start solid).
+    pub fn with_phase_change(
+        name: impl Into<String>,
+        solid_heat_capacity_j_per_k: f64,
+        phase_change: PhaseChange,
+        initial_temp_c: f64,
+    ) -> Self {
+        assert!(
+            solid_heat_capacity_j_per_k.is_finite() && solid_heat_capacity_j_per_k > 0.0,
+            "solid heat capacity must be positive"
+        );
+        assert!(
+            phase_change.latent_heat_j > 0.0,
+            "latent heat must be positive; use sensible_only otherwise"
+        );
+        assert!(
+            phase_change.liquid_heat_capacity_j_per_k > 0.0,
+            "liquid heat capacity must be positive"
+        );
+        assert!(
+            initial_temp_c <= phase_change.melt_temp_c,
+            "phase-change nodes must be initialised at or below the melting point"
+        );
+        let mut node = Self {
+            name: name.into(),
+            solid_heat_capacity_j_per_k,
+            phase_change: Some(phase_change),
+            enthalpy_j: 0.0,
+        };
+        node.set_temperature(initial_temp_c);
+        node
+    }
+
+    /// Builds a PCM node from a material and block mass, reusing the
+    /// solid-phase specific heat for the liquid phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the material has no melting point or latent heat.
+    pub fn from_material(
+        name: impl Into<String>,
+        material: &Material,
+        mass_g: f64,
+        initial_temp_c: f64,
+    ) -> Self {
+        let melt = material
+            .melting_point_c()
+            .expect("material must have a melting point to form a PCM node");
+        let latent = material.block_latent_heat_j(mass_g);
+        assert!(latent > 0.0, "material must have latent heat to form a PCM node");
+        let sensible = material.block_heat_capacity_j_per_k(mass_g);
+        Self::with_phase_change(
+            name,
+            sensible,
+            PhaseChange {
+                melt_temp_c: melt,
+                latent_heat_j: latent,
+                liquid_heat_capacity_j_per_k: sensible,
+            },
+            initial_temp_c,
+        )
+    }
+
+    /// Node name (used in traces and error messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Enthalpy at which melting begins (J, relative to the reference).
+    fn melt_onset_enthalpy(&self) -> f64 {
+        let pc = self.phase_change.as_ref().expect("no phase change");
+        (pc.melt_temp_c - REFERENCE_TEMP_C) * self.solid_heat_capacity_j_per_k
+    }
+
+    /// Current temperature in Celsius, derived from enthalpy.
+    pub fn temperature_c(&self) -> f64 {
+        match &self.phase_change {
+            None => REFERENCE_TEMP_C + self.enthalpy_j / self.solid_heat_capacity_j_per_k,
+            Some(pc) => {
+                let h0 = self.melt_onset_enthalpy();
+                if self.enthalpy_j <= h0 {
+                    REFERENCE_TEMP_C + self.enthalpy_j / self.solid_heat_capacity_j_per_k
+                } else if self.enthalpy_j <= h0 + pc.latent_heat_j {
+                    pc.melt_temp_c
+                } else {
+                    pc.melt_temp_c
+                        + (self.enthalpy_j - h0 - pc.latent_heat_j)
+                            / pc.liquid_heat_capacity_j_per_k
+                }
+            }
+        }
+    }
+
+    /// Fraction of the phase-change material currently melted, in `[0, 1]`.
+    /// Always zero for sensible-only nodes.
+    pub fn melt_fraction(&self) -> f64 {
+        match &self.phase_change {
+            None => 0.0,
+            Some(pc) => {
+                let h0 = self.melt_onset_enthalpy();
+                ((self.enthalpy_j - h0) / pc.latent_heat_j).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// True if the node models a phase transition.
+    pub fn has_phase_change(&self) -> bool {
+        self.phase_change.is_some()
+    }
+
+    /// The phase-change parameters, if any.
+    pub fn phase_change(&self) -> Option<&PhaseChange> {
+        self.phase_change.as_ref()
+    }
+
+    /// Current enthalpy in joules relative to the internal reference.
+    pub fn enthalpy_j(&self) -> f64 {
+        self.enthalpy_j
+    }
+
+    /// Adds (or with a negative argument, removes) enthalpy.
+    pub fn add_enthalpy(&mut self, joules: f64) {
+        debug_assert!(joules.is_finite(), "enthalpy change must be finite");
+        self.enthalpy_j += joules;
+    }
+
+    /// Sets the node temperature directly, recomputing enthalpy. For
+    /// phase-change nodes, a temperature exactly at the melting point is
+    /// interpreted as fully solid (melt fraction zero).
+    pub fn set_temperature(&mut self, temp_c: f64) {
+        self.enthalpy_j = match &self.phase_change {
+            None => (temp_c - REFERENCE_TEMP_C) * self.solid_heat_capacity_j_per_k,
+            Some(pc) => {
+                if temp_c <= pc.melt_temp_c {
+                    (temp_c - REFERENCE_TEMP_C) * self.solid_heat_capacity_j_per_k
+                } else {
+                    self.melt_onset_enthalpy()
+                        + pc.latent_heat_j
+                        + (temp_c - pc.melt_temp_c) * pc.liquid_heat_capacity_j_per_k
+                }
+            }
+        };
+    }
+
+    /// Effective heat capacity (J/K) at the current state; during melting
+    /// this is unbounded, so the value returned is the *sensible* capacity
+    /// of the current phase — used only for solver step-size control.
+    pub fn sensible_capacity_j_per_k(&self) -> f64 {
+        match &self.phase_change {
+            None => self.solid_heat_capacity_j_per_k,
+            Some(pc) => {
+                if self.melt_fraction() >= 1.0 {
+                    pc.liquid_heat_capacity_j_per_k
+                } else {
+                    self.solid_heat_capacity_j_per_k
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcm_node() -> StorageNode {
+        // 0.15 g of the reference PCM: 0.045 J/K sensible, 15 J latent, 60 C.
+        StorageNode::with_phase_change(
+            "pcm",
+            0.045,
+            PhaseChange {
+                melt_temp_c: 60.0,
+                latent_heat_j: 15.0,
+                liquid_heat_capacity_j_per_k: 0.045,
+            },
+            25.0,
+        )
+    }
+
+    #[test]
+    fn sensible_node_linear_in_enthalpy() {
+        let mut n = StorageNode::sensible_only("x", 2.0, 20.0);
+        n.add_enthalpy(8.0);
+        assert!((n.temperature_c() - 24.0).abs() < 1e-12);
+        n.add_enthalpy(-16.0);
+        assert!((n.temperature_c() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcm_plateaus_at_melting_point() {
+        let mut n = pcm_node();
+        // Heat to melting point: (60-25) * 0.045 = 1.575 J.
+        n.add_enthalpy(1.575);
+        assert!((n.temperature_c() - 60.0).abs() < 1e-9);
+        assert!(n.melt_fraction().abs() < 1e-9);
+        // Halfway through melting.
+        n.add_enthalpy(7.5);
+        assert!((n.temperature_c() - 60.0).abs() < 1e-9);
+        assert!((n.melt_fraction() - 0.5).abs() < 1e-9);
+        // Finish melting and add 0.45 J more: T = 60 + 0.45/0.045 = 70.
+        n.add_enthalpy(7.5 + 0.45);
+        assert!((n.temperature_c() - 70.0).abs() < 1e-9);
+        assert!((n.melt_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcm_refreezes_symmetrically() {
+        let mut n = pcm_node();
+        n.set_temperature(60.0);
+        n.add_enthalpy(15.0); // fully melt
+        assert!((n.melt_fraction() - 1.0).abs() < 1e-12);
+        n.add_enthalpy(-7.5);
+        assert!((n.melt_fraction() - 0.5).abs() < 1e-12);
+        assert!((n.temperature_c() - 60.0).abs() < 1e-9);
+        n.add_enthalpy(-7.5 - 0.045 * 35.0);
+        assert!((n.temperature_c() - 25.0).abs() < 1e-9);
+        assert!(n.melt_fraction().abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_temperature_roundtrips() {
+        let mut n = pcm_node();
+        for t in [10.0, 25.0, 59.9, 60.0, 61.0, 75.0] {
+            n.set_temperature(t);
+            assert!(
+                (n.temperature_c() - t).abs() < 1e-9,
+                "roundtrip failed at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_material_matches_manual_construction() {
+        let mat = Material::reference_pcm();
+        let n = StorageNode::from_material("pcm", &mat, 0.15, 25.0);
+        let pc = n.phase_change().unwrap();
+        assert!((pc.latent_heat_j - 15.0).abs() < 1e-12);
+        assert!((pc.melt_temp_c - 60.0).abs() < 1e-12);
+        assert!((n.sensible_capacity_j_per_k() - 0.045).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at or below the melting point")]
+    fn pcm_cannot_start_melted() {
+        let _ = StorageNode::with_phase_change(
+            "pcm",
+            1.0,
+            PhaseChange {
+                melt_temp_c: 60.0,
+                latent_heat_j: 1.0,
+                liquid_heat_capacity_j_per_k: 1.0,
+            },
+            61.0,
+        );
+    }
+}

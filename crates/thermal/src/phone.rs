@@ -1,0 +1,501 @@
+//! The smart-phone thermal model of Figure 3.
+//!
+//! Topology (Figure 3(c)/(d)): chip power is injected at the die junction;
+//! heat flows through the thermal interface material into the PCM block,
+//! onward through the package into the case, and from the case to the
+//! ambient by passive convection. A secondary path conducts from the
+//! junction through the PCB/board to the ambient, as in the
+//! physically-validated phone model the paper bases its parameters on.
+//!
+//! Default parameters are chosen so the analyses of Sections 3-4 fall out:
+//! sustained (TDP) power ≈ 1 W with the junction just below the PCM melting
+//! point, a 16 W sprint that plateaus at the melting point for ≈ 1 s with
+//! 150 mg of PCM (Figure 4(a)), and a post-sprint cooldown that returns the
+//! junction close to ambient after ≈ 24 s (Figure 4(b)).
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::{NodeId, ThermalNetwork};
+use crate::material::Material;
+use crate::node::StorageNode;
+use crate::solver::TransientSolver;
+
+/// Parameters of the secondary junction→board→ambient path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoardPath {
+    /// Junction to board resistance, K/W.
+    pub r_junction_board_k_per_w: f64,
+    /// Board heat capacity, J/K.
+    pub board_capacity_j_per_k: f64,
+    /// Board to ambient resistance, K/W.
+    pub r_board_ambient_k_per_w: f64,
+}
+
+impl Default for BoardPath {
+    fn default() -> Self {
+        Self {
+            r_junction_board_k_per_w: 50.0,
+            board_capacity_j_per_k: 20.0,
+            r_board_ambient_k_per_w: 150.0,
+        }
+    }
+}
+
+/// Complete parameter set for the phone thermal network.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_thermal::phone::PhoneThermalParams;
+///
+/// let phone = PhoneThermalParams::hpca().build();
+/// // Sustained power with the junction held just below the PCM melting
+/// // point is ~1 W: the paper's nominal single-core budget.
+/// let tdp = phone.tdp_w();
+/// assert!((0.9..1.2).contains(&tdp), "tdp = {tdp}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhoneThermalParams {
+    /// Ambient temperature, Celsius.
+    pub ambient_c: f64,
+    /// Maximum safe junction temperature, Celsius (70 C in the paper's
+    /// simulations).
+    pub t_max_c: f64,
+    /// Die junction (die + TIM lump) heat capacity, J/K.
+    pub junction_capacity_j_per_k: f64,
+    /// Junction to PCM resistance (TIM + spreading mesh), K/W. Determines
+    /// the maximum sprint power (marker 2 in Figure 3(d)).
+    pub r_junction_pcm_k_per_w: f64,
+    /// PCM block mass in grams. Zero disables the PCM (Figure 3(a)/(b)).
+    pub pcm_mass_g: f64,
+    /// PCM material (melting point, latent heat, specific heat).
+    pub pcm_material: Material,
+    /// PCM to case (package) resistance, K/W.
+    pub r_pcm_case_k_per_w: f64,
+    /// Case heat capacity, J/K.
+    pub case_capacity_j_per_k: f64,
+    /// Case to ambient (passive convection) resistance, K/W.
+    pub r_case_ambient_k_per_w: f64,
+    /// Optional secondary board path.
+    pub board_path: Option<BoardPath>,
+}
+
+impl PhoneThermalParams {
+    /// The paper's fully-provisioned design point: 150 mg of the reference
+    /// PCM (≈ 15-16 J of latent capacity, enough for a 16 W, ~1 s sprint).
+    pub fn hpca() -> Self {
+        Self {
+            ambient_c: 25.0,
+            t_max_c: 70.0,
+            junction_capacity_j_per_k: 0.01,
+            r_junction_pcm_k_per_w: 0.25,
+            pcm_mass_g: 0.14,
+            pcm_material: Material::reference_pcm(),
+            // The case is the phone chassis: a large, well-convecting mass.
+            // Cooling (and sustained power) is dominated by the PCM-to-case
+            // resistance, matching Figure 3's marker 3 discussion.
+            r_pcm_case_k_per_w: 38.0,
+            case_capacity_j_per_k: 50.0,
+            r_case_ambient_k_per_w: 1.0,
+            board_path: Some(BoardPath::default()),
+        }
+    }
+
+    /// The paper's artificially-limited design point: PCM reduced 100x
+    /// (1.5 mg) "to measure the effect of limited sprint duration with
+    /// tractable simulation times" (Section 8.3).
+    pub fn limited() -> Self {
+        let mut p = Self::hpca();
+        p.pcm_mass_g /= 100.0;
+        p
+    }
+
+    /// A conventional (PCM-free) package: Figure 3(a)/(b).
+    pub fn without_pcm() -> Self {
+        let mut p = Self::hpca();
+        p.pcm_mass_g = 0.0;
+        p
+    }
+
+    /// Sets the PCM mass in grams (builder style).
+    pub fn with_pcm_mass_g(mut self, mass_g: f64) -> Self {
+        assert!(mass_g >= 0.0 && mass_g.is_finite(), "mass must be non-negative");
+        self.pcm_mass_g = mass_g;
+        self
+    }
+
+    /// Compresses every thermal time constant by `factor` by dividing all
+    /// heat capacities (and the PCM mass) by it. Steady-state temperatures,
+    /// TDP and maximum sprint power are unchanged; sprint duration and
+    /// cooldown shrink by exactly `factor`.
+    ///
+    /// The paper uses the same trick (its 1.5 mg configuration) to keep
+    /// many-core simulations tractable; we expose it as a first-class knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn time_scaled(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        self.junction_capacity_j_per_k /= factor;
+        self.pcm_mass_g /= factor;
+        self.case_capacity_j_per_k /= factor;
+        if let Some(bp) = &mut self.board_path {
+            bp.board_capacity_j_per_k /= factor;
+        }
+        self
+    }
+
+    /// PCM melting temperature for these parameters, or the max junction
+    /// temperature when no PCM is configured.
+    pub fn sustain_limit_c(&self) -> f64 {
+        if self.pcm_mass_g > 0.0 {
+            self.pcm_material.melting_point_c().unwrap_or(self.t_max_c)
+        } else {
+            self.t_max_c
+        }
+    }
+
+    /// Builds the thermal network and wraps it in a [`PhoneThermal`] ready
+    /// for transient simulation, with all nodes at ambient temperature.
+    pub fn build(self) -> PhoneThermal {
+        let mut net = ThermalNetwork::new();
+        let junction = net.add_storage(StorageNode::sensible_only(
+            "junction",
+            self.junction_capacity_j_per_k,
+            self.ambient_c,
+        ));
+        let case = net.add_storage(StorageNode::sensible_only(
+            "case",
+            self.case_capacity_j_per_k,
+            self.ambient_c,
+        ));
+        let ambient = net.add_boundary("ambient", self.ambient_c);
+        let pcm = if self.pcm_mass_g > 0.0 {
+            // Materials without a phase transition (copper/aluminum heat
+            // storage, Section 4.1) become sensible-only blocks in the same
+            // package position.
+            let node = if self.pcm_material.melting_point_c().is_some()
+                && self.pcm_material.latent_heat_j_per_g() > 0.0
+            {
+                StorageNode::from_material(
+                    "pcm",
+                    &self.pcm_material,
+                    self.pcm_mass_g,
+                    self.ambient_c,
+                )
+            } else {
+                StorageNode::sensible_only(
+                    "heat-block",
+                    self.pcm_material.block_heat_capacity_j_per_k(self.pcm_mass_g),
+                    self.ambient_c,
+                )
+            };
+            let pcm = net.add_storage(node);
+            net.connect(junction, pcm, self.r_junction_pcm_k_per_w);
+            net.connect(pcm, case, self.r_pcm_case_k_per_w);
+            Some(pcm)
+        } else {
+            net.connect(
+                junction,
+                case,
+                self.r_junction_pcm_k_per_w + self.r_pcm_case_k_per_w,
+            );
+            None
+        };
+        net.connect(case, ambient, self.r_case_ambient_k_per_w);
+        let board = self.board_path.as_ref().map(|bp| {
+            let board = net.add_storage(StorageNode::sensible_only(
+                "board",
+                bp.board_capacity_j_per_k,
+                self.ambient_c,
+            ));
+            net.connect(junction, board, bp.r_junction_board_k_per_w);
+            net.connect(board, ambient, bp.r_board_ambient_k_per_w);
+            board
+        });
+        PhoneThermal {
+            solver: TransientSolver::new(net),
+            junction,
+            pcm,
+            case,
+            board,
+            ambient,
+            params: self,
+        }
+    }
+}
+
+impl Default for PhoneThermalParams {
+    fn default() -> Self {
+        Self::hpca()
+    }
+}
+
+/// A phone thermal model ready for transient co-simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhoneThermal {
+    solver: TransientSolver,
+    junction: NodeId,
+    pcm: Option<NodeId>,
+    case: NodeId,
+    board: Option<NodeId>,
+    ambient: NodeId,
+    params: PhoneThermalParams,
+}
+
+impl PhoneThermal {
+    /// The parameters this model was built from.
+    pub fn params(&self) -> &PhoneThermalParams {
+        &self.params
+    }
+
+    /// Die junction node id.
+    pub fn junction(&self) -> NodeId {
+        self.junction
+    }
+
+    /// PCM node id, when a PCM is present.
+    pub fn pcm(&self) -> Option<NodeId> {
+        self.pcm
+    }
+
+    /// Case node id.
+    pub fn case(&self) -> NodeId {
+        self.case
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &ThermalNetwork {
+        self.solver.network()
+    }
+
+    /// Sets the instantaneous chip power dissipation in watts.
+    pub fn set_chip_power_w(&mut self, watts: f64) {
+        let j = self.junction;
+        self.solver.network_mut().set_power(j, watts);
+    }
+
+    /// Advances the model by `dt_s` seconds.
+    pub fn advance(&mut self, dt_s: f64) {
+        self.solver.advance(dt_s);
+    }
+
+    /// Current simulation time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.solver.time_s()
+    }
+
+    /// Junction temperature, Celsius.
+    pub fn junction_temp_c(&self) -> f64 {
+        self.solver.network().temperature_c(self.junction)
+    }
+
+    /// PCM temperature (junction temperature when no PCM is modelled).
+    pub fn pcm_temp_c(&self) -> f64 {
+        match self.pcm {
+            Some(p) => self.solver.network().temperature_c(p),
+            None => self.junction_temp_c(),
+        }
+    }
+
+    /// PCM melt fraction in `[0, 1]` (zero when no PCM is modelled).
+    pub fn melt_fraction(&self) -> f64 {
+        match self.pcm {
+            Some(p) => self.solver.network().melt_fraction(p),
+            None => 0.0,
+        }
+    }
+
+    /// True once the junction has reached the maximum safe temperature.
+    pub fn at_thermal_limit(&self) -> bool {
+        self.junction_temp_c() >= self.params.t_max_c - 1e-9
+    }
+
+    /// Remaining headroom before the junction hits `t_max_c`, in Kelvin.
+    pub fn headroom_k(&self) -> f64 {
+        self.params.t_max_c - self.junction_temp_c()
+    }
+
+    /// Equivalent junction-to-ambient thermal resistance, K/W.
+    pub fn r_junction_ambient_k_per_w(&self) -> f64 {
+        self.solver
+            .network()
+            .equivalent_resistance_to_ambient(self.junction)
+    }
+
+    /// Sustainable power (TDP): the steady-state power that holds the
+    /// junction exactly at the sustain limit (the PCM melting point when a
+    /// PCM is present, else `t_max_c`).
+    pub fn tdp_w(&self) -> f64 {
+        let limit = self.params.sustain_limit_c();
+        (limit - self.params.ambient_c) / self.r_junction_ambient_k_per_w()
+    }
+
+    /// Maximum sprint power (W): bounded by the resistance into the PCM
+    /// (paper Figure 3 marker 2): during the melt plateau the junction sits
+    /// at `Tmelt + P * R_junction_pcm`, which must stay below `t_max_c`.
+    /// Without a PCM the bound equals the TDP (no sprinting headroom beyond
+    /// transient junction capacitance).
+    pub fn max_sprint_power_w(&self) -> f64 {
+        let has_melt = self.params.pcm_material.melting_point_c().is_some()
+            && self.params.pcm_material.latent_heat_j_per_g() > 0.0;
+        if self.pcm.is_some() && has_melt {
+            let melt = self.params.sustain_limit_c();
+            (self.params.t_max_c - melt) / self.params.r_junction_pcm_k_per_w
+        } else {
+            self.tdp_w()
+        }
+    }
+
+    /// Total sprint energy budget in joules starting from the current
+    /// state: remaining latent heat plus the sensible headroom of the
+    /// junction+PCM lump up to `t_max_c`. This is the "16 joules" quantity
+    /// of Section 4.
+    pub fn sprint_energy_budget_j(&self) -> f64 {
+        let mut budget = 0.0;
+        if let Some(p) = self.pcm {
+            let node = self.solver.network().storage(p);
+            if let Some(pc) = node.phase_change() {
+                budget += pc.latent_heat_j * (1.0 - node.melt_fraction());
+                // Sensible headroom of the PCM up to Tmax.
+                let t = node.temperature_c();
+                if t < pc.melt_temp_c {
+                    budget += (pc.melt_temp_c - t) * node.sensible_capacity_j_per_k();
+                    budget += (self.params.t_max_c - pc.melt_temp_c)
+                        * pc.liquid_heat_capacity_j_per_k;
+                } else {
+                    budget += (self.params.t_max_c - t).max(0.0)
+                        * pc.liquid_heat_capacity_j_per_k;
+                }
+            } else {
+                // Solid heat-storage block (Section 4.1): sensible only.
+                budget += (self.params.t_max_c - node.temperature_c()).max(0.0)
+                    * node.sensible_capacity_j_per_k();
+            }
+        }
+        budget += self.headroom_k().max(0.0) * self.params.junction_capacity_j_per_k;
+        budget
+    }
+
+    /// Resets every storage node to the ambient temperature (fully frozen).
+    pub fn reset_to_ambient(&mut self) {
+        let ambient = self.params.ambient_c;
+        let net = self.solver.network_mut();
+        for id in [Some(self.junction), self.pcm, Some(self.case), self.board]
+            .into_iter()
+            .flatten()
+        {
+            net.storage_mut(id).set_temperature(ambient);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tdp_is_about_one_watt() {
+        let phone = PhoneThermalParams::hpca().build();
+        let tdp = phone.tdp_w();
+        assert!((0.9..1.2).contains(&tdp), "TDP {tdp:.3} W outside [0.9, 1.2]");
+    }
+
+    #[test]
+    fn max_sprint_power_covers_16w() {
+        let phone = PhoneThermalParams::hpca().build();
+        assert!(
+            phone.max_sprint_power_w() >= 16.0,
+            "max sprint power {:.1} W must cover the 16 W design point",
+            phone.max_sprint_power_w()
+        );
+    }
+
+    #[test]
+    fn sprint_energy_budget_is_about_16_joules() {
+        let phone = PhoneThermalParams::hpca().build();
+        let e = phone.sprint_energy_budget_j();
+        assert!(
+            (14.0..19.0).contains(&e),
+            "sprint budget {e:.1} J should be ≈ 16 J"
+        );
+    }
+
+    #[test]
+    fn limited_config_has_one_percent_budget() {
+        let full = PhoneThermalParams::hpca().build().sprint_energy_budget_j();
+        let limited = PhoneThermalParams::limited().build().sprint_energy_budget_j();
+        // Latent dominates, so the ratio should be close to 100x.
+        assert!(
+            limited < full / 20.0,
+            "limited budget {limited:.3} J not ≪ full {full:.1} J"
+        );
+    }
+
+    #[test]
+    fn sustained_operation_stays_below_melting_point() {
+        let mut phone = PhoneThermalParams::hpca().build();
+        phone.set_chip_power_w(1.0);
+        phone.advance(400.0);
+        let t = phone.junction_temp_c();
+        assert!(
+            t < 60.0 + 1e-6,
+            "sustained 1 W junction temperature {t:.1} C must stay below 60 C"
+        );
+        assert!(t > 50.0, "sustained 1 W should warm the junction well above ambient");
+        assert!(phone.melt_fraction() < 1e-9);
+    }
+
+    #[test]
+    fn time_scaling_preserves_steady_state() {
+        let base = PhoneThermalParams::hpca().build();
+        let scaled = PhoneThermalParams::hpca().time_scaled(50.0).build();
+        assert!((base.tdp_w() - scaled.tdp_w()).abs() < 1e-9);
+        assert!((base.max_sprint_power_w() - scaled.max_sprint_power_w()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_scaling_compresses_sprint_duration() {
+        let mut full = PhoneThermalParams::hpca().build();
+        let mut scaled = PhoneThermalParams::hpca().time_scaled(10.0).build();
+        for p in [&mut full, &mut scaled] {
+            p.set_chip_power_w(16.0);
+        }
+        let mut t_full = 0.0;
+        while !full.at_thermal_limit() && t_full < 10.0 {
+            full.advance(0.005);
+            t_full += 0.005;
+        }
+        let mut t_scaled = 0.0;
+        while !scaled.at_thermal_limit() && t_scaled < 10.0 {
+            scaled.advance(0.0005);
+            t_scaled += 0.0005;
+        }
+        let ratio = t_full / t_scaled;
+        assert!(
+            (7.0..13.0).contains(&ratio),
+            "expected ~10x compression, got {ratio:.1} ({t_full:.3}s vs {t_scaled:.4}s)"
+        );
+    }
+
+    #[test]
+    fn no_pcm_variant_has_no_melt_state() {
+        let mut phone = PhoneThermalParams::without_pcm().build();
+        phone.set_chip_power_w(16.0);
+        phone.advance(0.5);
+        assert_eq!(phone.melt_fraction(), 0.0);
+        assert!(phone.pcm().is_none());
+    }
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let mut phone = PhoneThermalParams::hpca().build();
+        phone.set_chip_power_w(16.0);
+        phone.advance(0.8);
+        assert!(phone.junction_temp_c() > 40.0);
+        phone.reset_to_ambient();
+        assert!((phone.junction_temp_c() - 25.0).abs() < 1e-9);
+        assert_eq!(phone.melt_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Transient integration of thermal networks.
+//!
+//! Uses explicit Heun (second-order predictor-corrector) integration of node
+//! enthalpies with automatic sub-stepping: the solver divides each requested
+//! step so that no sub-step exceeds a configurable fraction of the smallest
+//! RC time constant in the network, which keeps explicit integration stable
+//! and accurate. Enthalpy moves between nodes edge-by-edge, so energy is
+//! conserved to floating-point roundoff by construction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::{Node, ThermalNetwork};
+
+/// Transient simulator advancing a [`ThermalNetwork`] through time.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_thermal::circuit::ThermalNetwork;
+/// use sprint_thermal::node::StorageNode;
+/// use sprint_thermal::solver::TransientSolver;
+///
+/// let mut net = ThermalNetwork::new();
+/// let j = net.add_storage(StorageNode::sensible_only("junction", 1.0, 25.0));
+/// let amb = net.add_boundary("ambient", 25.0);
+/// net.connect(j, amb, 10.0);
+/// net.set_power(j, 1.0);
+///
+/// let mut solver = TransientSolver::new(net);
+/// solver.advance(100.0); // 100 s ≈ 10 time constants: essentially settled
+/// let t = solver.network().temperature_c(j);
+/// assert!((t - 35.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransientSolver {
+    network: ThermalNetwork,
+    time_s: f64,
+    /// Maximum sub-step as a fraction of the smallest RC constant.
+    stability_fraction: f64,
+    /// Cached smallest time constant; recomputed when the network's
+    /// structure cannot change (it can't after construction) but phase state
+    /// can alter sensible capacities, so it is refreshed on every `advance`.
+    scratch_flows: Vec<f64>,
+}
+
+impl TransientSolver {
+    /// Wraps a network for transient simulation, starting at time zero.
+    pub fn new(network: ThermalNetwork) -> Self {
+        let n = network.node_count();
+        Self {
+            network,
+            time_s: 0.0,
+            stability_fraction: 0.05,
+            scratch_flows: vec![0.0; 2 * n],
+        }
+    }
+
+    /// Sets the stability fraction (sub-step / min time constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 0.5` (explicit Euler's stability
+    /// region for a pure decay ends at 2.0; 0.5 already trades accuracy).
+    pub fn with_stability_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 0.5,
+            "stability fraction must be in (0, 0.5]"
+        );
+        self.stability_fraction = fraction;
+        self
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// The simulated network (e.g. to read temperatures).
+    pub fn network(&self) -> &ThermalNetwork {
+        &self.network
+    }
+
+    /// Mutable access, e.g. to change injected power between steps.
+    pub fn network_mut(&mut self) -> &mut ThermalNetwork {
+        &mut self.network
+    }
+
+    /// Consumes the solver, returning the network.
+    pub fn into_network(self) -> ThermalNetwork {
+        self.network
+    }
+
+    /// Smallest RC product over storage nodes (seconds), using each node's
+    /// current-phase sensible capacity and its lowest-resistance edge.
+    fn min_time_constant(&self) -> f64 {
+        let mut min_tau = f64::INFINITY;
+        for (i, node) in self.network.nodes.iter().enumerate() {
+            let c = match node {
+                Node::Storage(s) => s.sensible_capacity_j_per_k(),
+                Node::Boundary { .. } => continue,
+            };
+            let mut g_total = 0.0;
+            for e in &self.network.edges {
+                if e.a == i || e.b == i {
+                    g_total += 1.0 / e.resistance_k_per_w;
+                }
+            }
+            if g_total > 0.0 {
+                min_tau = min_tau.min(c / g_total);
+            }
+        }
+        if min_tau.is_finite() {
+            min_tau
+        } else {
+            // Isolated nodes only: any step is stable.
+            f64::MAX
+        }
+    }
+
+    /// Advances the simulation by `dt_s` seconds (sub-stepping internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is negative or not finite.
+    pub fn advance(&mut self, dt_s: f64) {
+        assert!(dt_s.is_finite() && dt_s >= 0.0, "dt must be finite and non-negative");
+        if dt_s == 0.0 {
+            return;
+        }
+        let max_sub = (self.min_time_constant() * self.stability_fraction).max(1e-12);
+        let steps = (dt_s / max_sub).ceil().max(1.0) as u64;
+        let sub = dt_s / steps as f64;
+        for _ in 0..steps {
+            self.step_once(sub);
+        }
+        self.time_s += dt_s;
+    }
+
+    /// One explicit Heun sub-step: predictor flows at the current state,
+    /// corrector flows at the predicted state, average the two. Each edge's
+    /// transfer is antisymmetric between its endpoints, so total enthalpy
+    /// (storage + boundary bookkeeping) is conserved exactly.
+    fn step_once(&mut self, dt: f64) {
+        let n = self.network.node_count();
+        let (f0, f1) = self.scratch_flows.split_at_mut(n);
+        // Predictor: flows at the current temperatures.
+        self.network.net_flows(f0);
+        for (i, node) in self.network.nodes.iter_mut().enumerate() {
+            if let Node::Storage(s) = node {
+                s.add_enthalpy(f0[i] * dt);
+            }
+        }
+        // Corrector: flows at the predicted state.
+        self.network.net_flows(f1);
+        for (i, node) in self.network.nodes.iter_mut().enumerate() {
+            match node {
+                // Replace the predictor contribution with the Heun average.
+                Node::Storage(s) => s.add_enthalpy((f1[i] - f0[i]) * 0.5 * dt),
+                Node::Boundary { .. } => {
+                    self.network.boundary_absorbed_j += (f0[i] + f1[i]) * 0.5 * dt;
+                }
+            }
+        }
+    }
+
+    /// Advances until `predicate` returns true or `max_time_s` elapses,
+    /// checking every `check_interval_s`. Returns the time at which the
+    /// predicate first held, or `None` on timeout.
+    pub fn advance_until(
+        &mut self,
+        check_interval_s: f64,
+        max_time_s: f64,
+        mut predicate: impl FnMut(&ThermalNetwork) -> bool,
+    ) -> Option<f64> {
+        assert!(check_interval_s > 0.0, "check interval must be positive");
+        let deadline = self.time_s + max_time_s;
+        while self.time_s < deadline {
+            if predicate(&self.network) {
+                return Some(self.time_s);
+            }
+            self.advance(check_interval_s.min(deadline - self.time_s));
+        }
+        if predicate(&self.network) {
+            Some(self.time_s)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{PhaseChange, StorageNode};
+
+    fn rc_network(c: f64, r: f64, p: f64) -> (ThermalNetwork, crate::circuit::NodeId) {
+        let mut net = ThermalNetwork::new();
+        let j = net.add_storage(StorageNode::sensible_only("j", c, 25.0));
+        let amb = net.add_boundary("amb", 25.0);
+        net.connect(j, amb, r);
+        net.set_power(j, p);
+        (net, j)
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        // T(t) = Tamb + P*R*(1 - exp(-t/RC)); C=2, R=5, P=1 → tau=10 s.
+        let (net, j) = rc_network(2.0, 5.0, 1.0);
+        let mut solver = TransientSolver::new(net);
+        for &t in &[1.0, 5.0, 10.0, 20.0] {
+            let mut s = solver.clone();
+            s.advance(t);
+            let expected = 25.0 + 5.0 * (1.0 - (-t / 10.0f64).exp());
+            let got = s.network().temperature_c(j);
+            assert!(
+                (got - expected).abs() < 0.05,
+                "t={t}: expected {expected:.3}, got {got:.3}"
+            );
+        }
+        solver.advance(200.0);
+        assert!((solver.network().temperature_c(j) - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cooling_decays_exponentially() {
+        let (mut net, j) = rc_network(2.0, 5.0, 0.0);
+        net.storage_mut(j).set_temperature(75.0);
+        let mut solver = TransientSolver::new(net);
+        solver.advance(10.0); // one time constant
+        let expected = 25.0 + 50.0 * (-1.0f64).exp();
+        let got = solver.network().temperature_c(j);
+        assert!((got - expected).abs() < 0.1, "expected {expected:.2}, got {got:.2}");
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        let (net, _) = rc_network(2.0, 5.0, 3.0);
+        let mut solver = TransientSolver::new(net);
+        let e0 = solver.network().total_stored_enthalpy_j();
+        solver.advance(42.0);
+        let injected = 3.0 * 42.0;
+        let stored = solver.network().total_stored_enthalpy_j() - e0;
+        let absorbed = solver.network().boundary_absorbed_j();
+        assert!(
+            (stored + absorbed - injected).abs() < 1e-6 * injected,
+            "stored {stored} + absorbed {absorbed} != injected {injected}"
+        );
+    }
+
+    #[test]
+    fn pcm_plateau_holds_temperature() {
+        let mut net = ThermalNetwork::new();
+        let pcm = net.add_storage(StorageNode::with_phase_change(
+            "pcm",
+            0.045,
+            PhaseChange {
+                melt_temp_c: 60.0,
+                latent_heat_j: 15.0,
+                liquid_heat_capacity_j_per_k: 0.045,
+            },
+            25.0,
+        ));
+        let amb = net.add_boundary("amb", 25.0);
+        net.connect(pcm, amb, 35.0);
+        net.set_power(pcm, 16.0);
+        let mut solver = TransientSolver::new(net);
+        // Reach the melting point.
+        let t_melt = solver
+            .advance_until(0.001, 10.0, |n| n.temperature_c(pcm) >= 59.999)
+            .expect("must reach melting point");
+        // Mid-plateau: temperature pinned at 60 while melting.
+        solver.advance(0.4);
+        assert!((solver.network().temperature_c(pcm) - 60.0).abs() < 1e-6);
+        let f = solver.network().melt_fraction(pcm);
+        assert!(f > 0.1 && f < 0.9, "expected mid-melt, got {f}");
+        // Plateau length ≈ latent / (P - leak) = 15 / (16 - 1) = 1 s.
+        let t_done = solver
+            .advance_until(0.001, 10.0, |n| n.melt_fraction(pcm) >= 1.0)
+            .expect("must finish melting");
+        let plateau = t_done - t_melt;
+        assert!(
+            (plateau - 1.0).abs() < 0.05,
+            "expected ~1 s plateau, got {plateau:.3}"
+        );
+    }
+
+    #[test]
+    fn advance_until_times_out() {
+        let (net, j) = rc_network(2.0, 5.0, 0.1);
+        let mut solver = TransientSolver::new(net);
+        // 0.1 W * 5 K/W = 0.5 K rise max; can never reach 100 C.
+        assert!(solver
+            .advance_until(0.5, 5.0, |n| n.temperature_c(j) > 100.0)
+            .is_none());
+    }
+
+    #[test]
+    fn zero_dt_is_noop() {
+        let (net, j) = rc_network(1.0, 1.0, 1.0);
+        let mut solver = TransientSolver::new(net);
+        solver.advance(0.0);
+        assert_eq!(solver.time_s(), 0.0);
+        assert!((solver.network().temperature_c(j) - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Time-series recording for thermal transients.
+
+use serde::{Deserialize, Serialize};
+
+use crate::phone::PhoneThermal;
+
+/// One sampled point of a phone thermal transient.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Simulation time, seconds.
+    pub time_s: f64,
+    /// Junction temperature, Celsius.
+    pub junction_c: f64,
+    /// PCM temperature, Celsius (junction temperature when no PCM).
+    pub pcm_c: f64,
+    /// Case temperature, Celsius.
+    pub case_c: f64,
+    /// PCM melt fraction in `[0, 1]`.
+    pub melt_fraction: f64,
+    /// Chip power at the sample instant, watts.
+    pub power_w: f64,
+}
+
+/// A recorded thermal time series.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_thermal::phone::PhoneThermalParams;
+/// use sprint_thermal::trace::Trace;
+///
+/// let mut phone = PhoneThermalParams::hpca().build();
+/// phone.set_chip_power_w(16.0);
+/// let mut trace = Trace::new();
+/// for _ in 0..10 {
+///     phone.advance(0.01);
+///     trace.sample(&phone);
+/// }
+/// assert_eq!(trace.len(), 10);
+/// assert!(trace.max_junction_c() > 25.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the model's current state.
+    pub fn sample(&mut self, phone: &PhoneThermal) {
+        let junction = phone.junction();
+        let case = phone.case();
+        let net = phone.network();
+        self.points.push(TracePoint {
+            time_s: phone.time_s(),
+            junction_c: phone.junction_temp_c(),
+            pcm_c: phone.pcm_temp_c(),
+            case_c: net.temperature_c(case),
+            melt_fraction: phone.melt_fraction(),
+            power_w: net.power(junction),
+        });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recorded samples in time order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, TracePoint> {
+        self.points.iter()
+    }
+
+    /// Maximum junction temperature observed, Celsius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn max_junction_c(&self) -> f64 {
+        assert!(!self.points.is_empty(), "trace is empty");
+        self.points
+            .iter()
+            .map(|p| p.junction_c)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Time span covered by the trace, seconds (zero when fewer than two
+    /// samples exist).
+    pub fn span_s(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.time_s - a.time_s,
+            _ => 0.0,
+        }
+    }
+
+    /// Resamples the trace at up to `n` evenly spaced points (for compact
+    /// figure output). Returns all points when `n >= len`.
+    pub fn downsample(&self, n: usize) -> Vec<TracePoint> {
+        assert!(n > 0, "n must be positive");
+        if self.points.len() <= n {
+            return self.points.clone();
+        }
+        let step = (self.points.len() - 1) as f64 / (n - 1) as f64;
+        (0..n)
+            .map(|i| self.points[(i as f64 * step).round() as usize])
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TracePoint;
+    type IntoIter = std::slice::Iter<'a, TracePoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phone::PhoneThermalParams;
+
+    fn short_trace(n: usize) -> Trace {
+        let mut phone = PhoneThermalParams::hpca().build();
+        phone.set_chip_power_w(16.0);
+        let mut trace = Trace::new();
+        for _ in 0..n {
+            phone.advance(0.01);
+            trace.sample(&phone);
+        }
+        trace
+    }
+
+    #[test]
+    fn samples_are_time_ordered() {
+        let trace = short_trace(20);
+        for w in trace.points().windows(2) {
+            assert!(w[1].time_s > w[0].time_s);
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_endpoints() {
+        let trace = short_trace(50);
+        let ds = trace.downsample(5);
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.first().unwrap().time_s, trace.points().first().unwrap().time_s);
+        assert_eq!(ds.last().unwrap().time_s, trace.points().last().unwrap().time_s);
+    }
+
+    #[test]
+    fn downsample_with_large_n_returns_all() {
+        let trace = short_trace(5);
+        assert_eq!(trace.downsample(100).len(), 5);
+    }
+
+    #[test]
+    fn span_is_consistent() {
+        let trace = short_trace(10);
+        assert!((trace.span_s() - 0.09).abs() < 1e-9);
+    }
+}

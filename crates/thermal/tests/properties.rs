@@ -1,0 +1,137 @@
+//! Property-based tests for the thermal crate's core invariants.
+
+use proptest::prelude::*;
+use sprint_thermal::circuit::ThermalNetwork;
+use sprint_thermal::node::{PhaseChange, StorageNode};
+use sprint_thermal::phone::PhoneThermalParams;
+use sprint_thermal::solver::TransientSolver;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Energy conservation: injected power equals stored plus absorbed
+    /// energy for arbitrary RC ladders and power levels.
+    #[test]
+    fn energy_conserved_in_random_ladders(
+        caps in prop::collection::vec(0.05f64..5.0, 1..5),
+        resistances in prop::collection::vec(0.5f64..50.0, 1..5),
+        power in 0.0f64..20.0,
+        duration in 0.1f64..5.0,
+    ) {
+        let mut net = ThermalNetwork::new();
+        let mut prev = None;
+        let mut first = None;
+        for (i, c) in caps.iter().enumerate() {
+            let id = net.add_storage(StorageNode::sensible_only(format!("n{i}"), *c, 25.0));
+            if let Some(p) = prev {
+                let r = resistances[(i - 1) % resistances.len()];
+                net.connect(p, id, r);
+            } else {
+                first = Some(id);
+            }
+            prev = Some(id);
+        }
+        let amb = net.add_boundary("amb", 25.0);
+        net.connect(prev.unwrap(), amb, resistances[0]);
+        net.set_power(first.unwrap(), power);
+
+        let mut solver = TransientSolver::new(net);
+        let e0 = solver.network().total_stored_enthalpy_j();
+        solver.advance(duration);
+        let stored = solver.network().total_stored_enthalpy_j() - e0;
+        let absorbed = solver.network().boundary_absorbed_j();
+        let injected = power * duration;
+        prop_assert!(
+            (stored + absorbed - injected).abs() <= 1e-6 * injected.max(1.0),
+            "stored {stored} + absorbed {absorbed} != injected {injected}"
+        );
+    }
+
+    /// Temperatures never overshoot the driving extremes: with a single
+    /// source P at the head of a ladder, every node stays within
+    /// [ambient, ambient + P * R_eq_head] at all times.
+    #[test]
+    fn no_overshoot_beyond_steady_state(
+        cap in 0.05f64..2.0,
+        r1 in 0.5f64..20.0,
+        r2 in 0.5f64..20.0,
+        power in 0.1f64..10.0,
+    ) {
+        let mut net = ThermalNetwork::new();
+        let a = net.add_storage(StorageNode::sensible_only("a", cap, 25.0));
+        let b = net.add_storage(StorageNode::sensible_only("b", cap * 2.0, 25.0));
+        let amb = net.add_boundary("amb", 25.0);
+        net.connect(a, b, r1);
+        net.connect(b, amb, r2);
+        net.set_power(a, power);
+        let tmax = 25.0 + power * (r1 + r2);
+        let mut solver = TransientSolver::new(net);
+        for _ in 0..50 {
+            solver.advance(0.2);
+            let ta = solver.network().temperature_c(a);
+            let tb = solver.network().temperature_c(b);
+            prop_assert!(ta <= tmax + 1e-6 && ta >= 25.0 - 1e-6, "ta {ta} out of range");
+            prop_assert!(tb <= tmax + 1e-6 && tb >= 25.0 - 1e-6, "tb {tb} out of range");
+            prop_assert!(ta >= tb - 1e-6, "heat must flow downhill: {ta} < {tb}");
+        }
+    }
+
+    /// Melt fraction is always within [0, 1] and monotone while heating at
+    /// constant positive net power.
+    #[test]
+    fn melt_fraction_monotone_under_heating(
+        latent in 0.5f64..20.0,
+        cap in 0.01f64..0.5,
+        power in 2.0f64..30.0,
+    ) {
+        let mut net = ThermalNetwork::new();
+        let pcm = net.add_storage(StorageNode::with_phase_change(
+            "pcm",
+            cap,
+            PhaseChange {
+                melt_temp_c: 60.0,
+                latent_heat_j: latent,
+                liquid_heat_capacity_j_per_k: cap,
+            },
+            25.0,
+        ));
+        let amb = net.add_boundary("amb", 25.0);
+        net.connect(pcm, amb, 100.0); // weak leak: net heating stays positive
+        net.set_power(pcm, power);
+        let mut solver = TransientSolver::new(net);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            solver.advance(latent / power / 50.0);
+            let f = solver.network().melt_fraction(pcm);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f + 1e-12 >= last, "melt fraction decreased: {f} < {last}");
+            last = f;
+        }
+    }
+
+    /// TDP scales inversely with added series resistance: a more resistive
+    /// package always sustains less power.
+    #[test]
+    fn tdp_monotone_in_package_resistance(extra in 0.0f64..50.0) {
+        let base = PhoneThermalParams::hpca().build().tdp_w();
+        let mut p = PhoneThermalParams::hpca();
+        p.r_pcm_case_k_per_w += extra;
+        let modified = p.build().tdp_w();
+        prop_assert!(modified <= base + 1e-9);
+    }
+
+    /// Time scaling by k compresses simulated sprint duration by ~k while
+    /// preserving TDP exactly.
+    #[test]
+    fn time_scaling_invariants(k in 2.0f64..50.0) {
+        let a = PhoneThermalParams::hpca();
+        let b = PhoneThermalParams::hpca().time_scaled(k);
+        let pa = a.build();
+        let pb = b.build();
+        prop_assert!((pa.tdp_w() - pb.tdp_w()).abs() < 1e-9);
+        prop_assert!((pa.max_sprint_power_w() - pb.max_sprint_power_w()).abs() < 1e-9);
+        prop_assert!(
+            (pa.sprint_energy_budget_j() / pb.sprint_energy_budget_j() - k).abs() < 0.05 * k
+        );
+    }
+}

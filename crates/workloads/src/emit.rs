@@ -1,0 +1,118 @@
+//! Helpers for emitting line-granular memory traffic.
+//!
+//! Kernels model streaming phases at cache-line granularity: one simulated
+//! load per 64-byte line touched (compilers keep within-line reuse in
+//! registers), with the per-element arithmetic batched into compute ops.
+//! This keeps simulated event counts proportional to *memory traffic*
+//! rather than raw instruction count, which is what the timing model needs.
+
+use sprint_archsim::isa::{Op, OpClass};
+use sprint_archsim::memmap::Region;
+
+/// Cache-line size assumed by the emission helpers.
+pub const LINE_BYTES: u64 = 64;
+
+/// Emits one load per line overlapping `region[start_byte..start_byte+len]`.
+pub fn load_span(out: &mut Vec<Op>, region: Region, start_byte: u64, len_bytes: u64) {
+    span(out, region, start_byte, len_bytes, false);
+}
+
+/// Emits one store per line overlapping the span.
+pub fn store_span(out: &mut Vec<Op>, region: Region, start_byte: u64, len_bytes: u64) {
+    span(out, region, start_byte, len_bytes, true);
+}
+
+fn span(out: &mut Vec<Op>, region: Region, start_byte: u64, len_bytes: u64, store: bool) {
+    if len_bytes == 0 {
+        return;
+    }
+    debug_assert!(
+        start_byte + len_bytes <= region.bytes(),
+        "span outside region"
+    );
+    let first = (region.base() + start_byte) / LINE_BYTES;
+    let last = (region.base() + start_byte + len_bytes - 1) / LINE_BYTES;
+    for line in first..=last {
+        let addr = line * LINE_BYTES;
+        out.push(if store { Op::Store { addr } } else { Op::Load { addr } });
+    }
+}
+
+/// Emits a batch of compute ops, splitting counts that exceed `u32::MAX`
+/// (never in practice) and skipping zero counts.
+pub fn compute(out: &mut Vec<Op>, class: OpClass, count: u64) {
+    let mut left = count;
+    while left > 0 {
+        let c = left.min(u32::MAX as u64) as u32;
+        out.push(Op::Compute { class, count: c });
+        left -= u64::from(c);
+    }
+}
+
+/// Emits the typical per-element mix for image arithmetic: `fp` FP ops,
+/// `int` integer ops and `br` branches per element, over `elements`.
+pub fn element_mix(out: &mut Vec<Op>, elements: u64, fp: u64, int: u64, br: u64) {
+    compute(out, OpClass::FpAlu, elements * fp);
+    compute(out, OpClass::IntAlu, elements * int);
+    compute(out, OpClass::Branch, elements * br);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_archsim::memmap::AddressSpace;
+
+    #[test]
+    fn load_span_touches_each_line_once() {
+        let mut mem = AddressSpace::new();
+        let r = mem.alloc_bytes(1024);
+        let mut out = Vec::new();
+        load_span(&mut out, r, 10, 200); // bytes 10..210 -> lines 0..=3
+        assert_eq!(out.len(), 4);
+        let addrs: Vec<u64> = out
+            .iter()
+            .map(|op| match op {
+                Op::Load { addr } => *addr,
+                _ => panic!("expected load"),
+            })
+            .collect();
+        assert_eq!(addrs[0], r.base());
+        assert_eq!(addrs[3], r.base() + 192);
+    }
+
+    #[test]
+    fn zero_length_span_is_empty() {
+        let mut mem = AddressSpace::new();
+        let r = mem.alloc_bytes(64);
+        let mut out = Vec::new();
+        load_span(&mut out, r, 0, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn store_span_emits_stores() {
+        let mut mem = AddressSpace::new();
+        let r = mem.alloc_bytes(128);
+        let mut out = Vec::new();
+        store_span(&mut out, r, 0, 128);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|o| matches!(o, Op::Store { .. })));
+    }
+
+    #[test]
+    fn compute_skips_zero() {
+        let mut out = Vec::new();
+        compute(&mut out, OpClass::IntAlu, 0);
+        assert!(out.is_empty());
+        compute(&mut out, OpClass::IntAlu, 100);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn element_mix_scales_counts() {
+        let mut out = Vec::new();
+        element_mix(&mut out, 10, 3, 2, 1);
+        let total: u64 = out.iter().map(|o| o.instruction_count()).sum();
+        assert_eq!(total, 60);
+    }
+}

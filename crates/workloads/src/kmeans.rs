@@ -1,0 +1,343 @@
+//! `kmeans` — partition-based clustering, parallelized OpenMP-style.
+//!
+//! Lloyd's algorithm: assign each point to its nearest centroid, then
+//! recompute centroids, iterating until assignments stabilize. The assign
+//! phase is compute-dense (k x dim distance arithmetic per 32-byte point),
+//! so kmeans scales to high core counts; the centroid reduction introduces
+//! two barriers per iteration and a short serial section, exercising the
+//! runtime's PAUSE-on-barrier behaviour.
+
+use std::sync::Arc;
+
+use sprint_archsim::isa::{Op, OpClass};
+use sprint_archsim::machine::Machine;
+use sprint_archsim::memmap::{AddressSpace, Region};
+use sprint_archsim::program::{Inbox, Kernel, KernelStatus, ThreadId};
+
+use crate::data::clustered_points;
+use crate::emit;
+use crate::partition::chunk_range;
+use crate::suite::{InputSize, Workload};
+
+/// Dimensionality of each point (8 f32 = 32 bytes: two points per line).
+pub const DIM: usize = 8;
+/// Number of clusters.
+pub const K: usize = 8;
+/// Iteration cap (the paper's runs converge quickly on clustered data).
+pub const MAX_ITERS: usize = 8;
+
+/// Result of the native clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Final centroids, `K x DIM`.
+    pub centroids: Vec<f32>,
+    /// Iterations performed (data-dependent).
+    pub iterations: usize,
+    /// Final assignment of each point.
+    pub assignment: Vec<u16>,
+}
+
+/// Runs Lloyd's k-means natively.
+pub fn kmeans_native(points: &[f32], n: usize) -> KmeansResult {
+    assert_eq!(points.len(), n * DIM, "point buffer size mismatch");
+    assert!(n >= K, "need at least K points");
+    let mut centroids: Vec<f32> = points[..K * DIM].to_vec();
+    let mut assignment = vec![0u16; n];
+    let mut iterations = 0;
+    for _ in 0..MAX_ITERS {
+        iterations += 1;
+        let mut changed = false;
+        // Assign.
+        for i in 0..n {
+            let mut best = 0u16;
+            let mut best_d = f32::INFINITY;
+            for c in 0..K {
+                let mut d = 0.0f32;
+                for k in 0..DIM {
+                    let diff = points[i * DIM + k] - centroids[c * DIM + k];
+                    d += diff * diff;
+                }
+                if d < best_d {
+                    best_d = d;
+                    best = c as u16;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![0.0f64; K * DIM];
+        let mut counts = vec![0u32; K];
+        for i in 0..n {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            for k in 0..DIM {
+                sums[c * DIM + k] += f64::from(points[i * DIM + k]);
+            }
+        }
+        for c in 0..K {
+            if counts[c] > 0 {
+                for k in 0..DIM {
+                    centroids[c * DIM + k] = (sums[c * DIM + k] / f64::from(counts[c])) as f32;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    KmeansResult {
+        centroids,
+        iterations,
+        assignment,
+    }
+}
+
+struct KmeansData {
+    n: usize,
+    iterations: usize,
+    points: Region,
+    centroids: Region,
+    partials: Region,
+}
+
+/// The kmeans workload.
+pub struct KmeansWorkload {
+    data: Arc<KmeansData>,
+    result: KmeansResult,
+}
+
+impl std::fmt::Debug for KmeansWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KmeansWorkload")
+            .field("n", &self.data.n)
+            .field("iterations", &self.data.iterations)
+            .finish_non_exhaustive()
+    }
+}
+
+impl KmeansWorkload {
+    /// Builds the workload at a standard input size (A = 8k points,
+    /// doubling per class).
+    pub fn new(size: InputSize) -> Self {
+        Self::with_points(8_000 * size.scale(), 0x4B_EA15)
+    }
+
+    /// Builds the workload with an explicit point count.
+    pub fn with_points(n: usize, seed: u64) -> Self {
+        let points = clustered_points(n, DIM, K, seed);
+        let result = kmeans_native(&points, n);
+        let mut mem = AddressSpace::new();
+        let points_r = mem.alloc_bytes((n * DIM * 4) as u64);
+        let centroids_r = mem.alloc_bytes((K * DIM * 4) as u64);
+        // Per-thread partial sums: sized for the maximum thread count.
+        let partials_r = mem.alloc_bytes((64 * K * DIM * 4) as u64);
+        Self {
+            data: Arc::new(KmeansData {
+                n,
+                iterations: result.iterations,
+                points: points_r,
+                centroids: centroids_r,
+                partials: partials_r,
+            }),
+            result,
+        }
+    }
+
+    /// The native clustering result.
+    pub fn result(&self) -> &KmeansResult {
+        &self.result
+    }
+}
+
+impl Workload for KmeansWorkload {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn setup(&self, machine: &mut Machine, threads: usize) {
+        for t in 0..threads {
+            machine.spawn(Box::new(KmeansKernel::new(self.data.clone(), t, threads)));
+        }
+    }
+
+    fn work_units(&self) -> u64 {
+        (self.data.n * self.data.iterations) as u64
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Load centroids, stream points, compute distances.
+    Assign,
+    /// Store partial sums, barrier, (thread 0) reduce, barrier.
+    StorePartials,
+    Reduce,
+    IterEnd,
+    Finished,
+}
+
+struct KmeansKernel {
+    data: Arc<KmeansData>,
+    tid: usize,
+    threads: usize,
+    range: std::ops::Range<usize>,
+    iter: usize,
+    phase: Phase,
+    next_point: usize,
+}
+
+impl KmeansKernel {
+    fn new(data: Arc<KmeansData>, tid: usize, threads: usize) -> Self {
+        let range = chunk_range(data.n, threads, tid);
+        Self {
+            data,
+            tid,
+            threads,
+            next_point: range.start,
+            range,
+            iter: 0,
+            phase: Phase::Assign,
+        }
+    }
+}
+
+impl Kernel for KmeansKernel {
+    fn step(&mut self, _tid: ThreadId, _inbox: &mut Inbox, out: &mut Vec<Op>) -> KernelStatus {
+        let d = &self.data;
+        match self.phase {
+            Phase::Assign => {
+                if self.next_point == self.range.start {
+                    // Read the shared centroids (coherence traffic: all
+                    // threads load what thread 0 last wrote).
+                    emit::load_span(out, d.centroids, 0, (K * DIM * 4) as u64);
+                }
+                // Process a block of up to 32 points.
+                let start = self.next_point;
+                let end = (start + 32).min(self.range.end);
+                let points = (end - start) as u64;
+                emit::load_span(
+                    out,
+                    d.points,
+                    (start * DIM * 4) as u64,
+                    points * (DIM * 4) as u64,
+                );
+                // Distance arithmetic: K x DIM multiply-adds (x2 flops)
+                // plus a compare per centroid.
+                emit::compute(out, OpClass::FpAlu, points * (K * DIM * 2) as u64);
+                emit::compute(out, OpClass::Branch, points * K as u64);
+                emit::compute(out, OpClass::IntAlu, points * 4);
+                self.next_point = end;
+                if self.next_point >= self.range.end {
+                    self.phase = Phase::StorePartials;
+                }
+                KernelStatus::Running
+            }
+            Phase::StorePartials => {
+                // Write this thread's partial sums and meet the barrier.
+                emit::store_span(
+                    out,
+                    d.partials,
+                    (self.tid * K * DIM * 4) as u64,
+                    (K * DIM * 4) as u64,
+                );
+                out.push(Op::Barrier);
+                self.phase = Phase::Reduce;
+                KernelStatus::Running
+            }
+            Phase::Reduce => {
+                if self.tid == 0 {
+                    // Serial reduction over all partials, then publish the
+                    // new centroids.
+                    emit::load_span(
+                        out,
+                        d.partials,
+                        0,
+                        (self.threads * K * DIM * 4) as u64,
+                    );
+                    emit::compute(
+                        out,
+                        OpClass::FpAlu,
+                        (self.threads * K * DIM) as u64 + (K * DIM) as u64,
+                    );
+                    emit::store_span(out, d.centroids, 0, (K * DIM * 4) as u64);
+                }
+                out.push(Op::Barrier);
+                self.phase = Phase::IterEnd;
+                KernelStatus::Running
+            }
+            Phase::IterEnd => {
+                self.iter += 1;
+                if self.iter >= d.iterations {
+                    self.phase = Phase::Finished;
+                    return KernelStatus::Done;
+                }
+                self.next_point = self.range.start;
+                self.phase = Phase::Assign;
+                KernelStatus::Running
+            }
+            Phase::Finished => KernelStatus::Done,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_archsim::config::MachineConfig;
+
+    #[test]
+    fn native_kmeans_recovers_clusters() {
+        let n = 800;
+        let points = clustered_points(n, DIM, K, 42);
+        let r = kmeans_native(&points, n);
+        assert!(r.iterations >= 2, "clustered data needs a few iterations");
+        assert!(r.iterations <= MAX_ITERS);
+        // Points generated round-robin from K blobs: points i and i+K come
+        // from the same blob and should (almost always) share a cluster.
+        let mut agree = 0;
+        for i in 0..n - K {
+            if r.assignment[i] == r.assignment[i + K] {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f64 / (n - K) as f64 > 0.9,
+            "cluster structure must be recovered: {agree}/{}",
+            n - K
+        );
+    }
+
+    #[test]
+    fn workload_executes_expected_barriers() {
+        let w = KmeansWorkload::with_points(600, 1);
+        let iters = w.result().iterations as u64;
+        let mut m = Machine::new(MachineConfig::hpca().with_cores(4));
+        w.setup(&mut m, 4);
+        while !m.all_done() {
+            m.run_window(1_000_000);
+        }
+        // Two barriers per iteration.
+        assert_eq!(m.stats().barrier_episodes, 2 * iters);
+        assert!(m.stats().fp_alu > 600 * (K * DIM * 2) as u64);
+    }
+
+    #[test]
+    fn kmeans_scales_well() {
+        let elapsed = |threads: usize| -> u64 {
+            let w = KmeansWorkload::with_points(4_000, 1);
+            let mut m = Machine::new(MachineConfig::hpca().with_cores(threads));
+            w.setup(&mut m, threads);
+            while !m.all_done() {
+                m.run_window(1_000_000);
+            }
+            m.time_ps()
+        };
+        let t1 = elapsed(1);
+        let t8 = elapsed(8);
+        let speedup = t1 as f64 / t8 as f64;
+        assert!(speedup > 5.0, "kmeans should scale: {speedup:.2}");
+    }
+}

@@ -1,0 +1,126 @@
+//! OpenMP-style static work partitioning.
+
+use std::ops::Range;
+
+/// Splits `total` items across `threads` workers; returns worker `tid`'s
+/// contiguous range. Remainder items go to the lowest-numbered workers,
+/// so ranges differ in size by at most one.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_workloads::partition::chunk_range;
+///
+/// assert_eq!(chunk_range(10, 3, 0), 0..4);
+/// assert_eq!(chunk_range(10, 3, 1), 4..7);
+/// assert_eq!(chunk_range(10, 3, 2), 7..10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `tid >= threads` or `threads == 0`.
+pub fn chunk_range(total: usize, threads: usize, tid: usize) -> Range<usize> {
+    assert!(threads > 0, "at least one thread");
+    assert!(tid < threads, "tid out of range");
+    let base = total / threads;
+    let extra = total % threads;
+    let start = tid * base + tid.min(extra);
+    let len = base + usize::from(tid < extra);
+    start..start + len
+}
+
+/// Iterator over fixed-size blocks of a range (the granularity at which
+/// kernels emit operation batches).
+#[derive(Debug, Clone)]
+pub struct Blocks {
+    next: usize,
+    end: usize,
+    block: usize,
+}
+
+impl Blocks {
+    /// Blocks of `block` items covering `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn new(range: Range<usize>, block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        Self {
+            next: range.start,
+            end: range.end,
+            block,
+        }
+    }
+
+    /// Number of blocks remaining.
+    pub fn remaining(&self) -> usize {
+        (self.end - self.next).div_ceil(self.block)
+    }
+}
+
+impl Iterator for Blocks {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let start = self.next;
+        let end = (start + self.block).min(self.end);
+        self.next = end;
+        Some(start..end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_everything_exactly_once() {
+        for total in [0usize, 1, 7, 64, 1000] {
+            for threads in [1usize, 2, 3, 16] {
+                let mut covered = vec![false; total];
+                for t in 0..threads {
+                    for i in chunk_range(total, threads, t) {
+                        assert!(!covered[i], "item {i} covered twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "total={total} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced() {
+        for t in 0..7 {
+            let r = chunk_range(100, 7, t);
+            assert!(r.len() == 14 || r.len() == 15);
+        }
+    }
+
+    #[test]
+    fn blocks_cover_range() {
+        let mut items = Vec::new();
+        for b in Blocks::new(3..20, 5) {
+            items.extend(b);
+        }
+        assert_eq!(items, (3..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocks_remaining_counts_down() {
+        let mut blocks = Blocks::new(0..10, 4);
+        assert_eq!(blocks.remaining(), 3);
+        blocks.next();
+        assert_eq!(blocks.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tid out of range")]
+    fn bad_tid_rejected() {
+        let _ = chunk_range(10, 2, 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! The Table 1 workload suite: construction, sizing and metadata.
+
+use serde::{Deserialize, Serialize};
+use sprint_archsim::machine::Machine;
+
+use crate::disparity::DisparityWorkload;
+use crate::feature::FeatureWorkload;
+use crate::kmeans::KmeansWorkload;
+use crate::segment::SegmentWorkload;
+use crate::sobel::SobelWorkload;
+use crate::texture::TextureWorkload;
+
+/// A parallel workload that can be instantiated on a [`Machine`].
+pub trait Workload: Send + Sync {
+    /// Short kernel name as in Table 1 (e.g. `"sobel"`).
+    fn name(&self) -> &'static str;
+
+    /// Spawns `threads` kernel threads (and any task queues) on `machine`.
+    fn setup(&self, machine: &mut Machine, threads: usize);
+
+    /// Approximate serial work in abstract units (for reporting only).
+    fn work_units(&self) -> u64;
+}
+
+/// The six kernels of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Edge detection filter; parallelized OpenMP-style over rows.
+    Sobel,
+    /// SURF-style feature extraction (integral image + Hessian responses +
+    /// descriptors), after MEVBench's `feature`.
+    Feature,
+    /// Partition-based clustering (Lloyd's k-means); OpenMP-style.
+    Kmeans,
+    /// Stereo image disparity detection (block-matching SAD), after SD-VBS.
+    Disparity,
+    /// Image composition (multi-layer blend with a serial placement
+    /// phase), after SD-VBS's texture synthesis.
+    Texture,
+    /// Image feature classification (tile labeling with a serial merge),
+    /// after SD-VBS's image segmentation.
+    Segment,
+}
+
+impl WorkloadKind {
+    /// All kernels in Table 1 order.
+    pub const ALL: [WorkloadKind; 6] = [
+        WorkloadKind::Sobel,
+        WorkloadKind::Feature,
+        WorkloadKind::Kmeans,
+        WorkloadKind::Disparity,
+        WorkloadKind::Texture,
+        WorkloadKind::Segment,
+    ];
+
+    /// Kernel name as in Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Sobel => "sobel",
+            WorkloadKind::Feature => "feature",
+            WorkloadKind::Kmeans => "kmeans",
+            WorkloadKind::Disparity => "disparity",
+            WorkloadKind::Texture => "texture",
+            WorkloadKind::Segment => "segment",
+        }
+    }
+
+    /// Table 1 description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            WorkloadKind::Sobel => "Edge detection filter; parallelized with OpenMP",
+            WorkloadKind::Feature => "Feature extraction (SURF-style), after MEVBench",
+            WorkloadKind::Kmeans => "Partition based clustering; parallelized with OpenMP",
+            WorkloadKind::Disparity => "Stereo image disparity detection, after SD-VBS",
+            WorkloadKind::Texture => "Image composition, after SD-VBS",
+            WorkloadKind::Segment => "Image feature classification, after SD-VBS",
+        }
+    }
+}
+
+/// Input size classes (Figure 9's A-D bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InputSize {
+    /// Smallest input.
+    A,
+    /// Small input.
+    B,
+    /// Reference input (used for Figure 7).
+    C,
+    /// Largest input.
+    D,
+}
+
+impl InputSize {
+    /// All sizes in ascending order.
+    pub const ALL: [InputSize; 4] = [InputSize::A, InputSize::B, InputSize::C, InputSize::D];
+
+    /// Label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InputSize::A => "A",
+            InputSize::B => "B",
+            InputSize::C => "C",
+            InputSize::D => "D",
+        }
+    }
+
+    /// Linear scale factor relative to A (1, 2, 4, 8).
+    pub fn scale(&self) -> usize {
+        match self {
+            InputSize::A => 1,
+            InputSize::B => 2,
+            InputSize::C => 4,
+            InputSize::D => 8,
+        }
+    }
+}
+
+/// Builds a workload of the given kind and input size with the default
+/// deterministic seed.
+pub fn build_workload(kind: WorkloadKind, size: InputSize) -> Box<dyn Workload> {
+    match kind {
+        WorkloadKind::Sobel => Box::new(SobelWorkload::new(size)),
+        WorkloadKind::Feature => Box::new(FeatureWorkload::new(size)),
+        WorkloadKind::Kmeans => Box::new(KmeansWorkload::new(size)),
+        WorkloadKind::Disparity => Box::new(DisparityWorkload::new(size)),
+        WorkloadKind::Texture => Box::new(TextureWorkload::new(size)),
+        WorkloadKind::Segment => Box::new(SegmentWorkload::new(size)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_distinct_names() {
+        let names: std::collections::HashSet<_> =
+            WorkloadKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn sizes_scale_geometrically() {
+        assert_eq!(
+            InputSize::ALL.map(|s| s.scale()),
+            [1, 2, 4, 8]
+        );
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for kind in WorkloadKind::ALL {
+            let w = build_workload(kind, InputSize::A);
+            assert_eq!(w.name(), kind.name());
+            assert!(w.work_units() > 0);
+        }
+    }
+}

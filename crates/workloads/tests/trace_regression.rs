@@ -1,0 +1,52 @@
+//! Golden-trace regression tests.
+//!
+//! The workload suite is fully deterministic (seeded inputs, deterministic
+//! scheduling), so every kernel's retired-instruction count, memory traffic
+//! and wall-clock are pinned exactly. A change to any of these numbers
+//! means the emitted trace changed — intentional changes must update the
+//! table *and* re-run the figure calibration in EXPERIMENTS.md.
+
+use sprint_archsim::{Machine, MachineConfig};
+use sprint_workloads::suite::{build_workload, InputSize, WorkloadKind};
+
+/// `(kernel, instructions, loads, stores, time_ps)` on 4 cores, size A.
+const GOLDEN: [(WorkloadKind, u64, u64, u64, u64); 6] = [
+    (WorkloadKind::Sobel, 8_209_788, 47_850, 15_950, 2_381_000_000),
+    (WorkloadKind::Feature, 17_348_986, 161_168, 63_432, 6_180_000_000),
+    (WorkloadKind::Kmeans, 2_248_764, 8_064, 40, 669_000_000),
+    (WorkloadKind::Disparity, 24_960_004, 748_800, 249_600, 23_688_000_000),
+    (WorkloadKind::Texture, 5_419_668, 54_912, 26_624, 2_296_000_000),
+    (WorkloadKind::Segment, 8_540_188, 102_400, 81_920, 3_598_000_000),
+];
+
+fn run(kind: WorkloadKind) -> (u64, u64, u64, u64) {
+    let w = build_workload(kind, InputSize::A);
+    let mut m = Machine::new(MachineConfig::hpca().with_cores(4));
+    w.setup(&mut m, 4);
+    while !m.all_done() {
+        m.run_window(1_000_000);
+    }
+    let s = m.stats();
+    (s.instructions, s.loads, s.stores, m.time_ps())
+}
+
+#[test]
+fn golden_traces_are_stable() {
+    for (kind, instr, loads, stores, time_ps) in GOLDEN {
+        let (i, l, s, t) = run(kind);
+        assert_eq!(i, instr, "{}: instruction count drifted", kind.name());
+        assert_eq!(l, loads, "{}: load count drifted", kind.name());
+        assert_eq!(s, stores, "{}: store count drifted", kind.name());
+        assert_eq!(t, time_ps, "{}: timing drifted", kind.name());
+    }
+}
+
+#[test]
+fn traces_differ_across_kernels() {
+    // Sanity on the golden table itself: no two kernels share a signature.
+    for (i, a) in GOLDEN.iter().enumerate() {
+        for b in &GOLDEN[i + 1..] {
+            assert_ne!(a.1, b.1, "{:?} vs {:?}", a.0, b.0);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Camera-based visual search: the paper's motivating scenario.
+//!
+//! A user snaps a photo; the device sprints to run feature extraction so
+//! the query leaves the phone in a fraction of a second, then cools down
+//! before the next shot. The example also checks the electrical side: can
+//! the hybrid battery + ultracapacitor supply feed the burst, and how long
+//! must the user wait between shots?
+//!
+//! Run with: `cargo run --release --example camera_search`
+
+use computational_sprinting::prelude::*;
+use computational_sprinting::thermal::analysis::{cooldown_rule_of_thumb_s, simulate_cooldown};
+
+fn extract_features(label: &str, config: SprintConfig) -> RunReport {
+    let workload = build_workload(WorkloadKind::Feature, InputSize::C);
+    let mut machine = Machine::new(MachineConfig::hpca());
+    workload.setup(&mut machine, 16);
+    let thermal = PhoneThermalParams::hpca().time_scaled(40.0).build();
+    let report = SprintSystem::new(machine, thermal, config).run();
+    println!(
+        "  {label:<20} completes in {:>7.2} ms",
+        report.completion_s * 1e3
+    );
+    report
+}
+
+fn main() {
+    println!("camera-based search: SURF-style feature extraction on an HD frame");
+    let baseline = extract_features("without sprinting:", SprintConfig::hpca_sustained());
+    let sprint = extract_features("with 16-core sprint:", SprintConfig::hpca_parallel());
+    println!(
+        "  responsiveness gain: {:.1}x",
+        sprint.speedup_over(baseline.completion_s)
+    );
+
+    // Electrical feasibility of the burst.
+    println!();
+    println!("power delivery during the sprint:");
+    let mut supply = HybridSupply::phone();
+    let sprint_power_w = 16.0;
+    match supply.sprint(sprint_power_w, sprint.completion_s * 40.0) {
+        Ok(()) => println!(
+            "  hybrid Li-ion + ultracap serves {sprint_power_w:.0} W; {:.0} J of sprint capacity left",
+            supply.sprint_capacity_j()
+        ),
+        Err(e) => println!("  supply failed: {e}"),
+    }
+
+    // Thermal recovery between shots (full-scale model, real seconds).
+    println!();
+    println!("cooldown before the next shot:");
+    let mut phone = PhoneThermalParams::hpca().build();
+    computational_sprinting::thermal::analysis::simulate_sprint(&mut phone, 16.0, 0.002, 5.0);
+    let cd = simulate_cooldown(&mut phone, 0.0, 3.0, 0.02, 120.0);
+    println!(
+        "  measured: junction near ambient after {:.0} s (rule of thumb: {:.0} s)",
+        cd.t_near_ambient_s.unwrap_or(f64::NAN),
+        cooldown_rule_of_thumb_s(1.0, 16.0, 1.0),
+    );
+}

@@ -1,0 +1,50 @@
+//! Core-activation ramp exploration (Section 5 / Figure 6).
+//!
+//! How gradually must 16 power-gated cores wake so the supply stays within
+//! its 2% tolerance? Sweeps ramp lengths through the paper's three points
+//! and beyond.
+//!
+//! Run with: `cargo run --release --example powergrid_ramp`
+
+use computational_sprinting::powergrid::{ActivationExperiment, ActivationSchedule};
+
+fn main() {
+    println!("16-core activation vs. supply integrity (1.2 V nominal, 2% tolerance):");
+    println!("  schedule        min voltage   % nominal   settles    verdict");
+    let cases = [
+        ("abrupt (1 ns)", ActivationSchedule::Simultaneous, 40e-6),
+        (
+            "ramp 1.28 us",
+            ActivationSchedule::LinearRamp { total_s: 1.28e-6 },
+            40e-6,
+        ),
+        (
+            "ramp 12.8 us",
+            ActivationSchedule::LinearRamp { total_s: 12.8e-6 },
+            60e-6,
+        ),
+        (
+            "ramp 128 us",
+            ActivationSchedule::LinearRamp { total_s: 128e-6 },
+            300e-6,
+        ),
+    ];
+    for (label, schedule, horizon) in cases {
+        let mut exp = ActivationExperiment::hpca(schedule);
+        exp.horizon_s = horizon;
+        let result = exp.run().expect("PDN compiles");
+        let r = &result.report;
+        println!(
+            "  {label:<14} {:>9.4} V   {:>8.2}%   {:>6.2} us   {}",
+            r.min_v,
+            100.0 * r.min_fraction_of_nominal(),
+            r.settle_time_s * 1e6,
+            if r.violated { "VIOLATES tolerance" } else { "within tolerance" }
+        );
+    }
+    println!();
+    println!(
+        "The 128 us ramp is {}x shorter than a one-second sprint — a negligible cost.",
+        (1.0 / 128e-6) as u64
+    );
+}

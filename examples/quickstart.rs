@@ -1,0 +1,46 @@
+//! Quickstart: sprint a parallel kernel and compare against sustained
+//! single-core execution.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use computational_sprinting::prelude::*;
+
+fn run(mode_label: &str, config: SprintConfig) -> RunReport {
+    // The paper's reference kernel suite; sobel at a small input keeps the
+    // example fast.
+    let workload = build_workload(WorkloadKind::Sobel, InputSize::B);
+    let mut machine = Machine::new(MachineConfig::hpca());
+    workload.setup(&mut machine, 16);
+    // Phone thermal model, time-compressed 40x to match the compressed
+    // workload scale (see DESIGN.md on time scaling).
+    let thermal = PhoneThermalParams::hpca().time_scaled(40.0).build();
+    let report = SprintSystem::new(machine, thermal, config).run();
+    println!(
+        "{mode_label:<22} {:>8.2} ms   {:>7.2} mJ   peak {:>5.1} C",
+        report.completion_s * 1e3,
+        report.energy_j * 1e3,
+        report.max_junction_c
+    );
+    report
+}
+
+fn main() {
+    println!("mode                      time        energy      junction");
+    let sustained = run("sustained 1-core", SprintConfig::hpca_sustained());
+    let dvfs = run("DVFS sprint (2.5x)", SprintConfig::hpca_dvfs());
+    let parallel = run("parallel sprint (16c)", SprintConfig::hpca_parallel());
+
+    println!();
+    println!(
+        "parallel sprint responsiveness gain: {:.1}x",
+        parallel.speedup_over(sustained.completion_s)
+    );
+    println!(
+        "DVFS sprint responsiveness gain:     {:.1}x",
+        dvfs.speedup_over(sustained.completion_s)
+    );
+    println!(
+        "parallel sprint energy overhead:     {:+.0}%",
+        (parallel.energy_j / sustained.energy_j - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Thermal design exploration: how much PCM, and at what melting point?
+//!
+//! Sweeps the phase-change material mass and melting temperature, printing
+//! the resulting sprint duration at 16 W and the post-sprint cooldown —
+//! the Section 4 design space.
+//!
+//! Run with: `cargo run --release --example thermal_design`
+
+use computational_sprinting::thermal::analysis::{simulate_cooldown, simulate_sprint};
+use computational_sprinting::thermal::{Material, PhoneThermalParams};
+
+fn main() {
+    println!("PCM mass sweep (melting point 60 C, 16 W sprint):");
+    println!("  mass      sprint duration   plateau    cooldown");
+    for mass_mg in [15.0, 50.0, 100.0, 140.0, 200.0] {
+        let params = PhoneThermalParams::hpca().with_pcm_mass_g(mass_mg / 1000.0);
+        let mut phone = params.build();
+        let sprint = simulate_sprint(&mut phone, 16.0, 0.002, 10.0);
+        let cooldown = simulate_cooldown(&mut phone, 0.0, 3.0, 0.02, 200.0);
+        println!(
+            "  {mass_mg:>5.0} mg  {:>10.2} s  {:>9.2} s  {:>8.0} s",
+            sprint.duration_s.unwrap_or(f64::NAN),
+            sprint.plateau_s().unwrap_or(0.0),
+            cooldown.t_near_ambient_s.unwrap_or(f64::NAN),
+        );
+    }
+
+    println!();
+    println!("melting point sweep (140 mg, 16 W sprint, Tmax 70 C):");
+    println!("  Tmelt     sprint duration   sustainable power");
+    for melt_c in [40.0, 50.0, 60.0, 65.0] {
+        let mut params = PhoneThermalParams::hpca();
+        params.pcm_material = Material::new(
+            format!("pcm-{melt_c}C"),
+            0.3,
+            1.0,
+            100.0,
+            Some(melt_c),
+            5.0,
+        );
+        let phone_probe = params.clone().build();
+        let tdp = phone_probe.tdp_w();
+        let mut phone = params.build();
+        let sprint = simulate_sprint(&mut phone, 16.0, 0.002, 10.0);
+        println!(
+            "  {melt_c:>4.0} C   {:>10.2} s  {:>12.2} W",
+            sprint.duration_s.unwrap_or(f64::NAN),
+            tdp,
+        );
+    }
+
+    println!();
+    println!("solid heat storage instead of PCM (Section 4.1 sizing):");
+    for material in [Material::copper(), Material::aluminum()] {
+        let mass = material.mass_for_sensible_storage_g(16.0, 10.0);
+        let thickness = material.block_thickness_mm(mass, 64.0);
+        println!(
+            "  {:<9} {:>6.1} g, {:>5.1} mm thick over a 64 mm2 die for 16 J / 10 K",
+            material.name(),
+            mass,
+            thickness
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # Computational Sprinting — a full-system reproduction
+//!
+//! This workspace reproduces *Computational Sprinting* (Raghavan, Luo,
+//! Chandawalla, Papaefthymiou, Pipe, Wenisch, Martin — HPCA 2012): briefly
+//! activating up to 16 otherwise-dark cores on a mobile chip, exceeding its
+//! sustainable thermal budget by an order of magnitude for sub-second
+//! bursts, buffered by the latent heat of a phase-change material.
+//!
+//! This crate re-exports the workspace's building blocks:
+//!
+//! * [`thermal`] — thermal RC networks with PCM nodes (paper Figures 3-4).
+//! * [`powergrid`] — MNA transient simulation of the sprint PDN (Figures 5-6).
+//! * [`archsim`] — the many-core simulator (Section 8.1 methodology).
+//! * [`workloads`] — the six Table 1 vision kernels.
+//! * [`powersource`] — batteries, ultracapacitors and pin budgets (Section 6).
+//! * [`scaling`] — dark-silicon trend models (Figure 1).
+//! * [`core`] — the sprint controller, budget estimator, and coupled
+//!   architecture ⇄ thermal co-simulation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use computational_sprinting::prelude::*;
+//!
+//! // A 16-thread burst of the sobel kernel on a 16-core chip.
+//! let workload = build_workload(WorkloadKind::Sobel, InputSize::A);
+//! let mut machine = Machine::new(MachineConfig::hpca());
+//! workload.setup(&mut machine, 16);
+//!
+//! // Couple it to the phone thermal model (time-compressed for the test)
+//! // and sprint.
+//! let thermal = PhoneThermalParams::hpca().time_scaled(100.0).build();
+//! let report = SprintSystem::new(machine, thermal, SprintConfig::hpca_parallel()).run();
+//! assert!(report.finished);
+//! ```
+
+pub use sprint_archsim as archsim;
+pub use sprint_core as core;
+pub use sprint_powergrid as powergrid;
+pub use sprint_powersource as powersource;
+pub use sprint_scaling as scaling;
+pub use sprint_thermal as thermal;
+pub use sprint_workloads as workloads;
+
+/// Commonly-used items in one import.
+pub mod prelude {
+    pub use sprint_archsim::{Machine, MachineConfig};
+    pub use sprint_core::{ExecutionMode, RunReport, SprintConfig, SprintSystem};
+    pub use sprint_powersource::HybridSupply;
+    pub use sprint_thermal::{PhoneThermal, PhoneThermalParams};
+    pub use sprint_workloads::{build_workload, InputSize, Workload, WorkloadKind};
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration: the full stack from workload to thermal
+//! controller, across crates.
+
+use computational_sprinting::prelude::*;
+
+fn loaded_machine(kind: WorkloadKind, threads: usize) -> Machine {
+    let workload = build_workload(kind, InputSize::A);
+    let mut machine = Machine::new(MachineConfig::hpca());
+    workload.setup(&mut machine, threads);
+    machine
+}
+
+fn fast_thermal(limited: bool) -> PhoneThermal {
+    let p = if limited {
+        PhoneThermalParams::limited()
+    } else {
+        PhoneThermalParams::hpca()
+    };
+    p.time_scaled(15.0).build()
+}
+
+#[test]
+fn every_kernel_completes_under_every_mode() {
+    for kind in WorkloadKind::ALL {
+        for config in [
+            SprintConfig::hpca_sustained(),
+            SprintConfig::hpca_parallel(),
+            SprintConfig::hpca_dvfs(),
+        ] {
+            let report = SprintSystem::new(loaded_machine(kind, 16), fast_thermal(false), config.clone())
+                .with_trace_capacity(0)
+                .run();
+            assert!(
+                report.finished,
+                "{} under {:?} did not finish",
+                kind.name(),
+                config.mode
+            );
+            assert!(report.energy_j > 0.0);
+        }
+    }
+}
+
+#[test]
+fn sprinting_always_helps_or_matches() {
+    for kind in WorkloadKind::ALL {
+        let base = SprintSystem::new(
+            loaded_machine(kind, 16),
+            fast_thermal(false),
+            SprintConfig::hpca_sustained(),
+        )
+        .with_trace_capacity(0)
+        .run();
+        let sprint = SprintSystem::new(
+            loaded_machine(kind, 16),
+            fast_thermal(false),
+            SprintConfig::hpca_parallel(),
+        )
+        .with_trace_capacity(0)
+        .run();
+        let speedup = sprint.speedup_over(base.completion_s);
+        assert!(
+            speedup > 1.5,
+            "{}: sprint speedup {speedup:.2} should be well above 1",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn thermal_limit_is_respected_across_the_suite() {
+    for kind in WorkloadKind::ALL {
+        let report = SprintSystem::new(
+            loaded_machine(kind, 16),
+            fast_thermal(true),
+            SprintConfig::hpca_parallel(),
+        )
+        .with_trace_capacity(0)
+        .run();
+        assert!(
+            report.max_junction_c < 72.0,
+            "{}: junction peaked at {:.1} C",
+            kind.name(),
+            report.max_junction_c
+        );
+    }
+}
+
+#[test]
+fn limited_pcm_triggers_migration_on_long_runs() {
+    // Kernels big enough to outlast the limited sprint (B size).
+    let workload = build_workload(WorkloadKind::Disparity, InputSize::B);
+    let mut machine = Machine::new(MachineConfig::hpca());
+    workload.setup(&mut machine, 16);
+    let report = SprintSystem::new(machine, fast_thermal(true), SprintConfig::hpca_parallel())
+        .with_trace_capacity(0)
+        .run();
+    assert!(report.finished);
+    let end = report.sprint_end_s.expect("sprint must end before the task");
+    assert!(end < report.completion_s);
+}
+
+#[test]
+fn instructions_are_mode_invariant() {
+    // The same workload retires the same instruction count no matter how
+    // it is scheduled or sprinted.
+    let count = |config: SprintConfig| -> u64 {
+        SprintSystem::new(loaded_machine(WorkloadKind::Sobel, 16), fast_thermal(false), config)
+            .with_trace_capacity(0)
+            .run()
+            .instructions
+    };
+    let a = count(SprintConfig::hpca_sustained());
+    let b = count(SprintConfig::hpca_parallel());
+    assert_eq!(a, b, "scheduling must not change retired work");
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        SprintSystem::new(
+            loaded_machine(WorkloadKind::Segment, 16),
+            fast_thermal(true),
+            SprintConfig::hpca_parallel(),
+        )
+        .with_trace_capacity(0)
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.completion_s, b.completion_s);
+    assert_eq!(a.instructions, b.instructions);
+    assert!((a.energy_j - b.energy_j).abs() < 1e-15);
+}

@@ -1,0 +1,93 @@
+//! Integration tests pinning the paper's headline claims, at reduced scale
+//! so they run quickly in CI. The full-scale numbers live in
+//! EXPERIMENTS.md and regenerate via the `repro` binary.
+
+use computational_sprinting::powergrid::{ActivationExperiment, ActivationSchedule};
+use computational_sprinting::powersource::evaluate_sources;
+use computational_sprinting::scaling::ScalingModel;
+use computational_sprinting::thermal::analysis::{simulate_cooldown, simulate_sprint};
+use computational_sprinting::thermal::PhoneThermalParams;
+
+/// Section 3: a 16-core sprint on the full PCM design lasts about a second.
+#[test]
+fn claim_one_second_sprint() {
+    let mut phone = PhoneThermalParams::hpca().build();
+    let duration = simulate_sprint(&mut phone, 16.0, 0.002, 5.0)
+        .duration_s
+        .expect("16 W must exceed the thermal envelope");
+    assert!((1.0..1.5).contains(&duration), "duration {duration:.2} s");
+}
+
+/// Section 4.5: cooldown returns the junction near ambient in tens of
+/// seconds (the paper quotes ~24 s; the rule of thumb gives 16 s).
+#[test]
+fn claim_cooldown_tens_of_seconds() {
+    let mut phone = PhoneThermalParams::hpca().build();
+    let _ = simulate_sprint(&mut phone, 16.0, 0.002, 5.0);
+    let t = simulate_cooldown(&mut phone, 0.0, 3.0, 0.02, 120.0)
+        .t_near_ambient_s
+        .expect("must cool");
+    assert!((8.0..40.0).contains(&t), "cooldown {t:.1} s");
+}
+
+/// Section 5: abrupt activation violates the 2% supply tolerance; a
+/// 128 µs linear ramp does not.
+#[test]
+fn claim_gradual_activation_required() {
+    let mut abrupt = ActivationExperiment::hpca(ActivationSchedule::Simultaneous);
+    abrupt.horizon_s = 20e-6;
+    assert!(abrupt.run().unwrap().report.violated);
+
+    let mut slow = ActivationExperiment::hpca(ActivationSchedule::LinearRamp {
+        total_s: 128e-6,
+    });
+    slow.horizon_s = 300e-6;
+    assert!(!slow.run().unwrap().report.violated);
+}
+
+/// Section 6: a phone Li-ion cell cannot power a 16-core sprint, but the
+/// hybrid (battery + ultracapacitor) can.
+#[test]
+fn claim_power_source_feasibility() {
+    let verdicts = evaluate_sources(16.0, 1.0);
+    let li_ion = verdicts.iter().find(|v| v.source.contains("li-ion")).unwrap();
+    assert!(!li_ion.covers_peak);
+    let hybrid = verdicts.iter().find(|v| v.source.contains("hybrid")).unwrap();
+    assert!(hybrid.covers_peak && hybrid.covers_energy);
+}
+
+/// Section 8.4: 16x power headroom buys only ~2.5x of DVFS boost, at
+/// ~6.3x the energy per instruction.
+#[test]
+fn claim_dvfs_cube_root_law() {
+    use computational_sprinting::archsim::OperatingPoint;
+    let p = OperatingPoint::max_boost_for_power_headroom(16.0);
+    assert!((p.frequency_multiplier - 2.52).abs() < 0.01);
+    assert!((p.energy_multiplier - 6.35).abs() < 0.01);
+    assert!((p.power_multiplier() - 16.0).abs() < 1e-9);
+}
+
+/// Section 2: dark-silicon projections reach a large dark fraction by the
+/// end of the roadmap under pessimistic voltage scaling.
+#[test]
+fn claim_dark_silicon_trend() {
+    let series = ScalingModel::ItrsWithBorkarVdd.series();
+    let (_, _, dark_last) = series.last().unwrap();
+    assert!(*dark_last > 75.0, "dark fraction {dark_last:.0}%");
+    // ITRS (optimistic) is strictly less dark everywhere.
+    for (i, (_, _, dark)) in ScalingModel::Itrs.series().iter().enumerate() {
+        assert!(*dark <= series[i].2 + 1e-9);
+    }
+}
+
+/// Section 4.2: ~150 mg of 100 J/g PCM stores the 16 J a one-second
+/// 16-core sprint dissipates.
+#[test]
+fn claim_pcm_sizing() {
+    use computational_sprinting::thermal::Material;
+    let pcm = Material::reference_pcm();
+    let mass_g = pcm.mass_for_latent_storage_g(16.0).unwrap();
+    assert!((0.14..0.18).contains(&mass_g), "mass {mass_g:.3} g");
+    let thickness = pcm.block_thickness_mm(mass_g, 64.0);
+    assert!(thickness < 3.0, "fits the package: {thickness:.1} mm");
+}
