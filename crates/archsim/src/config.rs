@@ -51,13 +51,20 @@ impl CacheConfig {
     /// Panics when the geometry is degenerate (non-power-of-two line size,
     /// zero ways, or capacity not divisible into sets).
     pub fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways > 0, "cache needs at least one way");
         assert!(
-            self.capacity_bytes % (self.ways * self.line_bytes) == 0,
+            self.capacity_bytes
+                .is_multiple_of(self.ways * self.line_bytes),
             "capacity must divide into sets"
         );
-        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 }
 

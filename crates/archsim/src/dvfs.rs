@@ -51,7 +51,10 @@ impl OperatingPoint {
     /// Section 7): power and energy-per-time fall linearly with frequency,
     /// energy per operation is unchanged.
     pub fn throttle(f: f64) -> Self {
-        assert!(f.is_finite() && f > 0.0 && f <= 1.0, "throttle must be in (0, 1]");
+        assert!(
+            f.is_finite() && f > 0.0 && f <= 1.0,
+            "throttle must be in (0, 1]"
+        );
         Self {
             frequency_multiplier: f,
             energy_multiplier: 1.0,

@@ -64,7 +64,10 @@ impl EnergyModel {
     /// Scales every entry by `factor` (used for voltage scaling: energy
     /// per operation goes as V^2).
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         Self {
             int_alu_j: self.int_alu_j * factor,
             int_mul_j: self.int_mul_j * factor,

@@ -45,6 +45,16 @@ pub struct Llc {
 const EMPTY: u64 = u64::MAX;
 
 impl Llc {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
     /// Builds an empty LLC with the given geometry.
     pub fn new(cfg: &CacheConfig) -> Self {
         cfg.validate();

@@ -338,8 +338,7 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         cfg.validate();
         let cycle_ps = cfg.cycle_ps();
-        let nominal_cycle_j =
-            cfg.energy.nominal_core_power_w(cfg.freq_ghz) / (cfg.freq_ghz * 1e9);
+        let nominal_cycle_j = cfg.energy.nominal_core_power_w(cfg.freq_ghz) / (cfg.freq_ghz * 1e9);
         let mem = MemSystem {
             l1s: (0..cfg.cores).map(|_| L1Cache::new(&cfg.l1)).collect(),
             llc: Llc::new(&cfg.llc),
@@ -459,7 +458,9 @@ impl Machine {
         );
         self.freq_multiplier = freq_multiplier;
         self.energy_multiplier = energy_multiplier;
-        self.cycle_ps = ((self.cfg.cycle_ps() as f64) / freq_multiplier).round().max(1.0) as u64;
+        self.cycle_ps = ((self.cfg.cycle_ps() as f64) / freq_multiplier)
+            .round()
+            .max(1.0) as u64;
         self.mem.llc_hit_ps = self.cfg.llc.hit_latency_cycles * self.cycle_ps;
         self.mem.remote_penalty_ps = 15 * self.cycle_ps;
         if self.cfg.idealized_dvfs_memory {
@@ -478,9 +479,7 @@ impl Machine {
     /// of powered-down cores (write-backs included).
     pub fn set_active_cores(&mut self, n: usize) {
         let n = n.clamp(1, self.cfg.cores);
-        if n == self.active_cores
-            && self.cores[..n].iter().all(|c| c.powered)
-        {
+        if n == self.active_cores && self.cores[..n].iter().all(|c| c.powered) {
             return;
         }
         // Flush L1s of cores being powered down.
@@ -588,8 +587,7 @@ impl Machine {
     /// Runs thread `t` on core `c` until it blocks, exhausts its timeslice,
     /// or the window ends.
     fn run_thread(&mut self, c: usize, t: usize, end_ps: u64) {
-        let slice_end =
-            self.cores[c].time_ps + self.cfg.timeslice_cycles * self.cycle_ps;
+        let slice_end = self.cores[c].time_ps + self.cfg.timeslice_cycles * self.cycle_ps;
         let emul = self.energy_multiplier;
         loop {
             let now = self.cores[c].time_ps;
@@ -627,8 +625,7 @@ impl Machine {
                 Op::Compute { class, count } => {
                     let count = u64::from(count);
                     self.cores[c].time_ps += count * self.cycle_ps;
-                    let e = (self.mem.energy.compute_j(class)
-                        + self.mem.energy.active_cycle_j)
+                    let e = (self.mem.energy.compute_j(class) + self.mem.energy.active_cycle_j)
                         * count as f64
                         * emul;
                     self.stats.dynamic_energy_j += e;
@@ -666,8 +663,7 @@ impl Machine {
                 Op::Pause => {
                     let cycles = self.cfg.pause_cycles;
                     self.cores[c].time_ps += cycles * self.cycle_ps;
-                    self.stats.dynamic_energy_j +=
-                        cycles as f64 * self.sleep_cycle_j * emul;
+                    self.stats.dynamic_energy_j += cycles as f64 * self.sleep_cycle_j * emul;
                     self.stats.pauses += 1;
                     self.stats.sleep_cycles += cycles;
                     self.stats.instructions += 1;
@@ -703,8 +699,7 @@ impl Machine {
                         // co-scheduled holder can make progress.
                         let cycles = self.cfg.pause_cycles;
                         self.cores[c].time_ps += cycles * self.cycle_ps;
-                        self.stats.dynamic_energy_j +=
-                            cycles as f64 * self.sleep_cycle_j * emul;
+                        self.stats.dynamic_energy_j += cycles as f64 * self.sleep_cycle_j * emul;
                         self.stats.pauses += 1;
                         self.stats.sleep_cycles += cycles;
                         self.rotate(c);
@@ -943,7 +938,7 @@ mod tests {
             m.run_window(1_000_000);
         }
         // 4 threads x 5 acquisitions each.
-        assert_eq!(m.stats().instructions > 0, true);
+        assert!(m.stats().instructions > 0);
     }
 
     #[test]
@@ -1104,12 +1099,7 @@ mod tests {
             let mut m = small_machine(cores);
             for t in 0..cores as u64 {
                 // 8 MB stream per thread, no compute: pure bandwidth.
-                m.spawn(Box::new(SyntheticKernel::new(
-                    1,
-                    40_000,
-                    (t + 1) << 28,
-                    64,
-                )));
+                m.spawn(Box::new(SyntheticKernel::new(1, 40_000, (t + 1) << 28, 64)));
             }
             while !m.all_done() {
                 m.run_window(1_000_000);

@@ -87,7 +87,10 @@ impl MemoryController {
     /// clock — speeds up with frequency, as the paper's Section 8.4
     /// comparison assumes).
     pub fn set_speed_multiplier(&mut self, multiplier: f64) {
-        assert!(multiplier.is_finite() && multiplier > 0.0, "multiplier must be positive");
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "multiplier must be positive"
+        );
         self.line_transfer_ps =
             ((self.base_line_transfer_ps as f64 / multiplier).round() as u64).max(1);
         self.latency_ps = ((self.base_latency_ps as f64 / multiplier).round() as u64).max(1);
@@ -187,7 +190,11 @@ mod tests {
         let mut m = ctl();
         m.writeback(0, 0);
         let read_done = m.read(0, 0);
-        assert_eq!(read_done, 16_000 + 60_000, "read queues behind the writeback");
+        assert_eq!(
+            read_done,
+            16_000 + 60_000,
+            "read queues behind the writeback"
+        );
         assert_eq!(m.writebacks(), 1);
     }
 

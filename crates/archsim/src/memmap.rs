@@ -85,7 +85,10 @@ impl AddressSpace {
         let base = self.next;
         let padded = bytes.div_ceil(self.line_bytes) * self.line_bytes;
         self.next += padded;
-        Region { base, bytes: padded }
+        Region {
+            base,
+            bytes: padded,
+        }
     }
 
     /// Allocates an array of `count` elements of `elem_bytes` bytes.

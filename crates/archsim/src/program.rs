@@ -181,8 +181,14 @@ mod tests {
         });
         let mut inbox = Inbox::default();
         let mut out = Vec::new();
-        assert_eq!(k.step(ThreadId(0), &mut inbox, &mut out), KernelStatus::Running);
-        assert_eq!(k.step(ThreadId(0), &mut inbox, &mut out), KernelStatus::Done);
+        assert_eq!(
+            k.step(ThreadId(0), &mut inbox, &mut out),
+            KernelStatus::Running
+        );
+        assert_eq!(
+            k.step(ThreadId(0), &mut inbox, &mut out),
+            KernelStatus::Done
+        );
         assert_eq!(out.len(), 2);
     }
 
@@ -205,7 +211,10 @@ mod tests {
         let computes: u64 = out
             .iter()
             .filter_map(|op| match op {
-                Op::Compute { count, class: OpClass::IntAlu } => Some(u64::from(*count)),
+                Op::Compute {
+                    count,
+                    class: OpClass::IntAlu,
+                } => Some(u64::from(*count)),
                 _ => None,
             })
             .sum();

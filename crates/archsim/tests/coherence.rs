@@ -9,31 +9,41 @@ use sprint_archsim::program::{FnKernel, Inbox, KernelStatus};
 
 /// A kernel producing a pseudo-random mix of loads/stores over a small
 /// shared region (maximizing coherence churn) plus private work.
-fn churn_kernel(seed: u64, iters: u32) -> Box<FnKernel<impl FnMut(sprint_archsim::ThreadId, &mut Inbox, &mut Vec<Op>) -> KernelStatus + Send>> {
+#[allow(clippy::type_complexity)]
+fn churn_kernel(
+    seed: u64,
+    iters: u32,
+) -> Box<
+    FnKernel<impl FnMut(sprint_archsim::ThreadId, &mut Inbox, &mut Vec<Op>) -> KernelStatus + Send>,
+> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
     let mut remaining = iters;
-    Box::new(FnKernel(move |_tid, _inbox: &mut Inbox, out: &mut Vec<Op>| {
-        if remaining == 0 {
-            return KernelStatus::Done;
-        }
-        remaining -= 1;
-        for _ in 0..16 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            // 16 shared lines + per-thread private lines.
-            let shared = (state >> 33) % 16;
-            let addr = 0x10_0000 + shared * 64;
-            if state & 1 == 0 {
-                out.push(Op::Load { addr });
-            } else {
-                out.push(Op::Store { addr });
+    Box::new(FnKernel(
+        move |_tid, _inbox: &mut Inbox, out: &mut Vec<Op>| {
+            if remaining == 0 {
+                return KernelStatus::Done;
             }
-            out.push(Op::Compute {
-                class: OpClass::IntAlu,
-                count: 4,
-            });
-        }
-        KernelStatus::Running
-    }))
+            remaining -= 1;
+            for _ in 0..16 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // 16 shared lines + per-thread private lines.
+                let shared = (state >> 33) % 16;
+                let addr = 0x10_0000 + shared * 64;
+                if state & 1 == 0 {
+                    out.push(Op::Load { addr });
+                } else {
+                    out.push(Op::Store { addr });
+                }
+                out.push(Op::Compute {
+                    class: OpClass::IntAlu,
+                    count: 4,
+                });
+            }
+            KernelStatus::Running
+        },
+    ))
 }
 
 #[test]
@@ -47,13 +57,21 @@ fn invariants_hold_under_heavy_sharing() {
         m.run_window(10_000);
         windows += 1;
         if windows % 50 == 0 {
-            m.check_coherence().expect("coherence invariant violated mid-run");
+            m.check_coherence()
+                .expect("coherence invariant violated mid-run");
         }
         assert!(windows < 1_000_000);
     }
-    m.check_coherence().expect("coherence invariant violated at end");
-    assert!(m.stats().invalidations > 0, "sharing must cause invalidations");
-    assert!(m.stats().owner_interventions > 0, "dirty sharing must intervene");
+    m.check_coherence()
+        .expect("coherence invariant violated at end");
+    assert!(
+        m.stats().invalidations > 0,
+        "sharing must cause invalidations"
+    );
+    assert!(
+        m.stats().owner_interventions > 0,
+        "dirty sharing must intervene"
+    );
 }
 
 #[test]
@@ -75,7 +93,8 @@ fn invariants_hold_across_migration() {
             _ => {}
         }
         if step % 25 == 0 {
-            m.check_coherence().expect("coherence broken around migration");
+            m.check_coherence()
+                .expect("coherence broken around migration");
         }
     }
     m.check_coherence().unwrap();

@@ -12,8 +12,7 @@ fn bench_tmelt(c: &mut Criterion) {
         g.bench_function(format!("sprint_tmelt_{melt_c}"), |b| {
             b.iter(|| {
                 let mut params = PhoneThermalParams::hpca();
-                params.pcm_material =
-                    Material::new("pcm", 0.3, 1.0, 100.0, Some(melt_c), 5.0);
+                params.pcm_material = Material::new("pcm", 0.3, 1.0, 100.0, Some(melt_c), 5.0);
                 let mut phone = params.build();
                 let t = simulate_sprint(&mut phone, 16.0, 0.005, 5.0);
                 std::hint::black_box(t.duration_s)

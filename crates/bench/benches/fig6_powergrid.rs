@@ -14,9 +14,8 @@ fn bench_powergrid(c: &mut Criterion) {
     });
     g.bench_function("ramp_128us_4core_160us", |b| {
         b.iter(|| {
-            let mut exp = ActivationExperiment::hpca(ActivationSchedule::LinearRamp {
-                total_s: 128e-6,
-            });
+            let mut exp =
+                ActivationExperiment::hpca(ActivationSchedule::LinearRamp { total_s: 128e-6 });
             exp.pdn = exp.pdn.with_cores(4);
             exp.horizon_s = 160e-6;
             std::hint::black_box(exp.run().unwrap().report.min_v)

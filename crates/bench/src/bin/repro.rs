@@ -53,16 +53,32 @@ fn main() {
         }
     }
     if experiments.is_empty() {
-        eprintln!("usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--size A|B|C|D]");
+        eprintln!(
+            "usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--size A|B|C|D]"
+        );
         eprintln!("experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power");
-        eprintln!("             ablation_tmelt ablation_metal ablation_budget ablation_abort");
+        eprintln!("             ablation_tmelt ablation_metal ablation_budget ablation_abort ablation_pacing");
         std::process::exit(2);
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "fig1", "table1", "fig2", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "fig10", "power", "ablation_tmelt", "ablation_metal",
-            "ablation_budget", "ablation_abort", "ablation_pacing",
+            "fig1",
+            "table1",
+            "fig2",
+            "fig4a",
+            "fig4b",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "power",
+            "ablation_tmelt",
+            "ablation_metal",
+            "ablation_budget",
+            "ablation_abort",
+            "ablation_pacing",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -3,31 +3,40 @@
 //! the runtime ablations.
 
 use sprint_archsim::config::MachineConfig;
-use sprint_archsim::machine::Machine;
 use sprint_core::conceptual::{run_conceptual, ConceptualMode};
-use sprint_core::config::{AbortPolicy, BudgetEstimator, ExecutionMode, PacingPolicy, SprintConfig};
-use sprint_core::metrics::arithmetic_mean;
-use sprint_core::system::SprintSystem;
-use sprint_workloads::sobel::SobelWorkload;
-use sprint_workloads::suite::{build_workload, InputSize, Workload, WorkloadKind};
-
-use crate::harness::{
-    run_baseline, run_coupled, run_fixed_cores_with, ThermalDesign,
+use sprint_core::config::{
+    AbortPolicy, BudgetEstimator, ExecutionMode, PacingPolicy, SprintConfig,
 };
+use sprint_core::metrics::arithmetic_mean;
+use sprint_core::session::ScenarioBuilder;
+use sprint_workloads::sobel::SobelWorkload;
+use sprint_workloads::suite::{loaded_machine, InputSize, Workload, WorkloadKind};
+
+use crate::harness::{run_baseline, run_coupled, run_fixed_cores_with, ThermalDesign};
 use crate::output::{Csv, TextTable};
 
 /// Figure 2: the three conceptual execution modes.
 pub fn fig2() -> String {
-    let mut out = String::from(
-        "Figure 2 — sustained vs. sprint vs. PCM-augmented sprint (16 cores)\n",
-    );
+    let mut out =
+        String::from("Figure 2 — sustained vs. sprint vs. PCM-augmented sprint (16 cores)\n");
     let mut table = TextTable::new();
-    table.row(&[&"mode", &"completion ms", &"sprint end ms", &"peak junction C"]);
+    table.row(&[
+        &"mode",
+        &"completion ms",
+        &"sprint end ms",
+        &"peak junction C",
+    ]);
     for mode in ConceptualMode::ALL {
         let report = run_conceptual(mode, 1_600_000, 1000.0);
         let mut csv = Csv::new(
             &format!("fig2_{}", mode.label().replace('+', "_")),
-            &["time_ms", "active_cores", "instructions", "junction_c", "melt_fraction"],
+            &[
+                "time_ms",
+                "active_cores",
+                "instructions",
+                "junction_c",
+                "melt_fraction",
+            ],
         );
         for s in &report.trace {
             csv.row(&[
@@ -61,11 +70,17 @@ pub fn fig2() -> String {
 pub fn table1() -> String {
     let mut out = String::from("Table 1 — parallel kernels used in the evaluation\n");
     let mut table = TextTable::new();
-    table.row(&[&"kernel", &"description", &"Minstr", &"%mem", &"%fp", &"%branch"]);
+    table.row(&[
+        &"kernel",
+        &"description",
+        &"Minstr",
+        &"%mem",
+        &"%fp",
+        &"%branch",
+    ]);
     for kind in WorkloadKind::ALL {
-        let workload = build_workload(kind, InputSize::A);
-        let mut machine = Machine::new(MachineConfig::hpca().with_cores(4));
-        workload.setup(&mut machine, 4);
+        let mut machine =
+            loaded_machine(kind, InputSize::A, MachineConfig::hpca().with_cores(4), 4);
         while !machine.all_done() {
             machine.run_window(1_000_000);
         }
@@ -106,9 +121,7 @@ fn speedup_stack(
 
 /// Figure 7: 16-core parallel sprint vs. idealized DVFS, both PCM sizes.
 pub fn fig7() -> String {
-    let mut out = String::from(
-        "Figure 7 — speedup on 16 cores vs. idealized DVFS (C inputs)\n",
-    );
+    let mut out = String::from("Figure 7 — speedup on 16 cores vs. idealized DVFS (C inputs)\n");
     let mut table = TextTable::new();
     table.row(&[
         &"kernel",
@@ -119,7 +132,13 @@ pub fn fig7() -> String {
     ]);
     let mut csv = Csv::new(
         "fig7",
-        &["kernel", "parallel_150mg", "parallel_1p5mg", "dvfs_150mg", "dvfs_1p5mg"],
+        &[
+            "kernel",
+            "parallel_150mg",
+            "parallel_1p5mg",
+            "dvfs_150mg",
+            "dvfs_1p5mg",
+        ],
     );
     let mut par_speedups = Vec::new();
     for kind in WorkloadKind::ALL {
@@ -161,31 +180,36 @@ pub fn fig8(quick: bool) -> String {
     table.row(&[&"megapixels", &"par 150mg", &"par 1.5mg", &"dvfs 1.5mg"]);
     let mut csv = Csv::new(
         "fig8",
-        &["megapixels", "parallel_150mg", "parallel_1p5mg", "dvfs_1p5mg"],
+        &[
+            "megapixels",
+            "parallel_150mg",
+            "parallel_1p5mg",
+            "dvfs_1p5mg",
+        ],
     );
     let sizes: &[(usize, usize)] = if quick {
         &[(800, 640), (1600, 1280)]
     } else {
-        &[(800, 640), (1136, 896), (1600, 1280), (2272, 1808), (3216, 2560)]
+        &[
+            (800, 640),
+            (1136, 896),
+            (1600, 1280),
+            (2272, 1808),
+            (3216, 2560),
+        ]
     };
     for &(w, h) in sizes {
         let mp = (w * h) as f64 / 1e6;
         let run = |config: SprintConfig, design: ThermalDesign| -> f64 {
-            let workload = SobelWorkload::with_dims(w, h, 0xE05E1);
-            let mut machine = Machine::new(MachineConfig::hpca());
-            let threads = if matches!(
-                config.mode,
-                sprint_core::config::ExecutionMode::Sustained
-            ) {
-                16
-            } else {
-                16
-            };
-            workload.setup(&mut machine, threads);
-            SprintSystem::new(machine, design.build(), config)
-                .with_trace_capacity(0)
-                .run()
-                .completion_s
+            let mut session = ScenarioBuilder::new()
+                .machine(MachineConfig::hpca())
+                .load(move |m| SobelWorkload::with_dims(w, h, 0xE05E1).setup(m, 16))
+                .thermal(design.build())
+                .config(config)
+                .trace_capacity(0)
+                .build();
+            session.run_to_completion();
+            session.report().completion_s
         };
         let base = run(SprintConfig::hpca_sustained(), ThermalDesign::FullPcm);
         let par_full = base / run(SprintConfig::hpca_parallel(), ThermalDesign::FullPcm);
@@ -219,7 +243,10 @@ pub fn fig9(quick: bool) -> String {
     let mut out = String::from("Figure 9 — speedup on 16 cores across input sizes\n");
     let mut table = TextTable::new();
     table.row(&[&"kernel", &"size", &"par 150mg", &"par 1.5mg"]);
-    let mut csv = Csv::new("fig9", &["kernel", "size", "parallel_150mg", "parallel_1p5mg"]);
+    let mut csv = Csv::new(
+        "fig9",
+        &["kernel", "size", "parallel_150mg", "parallel_1p5mg"],
+    );
     let sizes: &[InputSize] = if quick {
         &[InputSize::A, InputSize::B]
     } else {
@@ -228,8 +255,7 @@ pub fn fig9(quick: bool) -> String {
     for kind in WorkloadKind::ALL {
         for &size in sizes {
             let base = run_baseline(kind, size);
-            let stack =
-                speedup_stack(kind, size, &SprintConfig::hpca_parallel(), base.time_s);
+            let stack = speedup_stack(kind, size, &SprintConfig::hpca_parallel(), base.time_s);
             table.row(&[
                 &kind.name(),
                 &size.label(),
@@ -259,14 +285,22 @@ pub fn fig10_fig11(size: InputSize, doubled_bw: bool) -> String {
     let mut out = format!(
         "Figures 10 & 11 — scaling at fixed V/f (size {}{})\n",
         size.label(),
-        if doubled_bw { ", 2x memory bandwidth" } else { "" }
+        if doubled_bw {
+            ", 2x memory bandwidth"
+        } else {
+            ""
+        }
     );
     let mut t10 = TextTable::new();
     t10.row(&[&"kernel", &"1", &"4", &"16", &"64"]);
     let mut t11 = TextTable::new();
     t11.row(&[&"kernel", &"1", &"4", &"16", &"64"]);
     let mut csv = Csv::new(
-        if doubled_bw { "fig10_fig11_bw2x" } else { "fig10_fig11" },
+        if doubled_bw {
+            "fig10_fig11_bw2x"
+        } else {
+            "fig10_fig11"
+        },
         &["kernel", "cores", "speedup", "normalized_energy"],
     );
     let core_counts = [1usize, 4, 16, 64];
@@ -291,8 +325,20 @@ pub fn fig10_fig11(size: InputSize, doubled_bw: bool) -> String {
             speedups.push(format!("{speedup:.1}x"));
             energies.push(format!("{energy:.2}"));
         }
-        t10.row(&[&kind.name(), &speedups[0], &speedups[1], &speedups[2], &speedups[3]]);
-        t11.row(&[&kind.name(), &energies[0], &energies[1], &energies[2], &energies[3]]);
+        t10.row(&[
+            &kind.name(),
+            &speedups[0],
+            &speedups[1],
+            &speedups[2],
+            &speedups[3],
+        ]);
+        t11.row(&[
+            &kind.name(),
+            &energies[0],
+            &energies[1],
+            &energies[2],
+            &energies[3],
+        ]);
     }
     out.push_str("Figure 10 — normalized speedup\n");
     out.push_str(&t10.render());
@@ -315,11 +361,15 @@ pub fn fig10_fig11(size: InputSize, doubled_bw: bool) -> String {
 
 /// Ablation: energy-accounting budget estimator vs. oracle temperature.
 pub fn ablation_budget() -> String {
-    let mut out = String::from(
-        "Ablation — budget estimator (feature C, limited PCM, 16-core sprint)\n",
-    );
+    let mut out =
+        String::from("Ablation — budget estimator (feature C, limited PCM, 16-core sprint)\n");
     let mut table = TextTable::new();
-    table.row(&[&"estimator", &"speedup", &"peak junction C", &"sprint end ms"]);
+    table.row(&[
+        &"estimator",
+        &"speedup",
+        &"peak junction C",
+        &"sprint end ms",
+    ]);
     let base = run_baseline(WorkloadKind::Feature, InputSize::C);
     for (name, estimator) in [
         ("energy-accounting", BudgetEstimator::EnergyAccounting),
@@ -352,9 +402,8 @@ pub fn ablation_budget() -> String {
 
 /// Ablation: migrate-then-sustain vs. hardware throttle-only.
 pub fn ablation_abort() -> String {
-    let mut out = String::from(
-        "Ablation — sprint-abort policy (disparity C, limited PCM, 16-core sprint)\n",
-    );
+    let mut out =
+        String::from("Ablation — sprint-abort policy (disparity C, limited PCM, 16-core sprint)\n");
     let mut table = TextTable::new();
     table.row(&[&"policy", &"speedup", &"peak junction C"]);
     let base = run_baseline(WorkloadKind::Disparity, InputSize::C);
@@ -429,8 +478,8 @@ pub fn ablation_pacing() -> String {
         ),
     ];
     for (name, pacing, cores) in policies {
-        let mut cfg = SprintConfig::hpca_parallel()
-            .with_mode(ExecutionMode::ParallelSprint { cores });
+        let mut cfg =
+            SprintConfig::hpca_parallel().with_mode(ExecutionMode::ParallelSprint { cores });
         cfg.pacing = pacing;
         let o = run_coupled(
             WorkloadKind::Disparity,

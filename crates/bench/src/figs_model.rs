@@ -14,15 +14,17 @@ use crate::output::{Csv, TextTable};
 
 /// Figure 1: power density and dark-silicon fraction per node.
 pub fn fig1() -> String {
-    let mut csv = Csv::new(
-        "fig1",
-        &["model", "nm", "power_density", "percent_dark"],
-    );
+    let mut csv = Csv::new("fig1", &["model", "nm", "power_density", "percent_dark"]);
     let mut table = TextTable::new();
     table.row(&[&"model", &"node", &"power density", &"% dark Si"]);
     for model in ScalingModel::ALL {
         for (nm, pd, dark) in model.series() {
-            csv.row(&[&model.label(), &nm, &format!("{pd:.3}"), &format!("{dark:.1}")]);
+            csv.row(&[
+                &model.label(),
+                &nm,
+                &format!("{pd:.3}"),
+                &format!("{dark:.1}"),
+            ]);
             table.row(&[
                 &model.label(),
                 &format!("{nm} nm"),
@@ -120,16 +122,28 @@ pub fn fig5() -> String {
 
 /// Figure 6: activation schedules vs. supply integrity.
 pub fn fig6(full_horizon: bool) -> String {
-    let mut out = String::from(
-        "Figure 6 — supply voltage during core activation (2% tolerance at 1.2 V)\n",
-    );
+    let mut out =
+        String::from("Figure 6 — supply voltage during core activation (2% tolerance at 1.2 V)\n");
     let mut table = TextTable::new();
-    table.row(&[&"schedule", &"min V", &"% nominal", &"droop mV", &"settle us", &"verdict"]);
+    table.row(&[
+        &"schedule",
+        &"min V",
+        &"% nominal",
+        &"droop mV",
+        &"settle us",
+        &"verdict",
+    ]);
     let horizon = if full_horizon { 2000e-6 } else { 320e-6 };
     for (name, schedule) in [
         ("abrupt", ActivationSchedule::Simultaneous),
-        ("ramp-1.28us", ActivationSchedule::LinearRamp { total_s: 1.28e-6 }),
-        ("ramp-128us", ActivationSchedule::LinearRamp { total_s: 128e-6 }),
+        (
+            "ramp-1.28us",
+            ActivationSchedule::LinearRamp { total_s: 1.28e-6 },
+        ),
+        (
+            "ramp-128us",
+            ActivationSchedule::LinearRamp { total_s: 128e-6 },
+        ),
     ] {
         let mut exp = ActivationExperiment::hpca(schedule);
         exp.horizon_s = horizon;
@@ -170,10 +184,24 @@ pub fn fig6(full_horizon: bool) -> String {
 pub fn table_power() -> String {
     let mut out = String::from("Section 6 — power sources for a 16 W x 1 s sprint\n");
     let mut table = TextTable::new();
-    table.row(&[&"source", &"max W", &"peak ok", &"energy ok", &"mass g", &"max cores"]);
+    table.row(&[
+        &"source",
+        &"max W",
+        &"peak ok",
+        &"energy ok",
+        &"mass g",
+        &"max cores",
+    ]);
     let mut csv = Csv::new(
         "table_power",
-        &["source", "max_w", "covers_peak", "covers_energy", "mass_g", "max_cores"],
+        &[
+            "source",
+            "max_w",
+            "covers_peak",
+            "covers_energy",
+            "mass_g",
+            "max_cores",
+        ],
     );
     for v in evaluate_sources(16.0, 1.0) {
         table.row(&[
@@ -196,7 +224,11 @@ pub fn table_power() -> String {
     out.push_str(&table.render());
     out.push('\n');
     let mut pins = TextTable::new();
-    pins.row(&[&"package", &"pins needed (16 A @ 1 V)", &"fraction of package"]);
+    pins.row(&[
+        &"package",
+        &"pins needed (16 A @ 1 V)",
+        &"fraction of package",
+    ]);
     for (name, needed, fraction) in evaluate_pins(16.0) {
         pins.row(&[&name, &needed, &format!("{:.0}%", fraction * 100.0)]);
     }
@@ -207,8 +239,7 @@ pub fn table_power() -> String {
 
 /// Ablation: PCM melting point vs. sprint capacity, TDP and cooldown.
 pub fn ablation_tmelt() -> String {
-    let mut out =
-        String::from("Ablation — PCM melting point (140 mg, 16 W sprint, Tmax 70 C)\n");
+    let mut out = String::from("Ablation — PCM melting point (140 mg, 16 W sprint, Tmax 70 C)\n");
     let mut table = TextTable::new();
     table.row(&[&"Tmelt", &"TDP W", &"sprint s", &"plateau s", &"cooldown s"]);
     let mut csv = Csv::new(
@@ -258,7 +289,13 @@ pub fn ablation_metal() -> String {
         "Ablation — heat storage media at equal package volume (2.3 mm over 64 mm2)\n",
     );
     let mut table = TextTable::new();
-    table.row(&[&"medium", &"mass g", &"capacity J", &"sprint s", &"pre-heated sprint s"]);
+    table.row(&[
+        &"medium",
+        &"mass g",
+        &"capacity J",
+        &"sprint s",
+        &"pre-heated sprint s",
+    ]);
     let volume_cm3 = 0.1472; // 2.3 mm x 64 mm^2
     let cases = [
         ("copper", Material::copper()),
@@ -267,12 +304,18 @@ pub fn ablation_metal() -> String {
     ];
     let mut csv = Csv::new(
         "ablation_metal",
-        &["medium", "mass_g", "capacity_j", "sprint_s", "preheated_sprint_s"],
+        &[
+            "medium",
+            "mass_g",
+            "capacity_j",
+            "sprint_s",
+            "preheated_sprint_s",
+        ],
     );
     for (name, material) in cases {
         let mass = material.density_g_per_cm3() * volume_cm3;
-        let capacity = material.block_latent_heat_j(mass)
-            + material.block_heat_capacity_j_per_k(mass) * 10.0;
+        let capacity =
+            material.block_latent_heat_j(mass) + material.block_heat_capacity_j_per_k(mass) * 10.0;
         let mut params = PhoneThermalParams::hpca();
         params.pcm_material = material.clone();
         params.pcm_mass_g = mass;
@@ -319,7 +362,10 @@ mod tests {
 
     #[test]
     fn fig1_mentions_all_models() {
-        std::env::set_var("SPRINT_RESULTS_DIR", std::env::temp_dir().join("sprint-bench-t1"));
+        std::env::set_var(
+            "SPRINT_RESULTS_DIR",
+            std::env::temp_dir().join("sprint-bench-t1"),
+        );
         let s = fig1();
         for m in ScalingModel::ALL {
             assert!(s.contains(m.label()));
@@ -334,9 +380,15 @@ mod tests {
 
     #[test]
     fn power_table_flags_li_ion() {
-        std::env::set_var("SPRINT_RESULTS_DIR", std::env::temp_dir().join("sprint-bench-t2"));
+        std::env::set_var(
+            "SPRINT_RESULTS_DIR",
+            std::env::temp_dir().join("sprint-bench-t2"),
+        );
         let s = table_power();
         assert!(s.contains("phone-li-ion"));
-        assert!(s.contains("false"), "the phone cell must fail the peak check");
+        assert!(
+            s.contains("false"),
+            "the phone cell must fail the peak check"
+        );
     }
 }

@@ -11,11 +11,10 @@
 //! same trick by shrinking the PCM 100× for its limited configuration).
 
 use sprint_archsim::config::MachineConfig;
-use sprint_archsim::machine::Machine;
 use sprint_core::config::SprintConfig;
-use sprint_core::system::{RunReport, SprintSystem};
+use sprint_core::session::{RunReport, ScenarioBuilder};
 use sprint_thermal::phone::{PhoneThermal, PhoneThermalParams};
-use sprint_workloads::suite::{build_workload, InputSize, WorkloadKind};
+use sprint_workloads::suite::{loaded_machine, suite_loader, InputSize, WorkloadKind};
 
 /// Thermal time compression applied to workload experiments, chosen so the
 /// limited ("1.5 mg") design's sprint covers a substantial fraction of a
@@ -87,18 +86,25 @@ pub fn run_coupled(
     config: SprintConfig,
     design: ThermalDesign,
 ) -> Outcome {
-    let workload = build_workload(kind, size);
     let cores = threads.max(16);
     let mut machine_cfg = MachineConfig::hpca().with_cores(cores);
     // The paper's DVFS comparison is *idealized*: performance scales with
     // frequency across the whole system, not just the core clock.
-    if matches!(config.mode, sprint_core::config::ExecutionMode::DvfsSprint { .. }) {
+    if matches!(
+        config.mode,
+        sprint_core::config::ExecutionMode::DvfsSprint { .. }
+    ) {
         machine_cfg.idealized_dvfs_memory = true;
     }
-    let mut machine = Machine::new(machine_cfg);
-    workload.setup(&mut machine, threads);
-    let system = SprintSystem::new(machine, design.build(), config).with_trace_capacity(0);
-    system.run().into()
+    let mut session = ScenarioBuilder::new()
+        .machine(machine_cfg)
+        .load(suite_loader(kind, size, threads))
+        .thermal(design.build())
+        .config(config)
+        .trace_capacity(0)
+        .build();
+    session.run_to_completion();
+    session.report().into()
 }
 
 /// Runs a workload at fixed voltage/frequency on `cores` cores with one
@@ -117,13 +123,11 @@ pub fn run_fixed_cores_with(
     cores: usize,
     doubled_bandwidth: bool,
 ) -> Outcome {
-    let workload = build_workload(kind, size);
     let mut cfg = MachineConfig::hpca().with_cores(cores);
     if doubled_bandwidth {
         cfg.memory = cfg.memory.with_doubled_bandwidth();
     }
-    let mut machine = Machine::new(cfg);
-    workload.setup(&mut machine, cores);
+    let mut machine = loaded_machine(kind, size, cfg, cores);
     let mut windows: u64 = 0;
     while !machine.all_done() {
         machine.run_window(1_000_000);

@@ -16,7 +16,7 @@
 //! repro fig9        # input classes A-D
 //! repro fig10       # core-count scaling (+ fig11 energy)
 //! repro power       # Section 6 power-source table
-//! repro ablation_tmelt | ablation_metal | ablation_budget | ablation_abort
+//! repro ablation_tmelt | ablation_metal | ablation_budget | ablation_abort | ablation_pacing
 //! ```
 
 #![warn(missing_docs)]

@@ -82,7 +82,8 @@ impl TextTable {
 
     /// Adds a row of cells.
     pub fn row(&mut self, cells: &[&dyn Display]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -127,7 +128,10 @@ mod tests {
 
     #[test]
     fn csv_writes_rows() {
-        std::env::set_var("SPRINT_RESULTS_DIR", std::env::temp_dir().join("sprint-test-results"));
+        std::env::set_var(
+            "SPRINT_RESULTS_DIR",
+            std::env::temp_dir().join("sprint-test-results"),
+        );
         let mut c = Csv::new("unit_test", &["a", "b"]);
         c.row(&[&1, &2.5]);
         let path = c.finish();

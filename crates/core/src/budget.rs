@@ -30,7 +30,10 @@ impl ThermalBudget {
     ///
     /// Panics unless both are positive and finite.
     pub fn new(capacity_j: f64, tdp_w: f64) -> Self {
-        assert!(capacity_j.is_finite() && capacity_j > 0.0, "capacity must be positive");
+        assert!(
+            capacity_j.is_finite() && capacity_j > 0.0,
+            "capacity must be positive"
+        );
         assert!(tdp_w.is_finite() && tdp_w > 0.0, "TDP must be positive");
         Self {
             capacity_j,

@@ -45,11 +45,7 @@ impl ConceptualMode {
 
 /// Runs one Figure 2 panel. `work_accesses` sizes the fixed computation;
 /// `time_compress` scales the thermal model (use ~100 for quick runs).
-pub fn run_conceptual(
-    mode: ConceptualMode,
-    work_accesses: u64,
-    time_compress: f64,
-) -> RunReport {
+pub fn run_conceptual(mode: ConceptualMode, work_accesses: u64, time_compress: f64) -> RunReport {
     let cores = 16;
     let mut machine = Machine::new(MachineConfig::hpca().with_cores(cores));
     for t in 0..cores as u64 {

@@ -56,10 +56,11 @@ impl ExecutionMode {
 /// cores it drains 7 for 8 — so for tasks that exceed the budget, pacing
 /// completes *more total work within the sprint* and shortens the
 /// single-core tail.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum PacingPolicy {
     /// The paper's default: sprint at full intensity until the budget is
     /// nearly exhausted, then migrate to one core.
+    #[default]
     AllOut,
     /// Sprint at a reduced, fixed core count.
     FixedIntensity {
@@ -116,12 +117,6 @@ impl PacingPolicy {
     }
 }
 
-impl Default for PacingPolicy {
-    fn default() -> Self {
-        PacingPolicy::AllOut
-    }
-}
-
 /// What the controller does when the sprint budget runs out with work
 /// remaining (Section 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -133,6 +128,18 @@ pub enum AbortPolicy {
     /// and keep all cores running (the paper's last-resort mechanism, as
     /// an ablation).
     ThrottleOnly,
+}
+
+/// How the loop reacts when the electrical supply cannot deliver a
+/// window's power (Section 6 wired into the simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SupplyPolicy {
+    /// End the sprint: migrate threads to one core, whose draw the supply
+    /// can serve (default — the electrical analogue of budget exhaustion).
+    EndSprint,
+    /// Record nothing and keep sprinting: the supply model is advisory
+    /// only (the seed behaviour, useful for thermal-only studies).
+    Ignore,
 }
 
 /// How the controller estimates remaining sprint capacity.
@@ -156,6 +163,8 @@ pub struct SprintConfig {
     pub abort_policy: AbortPolicy,
     /// Budget estimation mechanism.
     pub estimator: BudgetEstimator,
+    /// Reaction to an electrical supply limit.
+    pub supply_policy: SupplyPolicy,
     /// Fraction of the budget held back as a safety margin before the
     /// controller ends the sprint (0.05 = terminate at 95% spent).
     pub budget_margin: f64,
@@ -181,6 +190,7 @@ impl SprintConfig {
             pacing: PacingPolicy::AllOut,
             abort_policy: AbortPolicy::MigrateToSingleCore,
             estimator: BudgetEstimator::EnergyAccounting,
+            supply_policy: SupplyPolicy::EndSprint,
             budget_margin: 0.05,
             activation_ramp_s: 128e-6,
             sample_window_ps: 1_000_000,

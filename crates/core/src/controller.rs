@@ -9,10 +9,10 @@
 use serde::{Deserialize, Serialize};
 use sprint_archsim::dvfs::OperatingPoint;
 use sprint_archsim::machine::Machine;
-use sprint_thermal::phone::PhoneThermal;
 
 use crate::budget::ThermalBudget;
 use crate::config::{AbortPolicy, BudgetEstimator, ExecutionMode, SprintConfig};
+use crate::thermal_model::ThermalModel;
 
 /// Controller state (Figure 2's execution phases).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,6 +47,16 @@ pub enum ControllerEvent {
         /// Time, seconds.
         at_s: f64,
     },
+    /// The electrical supply could not deliver the sprint's power
+    /// (Section 6: current limit or depleted store); the sprint ended.
+    SupplyLimited {
+        /// Time of the decision, seconds.
+        at_s: f64,
+        /// Power the chip demanded, watts.
+        requested_w: f64,
+        /// Power the supply could deliver, watts (zero when depleted).
+        available_w: f64,
+    },
 }
 
 /// The sprint controller. Drives a [`Machine`] according to thermal state.
@@ -63,7 +73,11 @@ pub struct SprintController {
 impl SprintController {
     /// Creates a controller and applies the initial operating mode to the
     /// machine (sustained runs start on one core; sprints start ramping).
-    pub fn new(config: SprintConfig, thermal: &PhoneThermal, machine: &mut Machine) -> Self {
+    pub fn new<T: ThermalModel + ?Sized>(
+        config: SprintConfig,
+        thermal: &T,
+        machine: &mut Machine,
+    ) -> Self {
         config.validate();
         let capacity = thermal.sprint_energy_budget_j().max(1e-9);
         let budget = ThermalBudget::new(capacity, config.tdp_w);
@@ -122,9 +136,9 @@ impl SprintController {
     /// Advances the controller by one sampling window: accounts energy,
     /// checks the budget and thermal failsafe, and reconfigures the
     /// machine on transitions.
-    pub fn step(
+    pub fn step<T: ThermalModel + ?Sized>(
         &mut self,
-        thermal: &PhoneThermal,
+        thermal: &T,
         window_energy_j: f64,
         window_s: f64,
         now_s: f64,
@@ -137,7 +151,9 @@ impl SprintController {
                 if self.ramp_remaining_s <= 0.0 {
                     let start = self.config.mode.sprint_cores();
                     machine.set_active_cores(
-                        self.config.pacing.cores_at(start, self.budget.spent_fraction()),
+                        self.config
+                            .pacing
+                            .cores_at(start, self.budget.spent_fraction()),
                     );
                     self.state = SprintState::Sprinting;
                 }
@@ -145,10 +161,10 @@ impl SprintController {
             SprintState::Sprinting => {
                 self.budget.record(window_energy_j, window_s);
                 // Pacing: step intensity down as the budget depletes.
-                let paced = self
-                    .config
-                    .pacing
-                    .cores_at(self.config.mode.sprint_cores(), self.budget.spent_fraction());
+                let paced = self.config.pacing.cores_at(
+                    self.config.mode.sprint_cores(),
+                    self.budget.spent_fraction(),
+                );
                 if paced != machine.active_cores() && machine.live_threads() > 0 {
                     machine.set_active_cores(paced);
                 }
@@ -158,7 +174,7 @@ impl SprintController {
                     }
                     BudgetEstimator::OracleTemperature => {
                         let guard =
-                            self.config.budget_margin * (thermal.params().t_max_c - 25.0);
+                            self.config.budget_margin * (thermal.t_max_c() - thermal.ambient_c());
                         thermal.headroom_k() <= guard
                     }
                 };
@@ -186,8 +202,31 @@ impl SprintController {
         }
     }
 
+    /// Reacts to an electrical supply that could not deliver the window's
+    /// power (Section 6 wired into the loop): while ramping or sprinting,
+    /// records the event and ends the sprint (threads migrate to one core,
+    /// whose draw the supply can serve); outside a sprint it is a no-op —
+    /// there is no intensity left to shed.
+    pub fn supply_limited(
+        &mut self,
+        now_s: f64,
+        requested_w: f64,
+        available_w: f64,
+        machine: &mut Machine,
+    ) {
+        if matches!(self.state, SprintState::Ramping | SprintState::Sprinting) {
+            self.events.push(ControllerEvent::SupplyLimited {
+                at_s: now_s,
+                requested_w,
+                available_w,
+            });
+            self.end_sprint(now_s, machine);
+        }
+    }
+
     fn engage_failsafe(&mut self, now_s: f64, machine: &mut Machine) {
-        self.events.push(ControllerEvent::FailsafeThrottled { at_s: now_s });
+        self.events
+            .push(ControllerEvent::FailsafeThrottled { at_s: now_s });
         // Throttle frequency by the active core count so aggregate power
         // fits the sustainable budget (Section 7: "the hardware must
         // throttle the frequency by at least a factor equal to the number
@@ -220,7 +259,12 @@ mod tests {
     fn machine16() -> Machine {
         let mut m = Machine::new(MachineConfig::hpca());
         for t in 0..16u64 {
-            m.spawn(Box::new(SyntheticKernel::new(16, 100_000, (t + 1) << 26, 0)));
+            m.spawn(Box::new(SyntheticKernel::new(
+                16,
+                100_000,
+                (t + 1) << 26,
+                0,
+            )));
         }
         m
     }

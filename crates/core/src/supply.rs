@@ -1,0 +1,252 @@
+//! The power-delivery side of the co-simulation loop (Section 6, wired
+//! into the simulation).
+//!
+//! The paper's Section 6 analyzes whether a phone's electrical supply can
+//! feed a 16 W sprint at all — conventional Li-ion cells cannot; hybrids
+//! with an ultracapacitor can. [`PowerSupply`] brings that analysis into
+//! the loop: every sampling window the
+//! [`SprintSession`](crate::session::SprintSession) offers the window's
+//! power draw to the supply, and a current limit or depleted store ends
+//! the sprint exactly like an exhausted thermal budget (the controller
+//! migrates threads to one core).
+//!
+//! Implementations are provided for [`sprint_powersource`]'s
+//! [`Battery`], [`Ultracapacitor`] and [`HybridSupply`], for the
+//! unconstrained [`IdealSupply`] (the seed behaviour), and for the
+//! [`PinLimited`] wrapper that layers a package pin-count ceiling over
+//! any inner supply.
+
+use sprint_powersource::battery::{Battery, SupplyError};
+use sprint_powersource::hybrid::HybridSupply;
+use sprint_powersource::pins::PackagePins;
+use sprint_powersource::ultracap::Ultracapacitor;
+
+/// An electrical supply the sprint loop consults each sampling window.
+pub trait PowerSupply {
+    /// Draws `power_w` for `dt_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the limiting condition *without drawing* when the demand
+    /// exceeds a current limit or the remaining stored energy.
+    fn draw(&mut self, power_w: f64, dt_s: f64) -> Result<(), SupplyError>;
+
+    /// Peak power deliverable right now, watts.
+    fn available_power_w(&self) -> f64;
+
+    /// Stored energy remaining, joules (`f64::INFINITY` for unlimited
+    /// sources).
+    fn remaining_energy_j(&self) -> f64;
+
+    /// Recharges during an idle interval of `dt_s` seconds, returning the
+    /// energy transferred into the sprint store (joules). Sources without
+    /// an inter-sprint recharge path return zero.
+    fn idle_recharge(&mut self, dt_s: f64) -> f64 {
+        let _ = dt_s;
+        0.0
+    }
+}
+
+/// The unconstrained supply: every draw succeeds. This reproduces the
+/// seed's behaviour (no electrical model in the loop) and is the default
+/// for [`ScenarioBuilder`](crate::session::ScenarioBuilder).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealSupply;
+
+impl PowerSupply for IdealSupply {
+    fn draw(&mut self, _power_w: f64, _dt_s: f64) -> Result<(), SupplyError> {
+        Ok(())
+    }
+
+    fn available_power_w(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn remaining_energy_j(&self) -> f64 {
+        f64::INFINITY
+    }
+}
+
+impl PowerSupply for Battery {
+    fn draw(&mut self, power_w: f64, dt_s: f64) -> Result<(), SupplyError> {
+        Battery::draw(self, power_w, dt_s)
+    }
+
+    fn available_power_w(&self) -> f64 {
+        self.max_power_w()
+    }
+
+    fn remaining_energy_j(&self) -> f64 {
+        self.charge_j()
+    }
+}
+
+impl PowerSupply for Ultracapacitor {
+    fn draw(&mut self, power_w: f64, dt_s: f64) -> Result<(), SupplyError> {
+        Ultracapacitor::draw(self, power_w, dt_s)
+    }
+
+    fn available_power_w(&self) -> f64 {
+        self.max_power_w()
+    }
+
+    fn remaining_energy_j(&self) -> f64 {
+        self.stored_j()
+    }
+}
+
+impl PowerSupply for HybridSupply {
+    fn draw(&mut self, power_w: f64, dt_s: f64) -> Result<(), SupplyError> {
+        HybridSupply::draw(self, power_w, dt_s)
+    }
+
+    fn available_power_w(&self) -> f64 {
+        self.max_power_w()
+    }
+
+    fn remaining_energy_j(&self) -> f64 {
+        self.battery.charge_j() + self.sprint_capacity_j()
+    }
+
+    fn idle_recharge(&mut self, dt_s: f64) -> f64 {
+        self.recharge_between_sprints(dt_s)
+    }
+}
+
+/// Layers a package pin-count ceiling (Section 6's 16 A / ~320-pin
+/// analysis) over an inner supply: a draw must fit through the allocated
+/// pins *and* be deliverable by the source behind them.
+#[derive(Debug, Clone)]
+pub struct PinLimited<S> {
+    inner: S,
+    pins: PackagePins,
+    supply_v: f64,
+    budget_fraction: f64,
+}
+
+impl<S: PowerSupply> PinLimited<S> {
+    /// Wraps `inner` behind `pins`, delivering at `supply_v` volts with
+    /// `budget_fraction` of the package's pins allocated to power.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive voltage or a fraction outside `(0, 1]`.
+    pub fn new(inner: S, pins: PackagePins, supply_v: f64, budget_fraction: f64) -> Self {
+        assert!(supply_v > 0.0, "supply voltage must be positive");
+        assert!(
+            budget_fraction > 0.0 && budget_fraction <= 1.0,
+            "pin budget fraction must be in (0, 1]"
+        );
+        Self {
+            inner,
+            pins,
+            supply_v,
+            budget_fraction,
+        }
+    }
+
+    /// The pin-side power ceiling, watts.
+    pub fn pin_ceiling_w(&self) -> f64 {
+        self.pins.max_power_w(self.supply_v, self.budget_fraction)
+    }
+
+    /// The wrapped supply.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: PowerSupply> PowerSupply for PinLimited<S> {
+    fn draw(&mut self, power_w: f64, dt_s: f64) -> Result<(), SupplyError> {
+        let ceiling = self.pin_ceiling_w();
+        if power_w > ceiling {
+            return Err(SupplyError::CurrentLimit {
+                requested_w: power_w,
+                available_w: ceiling,
+            });
+        }
+        self.inner.draw(power_w, dt_s)
+    }
+
+    fn available_power_w(&self) -> f64 {
+        self.inner.available_power_w().min(self.pin_ceiling_w())
+    }
+
+    fn remaining_energy_j(&self) -> f64 {
+        self.inner.remaining_energy_j()
+    }
+
+    fn idle_recharge(&mut self, dt_s: f64) -> f64 {
+        self.inner.idle_recharge(dt_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_supply_never_limits() {
+        let mut s = IdealSupply;
+        assert!(s.draw(1e9, 1e3).is_ok());
+        assert_eq!(s.remaining_energy_j(), f64::INFINITY);
+    }
+
+    #[test]
+    fn phone_battery_rejects_a_sprint_window() {
+        let mut b = Battery::phone_li_ion();
+        assert!(matches!(
+            PowerSupply::draw(&mut b, 16.0, 1e-6),
+            Err(SupplyError::CurrentLimit { .. })
+        ));
+        assert!(PowerSupply::draw(&mut b, 1.0, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn hybrid_sustains_windows_and_recharges() {
+        let mut h = HybridSupply::phone();
+        let e0 = h.remaining_energy_j();
+        for _ in 0..1000 {
+            PowerSupply::draw(&mut h, 16.0, 1e-3).expect("hybrid covers 16 W windows");
+        }
+        assert!(h.remaining_energy_j() < e0);
+        assert!(h.idle_recharge(30.0) > 0.0, "battery refills the cap");
+    }
+
+    #[test]
+    fn hybrid_window_draws_do_not_count_sprints() {
+        let mut h = HybridSupply::phone();
+        PowerSupply::draw(&mut h, 16.0, 1e-3).unwrap();
+        assert_eq!(h.sprints_served(), 0);
+        h.sprint(16.0, 0.1).unwrap();
+        assert_eq!(h.sprints_served(), 1);
+    }
+
+    #[test]
+    fn pin_limit_caps_an_otherwise_strong_source() {
+        // A 1 V rail through 30% of an A4-class package: ~79 pairs -> 7.9 W.
+        let mut s = PinLimited::new(IdealSupply, PackagePins::apple_a4(), 1.0, 0.3);
+        assert!(s.pin_ceiling_w() < 16.0);
+        assert!(matches!(
+            s.draw(16.0, 1e-6),
+            Err(SupplyError::CurrentLimit { .. })
+        ));
+        assert!(s.draw(s.pin_ceiling_w() * 0.9, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn pin_limit_passes_inner_errors_through() {
+        let mut s = PinLimited::new(
+            Battery::phone_li_ion(),
+            PackagePins::qualcomm_msm8660(),
+            3.7,
+            0.5,
+        );
+        // Pins allow it (plenty at 3.7 V), but the cell's discharge limit
+        // does not.
+        assert!(matches!(
+            s.draw(16.0, 1e-6),
+            Err(SupplyError::CurrentLimit { available_w, .. }) if available_w < 11.0
+        ));
+    }
+}

@@ -1,83 +1,61 @@
-//! The coupled sprint system: architecture ⇄ thermal co-simulation.
+//! The coupled sprint system — the one-shot compatibility facade over
+//! [`SprintSession`](crate::session::SprintSession).
 //!
 //! Mirrors the paper's methodology (Section 8.1): the machine runs in
 //! energy-sampling windows (1000 cycles); each window's dissipated energy
 //! drives the thermal RC network; the sprint controller watches the
-//! budget/temperature and reconfigures the machine (core count, operating
-//! point) as the sprint progresses.
+//! budget/temperature and reconfigures the machine as the sprint
+//! progresses. `SprintSystem::new(machine, thermal, config).run()` is the
+//! original consuming API and is kept verbatim; it now drives a
+//! [`SprintSession`] internally, so everything the steppable API supports
+//! (generic thermal backends, electrical supplies) is available here too.
 
-use serde::{Deserialize, Serialize};
 use sprint_archsim::machine::Machine;
 use sprint_thermal::phone::PhoneThermal;
 
+pub use crate::session::{RunReport, RunSample};
+
 use crate::config::SprintConfig;
-use crate::controller::{ControllerEvent, SprintController, SprintState};
+use crate::session::SprintSession;
+use crate::supply::{IdealSupply, PowerSupply};
+use crate::thermal_model::ThermalModel;
 
-/// One sampled point of a coupled run (for Figure 2-style traces).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RunSample {
-    /// Time, seconds.
-    pub time_s: f64,
-    /// Active cores.
-    pub active_cores: usize,
-    /// Cumulative instructions retired.
-    pub instructions: u64,
-    /// Chip power over the last window, watts.
-    pub power_w: f64,
-    /// Junction temperature, Celsius.
-    pub junction_c: f64,
-    /// PCM melt fraction.
-    pub melt_fraction: f64,
-}
-
-/// Result of a coupled run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RunReport {
-    /// Wall-clock completion time of the computation, seconds.
-    pub completion_s: f64,
-    /// Total dynamic energy, joules.
-    pub energy_j: f64,
-    /// Instructions retired.
-    pub instructions: u64,
-    /// Time the sprint ended (migration or completion), if it was a sprint.
-    pub sprint_end_s: Option<f64>,
-    /// Maximum junction temperature observed, Celsius.
-    pub max_junction_c: f64,
-    /// Controller events.
-    pub events: Vec<ControllerEvent>,
-    /// Whether the run finished within the configured time limit.
-    pub finished: bool,
-    /// Sampled trace (decimated).
-    pub trace: Vec<RunSample>,
-}
-
-impl RunReport {
-    /// Responsiveness gain over a baseline completion time.
-    pub fn speedup_over(&self, baseline_s: f64) -> f64 {
-        baseline_s / self.completion_s
-    }
-}
-
-/// The coupled system.
+/// The coupled system: a one-shot wrapper that builds a session and runs
+/// it to completion.
 #[derive(Debug)]
-pub struct SprintSystem {
+pub struct SprintSystem<T: ThermalModel = PhoneThermal, S: PowerSupply = IdealSupply> {
     machine: Machine,
-    thermal: PhoneThermal,
+    thermal: T,
+    supply: S,
     config: SprintConfig,
-    /// Keep roughly this many trace samples (decimating as needed).
     trace_capacity: usize,
 }
 
-impl SprintSystem {
+impl<T: ThermalModel> SprintSystem<T, IdealSupply> {
     /// Couples a loaded machine (threads already spawned) with a thermal
     /// model under a sprint configuration.
-    pub fn new(machine: Machine, thermal: PhoneThermal, config: SprintConfig) -> Self {
+    pub fn new(machine: Machine, thermal: T, config: SprintConfig) -> Self {
         config.validate();
         Self {
             machine,
             thermal,
+            supply: IdealSupply,
             config,
             trace_capacity: 2048,
+        }
+    }
+}
+
+impl<T: ThermalModel, S: PowerSupply> SprintSystem<T, S> {
+    /// Adds an electrical supply consulted every sampling window
+    /// (Section 6): current limits or depletion end the sprint.
+    pub fn with_supply<S2: PowerSupply>(self, supply: S2) -> SprintSystem<T, S2> {
+        SprintSystem {
+            machine: self.machine,
+            thermal: self.thermal,
+            supply,
+            config: self.config,
+            trace_capacity: self.trace_capacity,
         }
     }
 
@@ -93,78 +71,28 @@ impl SprintSystem {
     }
 
     /// Read access to the thermal model.
-    pub fn thermal(&self) -> &PhoneThermal {
+    pub fn thermal(&self) -> &T {
         &self.thermal
+    }
+
+    /// Converts into the equivalent steppable session without running it.
+    pub fn into_session(self) -> SprintSession<T, S> {
+        SprintSession::new(
+            self.machine,
+            self.thermal,
+            self.supply,
+            self.config,
+            self.trace_capacity,
+            Vec::new(),
+        )
     }
 
     /// Runs the computation to completion (or the configured time limit),
     /// returning the coupled report.
-    pub fn run(mut self) -> RunReport {
-        let mut controller =
-            SprintController::new(self.config.clone(), &self.thermal, &mut self.machine);
-        let window_ps = self.config.sample_window_ps;
-        let window_s = window_ps as f64 * 1e-12;
-        let max_windows = (self.config.max_time_s / window_s).ceil() as u64;
-        let mut max_junction: f64 = self.thermal.junction_temp_c();
-        let mut trace: Vec<RunSample> = Vec::new();
-        // Sample decimation: grow stride when the trace would overflow.
-        let mut stride = 1u64;
-        let mut finished = false;
-        let mut windows = 0u64;
-        while windows < max_windows {
-            let report = self.machine.run_window(window_ps);
-            windows += 1;
-            let now_s = self.machine.time_s();
-            let power_w = report.energy_j / window_s;
-            self.thermal.set_chip_power_w(power_w);
-            self.thermal.advance(window_s);
-            max_junction = max_junction.max(self.thermal.junction_temp_c());
-            controller.step(
-                &self.thermal,
-                report.energy_j,
-                window_s,
-                now_s,
-                &mut self.machine,
-            );
-            if self.trace_capacity > 0 && windows % stride == 0 {
-                trace.push(RunSample {
-                    time_s: now_s,
-                    active_cores: self.machine.active_cores(),
-                    instructions: self.machine.stats().instructions,
-                    power_w,
-                    junction_c: self.thermal.junction_temp_c(),
-                    melt_fraction: self.thermal.melt_fraction(),
-                });
-                if trace.len() >= self.trace_capacity {
-                    // Halve resolution: keep every other sample.
-                    let kept: Vec<RunSample> =
-                        trace.iter().copied().step_by(2).collect();
-                    trace = kept;
-                    stride *= 2;
-                }
-            }
-            if report.all_done {
-                finished = true;
-                break;
-            }
-        }
-        let sprint_end = controller.sprint_end_s().or({
-            if controller.state() == SprintState::Sprinting && finished {
-                Some(self.machine.time_s())
-            } else {
-                None
-            }
-        });
-        RunReport {
-            completion_s: self.machine.time_s(),
-            energy_j: self.machine.stats().dynamic_energy_j,
-            instructions: self.machine.stats().instructions,
-            sprint_end_s: sprint_end,
-            max_junction_c: max_junction,
-            events: controller.events().to_vec(),
-            finished,
-            trace,
-        }
+    pub fn run(self) -> RunReport {
+        let mut session = self.into_session();
+        session.run_to_completion();
+        session.report()
     }
 }
 
@@ -172,6 +100,7 @@ impl SprintSystem {
 mod tests {
     use super::*;
     use crate::config::ExecutionMode;
+    use crate::controller::ControllerEvent;
     use sprint_archsim::config::MachineConfig;
     use sprint_archsim::program::SyntheticKernel;
     use sprint_thermal::phone::PhoneThermalParams;
@@ -181,7 +110,12 @@ mod tests {
     fn loaded_machine(cores: usize, threads: usize, accesses: u64) -> Machine {
         let mut m = Machine::new(MachineConfig::hpca().with_cores(cores));
         for t in 0..threads as u64 {
-            m.spawn(Box::new(SyntheticKernel::new(32, accesses, (t + 1) << 26, 0)));
+            m.spawn(Box::new(SyntheticKernel::new(
+                32,
+                accesses,
+                (t + 1) << 26,
+                0,
+            )));
         }
         m
     }
@@ -287,7 +221,10 @@ mod tests {
             s_dvfs > 1.5 && s_dvfs < 3.2,
             "DVFS sprint ≈ 2.5x on compute-bound work: {s_dvfs:.2}"
         );
-        assert!(s_par > s_dvfs, "parallel {s_par:.2} must beat DVFS {s_dvfs:.2}");
+        assert!(
+            s_par > s_dvfs,
+            "parallel {s_par:.2} must beat DVFS {s_dvfs:.2}"
+        );
     }
 
     #[test]
@@ -326,5 +263,22 @@ mod tests {
             assert!(w[1].time_s > w[0].time_s);
             assert!(w[1].instructions >= w[0].instructions);
         }
+    }
+
+    #[test]
+    fn speedup_over_guards_degenerate_baselines() {
+        let report = SprintSystem::new(
+            loaded_machine(4, 4, 1_000),
+            fast_thermal(),
+            SprintConfig::hpca_parallel().with_mode(ExecutionMode::ParallelSprint { cores: 4 }),
+        )
+        .with_trace_capacity(0)
+        .run();
+        assert!(report.speedup_over(0.0).is_nan());
+        assert!(report.speedup_over(-1.0).is_nan());
+        assert!(report.speedup_over(f64::NAN).is_nan());
+        let mut degenerate = report.clone();
+        degenerate.completion_s = 0.0;
+        assert!(degenerate.speedup_over(1.0).is_nan());
     }
 }

@@ -1,0 +1,242 @@
+//! The thermal-backend abstraction of the co-simulation loop.
+//!
+//! The coupled loop (Section 8.1) only ever asks a thermal model six
+//! questions: take this power, advance this far, and report junction
+//! temperature, headroom, melt state and remaining sprint capacity.
+//! [`ThermalModel`] captures exactly that contract, making
+//! [`SprintSession`](crate::session::SprintSession) and
+//! [`SprintController`](crate::controller::SprintController) generic over
+//! the backend: the paper's phone package
+//! ([`sprint_thermal::phone::PhoneThermal`]) is one implementation, the
+//! single-node [`LumpedThermal`] reference backend another, and
+//! finer-grained models (HotSpot-style grids, data-center racks à la
+//! Porto et al.'s "fast, but not so furious" sprinting) slot in without
+//! touching the loop.
+
+use sprint_thermal::phone::PhoneThermal;
+
+/// A thermal backend the sprint loop can drive.
+///
+/// Implementations must be *causal* accumulators: [`set_chip_power_w`]
+/// fixes the heat injected at the junction until the next call, and
+/// [`advance`] integrates the network forward. All temperature queries
+/// refer to the state after the last `advance`.
+///
+/// [`set_chip_power_w`]: ThermalModel::set_chip_power_w
+/// [`advance`]: ThermalModel::advance
+pub trait ThermalModel {
+    /// Sets the instantaneous chip power dissipation in watts.
+    fn set_chip_power_w(&mut self, watts: f64);
+
+    /// Advances the model by `dt_s` seconds.
+    fn advance(&mut self, dt_s: f64);
+
+    /// Junction temperature, Celsius.
+    fn junction_temp_c(&self) -> f64;
+
+    /// Remaining headroom before the junction hits the safe limit, Kelvin.
+    fn headroom_k(&self) -> f64;
+
+    /// Phase-change melt fraction in `[0, 1]` (zero for backends without
+    /// latent storage).
+    fn melt_fraction(&self) -> f64;
+
+    /// True once the junction has reached the maximum safe temperature.
+    fn at_thermal_limit(&self) -> bool;
+
+    /// Sprint energy budget from the *current* state, joules: how much
+    /// above-sustainable energy the package can still absorb before the
+    /// junction reaches the limit (Section 4's "16 joules").
+    fn sprint_energy_budget_j(&self) -> f64;
+
+    /// Maximum safe junction temperature, Celsius.
+    fn t_max_c(&self) -> f64;
+
+    /// Ambient temperature, Celsius.
+    fn ambient_c(&self) -> f64;
+}
+
+impl ThermalModel for PhoneThermal {
+    fn set_chip_power_w(&mut self, watts: f64) {
+        PhoneThermal::set_chip_power_w(self, watts);
+    }
+
+    fn advance(&mut self, dt_s: f64) {
+        PhoneThermal::advance(self, dt_s);
+    }
+
+    fn junction_temp_c(&self) -> f64 {
+        PhoneThermal::junction_temp_c(self)
+    }
+
+    fn headroom_k(&self) -> f64 {
+        PhoneThermal::headroom_k(self)
+    }
+
+    fn melt_fraction(&self) -> f64 {
+        PhoneThermal::melt_fraction(self)
+    }
+
+    fn at_thermal_limit(&self) -> bool {
+        PhoneThermal::at_thermal_limit(self)
+    }
+
+    fn sprint_energy_budget_j(&self) -> f64 {
+        PhoneThermal::sprint_energy_budget_j(self)
+    }
+
+    fn t_max_c(&self) -> f64 {
+        PhoneThermal::t_max_c(self)
+    }
+
+    fn ambient_c(&self) -> f64 {
+        PhoneThermal::ambient_c(self)
+    }
+}
+
+/// A single-node RC thermal backend: one lumped heat capacity behind one
+/// resistance to ambient, integrated exactly (exponential update).
+///
+/// This is the minimal non-phone backend — useful for tests, for
+/// first-order design sweeps, and as the template for richer backends
+/// (server heatsinks, rack-level models). Without latent storage its
+/// sprint budget is purely sensible headroom, so sprints on it are short
+/// and junction-capacitance-bound, like the paper's PCM-free package.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LumpedThermal {
+    capacity_j_per_k: f64,
+    r_k_per_w: f64,
+    ambient_c: f64,
+    t_max_c: f64,
+    temp_c: f64,
+    power_w: f64,
+}
+
+impl LumpedThermal {
+    /// Creates the node at ambient temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacity/resistance or `t_max <= ambient`.
+    pub fn new(capacity_j_per_k: f64, r_k_per_w: f64, ambient_c: f64, t_max_c: f64) -> Self {
+        assert!(
+            capacity_j_per_k > 0.0 && r_k_per_w > 0.0,
+            "capacity and resistance must be positive"
+        );
+        assert!(t_max_c > ambient_c, "limit must exceed ambient");
+        Self {
+            capacity_j_per_k,
+            r_k_per_w,
+            ambient_c,
+            t_max_c,
+            temp_c: ambient_c,
+            power_w: 0.0,
+        }
+    }
+
+    /// A server-class node: large finned heatsink (≈ 2 kJ/K behind
+    /// 0.3 K/W) in a 35 C hot aisle with a 85 C junction limit —
+    /// a data-center sprinting design point rather than a phone.
+    pub fn server_heatsink() -> Self {
+        Self::new(2_000.0, 0.3, 35.0, 85.0)
+    }
+
+    /// Sustainable power: steady state that holds the node at the limit.
+    pub fn tdp_w(&self) -> f64 {
+        (self.t_max_c - self.ambient_c) / self.r_k_per_w
+    }
+}
+
+impl ThermalModel for LumpedThermal {
+    fn set_chip_power_w(&mut self, watts: f64) {
+        self.power_w = watts;
+    }
+
+    fn advance(&mut self, dt_s: f64) {
+        // Exact solution of C dT/dt = P - (T - Tamb)/R over the interval.
+        let t_inf = self.ambient_c + self.power_w * self.r_k_per_w;
+        let tau = self.r_k_per_w * self.capacity_j_per_k;
+        self.temp_c = t_inf + (self.temp_c - t_inf) * (-dt_s / tau).exp();
+    }
+
+    fn junction_temp_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    fn headroom_k(&self) -> f64 {
+        self.t_max_c - self.temp_c
+    }
+
+    fn melt_fraction(&self) -> f64 {
+        0.0
+    }
+
+    fn at_thermal_limit(&self) -> bool {
+        self.temp_c >= self.t_max_c - 1e-9
+    }
+
+    fn sprint_energy_budget_j(&self) -> f64 {
+        self.headroom_k().max(0.0) * self.capacity_j_per_k
+    }
+
+    fn t_max_c(&self) -> f64 {
+        self.t_max_c
+    }
+
+    fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_thermal::phone::PhoneThermalParams;
+
+    #[test]
+    fn phone_thermal_satisfies_the_contract() {
+        fn exercise(m: &mut dyn ThermalModel) {
+            m.set_chip_power_w(16.0);
+            m.advance(0.01);
+            assert!(m.junction_temp_c() > m.ambient_c());
+            assert!(m.headroom_k() < m.t_max_c() - m.ambient_c());
+            assert!(m.sprint_energy_budget_j() >= 0.0);
+        }
+        exercise(&mut PhoneThermalParams::hpca().build());
+        exercise(&mut LumpedThermal::server_heatsink());
+    }
+
+    #[test]
+    fn lumped_settles_at_steady_state() {
+        let mut m = LumpedThermal::new(10.0, 2.0, 25.0, 70.0);
+        m.set_chip_power_w(10.0);
+        m.advance(1_000.0);
+        assert!(
+            (m.junction_temp_c() - 45.0).abs() < 1e-6,
+            "25 + 10*2 = 45 C"
+        );
+        assert!(!m.at_thermal_limit());
+        assert_eq!(m.melt_fraction(), 0.0);
+    }
+
+    #[test]
+    fn lumped_budget_shrinks_as_it_heats() {
+        let mut m = LumpedThermal::server_heatsink();
+        let cold = m.sprint_energy_budget_j();
+        m.set_chip_power_w(500.0);
+        m.advance(10.0);
+        assert!(m.sprint_energy_budget_j() < cold);
+    }
+
+    #[test]
+    fn lumped_tdp_matches_limit_over_resistance() {
+        let m = LumpedThermal::new(5.0, 0.5, 25.0, 75.0);
+        assert!((m.tdp_w() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must exceed ambient")]
+    fn lumped_rejects_inverted_limits() {
+        let _ = LumpedThermal::new(1.0, 1.0, 70.0, 25.0);
+    }
+}

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::grid::{PdnParams, SprintPdn};
 use crate::integrity::{SupplyIntegrityReport, ToleranceSpec};
-use crate::transient::{Integration, TransientSim, TransientError};
+use crate::transient::{Integration, TransientError, TransientSim};
 
 /// When each core begins drawing current.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,9 +30,7 @@ impl ActivationSchedule {
     pub fn start_time_s(&self, core: usize, cores: usize) -> f64 {
         match self {
             ActivationSchedule::Simultaneous => 0.0,
-            ActivationSchedule::LinearRamp { total_s } => {
-                total_s * core as f64 / cores as f64
-            }
+            ActivationSchedule::LinearRamp { total_s } => total_s * core as f64 / cores as f64,
         }
     }
 
@@ -169,11 +167,7 @@ pub fn drive_activation(
             });
         }
     }
-    let report = tolerance.analyze(
-        samples
-            .iter()
-            .map(|s| (s.time_s, s.min_supply_v)),
-    );
+    let report = tolerance.analyze(samples.iter().map(|s| (s.time_s, s.min_supply_v)));
     ActivationResult { samples, report }
 }
 
@@ -204,9 +198,8 @@ mod tests {
         let mut abrupt = ActivationExperiment::hpca(ActivationSchedule::Simultaneous);
         abrupt.pdn = abrupt.pdn.with_cores(4);
         abrupt.horizon_s = 8e-6;
-        let mut slow = ActivationExperiment::hpca(ActivationSchedule::LinearRamp {
-            total_s: 32e-6,
-        });
+        let mut slow =
+            ActivationExperiment::hpca(ActivationSchedule::LinearRamp { total_s: 32e-6 });
         slow.pdn = slow.pdn.with_cores(4);
         slow.horizon_s = 40e-6;
         let ra = abrupt.run().unwrap();

@@ -120,8 +120,7 @@ impl PdnParams {
         // Segment j (1-indexed from the package) carries (n - j + 1) cores'
         // current; the far core accumulates sum_{k=1..n} k = n(n+1)/2.
         let n = self.cores as f64;
-        let ladder =
-            2.0 * self.grid_segment.ohms * self.core_current_a * n * (n + 1.0) / 2.0;
+        let ladder = 2.0 * self.grid_segment.ohms * self.core_current_a * n * (n + 1.0) / 2.0;
         shared + ladder
     }
 
@@ -165,8 +164,18 @@ impl PdnParams {
         let pkg_g = chain_g[1];
         let chip_p = chain_p[2];
         let chip_g = chain_g[2];
-        ckt.decap(board_p, board_g, self.board_decap.farads, self.board_decap.esr_ohms);
-        ckt.decap(pkg_p, pkg_g, self.package_decap.farads, self.package_decap.esr_ohms);
+        ckt.decap(
+            board_p,
+            board_g,
+            self.board_decap.farads,
+            self.board_decap.esr_ohms,
+        );
+        ckt.decap(
+            pkg_p,
+            pkg_g,
+            self.package_decap.farads,
+            self.package_decap.esr_ohms,
+        );
 
         // On-chip ladder: core taps along a grid of series segments.
         let mut cores = Vec::with_capacity(self.cores);
@@ -324,6 +333,9 @@ mod tests {
         sim.run(100_000);
         let near = pdn.core_supply_v(&sim, 0);
         let far = pdn.core_supply_v(&sim, 7);
-        assert!(far < near, "ladder end ({far}) must droop below entry ({near})");
+        assert!(
+            far < near,
+            "ladder end ({far}) must droop below entry ({near})"
+        );
     }
 }

@@ -123,9 +123,16 @@ impl Circuit {
     pub fn resistor(&mut self, a: Node, b: Node, ohms: f64) {
         self.check(a);
         self.check(b);
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive"
+        );
         assert_ne!(a, b, "resistor endpoints must differ");
-        self.resistors.push(Resistor { a: a.0, b: b.0, ohms });
+        self.resistors.push(Resistor {
+            a: a.0,
+            b: b.0,
+            ohms,
+        });
     }
 
     /// Adds an inductor between `a` and `b` (initial current zero).
@@ -136,9 +143,16 @@ impl Circuit {
     pub fn inductor(&mut self, a: Node, b: Node, henries: f64) {
         self.check(a);
         self.check(b);
-        assert!(henries.is_finite() && henries > 0.0, "inductance must be positive");
+        assert!(
+            henries.is_finite() && henries > 0.0,
+            "inductance must be positive"
+        );
         assert_ne!(a, b, "inductor endpoints must differ");
-        self.inductors.push(Inductor { a: a.0, b: b.0, henries });
+        self.inductors.push(Inductor {
+            a: a.0,
+            b: b.0,
+            henries,
+        });
     }
 
     /// Adds a capacitor between `a` and `b` (initially discharged).
@@ -149,9 +163,16 @@ impl Circuit {
     pub fn capacitor(&mut self, a: Node, b: Node, farads: f64) {
         self.check(a);
         self.check(b);
-        assert!(farads.is_finite() && farads > 0.0, "capacitance must be positive");
+        assert!(
+            farads.is_finite() && farads > 0.0,
+            "capacitance must be positive"
+        );
         assert_ne!(a, b, "capacitor endpoints must differ");
-        self.capacitors.push(Capacitor { a: a.0, b: b.0, farads });
+        self.capacitors.push(Capacitor {
+            a: a.0,
+            b: b.0,
+            farads,
+        });
     }
 
     /// Adds a decoupling capacitor with equivalent series resistance: an

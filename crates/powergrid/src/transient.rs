@@ -33,7 +33,10 @@ impl std::fmt::Display for TransientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransientError::Singular => {
-                write!(f, "circuit produced a singular system (floating subcircuit?)")
+                write!(
+                    f,
+                    "circuit produced a singular system (floating subcircuit?)"
+                )
             }
         }
     }
@@ -368,8 +371,7 @@ impl TransientSim {
                 Integration::Trapezoidal => {
                     // recompute hist against previous x stored in rhs
                     let v_ab_old = volt(rhs, l.a) - volt(rhs, l.b);
-                    self.inductor_current[k]
-                        + self.dt / (2.0 * l.henries) * (v_ab_old + v_ab_new)
+                    self.inductor_current[k] + self.dt / (2.0 * l.henries) * (v_ab_old + v_ab_new)
                 }
                 Integration::BackwardEuler => {
                     self.inductor_current[k] + self.dt / l.henries * v_ab_new
@@ -428,9 +430,15 @@ mod tests {
         // second circuit with source at 0 is not possible post-hoc, so test
         // the settled solution and a perturbation via the current source.
         let mut sim = TransientSim::new(&ckt, 1e-6, Integration::Trapezoidal).unwrap();
-        assert!((sim.voltage(vout) - 1.0).abs() < 1e-6, "DC init should settle the cap");
+        assert!(
+            (sim.voltage(vout) - 1.0).abs() < 1e-6,
+            "DC init should settle the cap"
+        );
         sim.run(100);
-        assert!((sim.voltage(vout) - 1.0).abs() < 1e-6, "settled circuit stays settled");
+        assert!(
+            (sim.voltage(vout) - 1.0).abs() < 1e-6,
+            "settled circuit stays settled"
+        );
     }
 
     #[test]

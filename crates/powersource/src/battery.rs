@@ -40,8 +40,14 @@ impl Battery {
         capacity_j: f64,
         mass_g: f64,
     ) -> Self {
-        assert!(voltage_v > 0.0 && internal_resistance_ohm > 0.0, "bad electrical params");
-        assert!(max_discharge_a > 0.0 && capacity_j > 0.0 && mass_g > 0.0, "bad ratings");
+        assert!(
+            voltage_v > 0.0 && internal_resistance_ohm > 0.0,
+            "bad electrical params"
+        );
+        assert!(
+            max_discharge_a > 0.0 && capacity_j > 0.0 && mass_g > 0.0,
+            "bad ratings"
+        );
         Self {
             name: name.into(),
             voltage_v,

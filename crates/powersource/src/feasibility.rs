@@ -64,8 +64,8 @@ pub fn evaluate_sources(power_w: f64, duration_s: f64) -> Vec<SourceVerdict> {
     });
 
     let hybrid = HybridSupply::phone();
-    let hybrid_peak = hybrid.battery.max_power_w() - hybrid.system_reserve_w
-        + hybrid.cap.max_power_w();
+    let hybrid_peak =
+        hybrid.battery.max_power_w() - hybrid.system_reserve_w + hybrid.cap.max_power_w();
     out.push(SourceVerdict {
         source: "hybrid-li-ion+ultracap".to_string(),
         max_power_w: hybrid_peak,

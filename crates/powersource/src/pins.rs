@@ -50,6 +50,15 @@ impl PackagePins {
     pub fn feasible(&self, power_w: f64, supply_v: f64, budget_fraction: f64) -> bool {
         self.pin_fraction(power_w, supply_v) <= budget_fraction
     }
+
+    /// Maximum power deliverable at `supply_v` through `budget_fraction`
+    /// of the package's pins, watts — the pin-side ceiling a sprint must
+    /// respect regardless of how strong the source behind it is.
+    pub fn max_power_w(&self, supply_v: f64, budget_fraction: f64) -> f64 {
+        assert!(supply_v > 0.0, "supply voltage must be positive");
+        let pairs = (f64::from(self.total_pins) * budget_fraction / 2.0).floor();
+        pairs * self.amps_per_pair * supply_v
+    }
 }
 
 #[cfg(test)]

@@ -38,8 +38,14 @@ impl Ultracapacitor {
         leakage_a: f64,
         mass_g: f64,
     ) -> Self {
-        assert!(capacitance_f > 0.0 && rated_v > 0.0, "bad capacitor ratings");
-        assert!(peak_current_a > 0.0 && mass_g > 0.0, "bad capacitor ratings");
+        assert!(
+            capacitance_f > 0.0 && rated_v > 0.0,
+            "bad capacitor ratings"
+        );
+        assert!(
+            peak_current_a > 0.0 && mass_g > 0.0,
+            "bad capacitor ratings"
+        );
         assert!(leakage_a >= 0.0, "leakage cannot be negative");
         Self {
             capacitance_f,
@@ -109,8 +115,8 @@ impl Ultracapacitor {
 
     /// Recharges toward the rated voltage with `joules` of input energy.
     pub fn recharge(&mut self, joules: f64) {
-        let e = (self.stored_j() + joules)
-            .min(0.5 * self.capacitance_f * self.rated_v * self.rated_v);
+        let e =
+            (self.stored_j() + joules).min(0.5 * self.capacitance_f * self.rated_v * self.rated_v);
         self.voltage_v = (2.0 * e / self.capacitance_f).sqrt();
     }
 }
@@ -135,7 +141,11 @@ mod tests {
         for _ in 0..1000 {
             c.draw(16.0, 1e-3).unwrap();
         }
-        assert!(c.voltage_v() > 2.3, "voltage barely sags: {:.2}", c.voltage_v());
+        assert!(
+            c.voltage_v() > 2.3,
+            "voltage barely sags: {:.2}",
+            c.voltage_v()
+        );
     }
 
     #[test]

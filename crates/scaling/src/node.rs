@@ -15,13 +15,41 @@ pub struct TechNode {
 
 /// The node sequence of Figure 1: 45 nm down to 6 nm.
 pub const NODES: [TechNode; 7] = [
-    TechNode { nm: 45, vdd_itrs: 1.00, vdd_borkar: 1.00 },
-    TechNode { nm: 32, vdd_itrs: 0.93, vdd_borkar: 0.97 },
-    TechNode { nm: 22, vdd_itrs: 0.87, vdd_borkar: 0.95 },
-    TechNode { nm: 16, vdd_itrs: 0.81, vdd_borkar: 0.93 },
-    TechNode { nm: 11, vdd_itrs: 0.76, vdd_borkar: 0.91 },
-    TechNode { nm: 8, vdd_itrs: 0.71, vdd_borkar: 0.89 },
-    TechNode { nm: 6, vdd_itrs: 0.66, vdd_borkar: 0.87 },
+    TechNode {
+        nm: 45,
+        vdd_itrs: 1.00,
+        vdd_borkar: 1.00,
+    },
+    TechNode {
+        nm: 32,
+        vdd_itrs: 0.93,
+        vdd_borkar: 0.97,
+    },
+    TechNode {
+        nm: 22,
+        vdd_itrs: 0.87,
+        vdd_borkar: 0.95,
+    },
+    TechNode {
+        nm: 16,
+        vdd_itrs: 0.81,
+        vdd_borkar: 0.93,
+    },
+    TechNode {
+        nm: 11,
+        vdd_itrs: 0.76,
+        vdd_borkar: 0.91,
+    },
+    TechNode {
+        nm: 8,
+        vdd_itrs: 0.71,
+        vdd_borkar: 0.89,
+    },
+    TechNode {
+        nm: 6,
+        vdd_itrs: 0.66,
+        vdd_borkar: 0.87,
+    },
 ];
 
 /// Generations elapsed since the 45 nm reference for a node index.

@@ -61,7 +61,10 @@ pub fn simulate_sprint(
     sample_dt_s: f64,
     max_time_s: f64,
 ) -> SprintTransient {
-    assert!(sample_dt_s > 0.0 && max_time_s > 0.0, "durations must be positive");
+    assert!(
+        sample_dt_s > 0.0 && max_time_s > 0.0,
+        "durations must be positive"
+    );
     phone.set_chip_power_w(power_w);
     let mut trace = Trace::new();
     let t0 = phone.time_s();
@@ -106,7 +109,10 @@ pub fn simulate_cooldown(
     sample_dt_s: f64,
     max_time_s: f64,
 ) -> CooldownTransient {
-    assert!(sample_dt_s > 0.0 && max_time_s > 0.0, "durations must be positive");
+    assert!(
+        sample_dt_s > 0.0 && max_time_s > 0.0,
+        "durations must be positive"
+    );
     assert!(epsilon_k > 0.0, "epsilon must be positive");
     phone.set_chip_power_w(idle_power_w);
     let ambient = phone.params().ambient_c;
@@ -164,7 +170,10 @@ pub fn pcm_mass_for_sprint_g(
     target_duration_s: f64,
     max_mass_g: f64,
 ) -> Option<f64> {
-    assert!(target_duration_s > 0.0 && power_w > 0.0, "targets must be positive");
+    assert!(
+        target_duration_s > 0.0 && power_w > 0.0,
+        "targets must be positive"
+    );
     assert!(max_mass_g > 0.0, "mass bound must be positive");
     let duration_for = |mass_g: f64| -> f64 {
         let mut phone = base.clone().with_pcm_mass_g(mass_g).build();
@@ -237,15 +246,22 @@ mod tests {
         let mut phone = PhoneThermalParams::hpca().build();
         let sprint = simulate_sprint(&mut phone, 0.9, 0.05, 30.0);
         assert!(sprint.duration_s.is_none());
-        assert!(sprint.t_melt_start_s.is_none(), "0.9 W must not melt the PCM");
+        assert!(
+            sprint.t_melt_start_s.is_none(),
+            "0.9 W must not melt the PCM"
+        );
     }
 
     #[test]
     fn higher_sprint_power_shortens_sprint() {
         let mut a = PhoneThermalParams::hpca().build();
         let mut b = PhoneThermalParams::hpca().build();
-        let d8 = simulate_sprint(&mut a, 8.0, 0.002, 20.0).duration_s.unwrap();
-        let d16 = simulate_sprint(&mut b, 16.0, 0.002, 20.0).duration_s.unwrap();
+        let d8 = simulate_sprint(&mut a, 8.0, 0.002, 20.0)
+            .duration_s
+            .unwrap();
+        let d16 = simulate_sprint(&mut b, 16.0, 0.002, 20.0)
+            .duration_s
+            .unwrap();
         assert!(
             d8 > 1.5 * d16,
             "8 W sprint ({d8:.2} s) should last much longer than 16 W ({d16:.2} s)"
@@ -271,7 +287,9 @@ mod tests {
         );
         // The sized design actually delivers the target.
         let mut phone = base.with_pcm_mass_g(mass).build();
-        let d = simulate_sprint(&mut phone, 16.0, 0.002, 5.0).duration_s.unwrap();
+        let d = simulate_sprint(&mut phone, 16.0, 0.002, 5.0)
+            .duration_s
+            .unwrap();
         assert!(d >= 0.99, "sized sprint lasts {d:.2} s");
     }
 
@@ -286,8 +304,12 @@ mod tests {
     fn limited_pcm_sprint_is_much_shorter() {
         let mut full = PhoneThermalParams::hpca().build();
         let mut lim = PhoneThermalParams::limited().build();
-        let df = simulate_sprint(&mut full, 16.0, 0.002, 5.0).duration_s.unwrap();
-        let dl = simulate_sprint(&mut lim, 16.0, 0.0005, 5.0).duration_s.unwrap();
+        let df = simulate_sprint(&mut full, 16.0, 0.002, 5.0)
+            .duration_s
+            .unwrap();
+        let dl = simulate_sprint(&mut lim, 16.0, 0.0005, 5.0)
+            .duration_s
+            .unwrap();
         assert!(
             df > 5.0 * dl,
             "full-PCM sprint {df:.3} s should dwarf limited {dl:.3} s"

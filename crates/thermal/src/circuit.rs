@@ -109,7 +109,10 @@ impl ThermalNetwork {
     /// Panics if the resistance is not strictly positive or the ids are
     /// equal or out of range.
     pub fn connect(&mut self, a: NodeId, b: NodeId, resistance_k_per_w: f64) {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "node id out of range");
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "node id out of range"
+        );
         assert_ne!(a, b, "cannot connect a node to itself");
         assert!(
             resistance_k_per_w.is_finite() && resistance_k_per_w > 0.0,
@@ -325,7 +328,10 @@ pub(crate) fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
                 pivot = row;
             }
         }
-        assert!(best > 1e-300, "singular thermal system (unreachable boundary?)");
+        assert!(
+            best > 1e-300,
+            "singular thermal system (unreachable boundary?)"
+        );
         if pivot != col {
             for k in 0..n {
                 a.swap(col * n + k, pivot * n + k);

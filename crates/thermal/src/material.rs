@@ -61,7 +61,10 @@ impl Material {
             latent_heat_j_per_g,
             thermal_conductivity_w_per_m_k,
         ] {
-            assert!(v.is_finite() && v >= 0.0, "material property must be finite and non-negative");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "material property must be finite and non-negative"
+            );
         }
         Self {
             name: name.into(),

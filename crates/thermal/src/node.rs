@@ -129,7 +129,10 @@ impl StorageNode {
             .melting_point_c()
             .expect("material must have a melting point to form a PCM node");
         let latent = material.block_latent_heat_j(mass_g);
-        assert!(latent > 0.0, "material must have latent heat to form a PCM node");
+        assert!(
+            latent > 0.0,
+            "material must have latent heat to form a PCM node"
+        );
         let sensible = material.block_heat_capacity_j_per_k(mass_g);
         Self::with_phase_change(
             name,

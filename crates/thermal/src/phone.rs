@@ -119,7 +119,10 @@ impl PhoneThermalParams {
 
     /// Sets the PCM mass in grams (builder style).
     pub fn with_pcm_mass_g(mut self, mass_g: f64) -> Self {
-        assert!(mass_g >= 0.0 && mass_g.is_finite(), "mass must be non-negative");
+        assert!(
+            mass_g >= 0.0 && mass_g.is_finite(),
+            "mass must be non-negative"
+        );
         self.pcm_mass_g = mass_g;
         self
     }
@@ -136,7 +139,10 @@ impl PhoneThermalParams {
     ///
     /// Panics if `factor` is not strictly positive and finite.
     pub fn time_scaled(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         self.junction_capacity_j_per_k /= factor;
         self.pcm_mass_g /= factor;
         self.case_capacity_j_per_k /= factor;
@@ -187,7 +193,8 @@ impl PhoneThermalParams {
             } else {
                 StorageNode::sensible_only(
                     "heat-block",
-                    self.pcm_material.block_heat_capacity_j_per_k(self.pcm_mass_g),
+                    self.pcm_material
+                        .block_heat_capacity_j_per_k(self.pcm_mass_g),
                     self.ambient_c,
                 )
             };
@@ -265,6 +272,11 @@ impl PhoneThermal {
         self.case
     }
 
+    /// Ambient boundary node id.
+    pub fn ambient_node(&self) -> NodeId {
+        self.ambient
+    }
+
     /// The underlying network.
     pub fn network(&self) -> &ThermalNetwork {
         self.solver.network()
@@ -305,6 +317,16 @@ impl PhoneThermal {
             Some(p) => self.solver.network().melt_fraction(p),
             None => 0.0,
         }
+    }
+
+    /// Ambient temperature these parameters assume, Celsius.
+    pub fn ambient_c(&self) -> f64 {
+        self.params.ambient_c
+    }
+
+    /// Maximum safe junction temperature, Celsius.
+    pub fn t_max_c(&self) -> f64 {
+        self.params.t_max_c
     }
 
     /// True once the junction has reached the maximum safe temperature.
@@ -362,11 +384,10 @@ impl PhoneThermal {
                 let t = node.temperature_c();
                 if t < pc.melt_temp_c {
                     budget += (pc.melt_temp_c - t) * node.sensible_capacity_j_per_k();
-                    budget += (self.params.t_max_c - pc.melt_temp_c)
-                        * pc.liquid_heat_capacity_j_per_k;
+                    budget +=
+                        (self.params.t_max_c - pc.melt_temp_c) * pc.liquid_heat_capacity_j_per_k;
                 } else {
-                    budget += (self.params.t_max_c - t).max(0.0)
-                        * pc.liquid_heat_capacity_j_per_k;
+                    budget += (self.params.t_max_c - t).max(0.0) * pc.liquid_heat_capacity_j_per_k;
                 }
             } else {
                 // Solid heat-storage block (Section 4.1): sensible only.
@@ -399,7 +420,10 @@ mod tests {
     fn tdp_is_about_one_watt() {
         let phone = PhoneThermalParams::hpca().build();
         let tdp = phone.tdp_w();
-        assert!((0.9..1.2).contains(&tdp), "TDP {tdp:.3} W outside [0.9, 1.2]");
+        assert!(
+            (0.9..1.2).contains(&tdp),
+            "TDP {tdp:.3} W outside [0.9, 1.2]"
+        );
     }
 
     #[test]
@@ -425,7 +449,9 @@ mod tests {
     #[test]
     fn limited_config_has_one_percent_budget() {
         let full = PhoneThermalParams::hpca().build().sprint_energy_budget_j();
-        let limited = PhoneThermalParams::limited().build().sprint_energy_budget_j();
+        let limited = PhoneThermalParams::limited()
+            .build()
+            .sprint_energy_budget_j();
         // Latent dominates, so the ratio should be close to 100x.
         assert!(
             limited < full / 20.0,
@@ -443,7 +469,10 @@ mod tests {
             t < 60.0 + 1e-6,
             "sustained 1 W junction temperature {t:.1} C must stay below 60 C"
         );
-        assert!(t > 50.0, "sustained 1 W should warm the junction well above ambient");
+        assert!(
+            t > 50.0,
+            "sustained 1 W should warm the junction well above ambient"
+        );
         assert!(phone.melt_fraction() < 1e-9);
     }
 

@@ -123,7 +123,10 @@ impl TransientSolver {
     ///
     /// Panics if `dt_s` is negative or not finite.
     pub fn advance(&mut self, dt_s: f64) {
-        assert!(dt_s.is_finite() && dt_s >= 0.0, "dt must be finite and non-negative");
+        assert!(
+            dt_s.is_finite() && dt_s >= 0.0,
+            "dt must be finite and non-negative"
+        );
         if dt_s == 0.0 {
             return;
         }
@@ -229,7 +232,10 @@ mod tests {
         solver.advance(10.0); // one time constant
         let expected = 25.0 + 50.0 * (-1.0f64).exp();
         let got = solver.network().temperature_c(j);
-        assert!((got - expected).abs() < 0.1, "expected {expected:.2}, got {got:.2}");
+        assert!(
+            (got - expected).abs() < 0.1,
+            "expected {expected:.2}, got {got:.2}"
+        );
     }
 
     #[test]

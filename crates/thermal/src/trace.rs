@@ -159,8 +159,14 @@ mod tests {
         let trace = short_trace(50);
         let ds = trace.downsample(5);
         assert_eq!(ds.len(), 5);
-        assert_eq!(ds.first().unwrap().time_s, trace.points().first().unwrap().time_s);
-        assert_eq!(ds.last().unwrap().time_s, trace.points().last().unwrap().time_s);
+        assert_eq!(
+            ds.first().unwrap().time_s,
+            trace.points().first().unwrap().time_s
+        );
+        assert_eq!(
+            ds.last().unwrap().time_s,
+            trace.points().last().unwrap().time_s
+        );
     }
 
     #[test]

@@ -93,7 +93,12 @@ pub fn textured_image(width: usize, height: usize, seed: u64) -> GrayImage {
 
 /// Generates a stereo pair: the right image is the left image shifted by a
 /// per-region disparity (nearer objects shift more), plus noise.
-pub fn stereo_pair(width: usize, height: usize, max_disparity: usize, seed: u64) -> (GrayImage, GrayImage) {
+pub fn stereo_pair(
+    width: usize,
+    height: usize,
+    max_disparity: usize,
+    seed: u64,
+) -> (GrayImage, GrayImage) {
     let left = textured_image(width, height, seed);
     let mut right = left.clone();
     // Three depth bands with increasing disparity.

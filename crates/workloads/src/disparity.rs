@@ -34,9 +34,9 @@ pub fn disparity_native(left: &GrayImage, right: &GrayImage) -> Vec<u8> {
     let mut diff_row = vec![0u32; w];
     for d in 0..DISPARITIES {
         for y in 0..h {
-            for x in 0..w {
+            for (x, diff) in diff_row.iter_mut().enumerate() {
                 let r = right.at_clamped(x as isize - d as isize, y as isize);
-                diff_row[x] = (i32::from(left.at(x, y)) - i32::from(r)).unsigned_abs();
+                *diff = (i32::from(left.at(x, y)) - i32::from(r)).unsigned_abs();
             }
             // Sliding horizontal window of width 2*WINDOW_HALF+1.
             let mut acc: u32 = (0..=WINDOW_HALF.min(w - 1)).map(|x| diff_row[x]).sum();
@@ -128,7 +128,11 @@ impl Workload for DisparityWorkload {
 
     fn setup(&self, machine: &mut Machine, threads: usize) {
         for t in 0..threads {
-            machine.spawn(Box::new(DisparityKernel::new(self.data.clone(), t, threads)));
+            machine.spawn(Box::new(DisparityKernel::new(
+                self.data.clone(),
+                t,
+                threads,
+            )));
         }
     }
 

@@ -34,7 +34,11 @@ fn span(out: &mut Vec<Op>, region: Region, start_byte: u64, len_bytes: u64, stor
     let last = (region.base() + start_byte + len_bytes - 1) / LINE_BYTES;
     for line in first..=last {
         let addr = line * LINE_BYTES;
-        out.push(if store { Op::Store { addr } } else { Op::Load { addr } });
+        out.push(if store {
+            Op::Store { addr }
+        } else {
+            Op::Load { addr }
+        });
     }
 }
 

@@ -167,7 +167,7 @@ impl FeatureWorkload {
         let scale = (size.scale() as f64).sqrt();
         let w = (640.0 * scale) as usize;
         let h = (512.0 * scale) as usize;
-        Self::with_dims(w, h, 0xFEA_7)
+        Self::with_dims(w, h, 0xFEA7)
     }
 
     /// Builds the workload for explicit dimensions.
@@ -349,18 +349,17 @@ impl Kernel for FeatureKernel {
                         // 4x4 subregions x 16 samples around the point:
                         // scattered rows of the integral image.
                         for dy in -8i64..8 {
-                            let row = (i64::from(f.y) + dy)
-                                .clamp(0, d.height as i64 - 1) as u64;
+                            let row = (i64::from(f.y) + dy).clamp(0, d.height as i64 - 1) as u64;
                             let x0 = (i64::from(f.x) - 8).max(0) as u64;
-                            emit::load_span(
-                                out,
-                                d.integral,
-                                (row * w as u64 + x0) * 4,
-                                16 * 4,
-                            );
+                            emit::load_span(out, d.integral, (row * w as u64 + x0) * 4, 16 * 4);
                         }
                         emit::compute(out, OpClass::FpAlu, 400);
-                        emit::store_span(out, d.descriptors, u64::from(idx) % ((MAX_FEATURES as u64 - 1) * 256), 256);
+                        emit::store_span(
+                            out,
+                            d.descriptors,
+                            u64::from(idx) % ((MAX_FEATURES as u64 - 1) * 256),
+                            256,
+                        );
                         out.push(Op::FetchTask { queue: self.queue });
                         KernelStatus::Running
                     }

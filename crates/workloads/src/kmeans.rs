@@ -69,7 +69,7 @@ pub fn kmeans_native(points: &[f32], n: usize) -> KmeansResult {
         }
         // Update.
         let mut sums = vec![0.0f64; K * DIM];
-        let mut counts = vec![0u32; K];
+        let mut counts = [0u32; K];
         for i in 0..n {
             let c = assignment[i] as usize;
             counts[c] += 1;
@@ -251,12 +251,7 @@ impl Kernel for KmeansKernel {
                 if self.tid == 0 {
                     // Serial reduction over all partials, then publish the
                     // new centroids.
-                    emit::load_span(
-                        out,
-                        d.partials,
-                        0,
-                        (self.threads * K * DIM * 4) as u64,
-                    );
+                    emit::load_span(out, d.partials, 0, (self.threads * K * DIM * 4) as u64);
                     emit::compute(
                         out,
                         OpClass::FpAlu,

@@ -44,4 +44,4 @@ pub mod sobel;
 pub mod suite;
 pub mod texture;
 
-pub use suite::{build_workload, InputSize, Workload, WorkloadKind};
+pub use suite::{build_workload, loaded_machine, suite_loader, InputSize, Workload, WorkloadKind};

@@ -88,7 +88,10 @@ mod tests {
                         covered[i] = true;
                     }
                 }
-                assert!(covered.iter().all(|&c| c), "total={total} threads={threads}");
+                assert!(
+                    covered.iter().all(|&c| c),
+                    "total={total} threads={threads}"
+                );
             }
         }
     }

@@ -113,7 +113,7 @@ impl SegmentWorkload {
         let scale = (size.scale() as f64).sqrt();
         let w = (640.0 * scale) as usize;
         let h = (512.0 * scale) as usize;
-        Self::with_dims(w, h, 0x5E6_11)
+        Self::with_dims(w, h, 0x0005_E611)
     }
 
     /// Builds the workload for explicit dimensions.
@@ -319,7 +319,11 @@ mod tests {
     #[test]
     fn textured_image_has_many_segments() {
         let w = SegmentWorkload::with_dims(128, 96, 3);
-        assert!(w.segments() > 10, "textured scene: {} segments", w.segments());
+        assert!(
+            w.segments() > 10,
+            "textured scene: {} segments",
+            w.segments()
+        );
     }
 
     #[test]

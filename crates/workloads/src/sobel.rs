@@ -173,19 +173,9 @@ impl Kernel for SobelKernel {
             // Memory: the three input rows' spans plus the output span.
             for dy in [-1i64, 0, 1] {
                 let row = (self.y as i64 + dy) as u64;
-                emit::load_span(
-                    out,
-                    self.data.input,
-                    row * w as u64 + x0 as u64 - 1,
-                    px + 2,
-                );
+                emit::load_span(out, self.data.input, row * w as u64 + x0 as u64 - 1, px + 2);
             }
-            emit::store_span(
-                out,
-                self.data.output,
-                (self.y * w + x0) as u64,
-                px,
-            );
+            emit::store_span(out, self.data.output, (self.y * w + x0) as u64, px);
             emit::element_mix(out, px, FP_PER_PX, INT_PER_PX, BR_PER_PX);
             // Native computation for the block (keeps the trace honest:
             // the same arithmetic a real kernel performs).
@@ -193,10 +183,8 @@ impl Kernel for SobelKernel {
                 let p = |dx: isize, dy: isize| -> i32 {
                     i32::from(img.at_clamped(x as isize + dx, self.y as isize + dy))
                 };
-                let gx =
-                    -p(-1, -1) - 2 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2 * p(1, 0) + p(1, 1);
-                let gy =
-                    -p(-1, -1) - 2 * p(0, -1) - p(1, -1) + p(-1, 1) + 2 * p(0, 1) + p(1, 1);
+                let gx = -p(-1, -1) - 2 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2 * p(1, 0) + p(1, 1);
+                let gy = -p(-1, -1) - 2 * p(0, -1) - p(1, -1) + p(-1, 1) + 2 * p(0, 1) + p(1, 1);
                 let mag = ((gx * gx + gy * gy) as f64).sqrt() as i32;
                 self.checksum += mag.min(255) as u64;
             }

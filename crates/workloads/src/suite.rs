@@ -129,6 +129,33 @@ pub fn build_workload(kind: WorkloadKind, size: InputSize) -> Box<dyn Workload> 
     }
 }
 
+/// Builds a machine with `cores` cores and `threads` threads of the given
+/// suite workload already spawned — the common first line of every
+/// coupled experiment, and the natural argument to
+/// `ScenarioBuilder::load` in `sprint_core`.
+pub fn loaded_machine(
+    kind: WorkloadKind,
+    size: InputSize,
+    config: sprint_archsim::config::MachineConfig,
+    threads: usize,
+) -> Machine {
+    let workload = build_workload(kind, size);
+    let mut machine = Machine::new(config);
+    workload.setup(&mut machine, threads);
+    machine
+}
+
+/// A workload loader closure for `ScenarioBuilder::load` in
+/// `sprint_core`: spawns `threads` threads of the given suite kernel on
+/// whatever machine the builder constructs.
+pub fn suite_loader(
+    kind: WorkloadKind,
+    size: InputSize,
+    threads: usize,
+) -> impl FnOnce(&mut Machine) {
+    move |machine| build_workload(kind, size).setup(machine, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,10 +169,7 @@ mod tests {
 
     #[test]
     fn sizes_scale_geometrically() {
-        assert_eq!(
-            InputSize::ALL.map(|s| s.scale()),
-            [1, 2, 4, 8]
-        );
+        assert_eq!(InputSize::ALL.map(|s| s.scale()), [1, 2, 4, 8]);
     }
 
     #[test]
@@ -155,5 +179,20 @@ mod tests {
             assert_eq!(w.name(), kind.name());
             assert!(w.work_units() > 0);
         }
+    }
+
+    #[test]
+    fn loaded_machine_and_loader_agree() {
+        use sprint_archsim::config::MachineConfig;
+        let a = loaded_machine(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            MachineConfig::hpca().with_cores(4),
+            4,
+        );
+        let mut b = Machine::new(MachineConfig::hpca().with_cores(4));
+        suite_loader(WorkloadKind::Sobel, InputSize::A, 4)(&mut b);
+        assert_eq!(a.live_threads(), b.live_threads());
+        assert!(a.live_threads() > 0);
     }
 }

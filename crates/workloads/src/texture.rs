@@ -239,7 +239,9 @@ mod tests {
 
     #[test]
     fn native_composition_is_bounded() {
-        let layers: Vec<GrayImage> = (0..LAYERS).map(|l| textured_image(64, 64, l as u64)).collect();
+        let layers: Vec<GrayImage> = (0..LAYERS)
+            .map(|l| textured_image(64, 64, l as u64))
+            .collect();
         let out = compose_native(&layers);
         assert_eq!(out.len(), 64 * 64);
         assert!(out.iter().all(|&v| (0.0..=255.0).contains(&v)));

@@ -11,12 +11,42 @@ use sprint_workloads::suite::{build_workload, InputSize, WorkloadKind};
 
 /// `(kernel, instructions, loads, stores, time_ps)` on 4 cores, size A.
 const GOLDEN: [(WorkloadKind, u64, u64, u64, u64); 6] = [
-    (WorkloadKind::Sobel, 8_209_788, 47_850, 15_950, 2_381_000_000),
-    (WorkloadKind::Feature, 17_348_986, 161_168, 63_432, 6_180_000_000),
+    (
+        WorkloadKind::Sobel,
+        8_209_788,
+        47_850,
+        15_950,
+        2_381_000_000,
+    ),
+    (
+        WorkloadKind::Feature,
+        17_348_810,
+        160_992,
+        63_432,
+        6_179_000_000,
+    ),
     (WorkloadKind::Kmeans, 2_248_764, 8_064, 40, 669_000_000),
-    (WorkloadKind::Disparity, 24_960_004, 748_800, 249_600, 23_688_000_000),
-    (WorkloadKind::Texture, 5_419_668, 54_912, 26_624, 2_296_000_000),
-    (WorkloadKind::Segment, 8_540_188, 102_400, 81_920, 3_598_000_000),
+    (
+        WorkloadKind::Disparity,
+        24_960_004,
+        748_800,
+        249_600,
+        23_688_000_000,
+    ),
+    (
+        WorkloadKind::Texture,
+        5_419_668,
+        54_912,
+        26_624,
+        2_296_000_000,
+    ),
+    (
+        WorkloadKind::Segment,
+        8_540_188,
+        102_400,
+        81_920,
+        3_598_000_000,
+    ),
 ];
 
 fn run(kind: WorkloadKind) -> (u64, u64, u64, u64) {

@@ -7,6 +7,7 @@
 //! Run with: `cargo run --release --example powergrid_ramp`
 
 use computational_sprinting::powergrid::{ActivationExperiment, ActivationSchedule};
+use computational_sprinting::powersource::PackagePins;
 
 fn main() {
     println!("16-core activation vs. supply integrity (1.2 V nominal, 2% tolerance):");
@@ -39,7 +40,11 @@ fn main() {
             r.min_v,
             100.0 * r.min_fraction_of_nominal(),
             r.settle_time_s * 1e6,
-            if r.violated { "VIOLATES tolerance" } else { "within tolerance" }
+            if r.violated {
+                "VIOLATES tolerance"
+            } else {
+                "within tolerance"
+            }
         );
     }
     println!();
@@ -47,4 +52,25 @@ fn main() {
         "The 128 us ramp is {}x shorter than a one-second sprint — a negligible cost.",
         (1.0 / 128e-6) as u64
     );
+
+    // The same 16 A peak must also fit through the package pins
+    // (Section 6) — the other half of delivering sprint current.
+    println!();
+    println!("pin budget for the 16 A peak (100 mA per power/ground pair):");
+    for (name, pins) in [
+        ("Apple-A4-class", PackagePins::apple_a4()),
+        ("MSM8660-class", PackagePins::qualcomm_msm8660()),
+    ] {
+        let needed = pins.pins_needed(16.0, 1.0);
+        println!(
+            "  {name:<15} {needed} of {} pins ({:.0}%) at 1 V{}",
+            pins.total_pins,
+            100.0 * pins.pin_fraction(16.0, 1.0),
+            if pins.feasible(16.0, 1.0, 0.35) {
+                ""
+            } else {
+                "  — infeasible below a 35% budget"
+            }
+        );
+    }
 }

@@ -1,5 +1,6 @@
 //! Quickstart: sprint a parallel kernel and compare against sustained
-//! single-core execution.
+//! single-core execution — the paper's baseline 16-core scenario,
+//! composed through `ScenarioBuilder`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -7,14 +8,16 @@ use computational_sprinting::prelude::*;
 
 fn run(mode_label: &str, config: SprintConfig) -> RunReport {
     // The paper's reference kernel suite; sobel at a small input keeps the
-    // example fast.
-    let workload = build_workload(WorkloadKind::Sobel, InputSize::B);
-    let mut machine = Machine::new(MachineConfig::hpca());
-    workload.setup(&mut machine, 16);
-    // Phone thermal model, time-compressed 40x to match the compressed
-    // workload scale (see DESIGN.md on time scaling).
-    let thermal = PhoneThermalParams::hpca().time_scaled(40.0).build();
-    let report = SprintSystem::new(machine, thermal, config).run();
+    // example fast. Phone thermal model, time-compressed 40x to match the
+    // compressed workload scale (see DESIGN.md on time scaling).
+    let mut session = ScenarioBuilder::new()
+        .machine(MachineConfig::hpca())
+        .load(suite_loader(WorkloadKind::Sobel, InputSize::B, 16))
+        .thermal(PhoneThermalParams::hpca().time_scaled(40.0).build())
+        .config(config)
+        .build();
+    session.run_to_completion();
+    let report = session.report();
     println!(
         "{mode_label:<22} {:>8.2} ms   {:>7.2} mJ   peak {:>5.1} C",
         report.completion_s * 1e3,

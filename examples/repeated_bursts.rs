@@ -2,78 +2,59 @@
 //!
 //! "Once sprinting capacity is exhausted, the chip must cool in non-sprint
 //! mode before it can sprint again" (Section 3). This example fires a
-//! burst of work every few (compressed) seconds, carrying the thermal
-//! state and the hybrid supply's charge across bursts: early bursts get
+//! burst of work every few (compressed) seconds on a single persistent
+//! `SprintSession`: `rest()` cools the package and recharges the hybrid
+//! supply between bursts, and `begin_burst()` re-arms the controller
+//! against whatever capacity the package has recovered. Early bursts get
 //! the full sprint; a burst arriving before cooldown completes gets only
 //! partial capacity and finishes slower.
 //!
 //! Run with: `cargo run --release --example repeated_bursts`
 
-use computational_sprinting::powersource::HybridSupply;
 use computational_sprinting::prelude::*;
-use computational_sprinting::thermal::PhoneThermal;
-
-/// Runs one burst against the *current* thermal state, returning the
-/// completion time. This drives the machine/thermal coupling manually so
-/// the thermal model persists across bursts.
-fn run_burst(thermal: &mut PhoneThermal, idle_before_s: f64) -> (f64, f64) {
-    // Idle interval before the burst: the chip cools.
-    thermal.set_chip_power_w(0.0);
-    thermal.advance(idle_before_s);
-    let budget_before = thermal.sprint_energy_budget_j();
-
-    let workload = build_workload(WorkloadKind::Feature, InputSize::C);
-    let mut machine = Machine::new(MachineConfig::hpca());
-    workload.setup(&mut machine, 16);
-
-    // Manual coupling (what SprintSystem does internally), so we can keep
-    // the thermal model afterwards.
-    let mut controller = computational_sprinting::core::SprintController::new(
-        SprintConfig::hpca_parallel(),
-        thermal,
-        &mut machine,
-    );
-    let window_ps = 1_000_000;
-    let window_s = window_ps as f64 * 1e-12;
-    let t0 = machine.time_s();
-    loop {
-        let report = machine.run_window(window_ps);
-        thermal.set_chip_power_w(report.energy_j / window_s);
-        thermal.advance(window_s);
-        controller.step(
-            thermal,
-            report.energy_j,
-            window_s,
-            machine.time_s(),
-            &mut machine,
-        );
-        if report.all_done {
-            break;
-        }
-    }
-    (machine.time_s() - t0, budget_before)
-}
 
 fn main() {
     // Thermal model compressed 15x (matching the workload scale).
     // Limited design: one burst consumes most of the sprint budget, so the
-    // inter-burst gap visibly matters.
-    let mut thermal = PhoneThermalParams::limited().time_scaled(15.0).build();
-    let mut supply = HybridSupply::phone();
+    // inter-burst gap visibly matters. The hybrid Li-ion + ultracap supply
+    // rides along in the same session, recharging during the rests.
+    let mut session = ScenarioBuilder::new()
+        .machine(MachineConfig::hpca())
+        .thermal(PhoneThermalParams::limited().time_scaled(15.0).build())
+        .supply(HybridSupply::phone())
+        .config(SprintConfig::hpca_parallel())
+        .trace_capacity(0)
+        .build();
 
     println!("burst  idle-before  budget-at-start  completion   supply-capacity");
     for (i, idle_s) in [0.0f64, 0.002, 0.002, 0.01, 0.05, 0.2].iter().enumerate() {
-        let (completion_s, budget_j) = run_burst(&mut thermal, *idle_s);
-        // Electrical side: draw the burst from the hybrid supply, then
-        // recharge during the idle gap (time de-compressed for the cap).
-        let _ = supply.sprint(16.0, completion_s * 15.0);
-        supply.recharge_between_sprints((idle_s * 15.0).max(0.01));
+        // Idle interval before the burst: the chip cools (rest() also
+        // trickle-recharges the cap at compressed time). Top up at real
+        // (15x de-compressed) scale for positive gaps only — back-to-back
+        // bursts get no extra charge.
+        session.rest(*idle_s);
+        if *idle_s > 0.0 {
+            session.supply_mut().recharge_between_sprints(idle_s * 15.0);
+        }
+        let budget_j = session.thermal().sprint_energy_budget_j();
+
+        // Fire the burst against the current thermal/electrical state.
+        suite_loader(WorkloadKind::Feature, InputSize::C, 16)(session.machine_mut());
+        session.begin_burst();
+        let t0 = session.now_s();
+        session.run_to_completion();
+        let completion_s = session.now_s() - t0;
+        // The in-loop draws happen at compressed time; account the burst
+        // against the supply at real scale too, as the paper's Section 6
+        // feasibility numbers do.
+        let _ = session.supply_mut().sprint(16.0, completion_s * 15.0);
+
         println!(
             "{i:>5}  {:>8.0} ms  {:>13.3} J  {:>8.2} ms  {:>13.1} J",
             idle_s * 1e3,
             budget_j,
             completion_s * 1e3,
-            supply.sprint_capacity_j(),
+            session.supply().sprint_capacity_j(),
         );
     }
     println!();

@@ -30,14 +30,8 @@ fn main() {
     println!("  Tmelt     sprint duration   sustainable power");
     for melt_c in [40.0, 50.0, 60.0, 65.0] {
         let mut params = PhoneThermalParams::hpca();
-        params.pcm_material = Material::new(
-            format!("pcm-{melt_c}C"),
-            0.3,
-            1.0,
-            100.0,
-            Some(melt_c),
-            5.0,
-        );
+        params.pcm_material =
+            Material::new(format!("pcm-{melt_c}C"), 0.3, 1.0, 100.0, Some(melt_c), 5.0);
         let phone_probe = params.clone().build();
         let tdp = phone_probe.tdp_w();
         let mut phone = params.build();
@@ -46,6 +40,26 @@ fn main() {
             "  {melt_c:>4.0} C   {:>10.2} s  {:>12.2} W",
             sprint.duration_s.unwrap_or(f64::NAN),
             tdp,
+        );
+    }
+
+    println!();
+    println!("beyond the phone: a server-class lumped design point (data-center sprinting):");
+    {
+        use computational_sprinting::core::{LumpedThermal, ThermalModel};
+        let mut node = LumpedThermal::server_heatsink();
+        let tdp = node.tdp_w();
+        // How long can it hold 4x its sustainable power before the limit?
+        let sprint_w = 4.0 * tdp;
+        node.set_chip_power_w(sprint_w);
+        let mut t = 0.0;
+        while !node.at_thermal_limit() && t < 600.0 {
+            node.advance(0.1);
+            t += 0.1;
+        }
+        println!(
+            "  heatsink node: TDP {tdp:.0} W; holds a {sprint_w:.0} W sprint for {t:.0} s \
+             on sensible headroom alone"
         );
     }
 

@@ -14,25 +14,44 @@
 //! * [`workloads`] — the six Table 1 vision kernels.
 //! * [`powersource`] — batteries, ultracapacitors and pin budgets (Section 6).
 //! * [`scaling`] — dark-silicon trend models (Figure 1).
-//! * [`core`] — the sprint controller, budget estimator, and coupled
-//!   architecture ⇄ thermal co-simulation.
+//! * [`core`] — the sprint controller, budget estimator, and the
+//!   steppable architecture ⇄ thermal ⇄ power-delivery co-simulation.
 //!
 //! # Quick start
+//!
+//! Scenarios compose through [`core::session::ScenarioBuilder`]: a
+//! machine, a workload, a thermal backend (any
+//! [`core::thermal_model::ThermalModel`]), an electrical supply (any
+//! [`core::supply::PowerSupply`]) and a [`core::config::SprintConfig`].
 //!
 //! ```
 //! use computational_sprinting::prelude::*;
 //!
-//! // A 16-thread burst of the sobel kernel on a 16-core chip.
-//! let workload = build_workload(WorkloadKind::Sobel, InputSize::A);
-//! let mut machine = Machine::new(MachineConfig::hpca());
-//! workload.setup(&mut machine, 16);
-//!
-//! // Couple it to the phone thermal model (time-compressed for the test)
-//! // and sprint.
-//! let thermal = PhoneThermalParams::hpca().time_scaled(100.0).build();
-//! let report = SprintSystem::new(machine, thermal, SprintConfig::hpca_parallel()).run();
+//! // A 16-thread burst of the sobel kernel on a 16-core chip, coupled to
+//! // the phone thermal model (time-compressed for the test).
+//! let mut session = ScenarioBuilder::new()
+//!     .machine(MachineConfig::hpca())
+//!     .load(suite_loader(WorkloadKind::Sobel, InputSize::A, 16))
+//!     .thermal(PhoneThermalParams::hpca().time_scaled(100.0).build())
+//!     .config(SprintConfig::hpca_parallel())
+//!     .build();
+//! session.run_to_completion();
+//! let report = session.report();
 //! assert!(report.finished);
+//!
+//! // The one-shot facade is equivalent for run-to-completion scenarios:
+//! let machine = loaded_machine(WorkloadKind::Sobel, InputSize::A, MachineConfig::hpca(), 16);
+//! let thermal = PhoneThermalParams::hpca().time_scaled(100.0).build();
+//! let oneshot = SprintSystem::new(machine, thermal, SprintConfig::hpca_parallel()).run();
+//! assert_eq!(oneshot.instructions, report.instructions);
 //! ```
+//!
+//! The session API unlocks scenarios the one-shot runner cannot express:
+//! repeated bursts with [`core::session::SprintSession::rest`] pacing
+//! between them, supplies that abort a sprint on a current limit (wire in
+//! a [`powersource::Battery`] via `ScenarioBuilder::supply`), and
+//! pause-inspect-reconfigure loops around
+//! [`core::session::SprintSession::step`]. See `examples/` for all three.
 
 pub use sprint_archsim as archsim;
 pub use sprint_core as core;
@@ -45,8 +64,14 @@ pub use sprint_workloads as workloads;
 /// Commonly-used items in one import.
 pub mod prelude {
     pub use sprint_archsim::{Machine, MachineConfig};
-    pub use sprint_core::{ExecutionMode, RunReport, SprintConfig, SprintSystem};
-    pub use sprint_powersource::HybridSupply;
+    pub use sprint_core::{
+        ControllerEvent, ExecutionMode, IdealSupply, LumpedThermal, PinLimited, PowerSupply,
+        RunReport, ScenarioBuilder, SessionObserver, SprintConfig, SprintSession, SprintSystem,
+        StepOutcome, SupplyPolicy, ThermalModel,
+    };
+    pub use sprint_powersource::{Battery, HybridSupply, PackagePins, Ultracapacitor};
     pub use sprint_thermal::{PhoneThermal, PhoneThermalParams};
-    pub use sprint_workloads::{build_workload, InputSize, Workload, WorkloadKind};
+    pub use sprint_workloads::{
+        build_workload, loaded_machine, suite_loader, InputSize, Workload, WorkloadKind,
+    };
 }

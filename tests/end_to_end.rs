@@ -3,11 +3,8 @@
 
 use computational_sprinting::prelude::*;
 
-fn loaded_machine(kind: WorkloadKind, threads: usize) -> Machine {
-    let workload = build_workload(kind, InputSize::A);
-    let mut machine = Machine::new(MachineConfig::hpca());
-    workload.setup(&mut machine, threads);
-    machine
+fn machine_a(kind: WorkloadKind, threads: usize) -> Machine {
+    loaded_machine(kind, InputSize::A, MachineConfig::hpca(), threads)
 }
 
 fn fast_thermal(limited: bool) -> PhoneThermal {
@@ -27,9 +24,10 @@ fn every_kernel_completes_under_every_mode() {
             SprintConfig::hpca_parallel(),
             SprintConfig::hpca_dvfs(),
         ] {
-            let report = SprintSystem::new(loaded_machine(kind, 16), fast_thermal(false), config.clone())
-                .with_trace_capacity(0)
-                .run();
+            let report =
+                SprintSystem::new(machine_a(kind, 16), fast_thermal(false), config.clone())
+                    .with_trace_capacity(0)
+                    .run();
             assert!(
                 report.finished,
                 "{} under {:?} did not finish",
@@ -45,14 +43,14 @@ fn every_kernel_completes_under_every_mode() {
 fn sprinting_always_helps_or_matches() {
     for kind in WorkloadKind::ALL {
         let base = SprintSystem::new(
-            loaded_machine(kind, 16),
+            machine_a(kind, 16),
             fast_thermal(false),
             SprintConfig::hpca_sustained(),
         )
         .with_trace_capacity(0)
         .run();
         let sprint = SprintSystem::new(
-            loaded_machine(kind, 16),
+            machine_a(kind, 16),
             fast_thermal(false),
             SprintConfig::hpca_parallel(),
         )
@@ -71,7 +69,7 @@ fn sprinting_always_helps_or_matches() {
 fn thermal_limit_is_respected_across_the_suite() {
     for kind in WorkloadKind::ALL {
         let report = SprintSystem::new(
-            loaded_machine(kind, 16),
+            machine_a(kind, 16),
             fast_thermal(true),
             SprintConfig::hpca_parallel(),
         )
@@ -89,14 +87,19 @@ fn thermal_limit_is_respected_across_the_suite() {
 #[test]
 fn limited_pcm_triggers_migration_on_long_runs() {
     // Kernels big enough to outlast the limited sprint (B size).
-    let workload = build_workload(WorkloadKind::Disparity, InputSize::B);
-    let mut machine = Machine::new(MachineConfig::hpca());
-    workload.setup(&mut machine, 16);
+    let machine = loaded_machine(
+        WorkloadKind::Disparity,
+        InputSize::B,
+        MachineConfig::hpca(),
+        16,
+    );
     let report = SprintSystem::new(machine, fast_thermal(true), SprintConfig::hpca_parallel())
         .with_trace_capacity(0)
         .run();
     assert!(report.finished);
-    let end = report.sprint_end_s.expect("sprint must end before the task");
+    let end = report
+        .sprint_end_s
+        .expect("sprint must end before the task");
     assert!(end < report.completion_s);
 }
 
@@ -105,10 +108,14 @@ fn instructions_are_mode_invariant() {
     // The same workload retires the same instruction count no matter how
     // it is scheduled or sprinted.
     let count = |config: SprintConfig| -> u64 {
-        SprintSystem::new(loaded_machine(WorkloadKind::Sobel, 16), fast_thermal(false), config)
-            .with_trace_capacity(0)
-            .run()
-            .instructions
+        SprintSystem::new(
+            machine_a(WorkloadKind::Sobel, 16),
+            fast_thermal(false),
+            config,
+        )
+        .with_trace_capacity(0)
+        .run()
+        .instructions
     };
     let a = count(SprintConfig::hpca_sustained());
     let b = count(SprintConfig::hpca_parallel());
@@ -119,7 +126,7 @@ fn instructions_are_mode_invariant() {
 fn deterministic_end_to_end() {
     let run = || {
         SprintSystem::new(
-            loaded_machine(WorkloadKind::Segment, 16),
+            machine_a(WorkloadKind::Segment, 16),
             fast_thermal(true),
             SprintConfig::hpca_parallel(),
         )

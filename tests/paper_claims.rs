@@ -38,9 +38,7 @@ fn claim_gradual_activation_required() {
     abrupt.horizon_s = 20e-6;
     assert!(abrupt.run().unwrap().report.violated);
 
-    let mut slow = ActivationExperiment::hpca(ActivationSchedule::LinearRamp {
-        total_s: 128e-6,
-    });
+    let mut slow = ActivationExperiment::hpca(ActivationSchedule::LinearRamp { total_s: 128e-6 });
     slow.horizon_s = 300e-6;
     assert!(!slow.run().unwrap().report.violated);
 }
@@ -50,9 +48,15 @@ fn claim_gradual_activation_required() {
 #[test]
 fn claim_power_source_feasibility() {
     let verdicts = evaluate_sources(16.0, 1.0);
-    let li_ion = verdicts.iter().find(|v| v.source.contains("li-ion")).unwrap();
+    let li_ion = verdicts
+        .iter()
+        .find(|v| v.source.contains("li-ion"))
+        .unwrap();
     assert!(!li_ion.covers_peak);
-    let hybrid = verdicts.iter().find(|v| v.source.contains("hybrid")).unwrap();
+    let hybrid = verdicts
+        .iter()
+        .find(|v| v.source.contains("hybrid"))
+        .unwrap();
     assert!(hybrid.covers_peak && hybrid.covers_energy);
 }
 

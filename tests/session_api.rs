@@ -1,0 +1,209 @@
+//! Integration tests for the steppable, backend-generic session API:
+//! equivalence with the one-shot compat path, and the three composed
+//! scenarios the redesign exists to express — the paper's single 16-core
+//! sprint, repeated bursts with rest pacing, and an electrically-limited
+//! sprint that aborts through the `PowerSupply` trait.
+
+use computational_sprinting::prelude::*;
+
+fn fast_thermal(limited: bool) -> PhoneThermal {
+    let p = if limited {
+        PhoneThermalParams::limited()
+    } else {
+        PhoneThermalParams::hpca()
+    };
+    p.time_scaled(15.0).build()
+}
+
+/// Scenario 1 (paper baseline): a single 16-core sprint driven window by
+/// window through `step()` produces the *identical* report to the
+/// original consuming `SprintSystem::run()`.
+#[test]
+fn stepped_session_equals_one_shot_run() {
+    for (kind, limited) in [
+        (WorkloadKind::Sobel, false),
+        (WorkloadKind::Feature, false),
+        (WorkloadKind::Disparity, true),
+    ] {
+        let one_shot = SprintSystem::new(
+            loaded_machine(kind, InputSize::A, MachineConfig::hpca(), 16),
+            fast_thermal(limited),
+            SprintConfig::hpca_parallel(),
+        )
+        .run();
+
+        let mut session = ScenarioBuilder::new()
+            .machine(MachineConfig::hpca())
+            .load(suite_loader(kind, InputSize::A, 16))
+            .thermal(fast_thermal(limited))
+            .config(SprintConfig::hpca_parallel())
+            .build();
+        let mut steps = 0u64;
+        while session.step() == StepOutcome::Running {
+            steps += 1;
+        }
+        let stepped = session.report();
+
+        assert!(steps > 0);
+        assert_eq!(stepped.completion_s, one_shot.completion_s, "{kind:?}");
+        assert_eq!(stepped.energy_j, one_shot.energy_j, "{kind:?}");
+        assert_eq!(stepped.instructions, one_shot.instructions, "{kind:?}");
+        assert_eq!(stepped.sprint_end_s, one_shot.sprint_end_s, "{kind:?}");
+        assert_eq!(stepped.max_junction_c, one_shot.max_junction_c, "{kind:?}");
+        assert_eq!(stepped.finished, one_shot.finished, "{kind:?}");
+        assert_eq!(stepped.events, one_shot.events, "{kind:?}");
+        assert_eq!(stepped.trace, one_shot.trace, "{kind:?}");
+    }
+}
+
+/// Scenario 2: repeated bursts with rest pacing on one persistent
+/// session. Back-to-back bursts see a depleted budget and run slower;
+/// after a long rest the PCM refreezes and full-speed sprinting returns.
+#[test]
+fn repeated_bursts_recover_with_rest() {
+    let mut session = ScenarioBuilder::new()
+        .machine(MachineConfig::hpca())
+        .thermal(fast_thermal(true))
+        .config(SprintConfig::hpca_parallel())
+        .trace_capacity(0)
+        .build();
+
+    let run_burst = |session: &mut SprintSession, rest_s: f64| -> (f64, usize) {
+        session.rest(rest_s);
+        suite_loader(WorkloadKind::Disparity, InputSize::A, 16)(session.machine_mut());
+        session.begin_burst();
+        let t0 = session.now_s();
+        let e0 = session.events().len();
+        assert_eq!(session.run_to_completion(), StepOutcome::Finished);
+        (session.now_s() - t0, session.events().len() - e0)
+    };
+
+    // Burst 0 warms the caches and spends most of the sprint budget.
+    let (cold, _) = run_burst(&mut session, 0.0);
+    // A back-to-back burst finds a depleted budget: the sprint truncates
+    // and most of the task crawls on one core.
+    let (back_to_back, _) = run_burst(&mut session, 0.0);
+    // After a long rest (≈ 15 s at real scale) the PCM refreezes and the
+    // full sprint returns.
+    let (rested, _) = run_burst(&mut session, 1.0);
+    assert!(
+        back_to_back > cold * 2.0,
+        "a burst against a hot package must be much slower: {back_to_back:.5} vs {cold:.5}"
+    );
+    assert!(
+        rested < back_to_back * 0.5,
+        "rest must restore sprint capacity: {rested:.5} vs {back_to_back:.5}"
+    );
+    // The truncated burst must show the budget-exhaustion migration.
+    assert!(session
+        .events()
+        .iter()
+        .any(|e| matches!(e, ControllerEvent::SprintEnded { .. })));
+    // Session time includes the rests; the machine only ran while stepping.
+    assert!(session.now_s() > session.machine().time_s());
+}
+
+/// Scenario 3: a current-limited supply ends the sprint through the
+/// `PowerSupply` trait — the phone Li-ion cell cannot feed 16 cores
+/// (Section 6), so the run degrades to sustained single-core pace.
+#[test]
+fn current_limited_supply_terminates_sprint() {
+    let report_with = |supply_limited: bool| -> RunReport {
+        let builder = ScenarioBuilder::new()
+            .machine(MachineConfig::hpca())
+            .load(suite_loader(WorkloadKind::Sobel, InputSize::A, 16))
+            .thermal(fast_thermal(false))
+            .config(SprintConfig::hpca_parallel())
+            .trace_capacity(0);
+        if supply_limited {
+            let mut s = builder.supply(Battery::phone_li_ion()).build();
+            s.run_to_completion();
+            s.report()
+        } else {
+            let mut s = builder.build();
+            s.run_to_completion();
+            s.report()
+        }
+    };
+    let unconstrained = report_with(false);
+    let starved = report_with(true);
+
+    assert!(unconstrained.finished && starved.finished);
+    assert!(
+        starved
+            .events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::SupplyLimited { .. })),
+        "the battery's current limit must end the sprint: {:?}",
+        starved.events
+    );
+    let end = starved
+        .sprint_end_s
+        .expect("sprint must have been cut short");
+    assert!(end < starved.completion_s * 0.5);
+    assert!(
+        starved.completion_s > unconstrained.completion_s * 2.0,
+        "losing the sprint must cost real time: {:.5} vs {:.5}",
+        starved.completion_s,
+        unconstrained.completion_s
+    );
+}
+
+/// The hybrid battery + ultracapacitor supply carries the same sprint the
+/// bare cell cannot — Section 6's feasibility argument inside the loop.
+#[test]
+fn hybrid_supply_carries_the_sprint() {
+    let mut session = ScenarioBuilder::new()
+        .machine(MachineConfig::hpca())
+        .load(suite_loader(WorkloadKind::Sobel, InputSize::A, 16))
+        .thermal(fast_thermal(false))
+        .supply(HybridSupply::phone())
+        .trace_capacity(0)
+        .build();
+    session.run_to_completion();
+    let report = session.report();
+    assert!(report.finished);
+    assert!(report
+        .events
+        .iter()
+        .all(|e| !matches!(e, ControllerEvent::SupplyLimited { .. })));
+}
+
+/// A pin-count ceiling (Section 6's 320-pin analysis) clamps a sprint even
+/// when the source behind the pins is unlimited.
+#[test]
+fn pin_budget_clamps_an_unlimited_source() {
+    // 30% of an A4-class package at 1 V: ~7.9 W — under the 16 W sprint.
+    let pins = PinLimited::new(IdealSupply, PackagePins::apple_a4(), 1.0, 0.3);
+    let mut session = ScenarioBuilder::new()
+        .machine(MachineConfig::hpca())
+        .load(suite_loader(WorkloadKind::Sobel, InputSize::A, 16))
+        .thermal(fast_thermal(false))
+        .supply(pins)
+        .trace_capacity(0)
+        .build();
+    session.run_to_completion();
+    assert!(session
+        .events()
+        .iter()
+        .any(|e| matches!(e, ControllerEvent::SupplyLimited { .. })));
+}
+
+/// The session is generic over the thermal backend: the same scenario
+/// composes against the non-phone `LumpedThermal` server node.
+#[test]
+fn session_runs_on_a_non_phone_backend() {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 100.0;
+    let mut session = ScenarioBuilder::new()
+        .machine(MachineConfig::hpca())
+        .load(suite_loader(WorkloadKind::Kmeans, InputSize::A, 16))
+        .thermal(LumpedThermal::server_heatsink())
+        .config(cfg)
+        .trace_capacity(0)
+        .build();
+    assert_eq!(session.run_to_completion(), StepOutcome::Finished);
+    let report = session.report();
+    assert!(report.finished);
+    assert!(report.max_junction_c <= 85.0);
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for `criterion`, covering the API the workspace's
+//! benches use: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — median of wall-clock samples,
+//! printed to stdout — but the bench targets compile and run under
+//! `cargo bench` exactly as they would against the real crate.
+
+use std::time::Instant;
+
+/// Top-level bench driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, 10, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine` per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.samples_ns.push(start.elapsed().as_nanos());
+    }
+}
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples_ns: Vec::with_capacity(samples),
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    b.samples_ns.sort_unstable();
+    let median_ns = b
+        .samples_ns
+        .get(b.samples_ns.len() / 2)
+        .copied()
+        .unwrap_or(0);
+    println!("bench {id:<50} median {:>12.3} ms", median_ns as f64 / 1e6);
+}
+
+/// Bundles bench functions into a named runner, like the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| 2 + 2));
+        g.finish();
+        c.bench_function("flat", |b| b.iter(|| 40 + 2));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_api_runs() {
+        benches();
+    }
+}

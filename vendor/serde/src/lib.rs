@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and
+//! macro namespaces so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No actual
+//! serialization machinery exists (nothing in the workspace uses it);
+//! swapping in the real crates is a one-line manifest change.
+
+/// Marker trait mirroring `serde::Serialize` (no methods).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
