@@ -16,12 +16,14 @@
 //! repro fig9        # input classes A-D
 //! repro fig10       # core-count scaling (+ fig11 energy)
 //! repro power       # Section 6 power-source table
+//! repro grid        # lumped vs grid backend, hotspot throttle
 //! repro ablation_tmelt | ablation_metal | ablation_budget | ablation_abort | ablation_pacing
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod figs_arch;
+pub mod figs_grid;
 pub mod figs_model;
 pub mod harness;
 pub mod output;

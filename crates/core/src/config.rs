@@ -117,6 +117,74 @@ impl PacingPolicy {
     }
 }
 
+/// How the controller reacts as the *hottest spot* approaches the
+/// thermal limit — the grid-backend extension of Section 7's abort
+/// machinery. Spatial backends report the hottest die cell as the
+/// junction, so on them this policy gates sprints on local hotspots that
+/// lumped models average away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum HotspotPolicy {
+    /// No proactive reaction (the paper's behaviour): the sprint runs
+    /// full-width until the budget estimator trips or the hardware
+    /// failsafe throttles at the limit.
+    #[default]
+    HardAbort,
+    /// Shed sprinting cores progressively as hotspot headroom shrinks:
+    /// full width at `start_headroom_k` or more, stepping linearly down
+    /// to `min_cores` at zero headroom. Sheds ratchet within a burst —
+    /// a core surrendered to the throttle does not come back until
+    /// the next burst re-arms the controller — so the core count cannot
+    /// oscillate around the threshold.
+    ShedCores {
+        /// Headroom (Kelvin) at which shedding begins.
+        start_headroom_k: f64,
+        /// Floor on the sprinting core count.
+        min_cores: usize,
+    },
+}
+
+impl HotspotPolicy {
+    /// The most cores this policy allows at `headroom_k` of hotspot
+    /// headroom, starting from `start_cores`.
+    pub fn max_cores_at(&self, start_cores: usize, headroom_k: f64) -> usize {
+        match self {
+            HotspotPolicy::HardAbort => start_cores,
+            HotspotPolicy::ShedCores {
+                start_headroom_k,
+                min_cores,
+            } => {
+                let floor = (*min_cores).min(start_cores).max(1);
+                // Also covers degenerate starts (0 or 1 cores): nothing
+                // to shed, and no underflow below.
+                if headroom_k >= *start_headroom_k || start_cores <= floor {
+                    return start_cores;
+                }
+                let frac = (headroom_k / start_headroom_k).max(0.0);
+                floor + ((start_cores - floor) as f64 * frac).floor() as usize
+            }
+        }
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive shed threshold or a zero core floor.
+    pub fn validate(&self) {
+        if let HotspotPolicy::ShedCores {
+            start_headroom_k,
+            min_cores,
+        } = self
+        {
+            assert!(
+                start_headroom_k.is_finite() && *start_headroom_k > 0.0,
+                "shed threshold must be positive"
+            );
+            assert!(*min_cores >= 1, "shed floor needs at least one core");
+        }
+    }
+}
+
 /// What the controller does when the sprint budget runs out with work
 /// remaining (Section 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -159,6 +227,8 @@ pub struct SprintConfig {
     pub mode: ExecutionMode,
     /// Pacing policy while sprinting.
     pub pacing: PacingPolicy,
+    /// Hotspot reaction while sprinting (meaningful on spatial backends).
+    pub hotspot: HotspotPolicy,
     /// Abort policy when capacity runs out.
     pub abort_policy: AbortPolicy,
     /// Budget estimation mechanism.
@@ -188,6 +258,7 @@ impl SprintConfig {
         Self {
             mode: ExecutionMode::ParallelSprint { cores: 16 },
             pacing: PacingPolicy::AllOut,
+            hotspot: HotspotPolicy::HardAbort,
             abort_policy: AbortPolicy::MigrateToSingleCore,
             estimator: BudgetEstimator::EnergyAccounting,
             supply_policy: SupplyPolicy::EndSprint,
@@ -242,6 +313,7 @@ impl SprintConfig {
             assert!(headroom >= 1.0, "headroom must be at least 1x");
         }
         self.pacing.validate();
+        self.hotspot.validate();
     }
 }
 
@@ -308,6 +380,38 @@ mod tests {
         assert_eq!(p.cores_at(16, 0.39), 16);
         assert_eq!(p.cores_at(16, 0.4), 8);
         assert_eq!(p.cores_at(16, 0.8), 4);
+    }
+
+    #[test]
+    fn hotspot_hard_abort_never_sheds() {
+        let p = HotspotPolicy::HardAbort;
+        assert_eq!(p.max_cores_at(16, 0.01), 16);
+        assert_eq!(p.max_cores_at(16, -3.0), 16);
+    }
+
+    #[test]
+    fn hotspot_shed_steps_down_linearly() {
+        let p = HotspotPolicy::ShedCores {
+            start_headroom_k: 5.0,
+            min_cores: 4,
+        };
+        p.validate();
+        assert_eq!(p.max_cores_at(16, 10.0), 16, "full width above threshold");
+        assert_eq!(p.max_cores_at(16, 5.0), 16);
+        assert_eq!(p.max_cores_at(16, 2.5), 10, "halfway: 4 + 12/2");
+        assert_eq!(p.max_cores_at(16, 0.0), 4, "floor at zero headroom");
+        assert_eq!(p.max_cores_at(16, -1.0), 4, "floor past the limit");
+        assert_eq!(p.max_cores_at(2, 0.0), 2, "floor clamps to start");
+    }
+
+    #[test]
+    #[should_panic(expected = "shed threshold")]
+    fn hotspot_zero_threshold_rejected() {
+        HotspotPolicy::ShedCores {
+            start_headroom_k: 0.0,
+            min_cores: 1,
+        }
+        .validate();
     }
 
     #[test]

@@ -11,7 +11,7 @@ use sprint_archsim::dvfs::OperatingPoint;
 use sprint_archsim::machine::Machine;
 
 use crate::budget::ThermalBudget;
-use crate::config::{AbortPolicy, BudgetEstimator, ExecutionMode, SprintConfig};
+use crate::config::{AbortPolicy, BudgetEstimator, ExecutionMode, HotspotPolicy, SprintConfig};
 use crate::thermal_model::ThermalModel;
 
 /// Controller state (Figure 2's execution phases).
@@ -47,6 +47,20 @@ pub enum ControllerEvent {
         /// Time, seconds.
         at_s: f64,
     },
+    /// The hotspot throttle shed sprinting cores because the hottest
+    /// cell approached the thermal limit
+    /// ([`HotspotPolicy::ShedCores`]). The sprint continues at reduced
+    /// width instead of hard-aborting.
+    HotspotShed {
+        /// Time of the decision, seconds.
+        at_s: f64,
+        /// Core count before the shed.
+        from_cores: usize,
+        /// Core count after the shed.
+        to_cores: usize,
+        /// Hotspot headroom at the decision, Kelvin.
+        headroom_k: f64,
+    },
     /// The electrical supply could not deliver the sprint's power
     /// (Section 6: current limit or depleted store); the sprint ended.
     SupplyLimited {
@@ -68,6 +82,9 @@ pub struct SprintController {
     ramp_remaining_s: f64,
     events: Vec<ControllerEvent>,
     sprint_end_s: Option<f64>,
+    /// Ratcheting core ceiling imposed by the hotspot throttle: starts
+    /// unbounded, only ever decreases within a burst.
+    hotspot_cap: usize,
 }
 
 impl SprintController {
@@ -87,6 +104,7 @@ impl SprintController {
             ramp_remaining_s: config.activation_ramp_s,
             events: Vec::new(),
             sprint_end_s: None,
+            hotspot_cap: usize::MAX,
             config,
         };
         match ctl.config.mode {
@@ -161,12 +179,37 @@ impl SprintController {
             SprintState::Sprinting => {
                 self.budget.record(window_energy_j, window_s);
                 // Pacing: step intensity down as the budget depletes.
-                let paced = self.config.pacing.cores_at(
-                    self.config.mode.sprint_cores(),
-                    self.budget.spent_fraction(),
-                );
-                if paced != machine.active_cores() && machine.live_threads() > 0 {
-                    machine.set_active_cores(paced);
+                let start = self.config.mode.sprint_cores();
+                let paced = self
+                    .config
+                    .pacing
+                    .cores_at(start, self.budget.spent_fraction());
+                // Hotspot throttle: shed cores as the hottest cell
+                // approaches the limit, ratcheting within the burst.
+                if self.config.hotspot != HotspotPolicy::HardAbort {
+                    let cap = self
+                        .config
+                        .hotspot
+                        .max_cores_at(start, thermal.headroom_k());
+                    if cap < self.hotspot_cap {
+                        self.hotspot_cap = cap;
+                        // Record the shed only when it actually lowers
+                        // the running width (pacing may already be
+                        // below the new cap).
+                        let to_cores = paced.min(cap);
+                        if to_cores < machine.active_cores() {
+                            self.events.push(ControllerEvent::HotspotShed {
+                                at_s: now_s,
+                                from_cores: machine.active_cores(),
+                                to_cores,
+                                headroom_k: thermal.headroom_k(),
+                            });
+                        }
+                    }
+                }
+                let target = paced.min(self.hotspot_cap);
+                if target != machine.active_cores() && machine.live_threads() > 0 {
+                    machine.set_active_cores(target);
                 }
                 let exhausted = match self.config.estimator {
                     BudgetEstimator::EnergyAccounting => {
@@ -317,6 +360,47 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, ControllerEvent::SprintEnded { .. })));
+    }
+
+    #[test]
+    fn hotspot_policy_sheds_cores_and_ratchets() {
+        use crate::config::HotspotPolicy;
+        let mut thermal = PhoneThermalParams::hpca().build();
+        let mut m = machine16();
+        let mut cfg = SprintConfig::hpca_parallel();
+        cfg.hotspot = HotspotPolicy::ShedCores {
+            start_headroom_k: 8.0,
+            min_cores: 4,
+        };
+        let mut ctl = SprintController::new(cfg, &thermal, &mut m);
+        for i in 0..129 {
+            ctl.step(&thermal, 0.0, 1e-6, i as f64 * 1e-6, &mut m);
+        }
+        assert_eq!(m.active_cores(), 16, "plenty of headroom: full width");
+        // Drive the junction to ~4 K of headroom: the linear shed caps
+        // the sprint at 4 + 12 * (4/8) = 10 cores.
+        thermal.set_chip_power_w(30.0);
+        while thermal.headroom_k() > 4.0 {
+            thermal.advance(0.005);
+        }
+        ctl.step(&thermal, 16e-6, 1e-6, 0.2, &mut m);
+        assert!(
+            m.active_cores() <= 10,
+            "hot junction must shed cores, got {}",
+            m.active_cores()
+        );
+        let shed_to = m.active_cores();
+        assert!(ctl
+            .events()
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::HotspotShed { .. })));
+        // Cooling back down does not re-add cores within the burst.
+        thermal.set_chip_power_w(0.0);
+        thermal.advance(10.0);
+        assert!(thermal.headroom_k() > 8.0);
+        ctl.step(&thermal, 1e-6, 1e-6, 0.3, &mut m);
+        assert_eq!(m.active_cores(), shed_to, "the shed ratchets");
+        assert_eq!(ctl.state(), SprintState::Sprinting, "no hard abort");
     }
 
     #[test]

@@ -98,7 +98,8 @@ pub mod thermal_model;
 
 pub use budget::ThermalBudget;
 pub use config::{
-    AbortPolicy, BudgetEstimator, ExecutionMode, PacingPolicy, SprintConfig, SupplyPolicy,
+    AbortPolicy, BudgetEstimator, ExecutionMode, HotspotPolicy, PacingPolicy, SprintConfig,
+    SupplyPolicy,
 };
 pub use controller::{ControllerEvent, SprintController, SprintState};
 pub use metrics::{arithmetic_mean, geometric_mean, Comparison};

@@ -238,6 +238,10 @@ impl<T: ThermalModel, S: PowerSupply> SprintSession<T, S> {
         if self.windows >= self.max_windows {
             return StepOutcome::TimeLimit;
         }
+        // The cores that dissipated this window's power — captured before
+        // any controller reaction can migrate threads, so spatial
+        // backends heat the footprint that actually ran.
+        let window_cores = self.machine.active_cores();
         let report = self.machine.run_window(self.window_ps);
         self.windows += 1;
         let now_s = self.now_s();
@@ -257,6 +261,7 @@ impl<T: ThermalModel, S: PowerSupply> SprintSession<T, S> {
                     .supply_limited(now_s, power_w, available_w, &mut self.machine);
             }
         }
+        self.thermal.set_active_core_count(window_cores);
         self.thermal.set_chip_power_w(power_w);
         self.thermal.advance(self.window_s);
         self.max_junction_c = self.max_junction_c.max(self.thermal.junction_temp_c());

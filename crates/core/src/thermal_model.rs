@@ -13,6 +13,7 @@
 //! Porto et al.'s "fast, but not so furious" sprinting) slot in without
 //! touching the loop.
 
+use sprint_thermal::grid::GridThermal;
 use sprint_thermal::phone::PhoneThermal;
 
 /// A thermal backend the sprint loop can drive.
@@ -27,6 +28,14 @@ use sprint_thermal::phone::PhoneThermal;
 pub trait ThermalModel {
     /// Sets the instantaneous chip power dissipation in watts.
     fn set_chip_power_w(&mut self, watts: f64);
+
+    /// Tells the backend how many cores dissipated the power of the last
+    /// window. Spatial backends (grids) map the power onto the active
+    /// cores' floorplan footprints; lumped backends ignore it (the
+    /// default no-op).
+    fn set_active_core_count(&mut self, cores: usize) {
+        let _ = cores;
+    }
 
     /// Advances the model by `dt_s` seconds.
     fn advance(&mut self, dt_s: f64);
@@ -91,6 +100,53 @@ impl ThermalModel for PhoneThermal {
 
     fn ambient_c(&self) -> f64 {
         PhoneThermal::ambient_c(self)
+    }
+}
+
+/// The HotSpot-style grid backend: the junction the loop sees is the
+/// *hottest die cell*, so headroom, the thermal limit and the sprint
+/// budget are all hotspot-aware — a sprint on this backend aborts (or,
+/// with [`HotspotPolicy::ShedCores`](crate::config::HotspotPolicy),
+/// sheds cores) on local heating that a lumped backend averages away.
+impl ThermalModel for GridThermal {
+    fn set_chip_power_w(&mut self, watts: f64) {
+        GridThermal::set_chip_power_w(self, watts);
+    }
+
+    fn set_active_core_count(&mut self, cores: usize) {
+        GridThermal::set_active_cores(self, cores);
+    }
+
+    fn advance(&mut self, dt_s: f64) {
+        GridThermal::advance(self, dt_s);
+    }
+
+    fn junction_temp_c(&self) -> f64 {
+        GridThermal::junction_temp_c(self)
+    }
+
+    fn headroom_k(&self) -> f64 {
+        GridThermal::headroom_k(self)
+    }
+
+    fn melt_fraction(&self) -> f64 {
+        GridThermal::melt_fraction(self)
+    }
+
+    fn at_thermal_limit(&self) -> bool {
+        GridThermal::at_thermal_limit(self)
+    }
+
+    fn sprint_energy_budget_j(&self) -> f64 {
+        GridThermal::sprint_energy_budget_j(self)
+    }
+
+    fn t_max_c(&self) -> f64 {
+        GridThermal::t_max_c(self)
+    }
+
+    fn ambient_c(&self) -> f64 {
+        GridThermal::ambient_c(self)
     }
 }
 
@@ -204,6 +260,27 @@ mod tests {
         }
         exercise(&mut PhoneThermalParams::hpca().build());
         exercise(&mut LumpedThermal::server_heatsink());
+        exercise(&mut sprint_thermal::grid::GridThermalParams::hpca_like().build());
+    }
+
+    #[test]
+    fn grid_backend_reports_the_hotspot_through_the_trait() {
+        let mut g = sprint_thermal::grid::GridThermalParams::hpca_like().build();
+        // Concentrate the same power on fewer cores: the trait-visible
+        // junction (hottest cell) must rise, unlike any lumped backend.
+        let hot_of = |m: &mut dyn ThermalModel, cores: usize| {
+            m.set_active_core_count(cores);
+            m.set_chip_power_w(4.0);
+            m.advance(1.0);
+            m.junction_temp_c()
+        };
+        let spread = hot_of(&mut g, 16);
+        let mut g2 = sprint_thermal::grid::GridThermalParams::hpca_like().build();
+        let focused = hot_of(&mut g2, 2);
+        assert!(
+            focused > spread + 1.0,
+            "2-core hotspot {focused:.2} must beat 16-core {spread:.2}"
+        );
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Edge-case coverage for the power-delivery path: pin budgets at the
+//! boundaries, hybrid draws with an exhausted capacitor, and the
+//! ordering of `SupplyLimited` versus the thermal abort when both limits
+//! trip in the same sampling window.
+
+use sprint_archsim::config::MachineConfig;
+use sprint_archsim::machine::Machine;
+use sprint_archsim::program::SyntheticKernel;
+use sprint_core::config::{SprintConfig, SupplyPolicy};
+use sprint_core::controller::ControllerEvent;
+use sprint_core::session::ScenarioBuilder;
+use sprint_core::supply::{IdealSupply, PinLimited, PowerSupply};
+use sprint_core::thermal_model::LumpedThermal;
+use sprint_powersource::battery::{Battery, SupplyError};
+use sprint_powersource::hybrid::HybridSupply;
+use sprint_powersource::pins::PackagePins;
+
+fn spawn_threads(machine: &mut Machine, threads: u64, accesses: u64) {
+    for t in 0..threads {
+        machine.spawn(Box::new(SyntheticKernel::new(
+            32,
+            accesses,
+            (t + 1) << 26,
+            0,
+        )));
+    }
+}
+
+/// A zero pin-budget *fraction* is a configuration error, rejected at
+/// construction rather than silently producing a supply that can never
+/// deliver anything.
+#[test]
+#[should_panic(expected = "pin budget fraction")]
+fn zero_pin_fraction_is_rejected() {
+    let _ = PinLimited::new(IdealSupply, PackagePins::apple_a4(), 1.0, 0.0);
+}
+
+/// A package so small its pin budget rounds down to zero pairs: the
+/// ceiling is exactly zero watts, every positive draw fails with the
+/// ceiling in the error, and a zero-watt draw still succeeds.
+#[test]
+fn zero_pin_ceiling_blocks_every_positive_draw() {
+    let tiny = PackagePins {
+        total_pins: 1,
+        amps_per_pair: 0.1,
+    };
+    let mut s = PinLimited::new(IdealSupply, tiny, 1.0, 1.0);
+    assert_eq!(s.pin_ceiling_w(), 0.0);
+    assert_eq!(s.available_power_w(), 0.0);
+    match s.draw(1e-6, 1e-6) {
+        Err(SupplyError::CurrentLimit { available_w, .. }) => assert_eq!(available_w, 0.0),
+        other => panic!("expected a zero-ceiling current limit, got {other:?}"),
+    }
+    assert!(s.draw(0.0, 1e-6).is_ok(), "a zero draw fits a zero ceiling");
+}
+
+/// A session behind a zero-ceiling pin budget still completes: the very
+/// first window trips `SupplyLimited` and the run degrades to the
+/// sustained single-core path.
+#[test]
+fn zero_pin_ceiling_session_degrades_but_finishes() {
+    let tiny = PackagePins {
+        total_pins: 1,
+        amps_per_pair: 0.1,
+    };
+    let mut session = ScenarioBuilder::new()
+        .machine(MachineConfig::hpca())
+        .load(|m| spawn_threads(m, 16, 10_000))
+        .thermal(
+            sprint_thermal::phone::PhoneThermalParams::hpca()
+                .time_scaled(1000.0)
+                .build(),
+        )
+        .supply(PinLimited::new(IdealSupply, tiny, 1.0, 1.0))
+        .trace_capacity(0)
+        .build();
+    session.run_to_completion();
+    let report = session.report();
+    assert!(report.finished);
+    let first_limit = report
+        .events
+        .iter()
+        .position(|e| matches!(e, ControllerEvent::SupplyLimited { .. }))
+        .expect("zero ceiling must limit the sprint");
+    assert!(
+        report.events[first_limit..]
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::SprintEnded { .. })),
+        "the supply limit must end the sprint: {:?}",
+        report.events
+    );
+}
+
+/// With the capacitor drained below the demanded excess, a draw the
+/// battery share alone covers still succeeds, while a sprint-class draw
+/// fails on the empty cap — the battery's health is irrelevant to the
+/// peak.
+#[test]
+fn hybrid_cap_exhausted_but_battery_ok() {
+    let mut h = HybridSupply::phone();
+    // Drain the capacitor to (almost) the regulator dropout voltage.
+    while h.cap.usable_j(h.cap_min_v) > 0.2 {
+        h.cap.draw(20.0, 0.05).expect("draining within cap limits");
+    }
+    let battery_share = h.battery.max_power_w() - h.system_reserve_w;
+    assert!(
+        battery_share > 1.0,
+        "the phone cell covers watts-level load"
+    );
+    // Battery-only draw: fine.
+    PowerSupply::draw(&mut h, battery_share * 0.8, 1e-3)
+        .expect("battery share must carry the load with an empty cap");
+    // Sprint draw: the excess must come from the cap, which is empty.
+    let err = PowerSupply::draw(&mut h, 16.0, 0.5).expect_err("empty cap cannot cover a sprint");
+    assert!(
+        matches!(
+            err,
+            SupplyError::Depleted | SupplyError::CurrentLimit { .. }
+        ),
+        "unexpected error {err:?}"
+    );
+    // The failed draw must not have mutated state: retrying the
+    // battery-share draw still works.
+    PowerSupply::draw(&mut h, battery_share * 0.8, 1e-3).expect("state unchanged after rejection");
+}
+
+/// When one window trips *both* the electrical and the thermal limit,
+/// the session consults the supply first: the event stream shows
+/// `SupplyLimited` (and the migration it causes) and never the thermal
+/// failsafe, because by the time the controller sees the hot junction
+/// the sprint is already over.
+#[test]
+fn supply_limit_preempts_thermal_abort_in_the_same_window() {
+    // A thermal node so small one 16-core window vaults it past Tmax,
+    // and a battery that cannot feed 16 cores: both limits trip in the
+    // same window (the first full-width one after the ramp).
+    let run = |policy: SupplyPolicy| {
+        let mut cfg = SprintConfig::hpca_parallel();
+        cfg.activation_ramp_s = 0.0;
+        cfg.supply_policy = policy;
+        cfg.max_time_s = 200e-6; // plenty for the events, bounded runtime
+        let mut session = ScenarioBuilder::new()
+            .machine(MachineConfig::hpca())
+            .load(|m| spawn_threads(m, 16, 1_000_000))
+            .thermal(LumpedThermal::new(1e-6, 1.0, 25.0, 25.5))
+            .supply(Battery::phone_li_ion())
+            .config(cfg)
+            .trace_capacity(0)
+            .build();
+        session.run_to_completion();
+        session.report()
+    };
+
+    let supply_first = run(SupplyPolicy::EndSprint);
+    assert!(
+        supply_first.max_junction_c >= 25.5,
+        "the junction must actually have hit the limit: {:.2}",
+        supply_first.max_junction_c
+    );
+    let events = &supply_first.events;
+    let limit_idx = events
+        .iter()
+        .position(|e| matches!(e, ControllerEvent::SupplyLimited { .. }))
+        .expect("the battery must limit the first sprint window");
+    assert!(
+        matches!(events[limit_idx + 1], ControllerEvent::SprintEnded { .. }),
+        "the supply limit migrates immediately: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .all(|e| !matches!(e, ControllerEvent::FailsafeThrottled { .. })),
+        "the supply reaction preempts the thermal failsafe: {events:?}"
+    );
+
+    // Control: with the supply advisory-only, the *thermal* failsafe is
+    // what reacts to the very same window.
+    let thermal_first = run(SupplyPolicy::Ignore);
+    assert!(thermal_first
+        .events
+        .iter()
+        .any(|e| matches!(e, ControllerEvent::FailsafeThrottled { .. })));
+    assert!(thermal_first
+        .events
+        .iter()
+        .all(|e| !matches!(e, ControllerEvent::SupplyLimited { .. })));
+}

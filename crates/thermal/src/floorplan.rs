@@ -1,0 +1,257 @@
+//! Die floorplans: core rectangles mapped onto a thermal grid.
+//!
+//! A [`Floorplan`] describes where on the die the heat sources sit: each
+//! core is an axis-aligned rectangle in die coordinates. The grid backend
+//! ([`crate::grid::GridThermal`]) rasterizes every core onto its cell
+//! grid by area overlap, so per-core power lands in the right cells at
+//! any resolution — the same scheme HotSpot uses for its grid mode.
+//!
+//! Coordinates are unitless: only ratios matter, because the grid model
+//! takes its thermal resistances directly rather than deriving them from
+//! geometry. The conventional choice is a unit die (`1.0 x 1.0`).
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned core rectangle in die coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreRect {
+    /// Label used in traces and reports.
+    pub label: String,
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl CoreRect {
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+}
+
+/// A die outline plus the core rectangles that dissipate power on it.
+///
+/// # Examples
+///
+/// ```
+/// use sprint_thermal::floorplan::Floorplan;
+///
+/// // The paper's 16-core chip as a 4x4 array over the die center.
+/// let fp = Floorplan::regular_array(4, 4, 0.72, 0.8);
+/// assert_eq!(fp.core_count(), 16);
+/// // Every core's cell weights sum to one at any grid resolution.
+/// let w: f64 = fp.cell_weights(5, 8, 8).iter().map(|&(_, w)| w).sum();
+/// assert!((w - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    die_w: f64,
+    die_h: f64,
+    cores: Vec<CoreRect>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan for a `die_w x die_h` die.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive die dimensions.
+    pub fn new(die_w: f64, die_h: f64) -> Self {
+        assert!(
+            die_w > 0.0 && die_h > 0.0 && die_w.is_finite() && die_h.is_finite(),
+            "die dimensions must be positive"
+        );
+        Self {
+            die_w,
+            die_h,
+            cores: Vec::new(),
+        }
+    }
+
+    /// Adds a core rectangle (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is degenerate or extends beyond the die.
+    pub fn with_core(mut self, label: impl Into<String>, x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(w > 0.0 && h > 0.0, "core must have positive area");
+        assert!(
+            x >= 0.0 && y >= 0.0 && x + w <= self.die_w + 1e-12 && y + h <= self.die_h + 1e-12,
+            "core extends beyond the die"
+        );
+        self.cores.push(CoreRect {
+            label: label.into(),
+            x,
+            y,
+            w,
+            h,
+        });
+        self
+    }
+
+    /// A `cols x rows` core array centered on a unit die: the array spans
+    /// a `span x span` square in the middle (the rest is cache/uncore,
+    /// which dissipates nothing here), and each core fills `core_fill` of
+    /// its pitch in both dimensions. This is the shape that produces the
+    /// classic center-hotter-than-edge gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < span <= 1` and `0 < core_fill <= 1`.
+    pub fn regular_array(cols: usize, rows: usize, span: f64, core_fill: f64) -> Self {
+        assert!(cols >= 1 && rows >= 1, "need at least one core");
+        assert!(span > 0.0 && span <= 1.0, "array span must be in (0, 1]");
+        assert!(
+            core_fill > 0.0 && core_fill <= 1.0,
+            "core fill must be in (0, 1]"
+        );
+        let mut fp = Self::new(1.0, 1.0);
+        let origin = (1.0 - span) / 2.0;
+        let pitch_x = span / cols as f64;
+        let pitch_y = span / rows as f64;
+        let core_w = pitch_x * core_fill;
+        let core_h = pitch_y * core_fill;
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = origin + c as f64 * pitch_x + (pitch_x - core_w) / 2.0;
+                let y = origin + r as f64 * pitch_y + (pitch_y - core_h) / 2.0;
+                fp = fp.with_core(format!("core{}", r * cols + c), x, y, core_w, core_h);
+            }
+        }
+        fp
+    }
+
+    /// A single core covering the entire die — the uniform-power case
+    /// whose grid solution must match the lumped analytic chain.
+    pub fn full_die() -> Self {
+        Self::new(1.0, 1.0).with_core("core0", 0.0, 0.0, 1.0, 1.0)
+    }
+
+    /// Die width.
+    pub fn die_w(&self) -> f64 {
+        self.die_w
+    }
+
+    /// Die height.
+    pub fn die_h(&self) -> f64 {
+        self.die_h
+    }
+
+    /// The core rectangles.
+    pub fn cores(&self) -> &[CoreRect] {
+        &self.cores
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Rasterizes core `core` onto an `nx x ny` grid: returns
+    /// `(cell_index, weight)` pairs where `cell_index = y * nx + x` and
+    /// the weights (overlap area / core area) sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range core index or an empty grid.
+    pub fn cell_weights(&self, core: usize, nx: usize, ny: usize) -> Vec<(usize, f64)> {
+        assert!(nx >= 1 && ny >= 1, "grid must have at least one cell");
+        let rect = &self.cores[core];
+        let dx = self.die_w / nx as f64;
+        let dy = self.die_h / ny as f64;
+        let inv_area = 1.0 / rect.area();
+        let x_lo = ((rect.x / dx).floor() as usize).min(nx - 1);
+        let x_hi = (((rect.x + rect.w) / dx).ceil() as usize).min(nx);
+        let y_lo = ((rect.y / dy).floor() as usize).min(ny - 1);
+        let y_hi = (((rect.y + rect.h) / dy).ceil() as usize).min(ny);
+        let mut out = Vec::new();
+        for cy in y_lo..y_hi {
+            let oy = overlap(
+                rect.y,
+                rect.y + rect.h,
+                cy as f64 * dy,
+                (cy + 1) as f64 * dy,
+            );
+            if oy <= 0.0 {
+                continue;
+            }
+            for cx in x_lo..x_hi {
+                let ox = overlap(
+                    rect.x,
+                    rect.x + rect.w,
+                    cx as f64 * dx,
+                    (cx + 1) as f64 * dx,
+                );
+                if ox <= 0.0 {
+                    continue;
+                }
+                out.push((cy * nx + cx, ox * oy * inv_area));
+            }
+        }
+        out
+    }
+}
+
+/// Length of the overlap of `[a0, a1]` and `[b0, b1]`.
+fn overlap(a0: f64, a1: f64, b0: f64, b1: f64) -> f64 {
+    (a1.min(b1) - a0.max(b0)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_array_counts_and_bounds() {
+        let fp = Floorplan::regular_array(4, 4, 0.7, 0.85);
+        assert_eq!(fp.core_count(), 16);
+        for c in fp.cores() {
+            assert!(c.x >= 0.0 && c.y >= 0.0);
+            assert!(c.x + c.w <= 1.0 + 1e-12 && c.y + c.h <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_at_any_resolution() {
+        let fp = Floorplan::regular_array(4, 4, 0.72, 0.8);
+        for core in 0..fp.core_count() {
+            for (nx, ny) in [(1, 1), (3, 5), (8, 8), (17, 9)] {
+                let sum: f64 = fp.cell_weights(core, nx, ny).iter().map(|&(_, w)| w).sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "core {core} on {nx}x{ny}: weights sum {sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_die_core_covers_every_cell_equally() {
+        let fp = Floorplan::full_die();
+        let w = fp.cell_weights(0, 4, 4);
+        assert_eq!(w.len(), 16);
+        for &(_, weight) in &w {
+            assert!((weight - 1.0 / 16.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn off_center_core_hits_the_right_cells() {
+        // A core in the lower-left quadrant only touches lower-left cells.
+        let fp = Floorplan::new(1.0, 1.0).with_core("c", 0.0, 0.0, 0.4, 0.4);
+        let cells = fp.cell_weights(0, 2, 2);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the die")]
+    fn core_outside_die_rejected() {
+        let _ = Floorplan::new(1.0, 1.0).with_core("c", 0.8, 0.8, 0.5, 0.5);
+    }
+}

@@ -1,0 +1,969 @@
+//! HotSpot-style multi-layer grid thermal backend.
+//!
+//! Where [`crate::phone`] lumps the whole package into a handful of RC
+//! nodes, [`GridThermal`] discretizes each package layer (die, PCM,
+//! spreader, ...) into an `nx x ny` cell grid. Per-core power from a
+//! [`Floorplan`](crate::floorplan::Floorplan) is injected into the die
+//! cells it overlaps, conducts laterally within layers and vertically
+//! between them, and finally convects from the last layer to the
+//! ambient. The payoff is *where* heat accumulates: active cores form
+//! hotspots several degrees above the die average, so the hottest cell —
+//! not the mean — is what gates a sprint.
+//!
+//! Cells store enthalpy (the same enthalpy method as [`crate::node`]),
+//! so a PCM layer exhibits an exact per-cell melting plateau and energy
+//! conservation holds to floating-point roundoff. Integration is
+//! explicit with automatic sub-stepping: the step size is bounded by a
+//! fraction of the smallest cell RC constant, computed once at build
+//! time (layer structure cannot change afterwards). Every arithmetic
+//! operation is plain `f64` add/mul — no transcendentals — so traces
+//! are bit-reproducible across platforms, which the golden-trace test
+//! relies on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::floorplan::Floorplan;
+use crate::phone::PhoneThermalParams;
+
+/// Phase-change parameters of a grid layer (totals for the whole layer;
+/// distributed over cells by area).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerPhase {
+    /// Melting temperature, Celsius.
+    pub melt_temp_c: f64,
+    /// Total latent heat of the layer, joules.
+    pub latent_heat_j: f64,
+    /// Total sensible capacity of the liquid phase, J/K.
+    pub liquid_capacity_j_per_k: f64,
+}
+
+/// One package layer of the grid stack, top (die) downwards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridLayer {
+    /// Layer name (used in accessors and error messages).
+    pub name: String,
+    /// Total (solid-phase) sensible heat capacity of the layer, J/K.
+    pub capacity_j_per_k: f64,
+    /// Lateral sheet resistance, K/W per square (`1 / (k * thickness)`).
+    /// `f64::INFINITY` disables lateral conduction in this layer.
+    pub lateral_r_square_k_per_w: f64,
+    /// Interface resistance from this layer to the next, K/W across the
+    /// whole die area (ignored for the last layer, which couples to the
+    /// ambient through the sink resistance instead).
+    pub r_to_next_k_per_w: f64,
+    /// Optional phase change (a PCM layer).
+    pub phase_change: Option<LayerPhase>,
+}
+
+impl GridLayer {
+    /// A sensible-only layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacity or resistances.
+    pub fn sensible(
+        name: impl Into<String>,
+        capacity_j_per_k: f64,
+        lateral_r_square_k_per_w: f64,
+        r_to_next_k_per_w: f64,
+    ) -> Self {
+        let layer = Self {
+            name: name.into(),
+            capacity_j_per_k,
+            lateral_r_square_k_per_w,
+            r_to_next_k_per_w,
+            phase_change: None,
+        };
+        layer.validate();
+        layer
+    }
+
+    /// A phase-change layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacities, latent heat or resistances.
+    pub fn pcm(
+        name: impl Into<String>,
+        capacity_j_per_k: f64,
+        lateral_r_square_k_per_w: f64,
+        r_to_next_k_per_w: f64,
+        phase: LayerPhase,
+    ) -> Self {
+        let layer = Self {
+            name: name.into(),
+            capacity_j_per_k,
+            lateral_r_square_k_per_w,
+            r_to_next_k_per_w,
+            phase_change: Some(phase),
+        };
+        layer.validate();
+        layer
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.capacity_j_per_k.is_finite() && self.capacity_j_per_k > 0.0,
+            "layer capacity must be positive"
+        );
+        assert!(
+            self.lateral_r_square_k_per_w > 0.0,
+            "lateral resistance must be positive (INFINITY to disable)"
+        );
+        assert!(
+            self.r_to_next_k_per_w.is_finite() && self.r_to_next_k_per_w > 0.0,
+            "interface resistance must be positive"
+        );
+        if let Some(pc) = &self.phase_change {
+            assert!(pc.latent_heat_j > 0.0, "latent heat must be positive");
+            assert!(
+                pc.liquid_capacity_j_per_k > 0.0,
+                "liquid capacity must be positive"
+            );
+        }
+    }
+}
+
+/// Full parameter set for a [`GridThermal`] backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridThermalParams {
+    /// Ambient temperature, Celsius.
+    pub ambient_c: f64,
+    /// Maximum safe cell temperature, Celsius.
+    pub t_max_c: f64,
+    /// Grid cells along the die width.
+    pub nx: usize,
+    /// Grid cells along the die height.
+    pub ny: usize,
+    /// Core placement (power injection map for the die layer).
+    pub floorplan: Floorplan,
+    /// Package layers, die first. The die layer (index 0) receives the
+    /// chip power; the last layer couples to ambient.
+    pub layers: Vec<GridLayer>,
+    /// Convection resistance from the last layer to ambient, K/W across
+    /// the whole area.
+    pub r_sink_ambient_k_per_w: f64,
+    /// Sub-step bound as a fraction of the smallest cell RC constant.
+    pub stability_fraction: f64,
+}
+
+impl GridThermalParams {
+    /// A grid re-provisioning of the paper's phone package: the same
+    /// junction/PCM/case capacities and series resistances as
+    /// [`PhoneThermalParams::hpca`] (without the secondary board path),
+    /// but with the die split into cells over a 4x4 core floorplan. TDP
+    /// and sprint budget are near the lumped design's; what changes is
+    /// that active cores form hotspots ~5-10 C above the die mean, so
+    /// the hottest cell hits the 70 C limit during a 16 W sprint even
+    /// though the *average* junction stays comfortably below it.
+    ///
+    /// Hotspot timescales at 1 W/core (uncompressed): 16 active cores
+    /// reach the limit in ~0.75 s — well before the lumped package's
+    /// ~1.1 s budget — while 8 cores last ~1.3 s and 4 cores ~3 s, so a
+    /// core-count throttle genuinely stretches the sprint.
+    pub fn hpca_like() -> Self {
+        Self {
+            ambient_c: 25.0,
+            t_max_c: 70.0,
+            nx: 8,
+            ny: 8,
+            floorplan: Floorplan::regular_array(4, 4, 0.72, 0.8),
+            layers: vec![
+                // Die: the junction lump of the phone model, now spatial.
+                // Lateral sheet resistance ~= 1/(k_si * t_die).
+                GridLayer::sensible("die", 0.01, 8.0, 0.35),
+                // PCM: metal-foam-infiltrated composite (the paper's
+                // Section 4.4 encapsulation), so lateral conduction
+                // redistributes a hot core's heat into neighbouring
+                // still-frozen PCM; the interface to the case remains
+                // the dominant cooling resistance.
+                GridLayer::pcm(
+                    "pcm",
+                    0.042,
+                    300.0,
+                    38.0,
+                    LayerPhase {
+                        melt_temp_c: 60.0,
+                        latent_heat_j: 14.0,
+                        liquid_capacity_j_per_k: 0.042,
+                    },
+                ),
+                // Spreader/case: copper-class lateral spreading.
+                GridLayer::sensible("spreader", 50.0, 2.0, 1.0),
+            ],
+            r_sink_ambient_k_per_w: 1.0,
+            stability_fraction: 0.2,
+        }
+    }
+
+    /// A 1x1-cell-per-layer grid equivalent of a (board-less) phone
+    /// package: die = junction lump, PCM block, spreader = case, with
+    /// the same capacities and series resistances. Used to validate the
+    /// grid solver against the lumped reference — both must track the
+    /// same junction trajectory. The secondary board path (if present in
+    /// `phone`) is not modelled; compare against a `board_path: None`
+    /// build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phone` has no PCM (the grid stack expects the
+    /// three-layer chain) or a PCM material without a melting point.
+    pub fn phone_equivalent(phone: &PhoneThermalParams) -> Self {
+        assert!(
+            phone.pcm_mass_g > 0.0,
+            "phone_equivalent needs the PCM layer"
+        );
+        let melt = phone
+            .pcm_material
+            .melting_point_c()
+            .expect("PCM material must have a melting point");
+        let sensible = phone
+            .pcm_material
+            .block_heat_capacity_j_per_k(phone.pcm_mass_g);
+        let latent = phone.pcm_material.block_latent_heat_j(phone.pcm_mass_g);
+        Self {
+            ambient_c: phone.ambient_c,
+            t_max_c: phone.t_max_c,
+            nx: 1,
+            ny: 1,
+            floorplan: Floorplan::full_die(),
+            layers: vec![
+                GridLayer::sensible(
+                    "die",
+                    phone.junction_capacity_j_per_k,
+                    f64::INFINITY,
+                    phone.r_junction_pcm_k_per_w,
+                ),
+                GridLayer::pcm(
+                    "pcm",
+                    sensible,
+                    f64::INFINITY,
+                    phone.r_pcm_case_k_per_w,
+                    LayerPhase {
+                        melt_temp_c: melt,
+                        latent_heat_j: latent,
+                        liquid_capacity_j_per_k: sensible,
+                    },
+                ),
+                GridLayer::sensible("spreader", phone.case_capacity_j_per_k, f64::INFINITY, 1.0),
+            ],
+            r_sink_ambient_k_per_w: phone.r_case_ambient_k_per_w,
+            // Tight sub-steps: this configuration exists to be compared
+            // against the exactly-integrated lumped reference.
+            stability_fraction: 0.05,
+        }
+    }
+
+    /// Sets the grid resolution (builder style).
+    pub fn with_grid(mut self, nx: usize, ny: usize) -> Self {
+        self.nx = nx;
+        self.ny = ny;
+        self
+    }
+
+    /// Swaps the floorplan (builder style).
+    pub fn with_floorplan(mut self, floorplan: Floorplan) -> Self {
+        self.floorplan = floorplan;
+        self
+    }
+
+    /// Compresses every thermal time constant by `factor` by dividing
+    /// all heat capacities and latent heats by it — the same simulation
+    /// trick as [`PhoneThermalParams::time_scaled`]. Steady-state
+    /// temperatures and TDP are unchanged; transients shrink by exactly
+    /// `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is strictly positive and finite.
+    pub fn time_scaled(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
+        for layer in &mut self.layers {
+            layer.capacity_j_per_k /= factor;
+            if let Some(pc) = &mut layer.phase_change {
+                pc.latent_heat_j /= factor;
+                pc.liquid_capacity_j_per_k /= factor;
+            }
+        }
+        self
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty grid/stack/floorplan, a limit at or below
+    /// ambient, an ambient at or above a PCM melting point, or a
+    /// stability fraction outside `(0, 0.5]`.
+    pub fn validate(&self) {
+        assert!(self.nx >= 1 && self.ny >= 1, "grid needs at least one cell");
+        assert!(!self.layers.is_empty(), "stack needs at least one layer");
+        assert!(
+            self.floorplan.core_count() >= 1,
+            "floorplan needs at least one core"
+        );
+        assert!(self.t_max_c > self.ambient_c, "limit must exceed ambient");
+        assert!(
+            self.r_sink_ambient_k_per_w.is_finite() && self.r_sink_ambient_k_per_w > 0.0,
+            "sink resistance must be positive"
+        );
+        assert!(
+            self.stability_fraction > 0.0 && self.stability_fraction <= 0.5,
+            "stability fraction must be in (0, 0.5]"
+        );
+        for layer in &self.layers {
+            layer.validate();
+            if let Some(pc) = &layer.phase_change {
+                assert!(
+                    self.ambient_c < pc.melt_temp_c,
+                    "ambient must be below the PCM melting point"
+                );
+            }
+        }
+    }
+
+    /// Equivalent junction-to-ambient series resistance of the stack
+    /// (valid for uniform power: interface resistances plus sink), K/W.
+    pub fn series_resistance_k_per_w(&self) -> f64 {
+        let interfaces: f64 = self.layers[..self.layers.len() - 1]
+            .iter()
+            .map(|l| l.r_to_next_k_per_w)
+            .sum();
+        interfaces + self.r_sink_ambient_k_per_w
+    }
+
+    /// Builds the backend with every cell at ambient temperature.
+    pub fn build(self) -> GridThermal {
+        GridThermal::new(self)
+    }
+}
+
+/// A conductance edge between two cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct GridEdge {
+    a: u32,
+    b: u32,
+    g_w_per_k: f64,
+}
+
+/// Per-cell phase-change bookkeeping (copied from the owning layer with
+/// per-cell totals).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct CellPhase {
+    melt_temp_c: f64,
+    latent_heat_j: f64,
+    liquid_capacity_j_per_k: f64,
+}
+
+/// The grid thermal backend. See the module docs for the model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridThermal {
+    params: GridThermalParams,
+    cells_per_layer: usize,
+    /// Enthalpy per cell (J, relative to 0 C), layer-major.
+    enthalpy_j: Vec<f64>,
+    /// Solid-phase sensible capacity per cell, J/K.
+    capacity_j_per_k: Vec<f64>,
+    /// Phase change per cell (PCM layers only).
+    phase: Vec<Option<CellPhase>>,
+    /// Power injected per cell, W (die layer only).
+    power_w: Vec<f64>,
+    /// Conduction edges (lateral + vertical).
+    edges: Vec<GridEdge>,
+    /// Convection edges from last-layer cells to ambient.
+    sink: Vec<(u32, f64)>,
+    /// Per-core (cell, weight) lists on the die layer.
+    core_cells: Vec<Vec<(usize, f64)>>,
+    chip_power_w: f64,
+    active_cores: usize,
+    sub_step_s: f64,
+    time_s: f64,
+    boundary_absorbed_j: f64,
+    peak_hotspot_gradient_k: f64,
+    /// Peak temperature seen per core (max over its cells), Celsius.
+    peak_core_temps_c: Vec<f64>,
+    scratch_temps: Vec<f64>,
+    scratch_flows: Vec<f64>,
+}
+
+impl GridThermal {
+    /// Builds the grid from validated parameters, all cells at ambient.
+    pub fn new(params: GridThermalParams) -> Self {
+        params.validate();
+        let (nx, ny) = (params.nx, params.ny);
+        let cells = nx * ny;
+        let n = cells * params.layers.len();
+        let mut capacity = Vec::with_capacity(n);
+        let mut phase = Vec::with_capacity(n);
+        for layer in &params.layers {
+            let c_cell = layer.capacity_j_per_k / cells as f64;
+            let p_cell = layer.phase_change.map(|pc| CellPhase {
+                melt_temp_c: pc.melt_temp_c,
+                latent_heat_j: pc.latent_heat_j / cells as f64,
+                liquid_capacity_j_per_k: pc.liquid_capacity_j_per_k / cells as f64,
+            });
+            for _ in 0..cells {
+                capacity.push(c_cell);
+                phase.push(p_cell);
+            }
+        }
+        let mut edges = Vec::new();
+        let dx = params.floorplan.die_w() / nx as f64;
+        let dy = params.floorplan.die_h() / ny as f64;
+        for (li, layer) in params.layers.iter().enumerate() {
+            let base = li * cells;
+            if layer.lateral_r_square_k_per_w.is_finite() {
+                // Sheet resistance per square: an x-neighbour pair spans
+                // dx of length over dy of width, so R = r_sq * dx / dy.
+                let g_x = dy / (layer.lateral_r_square_k_per_w * dx);
+                let g_y = dx / (layer.lateral_r_square_k_per_w * dy);
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let i = (base + y * nx + x) as u32;
+                        if x + 1 < nx {
+                            edges.push(GridEdge {
+                                a: i,
+                                b: i + 1,
+                                g_w_per_k: g_x,
+                            });
+                        }
+                        if y + 1 < ny {
+                            edges.push(GridEdge {
+                                a: i,
+                                b: i + nx as u32,
+                                g_w_per_k: g_y,
+                            });
+                        }
+                    }
+                }
+            }
+            if li + 1 < params.layers.len() {
+                let g_v = 1.0 / (layer.r_to_next_k_per_w * cells as f64);
+                for c in 0..cells {
+                    edges.push(GridEdge {
+                        a: (base + c) as u32,
+                        b: (base + cells + c) as u32,
+                        g_w_per_k: g_v,
+                    });
+                }
+            }
+        }
+        let sink_base = (params.layers.len() - 1) * cells;
+        let g_sink = 1.0 / (params.r_sink_ambient_k_per_w * cells as f64);
+        let sink: Vec<(u32, f64)> = (0..cells)
+            .map(|c| ((sink_base + c) as u32, g_sink))
+            .collect();
+
+        // Stability bound: smallest C / G_total over cells, computed once
+        // (the structure is fixed; the solid capacity is the conservative
+        // choice for PCM cells, whose effective capacity only grows
+        // during melt).
+        let mut g_total = vec![0.0f64; n];
+        for e in &edges {
+            g_total[e.a as usize] += e.g_w_per_k;
+            g_total[e.b as usize] += e.g_w_per_k;
+        }
+        for &(i, g) in &sink {
+            g_total[i as usize] += g;
+        }
+        let mut min_tau = f64::INFINITY;
+        for i in 0..n {
+            let c = match &phase[i] {
+                Some(pc) => capacity[i].min(pc.liquid_capacity_j_per_k),
+                None => capacity[i],
+            };
+            if g_total[i] > 0.0 {
+                min_tau = min_tau.min(c / g_total[i]);
+            }
+        }
+        let sub_step_s = if min_tau.is_finite() {
+            params.stability_fraction * min_tau
+        } else {
+            f64::MAX
+        };
+
+        let core_cells: Vec<Vec<(usize, f64)>> = (0..params.floorplan.core_count())
+            .map(|c| params.floorplan.cell_weights(c, nx, ny))
+            .collect();
+        let cores = core_cells.len();
+        let ambient = params.ambient_c;
+        let mut grid = Self {
+            cells_per_layer: cells,
+            enthalpy_j: vec![0.0; n],
+            capacity_j_per_k: capacity,
+            phase,
+            power_w: vec![0.0; n],
+            edges,
+            sink,
+            core_cells,
+            chip_power_w: 0.0,
+            active_cores: cores,
+            sub_step_s,
+            time_s: 0.0,
+            boundary_absorbed_j: 0.0,
+            peak_hotspot_gradient_k: 0.0,
+            peak_core_temps_c: vec![ambient; cores],
+            scratch_temps: vec![0.0; n],
+            scratch_flows: vec![0.0; n],
+            params,
+        };
+        grid.reset_to_ambient();
+        grid
+    }
+
+    /// The parameters this backend was built from.
+    pub fn params(&self) -> &GridThermalParams {
+        &self.params
+    }
+
+    /// Cells per layer (`nx * ny`).
+    pub fn cells_per_layer(&self) -> usize {
+        self.cells_per_layer
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.params.layers.len()
+    }
+
+    /// The automatic sub-step bound, seconds.
+    pub fn sub_step_s(&self) -> f64 {
+        self.sub_step_s
+    }
+
+    /// Current simulation time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Sets the total chip power; it is split evenly across the active
+    /// cores and rasterized onto the die cells each core overlaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite power.
+    pub fn set_chip_power_w(&mut self, watts: f64) {
+        assert!(watts.is_finite(), "power must be finite");
+        self.chip_power_w = watts;
+        self.apply_power_map();
+    }
+
+    /// Sets how many cores the chip power is spread over (clamped to
+    /// `[1, core_count]`); the first `n` floorplan cores are active.
+    pub fn set_active_cores(&mut self, n: usize) {
+        let n = n.clamp(1, self.core_cells.len());
+        if n != self.active_cores {
+            self.active_cores = n;
+            self.apply_power_map();
+        }
+    }
+
+    /// Active core count the power map assumes.
+    pub fn active_cores(&self) -> usize {
+        self.active_cores
+    }
+
+    /// Total chip power currently injected, watts.
+    pub fn chip_power_w(&self) -> f64 {
+        self.chip_power_w
+    }
+
+    fn apply_power_map(&mut self) {
+        for p in self.power_w[..self.cells_per_layer].iter_mut() {
+            *p = 0.0;
+        }
+        let per_core = self.chip_power_w / self.active_cores as f64;
+        for core in &self.core_cells[..self.active_cores] {
+            for &(cell, weight) in core {
+                self.power_w[cell] += per_core * weight;
+            }
+        }
+    }
+
+    fn cell_temp(&self, i: usize) -> f64 {
+        cell_temp_of(self.enthalpy_j[i], self.capacity_j_per_k[i], &self.phase[i])
+    }
+
+    /// Temperature of cell `(x, y)` in layer `layer`, Celsius.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn cell_temp_c(&self, layer: usize, x: usize, y: usize) -> f64 {
+        assert!(layer < self.layer_count() && x < self.params.nx && y < self.params.ny);
+        self.cell_temp(layer * self.cells_per_layer + y * self.params.nx + x)
+    }
+
+    /// Hottest die-layer cell, Celsius — the hotspot the sprint
+    /// controller must respect.
+    pub fn junction_temp_c(&self) -> f64 {
+        (0..self.cells_per_layer)
+            .map(|i| self.cell_temp(i))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean die-layer temperature, Celsius — what a lumped model would
+    /// report.
+    pub fn mean_die_temp_c(&self) -> f64 {
+        let sum: f64 = (0..self.cells_per_layer).map(|i| self.cell_temp(i)).sum();
+        sum / self.cells_per_layer as f64
+    }
+
+    /// Spread between the hottest and coolest die cell right now, Kelvin.
+    pub fn hotspot_gradient_k(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..self.cells_per_layer {
+            let t = self.cell_temp(i);
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        hi - lo
+    }
+
+    /// Largest die-cell spread observed over the whole run, Kelvin.
+    pub fn peak_hotspot_gradient_k(&self) -> f64 {
+        self.peak_hotspot_gradient_k
+    }
+
+    /// Hottest cell under core `core`'s footprint, Celsius.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range core index.
+    pub fn core_temp_c(&self, core: usize) -> f64 {
+        self.core_cells[core]
+            .iter()
+            .map(|&(cell, _)| self.cell_temp(cell))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Current per-core hotspot temperatures, Celsius.
+    pub fn core_temps_c(&self) -> Vec<f64> {
+        (0..self.core_cells.len())
+            .map(|c| self.core_temp_c(c))
+            .collect()
+    }
+
+    /// Peak per-core hotspot temperatures over the whole run, Celsius.
+    pub fn peak_core_temps_c(&self) -> &[f64] {
+        &self.peak_core_temps_c
+    }
+
+    /// Overall melt fraction: melted latent heat over total latent heat
+    /// across all PCM cells (zero without a PCM layer).
+    pub fn melt_fraction(&self) -> f64 {
+        let mut melted = 0.0;
+        let mut total = 0.0;
+        for (i, phase) in self.phase.iter().enumerate() {
+            if let Some(pc) = phase {
+                let h0 = pc.melt_temp_c * self.capacity_j_per_k[i];
+                melted += (self.enthalpy_j[i] - h0).clamp(0.0, pc.latent_heat_j);
+                total += pc.latent_heat_j;
+            }
+        }
+        if total > 0.0 {
+            melted / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Ambient temperature, Celsius.
+    pub fn ambient_c(&self) -> f64 {
+        self.params.ambient_c
+    }
+
+    /// Maximum safe cell temperature, Celsius.
+    pub fn t_max_c(&self) -> f64 {
+        self.params.t_max_c
+    }
+
+    /// Headroom of the hottest cell below the limit, Kelvin.
+    pub fn headroom_k(&self) -> f64 {
+        self.params.t_max_c - self.junction_temp_c()
+    }
+
+    /// True once the hottest cell has reached the limit.
+    pub fn at_thermal_limit(&self) -> bool {
+        self.junction_temp_c() >= self.params.t_max_c - 1e-9
+    }
+
+    /// Sprint energy budget from the current state, joules: remaining
+    /// latent heat plus the sensible headroom of the die and PCM layers
+    /// up to the limit (the grid analogue of the phone model's
+    /// "16 joules").
+    pub fn sprint_energy_budget_j(&self) -> f64 {
+        let t_max = self.params.t_max_c;
+        let mut budget = 0.0;
+        // Die and phase-change cells only: the bulk of sensible layers
+        // further down (spreaders, heatsinks) would dwarf the fast
+        // storage that actually buffers a sprint.
+        for i in 0..self.enthalpy_j.len() {
+            if i >= self.cells_per_layer && self.phase[i].is_none() {
+                continue;
+            }
+            let t = self.cell_temp(i);
+            match &self.phase[i] {
+                Some(pc) => {
+                    let h0 = pc.melt_temp_c * self.capacity_j_per_k[i];
+                    budget +=
+                        (pc.latent_heat_j - (self.enthalpy_j[i] - h0)).clamp(0.0, pc.latent_heat_j);
+                    if t < pc.melt_temp_c {
+                        budget += (pc.melt_temp_c - t) * self.capacity_j_per_k[i];
+                        budget += (t_max - pc.melt_temp_c) * pc.liquid_capacity_j_per_k;
+                    } else {
+                        budget += (t_max - t).max(0.0) * pc.liquid_capacity_j_per_k;
+                    }
+                }
+                None => budget += (t_max - t).max(0.0) * self.capacity_j_per_k[i],
+            }
+        }
+        budget
+    }
+
+    /// Total enthalpy stored in all cells, joules (for conservation
+    /// checks together with [`Self::boundary_absorbed_j`]).
+    pub fn total_stored_enthalpy_j(&self) -> f64 {
+        self.enthalpy_j.iter().sum()
+    }
+
+    /// Cumulative energy absorbed by the ambient since construction,
+    /// joules.
+    pub fn boundary_absorbed_j(&self) -> f64 {
+        self.boundary_absorbed_j
+    }
+
+    /// Resets every cell to ambient (PCM fully frozen) and clears the
+    /// peak trackers.
+    pub fn reset_to_ambient(&mut self) {
+        let ambient = self.params.ambient_c;
+        for i in 0..self.enthalpy_j.len() {
+            // Ambient is below any melting point (validated), so the
+            // solid branch applies.
+            self.enthalpy_j[i] = ambient * self.capacity_j_per_k[i];
+        }
+        self.peak_hotspot_gradient_k = 0.0;
+        for t in &mut self.peak_core_temps_c {
+            *t = ambient;
+        }
+    }
+
+    /// Advances the grid by `dt_s` seconds, sub-stepping for stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is negative or not finite.
+    pub fn advance(&mut self, dt_s: f64) {
+        assert!(
+            dt_s.is_finite() && dt_s >= 0.0,
+            "dt must be finite and non-negative"
+        );
+        if dt_s > 0.0 {
+            let steps = (dt_s / self.sub_step_s).ceil().max(1.0) as u64;
+            let sub = dt_s / steps as f64;
+            for _ in 0..steps {
+                self.step_once(sub);
+            }
+            self.time_s += dt_s;
+        }
+        self.track_peaks();
+    }
+
+    /// One explicit sub-step: per-edge transfers are antisymmetric, so
+    /// total enthalpy (cells + ambient bookkeeping) is conserved exactly.
+    fn step_once(&mut self, dt: f64) {
+        let n = self.enthalpy_j.len();
+        for i in 0..n {
+            self.scratch_temps[i] =
+                cell_temp_of(self.enthalpy_j[i], self.capacity_j_per_k[i], &self.phase[i]);
+            self.scratch_flows[i] = self.power_w[i];
+        }
+        for e in &self.edges {
+            let q =
+                (self.scratch_temps[e.a as usize] - self.scratch_temps[e.b as usize]) * e.g_w_per_k;
+            self.scratch_flows[e.a as usize] -= q;
+            self.scratch_flows[e.b as usize] += q;
+        }
+        let ambient = self.params.ambient_c;
+        for &(i, g) in &self.sink {
+            let q = (self.scratch_temps[i as usize] - ambient) * g;
+            self.scratch_flows[i as usize] -= q;
+            self.boundary_absorbed_j += q * dt;
+        }
+        for i in 0..n {
+            self.enthalpy_j[i] += self.scratch_flows[i] * dt;
+        }
+    }
+
+    fn track_peaks(&mut self) {
+        self.peak_hotspot_gradient_k = self.peak_hotspot_gradient_k.max(self.hotspot_gradient_k());
+        for core in 0..self.core_cells.len() {
+            let t = self.core_temp_c(core);
+            if t > self.peak_core_temps_c[core] {
+                self.peak_core_temps_c[core] = t;
+            }
+        }
+    }
+}
+
+/// Piecewise temperature-of-enthalpy (the enthalpy method), matching
+/// [`crate::node::StorageNode`] with a 0 C reference.
+fn cell_temp_of(enthalpy_j: f64, solid_capacity_j_per_k: f64, phase: &Option<CellPhase>) -> f64 {
+    match phase {
+        None => enthalpy_j / solid_capacity_j_per_k,
+        Some(pc) => {
+            let h0 = pc.melt_temp_c * solid_capacity_j_per_k;
+            if enthalpy_j <= h0 {
+                enthalpy_j / solid_capacity_j_per_k
+            } else if enthalpy_j <= h0 + pc.latent_heat_j {
+                pc.melt_temp_c
+            } else {
+                pc.melt_temp_c + (enthalpy_j - h0 - pc.latent_heat_j) / pc.liquid_capacity_j_per_k
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_ambient_everywhere() {
+        let g = GridThermalParams::hpca_like().build();
+        for layer in 0..g.layer_count() {
+            for y in 0..g.params().ny {
+                for x in 0..g.params().nx {
+                    assert!((g.cell_temp_c(layer, x, y) - 25.0).abs() < 1e-9);
+                }
+            }
+        }
+        assert_eq!(g.melt_fraction(), 0.0);
+        assert_eq!(g.hotspot_gradient_k(), 0.0);
+    }
+
+    #[test]
+    fn uniform_power_reaches_the_series_steady_state() {
+        // Full-die core, lateral disabled by symmetry anyway: the grid
+        // must settle at ambient + P * (sum of series resistances).
+        let mut params = GridThermalParams::hpca_like().with_floorplan(Floorplan::full_die());
+        params.layers = vec![
+            GridLayer::sensible("die", 0.2, 10.0, 1.0),
+            GridLayer::sensible("mid", 0.5, 10.0, 2.0),
+            GridLayer::sensible("sink", 1.0, 10.0, 1.0),
+        ];
+        params.r_sink_ambient_k_per_w = 3.0;
+        params.nx = 3;
+        params.ny = 3;
+        let mut g = params.build();
+        g.set_chip_power_w(2.0);
+        g.advance(200.0);
+        let expected = 25.0 + 2.0 * (1.0 + 2.0 + 3.0);
+        let got = g.junction_temp_c();
+        assert!(
+            (got - expected).abs() < 0.05,
+            "expected {expected}, got {got}"
+        );
+        // Uniform power: no gradient.
+        assert!(g.hotspot_gradient_k() < 1e-6);
+    }
+
+    #[test]
+    fn concentrated_cores_form_a_hotspot() {
+        let mut g = GridThermalParams::hpca_like().build();
+        g.set_chip_power_w(16.0);
+        g.advance(2.0);
+        let gradient = g.hotspot_gradient_k();
+        assert!(
+            gradient > 3.0,
+            "4x4 core array must produce a multi-degree gradient, got {gradient:.2} K"
+        );
+        assert!(g.junction_temp_c() > g.mean_die_temp_c() + 1.0);
+    }
+
+    #[test]
+    fn fewer_active_cores_concentrate_the_same_power() {
+        let mut all = GridThermalParams::hpca_like().build();
+        let mut one = GridThermalParams::hpca_like().build();
+        all.set_chip_power_w(4.0);
+        one.set_active_cores(1);
+        one.set_chip_power_w(4.0);
+        all.advance(1.0);
+        one.advance(1.0);
+        assert!(
+            one.junction_temp_c() > all.junction_temp_c() + 1.0,
+            "4 W on one core must run hotter than on sixteen: {:.2} vs {:.2}",
+            one.junction_temp_c(),
+            all.junction_temp_c()
+        );
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        let mut g = GridThermalParams::hpca_like().build();
+        let e0 = g.total_stored_enthalpy_j();
+        g.set_chip_power_w(16.0);
+        g.advance(0.7);
+        let injected = 16.0 * 0.7;
+        let stored = g.total_stored_enthalpy_j() - e0;
+        let absorbed = g.boundary_absorbed_j();
+        assert!(
+            (stored + absorbed - injected).abs() < 1e-9 * injected,
+            "stored {stored} + absorbed {absorbed} != {injected}"
+        );
+    }
+
+    #[test]
+    fn pcm_layer_melts_and_budget_shrinks() {
+        let mut g = GridThermalParams::hpca_like().build();
+        let b0 = g.sprint_energy_budget_j();
+        assert!(
+            (13.0..20.0).contains(&b0),
+            "cold budget {b0:.1} J should be near the paper's 16 J"
+        );
+        g.set_chip_power_w(16.0);
+        g.advance(0.8);
+        assert!(g.melt_fraction() > 0.0, "sprint heat must start the melt");
+        assert!(g.sprint_energy_budget_j() < b0);
+    }
+
+    #[test]
+    fn time_scaling_compresses_transients_only() {
+        let mut base = GridThermalParams::hpca_like().build();
+        let mut scaled = GridThermalParams::hpca_like().time_scaled(10.0).build();
+        base.set_chip_power_w(8.0);
+        scaled.set_chip_power_w(8.0);
+        base.advance(1.0);
+        scaled.advance(0.1);
+        assert!(
+            (base.junction_temp_c() - scaled.junction_temp_c()).abs() < 0.2,
+            "10x compressed run at t/10 must match: {:.2} vs {:.2}",
+            base.junction_temp_c(),
+            scaled.junction_temp_c()
+        );
+    }
+
+    #[test]
+    fn reset_clears_state_and_peaks() {
+        let mut g = GridThermalParams::hpca_like().build();
+        g.set_chip_power_w(16.0);
+        g.advance(1.0);
+        assert!(g.peak_hotspot_gradient_k() > 0.0);
+        g.reset_to_ambient();
+        assert!((g.junction_temp_c() - 25.0).abs() < 1e-9);
+        assert_eq!(g.peak_hotspot_gradient_k(), 0.0);
+        assert_eq!(g.melt_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must exceed ambient")]
+    fn inverted_limits_rejected() {
+        let mut p = GridThermalParams::hpca_like();
+        p.t_max_c = 20.0;
+        p.validate();
+    }
+}

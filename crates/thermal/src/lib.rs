@@ -27,6 +27,33 @@
 //! assert!(duration > 1.0 && duration < 2.0);
 //! ```
 //!
+//! # Lumped vs grid backends
+//!
+//! Two families of thermal backend live here, and both implement the
+//! sprint loop's `ThermalModel` contract (in `sprint-core`):
+//!
+//! * **Lumped** ([`phone::PhoneThermal`], and `sprint-core`'s
+//!   single-node `LumpedThermal`): a handful of RC nodes. Cheap, exactly
+//!   integrable, and faithful to the paper's Figure 3 — but it reports a
+//!   single junction temperature, so every core looks equally hot.
+//!   Pick it for figure reproduction, design sweeps, and any scenario
+//!   where package-level capacity is the question.
+//! * **Grid** ([`grid::GridThermal`]): a HotSpot-style `nx x ny` cell
+//!   grid per package layer (die / PCM / spreader), with per-core power
+//!   mapped through a [`floorplan::Floorplan`]. Active cores form
+//!   hotspots several degrees above the die mean, and the backend
+//!   reports the *hottest cell* as the junction — so sprints abort (or
+//!   shed cores, with the hotspot-aware controller policy) on local
+//!   heating the lumped models cannot represent. Pick it when spatial
+//!   questions matter: how many cores may sprint, which ones, and what
+//!   the die gradient looks like. It costs roughly `cells x layers`
+//!   flops per sub-step, so keep grids modest (8x8 is plenty) in
+//!   debug-build test runs.
+//!
+//! The two agree by construction where they overlap: a 1x1-cell-per-layer
+//! grid reproduces the lumped chain (see
+//! [`grid::GridThermalParams::phone_equivalent`]).
+//!
 //! # Modules
 //!
 //! * [`material`] — thermophysical property database (Cu, Al, icosane, the
@@ -35,6 +62,8 @@
 //! * [`circuit`] — thermal RC networks with steady-state solving.
 //! * [`solver`] — stable explicit transient integration.
 //! * [`phone`] — the Figure 3 smart-phone model with PCM.
+//! * [`floorplan`] — core rectangles rasterized onto cell grids.
+//! * [`grid`] — the HotSpot-style multi-layer grid backend.
 //! * [`analysis`] — sprint and cooldown transients (Figure 4).
 //! * [`trace`] — time-series recording.
 
@@ -43,6 +72,8 @@
 
 pub mod analysis;
 pub mod circuit;
+pub mod floorplan;
+pub mod grid;
 pub mod material;
 pub mod node;
 pub mod phone;
@@ -54,6 +85,8 @@ pub use analysis::{
     CooldownTransient, SprintTransient,
 };
 pub use circuit::{NodeId, ThermalNetwork};
+pub use floorplan::{CoreRect, Floorplan};
+pub use grid::{GridLayer, GridThermal, GridThermalParams, LayerPhase};
 pub use material::Material;
 pub use node::{PhaseChange, StorageNode};
 pub use phone::{BoardPath, PhoneThermal, PhoneThermalParams};

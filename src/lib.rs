@@ -65,12 +65,14 @@ pub use sprint_workloads as workloads;
 pub mod prelude {
     pub use sprint_archsim::{Machine, MachineConfig};
     pub use sprint_core::{
-        ControllerEvent, ExecutionMode, IdealSupply, LumpedThermal, PinLimited, PowerSupply,
-        RunReport, ScenarioBuilder, SessionObserver, SprintConfig, SprintSession, SprintSystem,
-        StepOutcome, SupplyPolicy, ThermalModel,
+        ControllerEvent, ExecutionMode, HotspotPolicy, IdealSupply, LumpedThermal, PinLimited,
+        PowerSupply, RunReport, ScenarioBuilder, SessionObserver, SprintConfig, SprintSession,
+        SprintSystem, StepOutcome, SupplyPolicy, ThermalModel,
     };
     pub use sprint_powersource::{Battery, HybridSupply, PackagePins, Ultracapacitor};
-    pub use sprint_thermal::{PhoneThermal, PhoneThermalParams};
+    pub use sprint_thermal::{
+        Floorplan, GridThermal, GridThermalParams, PhoneThermal, PhoneThermalParams,
+    };
     pub use sprint_workloads::{
         build_workload, loaded_machine, suite_loader, InputSize, Workload, WorkloadKind,
     };

@@ -189,6 +189,99 @@ fn pin_budget_clamps_an_unlimited_source() {
         .any(|e| matches!(e, ControllerEvent::SupplyLimited { .. })));
 }
 
+/// Backend equivalence: a 1x1-cell-per-layer `GridThermal` is the same
+/// RC chain as the (board-less) phone package, so both must track the
+/// same junction trajectory through a full sprint-and-rest trace —
+/// heat-up, melt plateau, refreeze and the sustained tail.
+#[test]
+fn one_cell_grid_tracks_the_lumped_phone() {
+    let mut phone_params = PhoneThermalParams::hpca();
+    phone_params.board_path = None;
+    let mut phone = phone_params.clone().build();
+    let mut grid = GridThermalParams::phone_equivalent(&phone_params).build();
+
+    let mut worst = 0.0f64;
+    let mut worst_melt = 0.0f64;
+    // 16 W sprint past the melt plateau, a long rest that refreezes the
+    // PCM, then a sustained 1 W tail.
+    for (power, duration) in [(16.0, 1.2), (0.0, 30.0), (1.0, 10.0)] {
+        phone.set_chip_power_w(power);
+        grid.set_chip_power_w(power);
+        let steps = (duration / 0.05) as usize;
+        for _ in 0..steps {
+            phone.advance(0.05);
+            grid.advance(0.05);
+            worst = worst.max((phone.junction_temp_c() - grid.junction_temp_c()).abs());
+            worst_melt = worst_melt.max((phone.melt_fraction() - grid.melt_fraction()).abs());
+        }
+    }
+    assert!(
+        worst < 0.5,
+        "1x1 grid junction must track the lumped phone within 0.5 K, worst {worst:.3} K"
+    );
+    assert!(
+        worst_melt < 0.05,
+        "melt fractions must agree, worst gap {worst_melt:.4}"
+    );
+    // The scalar properties the controller consumes agree too.
+    assert!(
+        (phone.tdp_w() - (60.0 - 25.0) / grid.params().series_resistance_k_per_w()).abs() < 0.05
+    );
+    assert!((phone.sprint_energy_budget_j() - grid.sprint_energy_budget_j()).abs() < 1.5);
+}
+
+/// The hotspot story end-to-end: on the grid backend the same sprint
+/// either hard-aborts when the hottest cell trips the failsafe, or —
+/// with the core-count throttle — sheds width and keeps sprinting
+/// longer. A lumped backend cannot see the difference at all.
+#[test]
+fn grid_session_shed_policy_outlasts_hard_abort() {
+    let run = |policy: HotspotPolicy| {
+        let mut cfg = SprintConfig::hpca_parallel();
+        cfg.hotspot = policy;
+        let mut session = ScenarioBuilder::new()
+            .machine(MachineConfig::hpca())
+            .load(suite_loader(WorkloadKind::Sobel, InputSize::C, 16))
+            .thermal(GridThermalParams::hpca_like().time_scaled(600.0).build())
+            .config(cfg)
+            .trace_capacity(0)
+            .build();
+        session.run_to_completion();
+        let gradient = session.thermal().peak_hotspot_gradient_k();
+        (session.report(), gradient)
+    };
+
+    let (abort, abort_gradient) = run(HotspotPolicy::HardAbort);
+    let (shed, _) = run(HotspotPolicy::ShedCores {
+        start_headroom_k: 3.0,
+        min_cores: 4,
+    });
+    assert!(abort.finished && shed.finished);
+    assert!(
+        abort_gradient > 3.0,
+        "the floorplan must produce a multi-degree gradient: {abort_gradient:.2} K"
+    );
+    let abort_end = abort.sprint_end_s.expect("the hotspot must end the sprint");
+    let shed_end = shed.sprint_end_s.unwrap_or(shed.completion_s);
+    assert!(
+        shed_end > abort_end * 1.2,
+        "shedding must extend the sprint: {shed_end:.6} vs {abort_end:.6}"
+    );
+    assert!(
+        shed.events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::HotspotShed { .. })),
+        "the throttle must have shed cores: {:?}",
+        shed.events
+    );
+    assert!(
+        shed.completion_s < abort.completion_s,
+        "a longer (narrower) sprint must finish the task sooner: {:.6} vs {:.6}",
+        shed.completion_s,
+        abort.completion_s
+    );
+}
+
 /// The session is generic over the thermal backend: the same scenario
 /// composes against the non-phone `LumpedThermal` server node.
 #[test]
