@@ -1,0 +1,66 @@
+//! `perfbench` — the grid-solver performance harness.
+//!
+//! Times the explicit and ADI solvers through one sprint-and-rest cycle
+//! across grid resolutions, prints the comparison table, and writes
+//! `BENCH_grid.json` at the repository root (override the location with
+//! `SPRINT_BENCH_OUT`).
+//!
+//! Usage:
+//! ```text
+//! perfbench [--quick] [--full] [--check]
+//! ```
+//!
+//! * `--quick` — the CI pair (8x8 and 32x32) only.
+//! * `--full`  — adds the 64x64 rack-scale preview (explicit there is
+//!   minutes of wall-clock; that cost is the figure's point).
+//! * `--check` — perf-smoke gate: exit non-zero unless the 32x32 case
+//!   shows ADI at least 5x faster than explicit at matched accuracy
+//!   (max junction deviation below 0.1 K).
+
+use sprint_bench::figs_perf;
+
+/// The `--check` gate: minimum acceptable 32x32 speedup. The committed
+/// baseline sits well above this; 5x leaves headroom for noisy CI
+/// runners while still catching a regression that re-couples the ADI
+/// sub-step to the cell time constant.
+const CHECK_MIN_SPEEDUP: f64 = 5.0;
+/// The `--check` gate: matched-accuracy bar, Kelvin.
+const CHECK_MAX_DEV_K: f64 = 0.1;
+
+fn main() {
+    let mut quick = false;
+    let mut full = false;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--full" => full = true,
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown flag {other}; usage: perfbench [--quick] [--full] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (cases, report) = figs_perf::fig_perf_cases(quick, full);
+    print!("{report}");
+    if check {
+        // Judge this run's in-memory measurement, never whatever
+        // BENCH_grid.json happened to be on disk (a failed write must
+        // not let the gate pass on a stale committed baseline).
+        let case32 = cases
+            .iter()
+            .find(|c| c.n == 32)
+            .expect("--check needs the 32x32 case in the sweep");
+        println!(
+            "perf-smoke gate: 32x32 speedup {:.1}x (need >= {CHECK_MIN_SPEEDUP}x), \
+             max dev {:.4} K (need < {CHECK_MAX_DEV_K} K)",
+            case32.speedup, case32.max_dev_k
+        );
+        if case32.speedup < CHECK_MIN_SPEEDUP || case32.max_dev_k >= CHECK_MAX_DEV_K {
+            eprintln!("perf-smoke gate FAILED");
+            std::process::exit(1);
+        }
+        println!("perf-smoke gate passed");
+    }
+}

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use sprint_bench::{figs_arch, figs_grid, figs_model};
+use sprint_bench::{figs_arch, figs_grid, figs_model, figs_perf};
 use sprint_workloads::suite::InputSize;
 
 struct Options {
@@ -57,7 +57,7 @@ fn main() {
             "usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--size A|B|C|D]"
         );
         eprintln!(
-            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid"
+            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf"
         );
         eprintln!("             ablation_tmelt ablation_metal ablation_budget ablation_abort ablation_pacing");
         std::process::exit(2);
@@ -77,6 +77,7 @@ fn main() {
             "fig10",
             "power",
             "grid",
+            "perf",
             "ablation_tmelt",
             "ablation_metal",
             "ablation_budget",
@@ -104,6 +105,7 @@ fn main() {
             "fig10" | "fig11" => figs_arch::fig10_fig11(opts.size, opts.bw2x),
             "power" | "table_power" => figs_model::table_power(),
             "grid" | "fig_grid" => figs_grid::fig_grid(),
+            "perf" | "fig_perf" => figs_perf::fig_perf(opts.quick, opts.full),
             "ablation_tmelt" => figs_model::ablation_tmelt(),
             "ablation_metal" => figs_model::ablation_metal(),
             "ablation_budget" => figs_arch::ablation_budget(),

@@ -17,6 +17,7 @@
 //! repro fig10       # core-count scaling (+ fig11 energy)
 //! repro power       # Section 6 power-source table
 //! repro grid        # lumped vs grid backend, hotspot throttle
+//! repro perf        # explicit vs ADI grid-solver wall-clock sweep
 //! repro ablation_tmelt | ablation_metal | ablation_budget | ablation_abort | ablation_pacing
 //! ```
 
@@ -25,6 +26,7 @@
 pub mod figs_arch;
 pub mod figs_grid;
 pub mod figs_model;
+pub mod figs_perf;
 pub mod harness;
 pub mod output;
 

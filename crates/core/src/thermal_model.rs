@@ -108,6 +108,13 @@ impl ThermalModel for PhoneThermal {
 /// budget are all hotspot-aware — a sprint on this backend aborts (or,
 /// with [`HotspotPolicy::ShedCores`](crate::config::HotspotPolicy),
 /// sheds cores) on local heating that a lumped backend averages away.
+///
+/// The backend's integration scheme is chosen at build time via
+/// `GridThermalParams::solver`: the bit-stable explicit default, or the
+/// semi-implicit ADI solver whose sub-step is independent of the grid
+/// resolution — the right pick for fine (16x16+) grids and rack-scale
+/// floorplans, where the explicit sub-step makes the co-simulation loop
+/// spend virtually all of its wall-clock inside `advance`.
 impl ThermalModel for GridThermal {
     fn set_chip_power_w(&mut self, watts: f64) {
         GridThermal::set_chip_power_w(self, watts);

@@ -46,9 +46,13 @@
 //!   shed cores, with the hotspot-aware controller policy) on local
 //!   heating the lumped models cannot represent. Pick it when spatial
 //!   questions matter: how many cores may sprint, which ones, and what
-//!   the die gradient looks like. It costs roughly `cells x layers`
-//!   flops per sub-step, so keep grids modest (8x8 is plenty) in
-//!   debug-build test runs.
+//!   the die gradient looks like. Two integration schemes are
+//!   available ([`grid::GridSolver`]): the bit-stable explicit default,
+//!   and a semi-implicit ADI solver whose sub-step does not shrink with
+//!   the grid resolution — at 32x32 it is >10x faster at matched
+//!   (<0.1 K) accuracy, which is what makes fine grids and rack-scale
+//!   floorplans practical. See the "Choosing a solver" section of the
+//!   [`grid`] module docs.
 //!
 //! The two agree by construction where they overlap: a 1x1-cell-per-layer
 //! grid reproduces the lumped chain (see
@@ -66,6 +70,7 @@
 //! * [`grid`] — the HotSpot-style multi-layer grid backend.
 //! * [`analysis`] — sprint and cooldown transients (Figure 4).
 //! * [`trace`] — time-series recording.
+//! * [`tridiag`] — the O(n) Thomas solver behind the ADI sweeps.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -79,6 +84,7 @@ pub mod node;
 pub mod phone;
 pub mod solver;
 pub mod trace;
+pub mod tridiag;
 
 pub use analysis::{
     cooldown_rule_of_thumb_s, pcm_mass_for_sprint_g, simulate_cooldown, simulate_sprint,
@@ -86,9 +92,10 @@ pub use analysis::{
 };
 pub use circuit::{NodeId, ThermalNetwork};
 pub use floorplan::{CoreRect, Floorplan};
-pub use grid::{GridLayer, GridThermal, GridThermalParams, LayerPhase};
+pub use grid::{GridLayer, GridSolver, GridThermal, GridThermalParams, LayerPhase};
 pub use material::Material;
 pub use node::{PhaseChange, StorageNode};
 pub use phone::{BoardPath, PhoneThermal, PhoneThermalParams};
 pub use solver::TransientSolver;
 pub use trace::{Trace, TracePoint};
+pub use tridiag::Tridiag;

@@ -1,0 +1,212 @@
+//! Thomas-algorithm solver for tridiagonal linear systems.
+//!
+//! The ADI grid solver ([`crate::grid`]) reduces each implicit sweep to
+//! one tridiagonal system per grid line (a row, a column, or a vertical
+//! layer stack), solved in O(n) time and O(n) scratch. A dense
+//! factorization such as `powergrid::linalg::LuFactor` is the wrong tool
+//! here on every axis: it stores the full `n x n` matrix (the ADI
+//! systems are three-diagonal, everything else is structurally zero),
+//! factors in O(n^3), and must refactor whenever a coefficient changes —
+//! but the ADI coefficients change *every sub-step* (the PCM phase-state
+//! linearization moves cells between sensible and plateau rows), so
+//! nothing would ever amortize. Thomas is the textbook O(n) elimination
+//! specialized to this band structure, and [`Tridiag`] keeps its two
+//! scratch vectors alive across calls so the per-line solve allocates
+//! nothing.
+//!
+//! No pivoting is performed; the caller must supply a system with
+//! non-vanishing pivots. Diagonally dominant systems (every implicit
+//! heat-conduction step produces one: `diag = C + dt * sum(G)` against
+//! off-diagonals `-dt * G`) are always safe.
+
+/// A reusable Thomas solver. Holds the forward-elimination scratch so
+/// repeated solves (one per grid line per sweep) allocate nothing after
+/// the first call at a given size.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tridiag {
+    /// Modified super-diagonal coefficients.
+    cp: Vec<f64>,
+    /// Modified right-hand side.
+    dp: Vec<f64>,
+}
+
+impl Tridiag {
+    /// Creates a solver with no pre-reserved scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with scratch pre-reserved for systems up to
+    /// `n` unknowns.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            cp: Vec::with_capacity(n),
+            dp: Vec::with_capacity(n),
+        }
+    }
+
+    /// Solves the tridiagonal system `A x = rhs` into `x`.
+    ///
+    /// Row `i` of `A` is `sub[i] * x[i-1] + diag[i] * x[i] + sup[i] *
+    /// x[i+1] = rhs[i]`; `sub[0]` and `sup[n-1]` are ignored. All slices
+    /// must have the same non-zero length. The inputs are not modified,
+    /// so a caller may keep constant coefficient arrays across lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ or the system is empty.
+    /// Numerical validity (non-vanishing pivots) is the caller's
+    /// contract; a zero pivot yields non-finite output rather than a
+    /// panic.
+    pub fn solve(&mut self, sub: &[f64], diag: &[f64], sup: &[f64], rhs: &[f64], x: &mut [f64]) {
+        let n = diag.len();
+        assert!(n > 0, "empty tridiagonal system");
+        assert!(
+            sub.len() == n && sup.len() == n && rhs.len() == n && x.len() == n,
+            "tridiagonal slice lengths must match"
+        );
+        self.cp.clear();
+        self.cp.resize(n, 0.0);
+        self.dp.clear();
+        self.dp.resize(n, 0.0);
+        let m0 = 1.0 / diag[0];
+        self.cp[0] = sup[0] * m0;
+        self.dp[0] = rhs[0] * m0;
+        for i in 1..n {
+            // One reciprocal per row: the two eliminations share it.
+            let m = 1.0 / (diag[i] - sub[i] * self.cp[i - 1]);
+            self.cp[i] = sup[i] * m;
+            self.dp[i] = (rhs[i] - sub[i] * self.dp[i - 1]) * m;
+        }
+        x[n - 1] = self.dp[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = self.dp[i] - self.cp[i] * x[i + 1];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `A x` for a tridiagonal `A` given as (sub, diag, sup).
+    fn apply(sub: &[f64], diag: &[f64], sup: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = diag.len();
+        (0..n)
+            .map(|i| {
+                let mut v = diag[i] * x[i];
+                if i > 0 {
+                    v += sub[i] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += sup[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solves_a_scalar_system() {
+        let mut t = Tridiag::new();
+        let mut x = [0.0];
+        t.solve(&[0.0], &[4.0], &[0.0], &[8.0], &mut x);
+        assert!((x[0] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solves_a_known_3x3_system() {
+        // [ 2 -1  0 ] [x0]   [1]
+        // [-1  2 -1 ] [x1] = [0]   => x = [3/4, 1/2, 1/4]
+        // [ 0 -1  2 ] [x2]   [0]
+        let mut t = Tridiag::new();
+        let mut x = [0.0; 3];
+        t.solve(
+            &[0.0, -1.0, -1.0],
+            &[2.0, 2.0, 2.0],
+            &[-1.0, -1.0, 0.0],
+            &[1.0, 0.0, 0.0],
+            &mut x,
+        );
+        for (got, want) in x.iter().zip([0.75, 0.5, 0.25]) {
+            assert!((got - want).abs() < 1e-14, "got {x:?}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_rows_pass_through() {
+        // A "plateau" row (diag 1, zero couplings) must return its rhs
+        // exactly, while neighbours still feel its fixed value.
+        let n = 5;
+        let sub = vec![-0.3; n];
+        let mut diag = vec![2.0; n];
+        let mut sup = vec![-0.3; n];
+        let mut rhs = vec![1.0; n];
+        diag[2] = 1.0;
+        sup[2] = 0.0;
+        rhs[2] = 42.0;
+        let mut sub2 = sub.clone();
+        sub2[2] = 0.0;
+        let mut x = vec![0.0; n];
+        Tridiag::new().solve(&sub2, &diag, &sup, &rhs, &mut x);
+        assert!((x[2] - 42.0).abs() < 1e-12);
+        let back = apply(&sub2, &diag, &sup, &x);
+        for (got, want) in back.iter().zip(rhs.iter()) {
+            assert!((got - want).abs() < 1e-10, "residual too large: {back:?}");
+        }
+    }
+
+    #[test]
+    fn random_diagonally_dominant_systems_round_trip() {
+        // Deterministic LCG coefficients: no external PRNG needed, and
+        // the residual check catches any indexing slip.
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
+        };
+        let mut solver = Tridiag::with_capacity(33);
+        for n in 1..=33usize {
+            let mut sub = vec![0.0; n];
+            let mut diag = vec![0.0; n];
+            let mut sup = vec![0.0; n];
+            let mut rhs = vec![0.0; n];
+            for i in 0..n {
+                if i > 0 {
+                    sub[i] = next();
+                }
+                if i + 1 < n {
+                    sup[i] = next();
+                }
+                // Strict dominance keeps the pivots healthy.
+                diag[i] = 2.5 + next().abs() + sub[i].abs() + sup[i].abs();
+                rhs[i] = 10.0 * next();
+            }
+            let mut x = vec![0.0; n];
+            solver.solve(&sub, &diag, &sup, &rhs, &mut x);
+            let back = apply(&sub, &diag, &sup, &x);
+            for i in 0..n {
+                assert!(
+                    (back[i] - rhs[i]).abs() < 1e-9,
+                    "n={n} row {i}: residual {}",
+                    back[i] - rhs[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tridiagonal system")]
+    fn empty_system_rejected() {
+        Tridiag::new().solve(&[], &[], &[], &[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice lengths must match")]
+    fn mismatched_lengths_rejected() {
+        let mut x = [0.0; 2];
+        Tridiag::new().solve(&[0.0], &[1.0, 1.0], &[0.0, 0.0], &[1.0, 1.0], &mut x);
+    }
+}

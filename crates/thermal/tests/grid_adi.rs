@@ -1,0 +1,202 @@
+//! ADI solver validation: equivalence against the explicit reference on
+//! sprint-and-rest cycles, unconditional stability at sub-steps far
+//! beyond the explicit bound, exact conservation through melt, and the
+//! sub-step time-accounting regression.
+
+use sprint_thermal::grid::{GridSolver, GridThermal, GridThermalParams};
+
+/// Drives both solvers through one sprint-and-rest cycle with the same
+/// power schedule, sampling every `sample_dt` seconds, and returns the
+/// largest junction-temperature disagreement seen, Kelvin.
+fn max_junction_dev(
+    params: GridThermalParams,
+    sprint_w: f64,
+    sprint_s: f64,
+    rest_s: f64,
+    sample_dt: f64,
+) -> f64 {
+    let mut explicit = params.clone().with_solver(GridSolver::Explicit).build();
+    let mut adi = params.with_solver(GridSolver::Adi).build();
+    let total = sprint_s + rest_s;
+    let steps = (total / sample_dt).round() as usize;
+    let mut worst = 0.0f64;
+    for k in 0..steps {
+        let t = k as f64 * sample_dt;
+        let p = if t < sprint_s { sprint_w } else { 0.0 };
+        explicit.set_chip_power_w(p);
+        adi.set_chip_power_w(p);
+        explicit.advance(sample_dt);
+        adi.advance(sample_dt);
+        worst = worst.max((explicit.junction_temp_c() - adi.junction_temp_c()).abs());
+    }
+    worst
+}
+
+#[test]
+fn adi_matches_explicit_on_8x8_sprint_and_rest() {
+    let dev = max_junction_dev(GridThermalParams::hpca_like(), 16.0, 0.4, 0.6, 0.01);
+    assert!(
+        dev < 0.1,
+        "8x8 ADI junction must track explicit within 0.1 K, got {dev:.4} K"
+    );
+}
+
+/// The fine-grid case the ADI solver exists for. The explicit reference
+/// needs ~100x more sub-steps here, so the test only runs in release
+/// builds (the perf-smoke CI job covers it on every push).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "explicit 32x32 reference is release-only")]
+fn adi_matches_explicit_on_32x32_sprint_and_rest() {
+    let params = GridThermalParams::hpca_like().with_grid(32, 32);
+    let dev = max_junction_dev(params, 16.0, 0.4, 0.6, 0.01);
+    assert!(
+        dev < 0.1,
+        "32x32 ADI junction must track explicit within 0.1 K, got {dev:.4} K"
+    );
+}
+
+/// A 1x1 grid is the lumped chain; the ADI z-sweep alone must integrate
+/// it to the same trajectory as the explicit scheme.
+#[test]
+fn adi_matches_explicit_on_the_lumped_equivalent_chain() {
+    use sprint_thermal::phone::PhoneThermalParams;
+    let mut phone = PhoneThermalParams::hpca();
+    phone.board_path = None;
+    let params = GridThermalParams::phone_equivalent(&phone);
+    let dev = max_junction_dev(params, 16.0, 0.8, 1.2, 0.02);
+    assert!(
+        dev < 0.1,
+        "1x1 ADI must track the explicit chain within 0.1 K, got {dev:.4} K"
+    );
+}
+
+/// The whole point of the implicit sweeps: sub-steps 100x beyond the
+/// explicit stability bound must stay stable — finite, bounded by the
+/// physics, and relaxing once power is cut — where forward Euler would
+/// blow up within a handful of steps.
+#[test]
+fn adi_is_stable_at_100x_the_explicit_sub_step() {
+    let params = GridThermalParams::hpca_like().with_grid(32, 32);
+    let explicit_bound = params.clone().build().sub_step_s();
+    let mut g = params.with_solver(GridSolver::Adi).build();
+    // One hundred explicit sub-steps per advance — far beyond anywhere
+    // forward Euler could survive. The ADI accuracy bound itself must
+    // sit way above the explicit stability bound at this resolution
+    // (that decoupling is the point of the solver).
+    let dt = 100.0 * explicit_bound;
+    assert!(
+        g.adi_sub_step_s() > 50.0 * explicit_bound,
+        "32x32 ADI bound must dwarf the explicit bound ({:.3e} vs {:.3e})",
+        g.adi_sub_step_s(),
+        explicit_bound
+    );
+    g.set_chip_power_w(16.0);
+    let ceiling = g.ambient_c() + 16.0 * g.params().series_resistance_k_per_w() + 1.0;
+    for _ in 0..400 {
+        g.advance(dt);
+        let t = g.junction_temp_c();
+        assert!(
+            t.is_finite() && t < ceiling,
+            "implicit step diverged: junction {t} C"
+        );
+    }
+    let hot = g.junction_temp_c();
+    assert!(hot > 45.0, "the sprint must actually heat the die: {hot} C");
+    g.set_chip_power_w(0.0);
+    let mut prev = g.junction_temp_c();
+    for _ in 0..200 {
+        g.advance(dt);
+        let now = g.junction_temp_c();
+        assert!(
+            now <= prev + 1e-9,
+            "zero-power relaxation must not oscillate: {now} after {prev}"
+        );
+        prev = now;
+    }
+}
+
+/// Conservation through a full melt-and-refreeze: the flux-form
+/// enthalpy correction keeps injected == stored + absorbed to roundoff,
+/// exactly like the explicit solver.
+#[test]
+fn adi_conserves_energy_through_melt_and_refreeze() {
+    let mut g = GridThermalParams::hpca_like()
+        .with_solver(GridSolver::Adi)
+        .build();
+    let e0 = g.total_stored_enthalpy_j();
+    g.set_chip_power_w(18.0);
+    g.advance(0.9);
+    assert!(g.melt_fraction() > 0.05, "the sprint must start the melt");
+    g.set_chip_power_w(0.0);
+    g.advance(4.0);
+    let injected = 18.0 * 0.9;
+    let stored = g.total_stored_enthalpy_j() - e0;
+    let absorbed = g.boundary_absorbed_j();
+    assert!(
+        (stored + absorbed - injected).abs() < 1e-8 * injected,
+        "stored {stored} + absorbed {absorbed} != injected {injected}"
+    );
+}
+
+/// Regression for the `time_s` drift: the clock must equal the sum of
+/// the sub-steps actually integrated, not the sum of the requested
+/// `dt_s` values (the two differ in the last bits when `dt / steps`
+/// rounds, and the old accounting let them diverge over long runs).
+#[test]
+fn advance_accounts_time_from_actual_sub_steps() {
+    let mut g = GridThermalParams::hpca_like().build();
+    let bound = g.sub_step_s();
+    let mut expected = 0.0f64;
+    // Awkward dt values guarantee dt / steps is inexact.
+    for k in 1..200u64 {
+        let dt = 0.013 + 1e-4 * (k % 7) as f64;
+        let steps = (dt / bound).ceil().max(1.0) as u64;
+        let sub = dt / steps as f64;
+        for _ in 0..steps {
+            expected += sub;
+        }
+        g.advance(dt);
+    }
+    assert_eq!(
+        g.time_s(),
+        expected,
+        "time_s must accumulate from the integrated sub-steps"
+    );
+    // And it cannot stray measurably from the naive sum either.
+    let naive: f64 = (1..200u64).map(|k| 0.013 + 1e-4 * (k % 7) as f64).sum();
+    assert!((g.time_s() - naive).abs() < 1e-9);
+}
+
+/// ADI honours the shared invariants the explicit property tests pin:
+/// zero-power relaxation never overshoots ambient anywhere on the grid.
+#[test]
+fn adi_relaxation_stays_monotone_through_the_refreeze_plateau() {
+    let mut g = GridThermalParams::hpca_like()
+        .with_grid(16, 16)
+        .with_solver(GridSolver::Adi)
+        .build();
+    g.set_chip_power_w(16.0);
+    g.advance(0.6);
+    g.set_chip_power_w(0.0);
+    let deviation = |g: &GridThermal| {
+        let mut worst = 0.0f64;
+        for layer in 0..g.layer_count() {
+            for y in 0..g.params().ny {
+                for x in 0..g.params().nx {
+                    worst = worst.max((g.cell_temp_c(layer, x, y) - 25.0).abs());
+                }
+            }
+        }
+        worst
+    };
+    let mut prev = deviation(&g);
+    for _ in 0..30 {
+        g.advance(0.25);
+        let now = deviation(&g);
+        assert!(
+            now <= prev + 1e-9,
+            "deviation must not grow with zero power: {now} after {prev}"
+        );
+        prev = now;
+    }
+}

@@ -6,7 +6,7 @@
 //! scheme changed and intentional changes must update the table.
 
 use sprint_thermal::floorplan::Floorplan;
-use sprint_thermal::grid::{GridLayer, GridThermalParams, LayerPhase};
+use sprint_thermal::grid::{GridLayer, GridSolver, GridThermalParams, LayerPhase};
 
 /// A 2x2, three-layer stack with one off-center core: small enough to
 /// eyeball, asymmetric enough to exercise lateral conduction, melting
@@ -35,6 +35,8 @@ fn golden_params() -> GridThermalParams {
         ],
         r_sink_ambient_k_per_w: 2.0,
         stability_fraction: 0.2,
+        // The golden table pins the explicit scheme's bit pattern.
+        solver: GridSolver::Explicit,
     }
 }
 

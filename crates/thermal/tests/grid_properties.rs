@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use sprint_thermal::floorplan::Floorplan;
-use sprint_thermal::grid::{GridLayer, GridThermalParams};
+use sprint_thermal::grid::{GridLayer, GridSolver, GridThermalParams};
 
 /// A randomly-sized sensible three-layer stack with a full-die core:
 /// uniform power, so the grid must behave exactly like the series chain.
@@ -29,6 +29,7 @@ fn uniform_stack(
         ],
         r_sink_ambient_k_per_w: sink_r,
         stability_fraction: 0.2,
+        solver: GridSolver::Explicit,
     }
 }
 
@@ -70,6 +71,74 @@ proptest! {
         heat_time in 0.1f64..0.8,
     ) {
         let mut g = GridThermalParams::hpca_like().with_grid(4, 4).build();
+        g.set_chip_power_w(heat_power);
+        g.advance(heat_time);
+        g.set_chip_power_w(0.0);
+        let deviation = |g: &sprint_thermal::grid::GridThermal| {
+            let mut worst = 0.0f64;
+            for layer in 0..g.layer_count() {
+                for y in 0..g.params().ny {
+                    for x in 0..g.params().nx {
+                        worst = worst.max((g.cell_temp_c(layer, x, y) - 25.0).abs());
+                    }
+                }
+            }
+            worst
+        };
+        let mut prev = deviation(&g);
+        for _ in 0..15 {
+            g.advance(0.2);
+            let now = deviation(&g);
+            prop_assert!(
+                now <= prev + 1e-9,
+                "deviation must not grow with zero power: {now} after {prev}"
+            );
+            prev = now;
+        }
+    }
+
+    /// The ADI solver shares the explicit scheme's conservation
+    /// invariant bit-for-bit in spirit: its enthalpy updates are
+    /// antisymmetric post-sweep fluxes, so injected == stored +
+    /// absorbed to roundoff for arbitrary powers, durations, grids and
+    /// active-core counts — even mid-melt.
+    #[test]
+    fn adi_grid_conserves_energy(
+        power in 0.0f64..24.0,
+        duration in 0.05f64..0.3,
+        nx in 2usize..7,
+        ny in 2usize..7,
+        active in 1usize..17,
+    ) {
+        let mut g = GridThermalParams::hpca_like()
+            .with_grid(nx, ny)
+            .with_solver(GridSolver::Adi)
+            .build();
+        let e0 = g.total_stored_enthalpy_j();
+        g.set_active_cores(active);
+        g.set_chip_power_w(power);
+        g.advance(duration);
+        let injected = power * duration;
+        let stored = g.total_stored_enthalpy_j() - e0;
+        let absorbed = g.boundary_absorbed_j();
+        prop_assert!(
+            (stored + absorbed - injected).abs() <= 1e-8 * injected.max(1.0),
+            "stored {stored} + absorbed {absorbed} != injected {injected}"
+        );
+    }
+
+    /// Backward-Euler factors are L-stable: with zero power the ADI
+    /// solver must relax monotonically too, plateau refreeze included,
+    /// despite taking sub-steps far beyond the explicit bound.
+    #[test]
+    fn adi_grid_relaxes_monotonically_to_ambient(
+        heat_power in 4.0f64..20.0,
+        heat_time in 0.1f64..0.8,
+    ) {
+        let mut g = GridThermalParams::hpca_like()
+            .with_grid(4, 4)
+            .with_solver(GridSolver::Adi)
+            .build();
         g.set_chip_power_w(heat_power);
         g.advance(heat_time);
         g.set_chip_power_w(0.0);

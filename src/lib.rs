@@ -71,7 +71,7 @@ pub mod prelude {
     };
     pub use sprint_powersource::{Battery, HybridSupply, PackagePins, Ultracapacitor};
     pub use sprint_thermal::{
-        Floorplan, GridThermal, GridThermalParams, PhoneThermal, PhoneThermalParams,
+        Floorplan, GridSolver, GridThermal, GridThermalParams, PhoneThermal, PhoneThermalParams,
     };
     pub use sprint_workloads::{
         build_workload, loaded_machine, suite_loader, InputSize, Workload, WorkloadKind,

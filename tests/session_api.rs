@@ -300,3 +300,58 @@ fn session_runs_on_a_non_phone_backend() {
     assert!(report.finished);
     assert!(report.max_junction_c <= 85.0);
 }
+
+/// Solver plumbing end-to-end: the same hotspot-gated sprint session on
+/// the ADI grid backend reproduces the explicit backend's controller
+/// decisions — sprint end, shed count and peak junction — because the
+/// two solvers agree to well under the controller's decision margins.
+#[test]
+fn adi_grid_session_matches_explicit_grid_session() {
+    let run = |solver: GridSolver| {
+        let mut cfg = SprintConfig::hpca_parallel();
+        cfg.hotspot = HotspotPolicy::ShedCores {
+            start_headroom_k: 3.0,
+            min_cores: 4,
+        };
+        let mut session = ScenarioBuilder::new()
+            .machine(MachineConfig::hpca())
+            .load(suite_loader(WorkloadKind::Sobel, InputSize::C, 16))
+            .thermal(
+                GridThermalParams::hpca_like()
+                    .with_solver(solver)
+                    .time_scaled(600.0)
+                    .build(),
+            )
+            .config(cfg)
+            .trace_capacity(0)
+            .build();
+        session.run_to_completion();
+        session.report()
+    };
+    let explicit = run(GridSolver::Explicit);
+    let adi = run(GridSolver::Adi);
+    assert!(explicit.finished && adi.finished);
+    let ex_end = explicit.sprint_end_s.unwrap_or(explicit.completion_s);
+    let adi_end = adi.sprint_end_s.unwrap_or(adi.completion_s);
+    assert!(
+        (ex_end - adi_end).abs() <= 0.05 * ex_end.max(adi_end),
+        "sprint ends must agree within 5%: explicit {ex_end:.6} vs adi {adi_end:.6}"
+    );
+    assert!(
+        (explicit.max_junction_c - adi.max_junction_c).abs() < 0.25,
+        "peak junctions must agree: {:.3} vs {:.3}",
+        explicit.max_junction_c,
+        adi.max_junction_c
+    );
+    let sheds = |r: &RunReport| {
+        r.events
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::HotspotShed { .. }))
+            .count()
+    };
+    assert_eq!(
+        sheds(&explicit),
+        sheds(&adi),
+        "the throttle must shed the same number of times on either solver"
+    );
+}
