@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use sprint_bench::{figs_arch, figs_grid, figs_model, figs_perf};
+use sprint_bench::{figs_arch, figs_grid, figs_model, figs_perf, figs_rack};
 use sprint_workloads::suite::InputSize;
 
 struct Options {
@@ -57,7 +57,7 @@ fn main() {
             "usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--size A|B|C|D]"
         );
         eprintln!(
-            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf"
+            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf rack"
         );
         eprintln!("             ablation_tmelt ablation_metal ablation_budget ablation_abort ablation_pacing");
         std::process::exit(2);
@@ -78,6 +78,7 @@ fn main() {
             "power",
             "grid",
             "perf",
+            "rack",
             "ablation_tmelt",
             "ablation_metal",
             "ablation_budget",
@@ -106,6 +107,7 @@ fn main() {
             "power" | "table_power" => figs_model::table_power(),
             "grid" | "fig_grid" => figs_grid::fig_grid(),
             "perf" | "fig_perf" => figs_perf::fig_perf(opts.quick, opts.full),
+            "rack" | "fig_rack" => figs_rack::fig_rack(),
             "ablation_tmelt" => figs_model::ablation_tmelt(),
             "ablation_metal" => figs_model::ablation_metal(),
             "ablation_budget" => figs_arch::ablation_budget(),

@@ -94,6 +94,81 @@ pub fn run_cases(resolutions: &[usize]) -> Vec<PerfCase> {
     resolutions.iter().map(|&n| run_case(n)).collect()
 }
 
+/// The rack-scale point: a 4x4-server rack (32x32 grid, two PCM-free
+/// layers — every ADI line factorization is cached) through the same
+/// sprint-and-rest cycle shape, with a quarter of the nodes sprinting
+/// at 16 W over a 1 W sustained floor. ADI is always measured (it is
+/// what makes this scale practical); the explicit reference is
+/// optional because at rack resolution it costs seconds per cycle —
+/// which is the point the comparison makes.
+#[derive(Debug, Clone)]
+pub struct RackPerfCase {
+    /// Servers on the rack floorplan.
+    pub nodes: usize,
+    /// Grid edge (the rack floor is `n x n`).
+    pub n: usize,
+    /// Total cell count.
+    pub cells: usize,
+    /// ADI wall-clock for the cycle, milliseconds.
+    pub adi_ms: f64,
+    /// ADI accuracy sub-step, seconds.
+    pub adi_sub_step_s: f64,
+    /// Explicit wall-clock, milliseconds (measured with `--full` only).
+    pub explicit_ms: Option<f64>,
+    /// `explicit_ms / adi_ms` when the reference was measured.
+    pub speedup: Option<f64>,
+}
+
+/// Drives the rack power pattern for one cycle: nodes 0..nodes/4
+/// sprint at 16 W during the sprint phase, everyone else holds a 1 W
+/// sustained floor throughout.
+fn drive_rack(g: &mut GridThermal, nodes: usize) -> f64 {
+    let steps = ((SPRINT_S + REST_S) / SAMPLE_DT_S).round() as usize;
+    let sprinters = (nodes / 4).max(1);
+    let start = Instant::now();
+    for k in 0..steps {
+        let t = k as f64 * SAMPLE_DT_S;
+        let sprinting = t < SPRINT_S;
+        for node in 0..nodes {
+            let w = if sprinting && node < sprinters {
+                SPRINT_W
+            } else {
+                1.0
+            };
+            g.set_core_power_w(node, w);
+        }
+        g.advance(SAMPLE_DT_S);
+        std::hint::black_box(g.junction_temp_c());
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Measures the rack-scale point (see [`RackPerfCase`]).
+pub fn run_rack_case(measure_explicit: bool) -> RackPerfCase {
+    let params = GridThermalParams::rack(4, 4);
+    let nodes = params.floorplan.core_count();
+    let n = params.nx;
+    let mut adi = params.clone().with_solver(GridSolver::Adi).build();
+    let cells = adi.cells_per_layer() * adi.layer_count();
+    let adi_ms = drive_rack(&mut adi, nodes);
+    let (explicit_ms, speedup) = if measure_explicit {
+        let mut explicit = params.with_solver(GridSolver::Explicit).build();
+        let ms = drive_rack(&mut explicit, nodes);
+        (Some(ms), Some(ms / adi_ms))
+    } else {
+        (None, None)
+    };
+    RackPerfCase {
+        nodes,
+        n,
+        cells,
+        adi_ms,
+        adi_sub_step_s: adi.adi_sub_step_s(),
+        explicit_ms,
+        speedup,
+    }
+}
+
 /// Grid resolutions for a run: `--quick` trims to the CI pair, `--full`
 /// adds the 64x64 rack-scale preview (explicit there is minutes of
 /// wall-clock — the point the figure makes).
@@ -130,7 +205,7 @@ pub fn bench_json_path(quick: bool) -> PathBuf {
 
 /// Serializes the cases to the `BENCH_grid.json` schema (hand-rolled:
 /// the vendored serde is a no-op stand-in).
-pub fn bench_json(cases: &[PerfCase]) -> String {
+pub fn bench_json(cases: &[PerfCase], rack: Option<&RackPerfCase>) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"grid_solver_perf\",\n");
     out.push_str("  \"stack\": \"hpca_like (die/pcm/spreader, 4x4 core floorplan)\",\n");
@@ -155,7 +230,31 @@ pub fn bench_json(cases: &[PerfCase]) -> String {
             comma = if k + 1 < cases.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(r) = rack {
+        out.push_str(",\n");
+        let explicit = match r.explicit_ms {
+            Some(ms) => format!(", \"explicit_ms\": {ms:.3}"),
+            None => String::new(),
+        };
+        let speedup = match r.speedup {
+            Some(s) => format!(", \"speedup\": {s:.2}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  \"rack_case\": {{\"stack\": \"rack 4x4 servers (servers/plenum, PCM-free)\", \
+             \"nodes\": {nodes}, \"grid\": \"{n}x{n}x2\", \"cells\": {cells}, \
+             \"adi_ms\": {adi_ms:.3}, \"adi_sub_step_s\": {adi_sub:.3e}{explicit}{speedup}}}\n",
+            nodes = r.nodes,
+            n = r.n,
+            cells = r.cells,
+            adi_ms = r.adi_ms,
+            adi_sub = r.adi_sub_step_s,
+        ));
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -222,8 +321,30 @@ pub fn fig_perf_cases(quick: bool, full: bool) -> (Vec<PerfCase>, String) {
             l = last.n,
         ));
     }
+    // The rack-scale point: PCM-free stack, so the cached tridiagonal
+    // factorizations cover every ADI line (rows, columns and the
+    // shared vertical stack). The explicit reference only runs under
+    // --full — at this resolution it is seconds per cycle, which is
+    // the cost the ADI solver removed.
+    let rack = run_rack_case(full);
+    match (rack.explicit_ms, rack.speedup) {
+        (Some(ex), Some(s)) => out.push_str(&format!(
+            "rack 4x4 ({nodes} servers, {n}x{n}x2, fully cached ADI): {adi:.1} ms vs \
+             explicit {ex:.1} ms — {s:.1}x\n",
+            nodes = rack.nodes,
+            n = rack.n,
+            adi = rack.adi_ms,
+        )),
+        _ => out.push_str(&format!(
+            "rack 4x4 ({nodes} servers, {n}x{n}x2, fully cached ADI): {adi:.1} ms per \
+             sprint-and-rest cycle\n",
+            nodes = rack.nodes,
+            n = rack.n,
+            adi = rack.adi_ms,
+        )),
+    }
     let path = bench_json_path(quick);
-    match std::fs::write(&path, bench_json(&cases)) {
+    match std::fs::write(&path, bench_json(&cases, Some(&rack))) {
         Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
         Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
     }
@@ -254,8 +375,22 @@ mod tests {
     #[test]
     fn bench_json_is_wellformed_enough() {
         let cases = vec![run_case(8)];
-        let json = bench_json(&cases);
+        let json = bench_json(&cases, None);
         assert!(json.contains("\"grid\": \"8x8x3\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn rack_case_lands_in_the_json() {
+        let cases = vec![run_case(8)];
+        let rack = run_rack_case(false);
+        assert_eq!(rack.nodes, 16);
+        assert_eq!(rack.n, 32);
+        assert!(rack.adi_ms > 0.0);
+        assert!(rack.explicit_ms.is_none(), "explicit is a --full extra");
+        let json = bench_json(&cases, Some(&rack));
+        assert!(json.contains("\"rack_case\""));
+        assert!(json.contains("\"grid\": \"32x32x2\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

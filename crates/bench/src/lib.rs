@@ -18,6 +18,7 @@
 //! repro power       # Section 6 power-source table
 //! repro grid        # lumped vs grid backend, hotspot throttle
 //! repro perf        # explicit vs ADI grid-solver wall-clock sweep
+//! repro rack        # cluster sprint admission on a 16-server rack
 //! repro ablation_tmelt | ablation_metal | ablation_budget | ablation_abort | ablation_pacing
 //! ```
 
@@ -27,6 +28,7 @@ pub mod figs_arch;
 pub mod figs_grid;
 pub mod figs_model;
 pub mod figs_perf;
+pub mod figs_rack;
 pub mod harness;
 pub mod output;
 

@@ -1,0 +1,704 @@
+//! The lockstep cluster stepper: many node sessions, one rack, one
+//! admission scheduler.
+//!
+//! [`ClusterSession`] drives one [`SprintSession`] per server node
+//! against a shared [`RackThermal`] grid, in lockstep sampling windows.
+//! Each window the scheduler:
+//!
+//! 1. moves newly-arrived tasks into the ready queue;
+//! 2. assigns ready tasks to idle nodes, asking the [`ClusterPolicy`]
+//!    whether each task may *sprint* (the node's session is re-armed
+//!    under the sprint or the sustained configuration accordingly, via
+//!    `SprintSession::set_config` + `begin_burst`);
+//! 3. runs the shed pass: if the rack-global headroom has shrunk below
+//!    the policy's allowance for the current sprinting population,
+//!    nodes are preempted (`SprintSession::preempt_sprint`) in the
+//!    policy's shed *order* — hottest-first, rotation order, … — the
+//!    cluster generalization of `HotspotPolicy::ShedCores`'s count
+//!    ramp;
+//! 4. steps every busy node by one window and rests every idle node
+//!    (idle nodes cool and keep the lockstep clock), in node-index
+//!    order, so the whole simulation is deterministic.
+//!
+//! A one-node cluster under [`ClusterPolicy::AllSprint`] performs
+//! exactly the calls a standalone session makes, in the same order, so
+//! it reproduces the standalone run byte-for-byte — the equivalence
+//! test in `tests/cluster_api.rs` pins this.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use sprint_archsim::config::MachineConfig;
+use sprint_archsim::machine::Machine;
+use sprint_core::config::{ExecutionMode, SprintConfig};
+use sprint_core::controller::SprintState;
+use sprint_core::session::{RunReport, SprintSession, StepOutcome};
+use sprint_core::supply::IdealSupply;
+use sprint_core::thermal_model::ThermalModel;
+use sprint_thermal::grid::GridThermalParams;
+use sprint_workloads::suite::suite_loader;
+
+use crate::policy::ClusterPolicy;
+use crate::queue::{ClusterTask, TaskOutcome};
+use crate::rack::{NodeThermalView, RackThermal};
+
+/// What one [`ClusterSession::step`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterOutcome {
+    /// A window ran; tasks remain in flight or in the queue.
+    Running,
+    /// Every task has completed; further steps are no-ops.
+    Drained,
+    /// The cluster time limit elapsed with tasks outstanding.
+    TimeLimit,
+}
+
+impl ClusterOutcome {
+    /// True once stepping can make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, ClusterOutcome::Running)
+    }
+}
+
+/// Scheduler decisions, recorded for traces and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClusterEvent {
+    /// A task started on a node with sprint admission.
+    SprintAdmitted {
+        /// Node index.
+        node: usize,
+        /// Task index.
+        task: usize,
+        /// Decision time, seconds.
+        at_s: f64,
+    },
+    /// A task started on a node in sustained mode (admission denied).
+    SprintDenied {
+        /// Node index.
+        node: usize,
+        /// Task index.
+        task: usize,
+        /// Decision time, seconds.
+        at_s: f64,
+    },
+    /// The shed pass preempted a sprinting node.
+    NodeShed {
+        /// Node index.
+        node: usize,
+        /// Decision time, seconds.
+        at_s: f64,
+        /// Rack-global headroom at the decision, Kelvin.
+        rack_headroom_k: f64,
+    },
+}
+
+/// One server node's scheduling state.
+struct Node {
+    session: SprintSession<NodeThermalView, IdealSupply>,
+    /// Task currently running, if any.
+    task: Option<usize>,
+    /// When the current task started, seconds.
+    assigned_s: f64,
+    /// Whether the current task was admitted to sprint (sticky for the
+    /// task's outcome even if the shed pass later preempts the node).
+    sprinted: bool,
+}
+
+/// Summary of a cluster run. Callable mid-run; an unfinished run simply
+/// reports the completions so far.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Completion time of the last finished task, seconds (0 if none).
+    pub makespan_s: f64,
+    /// Tasks completed.
+    pub completed: usize,
+    /// Tasks submitted.
+    pub total_tasks: usize,
+    /// Mean task latency (arrival to completion), seconds (NaN if no
+    /// task completed).
+    pub mean_latency_s: f64,
+    /// Worst task latency, seconds (0 if none).
+    pub max_latency_s: f64,
+    /// Hottest rack cell observed over the run, Celsius.
+    pub peak_junction_c: f64,
+    /// Tasks at least one of whose copies started with sprint
+    /// admission (each task counts once, however many copies ran; the
+    /// per-copy decisions are in the event log).
+    pub admitted_sprints: usize,
+    /// Tasks started none of whose copies was admitted (sustained).
+    pub denied_sprints: usize,
+    /// Shed-pass preemptions.
+    pub sheds: usize,
+    /// Per-task outcomes, in completion order.
+    pub outcomes: Vec<TaskOutcome>,
+    /// Per-node coupled reports.
+    pub node_reports: Vec<RunReport>,
+}
+
+/// Composes a rack, per-node machines, a policy and a task queue into a
+/// [`ClusterSession`].
+pub struct ClusterBuilder {
+    rack_params: GridThermalParams,
+    machine_config: MachineConfig,
+    config: SprintConfig,
+    policy: ClusterPolicy,
+    tasks: Vec<ClusterTask>,
+    trace_capacity: usize,
+    max_time_s: f64,
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("nodes", &self.rack_params.floorplan.core_count())
+            .field("policy", &self.policy)
+            .field("tasks", &self.tasks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterBuilder {
+    /// Starts from a rack parameter set (typically
+    /// `GridThermalParams::rack(cols, rows)`, time-scaled to taste);
+    /// one node per floorplan core. Defaults: the paper's 16-core
+    /// machine per node, `SprintConfig::hpca_parallel` for admitted
+    /// sprints, greedy-headroom admission, no tasks.
+    pub fn new(rack_params: GridThermalParams) -> Self {
+        Self {
+            rack_params,
+            machine_config: MachineConfig::hpca(),
+            config: SprintConfig::hpca_parallel(),
+            policy: ClusterPolicy::greedy_default(),
+            tasks: Vec::new(),
+            trace_capacity: 2048,
+            max_time_s: 10.0,
+        }
+    }
+
+    /// Sets the per-node machine configuration.
+    pub fn machine(mut self, config: MachineConfig) -> Self {
+        self.machine_config = config;
+        self
+    }
+
+    /// Sets the sprint configuration admitted tasks run under (denied
+    /// tasks run the same configuration with `ExecutionMode::Sustained`).
+    pub fn config(mut self, config: SprintConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn policy(mut self, policy: ClusterPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Appends tasks to the arrival queue.
+    pub fn tasks(mut self, tasks: impl IntoIterator<Item = ClusterTask>) -> Self {
+        self.tasks.extend(tasks);
+        self
+    }
+
+    /// Limits each node's retained trace (0 disables tracing).
+    pub fn trace_capacity(mut self, samples: usize) -> Self {
+        self.trace_capacity = samples;
+        self
+    }
+
+    /// Hard wall on cluster simulated time, seconds.
+    pub fn max_time_s(mut self, limit_s: f64) -> Self {
+        self.max_time_s = limit_s;
+        self
+    }
+
+    /// Builds the cluster: the shared rack grid, one sustained-armed
+    /// session per node, and the arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration/policy, a non-positive time
+    /// limit, or task arrivals that are negative or non-finite.
+    pub fn build(self) -> ClusterSession {
+        self.config.validate();
+        self.policy.validate();
+        assert!(self.max_time_s > 0.0, "cluster time limit must be positive");
+        // An admission threshold no cold node can meet would livelock
+        // a deferring queue (head-of-line tasks wait forever for
+        // headroom the rack cannot physically offer).
+        if let Some(admit) = self.policy.admit_headroom_k() {
+            let max_headroom = self.rack_params.t_max_c - self.rack_params.ambient_c;
+            assert!(
+                admit < max_headroom,
+                "admission threshold {admit} K is unsatisfiable: a cold node's headroom \
+                 tops out at t_max - ambient = {max_headroom} K"
+            );
+        }
+        for t in &self.tasks {
+            assert!(
+                t.arrival_s.is_finite() && t.arrival_s >= 0.0,
+                "task arrivals must be finite and non-negative"
+            );
+            assert!(t.threads >= 1, "a task needs at least one thread");
+        }
+        let rack = RackThermal::new(self.rack_params.build());
+        let nodes_n = rack.nodes();
+        let mut sustained = self.config.clone();
+        sustained.mode = ExecutionMode::Sustained;
+        let window_s = self.config.sample_window_ps as f64 * 1e-12;
+        let nodes = (0..nodes_n)
+            .map(|n| Node {
+                session: SprintSession::new(
+                    Machine::new(self.machine_config.clone()),
+                    rack.node_view(n),
+                    IdealSupply,
+                    sustained.clone(),
+                    self.trace_capacity,
+                    Vec::new(),
+                ),
+                task: None,
+                assigned_s: 0.0,
+                sprinted: false,
+            })
+            .collect();
+        let mut arrival_order: Vec<usize> = (0..self.tasks.len()).collect();
+        arrival_order.sort_by(|&a, &b| {
+            self.tasks[a]
+                .arrival_s
+                .partial_cmp(&self.tasks[b].arrival_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let task_count = self.tasks.len();
+        ClusterSession {
+            rack,
+            nodes,
+            tasks: self.tasks,
+            arrival_order,
+            next_arrival: 0,
+            ready: VecDeque::new(),
+            policy: self.policy,
+            sprint_config: self.config,
+            sustained_config: sustained,
+            window_s,
+            windows: 0,
+            max_windows: (self.max_time_s / window_s).ceil() as u64,
+            outcomes: Vec::new(),
+            task_done: vec![false; task_count],
+            task_copies: vec![0; task_count],
+            task_sprinted: vec![false; task_count],
+            events: Vec::new(),
+            grant_order: Vec::new(),
+            peak_junction_c: f64::NEG_INFINITY,
+            temps_buf: vec![0.0; nodes_n],
+        }
+    }
+}
+
+/// Many sprint sessions, one shared rack, one admission scheduler. See
+/// the module docs for the per-window protocol.
+pub struct ClusterSession {
+    rack: RackThermal,
+    nodes: Vec<Node>,
+    tasks: Vec<ClusterTask>,
+    /// Task indices sorted by (arrival, index).
+    arrival_order: Vec<usize>,
+    next_arrival: usize,
+    ready: VecDeque<usize>,
+    policy: ClusterPolicy,
+    sprint_config: SprintConfig,
+    sustained_config: SprintConfig,
+    window_s: f64,
+    windows: u64,
+    max_windows: u64,
+    outcomes: Vec<TaskOutcome>,
+    task_done: Vec<bool>,
+    task_copies: Vec<usize>,
+    /// Whether any copy of the task was admitted to sprint.
+    task_sprinted: Vec<bool>,
+    events: Vec<ClusterEvent>,
+    /// Sprinting nodes, oldest admission first (round-robin shed order).
+    grant_order: Vec<usize>,
+    peak_junction_c: f64,
+    /// Per-window node temperatures (reused; no per-step allocation).
+    temps_buf: Vec<f64>,
+}
+
+impl std::fmt::Debug for ClusterSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSession")
+            .field("nodes", &self.nodes.len())
+            .field("policy", &self.policy)
+            .field("windows", &self.windows)
+            .field("completed", &self.outcomes.len())
+            .field("total_tasks", &self.tasks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterSession {
+    /// Cluster simulated time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.windows as f64 * self.window_s
+    }
+
+    /// Sampling windows stepped so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Number of server nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shared rack.
+    pub fn rack(&self) -> &RackThermal {
+        &self.rack
+    }
+
+    /// Scheduler events so far.
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
+    }
+
+    /// Task outcomes so far, in completion order.
+    pub fn outcomes(&self) -> &[TaskOutcome] {
+        &self.outcomes
+    }
+
+    /// One node's coupled report so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node index.
+    pub fn node_report(&self, node: usize) -> RunReport {
+        self.nodes[node].session.report()
+    }
+
+    /// One node's controller state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node index.
+    pub fn node_state(&self, node: usize) -> SprintState {
+        self.nodes[node].session.state()
+    }
+
+    /// True once every submitted task has completed. Losing
+    /// competitive-duplicate copies do not count as outstanding work —
+    /// their result is discarded by definition, so the queue is
+    /// drained the moment every task has a winner (a loser may still
+    /// be mid-run on its node when stepping stops).
+    pub fn drained(&self) -> bool {
+        self.task_done.iter().all(|&d| d)
+    }
+
+    /// Advances the whole cluster by one sampling window.
+    pub fn step(&mut self) -> ClusterOutcome {
+        if self.drained() {
+            return ClusterOutcome::Drained;
+        }
+        if self.windows >= self.max_windows {
+            return ClusterOutcome::TimeLimit;
+        }
+        let now = self.now_s();
+        // Refresh the per-node temperature snapshot once per window
+        // (the slice-based accessor keeps this allocation-free).
+        self.rack.node_temps_c_into(&mut self.temps_buf);
+        // 1. Arrivals.
+        while self.next_arrival < self.arrival_order.len() {
+            let task = self.arrival_order[self.next_arrival];
+            if self.tasks[task].arrival_s > now {
+                break;
+            }
+            self.ready.push_back(task);
+            self.next_arrival += 1;
+        }
+        // 2. Assignment (and 3., the shed pass).
+        self.assign_ready(now);
+        self.shed_pass(now);
+        // 4. Step busy nodes, rest idle ones, in index order (node 0 is
+        // the lockstep leader that advances the shared grid).
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].task.is_some() {
+                match self.nodes[i].session.step() {
+                    StepOutcome::Running => {}
+                    StepOutcome::Finished => self.complete(i),
+                    StepOutcome::TimeLimit => {
+                        // The per-burst wall tripped with work left.
+                        // Abandoning would strand the task's live
+                        // threads on the machine (there is no
+                        // thread-kill API), corrupting every later
+                        // task on this node — so re-arm and keep
+                        // draining, but *sustained*: the task already
+                        // spent its sprint grant, and a fresh sprint
+                        // here would bypass policy admission (and the
+                        // grant bookkeeping the shed order works
+                        // from). The step below keeps the node on the
+                        // lockstep clock; truly runaway tasks are
+                        // bounded by the cluster-level time limit.
+                        self.nodes[i]
+                            .session
+                            .set_config(self.sustained_config.clone());
+                        self.nodes[i].session.begin_burst();
+                        if self.nodes[i].session.step() == StepOutcome::Finished {
+                            self.complete(i);
+                        }
+                    }
+                }
+            } else {
+                self.nodes[i].session.rest(self.window_s);
+            }
+        }
+        self.windows += 1;
+        let junction = self.rack.junction_temp_c();
+        if junction > self.peak_junction_c {
+            self.peak_junction_c = junction;
+        }
+        if self.drained() {
+            ClusterOutcome::Drained
+        } else {
+            ClusterOutcome::Running
+        }
+    }
+
+    /// Steps until the queue drains or the time limit trips.
+    pub fn run_to_completion(&mut self) -> ClusterOutcome {
+        loop {
+            let outcome = self.step();
+            if outcome.is_terminal() {
+                return outcome;
+            }
+        }
+    }
+
+    /// Builds the cluster summary for the run so far.
+    pub fn report(&self) -> ClusterReport {
+        let makespan_s = self
+            .outcomes
+            .iter()
+            .map(|o| o.completed_s)
+            .fold(0.0f64, f64::max);
+        let max_latency_s = self
+            .outcomes
+            .iter()
+            .map(|o| o.latency_s())
+            .fold(0.0f64, f64::max);
+        let mean_latency_s = if self.outcomes.is_empty() {
+            f64::NAN
+        } else {
+            self.outcomes.iter().map(|o| o.latency_s()).sum::<f64>() / self.outcomes.len() as f64
+        };
+        ClusterReport {
+            makespan_s,
+            completed: self.outcomes.len(),
+            total_tasks: self.tasks.len(),
+            mean_latency_s,
+            max_latency_s,
+            peak_junction_c: if self.peak_junction_c.is_finite() {
+                self.peak_junction_c
+            } else {
+                self.rack.junction_temp_c()
+            },
+            // Per *task*, not per copy: a competitively duplicated
+            // task counts once however many copies raced (the per-copy
+            // decisions remain in the event log).
+            admitted_sprints: self
+                .task_copies
+                .iter()
+                .zip(&self.task_sprinted)
+                .filter(|&(&copies, &sprinted)| copies > 0 && sprinted)
+                .count(),
+            denied_sprints: self
+                .task_copies
+                .iter()
+                .zip(&self.task_sprinted)
+                .filter(|&(&copies, &sprinted)| copies > 0 && !sprinted)
+                .count(),
+            sheds: self
+                .events
+                .iter()
+                .filter(|e| matches!(e, ClusterEvent::NodeShed { .. }))
+                .count(),
+            outcomes: self.outcomes.clone(),
+            node_reports: self.nodes.iter().map(|n| n.session.report()).collect(),
+        }
+    }
+
+    /// Nodes currently in a sprint (ramping counts: the admission slot
+    /// is taken the moment the burst starts).
+    fn sprinting_nodes(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                n.task.is_some()
+                    && matches!(
+                        n.session.state(),
+                        SprintState::Ramping | SprintState::Sprinting
+                    )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Assigns ready tasks to idle nodes (coolest-first for headroom-
+    /// aware policies), duplicating onto spare nodes under competitive
+    /// policies. Under a deferring policy, a head-of-line task that
+    /// cannot be admitted *waits for headroom* (until its defer window
+    /// expires) instead of burning an order of magnitude longer in
+    /// sustained mode — the sprint-or-defer trade that makes rationed
+    /// sprinting beat the unmanaged rack.
+    fn assign_ready(&mut self, now: f64) {
+        while !self.ready.is_empty() {
+            let mut idle: Vec<usize> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.task.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            if idle.is_empty() {
+                return;
+            }
+            if self.policy.places_coolest_first() {
+                let temps = &self.temps_buf;
+                idle.sort_by(|&a, &b| {
+                    temps[a]
+                        .partial_cmp(&temps[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+            }
+            let task = *self.ready.front().expect("checked non-empty");
+            // Admission is judged on the best (first-placed) candidate:
+            // if even the coolest idle node cannot sprint, the task
+            // defers rather than degrade — unless its window expired.
+            let admit_primary = self.admits_on(idle[0]);
+            let mut force_sustained = false;
+            if !admit_primary {
+                if let Some(defer_s) = self.policy.defer_window_s() {
+                    if now - self.tasks[task].arrival_s < defer_s {
+                        return; // hold the queue; retry next window
+                    }
+                    force_sustained = true; // waited long enough
+                }
+            }
+            self.ready.pop_front();
+            // Duplicate only onto nodes no waiting task needs
+            // (Yonezawa's spare-capacity condition); a deferred task
+            // falling back to sustained never duplicates.
+            let copies = if force_sustained {
+                1
+            } else {
+                let spare = idle.len().saturating_sub(self.ready.len());
+                self.policy.duplicates().min(spare.max(1)).min(idle.len())
+            };
+            self.task_copies[task] = copies;
+            for &node in idle.iter().take(copies) {
+                self.start_task_on(node, task, now, force_sustained);
+            }
+        }
+    }
+
+    /// Whether the policy would admit a sprint on `node` right now.
+    fn admits_on(&self, node: usize) -> bool {
+        let allowance = self
+            .policy
+            .max_sprinting_at(self.nodes.len(), self.rack.headroom_k());
+        let sprinting = self.sprinting_nodes().len();
+        let node_headroom = self.nodes[node].session.thermal().t_max_c() - self.temps_buf[node];
+        self.policy.admits(node_headroom, sprinting, allowance)
+    }
+
+    /// Starts `task` on `node`, consulting the policy for sprint
+    /// admission (unless the task already fell back to sustained).
+    fn start_task_on(&mut self, node: usize, task: usize, now: f64, force_sustained: bool) {
+        let admit = !force_sustained && self.admits_on(node);
+        let spec = self.tasks[task];
+        let config = if admit {
+            self.sprint_config.clone()
+        } else {
+            self.sustained_config.clone()
+        };
+        let n = &mut self.nodes[node];
+        n.session.set_config(config);
+        suite_loader(spec.kind, spec.size, spec.threads)(n.session.machine_mut());
+        n.session.begin_burst();
+        n.task = Some(task);
+        n.assigned_s = now;
+        n.sprinted = admit;
+        if admit {
+            self.task_sprinted[task] = true;
+            // A node re-admitted in the same window its previous grant
+            // lapsed may still carry a stale rotation entry (the shed
+            // pass's retain runs after assignment): drop it so the new
+            // grant takes a fresh, single slot.
+            self.grant_order.retain(|&n| n != node);
+            self.grant_order.push(node);
+            self.events.push(ClusterEvent::SprintAdmitted {
+                node,
+                task,
+                at_s: now,
+            });
+        } else {
+            self.events.push(ClusterEvent::SprintDenied {
+                node,
+                task,
+                at_s: now,
+            });
+        }
+    }
+
+    /// Preempts sprinting nodes beyond the policy's allowance, in the
+    /// policy's shed order.
+    fn shed_pass(&mut self, now: f64) {
+        let sprinting = self.sprinting_nodes();
+        // Grants whose sprints already ended (budget, completion) fall
+        // out of the rotation here.
+        self.grant_order.retain(|n| sprinting.contains(n));
+        let rack_headroom = self.rack.headroom_k();
+        let allowance = self
+            .policy
+            .max_sprinting_at(self.nodes.len(), rack_headroom);
+        if sprinting.len() <= allowance {
+            return;
+        }
+        let order = self
+            .policy
+            .shed_order(&sprinting, &self.temps_buf, &self.grant_order);
+        let excess = sprinting.len() - allowance;
+        for &node in order.iter().take(excess) {
+            self.nodes[node].session.preempt_sprint();
+            self.grant_order.retain(|&n| n != node);
+            self.events.push(ClusterEvent::NodeShed {
+                node,
+                at_s: now,
+                rack_headroom_k: rack_headroom,
+            });
+        }
+    }
+
+    /// Records a finished node's task (first finisher wins under
+    /// duplication) and frees the node.
+    fn complete(&mut self, node: usize) {
+        let task = self.nodes[node]
+            .task
+            .take()
+            .expect("complete() requires a running task");
+        if self.task_done[task] {
+            return; // a duplicate copy lost the race
+        }
+        self.task_done[task] = true;
+        self.outcomes.push(TaskOutcome {
+            task,
+            node,
+            arrival_s: self.tasks[task].arrival_s,
+            assigned_s: self.nodes[node].assigned_s,
+            completed_s: self.nodes[node].session.now_s(),
+            sprinted: self.nodes[node].sprinted,
+            copies: self.task_copies[task],
+        });
+    }
+}

@@ -1,0 +1,85 @@
+//! Rack-level computational sprinting: many servers, one thermal pool.
+//!
+//! The paper sprints one die against its own package. This crate lifts
+//! the same regime to a data-center rack, following Porto et al.
+//! ("Making data center computations fast, but not so furious"): whole
+//! *servers* sprint against shared thermal headroom, and a cluster-level
+//! scheduler decides **which** nodes may sprint and in what order they
+//! are shed when the shared pool runs low — the generalization of the
+//! per-die `HotspotPolicy::ShedCores` throttle from shed *count* to
+//! shed *order*.
+//!
+//! # Architecture: the rack as a floorplan
+//!
+//! The rack thermal model *is* the die model, re-provisioned
+//! (`GridThermalParams::rack` in `sprint-thermal`): a floorplan with
+//! one "core" rectangle per **server** over a shared-airflow plenum
+//! layer, integrated by the ADI solver (whose sub-step is independent
+//! of the grid resolution — rack grids are exactly why that solver
+//! exists, and with no PCM in the stack every ADI line factorization is
+//! cached). No new physics was written for racks; one grid, one solver,
+//! one floorplan abstraction serve both scales.
+//!
+//! Sessions plug into the shared grid through the `ThermalModel` *port*
+//! (`sprint-core`): each node's [`rack::NodeThermalView`] maps its
+//! session's power onto its own floorplan rectangle and reports its own
+//! hottest cell — not the rack-global one — as the junction, with the
+//! node's *regional* energy budget feeding that session's controller.
+//! A node therefore sprints against its own silicon while the shared
+//! plenum silently couples everyone's headroom: rack contention reaches
+//! each node through physics, not through scheduler bookkeeping.
+//!
+//! On top sit the scheduler pieces:
+//!
+//! * [`policy::ClusterPolicy`] — admission (may this task sprint
+//!   here?), allowance (how many nodes may sprint at this rack
+//!   headroom?) and shed order (who is preempted first?): greedy
+//!   headroom, round-robin, competitive duplication, plus the
+//!   all-sprint / no-sprint baselines.
+//! * [`queue::ClusterTask`] / [`queue::TaskOutcome`] — the arrival
+//!   queue over the `sprint-workloads` suite.
+//! * [`cluster::ClusterSession`] — the lockstep stepper: one
+//!   `SprintSession` per node, one shared rack, one scheduler pass per
+//!   sampling window. A one-node cluster reproduces a standalone
+//!   session byte-for-byte.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sprint_cluster::prelude::*;
+//! use sprint_thermal::grid::GridThermalParams;
+//! use sprint_workloads::suite::{InputSize, WorkloadKind};
+//!
+//! // A 2x2 rack (compressed 3000x so the doc-test is instant) under
+//! // greedy-headroom admission, fed four sobel bursts.
+//! let mut cluster = ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(3000.0))
+//!     .policy(ClusterPolicy::greedy_default())
+//!     .tasks(ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 8, 4))
+//!     .build();
+//! assert_eq!(cluster.run_to_completion(), ClusterOutcome::Drained);
+//! let report = cluster.report();
+//! assert_eq!(report.completed, 4);
+//! assert!(report.makespan_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod policy;
+pub mod queue;
+pub mod rack;
+
+pub use cluster::{ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession};
+pub use policy::ClusterPolicy;
+pub use queue::{ClusterTask, TaskOutcome};
+pub use rack::{NodeThermalView, RackThermal};
+
+/// Commonly-used items in one import.
+pub mod prelude {
+    pub use crate::cluster::{
+        ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession,
+    };
+    pub use crate::policy::ClusterPolicy;
+    pub use crate::queue::{ClusterTask, TaskOutcome};
+    pub use crate::rack::{NodeThermalView, RackThermal};
+}

@@ -1,0 +1,114 @@
+//! Task arrivals and outcomes for a cluster run.
+
+use serde::{Deserialize, Serialize};
+use sprint_workloads::suite::{InputSize, WorkloadKind};
+
+/// One task in the cluster's arrival queue: a suite kernel at a given
+/// input size, spawned with `threads` threads on whichever node the
+/// scheduler picks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTask {
+    /// Kernel to run.
+    pub kind: WorkloadKind,
+    /// Input size class.
+    pub size: InputSize,
+    /// Threads to spawn on the node.
+    pub threads: usize,
+    /// Arrival time, seconds of cluster simulated time.
+    pub arrival_s: f64,
+}
+
+impl ClusterTask {
+    /// A batch of `count` identical tasks all arriving at time zero —
+    /// the makespan benchmark shape.
+    pub fn batch(kind: WorkloadKind, size: InputSize, threads: usize, count: usize) -> Vec<Self> {
+        vec![
+            Self {
+                kind,
+                size,
+                threads,
+                arrival_s: 0.0,
+            };
+            count
+        ]
+    }
+
+    /// `count` identical tasks arriving `spacing_s` apart, the first at
+    /// `start_s` — an open-arrival trickle.
+    pub fn arrivals(
+        kind: WorkloadKind,
+        size: InputSize,
+        threads: usize,
+        count: usize,
+        start_s: f64,
+        spacing_s: f64,
+    ) -> Vec<Self> {
+        (0..count)
+            .map(|k| Self {
+                kind,
+                size,
+                threads,
+                arrival_s: start_s + spacing_s * k as f64,
+            })
+            .collect()
+    }
+}
+
+/// What happened to one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskOutcome {
+    /// Index into the cluster's task list.
+    pub task: usize,
+    /// Node that finished it first.
+    pub node: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// When the (winning) node started it, seconds.
+    pub assigned_s: f64,
+    /// When the winning node finished it, seconds.
+    pub completed_s: f64,
+    /// Whether the winning copy was admitted to sprint.
+    pub sprinted: bool,
+    /// Copies launched (1 unless competitively duplicated).
+    pub copies: usize,
+}
+
+impl TaskOutcome {
+    /// Queueing plus service latency, seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.completed_s - self.arrival_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_arrives_at_zero() {
+        let b = ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 8, 5);
+        assert_eq!(b.len(), 5);
+        assert!(b.iter().all(|t| t.arrival_s == 0.0));
+    }
+
+    #[test]
+    fn arrivals_space_out() {
+        let a = ClusterTask::arrivals(WorkloadKind::Kmeans, InputSize::B, 4, 3, 1.0, 0.5);
+        let times: Vec<f64> = a.iter().map(|t| t.arrival_s).collect();
+        assert_eq!(times, vec![1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn latency_spans_arrival_to_completion() {
+        let o = TaskOutcome {
+            task: 0,
+            node: 2,
+            arrival_s: 1.0,
+            assigned_s: 1.5,
+            completed_s: 4.0,
+            sprinted: true,
+            copies: 1,
+        };
+        assert!((o.latency_s() - 3.0).abs() < 1e-12);
+    }
+}

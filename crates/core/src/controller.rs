@@ -178,6 +178,12 @@ impl SprintController {
             }
             SprintState::Sprinting => {
                 self.budget.record(window_energy_j, window_s);
+                // One headroom read serves the hotspot throttle, the
+                // shed event and the oracle estimator below: on grid
+                // backends each read is a junction query, and the
+                // ShedCores hot path used to issue up to three per
+                // window.
+                let headroom_k = thermal.headroom_k();
                 // Pacing: step intensity down as the budget depletes.
                 let start = self.config.mode.sprint_cores();
                 let paced = self
@@ -187,10 +193,7 @@ impl SprintController {
                 // Hotspot throttle: shed cores as the hottest cell
                 // approaches the limit, ratcheting within the burst.
                 if self.config.hotspot != HotspotPolicy::HardAbort {
-                    let cap = self
-                        .config
-                        .hotspot
-                        .max_cores_at(start, thermal.headroom_k());
+                    let cap = self.config.hotspot.max_cores_at(start, headroom_k);
                     if cap < self.hotspot_cap {
                         self.hotspot_cap = cap;
                         // Record the shed only when it actually lowers
@@ -202,7 +205,7 @@ impl SprintController {
                                 at_s: now_s,
                                 from_cores: machine.active_cores(),
                                 to_cores,
-                                headroom_k: thermal.headroom_k(),
+                                headroom_k,
                             });
                         }
                     }
@@ -218,7 +221,7 @@ impl SprintController {
                     BudgetEstimator::OracleTemperature => {
                         let guard =
                             self.config.budget_margin * (thermal.t_max_c() - thermal.ambient_c());
-                        thermal.headroom_k() <= guard
+                        headroom_k <= guard
                     }
                 };
                 if thermal.at_thermal_limit() {
@@ -242,6 +245,20 @@ impl SprintController {
                 }
             }
             SprintState::Sustained => {}
+        }
+    }
+
+    /// Ends an in-flight sprint on an *external* decision — a cluster
+    /// scheduler revoking a node's sprint admission as shared thermal
+    /// headroom shrinks, an operator, a watchdog. While ramping or
+    /// sprinting this is exactly the budget-exhaustion migration
+    /// (threads move to one core, a [`ControllerEvent::SprintEnded`] is
+    /// recorded); in any other state it is a no-op. Within a burst the
+    /// demotion is final, like every sprint end: the next
+    /// `begin_burst` re-arms against the then-current thermal state.
+    pub fn preempt(&mut self, now_s: f64, machine: &mut Machine) {
+        if matches!(self.state, SprintState::Ramping | SprintState::Sprinting) {
+            self.end_sprint(now_s, machine);
         }
     }
 

@@ -9,10 +9,14 @@
 //! The pieces map onto the paper's design, now behind a backend-generic
 //! session API:
 //!
-//! * [`thermal_model::ThermalModel`] — the thermal-backend contract; the
+//! * [`thermal_model::ThermalModel`] — the thermal-backend *port*; the
 //!   paper's phone package ([`sprint_thermal::phone::PhoneThermal`])
 //!   implements it, as does the single-node
-//!   [`thermal_model::LumpedThermal`] reference backend.
+//!   [`thermal_model::LumpedThermal`] reference backend. Blanket impls
+//!   for `&mut T` and `Box<T>` mean a session need not own its backend:
+//!   it can borrow one, erase one, or (via a view type like
+//!   `sprint-cluster`'s per-node rack views) share one with many other
+//!   sessions.
 //! * [`supply::PowerSupply`] — the electrical side (Section 6) consulted
 //!   every sampling window; batteries, ultracapacitors, hybrids and
 //!   pin-count ceilings can clamp or abort a sprint.

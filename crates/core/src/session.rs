@@ -345,6 +345,35 @@ impl<T: ThermalModel, S: PowerSupply> SprintSession<T, S> {
         self.windows = 0;
     }
 
+    /// Ends an in-flight sprint on an external decision (see
+    /// [`SprintController::preempt`]): the threads migrate to one core
+    /// and the session continues at sustained pace. A cluster scheduler
+    /// uses this to revoke a node's sprint admission when shared
+    /// thermal headroom runs out; outside a sprint it is a no-op.
+    pub fn preempt_sprint(&mut self) {
+        let now = self.now_s();
+        self.controller.preempt(now, &mut self.machine);
+        self.drain_events();
+    }
+
+    /// Replaces the sprint configuration. The sampling window and time
+    /// limit take effect immediately; the *controller* keeps running
+    /// its current burst under the old configuration until
+    /// [`begin_burst`](Self::begin_burst) re-arms it — swap config,
+    /// then begin the burst. This is how a cluster scheduler flips a
+    /// node between sprint-admitted and sustained duty per task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn set_config(&mut self, config: SprintConfig) {
+        config.validate();
+        self.window_ps = config.sample_window_ps;
+        self.window_s = self.window_ps as f64 * 1e-12;
+        self.max_windows = (config.max_time_s / self.window_s).ceil() as u64;
+        self.config = config;
+    }
+
     /// Current simulated time: machine time plus rested intervals, seconds.
     pub fn now_s(&self) -> f64 {
         self.machine.time_s() + self.idle_s
@@ -749,6 +778,85 @@ mod tests {
             s.now_s() > s.machine().time_s(),
             "rest advanced session time"
         );
+    }
+
+    #[test]
+    fn preempt_migrates_like_budget_exhaustion() {
+        let mut s = fast_session();
+        for _ in 0..200 {
+            if s.step() != StepOutcome::Running {
+                break;
+            }
+        }
+        assert_eq!(s.state(), SprintState::Sprinting);
+        s.preempt_sprint();
+        assert_eq!(s.state(), SprintState::Sustained);
+        assert_eq!(s.machine().active_cores(), 1);
+        assert!(s
+            .events()
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::SprintEnded { .. })));
+        // Preempting again is a no-op; the run still completes.
+        let events = s.events().len();
+        s.preempt_sprint();
+        assert_eq!(s.events().len(), events);
+        assert_eq!(s.run_to_completion(), StepOutcome::Finished);
+    }
+
+    #[test]
+    fn set_config_governs_the_next_burst() {
+        let mut s = fast_session();
+        s.run_to_completion();
+        let sprints_before = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::SprintStarted { .. }))
+            .count();
+        assert_eq!(sprints_before, 1);
+        // Flip the session to sustained duty for the next task.
+        s.set_config(SprintConfig::hpca_sustained());
+        spawn_threads(s.machine_mut(), 4, 5_000);
+        s.begin_burst();
+        assert_eq!(s.run_to_completion(), StepOutcome::Finished);
+        assert_eq!(s.machine().active_cores(), 1, "sustained runs one core");
+        let sprints_after = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::SprintStarted { .. }))
+            .count();
+        assert_eq!(sprints_after, 1, "no new sprint under sustained config");
+    }
+
+    #[test]
+    fn session_runs_on_a_borrowed_backend() {
+        // The thermal port: the session borrows the backend, and the
+        // caller still holds it (with all accumulated state) afterwards.
+        let mut thermal = PhoneThermalParams::hpca().time_scaled(1000.0).build();
+        let ambient = thermal.junction_temp_c();
+        let mut s = ScenarioBuilder::new()
+            .load(|m| spawn_threads(m, 16, 10_000))
+            .thermal(&mut thermal)
+            .build();
+        assert_eq!(s.run_to_completion(), StepOutcome::Finished);
+        assert!(s.report().finished);
+        drop(s);
+        assert!(
+            thermal.junction_temp_c() > ambient + 1.0,
+            "the borrowed backend keeps the run's heat"
+        );
+    }
+
+    #[test]
+    fn session_runs_on_a_boxed_backend() {
+        let boxed: Box<dyn crate::thermal_model::ThermalModel> =
+            Box::new(PhoneThermalParams::hpca().time_scaled(1000.0).build());
+        let mut s = ScenarioBuilder::new()
+            .load(|m| spawn_threads(m, 16, 10_000))
+            .thermal(boxed)
+            .build();
+        assert_eq!(s.run_to_completion(), StepOutcome::Finished);
+        assert!(s.report().finished);
+        assert!(s.report().max_junction_c > s.thermal().ambient_c());
     }
 
     #[test]

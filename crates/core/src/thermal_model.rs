@@ -12,6 +12,21 @@
 //! finer-grained models (HotSpot-style grids, data-center racks à la
 //! Porto et al.'s "fast, but not so furious" sprinting) slot in without
 //! touching the loop.
+//!
+//! # The thermal *port*
+//!
+//! `ThermalModel` is a port, not just a trait over owned backends: the
+//! blanket implementations for `&mut T` and `Box<T>` (including
+//! `Box<dyn ThermalModel>`) mean a session does not have to *own* its
+//! thermal state. A caller can keep the backend, lend
+//! `SprintSession::<&mut GridThermal, _>` a borrow for one burst and
+//! inspect the grid between bursts; heterogeneous collections of
+//! sessions can erase the backend behind `Box<dyn ThermalModel>`; and a
+//! *shared* backend can stand behind several sessions at once through a
+//! view type — `sprint_cluster`'s per-node rack views drive many
+//! sessions against one rack-wide grid, each view mapping its session's
+//! power onto its node's floorplan rectangle and reporting its node's
+//! own hottest cell (not the rack-global one) as the junction.
 
 use sprint_thermal::grid::GridThermal;
 use sprint_thermal::phone::PhoneThermal;
@@ -63,6 +78,96 @@ pub trait ThermalModel {
 
     /// Ambient temperature, Celsius.
     fn ambient_c(&self) -> f64;
+}
+
+/// The port in action: a session may borrow its backend instead of
+/// owning it. Every method forwards; `set_active_core_count` forwards
+/// explicitly so spatial backends keep their power maps (the trait
+/// default would silently drop it).
+impl<T: ThermalModel + ?Sized> ThermalModel for &mut T {
+    fn set_chip_power_w(&mut self, watts: f64) {
+        (**self).set_chip_power_w(watts);
+    }
+
+    fn set_active_core_count(&mut self, cores: usize) {
+        (**self).set_active_core_count(cores);
+    }
+
+    fn advance(&mut self, dt_s: f64) {
+        (**self).advance(dt_s);
+    }
+
+    fn junction_temp_c(&self) -> f64 {
+        (**self).junction_temp_c()
+    }
+
+    fn headroom_k(&self) -> f64 {
+        (**self).headroom_k()
+    }
+
+    fn melt_fraction(&self) -> f64 {
+        (**self).melt_fraction()
+    }
+
+    fn at_thermal_limit(&self) -> bool {
+        (**self).at_thermal_limit()
+    }
+
+    fn sprint_energy_budget_j(&self) -> f64 {
+        (**self).sprint_energy_budget_j()
+    }
+
+    fn t_max_c(&self) -> f64 {
+        (**self).t_max_c()
+    }
+
+    fn ambient_c(&self) -> f64 {
+        (**self).ambient_c()
+    }
+}
+
+/// Boxed backends (including `Box<dyn ThermalModel>`) satisfy the port,
+/// so heterogeneous session collections can erase the backend type.
+impl<T: ThermalModel + ?Sized> ThermalModel for Box<T> {
+    fn set_chip_power_w(&mut self, watts: f64) {
+        (**self).set_chip_power_w(watts);
+    }
+
+    fn set_active_core_count(&mut self, cores: usize) {
+        (**self).set_active_core_count(cores);
+    }
+
+    fn advance(&mut self, dt_s: f64) {
+        (**self).advance(dt_s);
+    }
+
+    fn junction_temp_c(&self) -> f64 {
+        (**self).junction_temp_c()
+    }
+
+    fn headroom_k(&self) -> f64 {
+        (**self).headroom_k()
+    }
+
+    fn melt_fraction(&self) -> f64 {
+        (**self).melt_fraction()
+    }
+
+    fn at_thermal_limit(&self) -> bool {
+        (**self).at_thermal_limit()
+    }
+
+    fn sprint_energy_budget_j(&self) -> f64 {
+        (**self).sprint_energy_budget_j()
+    }
+
+    fn t_max_c(&self) -> f64 {
+        (**self).t_max_c()
+    }
+
+    fn ambient_c(&self) -> f64 {
+        (**self).ambient_c()
+    }
 }
 
 impl ThermalModel for PhoneThermal {
@@ -288,6 +393,32 @@ mod tests {
             focused > spread + 1.0,
             "2-core hotspot {focused:.2} must beat 16-core {spread:.2}"
         );
+    }
+
+    #[test]
+    fn borrowed_and_boxed_backends_satisfy_the_port() {
+        use sprint_thermal::grid::GridThermalParams;
+
+        // A borrowed grid driven through a *generic* session-shaped
+        // caller, so the `&mut T` blanket impl itself is what runs: it
+        // must pass `set_active_core_count` through (the trait default
+        // would silently drop it and the power map would stay 16-wide).
+        fn drive<T: ThermalModel>(mut port: T) {
+            port.set_active_core_count(2);
+            port.set_chip_power_w(4.0);
+            port.advance(1.0);
+        }
+        let mut grid = GridThermalParams::hpca_like().build();
+        drive(&mut grid);
+        assert_eq!(grid.active_cores(), 2);
+        assert!(grid.junction_temp_c() > grid.ambient_c());
+
+        // A boxed, type-erased backend drives the same contract.
+        let mut boxed: Box<dyn ThermalModel> = Box::new(LumpedThermal::server_heatsink());
+        boxed.set_chip_power_w(100.0);
+        boxed.advance(50.0);
+        assert!(boxed.junction_temp_c() > boxed.ambient_c());
+        assert!(boxed.sprint_energy_budget_j() >= 0.0);
     }
 
     #[test]

@@ -60,7 +60,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::floorplan::Floorplan;
 use crate::phone::PhoneThermalParams;
-use crate::tridiag::Tridiag;
+use crate::tridiag::{Tridiag, TridiagFactor};
 
 /// Integration scheme for a [`GridThermal`] backend. See the
 /// [module docs](self) for the accuracy/cost trade-off.
@@ -313,6 +313,77 @@ impl GridThermalParams {
         }
     }
 
+    /// A rack-as-floorplan grid: `cols x rows` *servers* (one floorplan
+    /// "core" rectangle per node) over a shared-airflow plenum layer —
+    /// the data-center generalization of the die model (Porto et al.'s
+    /// "fast, but not so furious" sprinting regime). Heat leaves each
+    /// node vertically into the plenum, mixes laterally there (strong
+    /// lateral conduction stands in for airflow recirculation), and
+    /// convects to the CRAC ambient through the sink resistance.
+    ///
+    /// The design point assumes paper-like nodes: ~1 W sustained and
+    /// ~16 W sprinting per server. Capacities are deliberately small
+    /// (a behavioural rack, not a physical one) so node sprints exhaust
+    /// on the paper's timescales: per-node sprint budget ≈ 30 J, node
+    /// time constant ≈ 0.4 s, rack (plenum) time constant ≈ 10 s. The
+    /// sizing scales with the node count — a lone sprinter barely
+    /// registers (junction ≈ 45 C), a third of the rack sprinting
+    /// approaches the 70 C limit, and the whole rack sprinting drives
+    /// the steady state far past it (thermal collapse) — which is
+    /// exactly the contention a cluster-level admission policy manages.
+    ///
+    /// Defaults: 8x8 cells per node (so a 4x4 rack is a 32x32 grid) and
+    /// the ADI solver — the stack has no PCM, so every ADI line factor
+    /// is cached and the sub-step is resolution-independent; explicit
+    /// sub-stepping at rack resolutions is exactly the cost the solver
+    /// work removed. Override with [`Self::with_grid`] /
+    /// [`Self::with_solver`] where a scenario needs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cols` and `rows` are at least 1.
+    pub fn rack(cols: usize, rows: usize) -> Self {
+        assert!(cols >= 1 && rows >= 1, "rack needs at least one server");
+        let nodes = (cols * rows) as f64;
+        // Server rectangles nearly tile the rack footprint.
+        let (span, fill) = (0.96, 0.82);
+        let coverage = (span * fill) * (span * fill);
+        // Per-node constants of the design point (see the doc comment).
+        // The plenum is deliberately light: airflow carries little
+        // thermal mass, so the shared layer *reacts* on sprint
+        // timescales — load up the rack and every node's inlet warms
+        // within a burst, which is what makes unmanaged all-node
+        // sprinting overshoot into the failsafe instead of being
+        // quietly absorbed.
+        let server_c_j_per_k = 1.0 * nodes;
+        let plenum_c_j_per_k = 0.5 * nodes;
+        // Whole-area server->plenum resistance giving each node a local
+        // vertical resistance of ~0.6 K/W through its own footprint.
+        let r_server_plenum = 0.6 * coverage / nodes;
+        // Sink sized so the rack sustains ~8 W per node at the limit:
+        // all-sustained (1 W/node) idles ~30 C, a quarter of the rack
+        // sprinting runs warm, the whole rack sprinting collapses.
+        let r_sink = 45.0 / (8.0 * nodes);
+        Self {
+            ambient_c: 25.0,
+            t_max_c: 70.0,
+            nx: 8 * cols,
+            ny: 8 * rows,
+            floorplan: Floorplan::regular_array(cols, rows, span, fill),
+            layers: vec![
+                // Servers: chassis + heatsink mass, nearly isolated
+                // laterally (conduction between neighbouring chassis
+                // is negligible next to the airflow path).
+                GridLayer::sensible("servers", server_c_j_per_k, 50.0, r_server_plenum),
+                // Plenum: shared airflow; strong lateral mixing.
+                GridLayer::sensible("plenum", plenum_c_j_per_k, 0.1, 1.0),
+            ],
+            r_sink_ambient_k_per_w: r_sink,
+            stability_fraction: 0.2,
+            solver: GridSolver::Adi,
+        }
+    }
+
     /// Sets the grid resolution (builder style).
     pub fn with_grid(mut self, nx: usize, ny: usize) -> Self {
         self.nx = nx;
@@ -432,6 +503,30 @@ struct CellPhase {
     liquid_capacity_j_per_k: f64,
 }
 
+/// Cached ADI line factorizations for the coefficient sets that cannot
+/// change between sub-steps: every line of a PCM-free layer solves the
+/// identical tridiagonal system (only melting-plateau rows ever alter a
+/// coefficient, and only PCM layers have those), so the Thomas
+/// elimination is factored once per theta-weighted step size and
+/// replayed per line. Keyed on `wdt`; a `advance` call with a different
+/// window size rebuilds lazily (a session's window is constant, so in
+/// practice this is built once).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct AdiCoeffCache {
+    /// The theta-weighted sub-step the factors were built for
+    /// (0 = empty cache; `wdt` is always positive in use).
+    wdt: f64,
+    /// Per-layer row (x-direction) factors; `None` for PCM layers,
+    /// lateral-disabled layers and 1-cell axes.
+    rows: Vec<Option<TridiagFactor>>,
+    /// Per-layer column (y-direction) factors.
+    cols: Vec<Option<TridiagFactor>>,
+    /// The vertical-stack factor, shared by every cell column (the
+    /// per-cell conductances are uniform); `None` when any layer has
+    /// phase change, since plateau rows rewrite stack coefficients.
+    stack: Option<TridiagFactor>,
+}
+
 /// The grid thermal backend. See the module docs for the model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridThermal {
@@ -465,12 +560,28 @@ pub struct GridThermal {
     /// Per-cell last-layer-to-ambient conductance, W/K.
     g_sink_cell: f64,
     chip_power_w: f64,
+    /// Per-core power, watts — the source of truth behind `power_w`.
+    /// Written either uniformly (the `set_chip_power_w` split over
+    /// `active_cores`) or individually (`set_core_power_w`, the rack
+    /// path where every node carries its own load).
+    core_power_w: Vec<f64>,
+    /// `core_power_w` changed since `power_w` was last rebuilt; the
+    /// rebuild happens once at the next `advance` (many rack nodes
+    /// update their powers between two integrations — one rebuild
+    /// serves them all).
+    core_power_dirty: bool,
     active_cores: usize,
     sub_step_s: f64,
     adi_sub_step_s: f64,
     time_s: f64,
     boundary_absorbed_j: f64,
     peak_hotspot_gradient_k: f64,
+    /// Hottest die cell after the last `advance` (or reset), Celsius.
+    /// Enthalpy only changes inside `advance`/`reset_to_ambient`, so
+    /// the cache is always current; it turns the per-window
+    /// junction/headroom/limit queries of the sprint controller from
+    /// O(cells) scans into loads.
+    junction_cache_c: f64,
     /// Peak temperature seen per core (max over its cells), Celsius.
     peak_core_temps_c: Vec<f64>,
     scratch_temps: Vec<f64>,
@@ -489,6 +600,7 @@ pub struct GridThermal {
     tri_rhs: Vec<f64>,
     tri_x: Vec<f64>,
     tridiag: Tridiag,
+    adi_cache: AdiCoeffCache,
 }
 
 impl GridThermal {
@@ -666,12 +778,15 @@ impl GridThermal {
             g_vert,
             g_sink_cell: g_sink,
             chip_power_w: 0.0,
+            core_power_w: vec![0.0; cores],
+            core_power_dirty: false,
             active_cores: cores,
             sub_step_s,
             adi_sub_step_s,
             time_s: 0.0,
             boundary_absorbed_j: 0.0,
             peak_hotspot_gradient_k: 0.0,
+            junction_cache_c: ambient,
             peak_core_temps_c: vec![ambient; cores],
             scratch_temps: vec![0.0; n],
             scratch_flows: vec![0.0; n],
@@ -683,6 +798,7 @@ impl GridThermal {
             tri_rhs: vec![0.0; line_max],
             tri_x: vec![0.0; line_max],
             tridiag: Tridiag::with_capacity(line_max),
+            adi_cache: AdiCoeffCache::default(),
             params,
         };
         grid.reset_to_ambient();
@@ -758,14 +874,71 @@ impl GridThermal {
         self.chip_power_w
     }
 
+    /// Sets one core's power individually, leaving every other core's
+    /// untouched — the rack path, where each floorplan "core" is a
+    /// server carrying its own load. The total chip power becomes the
+    /// sum of the per-core powers; a later [`set_chip_power_w`]
+    /// (uniform split over the active cores) overwrites the whole map
+    /// again, so the two interfaces compose without hidden state.
+    ///
+    /// [`set_chip_power_w`]: Self::set_chip_power_w
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite power or an out-of-range core index.
+    pub fn set_core_power_w(&mut self, core: usize, watts: f64) {
+        assert!(watts.is_finite(), "power must be finite");
+        assert!(core < self.core_cells.len(), "core index out of range");
+        // Unchanged writes are free: idle rack nodes re-assert 0 W
+        // every sampling window, and a skipped rewrite is trivially
+        // bit-identical to a repeated one.
+        if self.core_power_w[core] == watts {
+            return;
+        }
+        self.core_power_w[core] = watts;
+        self.chip_power_w = self.core_power_w.iter().sum();
+        // The cell map rebuild is deferred to the next `advance`: the
+        // rebuild is always from zero (bit-stable, unlike a running
+        // +=/-= delta), and deferring coalesces the many per-node
+        // writes a rack makes between two integrations into one pass.
+        self.core_power_dirty = true;
+    }
+
+    /// Power currently injected by core `core`, watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range core index.
+    pub fn core_power_w(&self, core: usize) -> f64 {
+        self.core_power_w[core]
+    }
+
     fn apply_power_map(&mut self) {
+        let per_core = self.chip_power_w / self.active_cores as f64;
+        for (c, p) in self.core_power_w.iter_mut().enumerate() {
+            *p = if c < self.active_cores { per_core } else { 0.0 };
+        }
+        // One rebuild path for both interfaces: with `core_power_w`
+        // just filled, the per-core rebuild performs the identical
+        // zero-and-accumulate arithmetic the uniform split always did
+        // (0 W cores contribute exactly nothing either way).
+        self.apply_core_power_map();
+    }
+
+    /// Rebuilds the die power map from the per-core powers (the
+    /// `set_core_power_w` path; rewrites from zero with the same
+    /// arithmetic as [`Self::apply_power_map`]).
+    fn apply_core_power_map(&mut self) {
+        self.core_power_dirty = false;
         for p in self.power_w[..self.cells_per_layer].iter_mut() {
             *p = 0.0;
         }
-        let per_core = self.chip_power_w / self.active_cores as f64;
-        for core in &self.core_cells[..self.active_cores] {
-            for &(cell, weight) in core {
-                self.power_w[cell] += per_core * weight;
+        for (core, cells) in self.core_cells.iter().enumerate() {
+            let w = self.core_power_w[core];
+            if w != 0.0 {
+                for &(cell, weight) in cells {
+                    self.power_w[cell] += w * weight;
+                }
             }
         }
     }
@@ -785,11 +958,12 @@ impl GridThermal {
     }
 
     /// Hottest die-layer cell, Celsius — the hotspot the sprint
-    /// controller must respect.
+    /// controller must respect. Served from a cache refreshed on every
+    /// `advance` (enthalpy cannot change between advances), so the
+    /// controller's repeated junction/headroom/limit queries cost a
+    /// load instead of an O(cells) scan.
     pub fn junction_temp_c(&self) -> f64 {
-        (0..self.cells_per_layer)
-            .map(|i| self.cell_temp(i))
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.junction_cache_c
     }
 
     /// Mean die-layer temperature, Celsius — what a lumped model would
@@ -830,9 +1004,28 @@ impl GridThermal {
 
     /// Current per-core hotspot temperatures, Celsius.
     pub fn core_temps_c(&self) -> Vec<f64> {
-        (0..self.core_cells.len())
-            .map(|c| self.core_temp_c(c))
-            .collect()
+        let mut out = vec![0.0; self.core_cells.len()];
+        self.core_temps_c_into(&mut out);
+        out
+    }
+
+    /// Writes the current per-core hotspot temperatures into `out` —
+    /// the non-allocating form of [`Self::core_temps_c`] for per-window
+    /// polling loops (the cluster admission scheduler reads every
+    /// node's temperature every sampling window).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len()` equals the floorplan's core count.
+    pub fn core_temps_c_into(&self, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.core_cells.len(),
+            "output slice must have one slot per core"
+        );
+        for (c, t) in out.iter_mut().enumerate() {
+            *t = self.core_temp_c(c);
+        }
     }
 
     /// Peak per-core hotspot temperatures over the whole run, Celsius.
@@ -882,34 +1075,70 @@ impl GridThermal {
     /// Sprint energy budget from the current state, joules: remaining
     /// latent heat plus the sensible headroom of the die and PCM layers
     /// up to the limit (the grid analogue of the phone model's
-    /// "16 joules").
+    /// "16 joules"). Die and phase-change cells only: the bulk of
+    /// sensible layers further down (spreaders, heatsinks) would dwarf
+    /// the fast storage that actually buffers a sprint.
     pub fn sprint_energy_budget_j(&self) -> f64 {
-        let t_max = self.params.t_max_c;
         let mut budget = 0.0;
-        // Die and phase-change cells only: the bulk of sensible layers
-        // further down (spreaders, heatsinks) would dwarf the fast
-        // storage that actually buffers a sprint.
         for i in 0..self.enthalpy_j.len() {
             if i >= self.cells_per_layer && self.phase[i].is_none() {
                 continue;
             }
-            let t = self.cell_temp(i);
-            match &self.phase[i] {
-                Some(pc) => {
-                    let h0 = pc.melt_temp_c * self.capacity_j_per_k[i];
-                    budget +=
-                        (pc.latent_heat_j - (self.enthalpy_j[i] - h0)).clamp(0.0, pc.latent_heat_j);
-                    if t < pc.melt_temp_c {
-                        budget += (pc.melt_temp_c - t) * self.capacity_j_per_k[i];
-                        budget += (t_max - pc.melt_temp_c) * pc.liquid_capacity_j_per_k;
-                    } else {
-                        budget += (t_max - t).max(0.0) * pc.liquid_capacity_j_per_k;
-                    }
+            budget += self.cell_sprint_budget_j(i);
+        }
+        budget
+    }
+
+    /// Sprint energy budget of one core's region, joules: the same
+    /// accounting as [`Self::sprint_energy_budget_j`] restricted to the
+    /// cell columns under core `core`'s floorplan footprint. This is
+    /// the budget a *node* of a rack floorplan can spend — its own die
+    /// cells and the storage directly beneath them — rather than the
+    /// rack-global figure. For a core whose footprint covers the whole
+    /// die the two are identical (bit-for-bit: same cells, visited in
+    /// the same layer-major ascending order, so the sums accumulate
+    /// identically). Touches only the footprint's columns — no
+    /// allocation, no full-grid scan — so it is cheap enough for
+    /// per-window scheduler telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range core index.
+    pub fn region_sprint_budget_j(&self, core: usize) -> f64 {
+        let mut budget = 0.0;
+        for li in 0..self.params.layers.len() {
+            let base = li * self.cells_per_layer;
+            for &(cell, _) in &self.core_cells[core] {
+                let i = base + cell;
+                if li > 0 && self.phase[i].is_none() {
+                    continue;
                 }
-                None => budget += (t_max - t).max(0.0) * self.capacity_j_per_k[i],
+                budget += self.cell_sprint_budget_j(i);
             }
         }
         budget
+    }
+
+    /// One cell's contribution to the sprint budget: remaining latent
+    /// heat plus sensible headroom up to the limit.
+    fn cell_sprint_budget_j(&self, i: usize) -> f64 {
+        let t_max = self.params.t_max_c;
+        let t = self.cell_temp(i);
+        match &self.phase[i] {
+            Some(pc) => {
+                let h0 = pc.melt_temp_c * self.capacity_j_per_k[i];
+                let mut budget =
+                    (pc.latent_heat_j - (self.enthalpy_j[i] - h0)).clamp(0.0, pc.latent_heat_j);
+                if t < pc.melt_temp_c {
+                    budget += (pc.melt_temp_c - t) * self.capacity_j_per_k[i];
+                    budget += (t_max - pc.melt_temp_c) * pc.liquid_capacity_j_per_k;
+                } else {
+                    budget += (t_max - t).max(0.0) * pc.liquid_capacity_j_per_k;
+                }
+                budget
+            }
+            None => (t_max - t).max(0.0) * self.capacity_j_per_k[i],
+        }
     }
 
     /// Total enthalpy stored in all cells, joules (for conservation
@@ -937,6 +1166,12 @@ impl GridThermal {
         for t in &mut self.peak_core_temps_c {
             *t = ambient;
         }
+        // The same fold the old on-demand query ran, so the cached
+        // junction is bit-identical to it (the round-trip through
+        // enthalpy can land an ulp off `ambient`).
+        self.junction_cache_c = (0..self.cells_per_layer)
+            .map(|i| self.cell_temp(i))
+            .fold(f64::NEG_INFINITY, f64::max);
     }
 
     /// Advances the grid by `dt_s` seconds, sub-stepping to the active
@@ -952,6 +1187,9 @@ impl GridThermal {
             dt_s.is_finite() && dt_s >= 0.0,
             "dt must be finite and non-negative"
         );
+        if self.core_power_dirty {
+            self.apply_core_power_map();
+        }
         if dt_s > 0.0 {
             let bound = match self.params.solver {
                 GridSolver::Explicit => self.sub_step_s,
@@ -1081,6 +1319,10 @@ impl GridThermal {
         // explicit evaluation above carries the matching (1-θ) share,
         // so the unfactored limit is the trapezoidal theta scheme.
         let wdt = ADI_THETA * dt;
+        self.ensure_adi_cache(wdt);
+        // Take the cache out of `self` so the sweeps can borrow its
+        // factors while mutating everything else; restored below.
+        let cache = std::mem::take(&mut self.adi_cache);
         let (nx, ny) = (self.params.nx, self.params.ny);
         let cells = self.cells_per_layer;
         let layers = self.params.layers.len();
@@ -1088,8 +1330,9 @@ impl GridThermal {
             for li in 0..layers {
                 let g = self.lat_gx[li];
                 if g > 0.0 {
+                    let factor = cache.rows[li].as_ref();
                     for y in 0..ny {
-                        self.adi_sweep_line(li * cells + y * nx, 1, nx, g, wdt);
+                        self.adi_sweep_line(li * cells + y * nx, 1, nx, g, wdt, factor);
                     }
                 }
             }
@@ -1098,8 +1341,9 @@ impl GridThermal {
             for li in 0..layers {
                 let g = self.lat_gy[li];
                 if g > 0.0 {
+                    let factor = cache.cols[li].as_ref();
                     for x in 0..nx {
-                        self.adi_sweep_line(li * cells + x, nx, ny, g, wdt);
+                        self.adi_sweep_line(li * cells + x, nx, ny, g, wdt, factor);
                     }
                 }
             }
@@ -1108,8 +1352,84 @@ impl GridThermal {
         // even a 1x1 grid (the lumped-equivalent chain) reduces to the
         // plain unfactored theta scheme through here.
         for c in 0..cells {
-            self.adi_sweep_stack(c, wdt);
+            self.adi_sweep_stack(c, wdt, cache.stack.as_ref());
         }
+        self.adi_cache = cache;
+    }
+
+    /// Rebuilds the cached line factorizations when the theta-weighted
+    /// sub-step changes (in a session it never does after the first
+    /// window, so this amortizes to a single build). Only coefficient
+    /// sets that are constant across sub-steps are cached: lines of
+    /// PCM-free layers, and the shared vertical stack when no layer
+    /// has phase change. Every cached factor reproduces the uncached
+    /// assembly bit-for-bit (same expressions, same order).
+    fn ensure_adi_cache(&mut self, wdt: f64) {
+        if self.adi_cache.wdt == wdt {
+            return;
+        }
+        let layers = self.params.layers.len();
+        let cells = self.cells_per_layer;
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let line_factor = |has_pcm: bool, ceff: f64, g: f64, len: usize| {
+            if has_pcm || g <= 0.0 || len <= 1 {
+                return None;
+            }
+            let gdt = g * wdt;
+            let mut sub = vec![0.0; len];
+            let mut diag = vec![0.0; len];
+            let mut sup = vec![0.0; len];
+            for (k, d) in diag.iter_mut().enumerate() {
+                let mut row = ceff;
+                if k > 0 {
+                    row += gdt;
+                    sub[k] = -gdt;
+                }
+                if k + 1 < len {
+                    row += gdt;
+                    sup[k] = -gdt;
+                }
+                *d = row;
+            }
+            Some(TridiagFactor::new(&sub, &diag, &sup))
+        };
+        let mut rows = Vec::with_capacity(layers);
+        let mut cols = Vec::with_capacity(layers);
+        for (li, layer) in self.params.layers.iter().enumerate() {
+            let has_pcm = layer.phase_change.is_some();
+            // Per-cell capacity is uniform within a layer, so any
+            // cell's value stands for the whole line.
+            let ceff = self.capacity_j_per_k[li * cells];
+            rows.push(line_factor(has_pcm, ceff, self.lat_gx[li], nx));
+            cols.push(line_factor(has_pcm, ceff, self.lat_gy[li], ny));
+        }
+        let any_pcm = self.params.layers.iter().any(|l| l.phase_change.is_some());
+        let stack = if any_pcm {
+            None
+        } else {
+            let mut sub = vec![0.0; layers];
+            let mut diag = vec![0.0; layers];
+            let mut sup = vec![0.0; layers];
+            for l in 0..layers {
+                let ceff = self.capacity_j_per_k[l * cells];
+                let g_up = if l > 0 { self.g_vert[l - 1] } else { 0.0 };
+                let g_dn = if l + 1 < layers { self.g_vert[l] } else { 0.0 };
+                let mut d = ceff + wdt * (g_up + g_dn);
+                if l + 1 == layers {
+                    d += wdt * self.g_sink_cell;
+                }
+                sub[l] = -wdt * g_up;
+                diag[l] = d;
+                sup[l] = -wdt * g_dn;
+            }
+            Some(TridiagFactor::new(&sub, &diag, &sup))
+        };
+        self.adi_cache = AdiCoeffCache {
+            wdt,
+            rows,
+            cols,
+            stack,
+        };
     }
 
     /// One implicit lateral factor over a line of `len` cells starting
@@ -1122,41 +1442,60 @@ impl GridThermal {
     /// Layers with lateral conduction disabled never reach here; for
     /// them the factor is the identity (`C w = rhs` and `Lx w = 0`), so
     /// skipping the line entirely is exact, not an approximation.
-    fn adi_sweep_line(&mut self, base: usize, stride: usize, len: usize, g: f64, wdt: f64) {
+    ///
+    /// `factor` carries the line's cached elimination when the layer is
+    /// PCM-free (the coefficients cannot change between sub-steps);
+    /// with it the per-line work is just the two substitution passes.
+    fn adi_sweep_line(
+        &mut self,
+        base: usize,
+        stride: usize,
+        len: usize,
+        g: f64,
+        wdt: f64,
+        factor: Option<&TridiagFactor>,
+    ) {
         let gdt = g * wdt;
-        for k in 0..len {
-            let i = base + k * stride;
-            let ceff = self.adi_ceff[i];
-            if ceff.is_finite() {
-                let mut diag = ceff;
-                let mut sub = 0.0;
-                let mut sup = 0.0;
-                if k > 0 {
-                    diag += gdt;
-                    sub = -gdt;
-                }
-                if k + 1 < len {
-                    diag += gdt;
-                    sup = -gdt;
-                }
-                self.tri_sub[k] = sub;
-                self.tri_diag[k] = diag;
-                self.tri_sup[k] = sup;
-                self.tri_rhs[k] = self.adi_rhs[i];
-            } else {
-                self.tri_sub[k] = 0.0;
-                self.tri_diag[k] = 1.0;
-                self.tri_sup[k] = 0.0;
-                self.tri_rhs[k] = 0.0;
+        if let Some(f) = factor {
+            for k in 0..len {
+                self.tri_rhs[k] = self.adi_rhs[base + k * stride];
             }
+            f.solve(&self.tri_rhs[..len], &mut self.tri_x[..len]);
+        } else {
+            for k in 0..len {
+                let i = base + k * stride;
+                let ceff = self.adi_ceff[i];
+                if ceff.is_finite() {
+                    let mut diag = ceff;
+                    let mut sub = 0.0;
+                    let mut sup = 0.0;
+                    if k > 0 {
+                        diag += gdt;
+                        sub = -gdt;
+                    }
+                    if k + 1 < len {
+                        diag += gdt;
+                        sup = -gdt;
+                    }
+                    self.tri_sub[k] = sub;
+                    self.tri_diag[k] = diag;
+                    self.tri_sup[k] = sup;
+                    self.tri_rhs[k] = self.adi_rhs[i];
+                } else {
+                    self.tri_sub[k] = 0.0;
+                    self.tri_diag[k] = 1.0;
+                    self.tri_sup[k] = 0.0;
+                    self.tri_rhs[k] = 0.0;
+                }
+            }
+            self.tridiag.solve(
+                &self.tri_sub[..len],
+                &self.tri_diag[..len],
+                &self.tri_sup[..len],
+                &self.tri_rhs[..len],
+                &mut self.tri_x[..len],
+            );
         }
-        self.tridiag.solve(
-            &self.tri_sub[..len],
-            &self.tri_diag[..len],
-            &self.tri_sup[..len],
-            &self.tri_rhs[..len],
-            &mut self.tri_x[..len],
-        );
         for k in 0..len - 1 {
             let i = base + k * stride;
             let q = (self.tri_x[k] - self.tri_x[k + 1]) * gdt;
@@ -1179,38 +1518,50 @@ impl GridThermal {
     /// sink): solves for the step's temperature increment (with the
     /// theta-weighted step `wdt`) and applies the vertical/sink
     /// enthalpy corrections.
-    fn adi_sweep_stack(&mut self, c: usize, wdt: f64) {
+    ///
+    /// `factor` carries the cached stack elimination when no layer has
+    /// phase change — one factorization then serves every cell column,
+    /// which on a PCM-free rack grid removes the entire per-column
+    /// assembly-and-eliminate cost.
+    fn adi_sweep_stack(&mut self, c: usize, wdt: f64, factor: Option<&TridiagFactor>) {
         let cells = self.cells_per_layer;
         let layers = self.params.layers.len();
         let g_sink = self.g_sink_cell;
-        for l in 0..layers {
-            let i = l * cells + c;
-            let ceff = self.adi_ceff[i];
-            let g_up = if l > 0 { self.g_vert[l - 1] } else { 0.0 };
-            let g_dn = if l + 1 < layers { self.g_vert[l] } else { 0.0 };
-            if ceff.is_finite() {
-                let mut diag = ceff + wdt * (g_up + g_dn);
-                if l + 1 == layers {
-                    diag += wdt * g_sink;
-                }
-                self.tri_sub[l] = -wdt * g_up;
-                self.tri_diag[l] = diag;
-                self.tri_sup[l] = -wdt * g_dn;
-                self.tri_rhs[l] = self.adi_rhs[i];
-            } else {
-                self.tri_sub[l] = 0.0;
-                self.tri_diag[l] = 1.0;
-                self.tri_sup[l] = 0.0;
-                self.tri_rhs[l] = 0.0;
+        if let Some(f) = factor {
+            for l in 0..layers {
+                self.tri_rhs[l] = self.adi_rhs[l * cells + c];
             }
+            f.solve(&self.tri_rhs[..layers], &mut self.tri_x[..layers]);
+        } else {
+            for l in 0..layers {
+                let i = l * cells + c;
+                let ceff = self.adi_ceff[i];
+                let g_up = if l > 0 { self.g_vert[l - 1] } else { 0.0 };
+                let g_dn = if l + 1 < layers { self.g_vert[l] } else { 0.0 };
+                if ceff.is_finite() {
+                    let mut diag = ceff + wdt * (g_up + g_dn);
+                    if l + 1 == layers {
+                        diag += wdt * g_sink;
+                    }
+                    self.tri_sub[l] = -wdt * g_up;
+                    self.tri_diag[l] = diag;
+                    self.tri_sup[l] = -wdt * g_dn;
+                    self.tri_rhs[l] = self.adi_rhs[i];
+                } else {
+                    self.tri_sub[l] = 0.0;
+                    self.tri_diag[l] = 1.0;
+                    self.tri_sup[l] = 0.0;
+                    self.tri_rhs[l] = 0.0;
+                }
+            }
+            self.tridiag.solve(
+                &self.tri_sub[..layers],
+                &self.tri_diag[..layers],
+                &self.tri_sup[..layers],
+                &self.tri_rhs[..layers],
+                &mut self.tri_x[..layers],
+            );
         }
-        self.tridiag.solve(
-            &self.tri_sub[..layers],
-            &self.tri_diag[..layers],
-            &self.tri_sup[..layers],
-            &self.tri_rhs[..layers],
-            &mut self.tri_x[..layers],
-        );
         for l in 0..layers - 1 {
             let i = l * cells + c;
             let q = (self.tri_x[l] - self.tri_x[l + 1]) * self.g_vert[l] * wdt;
@@ -1225,7 +1576,18 @@ impl GridThermal {
     }
 
     fn track_peaks(&mut self) {
-        self.peak_hotspot_gradient_k = self.peak_hotspot_gradient_k.max(self.hotspot_gradient_k());
+        // One die scan refreshes both the gradient tracker and the
+        // junction cache: `hi` is exactly the fold `junction_temp_c`
+        // used to recompute on demand.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..self.cells_per_layer {
+            let t = self.cell_temp(i);
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        self.junction_cache_c = hi;
+        self.peak_hotspot_gradient_k = self.peak_hotspot_gradient_k.max(hi - lo);
         for core in 0..self.core_cells.len() {
             let t = self.core_temp_c(core);
             if t > self.peak_core_temps_c[core] {
@@ -1407,6 +1769,148 @@ mod tests {
         let fine = GridThermalParams::hpca_like().with_grid(32, 32).build();
         assert!(fine.sub_step_s() < explicit.sub_step_s() / 4.0);
         assert!((fine.adi_sub_step_s() - explicit.adi_sub_step_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_core_power_matches_the_uniform_split() {
+        // Writing chip/N to every core individually must reproduce the
+        // uniform `set_chip_power_w` split bit-for-bit.
+        let mut uniform = GridThermalParams::hpca_like().build();
+        let mut per_core = GridThermalParams::hpca_like().build();
+        uniform.set_chip_power_w(16.0);
+        let cores = per_core.params().floorplan.core_count();
+        for c in 0..cores {
+            per_core.set_core_power_w(c, 16.0 / cores as f64);
+        }
+        assert_eq!(uniform.chip_power_w(), per_core.chip_power_w());
+        uniform.advance(0.5);
+        per_core.advance(0.5);
+        assert_eq!(
+            uniform.junction_temp_c().to_bits(),
+            per_core.junction_temp_c().to_bits()
+        );
+    }
+
+    #[test]
+    fn one_hot_core_power_heats_only_its_region() {
+        let mut g = GridThermalParams::hpca_like().build();
+        g.set_core_power_w(0, 4.0);
+        assert_eq!(g.chip_power_w(), 4.0);
+        assert_eq!(g.core_power_w(0), 4.0);
+        assert_eq!(g.core_power_w(7), 0.0);
+        g.advance(1.0);
+        // Core 0 (a corner of the array) must run hotter than the
+        // diagonally opposite core 15.
+        assert!(g.core_temp_c(0) > g.core_temp_c(15) + 1.0);
+    }
+
+    #[test]
+    fn region_budget_of_a_full_die_core_equals_the_global_budget() {
+        let mut p = GridThermalParams::hpca_like();
+        p.floorplan = Floorplan::full_die();
+        let mut g = p.build();
+        g.set_chip_power_w(8.0);
+        g.advance(0.4);
+        assert_eq!(
+            g.sprint_energy_budget_j().to_bits(),
+            g.region_sprint_budget_j(0).to_bits(),
+            "a footprint covering every cell must see the global budget"
+        );
+    }
+
+    #[test]
+    fn region_budgets_track_their_own_heat() {
+        let mut g = GridThermalParams::hpca_like().build();
+        let cold0 = g.region_sprint_budget_j(0);
+        let cold15 = g.region_sprint_budget_j(15);
+        assert!((cold0 - cold15).abs() < 1e-9, "symmetric corners at rest");
+        g.set_core_power_w(0, 6.0);
+        g.advance(1.0);
+        assert!(
+            g.region_sprint_budget_j(0) < g.region_sprint_budget_j(15),
+            "the heated region must have less budget left"
+        );
+    }
+
+    #[test]
+    fn core_temps_into_matches_the_allocating_accessor() {
+        let mut g = GridThermalParams::hpca_like().build();
+        g.set_chip_power_w(10.0);
+        g.advance(0.5);
+        let alloc = g.core_temps_c();
+        let mut buf = vec![0.0; alloc.len()];
+        g.core_temps_c_into(&mut buf);
+        assert_eq!(alloc, buf);
+    }
+
+    #[test]
+    fn rack_preset_steady_states_bracket_the_limit() {
+        // All-sustained idles far below the limit; the whole rack
+        // sprinting drives the steady state past it (thermal collapse):
+        // exactly the contention an admission policy has to manage.
+        let nodes = 16;
+        let mut idle = GridThermalParams::rack(4, 4).build();
+        assert_eq!(idle.params().nx, 32);
+        assert_eq!(idle.params().floorplan.core_count(), nodes);
+        assert_eq!(idle.solver(), GridSolver::Adi);
+        for n in 0..nodes {
+            idle.set_core_power_w(n, 1.0);
+        }
+        idle.advance(200.0);
+        assert!(
+            idle.junction_temp_c() < 40.0,
+            "sustained rack must idle cool, got {:.1} C",
+            idle.junction_temp_c()
+        );
+
+        let mut one = GridThermalParams::rack(4, 4).build();
+        for n in 0..nodes {
+            one.set_core_power_w(n, if n == 5 { 16.0 } else { 1.0 });
+        }
+        one.advance(200.0);
+        assert!(
+            one.junction_temp_c() < 55.0,
+            "a lone sprinter must stay well below the limit, got {:.1} C",
+            one.junction_temp_c()
+        );
+
+        let mut all = GridThermalParams::rack(4, 4).build();
+        for n in 0..nodes {
+            all.set_core_power_w(n, 16.0);
+        }
+        all.advance(200.0);
+        assert!(
+            all.junction_temp_c() > all.t_max_c() + 10.0,
+            "an unmanaged all-node sprint must collapse thermally, got {:.1} C",
+            all.junction_temp_c()
+        );
+    }
+
+    #[test]
+    fn adi_cache_rebuilds_on_a_new_step_size_without_changing_results() {
+        // Two identical ADI racks, one advanced with a uniform window
+        // and one with a mixed schedule covering the same span, must
+        // agree closely (the cache is keyed on the sub-step and must
+        // rebuild transparently).
+        let mut a = GridThermalParams::rack(2, 2).build();
+        let mut b = GridThermalParams::rack(2, 2).build();
+        for n in 0..4 {
+            a.set_core_power_w(n, 8.0);
+            b.set_core_power_w(n, 8.0);
+        }
+        for _ in 0..40 {
+            a.advance(0.05);
+        }
+        for _ in 0..10 {
+            b.advance(0.13);
+        }
+        b.advance(0.7);
+        assert!(
+            (a.junction_temp_c() - b.junction_temp_c()).abs() < 0.2,
+            "{} vs {}",
+            a.junction_temp_c(),
+            b.junction_temp_c()
+        );
     }
 
     #[test]

@@ -51,8 +51,15 @@
 //!   and a semi-implicit ADI solver whose sub-step does not shrink with
 //!   the grid resolution — at 32x32 it is >10x faster at matched
 //!   (<0.1 K) accuracy, which is what makes fine grids and rack-scale
-//!   floorplans practical. See the "Choosing a solver" section of the
-//!   [`grid`] module docs.
+//!   floorplans practical (PCM-free layers additionally reuse cached
+//!   tridiagonal factorizations across sub-steps). See the "Choosing a
+//!   solver" section of the [`grid`] module docs.
+//!
+//! The floorplan abstraction scales past a die: a *rack* is a floorplan
+//! whose "cores" are servers over a shared-airflow plenum layer
+//! ([`grid::GridThermalParams::rack`]), with per-region readouts
+//! (`core_temp_c`, `region_sprint_budget_j`) so each server sees its
+//! own silicon — the substrate `sprint-cluster` schedules against.
 //!
 //! The two agree by construction where they overlap: a 1x1-cell-per-layer
 //! grid reproduces the lumped chain (see

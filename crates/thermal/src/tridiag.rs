@@ -18,6 +18,15 @@
 //! non-vanishing pivots. Diagonally dominant systems (every implicit
 //! heat-conduction step produces one: `diag = C + dt * sum(G)` against
 //! off-diagonals `-dt * G`) are always safe.
+//!
+//! When the *matrix* is reused across many right-hand sides — the ADI
+//! sweeps of a PCM-free layer solve the identical system for every grid
+//! line of every sub-step, because only melting-plateau rows ever change
+//! a coefficient — [`TridiagFactor`] precomputes the forward-elimination
+//! multipliers once and replays them per solve, eliminating the per-row
+//! division. Its solutions are bit-identical to [`Tridiag::solve`] on
+//! the same system (the arithmetic is the same, in the same order), so
+//! switching between the two paths cannot perturb a trace.
 
 /// A reusable Thomas solver. Holds the forward-elimination scratch so
 /// repeated solves (one per grid line per sweep) allocate nothing after
@@ -81,6 +90,85 @@ impl Tridiag {
         x[n - 1] = self.dp[n - 1];
         for i in (0..n - 1).rev() {
             x[i] = self.dp[i] - self.cp[i] * x[i + 1];
+        }
+    }
+}
+
+/// A prefactored tridiagonal matrix: the Thomas forward-elimination
+/// state (`1/pivot` reciprocals and modified super-diagonal) captured
+/// once, replayed against any number of right-hand sides.
+///
+/// Solutions are bit-identical to [`Tridiag::solve`] on the same
+/// coefficients — same operations, same order — with the per-row
+/// division amortized into construction.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TridiagFactor {
+    /// Sub-diagonal (needed to eliminate each rhs).
+    sub: Vec<f64>,
+    /// Modified super-diagonal coefficients (`cp` of the Thomas pass).
+    cp: Vec<f64>,
+    /// Pivot reciprocals, one per row.
+    m: Vec<f64>,
+}
+
+impl TridiagFactor {
+    /// Factors the system once. Slice conventions (and the pivot
+    /// contract) match [`Tridiag::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ or the system is empty.
+    pub fn new(sub: &[f64], diag: &[f64], sup: &[f64]) -> Self {
+        let n = diag.len();
+        assert!(n > 0, "empty tridiagonal system");
+        assert!(
+            sub.len() == n && sup.len() == n,
+            "tridiagonal slice lengths must match"
+        );
+        let mut cp = vec![0.0; n];
+        let mut m = vec![0.0; n];
+        m[0] = 1.0 / diag[0];
+        cp[0] = sup[0] * m[0];
+        for i in 1..n {
+            m[i] = 1.0 / (diag[i] - sub[i] * cp[i - 1]);
+            cp[i] = sup[i] * m[i];
+        }
+        Self {
+            sub: sub.to_vec(),
+            cp,
+            m,
+        }
+    }
+
+    /// Number of unknowns the factorization was built for.
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// True for a zero-unknown factorization (never constructible via
+    /// [`Self::new`], which rejects empty systems).
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty()
+    }
+
+    /// Solves `A x = rhs` for the prefactored `A`. The forward pass
+    /// runs in `x` itself, so no scratch is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` or `x` disagree with the factored size.
+    pub fn solve(&self, rhs: &[f64], x: &mut [f64]) {
+        let n = self.m.len();
+        assert!(
+            rhs.len() == n && x.len() == n,
+            "tridiagonal slice lengths must match"
+        );
+        x[0] = rhs[0] * self.m[0];
+        for i in 1..n {
+            x[i] = (rhs[i] - self.sub[i] * x[i - 1]) * self.m[i];
+        }
+        for i in (0..n - 1).rev() {
+            x[i] -= self.cp[i] * x[i + 1];
         }
     }
 }
@@ -193,6 +281,53 @@ mod tests {
                     "n={n} row {i}: residual {}",
                     back[i] - rhs[i]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn factored_solve_is_bit_identical_to_direct() {
+        // The ADI cache swaps `Tridiag::solve` for a prefactored replay;
+        // the swap must not move a single bit, or cached and uncached
+        // sweeps would diverge.
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
+        };
+        let mut solver = Tridiag::new();
+        for n in [1usize, 2, 3, 8, 33] {
+            let mut sub = vec![0.0; n];
+            let mut diag = vec![0.0; n];
+            let mut sup = vec![0.0; n];
+            for i in 0..n {
+                if i > 0 {
+                    sub[i] = next();
+                }
+                if i + 1 < n {
+                    sup[i] = next();
+                }
+                diag[i] = 2.5 + next().abs() + sub[i].abs() + sup[i].abs();
+            }
+            let factor = TridiagFactor::new(&sub, &diag, &sup);
+            assert_eq!(factor.len(), n);
+            for _ in 0..3 {
+                let rhs: Vec<f64> = (0..n).map(|_| 10.0 * next()).collect();
+                let mut x_direct = vec![0.0; n];
+                let mut x_factored = vec![0.0; n];
+                solver.solve(&sub, &diag, &sup, &rhs, &mut x_direct);
+                factor.solve(&rhs, &mut x_factored);
+                for i in 0..n {
+                    assert_eq!(
+                        x_direct[i].to_bits(),
+                        x_factored[i].to_bits(),
+                        "n={n} row {i}: {} vs {}",
+                        x_direct[i],
+                        x_factored[i]
+                    );
+                }
             }
         }
     }

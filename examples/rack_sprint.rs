@@ -1,0 +1,89 @@
+//! Rack-level sprinting: unmanaged vs. admission-controlled.
+//!
+//! A 4x4-server rack (one shared 32x32 ADI thermal grid, servers over a
+//! common airflow plenum) works through a batch of vision-kernel bursts
+//! under three cluster policies, per Porto et al.'s "fast, but not so
+//! furious" observation: sprinting *every* server into shared thermal
+//! headroom collapses the rack, while rationing sprints — sprint, or
+//! briefly wait for headroom — completes the same queue sooner at a
+//! lower peak temperature.
+//!
+//! ```text
+//! cargo run --release --example rack_sprint
+//! ```
+
+use computational_sprinting::prelude::*;
+use sprint_thermal::grid::GridThermalParams;
+
+/// Thermal time compression (so the example runs in seconds).
+const COMPRESS: f64 = 6000.0;
+/// Tasks in the batch: six waves over the 16 servers. The queue must
+/// outlast the rack's cold thermal reserve for the policies to
+/// separate — the first wave is nearly free under any policy, and the
+/// collapse of the unmanaged rack compounds over the later waves.
+const TASKS: usize = 96;
+
+fn run(label: &str, policy: ClusterPolicy) -> (ClusterReport, usize) {
+    let mut cfg = SprintConfig::hpca_parallel();
+    // Each node's governor credits itself the rack's nameplate per-node
+    // cooling share (~8 W for this rack); the credit is only honored
+    // while few nodes sprint — node governors cannot see that.
+    cfg.tdp_w = 8.0;
+    let mut cluster = ClusterBuilder::new(GridThermalParams::rack(4, 4).time_scaled(COMPRESS))
+        .policy(policy)
+        .config(cfg)
+        .tasks(ClusterTask::batch(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            16,
+            TASKS,
+        ))
+        .trace_capacity(0)
+        .build();
+    // A truncated run would skew the comparison (only completed tasks
+    // enter the makespan), so insist the queue actually drains.
+    assert_eq!(cluster.run_to_completion(), ClusterOutcome::Drained);
+    let report = cluster.report();
+    let failsafes = report
+        .node_reports
+        .iter()
+        .flat_map(|n| n.events.iter())
+        .filter(|e| matches!(e, ControllerEvent::FailsafeThrottled { .. }))
+        .count();
+    println!(
+        "{label:11} makespan {:6.2} ms | mean latency {:6.2} ms | peak {:4.1} C | \
+         sprints {:2} | sheds {:2} | failsafes {:2}",
+        report.makespan_s * 1e3,
+        report.mean_latency_s * 1e3,
+        report.peak_junction_c,
+        report.admitted_sprints,
+        report.sheds,
+        failsafes,
+    );
+    (report, failsafes)
+}
+
+fn main() {
+    println!("== {TASKS} sobel bursts on a 4x4 server rack (32x32 ADI grid, shared plenum) ==\n");
+    let (no_sprint, _) = run("no-sprint", ClusterPolicy::NoSprint);
+    let (all_sprint, collapse_failsafes) = run("all-sprint", ClusterPolicy::AllSprint);
+    let (admission, admission_failsafes) = run("admission", ClusterPolicy::greedy_default());
+
+    println!();
+    println!(
+        "unmanaged all-sprint reaches {:.1} C (limit 70 C): every node's governor was\n\
+         calibrated at nameplate inlet conditions, so none of them can see the shared\n\
+         plenum saturating — {collapse_failsafes} hardware failsafes fire and later \
+         sprints die young.",
+        all_sprint.peak_junction_c
+    );
+    println!(
+        "admission control finishes the queue {:.1}x sooner than never sprinting and\n\
+         {:.1}x sooner than sprinting everywhere, with {} failsafe engagement(s):\n\
+         tasks briefly *wait* for headroom instead of degrading, and the hottest nodes\n\
+         are shed first when the shared pool runs low.",
+        no_sprint.makespan_s / admission.makespan_s,
+        all_sprint.makespan_s / admission.makespan_s,
+        admission_failsafes,
+    );
+}

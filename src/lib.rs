@@ -16,6 +16,9 @@
 //! * [`scaling`] — dark-silicon trend models (Figure 1).
 //! * [`core`] — the sprint controller, budget estimator, and the
 //!   steppable architecture ⇄ thermal ⇄ power-delivery co-simulation.
+//! * [`cluster`] — rack-level sprinting: many sessions against one
+//!   shared rack grid under cluster-level sprint admission (Porto et
+//!   al.'s data-center regime).
 //!
 //! # Quick start
 //!
@@ -52,8 +55,14 @@
 //! a [`powersource::Battery`] via `ScenarioBuilder::supply`), and
 //! pause-inspect-reconfigure loops around
 //! [`core::session::SprintSession::step`]. See `examples/` for all three.
+//!
+//! The thermal backend is a *port*: sessions accept owned backends,
+//! `&mut` borrows, `Box<dyn ThermalModel>`, or shared views — which is
+//! how [`cluster::ClusterSession`] drives a whole rack of sessions
+//! against one `GridThermal` (`examples/rack_sprint.rs`, `repro rack`).
 
 pub use sprint_archsim as archsim;
+pub use sprint_cluster as cluster;
 pub use sprint_core as core;
 pub use sprint_powergrid as powergrid;
 pub use sprint_powersource as powersource;
@@ -64,6 +73,10 @@ pub use sprint_workloads as workloads;
 /// Commonly-used items in one import.
 pub mod prelude {
     pub use sprint_archsim::{Machine, MachineConfig};
+    pub use sprint_cluster::{
+        ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterPolicy, ClusterReport, ClusterSession,
+        ClusterTask, NodeThermalView, RackThermal, TaskOutcome,
+    };
     pub use sprint_core::{
         ControllerEvent, ExecutionMode, HotspotPolicy, IdealSupply, LumpedThermal, PinLimited,
         PowerSupply, RunReport, ScenarioBuilder, SessionObserver, SprintConfig, SprintSession,
