@@ -1,9 +1,12 @@
 //! `perfbench` — the grid-solver performance harness.
 //!
 //! Times the explicit and ADI solvers through one sprint-and-rest cycle
-//! across grid resolutions, prints the comparison table, and writes
-//! `BENCH_grid.json` at the repository root (override the location with
-//! `SPRINT_BENCH_OUT`).
+//! across grid resolutions, plus two rack-scale points — the thermal
+//! `rack_case` and the power-aware scheduler loop (`rack_power_case`:
+//! shared-supply settlement, regulator math and joint thermal+power
+//! admission on the 16-node rack) — prints the comparison table, and
+//! writes `BENCH_grid.json` at the repository root (override the
+//! location with `SPRINT_BENCH_OUT`).
 //!
 //! Usage:
 //! ```text

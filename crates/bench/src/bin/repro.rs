@@ -57,7 +57,7 @@ fn main() {
             "usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--size A|B|C|D]"
         );
         eprintln!(
-            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf rack"
+            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf rack rack_power"
         );
         eprintln!("             ablation_tmelt ablation_metal ablation_budget ablation_abort ablation_pacing");
         std::process::exit(2);
@@ -79,6 +79,7 @@ fn main() {
             "grid",
             "perf",
             "rack",
+            "rack_power",
             "ablation_tmelt",
             "ablation_metal",
             "ablation_budget",
@@ -108,6 +109,7 @@ fn main() {
             "grid" | "fig_grid" => figs_grid::fig_grid(),
             "perf" | "fig_perf" => figs_perf::fig_perf(opts.quick, opts.full),
             "rack" | "fig_rack" => figs_rack::fig_rack(),
+            "rack_power" | "fig_rack_power" => figs_rack::fig_rack_power(),
             "ablation_tmelt" => figs_model::ablation_tmelt(),
             "ablation_metal" => figs_model::ablation_metal(),
             "ablation_budget" => figs_arch::ablation_budget(),

@@ -14,6 +14,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use sprint_cluster::prelude::*;
 use sprint_thermal::grid::{GridSolver, GridThermal, GridThermalParams};
 
 use crate::output::{Csv, TextTable};
@@ -169,6 +170,67 @@ pub fn run_rack_case(measure_explicit: bool) -> RackPerfCase {
     }
 }
 
+/// The power-aware rack point: the full scheduler loop — per-window
+/// machine simulation, ADI rack thermals, shared-supply settlement,
+/// regulator math and joint thermal+power admission — on the 16-node
+/// rack, measured end to end. This is the configuration the
+/// `rack_power` figure runs at scale; the perf point keeps the
+/// supply-accounting overhead honest (it must stay a rounding error
+/// next to the thermal solve).
+#[derive(Debug, Clone)]
+pub struct RackPowerPerfCase {
+    /// Human-readable configuration label, derived from the measured
+    /// cluster (rack size, feed cap) so the perf history can never
+    /// mislabel what was benchmarked.
+    pub stack: String,
+    /// Servers on the rack.
+    pub nodes: usize,
+    /// Open-arrival tasks drained.
+    pub tasks: usize,
+    /// Lockstep windows stepped.
+    pub windows: u64,
+    /// Wall-clock for the drain, milliseconds.
+    pub wall_ms: f64,
+    /// Wall-clock per lockstep window, microseconds.
+    pub us_per_window: f64,
+    /// Electrical sprint casualties (must be zero under rationing).
+    pub supply_aborts: usize,
+}
+
+/// Measures the power-aware rack point (see [`RackPowerPerfCase`]).
+/// The cluster is the figure's own configuration
+/// ([`crate::figs_rack::power_study_cluster`]) at a reduced task
+/// count, so retuning the figure retunes this point with it.
+pub fn run_rack_power_case() -> RackPowerPerfCase {
+    const TASKS: usize = 12;
+    let mut cluster = crate::figs_rack::power_study_cluster(PowerPolicy::rationed_default(), TASKS);
+    let start = Instant::now();
+    let outcome = cluster.run_to_completion();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        outcome,
+        ClusterOutcome::Drained,
+        "the perf point must drain its queue"
+    );
+    let report = cluster.report();
+    let cap_w = cluster
+        .supply()
+        .expect("the power study runs on a shared feed")
+        .cap_w();
+    RackPowerPerfCase {
+        stack: format!(
+            "rack {} servers, shared {cap_w:.0} W feed, power-aware admission",
+            cluster.nodes()
+        ),
+        nodes: cluster.nodes(),
+        tasks: TASKS,
+        windows: cluster.windows(),
+        wall_ms,
+        us_per_window: wall_ms * 1e3 / cluster.windows() as f64,
+        supply_aborts: report.supply_aborts,
+    }
+}
+
 /// Grid resolutions for a run: `--quick` trims to the CI pair, `--full`
 /// adds the 64x64 rack-scale preview (explicit there is minutes of
 /// wall-clock — the point the figure makes).
@@ -205,7 +267,11 @@ pub fn bench_json_path(quick: bool) -> PathBuf {
 
 /// Serializes the cases to the `BENCH_grid.json` schema (hand-rolled:
 /// the vendored serde is a no-op stand-in).
-pub fn bench_json(cases: &[PerfCase], rack: Option<&RackPerfCase>) -> String {
+pub fn bench_json(
+    cases: &[PerfCase],
+    rack: Option<&RackPerfCase>,
+    rack_power: Option<&RackPowerPerfCase>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"grid_solver_perf\",\n");
     out.push_str("  \"stack\": \"hpca_like (die/pcm/spreader, 4x4 core floorplan)\",\n");
@@ -244,14 +310,33 @@ pub fn bench_json(cases: &[PerfCase], rack: Option<&RackPerfCase>) -> String {
         out.push_str(&format!(
             "  \"rack_case\": {{\"stack\": \"rack 4x4 servers (servers/plenum, PCM-free)\", \
              \"nodes\": {nodes}, \"grid\": \"{n}x{n}x2\", \"cells\": {cells}, \
-             \"adi_ms\": {adi_ms:.3}, \"adi_sub_step_s\": {adi_sub:.3e}{explicit}{speedup}}}\n",
+             \"adi_ms\": {adi_ms:.3}, \"adi_sub_step_s\": {adi_sub:.3e}{explicit}{speedup}}}",
             nodes = r.nodes,
             n = r.n,
             cells = r.cells,
             adi_ms = r.adi_ms,
             adi_sub = r.adi_sub_step_s,
         ));
-    } else {
+        if rack_power.is_none() {
+            out.push('\n');
+        }
+    }
+    if let Some(p) = rack_power {
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "  \"rack_power_case\": {{\"stack\": \"{stack}\", \"nodes\": {nodes}, \
+             \"tasks\": {tasks}, \"windows\": {windows}, \"wall_ms\": {wall_ms:.3}, \
+             \"us_per_window\": {uspw:.3}, \"supply_aborts\": {aborts}}}\n",
+            stack = p.stack,
+            nodes = p.nodes,
+            tasks = p.tasks,
+            windows = p.windows,
+            wall_ms = p.wall_ms,
+            uspw = p.us_per_window,
+            aborts = p.supply_aborts,
+        ));
+    }
+    if rack.is_none() && rack_power.is_none() {
         out.push('\n');
     }
     out.push_str("}\n");
@@ -343,8 +428,21 @@ pub fn fig_perf_cases(quick: bool, full: bool) -> (Vec<PerfCase>, String) {
             adi = rack.adi_ms,
         )),
     }
+    // The power-aware rack point: the whole scheduler loop (machines +
+    // ADI thermals + shared-supply settlement + joint admission), to
+    // keep the supply accounting's overhead visible in the history.
+    let rack_power = run_rack_power_case();
+    out.push_str(&format!(
+        "rack power ({nodes} servers, shared feed, power-aware): {tasks} tasks drained \
+         in {wall:.0} ms wall ({uspw:.1} us/window, {aborts} electrical aborts)\n",
+        nodes = rack_power.nodes,
+        tasks = rack_power.tasks,
+        wall = rack_power.wall_ms,
+        uspw = rack_power.us_per_window,
+        aborts = rack_power.supply_aborts,
+    ));
     let path = bench_json_path(quick);
-    match std::fs::write(&path, bench_json(&cases, Some(&rack))) {
+    match std::fs::write(&path, bench_json(&cases, Some(&rack), Some(&rack_power))) {
         Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
         Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
     }
@@ -375,7 +473,7 @@ mod tests {
     #[test]
     fn bench_json_is_wellformed_enough() {
         let cases = vec![run_case(8)];
-        let json = bench_json(&cases, None);
+        let json = bench_json(&cases, None, None);
         assert!(json.contains("\"grid\": \"8x8x3\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -388,9 +486,34 @@ mod tests {
         assert_eq!(rack.n, 32);
         assert!(rack.adi_ms > 0.0);
         assert!(rack.explicit_ms.is_none(), "explicit is a --full extra");
-        let json = bench_json(&cases, Some(&rack));
+        let json = bench_json(&cases, Some(&rack), None);
         assert!(json.contains("\"rack_case\""));
         assert!(json.contains("\"grid\": \"32x32x2\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn rack_power_case_lands_in_the_json() {
+        // A synthetic point keeps this a serialization test (the live
+        // measurement runs in `perfbench`/CI, not `cargo test`).
+        let power = RackPowerPerfCase {
+            stack: "rack 16 servers, shared 120 W feed, power-aware admission".to_string(),
+            nodes: 16,
+            tasks: 12,
+            windows: 4321,
+            wall_ms: 1234.5,
+            us_per_window: 285.7,
+            supply_aborts: 0,
+        };
+        let cases = vec![run_case(8)];
+        let rack = run_rack_case(false);
+        let json = bench_json(&cases, Some(&rack), Some(&power));
+        assert!(json.contains("\"rack_power_case\""));
+        assert!(json.contains("\"supply_aborts\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Every section also serializes independently.
+        let alone = bench_json(&cases, None, Some(&power));
+        assert!(alone.contains("\"rack_power_case\""));
+        assert_eq!(alone.matches('{').count(), alone.matches('}').count());
     }
 }

@@ -15,6 +15,13 @@
 //!   budget, with hottest-first shedding as the emergency backstop;
 //! * **round-robin** — a fixed concurrency cap granted in arrival
 //!   order, trading some throughput for a much cooler rack.
+//!
+//! The companion power figure ([`fig_rack_power`], `repro rack_power`)
+//! puts the same rack behind a shared PDU feed that cannot carry
+//! all-node sprinting and compares power-oblivious against power-aware
+//! admission on an open-arrival trickle: the electrical analogue of
+//! the thermal collapse above, measured in latency and brownout
+//! casualties instead of degrees.
 
 use sprint_cluster::prelude::*;
 use sprint_core::config::SprintConfig;
@@ -163,6 +170,163 @@ pub fn fig_rack() -> String {
     out
 }
 
+/// Open-arrival task count for the power figure.
+pub const POWER_TASKS: usize = 96;
+/// Arrival spacing for the power figure, seconds.
+pub const POWER_SPACING_S: f64 = 20e-6;
+
+/// One power policy's open-arrival run on the electrically capped rack.
+pub struct RackPowerRow {
+    /// Policy label.
+    pub label: &'static str,
+    /// Cluster report.
+    pub report: ClusterReport,
+}
+
+/// Builds the power-study cluster: the standard figure rack behind the
+/// shared 120 W feed (the `RackSupplyParams::rack` design point, which
+/// carries ~6 of the 16 nodes sprinting), fed `tasks` open arrivals.
+/// One configuration serves both the `rack_power` figure and the
+/// `perfbench` rack-power point, so the perf history always measures
+/// what the figure publishes. Thermal admission is fixed; only the
+/// power policy varies.
+pub fn power_study_cluster(power: PowerPolicy, tasks: usize) -> ClusterSession {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    ClusterBuilder::new(GridThermalParams::rack(RACK_EDGE, RACK_EDGE).time_scaled(RACK_COMPRESS))
+        .policy(ClusterPolicy::greedy_default())
+        .power_policy(power)
+        .rack_supply(RackSupplyParams::rack(RACK_EDGE * RACK_EDGE).time_scaled(RACK_COMPRESS))
+        .config(cfg)
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            16,
+            tasks,
+            0.0,
+            POWER_SPACING_S,
+        ))
+        .trace_capacity(0)
+        .build()
+}
+
+/// Runs the open-arrival study under one power policy (see
+/// [`power_study_cluster`]).
+pub fn run_rack_power_policy(
+    label: &'static str,
+    power: PowerPolicy,
+    tasks: usize,
+) -> RackPowerRow {
+    let mut cluster = power_study_cluster(power, tasks);
+    assert_eq!(
+        cluster.run_to_completion(),
+        ClusterOutcome::Drained,
+        "{label}: the power figure queue must drain within the time limit"
+    );
+    RackPowerRow {
+        label,
+        report: cluster.report(),
+    }
+}
+
+/// The rack power figure: the same open-arrival trickle under
+/// power-oblivious and power-aware admission on one electrically
+/// capped rack.
+pub fn fig_rack_power() -> String {
+    let rows = [
+        run_rack_power_policy("power-oblivious", PowerPolicy::Oblivious, POWER_TASKS),
+        run_rack_power_policy("power-aware", PowerPolicy::rationed_default(), POWER_TASKS),
+    ];
+    let mut out = format!(
+        "Rack power delivery — {} open-arrival sobel bursts ({} us spacing) on a \
+         {}x{} rack behind a shared {:.0} W feed\n",
+        POWER_TASKS,
+        POWER_SPACING_S * 1e6,
+        RACK_EDGE,
+        RACK_EDGE,
+        RackSupplyParams::rack(RACK_EDGE * RACK_EDGE).cap_w,
+    );
+    let mut table = TextTable::new();
+    table.row(&[
+        &"policy",
+        &"mean latency ms",
+        &"p95 ms",
+        &"max ms",
+        &"sprints",
+        &"supply aborts",
+        &"power sheds",
+    ]);
+    let mut csv = Csv::new(
+        "fig_rack_power",
+        &[
+            "policy",
+            "mean_latency_ms",
+            "p95_latency_ms",
+            "max_latency_ms",
+            "makespan_ms",
+            "admitted_sprints",
+            "denied_sprints",
+            "supply_aborts",
+            "power_sheds",
+            "sheds",
+        ],
+    );
+    for r in &rows {
+        table.row(&[
+            &r.label,
+            &format!("{:.2}", r.report.mean_latency_s * 1e3),
+            &format!("{:.2}", r.report.p95_latency_s * 1e3),
+            &format!("{:.2}", r.report.max_latency_s * 1e3),
+            &r.report.admitted_sprints,
+            &r.report.supply_aborts,
+            &r.report.power_sheds,
+        ]);
+        csv.row(&[
+            &r.label,
+            &format!("{:.3}", r.report.mean_latency_s * 1e3),
+            &format!("{:.3}", r.report.p95_latency_s * 1e3),
+            &format!("{:.3}", r.report.max_latency_s * 1e3),
+            &format!("{:.3}", r.report.makespan_s * 1e3),
+            &r.report.admitted_sprints,
+            &r.report.denied_sprints,
+            &r.report.supply_aborts,
+            &r.report.power_sheds,
+            &r.report.sheds,
+        ]);
+    }
+    out.push_str(&table.render());
+    let (obl, aware) = (&rows[0].report, &rows[1].report);
+    // The narrative below states these unconditionally, so refuse to
+    // print a figure whose claims stopped being true (the example
+    // asserts the same invariants on its own copy of the study).
+    assert_eq!(
+        aware.supply_aborts, 0,
+        "power-aware admission must never let a sprint brown out"
+    );
+    assert!(
+        obl.supply_aborts > 0 && aware.mean_latency_s < obl.mean_latency_s,
+        "the power figure's ordering no longer holds: oblivious {} aborts, \
+         mean {:.5} s vs aware {:.5} s",
+        obl.supply_aborts,
+        obl.mean_latency_s,
+        aware.mean_latency_s
+    );
+    out.push_str(&format!(
+        "the power-oblivious rack sprints into the shared feed until the reserve\n\
+         empties: {} sprints die electrically ({} brownout casualties crawl home on\n\
+         one core). power-aware admission books each sprint against the feed and\n\
+         defers what the bus cannot carry: zero electrical casualties and {:.2}x\n\
+         lower mean latency ({:.2} vs {:.2} ms) from the *same* thermal policy.\n",
+        obl.supply_aborts,
+        obl.supply_aborts,
+        obl.mean_latency_s / aware.mean_latency_s,
+        aware.mean_latency_s * 1e3,
+        obl.mean_latency_s * 1e3,
+    ));
+    out.push_str(&format!("wrote {}\n", csv.finish().display()));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +347,17 @@ mod tests {
             no_sprint.report.makespan_s
         );
         assert_eq!(no_sprint.failsafes, 0);
+    }
+
+    /// Reduced-scale sanity check of the power figure machinery (the
+    /// full brownout-vs-rationing ordering is pinned by
+    /// `sprint-cluster`'s `power_rack` integration tests).
+    #[test]
+    fn reduced_rack_power_figure_runs_clean_under_rationing() {
+        let aware = run_rack_power_policy("power-aware", PowerPolicy::rationed_default(), 8);
+        assert_eq!(aware.report.completed, 8);
+        assert_eq!(aware.report.supply_aborts, 0);
+        assert!(aware.report.p95_latency_s >= aware.report.mean_latency_s);
+        assert!(aware.report.p95_latency_s <= aware.report.max_latency_s);
     }
 }

@@ -10,15 +10,23 @@
 //!    whether each task may *sprint* (the node's session is re-armed
 //!    under the sprint or the sustained configuration accordingly, via
 //!    `SprintSession::set_config` + `begin_burst`);
-//! 3. runs the shed pass: if the rack-global headroom has shrunk below
-//!    the policy's allowance for the current sprinting population,
-//!    nodes are preempted (`SprintSession::preempt_sprint`) in the
-//!    policy's shed *order* — hottest-first, rotation order, … — the
-//!    cluster generalization of `HotspotPolicy::ShedCores`'s count
-//!    ramp;
+//! 3. runs the shed passes: if the rack-global *thermal* headroom has
+//!    shrunk below the policy's allowance for the current sprinting
+//!    population, nodes are preempted (`SprintSession::preempt_sprint`)
+//!    in the policy's shed *order* — hottest-first, rotation order, … —
+//!    the cluster generalization of `HotspotPolicy::ShedCores`'s count
+//!    ramp; then, under power rationing, the *power emergency* pass
+//!    preempts the biggest drawers while the bus is overdrawn with a
+//!    depleted reserve;
 //! 4. steps every busy node by one window and rests every idle node
-//!    (idle nodes cool and keep the lockstep clock), in node-index
-//!    order, so the whole simulation is deterministic.
+//!    (idle nodes cool, recharge their supply through the session's
+//!    rest path, and keep the lockstep clock), in node-index order, so
+//!    the whole simulation is deterministic.
+//!
+//! Admission is *jointly* thermal- and power-aware: with a shared
+//! [`RackSupply`] pool and a rationing [`PowerPolicy`], a sprint must
+//! clear the thermal gate **and** fit the rack feed, and a task denied
+//! on either axis defers under the same sprint-or-defer machinery.
 //!
 //! A one-node cluster under [`ClusterPolicy::AllSprint`] performs
 //! exactly the calls a standalone session makes, in the same order, so
@@ -30,17 +38,18 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 use sprint_archsim::config::MachineConfig;
 use sprint_archsim::machine::Machine;
-use sprint_core::config::{ExecutionMode, SprintConfig};
-use sprint_core::controller::SprintState;
+use sprint_core::config::{ExecutionMode, SprintConfig, SupplyPolicy};
+use sprint_core::controller::{ControllerEvent, SprintState};
 use sprint_core::session::{RunReport, SprintSession, StepOutcome};
-use sprint_core::supply::IdealSupply;
+use sprint_core::supply::{IdealSupply, PowerSupply};
 use sprint_core::thermal_model::ThermalModel;
 use sprint_thermal::grid::GridThermalParams;
 use sprint_workloads::suite::suite_loader;
 
-use crate::policy::ClusterPolicy;
+use crate::policy::{ClusterPolicy, PowerPolicy};
 use crate::queue::{ClusterTask, TaskOutcome};
 use crate::rack::{NodeThermalView, RackThermal};
+use crate::supply::{RackSupply, RackSupplyParams};
 
 /// What one [`ClusterSession::step`] observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,11 +99,24 @@ pub enum ClusterEvent {
         /// Rack-global headroom at the decision, Kelvin.
         rack_headroom_k: f64,
     },
+    /// The power-emergency shed pass preempted a sprinting node: the
+    /// bus was overdrawn with the reserve below the policy's floor.
+    PowerShed {
+        /// Node index.
+        node: usize,
+        /// Decision time, seconds.
+        at_s: f64,
+        /// Reserve fill fraction at the decision.
+        reserve_fraction: f64,
+    },
 }
+
+/// Per-node supply factory for independently supplied clusters.
+type SupplyFactory = Box<dyn Fn(usize) -> Box<dyn PowerSupply>>;
 
 /// One server node's scheduling state.
 struct Node {
-    session: SprintSession<NodeThermalView, IdealSupply>,
+    session: SprintSession<NodeThermalView, Box<dyn PowerSupply>>,
     /// Task currently running, if any.
     task: Option<usize>,
     /// When the current task started, seconds.
@@ -117,6 +139,9 @@ pub struct ClusterReport {
     /// Mean task latency (arrival to completion), seconds (NaN if no
     /// task completed).
     pub mean_latency_s: f64,
+    /// 95th-percentile task latency (nearest rank), seconds (NaN if no
+    /// task completed) — the tail open-arrival studies ration for.
+    pub p95_latency_s: f64,
     /// Worst task latency, seconds (0 if none).
     pub max_latency_s: f64,
     /// Hottest rack cell observed over the run, Celsius.
@@ -127,12 +152,30 @@ pub struct ClusterReport {
     pub admitted_sprints: usize,
     /// Tasks started none of whose copies was admitted (sustained).
     pub denied_sprints: usize,
-    /// Shed-pass preemptions.
+    /// Thermal shed-pass preemptions.
     pub sheds: usize,
+    /// Power-emergency shed-pass preemptions.
+    pub power_sheds: usize,
+    /// Sprints ended by the electrical supply (`SupplyLimited`
+    /// controller events across all nodes) — brownout casualties the
+    /// power-aware scheduler exists to prevent.
+    pub supply_aborts: usize,
     /// Per-task outcomes, in completion order.
     pub outcomes: Vec<TaskOutcome>,
     /// Per-node coupled reports.
     pub node_reports: Vec<RunReport>,
+}
+
+/// Nearest-rank percentile of completed-task latencies (NaN when no
+/// task has completed; `q` in `(0, 1]`).
+fn latency_percentile_s(outcomes: &[TaskOutcome], q: f64) -> f64 {
+    if outcomes.is_empty() {
+        return f64::NAN;
+    }
+    let mut lat: Vec<f64> = outcomes.iter().map(|o| o.latency_s()).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+    lat[rank - 1]
 }
 
 /// Composes a rack, per-node machines, a policy and a task queue into a
@@ -142,6 +185,9 @@ pub struct ClusterBuilder {
     machine_config: MachineConfig,
     config: SprintConfig,
     policy: ClusterPolicy,
+    power: PowerPolicy,
+    supply_params: Option<RackSupplyParams>,
+    node_supplies: Option<SupplyFactory>,
     tasks: Vec<ClusterTask>,
     trace_capacity: usize,
     max_time_s: f64,
@@ -152,6 +198,7 @@ impl std::fmt::Debug for ClusterBuilder {
         f.debug_struct("ClusterBuilder")
             .field("nodes", &self.rack_params.floorplan.core_count())
             .field("policy", &self.policy)
+            .field("power", &self.power)
             .field("tasks", &self.tasks.len())
             .finish_non_exhaustive()
     }
@@ -169,6 +216,9 @@ impl ClusterBuilder {
             machine_config: MachineConfig::hpca(),
             config: SprintConfig::hpca_parallel(),
             policy: ClusterPolicy::greedy_default(),
+            power: PowerPolicy::Oblivious,
+            supply_params: None,
+            node_supplies: None,
             tasks: Vec::new(),
             trace_capacity: 2048,
             max_time_s: 10.0,
@@ -191,6 +241,37 @@ impl ClusterBuilder {
     /// Sets the admission policy.
     pub fn policy(mut self, policy: ClusterPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the power-admission policy (default
+    /// [`PowerPolicy::Oblivious`]). Rationing requires a shared rack
+    /// supply ([`Self::rack_supply`]) to read telemetry from.
+    pub fn power_policy(mut self, power: PowerPolicy) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Puts every node on a shared rack power-delivery pool: each node
+    /// receives a [`Regulator`](sprint_core::supply::Regulator) over
+    /// its [`NodeSupplyView`](crate::supply::NodeSupplyView), carrying
+    /// `params`' loss curve. Mutually exclusive with
+    /// [`Self::node_supply`].
+    pub fn rack_supply(mut self, params: RackSupplyParams) -> Self {
+        self.supply_params = Some(params);
+        self
+    }
+
+    /// Gives each node an *independent* supply from `factory` (e.g. a
+    /// per-server `HybridSupply`) instead of the shared pool. Mutually
+    /// exclusive with [`Self::rack_supply`]; idle nodes recharge these
+    /// supplies through the lockstep rest path exactly as a standalone
+    /// session's `rest` does.
+    pub fn node_supply(
+        mut self,
+        factory: impl Fn(usize) -> Box<dyn PowerSupply> + 'static,
+    ) -> Self {
+        self.node_supplies = Some(Box::new(factory));
         self
     }
 
@@ -222,7 +303,42 @@ impl ClusterBuilder {
     pub fn build(self) -> ClusterSession {
         self.config.validate();
         self.policy.validate();
+        self.power.validate();
         assert!(self.max_time_s > 0.0, "cluster time limit must be positive");
+        assert!(
+            !(self.supply_params.is_some() && self.node_supplies.is_some()),
+            "rack_supply and node_supply are mutually exclusive"
+        );
+        // `SupplyPolicy::Ignore` makes sessions skip `supply.draw`
+        // entirely, so a shared pool would never see a watt of
+        // telemetry: no reserve drain, no brownouts, no power
+        // admission signal. A study that configures a rack feed but
+        // silently disconnects it reports vacuous zero-abort results —
+        // reject the contradiction up front.
+        if self.supply_params.is_some() {
+            assert!(
+                self.config.supply_policy == SupplyPolicy::EndSprint,
+                "a shared rack supply requires SupplyPolicy::EndSprint: \
+                 under SupplyPolicy::Ignore sessions never report draws, \
+                 so the pool's telemetry, reserve and brownout model are \
+                 all inert"
+            );
+        }
+        if let PowerPolicy::Rationed { sprint_draw_w, .. } = self.power {
+            let params = self
+                .supply_params
+                .as_ref()
+                .expect("power rationing needs a shared rack supply to read telemetry from");
+            // A provisioned sprint draw the empty feed cannot carry
+            // would livelock a deferring queue, exactly like an
+            // unsatisfiable thermal admission threshold.
+            assert!(
+                sprint_draw_w <= params.cap_w,
+                "provisioned sprint draw {sprint_draw_w} W is unsatisfiable: \
+                 the rack feed caps at {} W",
+                params.cap_w
+            );
+        }
         // An admission threshold no cold node can meet would livelock
         // a deferring queue (head-of-line tasks wait forever for
         // headroom the rack cannot physically offer).
@@ -243,22 +359,34 @@ impl ClusterBuilder {
         }
         let rack = RackThermal::new(self.rack_params.build());
         let nodes_n = rack.nodes();
+        let supply_pool = self
+            .supply_params
+            .as_ref()
+            .map(|p| RackSupply::new(*p, nodes_n));
         let mut sustained = self.config.clone();
         sustained.mode = ExecutionMode::Sustained;
         let window_s = self.config.sample_window_ps as f64 * 1e-12;
         let nodes = (0..nodes_n)
-            .map(|n| Node {
-                session: SprintSession::new(
-                    Machine::new(self.machine_config.clone()),
-                    rack.node_view(n),
-                    IdealSupply,
-                    sustained.clone(),
-                    self.trace_capacity,
-                    Vec::new(),
-                ),
-                task: None,
-                assigned_s: 0.0,
-                sprinted: false,
+            .map(|n| {
+                let supply: Box<dyn PowerSupply> =
+                    match (&self.supply_params, &supply_pool, &self.node_supplies) {
+                        (Some(params), Some(pool), _) => Box::new(params.node_supply(pool, n)),
+                        (_, _, Some(factory)) => factory(n),
+                        _ => Box::new(IdealSupply),
+                    };
+                Node {
+                    session: SprintSession::new(
+                        Machine::new(self.machine_config.clone()),
+                        rack.node_view(n),
+                        supply,
+                        sustained.clone(),
+                        self.trace_capacity,
+                        Vec::new(),
+                    ),
+                    task: None,
+                    assigned_s: 0.0,
+                    sprinted: false,
+                }
             })
             .collect();
         let mut arrival_order: Vec<usize> = (0..self.tasks.len()).collect();
@@ -272,6 +400,8 @@ impl ClusterBuilder {
         let task_count = self.tasks.len();
         ClusterSession {
             rack,
+            supply: supply_pool,
+            power: self.power,
             nodes,
             tasks: self.tasks,
             arrival_order,
@@ -299,6 +429,9 @@ impl ClusterBuilder {
 /// the module docs for the per-window protocol.
 pub struct ClusterSession {
     rack: RackThermal,
+    /// The shared electrical pool, when the cluster runs on one.
+    supply: Option<RackSupply>,
+    power: PowerPolicy,
     nodes: Vec<Node>,
     tasks: Vec<ClusterTask>,
     /// Task indices sorted by (arrival, index).
@@ -355,6 +488,16 @@ impl ClusterSession {
     /// The shared rack.
     pub fn rack(&self) -> &RackThermal {
         &self.rack
+    }
+
+    /// The shared electrical pool, when the cluster runs on one.
+    pub fn supply(&self) -> Option<&RackSupply> {
+        self.supply.as_ref()
+    }
+
+    /// The power-admission policy.
+    pub fn power_policy(&self) -> PowerPolicy {
+        self.power
     }
 
     /// Scheduler events so far.
@@ -415,9 +558,11 @@ impl ClusterSession {
             self.ready.push_back(task);
             self.next_arrival += 1;
         }
-        // 2. Assignment (and 3., the shed pass).
+        // 2. Assignment (and 3., the shed passes: thermal, then the
+        // power emergency).
         self.assign_ready(now);
         self.shed_pass(now);
+        self.power_shed_pass(now);
         // 4. Step busy nodes, rest idle ones, in index order (node 0 is
         // the lockstep leader that advances the shared grid).
         for i in 0..self.nodes.len() {
@@ -495,6 +640,7 @@ impl ClusterSession {
             completed: self.outcomes.len(),
             total_tasks: self.tasks.len(),
             mean_latency_s,
+            p95_latency_s: latency_percentile_s(&self.outcomes, 0.95),
             max_latency_s,
             peak_junction_c: if self.peak_junction_c.is_finite() {
                 self.peak_junction_c
@@ -520,6 +666,17 @@ impl ClusterSession {
                 .events
                 .iter()
                 .filter(|e| matches!(e, ClusterEvent::NodeShed { .. }))
+                .count(),
+            power_sheds: self
+                .events
+                .iter()
+                .filter(|e| matches!(e, ClusterEvent::PowerShed { .. }))
+                .count(),
+            supply_aborts: self
+                .nodes
+                .iter()
+                .flat_map(|n| n.session.events().iter())
+                .filter(|e| matches!(e, ControllerEvent::SupplyLimited { .. }))
                 .count(),
             outcomes: self.outcomes.clone(),
             node_reports: self.nodes.iter().map(|n| n.session.report()).collect(),
@@ -602,14 +759,44 @@ impl ClusterSession {
         }
     }
 
-    /// Whether the policy would admit a sprint on `node` right now.
+    /// Whether the policy would admit a sprint on `node` right now: the
+    /// thermal gate (local headroom + rack allowance) *and* the power
+    /// gate must both clear — a task denied on either axis defers under
+    /// the same sprint-or-defer machinery.
     fn admits_on(&self, node: usize) -> bool {
         let allowance = self
             .policy
             .max_sprinting_at(self.nodes.len(), self.rack.headroom_k());
-        let sprinting = self.sprinting_nodes().len();
+        let sprinting = self.sprinting_nodes();
         let node_headroom = self.nodes[node].session.thermal().t_max_c() - self.temps_buf[node];
-        self.policy.admits(node_headroom, sprinting, allowance)
+        self.policy
+            .admits(node_headroom, sprinting.len(), allowance)
+            && self.power_admits(&sprinting)
+    }
+
+    /// The power gate: under rationing, one more provisioned sprint
+    /// must fit the rack feed. Sprinting nodes are booked at the
+    /// policy's provisioned draw (their telemetry lags admission by the
+    /// ramp — booking, not measuring, is what keeps the scheduler ahead
+    /// of the physics); everyone else is carried at live telemetry.
+    fn power_admits(&self, sprinting: &[usize]) -> bool {
+        let PowerPolicy::Rationed { sprint_draw_w, .. } = self.power else {
+            return true;
+        };
+        let pool = self
+            .supply
+            .as_ref()
+            .expect("rationing requires a pool (enforced at build)");
+        let provisioned: f64 = (0..self.nodes.len())
+            .map(|n| {
+                if sprinting.contains(&n) {
+                    sprint_draw_w
+                } else {
+                    pool.node_draw_w(n)
+                }
+            })
+            .sum();
+        provisioned + sprint_draw_w <= pool.cap_w()
     }
 
     /// Starts `task` on `node`, consulting the policy for sprint
@@ -676,6 +863,58 @@ impl ClusterSession {
                 node,
                 at_s: now,
                 rack_headroom_k: rack_headroom,
+            });
+        }
+    }
+
+    /// The power-emergency shed pass: when the bus is overdrawn and
+    /// the reserve has fallen below the policy's floor, preempt
+    /// sprinting nodes until demand fits the feed again. The shed
+    /// *order* is the cluster policy's, fed per-node upstream draws in
+    /// place of temperatures — greedy policies shed the biggest
+    /// drawers first, round-robin walks its rotation — so one ordering
+    /// mechanism serves both emergencies. Admission should keep this
+    /// pass idle; it is the backstop against provisioning error.
+    fn power_shed_pass(&mut self, now: f64) {
+        let PowerPolicy::Rationed {
+            shed_reserve_fraction,
+            ..
+        } = self.power
+        else {
+            return;
+        };
+        let Some(pool) = self.supply.clone() else {
+            return;
+        };
+        let reserve_fraction = pool.reserve_fraction();
+        if pool.headroom_w() >= 0.0 || reserve_fraction >= shed_reserve_fraction {
+            return;
+        }
+        let sprinting = self.sprinting_nodes();
+        let draws: Vec<f64> = (0..self.nodes.len()).map(|n| pool.node_draw_w(n)).collect();
+        let order = self
+            .policy
+            .shed_order(&sprinting, &draws, &self.grant_order);
+        let mut total = pool.total_draw_w();
+        for &node in &order {
+            if total <= pool.cap_w() {
+                break;
+            }
+            self.nodes[node].session.preempt_sprint();
+            self.grant_order.retain(|&n| n != node);
+            // A preempted node keeps drawing sustained power, so
+            // crediting its full draw as relief would under-shed and
+            // prolong the brownout. The exact post-preemption draw is
+            // the node's business, but it stays within the nameplate
+            // share (in-share draws ride out brownouts by design), so
+            // credit only the over-share excess — an emergency pass
+            // should err toward shedding one node too many, never one
+            // too few.
+            total -= (draws[node] - pool.nameplate_share_w()).max(0.0);
+            self.events.push(ClusterEvent::PowerShed {
+                node,
+                at_s: now,
+                reserve_fraction,
             });
         }
     }

@@ -29,6 +29,29 @@
 //! plenum silently couples everyone's headroom: rack contention reaches
 //! each node through physics, not through scheduler bookkeeping.
 //!
+//! # The electrical pool: the same pattern, through the supply port
+//!
+//! Power delivery (paper Section 6) gets the *exact same treatment*
+//! through the `PowerSupply` port: one [`supply::RackSupply`] pool
+//! (PDU/busbar cap plus a stored-energy ride-through reserve) hands out
+//! per-node [`supply::NodeSupplyView`]s, each behind a
+//! `sprint_core::supply::Regulator` whose load-dependent efficiency
+//! curve makes the pool pay `demand / η(load)`. The
+//! nameplate-vs-telemetry split mirrors the thermal one symmetrically:
+//!
+//! * a view advertises only the node's **nameplate share** of the feed
+//!   (`cap / nodes`, captured at commissioning) — node governors carry
+//!   no bus telemetry, so an unmanaged rack sprints into the drained
+//!   reserve and browns out, exactly as nameplate thermal budgets
+//!   sprint into exhausted shared headroom;
+//! * the **live** pool state (total upstream draw, feed headroom,
+//!   reserve level) belongs to the cluster scheduler, which rations it
+//!   through [`policy::PowerPolicy`]: admission books each sprint
+//!   against the feed, denial defers the task under the same
+//!   sprint-or-defer machinery as thermal denial, and a power
+//!   emergency sheds the biggest drawers first through the same
+//!   shed-order mechanism.
+//!
 //! On top sit the scheduler pieces:
 //!
 //! * [`policy::ClusterPolicy`] — admission (may this task sprint
@@ -36,12 +59,18 @@
 //!   headroom?) and shed order (who is preempted first?): greedy
 //!   headroom, round-robin, competitive duplication, plus the
 //!   all-sprint / no-sprint baselines.
+//! * [`policy::PowerPolicy`] — the power axis of admission: oblivious
+//!   (thermal-only, the brownout baseline) or rationed against the
+//!   shared feed.
 //! * [`queue::ClusterTask`] / [`queue::TaskOutcome`] — the arrival
-//!   queue over the `sprint-workloads` suite.
+//!   queue over the `sprint-workloads` suite (open arrivals included;
+//!   `ClusterReport` carries mean/p95/max latency for them).
 //! * [`cluster::ClusterSession`] — the lockstep stepper: one
-//!   `SprintSession` per node, one shared rack, one scheduler pass per
-//!   sampling window. A one-node cluster reproduces a standalone
-//!   session byte-for-byte.
+//!   `SprintSession` per node, one shared rack, one shared feed, one
+//!   scheduler pass per sampling window. A one-node cluster reproduces
+//!   a standalone session byte-for-byte — on an uncapped supply *and*
+//!   on a rechargeable per-node `HybridSupply` (idle windows recharge
+//!   through the lockstep rest path).
 //!
 //! # Quick start
 //!
@@ -68,18 +97,21 @@ pub mod cluster;
 pub mod policy;
 pub mod queue;
 pub mod rack;
+pub mod supply;
 
 pub use cluster::{ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession};
-pub use policy::ClusterPolicy;
+pub use policy::{ClusterPolicy, PowerPolicy};
 pub use queue::{ClusterTask, TaskOutcome};
 pub use rack::{NodeThermalView, RackThermal};
+pub use supply::{NodeSupplyView, RackSupply, RackSupplyParams};
 
 /// Commonly-used items in one import.
 pub mod prelude {
     pub use crate::cluster::{
         ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession,
     };
-    pub use crate::policy::ClusterPolicy;
+    pub use crate::policy::{ClusterPolicy, PowerPolicy};
     pub use crate::queue::{ClusterTask, TaskOutcome};
     pub use crate::rack::{NodeThermalView, RackThermal};
+    pub use crate::supply::{NodeSupplyView, RackSupply, RackSupplyParams};
 }

@@ -18,6 +18,79 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How cluster admission treats the shared electrical pool
+/// (`RackSupply`) — the power axis of the joint thermal-and-power
+/// admission decision. Orthogonal to [`ClusterPolicy`], which keeps
+/// answering the thermal questions: a sprint must clear *both* gates,
+/// and a task denied on either axis defers under the same
+/// sprint-or-defer machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowerPolicy {
+    /// Power-oblivious admission (the pre-supply behaviour): sprints
+    /// are granted on thermal headroom alone, the bus overdraws, the
+    /// reserve drains, and brownouts end sprints mid-flight — the
+    /// electrical analogue of the unmanaged rack's thermal collapse.
+    Oblivious,
+    /// Power-aware rationing: a sprint is admitted only when the feed's
+    /// *provisioned* draw — every sprinting node booked at
+    /// `sprint_draw_w`, everyone else at live telemetry — leaves room
+    /// for one more `sprint_draw_w` under the rack cap, so the reserve
+    /// is never spent on scheduled load. The shed pass gains a power
+    /// emergency: when the reserve falls below `shed_reserve_fraction`
+    /// while the bus is overdrawn, sprinting nodes are preempted
+    /// largest-draw-first until demand fits the cap again.
+    Rationed {
+        /// Provisioned upstream draw booked per sprinting node, watts
+        /// (size it at or above the regulated sprint draw; the demo
+        /// rack's 16 W sprint regulates to ~17.7 W upstream).
+        sprint_draw_w: f64,
+        /// Reserve fill fraction below which the power-emergency shed
+        /// engages (the admission gate should keep it from ever
+        /// tripping; it is the backstop against provisioning error).
+        shed_reserve_fraction: f64,
+    },
+}
+
+impl PowerPolicy {
+    /// A reasonable rationing default for the `RackSupplyParams::rack`
+    /// preset: books 18 W per sprint (just above the ~17.7 W regulated
+    /// draw) and sheds if the reserve ever drops below half.
+    pub fn rationed_default() -> Self {
+        PowerPolicy::Rationed {
+            sprint_draw_w: 18.0,
+            shed_reserve_fraction: 0.5,
+        }
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive provisioned draw or a shed fraction
+    /// outside `[0, 1]`.
+    pub fn validate(&self) {
+        if let PowerPolicy::Rationed {
+            sprint_draw_w,
+            shed_reserve_fraction,
+        } = self
+        {
+            assert!(
+                sprint_draw_w.is_finite() && *sprint_draw_w > 0.0,
+                "provisioned sprint draw must be positive"
+            );
+            assert!(
+                (0.0..=1.0).contains(shed_reserve_fraction),
+                "shed reserve fraction must be in [0, 1]"
+            );
+        }
+    }
+
+    /// True when this policy consults the pool at all.
+    pub fn is_rationed(&self) -> bool {
+        matches!(self, PowerPolicy::Rationed { .. })
+    }
+}
+
 /// A cluster sprint-admission policy. See the module docs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ClusterPolicy {

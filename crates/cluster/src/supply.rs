@@ -1,0 +1,637 @@
+//! The shared rack power-delivery pool and its per-node views — the
+//! electrical analogue of [`crate::rack`].
+//!
+//! A rack's servers do not each own a wall outlet: they hang off one
+//! PDU/busbar whose provisioned feed (the *rack power cap*) was sized
+//! for sustained load, with a stored-energy reserve (UPS/ultracapacitor
+//! bank) riding through transients. Sprinting electrifies the same
+//! tragedy of the commons the thermal pool has: every node sprinting at
+//! once demands several times the provisioned feed, the reserve drains,
+//! and the bus browns out.
+//!
+//! [`RackSupply`] wraps that pool in shared ownership and hands out
+//! [`NodeSupplyView`]s — one per server — each of which implements the
+//! sprint loop's `PowerSupply` port, mirroring the thermal port's
+//! nameplate-vs-telemetry split exactly:
+//!
+//! * a view's `draw` records *its node's* upstream draw in the pool's
+//!   telemetry and fails only when the bus is browned out **and** the
+//!   node is drawing beyond its nameplate share — during a brownout the
+//!   PDU sheds over-share loads, while in-share (sustained) draws ride
+//!   through;
+//! * a view's `available_power_w` is the node's **nameplate share** of
+//!   the rack cap (`cap / nodes`), captured at commissioning: a server's
+//!   local governor is provisioned against its share of the feed and
+//!   carries no live bus telemetry — a node on a loaded bus still
+//!   *believes* its share is available, sprints into the drained
+//!   reserve, and trips the brownout. Live pool state (total draw,
+//!   headroom, reserve level) belongs to the cluster scheduler:
+//!   [`RackSupply::headroom_w`] / [`RackSupply::reserve_fraction`]
+//!   expose it for exactly that use (power-aware admission, deferral
+//!   and shedding — `ClusterPolicy` + `PowerPolicy`).
+//!
+//! Nodes attach through a [`Regulator`] (built by
+//! [`RackSupplyParams::node_supply`]), so the pool accounts *upstream*
+//! watts — chip demand divided by the regulator's load-dependent
+//! efficiency — not raw chip power.
+//!
+//! # Time: frontier settlement
+//!
+//! Many views draw from one pool, so energy cannot simply be settled
+//! per call — N lockstep nodes would drain the reserve N times per
+//! window. Each view instead keeps its node's clock (`draw` and
+//! `idle_recharge` both advance it), and the pool settles an interval
+//! exactly once, when the first view's clock moves past the settled
+//! frontier — the same leader-advance rule the thermal rack uses. A
+//! settled interval integrates the *currently recorded* per-node draws:
+//! follower nodes' updates take effect with at most one window of skew,
+//! the same reaction lag every other part of the co-simulation loop
+//! already has. Settlement drains the reserve by the over-cap deficit
+//! (or recharges it from spare busbar headroom when under cap) and
+//! latches the brownout flag the views' draws consult.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sprint_core::supply::{EfficiencyCurve, PowerSupply, Regulator, BOUNDARY_REL_TOL};
+use sprint_powersource::battery::SupplyError;
+
+/// Parameters of a rack power-delivery pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackSupplyParams {
+    /// Provisioned rack feed (PDU/busbar cap), watts. Demand above this
+    /// is served from the reserve; with the reserve empty it browns the
+    /// bus out.
+    pub cap_w: f64,
+    /// Stored-energy ride-through reserve (UPS/ultracap bank), joules.
+    pub reserve_capacity_j: f64,
+    /// Fastest the reserve recharges from spare busbar headroom, watts.
+    pub reserve_recharge_w: f64,
+    /// Per-node regulator loss model (each node's view is wrapped in a
+    /// [`Regulator`] with this curve by
+    /// [`RackSupplyParams::node_supply`]).
+    pub regulator: EfficiencyCurve,
+}
+
+impl RackSupplyParams {
+    /// An unconstrained pool: infinite feed, lossless regulators. A
+    /// cluster on this supply is behaviour-identical to one with no
+    /// electrical model at all (every draw succeeds, nothing is
+    /// recorded against a cap).
+    pub fn unlimited() -> Self {
+        Self {
+            cap_w: f64::INFINITY,
+            reserve_capacity_j: f64::INFINITY,
+            reserve_recharge_w: f64::INFINITY,
+            regulator: EfficiencyCurve::ideal(),
+        }
+    }
+
+    /// The demo rack's electrical design point for `nodes` servers,
+    /// sized against the thermal `rack` preset's ~1 W sustained / 16 W
+    /// sprint nodes: the feed carries every node sustained with room
+    /// for roughly a third of the rack sprinting (7.5 W/node of
+    /// provisioned cap against ~17.7 W of regulated sprint draw), and
+    /// the reserve rides through about a second of one extra node's
+    /// worth of overdraw — brief admission transients, not scheduled
+    /// all-out sprinting, which drains it an order of magnitude
+    /// faster.
+    pub fn rack(nodes: usize) -> Self {
+        assert!(nodes >= 1, "a rack feed needs at least one node");
+        Self {
+            cap_w: 7.5 * nodes as f64,
+            reserve_capacity_j: 10.0 * nodes as f64,
+            reserve_recharge_w: 2.0 * nodes as f64,
+            regulator: EfficiencyCurve::server_vrm(20.0),
+        }
+    }
+
+    /// Compresses the electrical time scale by `factor` to match a
+    /// time-scaled thermal rack: stored energy shrinks (the reserve
+    /// rides through `factor`-times-shorter transients) while power
+    /// levels stay physical — the same convention as
+    /// `GridThermalParams::time_scaled`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive factor.
+    pub fn time_scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "time scale must be positive");
+        self.reserve_capacity_j /= factor;
+        self
+    }
+
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive cap, negative reserve terms, or an
+    /// invalid regulator curve.
+    pub fn validate(&self) {
+        assert!(self.cap_w > 0.0, "rack cap must be positive");
+        assert!(
+            self.reserve_capacity_j >= 0.0 && self.reserve_recharge_w >= 0.0,
+            "reserve terms must be non-negative"
+        );
+        self.regulator.validate();
+    }
+}
+
+/// The shared state behind every view of one rack feed.
+#[derive(Debug)]
+struct SupplyShared {
+    cap_w: f64,
+    reserve_j: f64,
+    reserve_capacity_j: f64,
+    recharge_w: f64,
+    /// Per-node upstream draw telemetry, watts (last reported).
+    node_draw_w: Vec<f64>,
+    /// Per-node clocks, seconds.
+    node_time_s: Vec<f64>,
+    /// How far pool energy has been settled, seconds.
+    settled_to_s: f64,
+    /// Latched by settlement: the bus cannot serve the recorded
+    /// over-cap demand (reserve empty). Views' draws consult it.
+    brownout: bool,
+    /// Settled intervals spent browned out (diagnostic).
+    brownout_intervals: u64,
+    /// One node's commissioning-time share of the feed, watts.
+    nameplate_share_w: f64,
+}
+
+impl SupplyShared {
+    /// Advances `node`'s clock to `target`, settling any interval past
+    /// the frontier (leader-advance; see the module docs).
+    fn advance_node(&mut self, node: usize, dt_s: f64) {
+        let target = self.node_time_s[node] + dt_s;
+        if target > self.settled_to_s {
+            let dt = target - self.settled_to_s;
+            self.settle(dt);
+            self.settled_to_s = target;
+        }
+        self.node_time_s[node] = target;
+    }
+
+    /// Settles `dt_s` of pool energy against the recorded draws.
+    fn settle(&mut self, dt_s: f64) {
+        let total: f64 = self.node_draw_w.iter().sum();
+        if total > self.cap_w {
+            let deficit_j = (total - self.cap_w) * dt_s;
+            if deficit_j <= self.reserve_j {
+                self.reserve_j -= deficit_j;
+                self.brownout = false;
+            } else {
+                self.reserve_j = 0.0;
+                self.brownout = true;
+                self.brownout_intervals += 1;
+            }
+        } else {
+            self.brownout = false;
+            if self.reserve_j < self.reserve_capacity_j {
+                let spare = (self.cap_w - total).min(self.recharge_w);
+                self.reserve_j = (self.reserve_j + spare * dt_s).min(self.reserve_capacity_j);
+            }
+        }
+    }
+}
+
+/// A rack power-delivery pool shared by many node sessions.
+///
+/// Cloning is shallow: clones view the same underlying pool.
+#[derive(Debug, Clone)]
+pub struct RackSupply {
+    shared: Rc<RefCell<SupplyShared>>,
+}
+
+impl RackSupply {
+    /// Commissions a pool for `nodes` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters or zero nodes.
+    pub fn new(params: RackSupplyParams, nodes: usize) -> Self {
+        params.validate();
+        assert!(nodes >= 1, "a rack feed needs at least one node");
+        Self {
+            shared: Rc::new(RefCell::new(SupplyShared {
+                cap_w: params.cap_w,
+                reserve_j: params.reserve_capacity_j,
+                reserve_capacity_j: params.reserve_capacity_j,
+                recharge_w: params.reserve_recharge_w,
+                node_draw_w: vec![0.0; nodes],
+                node_time_s: vec![0.0; nodes],
+                settled_to_s: 0.0,
+                brownout: false,
+                brownout_intervals: 0,
+                nameplate_share_w: params.cap_w / nodes as f64,
+            })),
+        }
+    }
+
+    /// Number of server nodes on this feed.
+    pub fn nodes(&self) -> usize {
+        self.shared.borrow().node_draw_w.len()
+    }
+
+    /// The `PowerSupply` view for node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node index.
+    pub fn node_view(&self, node: usize) -> NodeSupplyView {
+        assert!(node < self.nodes(), "node index out of range");
+        NodeSupplyView {
+            shared: Rc::clone(&self.shared),
+            node,
+            idle_draw_w: 0.0,
+        }
+    }
+
+    /// The provisioned rack feed, watts.
+    pub fn cap_w(&self) -> f64 {
+        self.shared.borrow().cap_w
+    }
+
+    /// One node's nameplate share of the feed, watts (constant after
+    /// commissioning — the figure node-local governors see).
+    pub fn nameplate_share_w(&self) -> f64 {
+        self.shared.borrow().nameplate_share_w
+    }
+
+    /// Live total upstream draw across all nodes, watts (telemetry the
+    /// cluster scheduler may act on; node governors never see it).
+    pub fn total_draw_w(&self) -> f64 {
+        self.shared.borrow().node_draw_w.iter().sum()
+    }
+
+    /// Live feed headroom below the cap, watts (negative while the
+    /// reserve covers an overdraw).
+    pub fn headroom_w(&self) -> f64 {
+        let s = self.shared.borrow();
+        s.cap_w - s.node_draw_w.iter().sum::<f64>()
+    }
+
+    /// One node's live upstream draw, watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node index.
+    pub fn node_draw_w(&self, node: usize) -> f64 {
+        self.shared.borrow().node_draw_w[node]
+    }
+
+    /// Stored energy left in the ride-through reserve, joules.
+    pub fn reserve_j(&self) -> f64 {
+        self.shared.borrow().reserve_j
+    }
+
+    /// Reserve fill fraction in `[0, 1]`: 1.0 for an infinite reserve
+    /// (it can never deplete), 0.0 for a zero-capacity one (there is no
+    /// ride-through at all, so a reserve-gated backstop like the
+    /// power-emergency shed must treat the pool as already empty).
+    pub fn reserve_fraction(&self) -> f64 {
+        let s = self.shared.borrow();
+        if s.reserve_capacity_j.is_infinite() {
+            1.0
+        } else if s.reserve_capacity_j == 0.0 {
+            0.0
+        } else {
+            s.reserve_j / s.reserve_capacity_j
+        }
+    }
+
+    /// True while the bus cannot serve the recorded demand (over-cap
+    /// draw with an empty reserve).
+    pub fn browned_out(&self) -> bool {
+        self.shared.borrow().brownout
+    }
+
+    /// Settled intervals spent browned out so far (diagnostic).
+    pub fn brownout_intervals(&self) -> u64 {
+        self.shared.borrow().brownout_intervals
+    }
+
+    /// How far pool energy has been settled, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.shared.borrow().settled_to_s
+    }
+}
+
+impl RackSupplyParams {
+    /// Builds node `node`'s complete supply stack against `pool`: its
+    /// pool view behind a [`Regulator`] carrying this parameter set's
+    /// loss curve. The view's idle draw is the regulator's fixed
+    /// overhead (`upstream_w(0)`), so an idle rack's baseline load
+    /// stays visible to admission and settlement. This is what
+    /// `ClusterBuilder::rack_supply` installs per node.
+    pub fn node_supply(&self, pool: &RackSupply, node: usize) -> Regulator<NodeSupplyView> {
+        let view = pool
+            .node_view(node)
+            .with_idle_draw_w(self.regulator.upstream_w(0.0));
+        Regulator::new(view, self.regulator)
+    }
+}
+
+/// One node's `PowerSupply` view of the shared rack feed (see the
+/// module docs for the nameplate-vs-telemetry split and the frontier
+/// settlement rule).
+#[derive(Debug, Clone)]
+pub struct NodeSupplyView {
+    shared: Rc<RefCell<SupplyShared>>,
+    node: usize,
+    /// Upstream draw recorded while the node idles, watts — the
+    /// conversion stage's fixed overhead keeps flowing even with the
+    /// chip at rest (`EfficiencyCurve::upstream_w(0)`).
+    idle_draw_w: f64,
+}
+
+impl NodeSupplyView {
+    /// The node index this view maps onto.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Sets the upstream draw the pool accounts while this node idles
+    /// (default 0; [`RackSupplyParams::node_supply`] sets it to the
+    /// regulator's fixed overhead so an idle rack's baseline load is
+    /// not hidden from admission and settlement).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite draw.
+    pub fn with_idle_draw_w(mut self, watts: f64) -> Self {
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "idle draw must be non-negative and finite"
+        );
+        self.idle_draw_w = watts;
+        self
+    }
+}
+
+impl PowerSupply for NodeSupplyView {
+    fn draw(&mut self, power_w: f64, dt_s: f64) -> Result<(), SupplyError> {
+        let mut s = self.shared.borrow_mut();
+        s.node_draw_w[self.node] = power_w.max(0.0);
+        s.advance_node(self.node, dt_s);
+        // During a brownout the PDU sheds loads drawing beyond their
+        // nameplate share; in-share (sustained) draws ride through.
+        // The boundary is tolerance-consistent with the advertised
+        // share, like `PinLimited`.
+        if s.brownout && power_w > s.nameplate_share_w * (1.0 + BOUNDARY_REL_TOL) {
+            return Err(SupplyError::CurrentLimit {
+                requested_w: power_w,
+                available_w: s.nameplate_share_w,
+            });
+        }
+        Ok(())
+    }
+
+    fn available_power_w(&self) -> f64 {
+        // The *nameplate* share, deliberately blind to the live bus
+        // state — a node's governor was provisioned at commissioning
+        // and has no rack telemetry (module docs). The scheduler reads
+        // the live pool through `RackSupply` instead.
+        self.shared.borrow().nameplate_share_w
+    }
+
+    fn remaining_energy_j(&self) -> f64 {
+        // Nameplate symmetry again: the node is promised its share of
+        // the ride-through reserve, not a live reading of it.
+        let s = self.shared.borrow();
+        s.reserve_capacity_j / s.node_draw_w.len() as f64
+    }
+
+    fn idle_recharge(&mut self, dt_s: f64) -> f64 {
+        let mut s = self.shared.borrow_mut();
+        s.node_draw_w[self.node] = self.idle_draw_w;
+        let before = s.reserve_j;
+        s.advance_node(self.node, dt_s);
+        // Energy that flowed back into the shared reserve during the
+        // interval this call settled (zero for followers — the leader
+        // already accounted it).
+        let gained = s.reserve_j - before;
+        if gained.is_finite() {
+            gained.max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool4(cap_w: f64, reserve_j: f64) -> RackSupply {
+        RackSupply::new(
+            RackSupplyParams {
+                cap_w,
+                reserve_capacity_j: reserve_j,
+                reserve_recharge_w: 4.0,
+                regulator: EfficiencyCurve::ideal(),
+            },
+            4,
+        )
+    }
+
+    #[test]
+    fn lockstep_settles_the_pool_once_per_round() {
+        let pool = pool4(40.0, 100.0);
+        let mut views: Vec<NodeSupplyView> = (0..4).map(|n| pool.node_view(n)).collect();
+        // All four nodes draw 20 W: 80 W demand on a 40 W feed drains
+        // the reserve at 40 J/s — if every call settled, it would
+        // drain 4x too fast. The first round settles with only the
+        // leader's draw recorded (followers land with one window of
+        // skew, like the thermal rack), so full-demand drain starts at
+        // round 2.
+        for round in 1..=10 {
+            for v in views.iter_mut() {
+                v.draw(20.0, 0.1).unwrap();
+            }
+            let expected = 100.0 - 40.0 * 0.1 * (round - 1) as f64;
+            assert!(
+                (pool.reserve_j() - expected).abs() < 1e-9,
+                "round {round}: reserve {} not {expected}",
+                pool.reserve_j()
+            );
+            assert!((pool.time_s() - 0.1 * round as f64).abs() < 1e-12);
+        }
+        assert_eq!(pool.total_draw_w(), 80.0);
+        assert_eq!(pool.headroom_w(), -40.0);
+    }
+
+    #[test]
+    fn follower_draw_updates_take_effect_next_window() {
+        let pool = pool4(40.0, 100.0);
+        let mut v0 = pool.node_view(0);
+        let mut v1 = pool.node_view(1);
+        // Leader settles the window with node 1's draw still at zero.
+        v0.draw(30.0, 1.0).unwrap();
+        v1.draw(30.0, 1.0).unwrap();
+        assert_eq!(pool.reserve_j(), 100.0, "first window: 30 W under cap");
+        // Next window both recorded draws are live: 60 W on 40 W.
+        v0.draw(30.0, 1.0).unwrap();
+        v1.draw(30.0, 1.0).unwrap();
+        assert!((pool.reserve_j() - 80.0).abs() < 1e-9, "20 J deficit");
+    }
+
+    #[test]
+    fn brownout_sheds_over_share_draws_but_not_in_share_ones() {
+        let pool = pool4(40.0, 5.0);
+        let mut views: Vec<NodeSupplyView> = (0..4).map(|n| pool.node_view(n)).collect();
+        assert_eq!(pool.nameplate_share_w(), 10.0);
+        // 80 W on a 40 W feed: the 5 J reserve covers 0.125 s.
+        let mut failed_at = None;
+        for round in 0..10 {
+            let mut any_err = false;
+            for v in views.iter_mut() {
+                if v.draw(20.0, 0.05).is_err() {
+                    any_err = true;
+                }
+            }
+            if any_err {
+                failed_at = Some(round);
+                break;
+            }
+        }
+        let failed_at = failed_at.expect("the reserve must run out");
+        assert!(failed_at >= 2, "the reserve rides through ~3 rounds");
+        assert!(pool.browned_out());
+        assert_eq!(pool.reserve_j(), 0.0);
+        // During the brownout an in-share draw still succeeds…
+        views[0]
+            .draw(9.0, 0.05)
+            .expect("in-share draw rides through");
+        // …drawing exactly the advertised nameplate share does too…
+        let share = views[1].available_power_w();
+        views[1].draw(share, 0.05).expect("boundary draw succeeds");
+        // …while an over-share draw is shed with chip-relevant figures.
+        match views[2].draw(20.0, 0.05) {
+            Err(SupplyError::CurrentLimit {
+                requested_w,
+                available_w,
+            }) => {
+                assert_eq!(requested_w, 20.0);
+                assert_eq!(available_w, 10.0);
+            }
+            other => panic!("expected a shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reserve_recharges_from_spare_headroom() {
+        let pool = pool4(40.0, 10.0);
+        let mut views: Vec<NodeSupplyView> = (0..4).map(|n| pool.node_view(n)).collect();
+        // 60 W on a 40 W feed: rounds 2-5 settle the full demand (the
+        // first round sees only the leader's draw — follower skew), so
+        // 4 rounds drain 20 W x 0.05 s = 1 J each.
+        for _ in 0..5 {
+            for v in views.iter_mut() {
+                v.draw(15.0, 0.05).unwrap();
+            }
+        }
+        assert!((pool.reserve_j() - 6.0).abs() < 1e-9);
+        // Idle rack: recharge is capped by the 4 W limit, not the 40 W
+        // of spare headroom. The first idle round still settles the
+        // followers' stale 15 W draws (45 W total: 0.25 J more out);
+        // the remaining nine recharge 4 W x 0.05 s = 0.2 J each.
+        let mut gained = 0.0;
+        for _ in 0..10 {
+            for v in views.iter_mut() {
+                gained += v.idle_recharge(0.05);
+            }
+        }
+        assert!((gained - 1.8).abs() < 1e-9, "4 W for 0.45 s: {gained}");
+        assert!((pool.reserve_j() - 7.55).abs() < 1e-9);
+        assert!(pool.reserve_fraction() > 0.75 && pool.reserve_fraction() < 0.76);
+        assert!(!pool.browned_out(), "recharge clears the brownout state");
+    }
+
+    #[test]
+    fn unlimited_pool_never_limits_and_never_browns_out() {
+        let pool = RackSupply::new(RackSupplyParams::unlimited(), 2);
+        let mut v0 = pool.node_view(0);
+        let mut v1 = pool.node_view(1);
+        for _ in 0..100 {
+            v0.draw(1e6, 1.0).unwrap();
+            v1.draw(1e6, 1.0).unwrap();
+        }
+        assert!(!pool.browned_out());
+        assert_eq!(pool.reserve_fraction(), 1.0);
+        assert_eq!(v0.available_power_w(), f64::INFINITY);
+        assert_eq!(v0.idle_recharge(1.0), 0.0, "infinite reserve gains nothing");
+    }
+
+    #[test]
+    fn node_supply_stacks_a_regulator_over_the_view() {
+        let params = RackSupplyParams::rack(4);
+        let pool = RackSupply::new(params, 4);
+        let mut node0 = params.node_supply(&pool, 0);
+        node0.draw(16.0, 1.0).unwrap();
+        let upstream = pool.node_draw_w(0);
+        assert!(
+            (upstream - params.regulator.upstream_w(16.0)).abs() < 1e-12,
+            "the pool sees regulated draw: {upstream}"
+        );
+        assert!(upstream > 17.0, "losses on top of 16 W: {upstream}");
+    }
+
+    #[test]
+    fn idle_nodes_pay_the_regulator_fixed_overhead() {
+        // Regression: idle telemetry was recorded as 0 W, hiding the
+        // converters' fixed overhead (16 x 0.3 W on the demo rack)
+        // from admission and settlement.
+        let params = RackSupplyParams::rack(4);
+        let pool = RackSupply::new(params, 4);
+        let mut stacks: Vec<_> = (0..4).map(|n| params.node_supply(&pool, n)).collect();
+        for s in stacks.iter_mut() {
+            s.idle_recharge(0.01);
+        }
+        let expected = 4.0 * params.regulator.upstream_w(0.0);
+        assert!(
+            (pool.total_draw_w() - expected).abs() < 1e-12,
+            "an idle rack still draws its fixed overhead: {} vs {expected}",
+            pool.total_draw_w()
+        );
+        // A bare view (no regulator) keeps the zero-draw default.
+        let bare_pool = pool4(40.0, 10.0);
+        let mut bare = bare_pool.node_view(0);
+        bare.idle_recharge(0.01);
+        assert_eq!(bare_pool.node_draw_w(0), 0.0);
+    }
+
+    #[test]
+    fn time_scaling_shrinks_the_reserve_only() {
+        let p = RackSupplyParams::rack(16);
+        let scaled = p.time_scaled(6000.0);
+        assert_eq!(scaled.cap_w, p.cap_w);
+        assert_eq!(scaled.reserve_recharge_w, p.reserve_recharge_w);
+        assert!((scaled.reserve_capacity_j - p.reserve_capacity_j / 6000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_reserve_reads_empty() {
+        // Regression: a zero-capacity reserve once reported a 1.0 fill
+        // fraction, which permanently disarmed reserve-gated backstops
+        // (the power-emergency shed never saw it as depleted).
+        let pool = pool4(40.0, 0.0);
+        assert_eq!(pool.reserve_fraction(), 0.0);
+        let mut views: Vec<NodeSupplyView> = (0..4).map(|n| pool.node_view(n)).collect();
+        // With no ride-through at all, over-cap demand browns out on
+        // the first settled overdraw window.
+        for _ in 0..2 {
+            for v in views.iter_mut() {
+                let _ = v.draw(20.0, 0.05);
+            }
+        }
+        assert!(pool.browned_out());
+        assert_eq!(pool.reserve_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node index")]
+    fn out_of_range_view_rejected() {
+        let _ = pool4(10.0, 1.0).node_view(4);
+    }
+}

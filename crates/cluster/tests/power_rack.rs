@@ -1,0 +1,211 @@
+//! Integration tests for the shared rack power-delivery pool: the
+//! power-aware-beats-oblivious claim the `rack_power` figure makes, the
+//! idle-recharge path for independently supplied nodes, and the
+//! open-arrival latency statistics.
+
+use sprint_cluster::prelude::*;
+use sprint_core::config::SprintConfig;
+use sprint_thermal::grid::GridThermalParams;
+use sprint_workloads::suite::{InputSize, WorkloadKind};
+
+/// Runs the open-arrival study rack under one power policy (same
+/// thermal admission for every run).
+fn run_power_policy(power: PowerPolicy) -> ClusterReport {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    let mut cluster = ClusterBuilder::new(GridThermalParams::rack(3, 3).time_scaled(6000.0))
+        .policy(ClusterPolicy::greedy_default())
+        .power_policy(power)
+        .rack_supply(RackSupplyParams::rack(9).time_scaled(6000.0))
+        .config(cfg)
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            16,
+            36,
+            0.0,
+            20e-6,
+        ))
+        .trace_capacity(0)
+        .build();
+    assert_eq!(cluster.run_to_completion(), ClusterOutcome::Drained);
+    cluster.report()
+}
+
+/// The acceptance claim at test scale: on a rack whose feed cannot
+/// carry all-node sprinting, power-aware admission completes the
+/// open-arrival task set with strictly lower mean latency than
+/// power-oblivious admission and zero electrical sprint casualties,
+/// while the oblivious rack browns the bus out.
+#[test]
+fn power_aware_beats_oblivious_with_zero_aborts() {
+    let oblivious = run_power_policy(PowerPolicy::Oblivious);
+    let aware = run_power_policy(PowerPolicy::rationed_default());
+
+    assert_eq!(oblivious.completed, 36);
+    assert_eq!(aware.completed, 36);
+    assert!(
+        oblivious.supply_aborts > 0,
+        "the oblivious rack must sprint into the drained reserve"
+    );
+    assert_eq!(
+        aware.supply_aborts, 0,
+        "power-aware admission must never let a sprint brown out"
+    );
+    assert!(
+        aware.mean_latency_s < oblivious.mean_latency_s,
+        "rationing must win on mean latency: {:.5} vs {:.5}",
+        aware.mean_latency_s,
+        oblivious.mean_latency_s
+    );
+    assert!(
+        aware.p95_latency_s < oblivious.p95_latency_s,
+        "and on the tail: {:.5} vs {:.5}",
+        aware.p95_latency_s,
+        oblivious.p95_latency_s
+    );
+}
+
+/// Configuring a shared feed while telling sessions to ignore their
+/// supply would silently disconnect the whole electrical model (no
+/// draws, no telemetry, vacuous zero-abort results); the builder
+/// rejects the contradiction up front.
+#[test]
+#[should_panic(expected = "SupplyPolicy::EndSprint")]
+fn rack_supply_with_ignore_policy_is_rejected_at_build() {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.supply_policy = sprint_core::config::SupplyPolicy::Ignore;
+    let _ = ClusterBuilder::new(GridThermalParams::rack(2, 2))
+        .rack_supply(RackSupplyParams::rack(4))
+        .config(cfg)
+        .build();
+}
+
+/// An uncapped shared pool must not perturb the simulation: the same
+/// cluster with and without `rack_supply(unlimited)` produces
+/// byte-identical outcomes (the pool records telemetry but never
+/// constrains anything).
+#[test]
+fn unlimited_pool_is_behaviour_identical_to_no_pool() {
+    let run = |with_pool: bool| {
+        let mut b = ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(3000.0))
+            .policy(ClusterPolicy::greedy_default())
+            .tasks(ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 16, 8))
+            .trace_capacity(0);
+        if with_pool {
+            b = b.rack_supply(RackSupplyParams::unlimited());
+        }
+        let mut cluster = b.build();
+        assert_eq!(cluster.run_to_completion(), ClusterOutcome::Drained);
+        cluster.report()
+    };
+    let bare = run(false);
+    let pooled = run(true);
+    assert_eq!(bare.makespan_s.to_bits(), pooled.makespan_s.to_bits());
+    assert_eq!(bare.outcomes.len(), pooled.outcomes.len());
+    for (a, b) in bare.outcomes.iter().zip(&pooled.outcomes) {
+        assert_eq!(a.completed_s.to_bits(), b.completed_s.to_bits());
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.sprinted, b.sprinted);
+    }
+    assert_eq!(pooled.supply_aborts, 0);
+}
+
+/// Latency statistics under staggered open arrivals: the report's
+/// mean/p95/max must agree exactly with figures recomputed from the
+/// raw outcomes, and queueing delay must be visible in them.
+#[test]
+fn latency_stats_cover_staggered_arrivals() {
+    let mut cluster = ClusterBuilder::new(GridThermalParams::rack(2, 1).time_scaled(3000.0))
+        .policy(ClusterPolicy::AllSprint)
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            16,
+            7,
+            0.0,
+            5e-5,
+        ))
+        .trace_capacity(0)
+        .build();
+    assert_eq!(cluster.run_to_completion(), ClusterOutcome::Drained);
+    let report = cluster.report();
+    assert_eq!(report.completed, 7);
+
+    let mut latencies: Vec<f64> = report.outcomes.iter().map(|o| o.latency_s()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    // Nearest-rank p95 of 7 samples is the 7th (ceil(0.95 * 7) = 7).
+    let p95 = latencies[6];
+    let max = latencies[6];
+    assert_eq!(report.mean_latency_s.to_bits(), mean.to_bits());
+    assert_eq!(report.p95_latency_s.to_bits(), p95.to_bits());
+    assert_eq!(report.max_latency_s.to_bits(), max.to_bits());
+    assert!(report.p95_latency_s <= report.max_latency_s);
+    assert!(
+        report.mean_latency_s < report.p95_latency_s,
+        "staggered arrivals on two nodes must queue: the tail task \
+         waits while earlier ones run"
+    );
+    // Each latency includes its queueing delay: assigned >= arrival.
+    for o in &report.outcomes {
+        assert!(o.assigned_s >= o.arrival_s - 1e-12);
+        assert!((o.latency_s() - (o.completed_s - o.arrival_s)).abs() < 1e-15);
+    }
+}
+
+/// With more samples the p95 sits strictly inside the tail: above the
+/// mean, at or below the max, and *not* simply the max once n > 20.
+#[test]
+fn p95_separates_from_max_with_enough_samples() {
+    let mut cluster = ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(3000.0))
+        .policy(ClusterPolicy::greedy_default())
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            16,
+            24,
+            0.0,
+            2e-5,
+        ))
+        .trace_capacity(0)
+        .build();
+    assert_eq!(cluster.run_to_completion(), ClusterOutcome::Drained);
+    let report = cluster.report();
+    assert_eq!(report.completed, 24);
+    let mut latencies: Vec<f64> = report.outcomes.iter().map(|o| o.latency_s()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Nearest-rank p95 of 24 samples is the 23rd (ceil(0.95 * 24)).
+    assert_eq!(report.p95_latency_s.to_bits(), latencies[22].to_bits());
+    assert!(report.p95_latency_s <= report.max_latency_s);
+    assert!(report.mean_latency_s < report.max_latency_s);
+}
+
+/// The empty-outcome contract: latency means and percentiles are NaN
+/// (there is nothing to average), counters and extrema are zero.
+#[test]
+fn empty_outcome_latency_stats_are_nan() {
+    let mut cluster = ClusterBuilder::new(GridThermalParams::rack(2, 1).time_scaled(3000.0))
+        .policy(ClusterPolicy::AllSprint)
+        .build();
+    // No tasks: the queue is drained before the first window.
+    assert_eq!(cluster.step(), ClusterOutcome::Drained);
+    let report = cluster.report();
+    assert_eq!(report.completed, 0);
+    assert!(report.mean_latency_s.is_nan(), "mean of nothing is NaN");
+    assert!(report.p95_latency_s.is_nan(), "p95 of nothing is NaN");
+    assert_eq!(report.max_latency_s, 0.0, "documented: 0 if none");
+    assert_eq!(report.makespan_s, 0.0);
+
+    // Mid-run, before anything completes, the same contract holds.
+    let mut running = ClusterBuilder::new(GridThermalParams::rack(2, 1).time_scaled(3000.0))
+        .policy(ClusterPolicy::AllSprint)
+        .tasks(ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 16, 2))
+        .trace_capacity(0)
+        .build();
+    assert_eq!(running.step(), ClusterOutcome::Running);
+    let mid = running.report();
+    assert_eq!(mid.completed, 0);
+    assert!(mid.mean_latency_s.is_nan());
+    assert!(mid.p95_latency_s.is_nan());
+}

@@ -17,9 +17,13 @@
 //!   it can borrow one, erase one, or (via a view type like
 //!   `sprint-cluster`'s per-node rack views) share one with many other
 //!   sessions.
-//! * [`supply::PowerSupply`] — the electrical side (Section 6) consulted
-//!   every sampling window; batteries, ultracapacitors, hybrids and
-//!   pin-count ceilings can clamp or abort a sprint.
+//! * [`supply::PowerSupply`] — the electrical side (Section 6)
+//!   consulted every sampling window; batteries, ultracapacitors,
+//!   hybrids, pin-count ceilings and lossy [`supply::Regulator`]
+//!   conversion stages can clamp or abort a sprint. Like the thermal
+//!   port, it carries blanket `&mut S`/`Box<S>` impls, so a session can
+//!   borrow, erase, or (via `sprint-cluster`'s per-node rack supply
+//!   views) share its supply.
 //! * [`budget::ThermalBudget`] — the activity-based estimator that
 //!   integrates dissipated energy against the package's joule capacity.
 //! * [`controller::SprintController`] — activation ramp, sprint
@@ -110,6 +114,6 @@ pub use metrics::{arithmetic_mean, geometric_mean, Comparison};
 pub use session::{
     RunReport, RunSample, ScenarioBuilder, SessionObserver, SprintSession, StepOutcome,
 };
-pub use supply::{IdealSupply, PinLimited, PowerSupply};
+pub use supply::{EfficiencyCurve, IdealSupply, PinLimited, PowerSupply, Regulator};
 pub use system::SprintSystem;
 pub use thermal_model::{LumpedThermal, ThermalModel};

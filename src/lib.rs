@@ -17,8 +17,10 @@
 //! * [`core`] — the sprint controller, budget estimator, and the
 //!   steppable architecture ⇄ thermal ⇄ power-delivery co-simulation.
 //! * [`cluster`] — rack-level sprinting: many sessions against one
-//!   shared rack grid under cluster-level sprint admission (Porto et
-//!   al.'s data-center regime).
+//!   shared rack grid *and* one shared power-delivery pool (PDU cap,
+//!   ride-through reserve, per-node regulators) under jointly
+//!   thermal- and power-aware sprint admission (Porto et al.'s
+//!   data-center regime).
 //!
 //! # Quick start
 //!
@@ -56,10 +58,12 @@
 //! pause-inspect-reconfigure loops around
 //! [`core::session::SprintSession::step`]. See `examples/` for all three.
 //!
-//! The thermal backend is a *port*: sessions accept owned backends,
-//! `&mut` borrows, `Box<dyn ThermalModel>`, or shared views — which is
-//! how [`cluster::ClusterSession`] drives a whole rack of sessions
-//! against one `GridThermal` (`examples/rack_sprint.rs`, `repro rack`).
+//! The thermal backend and the electrical supply are both *ports*:
+//! sessions accept owned backends, `&mut` borrows, boxed trait objects,
+//! or shared views — which is how [`cluster::ClusterSession`] drives a
+//! whole rack of sessions against one `GridThermal` and one
+//! `RackSupply` (`examples/rack_sprint.rs` and `examples/rack_power.rs`,
+//! `repro rack` and `repro rack_power`).
 
 pub use sprint_archsim as archsim;
 pub use sprint_cluster as cluster;
@@ -75,12 +79,13 @@ pub mod prelude {
     pub use sprint_archsim::{Machine, MachineConfig};
     pub use sprint_cluster::{
         ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterPolicy, ClusterReport, ClusterSession,
-        ClusterTask, NodeThermalView, RackThermal, TaskOutcome,
+        ClusterTask, NodeSupplyView, NodeThermalView, PowerPolicy, RackSupply, RackSupplyParams,
+        RackThermal, TaskOutcome,
     };
     pub use sprint_core::{
-        ControllerEvent, ExecutionMode, HotspotPolicy, IdealSupply, LumpedThermal, PinLimited,
-        PowerSupply, RunReport, ScenarioBuilder, SessionObserver, SprintConfig, SprintSession,
-        SprintSystem, StepOutcome, SupplyPolicy, ThermalModel,
+        ControllerEvent, EfficiencyCurve, ExecutionMode, HotspotPolicy, IdealSupply, LumpedThermal,
+        PinLimited, PowerSupply, Regulator, RunReport, ScenarioBuilder, SessionObserver,
+        SprintConfig, SprintSession, SprintSystem, StepOutcome, SupplyPolicy, ThermalModel,
     };
     pub use sprint_powersource::{Battery, HybridSupply, PackagePins, Ultracapacitor};
     pub use sprint_thermal::{
