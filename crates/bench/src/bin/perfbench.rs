@@ -1,10 +1,12 @@
 //! `perfbench` — the grid-solver performance harness.
 //!
 //! Times the explicit and ADI solvers through one sprint-and-rest cycle
-//! across grid resolutions, plus two rack-scale points — the thermal
-//! `rack_case` and the power-aware scheduler loop (`rack_power_case`:
-//! shared-supply settlement, regulator math and joint thermal+power
-//! admission on the 16-node rack) — prints the comparison table, and
+//! across grid resolutions, plus three scheduler-scale points — the
+//! thermal `rack_case`, the power-aware scheduler loop
+//! (`rack_power_case`: shared-supply settlement, regulator math and
+//! joint thermal+power admission on the 16-node rack) and the facility
+//! settlement loop (`facility_case`: sharded racks, row CRAC coupling
+//! and cross-rack cap rationing) — prints the comparison table, and
 //! writes `BENCH_grid.json` at the repository root (override the
 //! location with `SPRINT_BENCH_OUT`).
 //!
@@ -18,7 +20,8 @@
 //!   minutes of wall-clock; that cost is the figure's point).
 //! * `--check` — perf-smoke gate: exit non-zero unless the 32x32 case
 //!   shows ADI at least 5x faster than explicit at matched accuracy
-//!   (max junction deviation below 0.1 K).
+//!   (max junction deviation below 0.1 K), and both scheduler points
+//!   clear the end-to-end tasks/sec floor with zero electrical aborts.
 
 use sprint_bench::figs_perf;
 
@@ -29,6 +32,12 @@ use sprint_bench::figs_perf;
 const CHECK_MIN_SPEEDUP: f64 = 5.0;
 /// The `--check` gate: matched-accuracy bar, Kelvin.
 const CHECK_MAX_DEV_K: f64 = 0.1;
+/// The `--check` gate: minimum end-to-end tasks/sec for the rack-power
+/// and facility scheduler points. The committed baseline clears this by
+/// roughly an order of magnitude; the floor catches a scheduler-loop
+/// regression (an accidental O(nodes^2) pass, a lost factorization
+/// cache) without flaking on slow CI runners.
+const CHECK_MIN_TASKS_PER_S: f64 = 3.0;
 
 fn main() {
     let mut quick = false;
@@ -45,13 +54,14 @@ fn main() {
             }
         }
     }
-    let (cases, report) = figs_perf::fig_perf_cases(quick, full);
-    print!("{report}");
+    let run = figs_perf::fig_perf_cases(quick, full);
+    print!("{}", run.report);
     if check {
         // Judge this run's in-memory measurement, never whatever
         // BENCH_grid.json happened to be on disk (a failed write must
         // not let the gate pass on a stale committed baseline).
-        let case32 = cases
+        let case32 = run
+            .cases
             .iter()
             .find(|c| c.n == 32)
             .expect("--check needs the 32x32 case in the sweep");
@@ -60,7 +70,20 @@ fn main() {
              max dev {:.4} K (need < {CHECK_MAX_DEV_K} K)",
             case32.speedup, case32.max_dev_k
         );
-        if case32.speedup < CHECK_MIN_SPEEDUP || case32.max_dev_k >= CHECK_MAX_DEV_K {
+        println!(
+            "perf-smoke gate: rack power {:.1} tasks/s, facility {:.1} tasks/s \
+             (need >= {CHECK_MIN_TASKS_PER_S}), {} + {} electrical aborts (need 0)",
+            run.rack_power.tasks_per_s,
+            run.facility.tasks_per_s,
+            run.rack_power.supply_aborts,
+            run.facility.supply_aborts,
+        );
+        let solver_ok = case32.speedup >= CHECK_MIN_SPEEDUP && case32.max_dev_k < CHECK_MAX_DEV_K;
+        let scheduler_ok = run.rack_power.tasks_per_s >= CHECK_MIN_TASKS_PER_S
+            && run.facility.tasks_per_s >= CHECK_MIN_TASKS_PER_S
+            && run.rack_power.supply_aborts == 0
+            && run.facility.supply_aborts == 0;
+        if !solver_ok || !scheduler_ok {
             eprintln!("perf-smoke gate FAILED");
             std::process::exit(1);
         }

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use sprint_bench::{figs_arch, figs_grid, figs_model, figs_perf, figs_rack};
+use sprint_bench::{figs_arch, figs_facility, figs_grid, figs_model, figs_perf, figs_rack};
 use sprint_workloads::suite::InputSize;
 
 struct Options {
@@ -57,7 +57,7 @@ fn main() {
             "usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--size A|B|C|D]"
         );
         eprintln!(
-            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf rack rack_power"
+            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf rack rack_power facility"
         );
         eprintln!("             ablation_tmelt ablation_metal ablation_budget ablation_abort ablation_pacing");
         std::process::exit(2);
@@ -80,6 +80,7 @@ fn main() {
             "perf",
             "rack",
             "rack_power",
+            "facility",
             "ablation_tmelt",
             "ablation_metal",
             "ablation_budget",
@@ -110,6 +111,7 @@ fn main() {
             "perf" | "fig_perf" => figs_perf::fig_perf(opts.quick, opts.full),
             "rack" | "fig_rack" => figs_rack::fig_rack(),
             "rack_power" | "fig_rack_power" => figs_rack::fig_rack_power(),
+            "facility" | "fig_facility" => figs_facility::fig_facility(opts.quick),
             "ablation_tmelt" => figs_model::ablation_tmelt(),
             "ablation_metal" => figs_model::ablation_metal(),
             "ablation_budget" => figs_arch::ablation_budget(),

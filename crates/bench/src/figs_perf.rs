@@ -193,6 +193,9 @@ pub struct RackPowerPerfCase {
     pub wall_ms: f64,
     /// Wall-clock per lockstep window, microseconds.
     pub us_per_window: f64,
+    /// Tasks drained per wall-clock second — the scheduler loop's
+    /// end-to-end throughput, gated by `perfbench --check`.
+    pub tasks_per_s: f64,
     /// Electrical sprint casualties (must be zero under rationing).
     pub supply_aborts: usize,
 }
@@ -227,6 +230,74 @@ pub fn run_rack_power_case() -> RackPowerPerfCase {
         windows: cluster.windows(),
         wall_ms,
         us_per_window: wall_ms * 1e3 / cluster.windows() as f64,
+        tasks_per_s: TASKS as f64 * 1e3 / wall_ms,
+        supply_aborts: report.supply_aborts,
+    }
+}
+
+/// The facility-scale point: a 4-rack facility (64 servers, shared CRAC
+/// rows, a globally rationed feed) through the full settlement loop —
+/// sharded rack advancement, row-inlet coupling and cross-rack cap
+/// settlement on top of everything the rack-power point measures. The
+/// configuration is the facility figure's own
+/// ([`crate::figs_facility::study_facility`]) at a reduced rack and
+/// task count, so retuning the figure retunes this point with it.
+#[derive(Debug, Clone)]
+pub struct FacilityPerfCase {
+    /// Human-readable configuration label, derived from the measured
+    /// facility so the perf history can never mislabel what ran.
+    pub stack: String,
+    /// Racks in the facility.
+    pub racks: usize,
+    /// Servers per rack.
+    pub nodes_per_rack: usize,
+    /// Open-arrival tasks drained across the facility.
+    pub tasks: usize,
+    /// Settlement epochs run.
+    pub epochs: u64,
+    /// Wall-clock for the drain, milliseconds.
+    pub wall_ms: f64,
+    /// Tasks drained per wall-clock second — the headline facility
+    /// throughput, gated by `perfbench --check`.
+    pub tasks_per_s: f64,
+    /// Electrical sprint casualties (must stay zero: the global tier
+    /// only ever re-divides what the feed can carry).
+    pub supply_aborts: usize,
+}
+
+/// Measures the facility-scale point (see [`FacilityPerfCase`]).
+pub fn run_facility_case() -> FacilityPerfCase {
+    const RACKS: usize = 4;
+    const TASKS: usize = 120;
+    const SHARE_W: f64 = 40.0;
+    let facility = crate::figs_facility::study_facility(
+        sprint_facility::FacilityPolicy::GlobalRationed {
+            floor_w: crate::figs_facility::FACILITY_FLOOR_W,
+            slot_w: crate::figs_facility::FACILITY_SLOT_W,
+        },
+        SHARE_W,
+        RACKS,
+        TASKS,
+    );
+    let threads = crate::figs_facility::facility_threads();
+    let start = Instant::now();
+    let report = facility.run(threads);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(report.all_drained, "the facility perf point must drain");
+    assert_eq!(report.completed, TASKS);
+    let nodes_per_rack = report.rack_reports[0].node_reports.len();
+    FacilityPerfCase {
+        stack: format!(
+            "facility {RACKS} racks x {nodes_per_rack} servers, globally rationed \
+             {:.0} W feed, row CRAC coupling",
+            SHARE_W * RACKS as f64
+        ),
+        racks: report.racks,
+        nodes_per_rack,
+        tasks: TASKS,
+        epochs: report.epochs,
+        wall_ms,
+        tasks_per_s: TASKS as f64 * 1e3 / wall_ms,
         supply_aborts: report.supply_aborts,
     }
 }
@@ -271,6 +342,7 @@ pub fn bench_json(
     cases: &[PerfCase],
     rack: Option<&RackPerfCase>,
     rack_power: Option<&RackPowerPerfCase>,
+    facility: Option<&FacilityPerfCase>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"grid_solver_perf\",\n");
@@ -317,7 +389,7 @@ pub fn bench_json(
             adi_ms = r.adi_ms,
             adi_sub = r.adi_sub_step_s,
         ));
-        if rack_power.is_none() {
+        if rack_power.is_none() && facility.is_none() {
             out.push('\n');
         }
     }
@@ -326,33 +398,67 @@ pub fn bench_json(
         out.push_str(&format!(
             "  \"rack_power_case\": {{\"stack\": \"{stack}\", \"nodes\": {nodes}, \
              \"tasks\": {tasks}, \"windows\": {windows}, \"wall_ms\": {wall_ms:.3}, \
-             \"us_per_window\": {uspw:.3}, \"supply_aborts\": {aborts}}}\n",
+             \"us_per_window\": {uspw:.3}, \"tasks_per_s\": {tps:.2}, \
+             \"supply_aborts\": {aborts}}}",
             stack = p.stack,
             nodes = p.nodes,
             tasks = p.tasks,
             windows = p.windows,
             wall_ms = p.wall_ms,
             uspw = p.us_per_window,
+            tps = p.tasks_per_s,
             aborts = p.supply_aborts,
         ));
+        if facility.is_none() {
+            out.push('\n');
+        }
     }
-    if rack.is_none() && rack_power.is_none() {
+    if let Some(f) = facility {
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "  \"facility_case\": {{\"stack\": \"{stack}\", \"racks\": {racks}, \
+             \"nodes_per_rack\": {npr}, \"tasks\": {tasks}, \"epochs\": {epochs}, \
+             \"wall_ms\": {wall_ms:.3}, \"tasks_per_s\": {tps:.2}, \
+             \"supply_aborts\": {aborts}}}\n",
+            stack = f.stack,
+            racks = f.racks,
+            npr = f.nodes_per_rack,
+            tasks = f.tasks,
+            epochs = f.epochs,
+            wall_ms = f.wall_ms,
+            tps = f.tasks_per_s,
+            aborts = f.supply_aborts,
+        ));
+    }
+    if rack.is_none() && rack_power.is_none() && facility.is_none() {
         out.push('\n');
     }
     out.push_str("}\n");
     out
 }
 
+/// Everything one perf sweep measured, so a caller (the `perfbench
+/// --check` gate) can judge *this run's* numbers rather than whatever
+/// `BENCH_grid.json` happened to be on disk.
+pub struct PerfRun {
+    /// The explicit-vs-ADI resolution sweep.
+    pub cases: Vec<PerfCase>,
+    /// The power-aware rack scheduler point.
+    pub rack_power: RackPowerPerfCase,
+    /// The facility settlement-loop point.
+    pub facility: FacilityPerfCase,
+    /// The rendered stdout report.
+    pub report: String,
+}
+
 /// The perf figure: runs the sweep, writes `BENCH_grid.json` and
 /// `results/fig_perf.csv`, and renders the stdout table.
 pub fn fig_perf(quick: bool, full: bool) -> String {
-    fig_perf_cases(quick, full).1
+    fig_perf_cases(quick, full).report
 }
 
-/// [`fig_perf`], also handing back the measured cases so a caller (the
-/// `perfbench --check` gate) can judge *this run's* numbers rather than
-/// whatever `BENCH_grid.json` happened to be on disk.
-pub fn fig_perf_cases(quick: bool, full: bool) -> (Vec<PerfCase>, String) {
+/// [`fig_perf`], handing back every measurement (see [`PerfRun`]).
+pub fn fig_perf_cases(quick: bool, full: bool) -> PerfRun {
     let cases = run_cases(&resolutions(quick, full));
     let mut out =
         String::from("Grid solver performance — explicit vs ADI, one 16 W sprint-and-rest cycle\n");
@@ -434,20 +540,45 @@ pub fn fig_perf_cases(quick: bool, full: bool) -> (Vec<PerfCase>, String) {
     let rack_power = run_rack_power_case();
     out.push_str(&format!(
         "rack power ({nodes} servers, shared feed, power-aware): {tasks} tasks drained \
-         in {wall:.0} ms wall ({uspw:.1} us/window, {aborts} electrical aborts)\n",
+         in {wall:.0} ms wall ({uspw:.1} us/window, {tps:.1} tasks/s, {aborts} \
+         electrical aborts)\n",
         nodes = rack_power.nodes,
         tasks = rack_power.tasks,
         wall = rack_power.wall_ms,
         uspw = rack_power.us_per_window,
+        tps = rack_power.tasks_per_s,
         aborts = rack_power.supply_aborts,
     ));
+    // The facility point: the whole settlement loop (sharded racks, row
+    // coupling, cross-rack cap rationing) end to end.
+    let facility = run_facility_case();
+    out.push_str(&format!(
+        "facility ({racks} racks x {npr} servers, global rationing): {tasks} tasks \
+         drained in {wall:.0} ms wall ({tps:.1} tasks/s over {epochs} epochs, \
+         {aborts} electrical aborts)\n",
+        racks = facility.racks,
+        npr = facility.nodes_per_rack,
+        tasks = facility.tasks,
+        wall = facility.wall_ms,
+        tps = facility.tasks_per_s,
+        epochs = facility.epochs,
+        aborts = facility.supply_aborts,
+    ));
     let path = bench_json_path(quick);
-    match std::fs::write(&path, bench_json(&cases, Some(&rack), Some(&rack_power))) {
+    match std::fs::write(
+        &path,
+        bench_json(&cases, Some(&rack), Some(&rack_power), Some(&facility)),
+    ) {
         Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
         Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
     }
     out.push_str(&format!("wrote {}\n", csv.finish().display()));
-    (cases, out)
+    PerfRun {
+        cases,
+        rack_power,
+        facility,
+        report: out,
+    }
 }
 
 #[cfg(test)]
@@ -473,7 +604,7 @@ mod tests {
     #[test]
     fn bench_json_is_wellformed_enough() {
         let cases = vec![run_case(8)];
-        let json = bench_json(&cases, None, None);
+        let json = bench_json(&cases, None, None, None);
         assert!(json.contains("\"grid\": \"8x8x3\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -486,16 +617,16 @@ mod tests {
         assert_eq!(rack.n, 32);
         assert!(rack.adi_ms > 0.0);
         assert!(rack.explicit_ms.is_none(), "explicit is a --full extra");
-        let json = bench_json(&cases, Some(&rack), None);
+        let json = bench_json(&cases, Some(&rack), None, None);
         assert!(json.contains("\"rack_case\""));
         assert!(json.contains("\"grid\": \"32x32x2\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
-    fn rack_power_case_lands_in_the_json() {
-        // A synthetic point keeps this a serialization test (the live
-        // measurement runs in `perfbench`/CI, not `cargo test`).
+    fn rack_power_and_facility_cases_land_in_the_json() {
+        // Synthetic points keep this a serialization test (the live
+        // measurements run in `perfbench`/CI, not `cargo test`).
         let power = RackPowerPerfCase {
             stack: "rack 16 servers, shared 120 W feed, power-aware admission".to_string(),
             nodes: 16,
@@ -503,17 +634,38 @@ mod tests {
             windows: 4321,
             wall_ms: 1234.5,
             us_per_window: 285.7,
+            tasks_per_s: 9.7,
+            supply_aborts: 0,
+        };
+        let facility = FacilityPerfCase {
+            stack: "facility 4 racks x 16 servers, globally rationed 160 W feed, \
+                    row CRAC coupling"
+                .to_string(),
+            racks: 4,
+            nodes_per_rack: 16,
+            tasks: 120,
+            epochs: 700,
+            wall_ms: 2500.0,
+            tasks_per_s: 48.0,
             supply_aborts: 0,
         };
         let cases = vec![run_case(8)];
         let rack = run_rack_case(false);
-        let json = bench_json(&cases, Some(&rack), Some(&power));
+        let json = bench_json(&cases, Some(&rack), Some(&power), Some(&facility));
         assert!(json.contains("\"rack_power_case\""));
-        assert!(json.contains("\"supply_aborts\": 0"));
+        assert!(json.contains("\"facility_case\""));
+        assert!(json.contains("\"tasks_per_s\": 9.70"));
+        assert!(json.contains("\"tasks_per_s\": 48.00"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         // Every section also serializes independently.
-        let alone = bench_json(&cases, None, Some(&power));
-        assert!(alone.contains("\"rack_power_case\""));
-        assert_eq!(alone.matches('{').count(), alone.matches('}').count());
+        for (r, p, f) in [
+            (None, Some(&power), None),
+            (None, None, Some(&facility)),
+            (Some(&rack), None, Some(&facility)),
+        ] {
+            let alone = bench_json(&cases, r, p, f);
+            assert_eq!(alone.matches('{').count(), alone.matches('}').count());
+            assert_eq!(alone.matches('[').count(), alone.matches(']').count());
+        }
     }
 }

@@ -19,12 +19,14 @@
 //! repro grid        # lumped vs grid backend, hotspot throttle
 //! repro perf        # explicit vs ADI grid-solver wall-clock sweep
 //! repro rack        # cluster sprint admission on a 16-server rack
+//! repro facility    # facility cap sweep: global vs oblivious rationing
 //! repro ablation_tmelt | ablation_metal | ablation_budget | ablation_abort | ablation_pacing
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod figs_arch;
+pub mod figs_facility;
 pub mod figs_grid;
 pub mod figs_model;
 pub mod figs_perf;

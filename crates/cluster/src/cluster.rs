@@ -142,6 +142,10 @@ pub struct ClusterReport {
     /// 95th-percentile task latency (nearest rank), seconds (NaN if no
     /// task completed) — the tail open-arrival studies ration for.
     pub p95_latency_s: f64,
+    /// 99th-percentile task latency (nearest rank, NaN if no task
+    /// completed) — the facility studies' headline tail: under bursty
+    /// open arrivals the p99 is where a starved rack shows first.
+    pub p99_latency_s: f64,
     /// Worst task latency, seconds (0 if none).
     pub max_latency_s: f64,
     /// Hottest rack cell observed over the run, Celsius.
@@ -537,6 +541,30 @@ impl ClusterSession {
         self.task_done.iter().all(|&d| d)
     }
 
+    /// Tasks that have arrived but not yet been assigned to a node —
+    /// the ready-queue depth a facility-level admission tier rations
+    /// headroom by (`sprint-facility`).
+    pub fn ready_backlog(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Nodes currently holding a sprint grant.
+    pub fn sprinting_count(&self) -> usize {
+        self.grant_order.len()
+    }
+
+    /// Tasks completed so far.
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Total heat the rack currently injects into its thermal grid,
+    /// watts — the row-coupling input a facility sums to model warm
+    /// recirculated air raising downstream rack inlets.
+    pub fn rack_heat_w(&self) -> f64 {
+        self.rack.with_grid(|g| g.chip_power_w())
+    }
+
     /// Advances the whole cluster by one sampling window.
     pub fn step(&mut self) -> ClusterOutcome {
         if self.drained() {
@@ -641,6 +669,7 @@ impl ClusterSession {
             total_tasks: self.tasks.len(),
             mean_latency_s,
             p95_latency_s: latency_percentile_s(&self.outcomes, 0.95),
+            p99_latency_s: latency_percentile_s(&self.outcomes, 0.99),
             max_latency_s,
             peak_junction_c: if self.peak_junction_c.is_finite() {
                 self.peak_junction_c

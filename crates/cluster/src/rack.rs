@@ -179,6 +179,26 @@ impl RackThermal {
     pub fn time_s(&self) -> f64 {
         self.shared.borrow().advanced_to_s
     }
+
+    /// The rack's current inlet-air (ambient) temperature, Celsius.
+    pub fn inlet_c(&self) -> f64 {
+        self.shared.borrow().grid.ambient_c()
+    }
+
+    /// Sets the rack's inlet-air temperature — the facility settlement
+    /// hook (`sprint-facility`): row-level airflow recirculation raises
+    /// a rack's inlet air as its row's exhaust heat exceeds the CRAC
+    /// capacity, coupling racks that share nothing else. Takes effect
+    /// on the next `advance`; the nameplate budgets are untouched (they
+    /// are commissioning-time constants by design — a hot row is
+    /// precisely the telemetry node-local governors cannot see).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite inlet or one at/above the thermal limit.
+    pub fn set_inlet_c(&self, inlet_c: f64) {
+        self.shared.borrow_mut().grid.set_ambient_c(inlet_c);
+    }
 }
 
 /// One node's `ThermalModel` view of the shared rack (see the module

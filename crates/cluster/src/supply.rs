@@ -258,6 +258,24 @@ impl RackSupply {
         self.shared.borrow().nameplate_share_w
     }
 
+    /// Re-provisions the live feed cap — the facility settlement hook
+    /// (`sprint-facility`): a global admission tier rations facility
+    /// headroom by moving each rack's cap every settlement epoch, and
+    /// the rack's local `PowerPolicy::Rationed` admission then books
+    /// sprints against whatever cap it currently holds. The nameplate
+    /// share is untouched (it is a commissioning-time constant by
+    /// design — node governors never learn the feed moved), and so is
+    /// the reserve: re-provisioning reroutes busbar watts, it does not
+    /// add stored energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or NaN cap.
+    pub fn set_cap_w(&self, cap_w: f64) {
+        assert!(cap_w > 0.0 && !cap_w.is_nan(), "rack cap must be positive");
+        self.shared.borrow_mut().cap_w = cap_w;
+    }
+
     /// Live total upstream draw across all nodes, watts (telemetry the
     /// cluster scheduler may act on; node governors never see it).
     pub fn total_draw_w(&self) -> f64 {

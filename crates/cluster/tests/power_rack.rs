@@ -135,13 +135,17 @@ fn latency_stats_cover_staggered_arrivals() {
     let mut latencies: Vec<f64> = report.outcomes.iter().map(|o| o.latency_s()).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
-    // Nearest-rank p95 of 7 samples is the 7th (ceil(0.95 * 7) = 7).
+    // Nearest-rank p95 and p99 of 7 samples are both the 7th
+    // (ceil(0.95 * 7) = ceil(0.99 * 7) = 7).
     let p95 = latencies[6];
+    let p99 = latencies[6];
     let max = latencies[6];
     assert_eq!(report.mean_latency_s.to_bits(), mean.to_bits());
     assert_eq!(report.p95_latency_s.to_bits(), p95.to_bits());
+    assert_eq!(report.p99_latency_s.to_bits(), p99.to_bits());
     assert_eq!(report.max_latency_s.to_bits(), max.to_bits());
-    assert!(report.p95_latency_s <= report.max_latency_s);
+    assert!(report.p95_latency_s <= report.p99_latency_s);
+    assert!(report.p99_latency_s <= report.max_latency_s);
     assert!(
         report.mean_latency_s < report.p95_latency_s,
         "staggered arrivals on two nodes must queue: the tail task \
@@ -175,8 +179,14 @@ fn p95_separates_from_max_with_enough_samples() {
     assert_eq!(report.completed, 24);
     let mut latencies: Vec<f64> = report.outcomes.iter().map(|o| o.latency_s()).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    // Nearest-rank p95 of 24 samples is the 23rd (ceil(0.95 * 24)).
+    // Nearest-rank p95 of 24 samples is the 23rd (ceil(0.95 * 24));
+    // the p99 is the 24th (ceil(0.99 * 24)), i.e. the max.
     assert_eq!(report.p95_latency_s.to_bits(), latencies[22].to_bits());
+    assert_eq!(report.p99_latency_s.to_bits(), latencies[23].to_bits());
+    assert_eq!(
+        report.p99_latency_s.to_bits(),
+        report.max_latency_s.to_bits()
+    );
     assert!(report.p95_latency_s <= report.max_latency_s);
     assert!(report.mean_latency_s < report.max_latency_s);
 }
@@ -194,6 +204,7 @@ fn empty_outcome_latency_stats_are_nan() {
     assert_eq!(report.completed, 0);
     assert!(report.mean_latency_s.is_nan(), "mean of nothing is NaN");
     assert!(report.p95_latency_s.is_nan(), "p95 of nothing is NaN");
+    assert!(report.p99_latency_s.is_nan(), "p99 of nothing is NaN");
     assert_eq!(report.max_latency_s, 0.0, "documented: 0 if none");
     assert_eq!(report.makespan_s, 0.0);
 
@@ -208,4 +219,5 @@ fn empty_outcome_latency_stats_are_nan() {
     assert_eq!(mid.completed, 0);
     assert!(mid.mean_latency_s.is_nan());
     assert!(mid.p95_latency_s.is_nan());
+    assert!(mid.p99_latency_s.is_nan());
 }

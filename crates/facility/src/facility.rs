@@ -1,0 +1,751 @@
+//! The facility: rack composition, row airflow coupling, the epoch
+//! settlement loop, and the facility-wide report.
+
+use std::sync::mpsc;
+use std::thread;
+
+use serde::{Deserialize, Serialize};
+use sprint_archsim::config::MachineConfig;
+use sprint_cluster::{
+    ClusterBuilder, ClusterOutcome, ClusterPolicy, ClusterReport, ClusterSession, ClusterTask,
+    PowerPolicy, RackSupplyParams,
+};
+use sprint_core::config::SprintConfig;
+use sprint_thermal::grid::GridThermalParams;
+use sprint_workloads::traffic::TrafficParams;
+
+use crate::policy::FacilityPolicy;
+use crate::shard::{self, Command, RackInputs, Reply};
+
+/// Plain-data recipe for one rack — everything a worker thread needs to
+/// build the rack's (non-`Send`) [`ClusterSession`] locally.
+#[derive(Debug, Clone)]
+pub struct RackSpec {
+    /// The rack's thermal grid parameters (one node per floorplan core).
+    pub thermal: GridThermalParams,
+    /// Per-node machine configuration.
+    pub machine: MachineConfig,
+    /// Sprint configuration admitted tasks run under.
+    pub config: SprintConfig,
+    /// The rack's local thermal admission policy.
+    pub policy: ClusterPolicy,
+    /// The rack's local power admission policy.
+    pub power: PowerPolicy,
+    /// Shared rack power-delivery pool, if the rack runs on one. The
+    /// commissioned `cap_w` is the rack's PDU nameplate — the ceiling
+    /// no facility settlement will ever raise a live cap above.
+    pub supply: Option<RackSupplyParams>,
+    /// The rack's arrival queue.
+    pub tasks: Vec<ClusterTask>,
+    /// Per-node retained trace samples (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Hard wall on the rack's simulated time, seconds.
+    pub max_time_s: f64,
+}
+
+impl RackSpec {
+    /// Builds the rack's session — exactly the [`ClusterBuilder`] call
+    /// a standalone study would make, so a one-rack facility and a
+    /// hand-built cluster start from identical state.
+    pub fn build(&self) -> ClusterSession {
+        let mut builder = ClusterBuilder::new(self.thermal.clone())
+            .machine(self.machine.clone())
+            .config(self.config.clone())
+            .policy(self.policy.clone())
+            .power_policy(self.power)
+            .tasks(self.tasks.iter().copied())
+            .trace_capacity(self.trace_capacity)
+            .max_time_s(self.max_time_s);
+        if let Some(supply) = self.supply {
+            builder = builder.rack_supply(supply);
+        }
+        builder.build()
+    }
+}
+
+/// Row-level shared-airflow coupling: racks in a row share one CRAC
+/// unit; heat the CRAC cannot extract recirculates and lifts every
+/// inlet in the row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RowParams {
+    /// Consecutive racks per row (the last row may be short).
+    pub racks_per_row: usize,
+    /// Inlet rise per watt of row heat beyond the CRAC capacity, K/W.
+    /// Zero disables the coupling entirely (inlets are never touched).
+    pub recirc_k_per_w: f64,
+    /// Heat one row's CRAC extracts before recirculation begins, watts.
+    pub crac_capacity_w: f64,
+    /// Ceiling on any rack inlet, Celsius — containment louvres dump
+    /// excess heat past this point. Must stay below every rack's
+    /// thermal limit (and any PCM melting point).
+    pub max_inlet_c: f64,
+}
+
+/// Summary of a facility run: the union tail statistics every facility
+/// study ranks policies by, facility-wide counters, and each rack's
+/// full [`ClusterReport`]. Byte-identical for a given facility at any
+/// worker-thread count (see [`digest`](Self::digest)).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FacilityReport {
+    /// Racks simulated.
+    pub racks: usize,
+    /// Settlement epochs run.
+    pub epochs: u64,
+    /// Tasks completed across the facility.
+    pub completed: usize,
+    /// Tasks submitted across the facility.
+    pub total_tasks: usize,
+    /// Mean task latency over all racks, seconds (NaN if none).
+    pub mean_latency_s: f64,
+    /// Facility-wide 95th-percentile latency (nearest rank), seconds
+    /// (NaN if none).
+    pub p95_latency_s: f64,
+    /// Facility-wide 99th-percentile latency (nearest rank), seconds
+    /// (NaN if none) — the headline figure of merit.
+    pub p99_latency_s: f64,
+    /// Worst task latency anywhere, seconds (0 if none).
+    pub max_latency_s: f64,
+    /// Completion time of the last task anywhere, seconds (0 if none).
+    pub makespan_s: f64,
+    /// Hottest cell in any rack over the run, Celsius.
+    pub peak_junction_c: f64,
+    /// Hottest inlet the row coupling ever applied, Celsius (the base
+    /// inlet when the coupling never fired).
+    pub peak_inlet_c: f64,
+    /// Thermal shed-pass preemptions, summed over racks.
+    pub sheds: usize,
+    /// Power-emergency shed-pass preemptions, summed over racks.
+    pub power_sheds: usize,
+    /// Supply-ended sprints (brownout casualties), summed over racks.
+    pub supply_aborts: usize,
+    /// True when every rack drained its queue (false if any hit its
+    /// time limit with tasks outstanding).
+    pub all_drained: bool,
+    /// Per-rack reports, in rack index order.
+    pub rack_reports: Vec<ClusterReport>,
+}
+
+impl FacilityReport {
+    /// FNV-1a fingerprint over every scalar field and every per-task
+    /// outcome (exact `f64` bits). Two runs of the same facility agree
+    /// on this digest if and only if they are byte-identical in every
+    /// figure a study could quote — the determinism tests pin it across
+    /// worker-thread counts.
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bits: u64| {
+            hash ^= bits;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        };
+        for bits in [
+            self.racks as u64,
+            self.epochs,
+            self.completed as u64,
+            self.total_tasks as u64,
+            self.mean_latency_s.to_bits(),
+            self.p95_latency_s.to_bits(),
+            self.p99_latency_s.to_bits(),
+            self.max_latency_s.to_bits(),
+            self.makespan_s.to_bits(),
+            self.peak_junction_c.to_bits(),
+            self.peak_inlet_c.to_bits(),
+            self.sheds as u64,
+            self.power_sheds as u64,
+            self.supply_aborts as u64,
+            self.all_drained as u64,
+        ] {
+            eat(bits);
+        }
+        for report in &self.rack_reports {
+            eat(cluster_report_digest(report));
+        }
+        hash
+    }
+}
+
+/// FNV-1a fingerprint of one rack's [`ClusterReport`]: every scalar
+/// field, every task outcome, and every node report's scalars, all at
+/// exact `f64` bits. Two reports agree on this digest exactly when they
+/// are byte-identical in every figure a study could quote — the
+/// facility equivalence tests use it to show a one-rack facility
+/// reproduces a standalone [`ClusterSession`] run.
+pub fn cluster_report_digest(report: &ClusterReport) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bits: u64| {
+        hash ^= bits;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    };
+    for bits in [
+        report.makespan_s.to_bits(),
+        report.completed as u64,
+        report.total_tasks as u64,
+        report.mean_latency_s.to_bits(),
+        report.p95_latency_s.to_bits(),
+        report.p99_latency_s.to_bits(),
+        report.max_latency_s.to_bits(),
+        report.peak_junction_c.to_bits(),
+        report.admitted_sprints as u64,
+        report.denied_sprints as u64,
+        report.sheds as u64,
+        report.power_sheds as u64,
+        report.supply_aborts as u64,
+    ] {
+        eat(bits);
+    }
+    for o in &report.outcomes {
+        for bits in [
+            o.task as u64,
+            o.node as u64,
+            o.arrival_s.to_bits(),
+            o.assigned_s.to_bits(),
+            o.completed_s.to_bits(),
+            o.sprinted as u64,
+            o.copies as u64,
+        ] {
+            eat(bits);
+        }
+    }
+    for node in &report.node_reports {
+        for bits in [
+            node.completion_s.to_bits(),
+            node.energy_j.to_bits(),
+            node.instructions,
+            node.max_junction_c.to_bits(),
+            node.sprint_end_s.map_or(u64::MAX, f64::to_bits),
+            node.finished as u64,
+            node.events.len() as u64,
+        ] {
+            eat(bits);
+        }
+    }
+    hash
+}
+
+/// Nearest-rank percentile over pre-collected latencies (`q` in
+/// `(0, 1]`; NaN when empty) — the same contract as the cluster
+/// report's, applied to the union of every rack's outcomes.
+fn percentile_s(sorted_latencies: &[f64], q: f64) -> f64 {
+    if sorted_latencies.is_empty() {
+        return f64::NAN;
+    }
+    let rank =
+        ((q * sorted_latencies.len() as f64).ceil() as usize).clamp(1, sorted_latencies.len());
+    sorted_latencies[rank - 1]
+}
+
+/// Composes rack specs, row coupling and the facility feed into a
+/// [`Facility`]. Defaults mirror [`ClusterBuilder`]'s: the paper's
+/// 16-core machine per node, `hpca_parallel` sprints, greedy-headroom
+/// thermal admission, power-oblivious local admission, no tracing.
+#[derive(Debug)]
+pub struct FacilityBuilder {
+    racks: usize,
+    thermal: GridThermalParams,
+    machine: MachineConfig,
+    config: SprintConfig,
+    policy: ClusterPolicy,
+    power: PowerPolicy,
+    supply: Option<RackSupplyParams>,
+    trace_capacity: usize,
+    max_time_s: f64,
+    row: Option<RowParams>,
+    facility_policy: FacilityPolicy,
+    facility_cap_w: Option<f64>,
+    epoch_windows: u64,
+    traffic: Option<TrafficParams>,
+    rack_tasks: Vec<Vec<ClusterTask>>,
+}
+
+impl FacilityBuilder {
+    /// Starts a facility of `racks` identical racks (specialise per
+    /// rack afterwards via [`tasks_on`](Self::tasks_on)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero racks.
+    pub fn new(racks: usize) -> Self {
+        assert!(racks >= 1, "a facility needs at least one rack");
+        Self {
+            racks,
+            thermal: GridThermalParams::rack(4, 4),
+            machine: MachineConfig::hpca(),
+            config: SprintConfig::hpca_parallel(),
+            policy: ClusterPolicy::greedy_default(),
+            power: PowerPolicy::Oblivious,
+            supply: None,
+            trace_capacity: 0,
+            max_time_s: 10.0,
+            row: None,
+            facility_policy: FacilityPolicy::PerRack,
+            facility_cap_w: None,
+            epoch_windows: 200,
+            traffic: None,
+            rack_tasks: vec![Vec::new(); racks],
+        }
+    }
+
+    /// Sets every rack's thermal grid parameters.
+    pub fn rack_thermal(mut self, params: GridThermalParams) -> Self {
+        self.thermal = params;
+        self
+    }
+
+    /// Sets every rack's per-node machine configuration.
+    pub fn machine(mut self, config: MachineConfig) -> Self {
+        self.machine = config;
+        self
+    }
+
+    /// Sets the sprint configuration admitted tasks run under.
+    pub fn config(mut self, config: SprintConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets every rack's local thermal admission policy.
+    pub fn policy(mut self, policy: ClusterPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets every rack's local power admission policy.
+    pub fn power_policy(mut self, power: PowerPolicy) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Puts every rack on its own shared power-delivery pool; the
+    /// commissioned cap is the rack's PDU nameplate. Required for
+    /// [`FacilityPolicy::GlobalRationed`] (the global tier moves the
+    /// pool's live cap).
+    pub fn rack_supply(mut self, params: RackSupplyParams) -> Self {
+        self.supply = Some(params);
+        self
+    }
+
+    /// Limits each node's retained trace (0, the default, disables it).
+    pub fn trace_capacity(mut self, samples: usize) -> Self {
+        self.trace_capacity = samples;
+        self
+    }
+
+    /// Hard wall on each rack's simulated time, seconds.
+    pub fn max_time_s(mut self, limit_s: f64) -> Self {
+        self.max_time_s = limit_s;
+        self
+    }
+
+    /// Enables row-level shared-airflow coupling (disabled by default:
+    /// inlets are never touched).
+    pub fn row(mut self, row: RowParams) -> Self {
+        self.row = Some(row);
+        self
+    }
+
+    /// Sets the facility-level admission tier (default
+    /// [`FacilityPolicy::PerRack`], which never intervenes).
+    pub fn facility_policy(mut self, policy: FacilityPolicy) -> Self {
+        self.facility_policy = policy;
+        self
+    }
+
+    /// Sets the facility feed cap, watts: rationed dynamically by
+    /// [`FacilityPolicy::GlobalRationed`], or pinned as a static equal
+    /// split under [`FacilityPolicy::PerRack`] (the facility-oblivious
+    /// baseline at the same total budget). Unset means an uncapped
+    /// feed: racks keep their commissioned nameplates.
+    pub fn facility_cap_w(mut self, cap_w: f64) -> Self {
+        self.facility_cap_w = Some(cap_w);
+        self
+    }
+
+    /// Sampling windows per settlement epoch (default 200 — with the
+    /// 1 µs window that is a 0.2 ms settlement cadence, comfortably
+    /// faster than the compressed thermal constants it steers).
+    pub fn epoch_windows(mut self, windows: u64) -> Self {
+        self.epoch_windows = windows;
+        self
+    }
+
+    /// Feeds the facility from the seeded traffic generator: each rack
+    /// derives its own stream from `base` — a distinct seed, a diurnal
+    /// phase rotated by `rack / racks` of a period (rack peaks do not
+    /// coincide, which is precisely the headroom a global tier can
+    /// harvest), and an equal share of `base.tasks` (earlier racks take
+    /// the remainder).
+    pub fn traffic(mut self, base: TrafficParams) -> Self {
+        self.traffic = Some(base);
+        self
+    }
+
+    /// Replaces one rack's arrival queue with an explicit task list
+    /// (overrides [`traffic`](Self::traffic) for that rack).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range rack index.
+    pub fn tasks_on(mut self, rack: usize, tasks: impl IntoIterator<Item = ClusterTask>) -> Self {
+        self.rack_tasks[rack].extend(tasks);
+        self
+    }
+
+    /// Builds the facility: per-rack specs (tasks routed from traffic
+    /// or the explicit lists) plus the settlement configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid settlement configuration: zero epoch
+    /// windows; global rationing without rack supplies or a facility
+    /// cap, or with a cap/floor the racks cannot satisfy; a row
+    /// coupling whose inlet ceiling violates a rack's thermal limit or
+    /// PCM melting point; traffic with fewer tasks than racks; or a
+    /// rack config any [`ClusterBuilder`] check rejects.
+    pub fn build(self) -> Facility {
+        assert!(
+            self.epoch_windows >= 1,
+            "an epoch needs at least one window"
+        );
+        let nameplate: Vec<f64> = (0..self.racks)
+            .map(|_| self.supply.map_or(f64::INFINITY, |s| s.cap_w))
+            .collect();
+        // The smallest share the facility tier can pin a rack at: the
+        // rationing floor, or the static equal split of a capped
+        // oblivious facility. `None` when the tier never moves caps.
+        let min_share_w = match self.facility_policy {
+            FacilityPolicy::GlobalRationed { floor_w, .. } => {
+                let cap = self
+                    .facility_cap_w
+                    .expect("global rationing needs a facility_cap_w to divide");
+                self.facility_policy.validate(cap, &nameplate);
+                Some(floor_w)
+            }
+            FacilityPolicy::PerRack => {
+                if let Some(cap) = self.facility_cap_w {
+                    assert!(
+                        cap.is_finite() && cap > 0.0,
+                        "a facility cap must be positive and finite"
+                    );
+                }
+                self.facility_cap_w.map(|cap| cap / self.racks as f64)
+            }
+        };
+        if let Some(min_share_w) = min_share_w {
+            assert!(
+                self.supply.is_some(),
+                "a facility cap moves each rack's live supply cap: give racks a rack_supply"
+            );
+            // A rack parked at the minimum share with power-rationed
+            // local admission can never admit a sprint if that share
+            // cannot carry one; with an infinite defer window its queue
+            // would head-of-line block until the time limit. Demand a
+            // finite defer so starved racks degrade to sustained runs.
+            if let PowerPolicy::Rationed { sprint_draw_w, .. } = self.power {
+                if min_share_w < sprint_draw_w {
+                    assert!(
+                        self.policy.defer_window_s() != Some(f64::INFINITY),
+                        "a {min_share_w} W share cannot carry a {sprint_draw_w} W sprint: \
+                         an infinite defer window would head-of-line block a starved \
+                         rack until its time limit — use a finite defer_s"
+                    );
+                }
+            }
+        }
+        if let Some(row) = self.row {
+            assert!(row.racks_per_row >= 1, "a row needs at least one rack");
+            assert!(
+                row.recirc_k_per_w >= 0.0 && row.recirc_k_per_w.is_finite(),
+                "recirculation coefficient must be finite and non-negative"
+            );
+            assert!(
+                row.crac_capacity_w >= 0.0,
+                "CRAC capacity must be non-negative"
+            );
+            if row.recirc_k_per_w > 0.0 {
+                assert!(
+                    row.max_inlet_c >= self.thermal.ambient_c,
+                    "the inlet ceiling sits below the commissioned ambient"
+                );
+                assert!(
+                    row.max_inlet_c < self.thermal.t_max_c,
+                    "the inlet ceiling must stay below the racks' thermal limit"
+                );
+                for layer in &self.thermal.layers {
+                    if let Some(pc) = &layer.phase_change {
+                        assert!(
+                            row.max_inlet_c < pc.melt_temp_c,
+                            "the inlet ceiling must stay below the PCM melting point"
+                        );
+                    }
+                }
+            }
+        }
+        let mut specs = Vec::with_capacity(self.racks);
+        for rack in 0..self.racks {
+            let tasks = if !self.rack_tasks[rack].is_empty() {
+                self.rack_tasks[rack].clone()
+            } else if let Some(base) = &self.traffic {
+                assert!(
+                    base.tasks >= self.racks,
+                    "traffic must carry at least one task per rack"
+                );
+                rack_traffic(base, rack, self.racks)
+                    .generate()
+                    .into_iter()
+                    .map(|a| ClusterTask {
+                        kind: a.kind,
+                        size: a.size,
+                        threads: a.threads,
+                        arrival_s: a.arrival_s,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            specs.push(RackSpec {
+                thermal: self.thermal.clone(),
+                machine: self.machine.clone(),
+                config: self.config.clone(),
+                policy: self.policy.clone(),
+                power: self.power,
+                supply: self.supply,
+                tasks,
+                trace_capacity: self.trace_capacity,
+                max_time_s: self.max_time_s,
+            });
+        }
+        // Fail fast on rack configs ClusterBuilder would reject — at
+        // build time on the caller's thread, not inside a worker.
+        drop(specs[0].build());
+        Facility {
+            specs,
+            row: self.row,
+            policy: self.facility_policy,
+            facility_cap_w: self.facility_cap_w.unwrap_or(f64::INFINITY),
+            epoch_windows: self.epoch_windows,
+        }
+    }
+}
+
+/// Derives rack `rack`'s traffic stream from the facility-wide base:
+/// distinct seed, rotated diurnal phase, an equal task share.
+fn rack_traffic(base: &TrafficParams, rack: usize, racks: usize) -> TrafficParams {
+    let mut params = base.clone();
+    params.seed = base
+        .seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rack as u64 + 1));
+    params.diurnal_phase = base.diurnal_phase + rack as f64 / racks as f64;
+    params.tasks = base.tasks / racks + usize::from(rack < base.tasks % racks);
+    params
+}
+
+/// N racks, their row coupling, and the facility admission tier. Built
+/// by [`FacilityBuilder`]; [`run`](Self::run) executes the settlement
+/// loop on a worker pool.
+#[derive(Debug)]
+pub struct Facility {
+    specs: Vec<RackSpec>,
+    row: Option<RowParams>,
+    policy: FacilityPolicy,
+    facility_cap_w: f64,
+    epoch_windows: u64,
+}
+
+impl Facility {
+    /// Racks in the facility.
+    pub fn racks(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Tasks submitted across all racks.
+    pub fn total_tasks(&self) -> usize {
+        self.specs.iter().map(|s| s.tasks.len()).sum()
+    }
+
+    /// One rack's spec (e.g. to build a standalone comparator session).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range rack index.
+    pub fn spec(&self, rack: usize) -> &RackSpec {
+        &self.specs[rack]
+    }
+
+    /// Runs the facility to completion on `threads` persistent workers
+    /// (clamped to the rack count) and reports. The report is
+    /// byte-identical at any thread count: racks interact only through
+    /// the single-threaded settlement barrier, which consumes telemetry
+    /// in rack index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero threads, or if a worker thread panics (a rack
+    /// config error or a poisoned channel).
+    pub fn run(&self, threads: usize) -> FacilityReport {
+        assert!(threads >= 1, "the facility needs at least one worker");
+        let n = self.specs.len();
+        let workers = threads.min(n);
+        let nameplate: Vec<f64> = self
+            .specs
+            .iter()
+            .map(|s| s.supply.map_or(f64::INFINITY, |p| p.cap_w))
+            .collect();
+        let base_inlet: Vec<f64> = self.specs.iter().map(|s| s.thermal.ambient_c).collect();
+
+        thread::scope(|scope| {
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+            let mut commands = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+                commands.push(cmd_tx);
+                let owned: Vec<(usize, RackSpec)> = (0..n)
+                    .filter(|r| r % workers == w)
+                    .map(|r| (r, self.specs[r].clone()))
+                    .collect();
+                let tx = reply_tx.clone();
+                scope.spawn(move || shard::worker(owned, cmd_rx, tx));
+            }
+            drop(reply_tx);
+
+            let mut last_inlet = base_inlet.clone();
+            let mut last_cap = nameplate.clone();
+            let mut heat = vec![0.0f64; n];
+            let mut demand = vec![0usize; n];
+            let mut terminal = vec![false; n];
+            let mut epochs = 0u64;
+            let mut peak_inlet_c = base_inlet.iter().copied().fold(f64::MIN, f64::max);
+
+            loop {
+                // Settle, in rack index order, from last epoch's
+                // telemetry: facility cap shares...
+                let caps = self.policy.settle(self.facility_cap_w, &nameplate, &demand);
+                // ...and row inlets.
+                let mut inputs = vec![
+                    RackInputs {
+                        inlet_c: None,
+                        cap_w: None,
+                    };
+                    n
+                ];
+                if let Some(row) = self.row.filter(|r| r.recirc_k_per_w > 0.0) {
+                    let rows = n.div_ceil(row.racks_per_row);
+                    let mut row_heat = vec![0.0f64; rows];
+                    for r in 0..n {
+                        row_heat[r / row.racks_per_row] += heat[r];
+                    }
+                    for r in 0..n {
+                        let excess =
+                            (row_heat[r / row.racks_per_row] - row.crac_capacity_w).max(0.0);
+                        let inlet =
+                            (base_inlet[r] + row.recirc_k_per_w * excess).min(row.max_inlet_c);
+                        if inlet.to_bits() != last_inlet[r].to_bits() {
+                            inputs[r].inlet_c = Some(inlet);
+                            last_inlet[r] = inlet;
+                            peak_inlet_c = peak_inlet_c.max(inlet);
+                        }
+                    }
+                }
+                if let Some(caps) = caps {
+                    for r in 0..n {
+                        if caps[r].to_bits() != last_cap[r].to_bits() {
+                            inputs[r].cap_w = Some(caps[r]);
+                            last_cap[r] = caps[r];
+                        }
+                    }
+                }
+
+                for (w, cmd) in commands.iter().enumerate() {
+                    let worker_inputs: Vec<RackInputs> = (0..n)
+                        .filter(|r| r % workers == w)
+                        .map(|r| inputs[r])
+                        .collect();
+                    cmd.send(Command::Advance {
+                        windows: self.epoch_windows,
+                        inputs: worker_inputs,
+                    })
+                    .expect("worker thread hung up mid-run");
+                }
+                for _ in 0..n {
+                    match reply_rx.recv().expect("worker thread hung up mid-epoch") {
+                        Reply::Epoch(rack, stats) => {
+                            heat[rack] = stats.heat_w;
+                            demand[rack] = stats.backlog + stats.sprinting;
+                            terminal[rack] = stats.terminal;
+                        }
+                        Reply::Final(..) => unreachable!("Final before Finish"),
+                    }
+                }
+                epochs += 1;
+                if terminal.iter().all(|&t| t) {
+                    break;
+                }
+            }
+
+            for cmd in &commands {
+                cmd.send(Command::Finish).expect("worker thread hung up");
+            }
+            let mut finals: Vec<Option<(Box<ClusterReport>, ClusterOutcome)>> =
+                (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                match reply_rx.recv().expect("worker thread hung up at finish") {
+                    Reply::Final(rack, report, outcome) => finals[rack] = Some((report, outcome)),
+                    Reply::Epoch(..) => unreachable!("Epoch after Finish"),
+                }
+            }
+
+            let mut rack_reports = Vec::with_capacity(n);
+            let mut all_drained = true;
+            for slot in finals {
+                let (report, outcome) = slot.expect("every rack reports exactly once");
+                all_drained &= outcome == ClusterOutcome::Drained;
+                rack_reports.push(*report);
+            }
+            self.summarise(rack_reports, epochs, peak_inlet_c, all_drained)
+        })
+    }
+
+    /// Folds the per-rack reports (rack index order throughout) into
+    /// the facility report.
+    fn summarise(
+        &self,
+        rack_reports: Vec<ClusterReport>,
+        epochs: u64,
+        peak_inlet_c: f64,
+        all_drained: bool,
+    ) -> FacilityReport {
+        let mut latencies: Vec<f64> = rack_reports
+            .iter()
+            .flat_map(|r| r.outcomes.iter().map(|o| o.latency_s()))
+            .collect();
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let completed = latencies.len();
+        let mean_latency_s = if completed == 0 {
+            f64::NAN
+        } else {
+            latencies.iter().sum::<f64>() / completed as f64
+        };
+        FacilityReport {
+            racks: rack_reports.len(),
+            epochs,
+            completed,
+            total_tasks: rack_reports.iter().map(|r| r.total_tasks).sum(),
+            mean_latency_s,
+            p95_latency_s: percentile_s(&latencies, 0.95),
+            p99_latency_s: percentile_s(&latencies, 0.99),
+            max_latency_s: latencies.last().copied().unwrap_or(0.0),
+            makespan_s: rack_reports
+                .iter()
+                .map(|r| r.makespan_s)
+                .fold(0.0, f64::max),
+            peak_junction_c: rack_reports
+                .iter()
+                .map(|r| r.peak_junction_c)
+                .fold(f64::MIN, f64::max),
+            peak_inlet_c,
+            sheds: rack_reports.iter().map(|r| r.sheds).sum(),
+            power_sheds: rack_reports.iter().map(|r| r.power_sheds).sum(),
+            supply_aborts: rack_reports.iter().map(|r| r.supply_aborts).sum(),
+            all_drained,
+            rack_reports,
+        }
+    }
+}

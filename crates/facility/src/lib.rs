@@ -1,0 +1,98 @@
+//! Facility-scale computational sprinting: rows of sprinting racks
+//! under one shared power feed and shared cooling.
+//!
+//! The paper sprints a single chip against its thermal capacitor; the
+//! rack layer (`sprint-cluster`) lifts the idea to a 16-node rack
+//! against shared heat-sink and power-delivery pools. This crate takes
+//! the next rung: a [`Facility`] composes N racks into rows and couples
+//! them through the two resources a datacenter actually shares —
+//! airflow and the utility feed — then rations *facility* sprint
+//! headroom across racks with a global admission tier layered above
+//! each rack's local thermal/power admission.
+//!
+//! # Coupling model
+//!
+//! Racks stay fully independent *within* a settlement epoch (their own
+//! [`RackThermal`](sprint_cluster::RackThermal) grid, their own
+//! [`RackSupply`](sprint_cluster::RackSupply) pool); the facility talks
+//! to them only through two slow boundary knobs, re-settled every
+//! [`epoch_windows`](FacilityBuilder::epoch_windows) sampling windows:
+//!
+//! * **Row airflow** ([`RowParams`]): racks in a row share a CRAC unit.
+//!   When the row's total heat exceeds the CRAC capacity, the excess
+//!   recirculates and lifts every rack inlet in the row by
+//!   `recirc_k_per_w` Kelvin per excess watt (clamped at
+//!   `max_inlet_c`). A hot row therefore erodes its own racks' thermal
+//!   sprint headroom — the facility-scale analogue of the die heating
+//!   its heat sink.
+//! * **Facility feed** ([`FacilityPolicy`]): the building's feed caps
+//!   total rack power below the sum of the rack PDU nameplates
+//!   (facilities are provisioned for average, not peak — the premise
+//!   sprinting exploits). [`FacilityPolicy::GlobalRationed`] re-divides
+//!   the facility cap across racks every epoch, demand-weighted by each
+//!   rack's queue backlog and sprinting population and dealt in
+//!   sprint-slot quanta above a per-rack floor, by moving each
+//!   rack's live [`RackSupply`] cap; the rack's own
+//!   [`PowerPolicy`](sprint_cluster::PowerPolicy) admission then
+//!   enforces whatever share it was dealt.
+//!   [`FacilityPolicy::PerRack`] is the facility-oblivious baseline:
+//!   each rack keeps a fixed share forever — its commissioned nameplate
+//!   when the feed is uncapped, or the static equal split
+//!   `facility_cap / N` under the same facility cap the global tier
+//!   rations (the apples-to-apples comparison the facility study runs).
+//!
+//! # The settlement barrier (and determinism)
+//!
+//! Rack advancement is sharded across worker threads (plain
+//! `std::thread::scope`, no dependencies): rack *r* lives on worker
+//! `r % threads`, which owns its non-`Send` session for the whole run.
+//! Each epoch the main thread broadcasts per-rack inputs (inlet, cap),
+//! workers step their racks `epoch_windows` windows and reply with
+//! plain-data telemetry, and the main thread *settles*: it recomputes
+//! row inlets and facility cap shares from the telemetry **in rack
+//! index order** before the next epoch begins. Because racks share no
+//! mutable state inside an epoch and every cross-rack term is computed
+//! single-threaded at the barrier from index-ordered inputs, the same
+//! seed and rack count produce a byte-identical [`FacilityReport`] at
+//! *any* worker count — pinned by this crate's determinism tests. A
+//! one-rack facility with coupling left at defaults reproduces a
+//! standalone [`ClusterSession`](sprint_cluster::ClusterSession) run
+//! byte for byte: the facility layer's observer effect is zero.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sprint_facility::prelude::*;
+//! use sprint_thermal::grid::GridThermalParams;
+//! use sprint_cluster::RackSupplyParams;
+//! use sprint_workloads::traffic::TrafficParams;
+//!
+//! let facility = FacilityBuilder::new(2)
+//!     .rack_thermal(GridThermalParams::rack(2, 1).time_scaled(3000.0))
+//!     .rack_supply(RackSupplyParams::rack(2).time_scaled(3000.0))
+//!     .facility_policy(FacilityPolicy::GlobalRationed { floor_w: 10.0, slot_w: 14.0 })
+//!     .facility_cap_w(60.0)
+//!     .traffic(TrafficParams::frontend(7, 8, 30_000.0))
+//!     .build();
+//! let report = facility.run(2);
+//! assert_eq!(report.completed, 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod facility;
+pub mod policy;
+mod shard;
+
+pub use facility::{
+    cluster_report_digest, Facility, FacilityBuilder, FacilityReport, RackSpec, RowParams,
+};
+pub use policy::FacilityPolicy;
+
+/// Commonly-used items in one import.
+pub mod prelude {
+    pub use crate::facility::{
+        cluster_report_digest, Facility, FacilityBuilder, FacilityReport, RackSpec, RowParams,
+    };
+    pub use crate::policy::FacilityPolicy;
+}

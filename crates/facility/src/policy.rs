@@ -1,0 +1,297 @@
+//! The facility-level sprint-admission tier: how the building's feed
+//! is divided among racks each settlement epoch.
+
+use serde::{Deserialize, Serialize};
+
+/// How the facility feed is rationed across racks. This tier sits
+/// *above* each rack's local admission — it only moves the rack's live
+/// supply cap; the rack's own
+/// [`PowerPolicy`](sprint_cluster::PowerPolicy) then enforces the share
+/// it was dealt, window by window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FacilityPolicy {
+    /// Facility-oblivious baseline. Without a facility cap every rack
+    /// keeps the cap its supply was commissioned with, forever. With a
+    /// [`facility_cap_w`](crate::FacilityBuilder::facility_cap_w) set,
+    /// each rack is pinned at the static equal split `facility_cap / N`
+    /// (clamped at its nameplate) — the share a cap-respecting but
+    /// coordination-free facility would install at commissioning time,
+    /// and never moved again regardless of demand.
+    PerRack,
+    /// Global sprint rationing: every settlement epoch the facility cap
+    /// is re-divided across racks by *demand* (queue backlog plus
+    /// sprinting population, plus one so an idle rack still holds a
+    /// share). Every rack keeps a guaranteed `floor_w`; the flex pool
+    /// above the floors is dealt in whole `slot_w` quanta by highest
+    /// averages, then the sub-slot residue is waterfilled
+    /// proportionally, with every share clamped at the rack's PDU
+    /// nameplate. Headroom flows to whichever racks are bursting or
+    /// riding their diurnal peak — the same watts serve every rack's
+    /// peak because the peaks do not coincide.
+    GlobalRationed {
+        /// Guaranteed minimum cap per rack, watts — size it at the
+        /// rack's worst-case *sustained* draw, so a starved rack keeps
+        /// serving (slowly) while it waits for headroom.
+        floor_w: f64,
+        /// Quantum of the flex pool, watts — size it at the rack
+        /// [`PowerPolicy`](sprint_cluster::PowerPolicy)'s per-sprint
+        /// booking, so each dealt quantum buys exactly one admissible
+        /// sprint. Watts split proportionally would strand below every
+        /// rack's admission threshold exactly when the facility is
+        /// tight; whole slots concentrate where the backlog is.
+        slot_w: f64,
+    },
+}
+
+impl FacilityPolicy {
+    /// Validates the policy against the facility shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rationing with a non-positive floor or slot, a floor
+    /// above some rack's nameplate, or a facility cap that cannot cover
+    /// every rack's floor.
+    pub fn validate(&self, facility_cap_w: f64, nameplate_w: &[f64]) {
+        if let FacilityPolicy::GlobalRationed { floor_w, slot_w } = self {
+            assert!(
+                floor_w.is_finite() && *floor_w > 0.0,
+                "rationing floor must be positive"
+            );
+            assert!(
+                slot_w.is_finite() && *slot_w > 0.0,
+                "rationing slot must be positive"
+            );
+            for (rack, &np) in nameplate_w.iter().enumerate() {
+                assert!(
+                    *floor_w <= np,
+                    "rationing floor {floor_w} W exceeds rack {rack}'s {np} W nameplate"
+                );
+            }
+            assert!(
+                facility_cap_w >= *floor_w * nameplate_w.len() as f64,
+                "facility cap {facility_cap_w} W cannot cover {} racks at the {floor_w} W floor",
+                nameplate_w.len()
+            );
+        }
+    }
+
+    /// Settles one epoch: the per-rack cap vector, or `None` when this
+    /// policy never intervenes ([`PerRack`](Self::PerRack) without a
+    /// facility cap). `demand` is each rack's backlog + sprinting count
+    /// from the previous epoch's telemetry (zeros before the first
+    /// epoch: the initial division is an equal split).
+    ///
+    /// The division is deterministic and runs in two passes. First the
+    /// flex pool above the floors is dealt in whole [`slot_w`] quanta
+    /// by highest averages (each quantum goes to the rack with the most
+    /// `demand + 1` per quantum already held, ties to the lowest rack
+    /// index, nameplate permitting) — sprint admission is quantized at
+    /// the per-sprint booking, so only a share that crosses a slot
+    /// boundary buys anything. The sub-slot residue is then waterfilled
+    /// in proportion to `demand + 1`, re-dividing any share above a
+    /// rack's nameplate among the unclamped racks (at most one pass per
+    /// rack, always in rack index order) — at a generous cap the
+    /// residue walks every rack up to its nameplate, so the tier
+    /// converges with the oblivious split when the feed stops binding.
+    ///
+    /// [`slot_w`]: Self::GlobalRationed::slot_w
+    pub(crate) fn settle(
+        &self,
+        facility_cap_w: f64,
+        nameplate_w: &[f64],
+        demand: &[usize],
+    ) -> Option<Vec<f64>> {
+        let FacilityPolicy::GlobalRationed { floor_w, slot_w } = self else {
+            // The oblivious baseline under a finite facility cap: the
+            // static equal split, recomputed to the same value every
+            // epoch (the change-gate upstream sends it exactly once).
+            if facility_cap_w.is_finite() {
+                let share = facility_cap_w / nameplate_w.len() as f64;
+                return Some(nameplate_w.iter().map(|&np| share.min(np)).collect());
+            }
+            return None;
+        };
+        let n = nameplate_w.len();
+        let mut caps = vec![*floor_w; n];
+        let mut left = facility_cap_w - *floor_w * n as f64;
+        // Pass 1: whole sprint slots by highest averages (d'Hondt).
+        let mut quanta = vec![0usize; n];
+        while left >= *slot_w {
+            let mut best: Option<usize> = None;
+            let mut best_avg = 0.0;
+            for r in 0..n {
+                if caps[r] + *slot_w > nameplate_w[r] + 1e-9 {
+                    continue;
+                }
+                let avg = (demand[r] as f64 + 1.0) / (quanta[r] as f64 + 1.0);
+                if best.is_none() || avg > best_avg {
+                    best = Some(r);
+                    best_avg = avg;
+                }
+            }
+            let Some(r) = best else { break };
+            caps[r] += *slot_w;
+            quanta[r] += 1;
+            left -= *slot_w;
+        }
+        // Pass 2: waterfill the sub-slot residue.
+        let mut open: Vec<usize> = (0..n).collect();
+        while left > 1e-9 && !open.is_empty() {
+            let weight = |r: usize| demand[r] as f64 + 1.0;
+            let total: f64 = open.iter().map(|&r| weight(r)).sum();
+            let mut next_open = Vec::with_capacity(open.len());
+            let mut granted = 0.0;
+            for &r in &open {
+                let share = left * weight(r) / total;
+                let room = nameplate_w[r] - caps[r];
+                if share >= room {
+                    caps[r] = nameplate_w[r];
+                    granted += room;
+                } else {
+                    caps[r] += share;
+                    granted += share;
+                    next_open.push(r);
+                }
+            }
+            left -= granted;
+            if next_open.len() == open.len() {
+                // Nobody clamped: the budget is fully distributed (up
+                // to rounding residue).
+                break;
+            }
+            open = next_open;
+        }
+        Some(caps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_rack_without_a_cap_never_intervenes() {
+        assert_eq!(
+            FacilityPolicy::PerRack.settle(f64::INFINITY, &[50.0, 50.0], &[9, 0]),
+            None
+        );
+    }
+
+    #[test]
+    fn per_rack_under_a_cap_is_a_static_demand_blind_split() {
+        let caps = FacilityPolicy::PerRack
+            .settle(80.0, &[50.0, 50.0, 30.0], &[9, 0, 0])
+            .unwrap();
+        // An equal 26.67 W share regardless of demand, nameplate-clamped.
+        assert!((caps[0] - 80.0 / 3.0).abs() < 1e-9);
+        assert_eq!(caps[0].to_bits(), caps[1].to_bits());
+        assert!((caps[2] - 80.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_facility_splits_equally() {
+        // Equal weights deal the four 18 W slots round-robin and the
+        // residue waterfills evenly: the idle division is still the
+        // equal split.
+        let caps = FacilityPolicy::GlobalRationed {
+            floor_w: 10.0,
+            slot_w: 18.0,
+        }
+        .settle(100.0, &[80.0, 80.0], &[0, 0])
+        .unwrap();
+        assert!((caps[0] - 50.0).abs() < 1e-9);
+        assert!((caps[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_demand_wins_whole_slots() {
+        // A 110 W cap over four 20 W floors leaves 30 W of flex. Split
+        // proportionally (the old waterfill) no rack would clear the
+        // 38 W a sprint admission needs — the watts strand exactly when
+        // the facility is tight. Dealt in slots, the single whole 18 W
+        // quantum lands on the bursting rack, pushing it (and only it)
+        // across the admission threshold.
+        let policy = FacilityPolicy::GlobalRationed {
+            floor_w: 20.0,
+            slot_w: 18.0,
+        };
+        let caps = policy
+            .settle(110.0, &[120.0, 120.0, 120.0, 120.0], &[0, 10, 0, 0])
+            .unwrap();
+        assert!(caps[1] >= 38.0, "the bursting rack holds a whole slot");
+        for (r, &cap) in caps.iter().enumerate() {
+            if r != 1 {
+                assert!(cap < 38.0, "rack {r} must not strand slot watts");
+            }
+        }
+        let total: f64 = caps.iter().sum();
+        assert!(total <= 110.0 + 1e-9, "never exceeds the facility cap");
+    }
+
+    #[test]
+    fn nameplate_clamps_slot_dealing() {
+        // Rack 0's 30 W nameplate cannot hold a slot above its floor:
+        // both slots go to rack 1 and the residue waterfill tops rack 0
+        // out at exactly its nameplate.
+        let caps = FacilityPolicy::GlobalRationed {
+            floor_w: 10.0,
+            slot_w: 18.0,
+        }
+        .settle(90.0, &[30.0, 80.0], &[5, 5])
+        .unwrap();
+        assert!((caps[0] - 30.0).abs() < 1e-9, "clamped at nameplate");
+        assert!((caps[1] - 60.0).abs() < 1e-9, "absorbs the surplus");
+    }
+
+    #[test]
+    fn at_nameplate_cap_every_rack_gets_its_nameplate() {
+        // When the feed carries every nameplate at once the tier stops
+        // binding: whatever the demand skew, the residue waterfill
+        // walks every rack to its nameplate — bit-exactly the caps the
+        // oblivious split would pin, so the figure's generous-cap point
+        // converges.
+        let caps = FacilityPolicy::GlobalRationed {
+            floor_w: 20.0,
+            slot_w: 18.0,
+        }
+        .settle(240.0, &[120.0, 120.0], &[3, 9])
+        .unwrap();
+        assert_eq!(caps[0].to_bits(), 120.0f64.to_bits());
+        assert_eq!(caps[1].to_bits(), 120.0f64.to_bits());
+    }
+
+    #[test]
+    fn settlement_is_deterministic() {
+        let policy = FacilityPolicy::GlobalRationed {
+            floor_w: 5.0,
+            slot_w: 16.0,
+        };
+        let nameplates = [40.0, 55.0, 70.0, 25.0];
+        let demand = [3, 0, 11, 2];
+        let a = policy.settle(120.0, &nameplates, &demand).unwrap();
+        let b = policy.settle(120.0, &nameplates, &demand).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn cap_below_total_floor_is_rejected() {
+        FacilityPolicy::GlobalRationed {
+            floor_w: 30.0,
+            slot_w: 18.0,
+        }
+        .validate(50.0, &[40.0, 40.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot must be positive")]
+    fn zero_slot_is_rejected() {
+        FacilityPolicy::GlobalRationed {
+            floor_w: 10.0,
+            slot_w: 0.0,
+        }
+        .validate(100.0, &[40.0, 40.0]);
+    }
+}

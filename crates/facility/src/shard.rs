@@ -1,0 +1,112 @@
+//! Worker-thread sharding for rack advancement.
+//!
+//! A [`ClusterSession`] holds `Rc<RefCell<...>>` shared rack state and
+//! is not `Send`, so sessions cannot migrate between threads. Instead,
+//! each worker thread *builds* its racks from plain-data [`RackSpec`]s
+//! and owns them for the whole run; the main thread drives epochs over
+//! `mpsc` channels carrying only plain data (inputs in, telemetry out).
+//! Workers step their racks in ascending rack index, but rack order
+//! inside an epoch is immaterial: racks share no mutable state between
+//! settlement barriers, which is what makes the report independent of
+//! the worker count.
+
+use std::sync::mpsc::{Receiver, Sender};
+
+use sprint_cluster::{ClusterOutcome, ClusterReport, ClusterSession};
+
+use crate::facility::RackSpec;
+
+/// Boundary inputs applied to one rack at the start of an epoch.
+/// `None` means "leave the knob where it is" — the facility only
+/// touches a rack when a settlement actually moved its value, so an
+/// uncoupled facility is bit-for-bit a set of standalone racks.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RackInputs {
+    /// New inlet-air temperature from the row airflow model, Celsius.
+    pub inlet_c: Option<f64>,
+    /// New live supply cap from the facility feed tier, watts.
+    pub cap_w: Option<f64>,
+}
+
+/// Plain-data telemetry one rack reports at the settlement barrier.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RackEpochStats {
+    /// Heat the rack currently injects into its grid, watts.
+    pub heat_w: f64,
+    /// Tasks arrived but not yet placed on a node.
+    pub backlog: usize,
+    /// Nodes currently holding a sprint grant.
+    pub sprinting: usize,
+    /// Whether the rack can make no further progress.
+    pub terminal: bool,
+}
+
+/// Main-to-worker commands.
+pub(crate) enum Command {
+    /// Advance every owned rack by up to `windows` sampling windows,
+    /// applying each rack's inputs first. `inputs[i]` pairs with the
+    /// worker's i-th owned rack (ascending rack index).
+    Advance {
+        /// Windows to step this epoch.
+        windows: u64,
+        /// Per-owned-rack boundary inputs.
+        inputs: Vec<RackInputs>,
+    },
+    /// Tear down: reply with every owned rack's final report.
+    Finish,
+}
+
+/// Worker-to-main replies, tagged with the global rack index.
+pub(crate) enum Reply {
+    /// End-of-epoch telemetry for one rack.
+    Epoch(usize, RackEpochStats),
+    /// Final per-rack report and outcome after `Finish`.
+    Final(usize, Box<ClusterReport>, ClusterOutcome),
+}
+
+/// The worker loop: builds the owned racks, then serves epochs until
+/// `Finish` (or the command channel closes).
+pub(crate) fn worker(specs: Vec<(usize, RackSpec)>, rx: Receiver<Command>, tx: Sender<Reply>) {
+    let mut racks: Vec<(usize, ClusterSession, ClusterOutcome)> = specs
+        .into_iter()
+        .map(|(rack, spec)| (rack, spec.build(), ClusterOutcome::Running))
+        .collect();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Advance { windows, inputs } => {
+                for ((rack, session, outcome), input) in racks.iter_mut().zip(&inputs) {
+                    if let Some(inlet_c) = input.inlet_c {
+                        session.rack().set_inlet_c(inlet_c);
+                    }
+                    if let Some(cap_w) = input.cap_w {
+                        session
+                            .supply()
+                            .expect("facility cap settlement requires a rack supply")
+                            .set_cap_w(cap_w);
+                    }
+                    for _ in 0..windows {
+                        *outcome = session.step();
+                        if outcome.is_terminal() {
+                            break;
+                        }
+                    }
+                    let stats = RackEpochStats {
+                        heat_w: session.rack_heat_w(),
+                        backlog: session.ready_backlog(),
+                        sprinting: session.sprinting_count(),
+                        terminal: outcome.is_terminal(),
+                    };
+                    if tx.send(Reply::Epoch(*rack, stats)).is_err() {
+                        return;
+                    }
+                }
+            }
+            Command::Finish => {
+                for (rack, session, outcome) in &racks {
+                    let _ = tx.send(Reply::Final(*rack, Box::new(session.report()), *outcome));
+                }
+                return;
+            }
+        }
+    }
+}

@@ -1057,6 +1057,35 @@ impl GridThermal {
         self.params.ambient_c
     }
 
+    /// Changes the ambient (sink/inlet-air) temperature mid-run — the
+    /// facility settlement hook: row-level airflow recirculation raises
+    /// a rack's inlet air as its row's exhaust heat exceeds the CRAC
+    /// capacity. Safe between `advance` calls with either solver: the
+    /// ambient enters only the right-hand side of the heat operator
+    /// (the `T - ambient` sink term), never the cached ADI line
+    /// factorizations, so no factorization is invalidated. Cell state
+    /// is untouched — only future sink flows change.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ambient_c` is finite and below the thermal limit
+    /// (and below any PCM melting point, mirroring `validate`).
+    pub fn set_ambient_c(&mut self, ambient_c: f64) {
+        assert!(
+            ambient_c.is_finite() && ambient_c < self.params.t_max_c,
+            "ambient must be finite and below the thermal limit"
+        );
+        for layer in &self.params.layers {
+            if let Some(pc) = &layer.phase_change {
+                assert!(
+                    ambient_c < pc.melt_temp_c,
+                    "ambient must be below the PCM melting point"
+                );
+            }
+        }
+        self.params.ambient_c = ambient_c;
+    }
+
     /// Maximum safe cell temperature, Celsius.
     pub fn t_max_c(&self) -> f64 {
         self.params.t_max_c

@@ -43,5 +43,6 @@ pub mod segment;
 pub mod sobel;
 pub mod suite;
 pub mod texture;
+pub mod traffic;
 
 pub use suite::{build_workload, loaded_machine, suite_loader, InputSize, Workload, WorkloadKind};

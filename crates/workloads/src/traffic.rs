@@ -1,0 +1,301 @@
+//! Seeded open-arrival traffic for cluster- and facility-scale studies.
+//!
+//! The rack and facility experiments need arrival streams that look like
+//! datacenter front-end load rather than a fixed batch: a *diurnal* rate
+//! curve (request rate swings over the day), *heavy-tailed* service
+//! demand (most requests are small, a few are 8x the work), and *bursty
+//! fan-in* (a scatter-gather tier dumping a correlated clump of requests
+//! on one rack at once). This module generates such streams
+//! deterministically from a single `u64` seed, so every study — and the
+//! golden tests that pin them — replays the exact same trace on every
+//! run and every thread count.
+//!
+//! # Model
+//!
+//! Arrivals are the superposition of two seeded processes:
+//!
+//! 1. **Base traffic**: a non-homogeneous Poisson process sampled by
+//!    thinning, with sinusoidal rate
+//!    `rate(t) = base_rate_hz * (1 + diurnal_amplitude * sin(2π (t /
+//!    diurnal_period_s + diurnal_phase)))`.
+//! 2. **Bursts**: a homogeneous Poisson process of burst *events* at
+//!    [`burst_rate_hz`]; each event drops [`burst_size`] extra arrivals
+//!    spread uniformly over the following [`burst_span_s`] — the fan-in
+//!    clump.
+//!
+//! Each arrival independently draws an [`InputSize`] from the
+//! heavy-tailed [`size_weights`] distribution (sizes A/B/C/D carry
+//! 1/2/4/8x the serial work). The stream is truncated to exactly
+//! [`tasks`] arrivals, sorted by arrival time.
+//!
+//! Determinism: the base and burst processes use two independent
+//! generators derived from the seed, so each stream is a fixed function
+//! of `(seed, params)` regardless of how many arrivals the other
+//! contributes, and the final stable sort breaks (measure-zero) time
+//! ties by generation order.
+//!
+//! [`burst_rate_hz`]: TrafficParams::burst_rate_hz
+//! [`burst_size`]: TrafficParams::burst_size
+//! [`burst_span_s`]: TrafficParams::burst_span_s
+//! [`size_weights`]: TrafficParams::size_weights
+//! [`tasks`]: TrafficParams::tasks
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::suite::{InputSize, WorkloadKind};
+
+/// One generated arrival: a kernel invocation hitting the queue at
+/// `arrival_s`. Plain data — the cluster/facility layers map it onto
+/// their own task types.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Arrival time, seconds from the start of the stream.
+    pub arrival_s: f64,
+    /// Which Table 1 kernel the request runs.
+    pub kind: WorkloadKind,
+    /// Input size class (the heavy-tailed work multiplier).
+    pub size: InputSize,
+    /// Threads the request asks for.
+    pub threads: usize,
+    /// True when the arrival came from a fan-in burst rather than the
+    /// diurnal base process.
+    pub burst: bool,
+}
+
+/// Parameters of the seeded traffic generator. See the module docs for
+/// the process model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficParams {
+    /// Seed for the whole stream; same seed + same params = same trace.
+    pub seed: u64,
+    /// Exact number of arrivals to emit.
+    pub tasks: usize,
+    /// Mean rate of the base process, Hz (before diurnal modulation).
+    pub base_rate_hz: f64,
+    /// Relative swing of the diurnal curve in `[0, 1)`: 0 is a flat
+    /// Poisson stream, 0.5 swings between 0.5x and 1.5x the base rate.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal curve, seconds (a simulated "day").
+    pub diurnal_period_s: f64,
+    /// Phase offset of the diurnal curve, in fractions of a period.
+    pub diurnal_phase: f64,
+    /// Rate of fan-in burst events, Hz (0 disables bursts).
+    pub burst_rate_hz: f64,
+    /// Extra arrivals each burst event injects.
+    pub burst_size: usize,
+    /// Window after the event over which its arrivals spread, seconds.
+    pub burst_span_s: f64,
+    /// Unnormalised draw weights for sizes A/B/C/D — the heavy tail.
+    pub size_weights: [f64; 4],
+    /// Kernel every request runs (the studies sweep load, not kernel).
+    pub kind: WorkloadKind,
+    /// Threads per request.
+    pub threads: usize,
+}
+
+impl TrafficParams {
+    /// A web-serving-like default: almost all requests are size A with
+    /// a thin heavy tail of B/C/D, a +/-40% diurnal swing, and
+    /// occasional 8-wide fan-in bursts. `base_rate_hz` is left for the
+    /// caller — it is the load knob every study sweeps.
+    pub fn frontend(seed: u64, tasks: usize, base_rate_hz: f64) -> Self {
+        Self {
+            seed,
+            tasks,
+            base_rate_hz,
+            diurnal_amplitude: 0.4,
+            diurnal_period_s: 0.2,
+            diurnal_phase: 0.75,
+            burst_rate_hz: base_rate_hz / 64.0,
+            burst_size: 8,
+            burst_span_s: 100e-6,
+            size_weights: [0.96, 0.03, 0.009, 0.001],
+            kind: WorkloadKind::Sobel,
+            threads: 16,
+        }
+    }
+
+    /// The instantaneous base-process rate at time `t`, Hz.
+    pub fn rate_hz(&self, t_s: f64) -> f64 {
+        let phase = std::f64::consts::TAU * (t_s / self.diurnal_period_s + self.diurnal_phase);
+        self.base_rate_hz * (1.0 + self.diurnal_amplitude * phase.sin())
+    }
+
+    /// Mean total arrival rate (base plus bursts), Hz — the sizing
+    /// figure capacity planning compares against rack throughput.
+    pub fn mean_rate_hz(&self) -> f64 {
+        self.base_rate_hz + self.burst_rate_hz * self.burst_size as f64
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive base rate or task count, an amplitude
+    /// outside `[0, 1)`, a non-positive diurnal period, a negative
+    /// burst rate or span, or size weights that are negative or all
+    /// zero.
+    pub fn validate(&self) {
+        assert!(self.tasks > 0, "traffic must emit at least one arrival");
+        assert!(
+            self.base_rate_hz > 0.0 && self.base_rate_hz.is_finite(),
+            "base rate must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.diurnal_amplitude),
+            "diurnal amplitude must be in [0, 1): the thinned rate may not go negative"
+        );
+        assert!(
+            self.diurnal_period_s > 0.0,
+            "diurnal period must be positive"
+        );
+        assert!(
+            self.burst_rate_hz >= 0.0 && self.burst_span_s >= 0.0,
+            "burst rate and span must be non-negative"
+        );
+        assert!(
+            self.size_weights.iter().all(|&w| w >= 0.0)
+                && self.size_weights.iter().sum::<f64>() > 0.0,
+            "size weights must be non-negative and not all zero"
+        );
+        assert!(
+            self.threads > 0,
+            "requests must ask for at least one thread"
+        );
+    }
+
+    /// Generates the arrival stream: exactly [`tasks`](Self::tasks)
+    /// arrivals in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`validate`](Self::validate).
+    pub fn generate(&self) -> Vec<Arrival> {
+        self.validate();
+        // Independent generators per process: the base stream is a
+        // fixed function of the seed no matter how many arrivals the
+        // burst process contributes, and vice versa.
+        let mut base_rng = StdRng::seed_from_u64(self.seed);
+        let mut burst_rng = StdRng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+
+        // Base NHPP by thinning at the envelope rate.
+        let lambda_max = self.base_rate_hz * (1.0 + self.diurnal_amplitude);
+        let mut base = Vec::with_capacity(self.tasks);
+        let mut t = 0.0f64;
+        while base.len() < self.tasks {
+            t += exp_sample(&mut base_rng, lambda_max);
+            if base_rng.gen_range(0.0..1.0) * lambda_max <= self.rate_hz(t) {
+                let size = draw_size(&mut base_rng, &self.size_weights);
+                base.push(self.arrival(t, size, false));
+            }
+        }
+        let horizon_s = t;
+
+        // Burst events over the same horizon.
+        let mut arrivals = base;
+        if self.burst_rate_hz > 0.0 && self.burst_size > 0 {
+            let mut event_t = 0.0f64;
+            loop {
+                event_t += exp_sample(&mut burst_rng, self.burst_rate_hz);
+                if event_t > horizon_s {
+                    break;
+                }
+                for _ in 0..self.burst_size {
+                    let offset = if self.burst_span_s > 0.0 {
+                        burst_rng.gen_range(0.0..self.burst_span_s)
+                    } else {
+                        0.0
+                    };
+                    let size = draw_size(&mut burst_rng, &self.size_weights);
+                    arrivals.push(self.arrival(event_t + offset, size, true));
+                }
+            }
+        }
+
+        // Stable sort keeps generation order on (measure-zero) ties.
+        arrivals.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        arrivals.truncate(self.tasks);
+        arrivals
+    }
+
+    fn arrival(&self, t_s: f64, size: InputSize, burst: bool) -> Arrival {
+        Arrival {
+            arrival_s: t_s,
+            kind: self.kind,
+            size,
+            threads: self.threads,
+            burst,
+        }
+    }
+}
+
+/// One exponential inter-arrival gap at `rate_hz`, via inversion.
+fn exp_sample(rng: &mut StdRng, rate_hz: f64) -> f64 {
+    // gen_range(0.0..1.0) never returns 1.0, so ln(1 - u) is finite.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / rate_hz
+}
+
+/// Draws an input size from the unnormalised weight table.
+fn draw_size(rng: &mut StdRng, weights: &[f64; 4]) -> InputSize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen_range(0.0..1.0) * total;
+    for (size, &w) in InputSize::ALL.iter().zip(weights) {
+        if u < w {
+            return *size;
+        }
+        u -= w;
+    }
+    InputSize::D
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_sorted_sized_and_exact() {
+        let params = TrafficParams::frontend(11, 500, 20_000.0);
+        let stream = params.generate();
+        assert_eq!(stream.len(), 500);
+        for pair in stream.windows(2) {
+            assert!(pair[0].arrival_s <= pair[1].arrival_s);
+        }
+        assert!(stream.iter().all(|a| a.arrival_s > 0.0));
+        // The heavy tail is present but thin.
+        let small = stream.iter().filter(|a| a.size == InputSize::A).count();
+        assert!(small > 400 && small < 500, "A-share off: {small}/500");
+        assert!(stream.iter().any(|a| a.burst), "bursts must appear");
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let params = TrafficParams::frontend(7, 200, 10_000.0);
+        let a = params.generate();
+        let b = params.generate();
+        assert_eq!(a, b);
+        let mut other = params.clone();
+        other.seed = 8;
+        assert_ne!(a, other.generate());
+    }
+
+    #[test]
+    fn flat_stream_has_no_bursts_when_disabled() {
+        let mut params = TrafficParams::frontend(3, 300, 10_000.0);
+        params.burst_rate_hz = 0.0;
+        params.diurnal_amplitude = 0.0;
+        let stream = params.generate();
+        assert_eq!(stream.len(), 300);
+        assert!(stream.iter().all(|a| !a.burst));
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn full_swing_amplitude_is_rejected() {
+        let mut params = TrafficParams::frontend(1, 10, 1_000.0);
+        params.diurnal_amplitude = 1.0;
+        params.validate();
+    }
+}

@@ -1,0 +1,95 @@
+//! Golden-pinned determinism test for `sprint_workloads::traffic`.
+//!
+//! The facility studies and their byte-equality tests all assume the
+//! arrival trace is a pure function of the seed. This pins one trace's
+//! prefix (exact `f64` bits) and a whole-stream FNV digest so that any
+//! change to the generator — or to the vendored xoshiro stand-in it
+//! draws from — fails loudly instead of silently shifting every
+//! downstream figure. If a change is intentional, regenerate the
+//! constants with the recipe in each assertion's message.
+
+use sprint_workloads::suite::InputSize;
+use sprint_workloads::traffic::{Arrival, TrafficParams};
+
+/// FNV-1a over the bit patterns of every field that feeds the cluster.
+fn digest(stream: &[Arrival]) -> u64 {
+    stream.iter().fold(0xcbf2_9ce4_8422_2325u64, |mut h, a| {
+        for b in [
+            a.arrival_s.to_bits(),
+            a.size as u64,
+            a.burst as u64,
+            a.threads as u64,
+        ] {
+            h ^= b;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    })
+}
+
+/// The pinned trace: `TrafficParams::frontend(42, 256, 25_000.0)`.
+#[test]
+fn frontend_seed_42_trace_is_pinned() {
+    let params = TrafficParams::frontend(42, 256, 25_000.0);
+    let stream = params.generate();
+    assert_eq!(stream.len(), 256);
+
+    // First eight arrivals, exact to the bit (times via `to_bits`).
+    const PREFIX: [(u64, InputSize, bool); 8] = [
+        (0x3f0938732e00c9fd, InputSize::B, false),
+        (0x3f1c4caa0533087e, InputSize::A, false),
+        (0x3f265c03c226e1dc, InputSize::A, false),
+        (0x3f29511103499e86, InputSize::A, false),
+        (0x3f33bee0d19de6e7, InputSize::A, false),
+        (0x3f3d29b0e9e48979, InputSize::A, false),
+        (0x3f3f8ad2ca9d030a, InputSize::B, false),
+        (0x3f43f3d5514a2f23, InputSize::A, false),
+    ];
+    for (i, (bits, size, burst)) in PREFIX.iter().enumerate() {
+        assert_eq!(
+            stream[i].arrival_s.to_bits(),
+            *bits,
+            "arrival {i} time drifted (got {:#018x}); if intentional, \
+             re-pin from `TrafficParams::frontend(42, 256, 25_000.0)`",
+            stream[i].arrival_s.to_bits()
+        );
+        assert_eq!(stream[i].size, *size, "arrival {i} size drifted");
+        assert_eq!(stream[i].burst, *burst, "arrival {i} burst flag drifted");
+    }
+
+    // Whole-stream digest: catches drift anywhere in the 256 arrivals.
+    assert_eq!(
+        digest(&stream),
+        0x28ed3c3cc99bb47b,
+        "traffic digest drifted (got {:#018x}); if intentional, re-pin",
+        digest(&stream)
+    );
+
+    // The pinned stream exercises both processes.
+    assert_eq!(stream.iter().filter(|a| a.burst).count(), 24);
+}
+
+/// The base process is a fixed function of the seed regardless of the
+/// burst process: disabling bursts must leave the base arrivals' times
+/// bit-identical (they only stop being displaced in the merged order).
+#[test]
+fn base_stream_is_independent_of_bursts() {
+    let with = TrafficParams::frontend(42, 256, 25_000.0).generate();
+    let mut params = TrafficParams::frontend(42, 256, 25_000.0);
+    params.burst_rate_hz = 0.0;
+    let without = params.generate();
+
+    let base_times: Vec<u64> = with
+        .iter()
+        .filter(|a| !a.burst)
+        .map(|a| a.arrival_s.to_bits())
+        .collect();
+    // Every base arrival in the merged stream appears, in order, in the
+    // burst-free stream (which has extra base arrivals past the ones
+    // bursts displaced out of the 256-task truncation).
+    let bare_times: Vec<u64> = without.iter().map(|a| a.arrival_s.to_bits()).collect();
+    assert!(
+        base_times.len() <= bare_times.len() && base_times == bare_times[..base_times.len()],
+        "base process must not depend on the burst process"
+    );
+}

@@ -1,0 +1,175 @@
+//! Facility scale: global sprint rationing vs the oblivious split.
+//!
+//! Four 16-server racks (the `rack_power` configuration) stand in one
+//! row behind a building feed that cannot carry every rack's nameplate
+//! at once. Each rack serves its own diurnal open-arrival stream, with
+//! phases rotated so rack peaks do not coincide. The same tight feed
+//! runs under two facility tiers:
+//!
+//! * **oblivious** — the cap is split equally at commissioning time
+//!   and never moved: every rack owns `cap / N` watts through its peak
+//!   and its trough alike;
+//! * **global** — a settlement tier re-divides the cap every epoch by
+//!   rack demand, dealing the pool above the per-rack floors in whole
+//!   sprint-slot quanta, so the watts idle in one rack's trough land
+//!   as *admissible sprints* on the rack riding its peak.
+//!
+//! ```text
+//! cargo run --release --example facility
+//! ```
+//!
+//! Scale knobs (CI runs the tiny default):
+//! `SPRINT_FACILITY_RACKS`, `SPRINT_FACILITY_TASKS`,
+//! `SPRINT_FACILITY_SHARE_W` (per-rack watts; nameplate is 120).
+
+use computational_sprinting::prelude::*;
+use sprint_thermal::grid::GridThermalParams;
+
+/// Thermal/electrical time compression (so the example runs in seconds).
+const COMPRESS: f64 = 6000.0;
+/// Per-rack guaranteed floor under rationing, watts (carries sustained
+/// load, never a sprint).
+const FLOOR_W: f64 = 20.0;
+/// Flex-pool quantum, watts — the per-sprint booking of
+/// `PowerPolicy::rationed_default`, so each dealt quantum buys exactly
+/// one admissible sprint.
+const SLOT_W: f64 = 18.0;
+/// Mean per-rack arrival rate, Hz.
+const RATE_HZ: f64 = 1_800.0;
+
+fn knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+// This run mirrors `sprint_bench::figs_facility::study_facility`
+// (`repro facility`) — the example cannot depend on the bench crate,
+// so each copy asserts the study's claims independently: retuning one
+// without the other fails either this example (CI example-smoke) or
+// the figure's own assertions, not silently.
+fn run(
+    label: &str,
+    policy: FacilityPolicy,
+    share_w: f64,
+    racks: usize,
+    tasks: usize,
+) -> FacilityReport {
+    let mut cfg = SprintConfig::hpca_parallel();
+    // Nameplate thermal credit and the coarse co-simulation window the
+    // facility studies run at.
+    cfg.tdp_w = 8.0;
+    cfg.sample_window_ps = 20_000_000;
+    let facility = FacilityBuilder::new(racks)
+        .rack_thermal(GridThermalParams::rack(4, 4).time_scaled(COMPRESS))
+        .rack_supply(RackSupplyParams::rack(16).time_scaled(COMPRESS))
+        .config(cfg)
+        .policy(ClusterPolicy::GreedyHeadroom {
+            admit_headroom_k: 15.0,
+            shed_headroom_k: 4.0,
+            min_sprinting: 1,
+            // Finite, but several settlement epochs long: headroom the
+            // global tier re-deals mid-wait still rescues a deferred
+            // task.
+            defer_s: 2e-3,
+        })
+        .power_policy(PowerPolicy::rationed_default())
+        .row(RowParams {
+            racks_per_row: 4,
+            recirc_k_per_w: 0.02,
+            crac_capacity_w: 240.0,
+            max_inlet_c: 45.0,
+        })
+        .facility_policy(policy)
+        .facility_cap_w(share_w * racks as f64)
+        .epoch_windows(16)
+        .max_time_s(60.0)
+        .traffic({
+            let mut traffic = TrafficParams::frontend(2012, tasks, RATE_HZ);
+            // A/B sizes only: a C/D outlier pinned sustained on a
+            // floor-rationed rack is a different study's tail.
+            traffic.size_weights = [0.95, 0.05, 0.0, 0.0];
+            traffic
+        })
+        .build();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let report = facility.run(threads);
+    assert!(report.all_drained, "{label}: every rack must drain");
+    assert_eq!(report.completed, tasks, "{label}: no task may go missing");
+    println!(
+        "{label:10} mean {:6.2} ms | p95 {:6.2} ms | p99 {:6.2} ms | sprints {:4} | \
+         peak inlet {:.1} C",
+        report.mean_latency_s * 1e3,
+        report.p95_latency_s * 1e3,
+        report.p99_latency_s * 1e3,
+        report
+            .rack_reports
+            .iter()
+            .map(|r| r.admitted_sprints)
+            .sum::<usize>(),
+        report.peak_inlet_c,
+    );
+    report
+}
+
+fn main() {
+    let racks = knob("SPRINT_FACILITY_RACKS", 4);
+    let tasks = knob("SPRINT_FACILITY_TASKS", 400);
+    let share_w = knob("SPRINT_FACILITY_SHARE_W", 25) as f64;
+    println!(
+        "== {racks} racks x 16 servers, {tasks} tasks at {RATE_HZ:.0} Hz/rack, \
+         {share_w:.0} W/rack feed (nameplate 120 W) ==\n"
+    );
+    let oblivious = run("oblivious", FacilityPolicy::PerRack, share_w, racks, tasks);
+    let global = run(
+        "global",
+        FacilityPolicy::GlobalRationed {
+            floor_w: FLOOR_W,
+            slot_w: SLOT_W,
+        },
+        share_w,
+        racks,
+        tasks,
+    );
+
+    println!();
+    println!(
+        "the oblivious split pins every rack at {share_w:.0} W through peak and trough:\n\
+         a bursting rack strands watts it cannot use as whole sprint slots."
+    );
+    println!(
+        "global rationing deals the same budget where the backlog is, slot by slot:\n\
+         p99 {:.2} ms vs {:.2} ms ({:.1}x), mean {:.2} ms vs {:.2} ms.",
+        global.p99_latency_s * 1e3,
+        oblivious.p99_latency_s * 1e3,
+        oblivious.p99_latency_s / global.p99_latency_s,
+        global.mean_latency_s * 1e3,
+        oblivious.mean_latency_s * 1e3,
+    );
+    // The acceptance claims, kept honest by the example-smoke CI job.
+    let sprints = |r: &FacilityReport| {
+        r.rack_reports
+            .iter()
+            .map(|c| c.admitted_sprints)
+            .sum::<usize>()
+    };
+    assert!(
+        sprints(&global) > sprints(&oblivious),
+        "slot dealing must convert the same watts into more sprints: {} vs {}",
+        sprints(&global),
+        sprints(&oblivious)
+    );
+    assert!(
+        global.mean_latency_s < oblivious.mean_latency_s,
+        "global rationing must win on mean latency: {:.5} vs {:.5}",
+        global.mean_latency_s,
+        oblivious.mean_latency_s
+    );
+    assert!(
+        global.p99_latency_s <= oblivious.p99_latency_s,
+        "global rationing must not lose the tail: {:.5} vs {:.5}",
+        global.p99_latency_s,
+        oblivious.p99_latency_s
+    );
+}

@@ -21,6 +21,11 @@
 //!   ride-through reserve, per-node regulators) under jointly
 //!   thermal- and power-aware sprint admission (Porto et al.'s
 //!   data-center regime).
+//! * [`facility`] — datacenter scale: rows of racks coupled through
+//!   shared CRAC airflow and a facility feed, with a global
+//!   sprint-admission tier rationing facility headroom across racks,
+//!   sharded deterministically over worker threads
+//!   (`examples/facility.rs`, `repro facility`).
 //!
 //! # Quick start
 //!
@@ -68,6 +73,7 @@
 pub use sprint_archsim as archsim;
 pub use sprint_cluster as cluster;
 pub use sprint_core as core;
+pub use sprint_facility as facility;
 pub use sprint_powergrid as powergrid;
 pub use sprint_powersource as powersource;
 pub use sprint_scaling as scaling;
@@ -87,10 +93,14 @@ pub mod prelude {
         PinLimited, PowerSupply, Regulator, RunReport, ScenarioBuilder, SessionObserver,
         SprintConfig, SprintSession, SprintSystem, StepOutcome, SupplyPolicy, ThermalModel,
     };
+    pub use sprint_facility::{
+        Facility, FacilityBuilder, FacilityPolicy, FacilityReport, RackSpec, RowParams,
+    };
     pub use sprint_powersource::{Battery, HybridSupply, PackagePins, Ultracapacitor};
     pub use sprint_thermal::{
         Floorplan, GridSolver, GridThermal, GridThermalParams, PhoneThermal, PhoneThermalParams,
     };
+    pub use sprint_workloads::traffic::TrafficParams;
     pub use sprint_workloads::{
         build_workload, loaded_machine, suite_loader, InputSize, Workload, WorkloadKind,
     };
