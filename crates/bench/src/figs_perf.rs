@@ -15,7 +15,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use sprint_cluster::prelude::*;
+use sprint_core::config::SprintConfig;
 use sprint_thermal::grid::{GridSolver, GridThermal, GridThermalParams};
+use sprint_workloads::suite::{InputSize, WorkloadKind};
 
 use crate::output::{Csv, TextTable};
 
@@ -302,6 +304,119 @@ pub fn run_facility_case() -> FacilityPerfCase {
     }
 }
 
+/// The event-core point: the same sparse open-arrival drain stepped
+/// twice — once through the lockstep golden oracle, once through the
+/// event-driven core — on a rack big enough (4096 servers) that idle
+/// nodes dominate the lockstep bill. The event core must reproduce the
+/// oracle's [`ClusterReport`] digest byte for byte; the wall-clock
+/// ratio is the tentpole claim `perfbench --check` gates at 5x.
+#[derive(Debug, Clone)]
+pub struct EventCorePerfCase {
+    /// Human-readable configuration label, derived from the measured
+    /// cluster so the perf history can never mislabel what ran.
+    pub stack: String,
+    /// Servers on the rack.
+    pub nodes: usize,
+    /// Open-arrival tasks drained.
+    pub tasks: usize,
+    /// Windows stepped (identical for both cores by construction).
+    pub windows: u64,
+    /// Lockstep (oracle) wall-clock for the drain, milliseconds.
+    pub lockstep_ms: f64,
+    /// Event-driven wall-clock for the same drain, milliseconds.
+    pub event_ms: f64,
+    /// `lockstep_ms / event_ms` — the gated speedup.
+    pub speedup: f64,
+    /// The shared report digest (both cores produced this value; the
+    /// measurement asserts equality before recording it).
+    pub digest: u64,
+}
+
+/// Rack edge (servers per side) for the event-core point.
+const EVENT_EDGE: usize = 64;
+/// Open-arrival tasks for the event-core point.
+const EVENT_TASKS: usize = 2;
+/// Arrival spacing, seconds — sparse enough that all-idle windows
+/// dominate, which is the regime the event core exists for.
+const EVENT_SPACING_S: f64 = 8_000e-6;
+/// Thermal/supply time compression for the event-core point.
+const EVENT_COMPRESS: f64 = 6000.0;
+
+/// Builds the event-core cluster: a 64x64-server rack on a coarse 8x8
+/// ADI grid (the per-window solve must stay cheap enough that the
+/// *fleet bookkeeping*, not the physics, is what lockstep wastes time
+/// on), rationed power-aware admission over a shared feed, and two
+/// sobel bursts 8 ms apart.
+fn event_core_cluster() -> ClusterSession {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    let nodes = EVENT_EDGE * EVENT_EDGE;
+    ClusterBuilder::new(
+        GridThermalParams::rack(EVENT_EDGE, EVENT_EDGE)
+            .with_grid(8, 8)
+            .time_scaled(EVENT_COMPRESS),
+    )
+    .policy(ClusterPolicy::greedy_default())
+    .power_policy(PowerPolicy::rationed_default())
+    .rack_supply(RackSupplyParams::rack(nodes).time_scaled(EVENT_COMPRESS))
+    .config(cfg)
+    .tasks(ClusterTask::arrivals(
+        WorkloadKind::Sobel,
+        InputSize::A,
+        16,
+        EVENT_TASKS,
+        0.0,
+        EVENT_SPACING_S,
+    ))
+    .trace_capacity(0)
+    .build()
+}
+
+/// Measures the event-core point (see [`EventCorePerfCase`]): the
+/// lockstep oracle and the event core drain identical clusters, the
+/// digests must match byte for byte, and the speedup is recorded.
+pub fn run_event_core_case() -> EventCorePerfCase {
+    let mut lockstep = event_core_cluster();
+    let start = Instant::now();
+    let outcome = lockstep.run_to_completion();
+    let lockstep_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        outcome,
+        ClusterOutcome::Drained,
+        "the event-core oracle run must drain its queue"
+    );
+    let mut event = EventDrivenCluster::new(event_core_cluster());
+    let start = Instant::now();
+    let outcome = event.run_to_completion();
+    let event_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        outcome,
+        ClusterOutcome::Drained,
+        "the event-core run must drain its queue"
+    );
+    // The equivalence contract is byte-for-byte, so a mismatch is a
+    // correctness bug — fail the whole bench rather than record a
+    // speedup for a core that computed something else.
+    assert_eq!(lockstep.windows(), event.windows(), "window counts differ");
+    let digest = lockstep.report().digest();
+    assert_eq!(
+        digest,
+        event.report().digest(),
+        "event core diverged from the lockstep oracle"
+    );
+    let nodes = lockstep.nodes();
+    EventCorePerfCase {
+        stack: format!("rack {nodes} servers, sparse arrivals, event core vs lockstep oracle"),
+        nodes,
+        tasks: EVENT_TASKS,
+        windows: lockstep.windows(),
+        lockstep_ms,
+        event_ms,
+        speedup: lockstep_ms / event_ms,
+        digest,
+    }
+}
+
 /// Grid resolutions for a run: `--quick` trims to the CI pair, `--full`
 /// adds the 64x64 rack-scale preview (explicit there is minutes of
 /// wall-clock — the point the figure makes).
@@ -343,6 +458,7 @@ pub fn bench_json(
     rack: Option<&RackPerfCase>,
     rack_power: Option<&RackPowerPerfCase>,
     facility: Option<&FacilityPerfCase>,
+    event_core: Option<&EventCorePerfCase>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"grid_solver_perf\",\n");
@@ -389,7 +505,7 @@ pub fn bench_json(
             adi_ms = r.adi_ms,
             adi_sub = r.adi_sub_step_s,
         ));
-        if rack_power.is_none() && facility.is_none() {
+        if rack_power.is_none() && facility.is_none() && event_core.is_none() {
             out.push('\n');
         }
     }
@@ -409,7 +525,7 @@ pub fn bench_json(
             tps = p.tasks_per_s,
             aborts = p.supply_aborts,
         ));
-        if facility.is_none() {
+        if facility.is_none() && event_core.is_none() {
             out.push('\n');
         }
     }
@@ -419,7 +535,7 @@ pub fn bench_json(
             "  \"facility_case\": {{\"stack\": \"{stack}\", \"racks\": {racks}, \
              \"nodes_per_rack\": {npr}, \"tasks\": {tasks}, \"epochs\": {epochs}, \
              \"wall_ms\": {wall_ms:.3}, \"tasks_per_s\": {tps:.2}, \
-             \"supply_aborts\": {aborts}}}\n",
+             \"supply_aborts\": {aborts}}}",
             stack = f.stack,
             racks = f.racks,
             npr = f.nodes_per_rack,
@@ -429,8 +545,28 @@ pub fn bench_json(
             tps = f.tasks_per_s,
             aborts = f.supply_aborts,
         ));
+        if event_core.is_none() {
+            out.push('\n');
+        }
     }
-    if rack.is_none() && rack_power.is_none() && facility.is_none() {
+    if let Some(e) = event_core {
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "  \"event_core_case\": {{\"stack\": \"{stack}\", \"nodes\": {nodes}, \
+             \"tasks\": {tasks}, \"windows\": {windows}, \
+             \"lockstep_ms\": {lockstep_ms:.3}, \"event_ms\": {event_ms:.3}, \
+             \"speedup\": {speedup:.2}, \"digest\": \"{digest:016x}\"}}\n",
+            stack = e.stack,
+            nodes = e.nodes,
+            tasks = e.tasks,
+            windows = e.windows,
+            lockstep_ms = e.lockstep_ms,
+            event_ms = e.event_ms,
+            speedup = e.speedup,
+            digest = e.digest,
+        ));
+    }
+    if rack.is_none() && rack_power.is_none() && facility.is_none() && event_core.is_none() {
         out.push('\n');
     }
     out.push_str("}\n");
@@ -447,6 +583,8 @@ pub struct PerfRun {
     pub rack_power: RackPowerPerfCase,
     /// The facility settlement-loop point.
     pub facility: FacilityPerfCase,
+    /// The event-core vs lockstep-oracle point.
+    pub event_core: EventCorePerfCase,
     /// The rendered stdout report.
     pub report: String,
 }
@@ -564,10 +702,29 @@ pub fn fig_perf_cases(quick: bool, full: bool) -> PerfRun {
         epochs = facility.epochs,
         aborts = facility.supply_aborts,
     ));
+    // The event-core point: the tentpole's speedup claim, measured
+    // against the lockstep golden oracle on every sweep (the digest
+    // equality assert inside is what keeps the claim honest).
+    let event_core = run_event_core_case();
+    out.push_str(&format!(
+        "event core ({nodes} servers, sparse arrivals): lockstep {lock:.0} ms vs \
+         event {ev:.0} ms over {windows} windows — {speedup:.1}x, digests identical\n",
+        nodes = event_core.nodes,
+        lock = event_core.lockstep_ms,
+        ev = event_core.event_ms,
+        windows = event_core.windows,
+        speedup = event_core.speedup,
+    ));
     let path = bench_json_path(quick);
     match std::fs::write(
         &path,
-        bench_json(&cases, Some(&rack), Some(&rack_power), Some(&facility)),
+        bench_json(
+            &cases,
+            Some(&rack),
+            Some(&rack_power),
+            Some(&facility),
+            Some(&event_core),
+        ),
     ) {
         Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
         Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
@@ -577,6 +734,7 @@ pub fn fig_perf_cases(quick: bool, full: bool) -> PerfRun {
         cases,
         rack_power,
         facility,
+        event_core,
         report: out,
     }
 }
@@ -604,7 +762,7 @@ mod tests {
     #[test]
     fn bench_json_is_wellformed_enough() {
         let cases = vec![run_case(8)];
-        let json = bench_json(&cases, None, None, None);
+        let json = bench_json(&cases, None, None, None, None);
         assert!(json.contains("\"grid\": \"8x8x3\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
@@ -617,7 +775,7 @@ mod tests {
         assert_eq!(rack.n, 32);
         assert!(rack.adi_ms > 0.0);
         assert!(rack.explicit_ms.is_none(), "explicit is a --full extra");
-        let json = bench_json(&cases, Some(&rack), None, None);
+        let json = bench_json(&cases, Some(&rack), None, None, None);
         assert!(json.contains("\"rack_case\""));
         assert!(json.contains("\"grid\": \"32x32x2\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -649,21 +807,45 @@ mod tests {
             tasks_per_s: 48.0,
             supply_aborts: 0,
         };
+        let event_core = EventCorePerfCase {
+            stack: "rack 4096 servers, sparse arrivals, event core vs lockstep oracle".to_string(),
+            nodes: 4096,
+            tasks: 2,
+            windows: 8730,
+            lockstep_ms: 3100.0,
+            event_ms: 260.0,
+            speedup: 11.9,
+            digest: 0x00ab_cdef_0123_4567,
+        };
         let cases = vec![run_case(8)];
         let rack = run_rack_case(false);
-        let json = bench_json(&cases, Some(&rack), Some(&power), Some(&facility));
+        let json = bench_json(
+            &cases,
+            Some(&rack),
+            Some(&power),
+            Some(&facility),
+            Some(&event_core),
+        );
         assert!(json.contains("\"rack_power_case\""));
         assert!(json.contains("\"facility_case\""));
+        assert!(json.contains("\"event_core_case\""));
         assert!(json.contains("\"tasks_per_s\": 9.70"));
         assert!(json.contains("\"tasks_per_s\": 48.00"));
+        assert!(json.contains("\"speedup\": 11.90"));
+        // The digest serializes as fixed-width hex, leading zeros kept
+        // (a truncated digest could alias two different reports).
+        assert!(json.contains("\"digest\": \"00abcdef01234567\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         // Every section also serializes independently.
-        for (r, p, f) in [
-            (None, Some(&power), None),
-            (None, None, Some(&facility)),
-            (Some(&rack), None, Some(&facility)),
+        for (r, p, f, e) in [
+            (None, Some(&power), None, None),
+            (None, None, Some(&facility), None),
+            (Some(&rack), None, Some(&facility), None),
+            (None, None, None, Some(&event_core)),
+            (Some(&rack), None, None, Some(&event_core)),
+            (None, Some(&power), Some(&facility), Some(&event_core)),
         ] {
-            let alone = bench_json(&cases, r, p, f);
+            let alone = bench_json(&cases, r, p, f, e);
             assert_eq!(alone.matches('{').count(), alone.matches('}').count());
             assert_eq!(alone.matches('[').count(), alone.matches(']').count());
         }

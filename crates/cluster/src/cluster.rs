@@ -115,15 +115,15 @@ pub enum ClusterEvent {
 type SupplyFactory = Box<dyn Fn(usize) -> Box<dyn PowerSupply>>;
 
 /// One server node's scheduling state.
-struct Node {
-    session: SprintSession<NodeThermalView, Box<dyn PowerSupply>>,
+pub(crate) struct Node {
+    pub(crate) session: SprintSession<NodeThermalView, Box<dyn PowerSupply>>,
     /// Task currently running, if any.
-    task: Option<usize>,
+    pub(crate) task: Option<usize>,
     /// When the current task started, seconds.
-    assigned_s: f64,
+    pub(crate) assigned_s: f64,
     /// Whether the current task was admitted to sprint (sticky for the
     /// task's outcome even if the shed pass later preempts the node).
-    sprinted: bool,
+    pub(crate) sprinted: bool,
 }
 
 /// Summary of a cluster run. Callable mid-run; an unfinished run simply
@@ -146,7 +146,9 @@ pub struct ClusterReport {
     /// completed) — the facility studies' headline tail: under bursty
     /// open arrivals the p99 is where a starved rack shows first.
     pub p99_latency_s: f64,
-    /// Worst task latency, seconds (0 if none).
+    /// Worst task latency, seconds (NaN if no task completed, like
+    /// every other latency statistic — an empty run has no latencies,
+    /// not zero-latency tasks).
     pub max_latency_s: f64,
     /// Hottest rack cell observed over the run, Celsius.
     pub peak_junction_c: f64,
@@ -170,14 +172,81 @@ pub struct ClusterReport {
     pub node_reports: Vec<RunReport>,
 }
 
+impl ClusterReport {
+    /// FNV-1a fingerprint of the report: every scalar field, every task
+    /// outcome, and every node report's scalars, all at exact `f64`
+    /// bits. Two reports agree on this digest exactly when they are
+    /// byte-identical in every figure a study could quote — the
+    /// facility determinism tests pin it across worker-thread counts,
+    /// and the event-driven core's golden-equivalence tests pin it
+    /// against the lockstep oracle.
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bits: u64| {
+            hash ^= bits;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        };
+        for bits in [
+            self.makespan_s.to_bits(),
+            self.completed as u64,
+            self.total_tasks as u64,
+            self.mean_latency_s.to_bits(),
+            self.p95_latency_s.to_bits(),
+            self.p99_latency_s.to_bits(),
+            self.max_latency_s.to_bits(),
+            self.peak_junction_c.to_bits(),
+            self.admitted_sprints as u64,
+            self.denied_sprints as u64,
+            self.sheds as u64,
+            self.power_sheds as u64,
+            self.supply_aborts as u64,
+        ] {
+            eat(bits);
+        }
+        for o in &self.outcomes {
+            for bits in [
+                o.task as u64,
+                o.node as u64,
+                o.arrival_s.to_bits(),
+                o.assigned_s.to_bits(),
+                o.completed_s.to_bits(),
+                o.sprinted as u64,
+                o.copies as u64,
+            ] {
+                eat(bits);
+            }
+        }
+        for node in &self.node_reports {
+            for bits in [
+                node.completion_s.to_bits(),
+                node.energy_j.to_bits(),
+                node.instructions,
+                node.max_junction_c.to_bits(),
+                node.sprint_end_s.map_or(u64::MAX, f64::to_bits),
+                node.finished as u64,
+                node.events.len() as u64,
+            ] {
+                eat(bits);
+            }
+        }
+        hash
+    }
+}
+
 /// Nearest-rank percentile of completed-task latencies (NaN when no
-/// task has completed; `q` in `(0, 1]`).
+/// task has completed; `q` in `(0, 1]`). Sorted with `f64::total_cmp`:
+/// `partial_cmp(..).unwrap_or(Equal)` would leave a NaN latency
+/// wherever the sort happened to strand it, silently corrupting the
+/// order around it and poisoning an arbitrary rank instead of the top
+/// one. Completed outcomes are debug-asserted finite at completion, so
+/// a NaN here is already a bug — total order keeps it deterministic
+/// (NaN sorts above every number) instead of compounding it.
 fn latency_percentile_s(outcomes: &[TaskOutcome], q: f64) -> f64 {
     if outcomes.is_empty() {
         return f64::NAN;
     }
     let mut lat: Vec<f64> = outcomes.iter().map(|o| o.latency_s()).collect();
-    lat.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    lat.sort_by(|a, b| a.total_cmp(b));
     let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
     lat[rank - 1]
 }
@@ -432,22 +501,22 @@ impl ClusterBuilder {
 /// Many sprint sessions, one shared rack, one admission scheduler. See
 /// the module docs for the per-window protocol.
 pub struct ClusterSession {
-    rack: RackThermal,
+    pub(crate) rack: RackThermal,
     /// The shared electrical pool, when the cluster runs on one.
-    supply: Option<RackSupply>,
-    power: PowerPolicy,
-    nodes: Vec<Node>,
-    tasks: Vec<ClusterTask>,
+    pub(crate) supply: Option<RackSupply>,
+    pub(crate) power: PowerPolicy,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) tasks: Vec<ClusterTask>,
     /// Task indices sorted by (arrival, index).
-    arrival_order: Vec<usize>,
-    next_arrival: usize,
-    ready: VecDeque<usize>,
-    policy: ClusterPolicy,
+    pub(crate) arrival_order: Vec<usize>,
+    pub(crate) next_arrival: usize,
+    pub(crate) ready: VecDeque<usize>,
+    pub(crate) policy: ClusterPolicy,
     sprint_config: SprintConfig,
     sustained_config: SprintConfig,
-    window_s: f64,
-    windows: u64,
-    max_windows: u64,
+    pub(crate) window_s: f64,
+    pub(crate) windows: u64,
+    pub(crate) max_windows: u64,
     outcomes: Vec<TaskOutcome>,
     task_done: Vec<bool>,
     task_copies: Vec<usize>,
@@ -455,10 +524,10 @@ pub struct ClusterSession {
     task_sprinted: Vec<bool>,
     events: Vec<ClusterEvent>,
     /// Sprinting nodes, oldest admission first (round-robin shed order).
-    grant_order: Vec<usize>,
-    peak_junction_c: f64,
+    pub(crate) grant_order: Vec<usize>,
+    pub(crate) peak_junction_c: f64,
     /// Per-window node temperatures (reused; no per-step allocation).
-    temps_buf: Vec<f64>,
+    pub(crate) temps_buf: Vec<f64>,
 }
 
 impl std::fmt::Debug for ClusterSession {
@@ -578,14 +647,7 @@ impl ClusterSession {
         // (the slice-based accessor keeps this allocation-free).
         self.rack.node_temps_c_into(&mut self.temps_buf);
         // 1. Arrivals.
-        while self.next_arrival < self.arrival_order.len() {
-            let task = self.arrival_order[self.next_arrival];
-            if self.tasks[task].arrival_s > now {
-                break;
-            }
-            self.ready.push_back(task);
-            self.next_arrival += 1;
-        }
+        self.pop_arrivals(now);
         // 2. Assignment (and 3., the shed passes: thermal, then the
         // power emergency).
         self.assign_ready(now);
@@ -594,35 +656,7 @@ impl ClusterSession {
         // 4. Step busy nodes, rest idle ones, in index order (node 0 is
         // the lockstep leader that advances the shared grid).
         for i in 0..self.nodes.len() {
-            if self.nodes[i].task.is_some() {
-                match self.nodes[i].session.step() {
-                    StepOutcome::Running => {}
-                    StepOutcome::Finished => self.complete(i),
-                    StepOutcome::TimeLimit => {
-                        // The per-burst wall tripped with work left.
-                        // Abandoning would strand the task's live
-                        // threads on the machine (there is no
-                        // thread-kill API), corrupting every later
-                        // task on this node — so re-arm and keep
-                        // draining, but *sustained*: the task already
-                        // spent its sprint grant, and a fresh sprint
-                        // here would bypass policy admission (and the
-                        // grant bookkeeping the shed order works
-                        // from). The step below keeps the node on the
-                        // lockstep clock; truly runaway tasks are
-                        // bounded by the cluster-level time limit.
-                        self.nodes[i]
-                            .session
-                            .set_config(self.sustained_config.clone());
-                        self.nodes[i].session.begin_burst();
-                        if self.nodes[i].session.step() == StepOutcome::Finished {
-                            self.complete(i);
-                        }
-                    }
-                }
-            } else {
-                self.nodes[i].session.rest(self.window_s);
-            }
+            self.run_node_window(i);
         }
         self.windows += 1;
         let junction = self.rack.junction_temp_c();
@@ -633,6 +667,55 @@ impl ClusterSession {
             ClusterOutcome::Drained
         } else {
             ClusterOutcome::Running
+        }
+    }
+
+    /// Moves every task whose arrival time has come (`arrival_s <= now`)
+    /// from the arrival order into the ready queue.
+    pub(crate) fn pop_arrivals(&mut self, now: f64) {
+        while self.next_arrival < self.arrival_order.len() {
+            let task = self.arrival_order[self.next_arrival];
+            if self.tasks[task].arrival_s > now {
+                break;
+            }
+            self.ready.push_back(task);
+            self.next_arrival += 1;
+        }
+    }
+
+    /// Executes node `i`'s share of the current window: one session
+    /// step when busy, one rest when idle. Shared verbatim between the
+    /// lockstep loop and the event-driven core so the two paths cannot
+    /// drift — this is the `tick` of the node component.
+    pub(crate) fn run_node_window(&mut self, i: usize) {
+        if self.nodes[i].task.is_some() {
+            match self.nodes[i].session.step() {
+                StepOutcome::Running => {}
+                StepOutcome::Finished => self.complete(i),
+                StepOutcome::TimeLimit => {
+                    // The per-burst wall tripped with work left.
+                    // Abandoning would strand the task's live
+                    // threads on the machine (there is no
+                    // thread-kill API), corrupting every later
+                    // task on this node — so re-arm and keep
+                    // draining, but *sustained*: the task already
+                    // spent its sprint grant, and a fresh sprint
+                    // here would bypass policy admission (and the
+                    // grant bookkeeping the shed order works
+                    // from). The step below keeps the node on the
+                    // lockstep clock; truly runaway tasks are
+                    // bounded by the cluster-level time limit.
+                    self.nodes[i]
+                        .session
+                        .set_config(self.sustained_config.clone());
+                    self.nodes[i].session.begin_burst();
+                    if self.nodes[i].session.step() == StepOutcome::Finished {
+                        self.complete(i);
+                    }
+                }
+            }
+        } else {
+            self.nodes[i].session.rest(self.window_s);
         }
     }
 
@@ -653,11 +736,17 @@ impl ClusterSession {
             .iter()
             .map(|o| o.completed_s)
             .fold(0.0f64, f64::max);
-        let max_latency_s = self
-            .outcomes
-            .iter()
-            .map(|o| o.latency_s())
-            .fold(0.0f64, f64::max);
+        // NaN when empty, like the mean and the percentiles: an empty
+        // run has no latencies, and a 0 here would read as "some task
+        // finished instantly" to anything ranking policies by tail.
+        let max_latency_s = if self.outcomes.is_empty() {
+            f64::NAN
+        } else {
+            self.outcomes
+                .iter()
+                .map(|o| o.latency_s())
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
         let mean_latency_s = if self.outcomes.is_empty() {
             f64::NAN
         } else {
@@ -714,7 +803,7 @@ impl ClusterSession {
 
     /// Nodes currently in a sprint (ramping counts: the admission slot
     /// is taken the moment the burst starts).
-    fn sprinting_nodes(&self) -> Vec<usize> {
+    pub(crate) fn sprinting_nodes(&self) -> Vec<usize> {
         self.nodes
             .iter()
             .enumerate()
@@ -736,7 +825,7 @@ impl ClusterSession {
     /// expires) instead of burning an order of magnitude longer in
     /// sustained mode — the sprint-or-defer trade that makes rationed
     /// sprinting beat the unmanaged rack.
-    fn assign_ready(&mut self, now: f64) {
+    pub(crate) fn assign_ready(&mut self, now: f64) {
         while !self.ready.is_empty() {
             let mut idle: Vec<usize> = self
                 .nodes
@@ -869,7 +958,7 @@ impl ClusterSession {
 
     /// Preempts sprinting nodes beyond the policy's allowance, in the
     /// policy's shed order.
-    fn shed_pass(&mut self, now: f64) {
+    pub(crate) fn shed_pass(&mut self, now: f64) {
         let sprinting = self.sprinting_nodes();
         // Grants whose sprints already ended (budget, completion) fall
         // out of the rotation here.
@@ -904,7 +993,7 @@ impl ClusterSession {
     /// drawers first, round-robin walks its rotation — so one ordering
     /// mechanism serves both emergencies. Admission should keep this
     /// pass idle; it is the backstop against provisioning error.
-    fn power_shed_pass(&mut self, now: f64) {
+    pub(crate) fn power_shed_pass(&mut self, now: f64) {
         let PowerPolicy::Rationed {
             shed_reserve_fraction,
             ..
@@ -959,7 +1048,7 @@ impl ClusterSession {
             return; // a duplicate copy lost the race
         }
         self.task_done[task] = true;
-        self.outcomes.push(TaskOutcome {
+        let outcome = TaskOutcome {
             task,
             node,
             arrival_s: self.tasks[task].arrival_s,
@@ -967,6 +1056,87 @@ impl ClusterSession {
             completed_s: self.nodes[node].session.now_s(),
             sprinted: self.nodes[node].sprinted,
             copies: self.task_copies[task],
-        });
+        };
+        // The percentile machinery assumes finite latencies; a NaN or
+        // infinite one here means a session clock went bad, not a tail.
+        debug_assert!(
+            outcome.latency_s().is_finite(),
+            "completed task {task} on node {node} has non-finite latency \
+             (arrival {} s, completed {} s)",
+            outcome.arrival_s,
+            outcome.completed_s,
+        );
+        self.outcomes.push(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_workloads::suite::{InputSize, WorkloadKind};
+
+    fn outcome_with_latency(task: usize, latency_s: f64) -> TaskOutcome {
+        TaskOutcome {
+            task,
+            node: 0,
+            arrival_s: 0.0,
+            assigned_s: 0.0,
+            completed_s: latency_s,
+            sprinted: false,
+            copies: 1,
+        }
+    }
+
+    /// Regression for the NaN-ordering bug: under the old
+    /// `partial_cmp(..).unwrap_or(Equal)` sort a NaN latency was left
+    /// wherever the comparison happened to strand it, corrupting the
+    /// order of the *finite* latencies around it. `total_cmp` pins NaN
+    /// above every number, so the finite ranks stay correct and
+    /// deterministic even in the presence of a poisoned outcome.
+    #[test]
+    fn latency_percentile_is_nan_robust() {
+        let outcomes: Vec<TaskOutcome> = [3.0, 1.0, f64::NAN, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| outcome_with_latency(i, l))
+            .collect();
+        // Sorted under total order: [1, 2, 3, NaN].
+        assert_eq!(latency_percentile_s(&outcomes, 0.5), 2.0);
+        assert_eq!(latency_percentile_s(&outcomes, 0.75), 3.0);
+        assert!(latency_percentile_s(&outcomes, 1.0).is_nan());
+        // All-finite ranks are unaffected.
+        let finite: Vec<TaskOutcome> = [5.0, 4.0, 6.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| outcome_with_latency(i, l))
+            .collect();
+        assert_eq!(latency_percentile_s(&finite, 0.95), 6.0);
+        assert_eq!(latency_percentile_s(&finite, 0.34), 5.0);
+    }
+
+    /// The whole empty-run report contract in one place: every latency
+    /// statistic — mean, p95, p99 *and* max — is NaN when no task
+    /// completed (an empty run has no latencies, not zero-latency
+    /// tasks), while the counters and times report their natural
+    /// zeros.
+    #[test]
+    fn empty_report_contract() {
+        let report = ClusterBuilder::new(
+            sprint_thermal::grid::GridThermalParams::rack(2, 2).time_scaled(3000.0),
+        )
+        .tasks(ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 8, 2))
+        .build()
+        .report();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.total_tasks, 2);
+        assert!(report.mean_latency_s.is_nan());
+        assert!(report.p95_latency_s.is_nan());
+        assert!(report.p99_latency_s.is_nan());
+        assert!(report.max_latency_s.is_nan());
+        assert_eq!(report.makespan_s, 0.0);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.admitted_sprints, 0);
+        assert_eq!(report.denied_sprints, 0);
+        assert_eq!(report.sheds + report.power_sheds + report.supply_aborts, 0);
     }
 }

@@ -72,6 +72,39 @@
 //!   on a rechargeable per-node `HybridSupply` (idle windows recharge
 //!   through the lockstep rest path).
 //!
+//! # Two steppers, one semantics
+//!
+//! The crate ships two executions of the same simulation.
+//!
+//! The **lockstep stepper** ([`cluster::ClusterSession`]) advances
+//! every node every window — simple, obviously correct, and `O(fleet)`
+//! per window regardless of how many nodes are actually doing
+//! anything. It is the **golden oracle**: the definition of what a
+//! configuration computes.
+//!
+//! The **event-driven core** ([`event::EventDrivenCluster`]) wraps a
+//! fresh lockstep session and restructures the run as a discrete-event
+//! scheduler. Each *component* — task arrivals, the admission
+//! scheduler, the rack settlement leader, each node session — exposes
+//! its next thermally- or electrically-relevant window as a tick on a
+//! time-ordered heap keyed `(window, component kind, node index)`, so
+//! simultaneous ticks pop in the lockstep phase order and the run is
+//! deterministic. The settlement leader still executes every window
+//! (the per-window ADI grid integration is bitwise irreducible); what
+//! the event core elides is the bookkeeping *around* the physics —
+//! idle nodes sleep until observed, then replay their private rest
+//! effects verbatim (same calls, same order, same floating-point
+//! sequence), and the scheduler ticks only on windows where its passes
+//! could observe or mutate anything.
+//!
+//! The contract between the two is not "close enough": an event-driven
+//! run must reproduce the lockstep [`cluster::ClusterReport`] digest
+//! **byte for byte** on the same configuration. The equivalence tests
+//! (`tests/event_core.rs` here, the sharded-facility digests in
+//! `sprint-facility`) and the `perfbench --check` perf gate pin that
+//! invariant; see the [`event`] module docs for the component model in
+//! detail.
+//!
 //! # Quick start
 //!
 //! ```
@@ -94,12 +127,14 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod event;
 pub mod policy;
 pub mod queue;
 pub mod rack;
 pub mod supply;
 
 pub use cluster::{ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession};
+pub use event::EventDrivenCluster;
 pub use policy::{ClusterPolicy, PowerPolicy};
 pub use queue::{ClusterTask, TaskOutcome};
 pub use rack::{NodeThermalView, RackThermal};
@@ -110,6 +145,7 @@ pub mod prelude {
     pub use crate::cluster::{
         ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession,
     };
+    pub use crate::event::EventDrivenCluster;
     pub use crate::policy::{ClusterPolicy, PowerPolicy};
     pub use crate::queue::{ClusterTask, TaskOutcome};
     pub use crate::rack::{NodeThermalView, RackThermal};

@@ -49,12 +49,35 @@ use std::rc::Rc;
 use sprint_core::thermal_model::ThermalModel;
 use sprint_thermal::grid::GridThermal;
 
+/// Cross-node memo for batched follower catch-up: one node's replay of
+/// `count` repeated `from + dt + dt + ...` clock additions, keyed
+/// bitwise. Sleeping nodes in a fleet share bit-identical clocks (all
+/// accumulate the same window length from zero by the same adds), so
+/// the first node to replay a gap answers for every other node with
+/// the same starting clock — an O(windows) loop becomes O(1) per
+/// node. Purely a memo: the cached `to` is the exact value the loop
+/// produced, and a lookup only applies when the keys match bitwise
+/// and the result provably stays inside the follower regime.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FollowerReplayCache {
+    /// Starting clock, bits (bitwise key).
+    pub from: u64,
+    /// Per-step interval, bits (bitwise key).
+    pub dt: u64,
+    /// Steps replayed.
+    pub count: u64,
+    /// Resulting clock after `count` repeated adds.
+    pub to: f64,
+}
+
 /// The shared state behind every view of one rack.
 #[derive(Debug)]
 struct RackShared {
     grid: GridThermal,
     /// Per-node simulated clocks, seconds.
     node_time_s: Vec<f64>,
+    /// Memoized follower replay (see [`FollowerReplayCache`]).
+    replay_cache: Option<FollowerReplayCache>,
     /// How far the grid has been integrated, seconds. Kept separately
     /// from the grid's own clock so lockstep leaders advance by their
     /// exact window length (re-deriving the lead from the grid clock
@@ -101,6 +124,7 @@ impl RackThermal {
             shared: Rc::new(RefCell::new(RackShared {
                 grid,
                 node_time_s: vec![0.0; nodes],
+                replay_cache: None,
                 advanced_to_s: 0.0,
                 nameplate_budget_j,
             })),
@@ -252,6 +276,63 @@ impl ThermalModel for NodeThermalView {
         // Follower inside the frontier: the interval is already
         // integrated (with this node's power as of the leader's pass).
         s.node_time_s[self.node] = target;
+    }
+
+    fn advance_many(&mut self, dt_s: f64, count: u64) {
+        // Batched follower catch-up: one borrow for the whole run, with
+        // per-iteration arithmetic identical to the looped `advance`
+        // path (`t + dt_s` per step, never `count * dt_s` — the event
+        // core's digests are pinned bit-for-bit against lockstep). The
+        // moment an iteration would lead or overtake the frontier, the
+        // grid must integrate, so bail to the per-call path for the
+        // remainder.
+        let mut remaining = count;
+        {
+            let mut s = self.shared.borrow_mut();
+            let s = &mut *s;
+            let node = self.node;
+            let frontier = s.advanced_to_s;
+            let t0 = s.node_time_s[node];
+            // Cross-node memo (see `FollowerReplayCache`). Validity:
+            // for `dt_s > 0` the clock is strictly increasing, so a
+            // cached final clock at or inside the frontier proves
+            // every intermediate step satisfied the follower
+            // condition (`t < frontier` and `target <= frontier`) —
+            // the loop below would have taken exactly these steps.
+            if dt_s > 0.0 {
+                if let Some(c) = s.replay_cache {
+                    if c.from == t0.to_bits()
+                        && c.dt == dt_s.to_bits()
+                        && c.count == count
+                        && c.to <= frontier
+                    {
+                        s.node_time_s[node] = c.to;
+                        return;
+                    }
+                }
+            }
+            let mut t = t0;
+            while remaining > 0 {
+                let target = t + dt_s;
+                if t >= frontier || target > frontier {
+                    break;
+                }
+                t = target;
+                remaining -= 1;
+            }
+            s.node_time_s[node] = t;
+            if remaining == 0 && count > 0 && dt_s > 0.0 {
+                s.replay_cache = Some(FollowerReplayCache {
+                    from: t0.to_bits(),
+                    dt: dt_s.to_bits(),
+                    count,
+                    to: t,
+                });
+            }
+        }
+        for _ in 0..remaining {
+            self.advance(dt_s);
+        }
     }
 
     fn junction_temp_c(&self) -> f64 {

@@ -137,9 +137,16 @@ impl RackSupplyParams {
     }
 }
 
+use crate::rack::FollowerReplayCache;
+
 /// The shared state behind every view of one rack feed.
 #[derive(Debug)]
 struct SupplyShared {
+    /// Memoized follower replay (see
+    /// [`FollowerReplayCache`](crate::rack::FollowerReplayCache)):
+    /// sleeping nodes share bit-identical clocks, so one node's
+    /// repeated-add catch-up answers for the whole fleet.
+    replay_cache: Option<FollowerReplayCache>,
     cap_w: f64,
     reserve_j: f64,
     reserve_capacity_j: f64,
@@ -214,6 +221,7 @@ impl RackSupply {
         assert!(nodes >= 1, "a rack feed needs at least one node");
         Self {
             shared: Rc::new(RefCell::new(SupplyShared {
+                replay_cache: None,
                 cap_w: params.cap_w,
                 reserve_j: params.reserve_capacity_j,
                 reserve_capacity_j: params.reserve_capacity_j,
@@ -434,6 +442,65 @@ impl PowerSupply for NodeSupplyView {
         } else {
             0.0
         }
+    }
+
+    fn idle_recharge_many(&mut self, dt_s: f64, count: u64) -> f64 {
+        // Batched follower catch-up, mirroring `NodeThermalView`: one
+        // borrow, the idle draw recorded once (re-recording it per
+        // iteration is state-idempotent — the looped path stores the
+        // same value every call), and per-iteration clock arithmetic
+        // identical to `advance_node` (`t + dt_s` per step). A follower
+        // interval never moves the settlement frontier, so its gained
+        // energy is exactly zero — the same 0.0 the looped path sums.
+        // The moment an iteration would cross the frontier, the pool
+        // must settle: bail to the per-call path for the remainder.
+        let mut remaining = count;
+        {
+            let mut s = self.shared.borrow_mut();
+            let s = &mut *s;
+            let node = self.node;
+            s.node_draw_w[node] = self.idle_draw_w;
+            let settled = s.settled_to_s;
+            let t0 = s.node_time_s[node];
+            // Cross-node memo: for `dt_s >= 0` the clock sequence is
+            // non-decreasing, so a cached final clock at or inside the
+            // settlement frontier proves every intermediate target
+            // stayed inside it too — the loop below would have taken
+            // exactly these steps, gaining exactly zero.
+            if let (true, Some(c)) = (dt_s >= 0.0, s.replay_cache) {
+                if c.from == t0.to_bits()
+                    && c.dt == dt_s.to_bits()
+                    && c.count == count
+                    && c.to <= settled
+                {
+                    s.node_time_s[node] = c.to;
+                    return 0.0;
+                }
+            }
+            let mut t = t0;
+            while remaining > 0 {
+                let target = t + dt_s;
+                if target > settled {
+                    break;
+                }
+                t = target;
+                remaining -= 1;
+            }
+            s.node_time_s[node] = t;
+            if remaining == 0 && count > 0 && dt_s >= 0.0 {
+                s.replay_cache = Some(FollowerReplayCache {
+                    from: t0.to_bits(),
+                    dt: dt_s.to_bits(),
+                    count,
+                    to: t,
+                });
+            }
+        }
+        let mut gained = 0.0;
+        for _ in 0..remaining {
+            gained += self.idle_recharge(dt_s);
+        }
+        gained
     }
 }
 

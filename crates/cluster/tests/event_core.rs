@@ -1,0 +1,205 @@
+//! Golden-equivalence tests for the event-driven cluster core: for
+//! every configuration the lockstep stepper is the oracle, and the
+//! event-driven run must reproduce its [`ClusterReport`] FNV digest
+//! byte-for-byte — same outcomes, same latencies at exact `f64` bits,
+//! same scheduler event counts, same per-node coupled reports. Seeded
+//! event-order fuzzing additionally shows the run is independent of
+//! heap insertion order (deterministic tie-breaking), covering the
+//! shed-order determinism story.
+
+use sprint_cluster::prelude::*;
+use sprint_core::config::SprintConfig;
+use sprint_thermal::grid::GridThermalParams;
+use sprint_workloads::suite::{InputSize, WorkloadKind};
+
+/// The open-arrival power-rationed rack — the `rack_power_case` shape
+/// at test scale: shared feed, joint thermal+power admission, staggered
+/// arrivals that leave idle stretches between bursts.
+fn rationed_rack() -> ClusterSession {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    ClusterBuilder::new(GridThermalParams::rack(3, 3).time_scaled(6000.0))
+        .policy(ClusterPolicy::greedy_default())
+        .power_policy(PowerPolicy::rationed_default())
+        .rack_supply(RackSupplyParams::rack(9).time_scaled(6000.0))
+        .config(cfg)
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            16,
+            12,
+            0.0,
+            60e-6,
+        ))
+        .trace_capacity(0)
+        .build()
+}
+
+/// A shed-heavy thermal-only rack: round-robin rotation with a tight
+/// allowance, so the shed order (and its grant-rotation bookkeeping)
+/// is exercised hard.
+fn round_robin_rack() -> ClusterSession {
+    ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(3000.0))
+        .policy(ClusterPolicy::RoundRobin { max_sprinting: 2 })
+        .tasks(ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 8, 10))
+        .trace_capacity(0)
+        .build()
+}
+
+/// Competitive duplication: copies race, losers are discarded — the
+/// completion bookkeeping (first-finisher-wins) must survive the
+/// event-driven retirement path.
+fn duplicating_rack() -> ClusterSession {
+    ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(3000.0))
+        .policy(ClusterPolicy::CompetitiveDuplicate {
+            admit_headroom_k: 10.0,
+            copies: 2,
+        })
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            8,
+            6,
+            0.0,
+            150e-6,
+        ))
+        .trace_capacity(0)
+        .build()
+}
+
+/// A rack that trips its time limit with tasks outstanding, so the
+/// terminal catch-up path is pinned on the `TimeLimit` outcome too.
+fn time_limited_rack() -> ClusterSession {
+    ClusterBuilder::new(GridThermalParams::rack(2, 1).time_scaled(3000.0))
+        .policy(ClusterPolicy::NoSprint)
+        .tasks(ClusterTask::batch(WorkloadKind::Sobel, InputSize::B, 8, 12))
+        .max_time_s(0.002)
+        .trace_capacity(0)
+        .build()
+}
+
+/// Runs `build()` both ways and asserts byte-identical reports (via
+/// the FNV digest) and identical terminal outcomes and window counts.
+fn assert_equivalent(build: fn() -> ClusterSession, label: &str) {
+    let mut lockstep = build();
+    let lockstep_outcome = lockstep.run_to_completion();
+    let lockstep_report = lockstep.report();
+
+    let mut event = EventDrivenCluster::new(build());
+    let event_outcome = event.run_to_completion();
+    let event_report = event.report();
+
+    assert_eq!(lockstep_outcome, event_outcome, "{label}: outcome");
+    assert_eq!(lockstep.windows(), event.windows(), "{label}: window count");
+    assert_eq!(
+        lockstep_report.digest(),
+        event_report.digest(),
+        "{label}: the event-driven run must reproduce the lockstep \
+         report digest byte-for-byte \
+         (lockstep completed {} / event {}, lockstep sheds {}+{} / \
+         event {}+{})",
+        lockstep_report.completed,
+        event_report.completed,
+        lockstep_report.sheds,
+        lockstep_report.power_sheds,
+        event_report.sheds,
+        event_report.power_sheds,
+    );
+}
+
+#[test]
+fn event_core_matches_lockstep_on_the_rationed_rack() {
+    assert_equivalent(rationed_rack, "rationed open arrivals");
+}
+
+#[test]
+fn event_core_matches_lockstep_on_round_robin_shedding() {
+    assert_equivalent(round_robin_rack, "round-robin shed rotation");
+}
+
+#[test]
+fn event_core_matches_lockstep_on_competitive_duplication() {
+    assert_equivalent(duplicating_rack, "competitive duplication");
+}
+
+#[test]
+fn event_core_matches_lockstep_at_the_time_limit() {
+    assert_equivalent(time_limited_rack, "time-limited drain");
+}
+
+/// Mid-run parity: a report taken *before* the queue drains must also
+/// match the oracle at the same window count — the lazy rest ledgers
+/// settle at any observation point, not just at terminal.
+#[test]
+fn event_core_matches_lockstep_mid_run() {
+    let mut lockstep = rationed_rack();
+    let mut event = EventDrivenCluster::new(rationed_rack());
+    for _ in 0..257 {
+        let a = lockstep.step();
+        let b = event.step();
+        assert_eq!(a, b);
+    }
+    assert_eq!(lockstep.windows(), event.windows());
+    assert_eq!(
+        lockstep.report().digest(),
+        event.report().digest(),
+        "mid-run reports must agree byte-for-byte"
+    );
+    // And the runs still agree after resuming to terminal.
+    assert_eq!(lockstep.run_to_completion(), event.run_to_completion());
+    assert_eq!(lockstep.report().digest(), event.report().digest());
+}
+
+/// Seeded event-order fuzzing: inserting each window's ticks into the
+/// heap in seeded-random order must not change one bit of the run —
+/// the `(window, kind, node)` keys impose a total order, so pop order
+/// (and with it admission, shed order and every float) is insertion-
+/// order independent.
+#[test]
+fn event_order_fuzzing_is_bit_invariant() {
+    let mut oracle = rationed_rack();
+    oracle.run_to_completion();
+    let want = oracle.report().digest();
+    for seed in [1u64, 42, 0x9E37_79B9, u64::MAX] {
+        let mut fuzzed = EventDrivenCluster::with_event_seed(rationed_rack(), seed);
+        fuzzed.run_to_completion();
+        assert_eq!(
+            fuzzed.report().digest(),
+            want,
+            "seed {seed:#x} changed the run"
+        );
+    }
+    // The shed-heavy rotation config, too: shed order must be a
+    // function of simulation state alone, never of event-queue
+    // internals.
+    let mut oracle = round_robin_rack();
+    oracle.run_to_completion();
+    let want = oracle.report().digest();
+    for seed in [7u64, 0xDEAD_BEEF] {
+        let mut fuzzed = EventDrivenCluster::with_event_seed(round_robin_rack(), seed);
+        fuzzed.run_to_completion();
+        assert_eq!(
+            fuzzed.report().digest(),
+            want,
+            "seed {seed:#x} changed the shed rotation"
+        );
+    }
+}
+
+/// `into_session` hands back a session indistinguishable from a
+/// lockstep one at the same window: further lockstep stepping stays
+/// equivalent.
+#[test]
+fn into_session_resumes_lockstep_exactly() {
+    let mut lockstep = rationed_rack();
+    let mut event = EventDrivenCluster::new(rationed_rack());
+    for _ in 0..300 {
+        lockstep.step();
+        event.step();
+    }
+    let mut handed_back = event.into_session();
+    let a = lockstep.run_to_completion();
+    let b = handed_back.run_to_completion();
+    assert_eq!(a, b);
+    assert_eq!(lockstep.report().digest(), handed_back.report().digest());
+}

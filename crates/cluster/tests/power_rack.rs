@@ -191,8 +191,9 @@ fn p95_separates_from_max_with_enough_samples() {
     assert!(report.mean_latency_s < report.max_latency_s);
 }
 
-/// The empty-outcome contract: latency means and percentiles are NaN
-/// (there is nothing to average), counters and extrema are zero.
+/// The empty-outcome contract: every latency statistic (mean,
+/// percentiles, max) is NaN — there is nothing to average — while
+/// counters and the makespan are zero.
 #[test]
 fn empty_outcome_latency_stats_are_nan() {
     let mut cluster = ClusterBuilder::new(GridThermalParams::rack(2, 1).time_scaled(3000.0))
@@ -205,7 +206,10 @@ fn empty_outcome_latency_stats_are_nan() {
     assert!(report.mean_latency_s.is_nan(), "mean of nothing is NaN");
     assert!(report.p95_latency_s.is_nan(), "p95 of nothing is NaN");
     assert!(report.p99_latency_s.is_nan(), "p99 of nothing is NaN");
-    assert_eq!(report.max_latency_s, 0.0, "documented: 0 if none");
+    assert!(
+        report.max_latency_s.is_nan(),
+        "max of nothing is NaN, like every other latency statistic"
+    );
     assert_eq!(report.makespan_s, 0.0);
 
     // Mid-run, before anything completes, the same contract holds.

@@ -330,6 +330,33 @@ impl<T: ThermalModel, S: PowerSupply> SprintSession<T, S> {
         self.supply.idle_recharge(dt_s)
     }
 
+    /// Rests the package through `count` consecutive intervals of `dt_s`
+    /// seconds each — bit-for-bit the state `count` successive
+    /// [`rest`](Self::rest)`(dt_s)` calls would leave, returning the
+    /// same total recharge, but batched so shared-backend view types
+    /// can amortize their per-call overhead.
+    ///
+    /// The batching leans on two facts: repeating `set_chip_power_w(0.0)`
+    /// is state-idempotent on every backend (the power is already zero
+    /// after the first call), and the thermal and supply sides touch
+    /// disjoint state, so `count` thermal advances followed by `count`
+    /// recharge intervals reproduce the interleaved per-call sequence
+    /// exactly. `idle_s` accumulates by repeated `+= dt_s` in the same
+    /// order the looped path would, not by a single `count * dt_s` add
+    /// (which rounds differently).
+    pub fn rest_many(&mut self, dt_s: f64, count: u64) -> f64 {
+        assert!(
+            dt_s >= 0.0 && dt_s.is_finite(),
+            "rest needs a non-negative time"
+        );
+        self.thermal.set_chip_power_w(0.0);
+        self.thermal.advance_many(dt_s, count);
+        for _ in 0..count {
+            self.idle_s += dt_s;
+        }
+        self.supply.idle_recharge_many(dt_s, count)
+    }
+
     /// Re-arms the sprint controller against the *current* thermal state:
     /// the next burst's budget is whatever capacity the package has
     /// recovered, and the burst gets a fresh `max_time_s` allowance (the

@@ -60,6 +60,26 @@ pub trait PowerSupply {
         let _ = dt_s;
         0.0
     }
+
+    /// Recharges through `count` consecutive idle intervals of `dt_s`
+    /// seconds each, returning the total energy gained (joules). The
+    /// default is literally a loop of [`idle_recharge`] calls summed
+    /// with `+=` in call order, so every supply satisfies the
+    /// bit-for-bit contract by construction. Shared-state view types
+    /// (the rack pool's per-node views) override it to amortize their
+    /// per-call borrow, but only with arithmetic identical to the
+    /// looped path — the event-driven cluster core's idle catch-up
+    /// rides on this, and its digests are pinned byte-for-byte against
+    /// the lockstep oracle.
+    ///
+    /// [`idle_recharge`]: PowerSupply::idle_recharge
+    fn idle_recharge_many(&mut self, dt_s: f64, count: u64) -> f64 {
+        let mut gained = 0.0;
+        for _ in 0..count {
+            gained += self.idle_recharge(dt_s);
+        }
+        gained
+    }
 }
 
 impl<S: PowerSupply + ?Sized> PowerSupply for &mut S {
@@ -78,6 +98,10 @@ impl<S: PowerSupply + ?Sized> PowerSupply for &mut S {
     fn idle_recharge(&mut self, dt_s: f64) -> f64 {
         (**self).idle_recharge(dt_s)
     }
+
+    fn idle_recharge_many(&mut self, dt_s: f64, count: u64) -> f64 {
+        (**self).idle_recharge_many(dt_s, count)
+    }
 }
 
 impl<S: PowerSupply + ?Sized> PowerSupply for Box<S> {
@@ -95,6 +119,10 @@ impl<S: PowerSupply + ?Sized> PowerSupply for Box<S> {
 
     fn idle_recharge(&mut self, dt_s: f64) -> f64 {
         (**self).idle_recharge(dt_s)
+    }
+
+    fn idle_recharge_many(&mut self, dt_s: f64, count: u64) -> f64 {
+        (**self).idle_recharge_many(dt_s, count)
     }
 }
 
@@ -239,6 +267,10 @@ impl<S: PowerSupply> PowerSupply for PinLimited<S> {
 
     fn idle_recharge(&mut self, dt_s: f64) -> f64 {
         self.inner.idle_recharge(dt_s)
+    }
+
+    fn idle_recharge_many(&mut self, dt_s: f64, count: u64) -> f64 {
+        self.inner.idle_recharge_many(dt_s, count)
     }
 }
 
@@ -433,6 +465,10 @@ impl<S: PowerSupply> PowerSupply for Regulator<S> {
 
     fn idle_recharge(&mut self, dt_s: f64) -> f64 {
         self.inner.idle_recharge(dt_s)
+    }
+
+    fn idle_recharge_many(&mut self, dt_s: f64, count: u64) -> f64 {
+        self.inner.idle_recharge_many(dt_s, count)
     }
 }
 

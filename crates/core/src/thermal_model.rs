@@ -55,6 +55,24 @@ pub trait ThermalModel {
     /// Advances the model by `dt_s` seconds.
     fn advance(&mut self, dt_s: f64);
 
+    /// Advances the model by `count` consecutive intervals of `dt_s`
+    /// seconds each. The default is literally a loop of [`advance`]
+    /// calls, so every backend satisfies the bit-for-bit contract by
+    /// construction: `advance_many(dt, n)` must leave the model in
+    /// exactly the state `n` successive `advance(dt)` calls would.
+    /// Backends with per-call overhead worth amortizing (shared-state
+    /// view types that pay a borrow per call) may override it, but only
+    /// with arithmetic identical to the looped path — this hook exists
+    /// for the event-driven cluster core's idle catch-up, whose digests
+    /// are pinned byte-for-byte against the lockstep oracle.
+    ///
+    /// [`advance`]: ThermalModel::advance
+    fn advance_many(&mut self, dt_s: f64, count: u64) {
+        for _ in 0..count {
+            self.advance(dt_s);
+        }
+    }
+
     /// Junction temperature, Celsius.
     fn junction_temp_c(&self) -> f64;
 
@@ -81,9 +99,10 @@ pub trait ThermalModel {
 }
 
 /// The port in action: a session may borrow its backend instead of
-/// owning it. Every method forwards; `set_active_core_count` forwards
-/// explicitly so spatial backends keep their power maps (the trait
-/// default would silently drop it).
+/// owning it. Every method forwards; `set_active_core_count` and
+/// `advance_many` forward explicitly so spatial backends keep their
+/// power maps and view types keep their batched fast paths (the trait
+/// defaults would silently drop both).
 impl<T: ThermalModel + ?Sized> ThermalModel for &mut T {
     fn set_chip_power_w(&mut self, watts: f64) {
         (**self).set_chip_power_w(watts);
@@ -95,6 +114,10 @@ impl<T: ThermalModel + ?Sized> ThermalModel for &mut T {
 
     fn advance(&mut self, dt_s: f64) {
         (**self).advance(dt_s);
+    }
+
+    fn advance_many(&mut self, dt_s: f64, count: u64) {
+        (**self).advance_many(dt_s, count);
     }
 
     fn junction_temp_c(&self) -> f64 {
@@ -139,6 +162,10 @@ impl<T: ThermalModel + ?Sized> ThermalModel for Box<T> {
 
     fn advance(&mut self, dt_s: f64) {
         (**self).advance(dt_s);
+    }
+
+    fn advance_many(&mut self, dt_s: f64, count: u64) {
+        (**self).advance_many(dt_s, count);
     }
 
     fn junction_temp_c(&self) -> f64 {

@@ -103,7 +103,9 @@ pub struct FacilityReport {
     /// Facility-wide 99th-percentile latency (nearest rank), seconds
     /// (NaN if none) — the headline figure of merit.
     pub p99_latency_s: f64,
-    /// Worst task latency anywhere, seconds (0 if none).
+    /// Worst task latency anywhere, seconds (NaN if none — an empty
+    /// facility has no latencies, not zero-latency tasks, matching
+    /// every other latency statistic here and in [`ClusterReport`]).
     pub max_latency_s: f64,
     /// Completion time of the last task anywhere, seconds (0 if none).
     pub makespan_s: f64,
@@ -168,57 +170,12 @@ impl FacilityReport {
 /// exact `f64` bits. Two reports agree on this digest exactly when they
 /// are byte-identical in every figure a study could quote — the
 /// facility equivalence tests use it to show a one-rack facility
-/// reproduces a standalone [`ClusterSession`] run.
+/// reproduces a standalone [`ClusterSession`] run, and the cluster
+/// crate's golden-equivalence tests use the same digest (via
+/// [`ClusterReport::digest`], which this delegates to) to show the
+/// event-driven core reproduces the lockstep oracle.
 pub fn cluster_report_digest(report: &ClusterReport) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |bits: u64| {
-        hash ^= bits;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    };
-    for bits in [
-        report.makespan_s.to_bits(),
-        report.completed as u64,
-        report.total_tasks as u64,
-        report.mean_latency_s.to_bits(),
-        report.p95_latency_s.to_bits(),
-        report.p99_latency_s.to_bits(),
-        report.max_latency_s.to_bits(),
-        report.peak_junction_c.to_bits(),
-        report.admitted_sprints as u64,
-        report.denied_sprints as u64,
-        report.sheds as u64,
-        report.power_sheds as u64,
-        report.supply_aborts as u64,
-    ] {
-        eat(bits);
-    }
-    for o in &report.outcomes {
-        for bits in [
-            o.task as u64,
-            o.node as u64,
-            o.arrival_s.to_bits(),
-            o.assigned_s.to_bits(),
-            o.completed_s.to_bits(),
-            o.sprinted as u64,
-            o.copies as u64,
-        ] {
-            eat(bits);
-        }
-    }
-    for node in &report.node_reports {
-        for bits in [
-            node.completion_s.to_bits(),
-            node.energy_j.to_bits(),
-            node.instructions,
-            node.max_junction_c.to_bits(),
-            node.sprint_end_s.map_or(u64::MAX, f64::to_bits),
-            node.finished as u64,
-            node.events.len() as u64,
-        ] {
-            eat(bits);
-        }
-    }
-    hash
+    report.digest()
 }
 
 /// Nearest-rank percentile over pre-collected latencies (`q` in
@@ -254,6 +211,7 @@ pub struct FacilityBuilder {
     epoch_windows: u64,
     traffic: Option<TrafficParams>,
     rack_tasks: Vec<Vec<ClusterTask>>,
+    event_driven: bool,
 }
 
 impl FacilityBuilder {
@@ -281,7 +239,21 @@ impl FacilityBuilder {
             epoch_windows: 200,
             traffic: None,
             rack_tasks: vec![Vec::new(); racks],
+            event_driven: false,
         }
+    }
+
+    /// Runs every rack on the event-driven core instead of the lockstep
+    /// stepper (default off). Idle and resting nodes then cost nothing
+    /// between their thermally-relevant ticks, which is where sparse
+    /// open-arrival facilities spend most of their windows. By the
+    /// cluster crate's golden-equivalence invariant the facility report
+    /// digest is byte-identical either way — the determinism tests pin
+    /// this at several worker-thread counts — so this is purely a
+    /// wall-clock knob.
+    pub fn event_driven(mut self, event_driven: bool) -> Self {
+        self.event_driven = event_driven;
+        self
     }
 
     /// Sets every rack's thermal grid parameters.
@@ -522,6 +494,7 @@ impl FacilityBuilder {
             policy: self.facility_policy,
             facility_cap_w: self.facility_cap_w.unwrap_or(f64::INFINITY),
             epoch_windows: self.epoch_windows,
+            event_driven: self.event_driven,
         }
     }
 }
@@ -548,6 +521,7 @@ pub struct Facility {
     policy: FacilityPolicy,
     facility_cap_w: f64,
     epoch_windows: u64,
+    event_driven: bool,
 }
 
 impl Facility {
@@ -602,7 +576,8 @@ impl Facility {
                     .map(|r| (r, self.specs[r].clone()))
                     .collect();
                 let tx = reply_tx.clone();
-                scope.spawn(move || shard::worker(owned, cmd_rx, tx));
+                let event_driven = self.event_driven;
+                scope.spawn(move || shard::worker(owned, event_driven, cmd_rx, tx));
             }
             drop(reply_tx);
 
@@ -731,7 +706,7 @@ impl Facility {
             mean_latency_s,
             p95_latency_s: percentile_s(&latencies, 0.95),
             p99_latency_s: percentile_s(&latencies, 0.99),
-            max_latency_s: latencies.last().copied().unwrap_or(0.0),
+            max_latency_s: latencies.last().copied().unwrap_or(f64::NAN),
             makespan_s: rack_reports
                 .iter()
                 .map(|r| r.makespan_s)
@@ -747,5 +722,102 @@ impl Facility {
             all_drained,
             rack_reports,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprint_cluster::TaskOutcome;
+
+    /// A synthetic rack report whose outcomes carry exactly the given
+    /// latencies (arrival 0, completion = latency), with the summary
+    /// scalars the facility fold actually reads filled in consistently.
+    fn rack_report_with_latencies(latencies: &[f64]) -> ClusterReport {
+        let outcomes: Vec<TaskOutcome> = latencies
+            .iter()
+            .enumerate()
+            .map(|(task, &latency_s)| TaskOutcome {
+                task,
+                node: 0,
+                arrival_s: 0.0,
+                assigned_s: 0.0,
+                completed_s: latency_s,
+                sprinted: false,
+                copies: 1,
+            })
+            .collect();
+        let mut sorted: Vec<f64> = latencies.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        ClusterReport {
+            makespan_s: sorted.last().copied().unwrap_or(0.0),
+            completed: outcomes.len(),
+            total_tasks: outcomes.len(),
+            mean_latency_s: sorted.iter().sum::<f64>() / sorted.len().max(1) as f64,
+            p95_latency_s: percentile_s(&sorted, 0.95),
+            p99_latency_s: percentile_s(&sorted, 0.99),
+            max_latency_s: sorted.last().copied().unwrap_or(f64::NAN),
+            peak_junction_c: 25.0,
+            admitted_sprints: 0,
+            denied_sprints: 0,
+            sheds: 0,
+            power_sheds: 0,
+            supply_aborts: 0,
+            outcomes,
+            node_reports: Vec::new(),
+        }
+    }
+
+    /// The facility p99 must be the nearest-rank percentile over the
+    /// *merged* outcome population — not any aggregate of per-rack
+    /// percentiles. This case is constructed so the merged p99 differs
+    /// from every per-rack p99: rack A's 99 tasks have latencies
+    /// 1..=99 s (per-rack p99 = 99), rack B's single task takes 0.5 s
+    /// (per-rack p99 = 0.5); the union of 100 latencies puts rank 99 at
+    /// 98 s, which matches neither.
+    #[test]
+    fn facility_p99_is_nearest_rank_over_merged_outcomes() {
+        let a_latencies: Vec<f64> = (1..=99).map(|i| i as f64).collect();
+        let rack_a = rack_report_with_latencies(&a_latencies);
+        let rack_b = rack_report_with_latencies(&[0.5]);
+        assert_eq!(rack_a.p99_latency_s, 99.0);
+        assert_eq!(rack_b.p99_latency_s, 0.5);
+
+        let facility = FacilityBuilder::new(2).build();
+        let report = facility.summarise(vec![rack_a, rack_b], 1, 25.0, true);
+
+        assert_eq!(report.completed, 100);
+        assert_eq!(
+            report.p99_latency_s, 98.0,
+            "merged p99 is rank 99 of the union, not a per-rack figure"
+        );
+        assert_ne!(report.p99_latency_s, report.rack_reports[0].p99_latency_s);
+        assert_ne!(report.p99_latency_s, report.rack_reports[1].p99_latency_s);
+        // And the rest of the union tail: p95 at rank 95, max at the top.
+        assert_eq!(report.p95_latency_s, 94.0);
+        assert_eq!(report.max_latency_s, 99.0);
+        assert_eq!(report.mean_latency_s, (4950.0 + 0.5) / 100.0);
+    }
+
+    /// A facility whose racks completed nothing has NaN latency
+    /// statistics across the board — max included, matching the
+    /// cluster-level empty-report contract.
+    #[test]
+    fn empty_facility_latency_stats_are_all_nan() {
+        let facility = FacilityBuilder::new(2).build();
+        let empty = vec![
+            rack_report_with_latencies(&[]),
+            rack_report_with_latencies(&[]),
+        ];
+        let report = facility.summarise(empty, 1, 25.0, true);
+        assert_eq!(report.completed, 0);
+        assert!(report.mean_latency_s.is_nan());
+        assert!(report.p95_latency_s.is_nan());
+        assert!(report.p99_latency_s.is_nan());
+        assert!(
+            report.max_latency_s.is_nan(),
+            "max of nothing is NaN, not a zero-latency task"
+        );
+        assert_eq!(report.makespan_s, 0.0);
     }
 }

@@ -12,9 +12,56 @@
 
 use std::sync::mpsc::{Receiver, Sender};
 
-use sprint_cluster::{ClusterOutcome, ClusterReport, ClusterSession};
+use sprint_cluster::{ClusterOutcome, ClusterReport, ClusterSession, EventDrivenCluster};
 
 use crate::facility::RackSpec;
+
+/// One rack's stepping core: the lockstep oracle, or the event-driven
+/// core that skips idle nodes between their thermally-relevant ticks.
+/// Both expose the identical window-granular protocol the settlement
+/// barrier needs, and by the cluster crate's golden-equivalence
+/// invariant they produce byte-identical reports — so the facility
+/// digest is independent of which driver ran, not just of the worker
+/// count.
+pub(crate) enum RackDriver {
+    /// The lockstep [`ClusterSession`] stepper (the oracle).
+    Lockstep(ClusterSession),
+    /// The event-heap core over the same session.
+    Event(EventDrivenCluster),
+}
+
+impl RackDriver {
+    fn build(spec: &RackSpec, event_driven: bool) -> Self {
+        if event_driven {
+            RackDriver::Event(EventDrivenCluster::new(spec.build()))
+        } else {
+            RackDriver::Lockstep(spec.build())
+        }
+    }
+
+    fn step(&mut self) -> ClusterOutcome {
+        match self {
+            RackDriver::Lockstep(s) => s.step(),
+            RackDriver::Event(e) => e.step(),
+        }
+    }
+
+    fn session(&self) -> &ClusterSession {
+        match self {
+            RackDriver::Lockstep(s) => s,
+            RackDriver::Event(e) => e.session(),
+        }
+    }
+
+    /// Final report. `&mut` because the event core must first settle
+    /// its lazy idle-rest ledgers up to the current window.
+    fn report(&mut self) -> ClusterReport {
+        match self {
+            RackDriver::Lockstep(s) => s.report(),
+            RackDriver::Event(e) => e.report(),
+        }
+    }
+}
 
 /// Boundary inputs applied to one rack at the start of an epoch.
 /// `None` means "leave the knob where it is" — the facility only
@@ -64,32 +111,46 @@ pub(crate) enum Reply {
     Final(usize, Box<ClusterReport>, ClusterOutcome),
 }
 
-/// The worker loop: builds the owned racks, then serves epochs until
-/// `Finish` (or the command channel closes).
-pub(crate) fn worker(specs: Vec<(usize, RackSpec)>, rx: Receiver<Command>, tx: Sender<Reply>) {
-    let mut racks: Vec<(usize, ClusterSession, ClusterOutcome)> = specs
+/// The worker loop: builds the owned racks (on the driver the facility
+/// selected), then serves epochs until `Finish` (or the command channel
+/// closes).
+pub(crate) fn worker(
+    specs: Vec<(usize, RackSpec)>,
+    event_driven: bool,
+    rx: Receiver<Command>,
+    tx: Sender<Reply>,
+) {
+    let mut racks: Vec<(usize, RackDriver, ClusterOutcome)> = specs
         .into_iter()
-        .map(|(rack, spec)| (rack, spec.build(), ClusterOutcome::Running))
+        .map(|(rack, spec)| {
+            (
+                rack,
+                RackDriver::build(&spec, event_driven),
+                ClusterOutcome::Running,
+            )
+        })
         .collect();
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Advance { windows, inputs } => {
-                for ((rack, session, outcome), input) in racks.iter_mut().zip(&inputs) {
+                for ((rack, driver, outcome), input) in racks.iter_mut().zip(&inputs) {
                     if let Some(inlet_c) = input.inlet_c {
-                        session.rack().set_inlet_c(inlet_c);
+                        driver.session().rack().set_inlet_c(inlet_c);
                     }
                     if let Some(cap_w) = input.cap_w {
-                        session
+                        driver
+                            .session()
                             .supply()
                             .expect("facility cap settlement requires a rack supply")
                             .set_cap_w(cap_w);
                     }
                     for _ in 0..windows {
-                        *outcome = session.step();
+                        *outcome = driver.step();
                         if outcome.is_terminal() {
                             break;
                         }
                     }
+                    let session = driver.session();
                     let stats = RackEpochStats {
                         heat_w: session.rack_heat_w(),
                         backlog: session.ready_backlog(),
@@ -102,8 +163,8 @@ pub(crate) fn worker(specs: Vec<(usize, RackSpec)>, rx: Receiver<Command>, tx: S
                 }
             }
             Command::Finish => {
-                for (rack, session, outcome) in &racks {
-                    let _ = tx.send(Reply::Final(*rack, Box::new(session.report()), *outcome));
+                for (rack, driver, outcome) in racks.iter_mut() {
+                    let _ = tx.send(Reply::Final(*rack, Box::new(driver.report()), *outcome));
                 }
                 return;
             }

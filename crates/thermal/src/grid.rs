@@ -599,6 +599,10 @@ pub struct GridThermal {
     tri_sup: Vec<f64>,
     tri_rhs: Vec<f64>,
     tri_x: Vec<f64>,
+    /// ADI scratch for the PCM-free fast path: a whole plane (column
+    /// sweep) or the whole grid (stack sweep) of solutions from one
+    /// planar Thomas pass.
+    adi_plane: Vec<f64>,
     tridiag: Tridiag,
     adi_cache: AdiCoeffCache,
 }
@@ -797,6 +801,7 @@ impl GridThermal {
             tri_sup: vec![0.0; line_max],
             tri_rhs: vec![0.0; line_max],
             tri_x: vec![0.0; line_max],
+            adi_plane: vec![0.0; n],
             tridiag: Tridiag::with_capacity(line_max),
             adi_cache: AdiCoeffCache::default(),
             params,
@@ -1316,6 +1321,20 @@ impl GridThermal {
     /// is exact regardless of how the linearization approximated the
     /// temperatures.
     fn adi_step(&mut self, dt: f64) {
+        if self.pcm_cells.is_empty() {
+            // No phase change anywhere: every cell's branch is the
+            // solid one forever, so the general path degenerates to a
+            // fully linear step that a batched routine reproduces
+            // bit-for-bit at a fraction of the cost.
+            self.adi_step_linear(dt);
+        } else {
+            self.adi_step_general(dt);
+        }
+    }
+
+    /// The general (phase-aware) ADI sub-step; see [`adi_step`]
+    /// (Self::adi_step) for the scheme.
+    fn adi_step_general(&mut self, dt: f64) {
         let n = self.enthalpy_j.len();
         // Freeze each cell's phase branch for this step. INFINITY marks
         // the melting plateau (a Dirichlet, zero-increment row).
@@ -1602,6 +1621,146 @@ impl GridThermal {
         let q_sink = self.tri_x[layers - 1] * g_sink * wdt;
         self.enthalpy_j[(layers - 1) * cells + c] -= q_sink;
         self.boundary_absorbed_j += q_sink;
+    }
+
+    /// [`adi_step`](Self::adi_step) specialized to a grid with no phase
+    /// change anywhere (`pcm_cells` empty). Bit-identical to the
+    /// general path on such a grid, which the equivalence rests on:
+    ///
+    /// - every `adi_ceff` entry would be the plain solid capacity, so
+    ///   the fill is skipped and `capacity_j_per_k` read directly;
+    /// - every conducting layer (and the stack) has a cached
+    ///   [`TridiagFactor`], whose solve is bit-identical to the
+    ///   uncached assembly, so only the factored branch is kept;
+    /// - row lines are contiguous, so the factor solves straight out of
+    ///   `adi_rhs` with no staging copy;
+    /// - column and stack sweeps run as *planar* solves
+    ///   ([`TridiagFactor::solve_planar`]): lines are interleaved lane
+    ///   by lane, but each lane's arithmetic — and each cell's enthalpy
+    ///   update sequence, and the cell-ascending
+    ///   `boundary_absorbed_j` accumulation — keeps the exact order of
+    ///   the line-at-a-time loop, because distinct lines touch disjoint
+    ///   cells.
+    fn adi_step_linear(&mut self, dt: f64) {
+        let n = self.enthalpy_j.len();
+        self.fill_temps();
+        self.fill_flows(dt);
+        for i in 0..n {
+            let e = self.scratch_flows[i] * dt;
+            self.enthalpy_j[i] += e;
+            self.adi_rhs[i] = e;
+        }
+        let wdt = ADI_THETA * dt;
+        self.ensure_adi_cache(wdt);
+        let cache = std::mem::take(&mut self.adi_cache);
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let cells = self.cells_per_layer;
+        let layers = self.params.layers.len();
+        if nx > 1 {
+            for li in 0..layers {
+                let g = self.lat_gx[li];
+                if g > 0.0 {
+                    let factor = cache.rows[li]
+                        .as_ref()
+                        .expect("PCM-free conducting layer always has a row factor");
+                    for y in 0..ny {
+                        self.adi_row_linear(li * cells + y * nx, nx, g, wdt, factor);
+                    }
+                }
+            }
+        }
+        if ny > 1 {
+            for li in 0..layers {
+                let g = self.lat_gy[li];
+                if g > 0.0 {
+                    let factor = cache.cols[li]
+                        .as_ref()
+                        .expect("PCM-free conducting layer always has a column factor");
+                    self.adi_cols_linear(li, g, wdt, factor);
+                }
+            }
+        }
+        let stack = cache
+            .stack
+            .as_ref()
+            .expect("PCM-free grid always has a stack factor");
+        self.adi_stack_linear(wdt, stack);
+        self.adi_cache = cache;
+    }
+
+    /// One row line of the linear fast path: the cached factor solves
+    /// directly on the contiguous `adi_rhs` span, then the corrections
+    /// and `C * w` write-back of [`adi_sweep_line`](Self::adi_sweep_line)
+    /// run unchanged (with `capacity_j_per_k` standing in for the
+    /// all-sensible `adi_ceff`).
+    fn adi_row_linear(&mut self, base: usize, len: usize, g: f64, wdt: f64, f: &TridiagFactor) {
+        let gdt = g * wdt;
+        f.solve(&self.adi_rhs[base..base + len], &mut self.tri_x[..len]);
+        for k in 0..len - 1 {
+            let i = base + k;
+            let q = (self.tri_x[k] - self.tri_x[k + 1]) * gdt;
+            self.enthalpy_j[i] -= q;
+            self.enthalpy_j[i + 1] += q;
+        }
+        for k in 0..len {
+            let i = base + k;
+            self.adi_rhs[i] = self.capacity_j_per_k[i] * self.tri_x[k];
+        }
+    }
+
+    /// Every column of layer `li` in one planar pass. Lane `x` of the
+    /// planar solve is column `x`'s Thomas recurrence; the correction
+    /// loops run y-outer so each cell sees its `+q`/`-q` pair in the
+    /// same order as the per-column loop.
+    fn adi_cols_linear(&mut self, li: usize, g: f64, wdt: f64, f: &TridiagFactor) {
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let cells = self.cells_per_layer;
+        let base = li * cells;
+        let gdt = g * wdt;
+        f.solve_planar(
+            &self.adi_rhs[base..base + cells],
+            &mut self.adi_plane[..cells],
+            nx,
+        );
+        for y in 0..ny - 1 {
+            let row = y * nx;
+            for x in 0..nx {
+                let q = (self.adi_plane[row + x] - self.adi_plane[row + nx + x]) * gdt;
+                self.enthalpy_j[base + row + x] -= q;
+                self.enthalpy_j[base + row + nx + x] += q;
+            }
+        }
+        for i in 0..cells {
+            self.adi_rhs[base + i] = self.capacity_j_per_k[base + i] * self.adi_plane[i];
+        }
+    }
+
+    /// Every vertical stack in one planar pass (lane `c` = cell column
+    /// `c`), then the vertical/sink corrections of
+    /// [`adi_sweep_stack`](Self::adi_sweep_stack) with the layer loop
+    /// outermost; the sink booking stays cell-ascending, so the
+    /// `boundary_absorbed_j` accumulation order is untouched.
+    fn adi_stack_linear(&mut self, wdt: f64, f: &TridiagFactor) {
+        let cells = self.cells_per_layer;
+        let layers = self.params.layers.len();
+        let n = layers * cells;
+        f.solve_planar(&self.adi_rhs[..n], &mut self.adi_plane[..n], cells);
+        for l in 0..layers - 1 {
+            let row = l * cells;
+            let gv = self.g_vert[l];
+            for c in 0..cells {
+                let q = (self.adi_plane[row + c] - self.adi_plane[row + cells + c]) * gv * wdt;
+                self.enthalpy_j[row + c] -= q;
+                self.enthalpy_j[row + cells + c] += q;
+            }
+        }
+        let g_sink = self.g_sink_cell;
+        let row = (layers - 1) * cells;
+        for c in 0..cells {
+            let q_sink = self.adi_plane[row + c] * g_sink * wdt;
+            self.enthalpy_j[row + c] -= q_sink;
+            self.boundary_absorbed_j += q_sink;
+        }
     }
 
     fn track_peaks(&mut self) {
@@ -1964,5 +2123,84 @@ mod tests {
             "expected {expected}, got {got}"
         );
         assert!(g.hotspot_gradient_k() < 1e-6);
+    }
+
+    /// Drives the *general* (phase-aware) ADI path with the same
+    /// sub-stepping and peak tracking as [`GridThermal::advance`], so a
+    /// PCM-free grid can be integrated down both paths side by side.
+    fn advance_general(g: &mut GridThermal, dt_s: f64) {
+        assert!(matches!(g.params.solver, GridSolver::Adi));
+        if g.core_power_dirty {
+            g.apply_core_power_map();
+        }
+        if dt_s > 0.0 {
+            let steps = (dt_s / g.adi_sub_step_s).ceil().max(1.0) as u64;
+            let sub = dt_s / steps as f64;
+            for _ in 0..steps {
+                g.adi_step_general(sub);
+                g.time_s += sub;
+            }
+        }
+        g.track_peaks();
+    }
+
+    #[test]
+    fn linear_fast_path_matches_general_adi_bit_for_bit() {
+        // The PCM-free fast path (batched factors, planar sweeps) must
+        // reproduce the general path to the last bit, or every digest
+        // pinned downstream (cluster, facility) would shift.
+        let mut fast = GridThermalParams::rack(2, 2).build();
+        let mut general = GridThermalParams::rack(2, 2).build();
+        assert!(
+            fast.pcm_cells.is_empty(),
+            "rack preset must be PCM-free for this test"
+        );
+        let cores = fast.params().floorplan.cores().len();
+        let mut state = 0x1234_5678_9abc_def0_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for window in 0..120 {
+            for core in 0..cores {
+                // Mix busy, idle, and repeated-value windows so the
+                // dirty-map early-out is exercised on both sides.
+                let u = next();
+                let watts = if u < 0.4 { 0.0 } else { 40.0 * u };
+                fast.set_core_power_w(core, watts);
+                general.set_core_power_w(core, watts);
+            }
+            let dt = if window % 7 == 0 { 0.05 } else { 0.002 };
+            fast.advance(dt);
+            advance_general(&mut general, dt);
+        }
+        for i in 0..fast.enthalpy_j.len() {
+            assert_eq!(
+                fast.enthalpy_j[i].to_bits(),
+                general.enthalpy_j[i].to_bits(),
+                "cell {i} diverged"
+            );
+        }
+        assert_eq!(
+            fast.boundary_absorbed_j.to_bits(),
+            general.boundary_absorbed_j.to_bits()
+        );
+        assert_eq!(
+            fast.junction_cache_c.to_bits(),
+            general.junction_cache_c.to_bits()
+        );
+        assert_eq!(
+            fast.peak_hotspot_gradient_k.to_bits(),
+            general.peak_hotspot_gradient_k.to_bits()
+        );
+        for (a, b) in fast
+            .peak_core_temps_c
+            .iter()
+            .zip(&general.peak_core_temps_c)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -171,6 +171,47 @@ impl TridiagFactor {
             x[i] -= self.cp[i] * x[i + 1];
         }
     }
+
+    /// Solves `width` independent systems sharing this factorization in
+    /// one interleaved pass: lane `j` of system row `i` lives at
+    /// `rhs[i * width + j]` (and likewise in `x`). Each lane performs
+    /// exactly the operations of [`Self::solve`] in the same order, so
+    /// lane `j`'s solution is bit-identical to a per-lane `solve` on the
+    /// strided gather — the batching only changes which *lane* runs
+    /// next, never the arithmetic within a lane. The ADI grid sweeps use
+    /// this to walk column and stack systems plane-by-plane with unit
+    /// stride instead of line-by-line with grid stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or the slices are not `len() * width`.
+    pub fn solve_planar(&self, rhs: &[f64], x: &mut [f64], width: usize) {
+        let n = self.m.len();
+        assert!(width > 0, "planar solve needs at least one lane");
+        assert!(
+            rhs.len() == n * width && x.len() == n * width,
+            "tridiagonal slice lengths must match"
+        );
+        let m0 = self.m[0];
+        for j in 0..width {
+            x[j] = rhs[j] * m0;
+        }
+        for i in 1..n {
+            let mi = self.m[i];
+            let si = self.sub[i];
+            let row = i * width;
+            for j in 0..width {
+                x[row + j] = (rhs[row + j] - si * x[row - width + j]) * mi;
+            }
+        }
+        for i in (0..n - 1).rev() {
+            let ci = self.cp[i];
+            let row = i * width;
+            for j in 0..width {
+                x[row + j] -= ci * x[row + width + j];
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +367,49 @@ mod tests {
                         "n={n} row {i}: {} vs {}",
                         x_direct[i],
                         x_factored[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planar_solve_is_bit_identical_per_lane() {
+        // The batched ADI sweeps rely on every lane of `solve_planar`
+        // matching a strided per-line `solve` bit-for-bit.
+        let mut state = 0x853c_49e6_748f_ea9b_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
+        };
+        for (n, width) in [(1usize, 3usize), (2, 1), (5, 4), (16, 16)] {
+            let mut sub = vec![0.0; n];
+            let mut diag = vec![0.0; n];
+            let mut sup = vec![0.0; n];
+            for i in 0..n {
+                if i > 0 {
+                    sub[i] = next();
+                }
+                if i + 1 < n {
+                    sup[i] = next();
+                }
+                diag[i] = 2.5 + next().abs() + sub[i].abs() + sup[i].abs();
+            }
+            let factor = TridiagFactor::new(&sub, &diag, &sup);
+            let rhs: Vec<f64> = (0..n * width).map(|_| 10.0 * next()).collect();
+            let mut x_planar = vec![0.0; n * width];
+            factor.solve_planar(&rhs, &mut x_planar, width);
+            for lane in 0..width {
+                let lane_rhs: Vec<f64> = (0..n).map(|i| rhs[i * width + lane]).collect();
+                let mut lane_x = vec![0.0; n];
+                factor.solve(&lane_rhs, &mut lane_x);
+                for i in 0..n {
+                    assert_eq!(
+                        lane_x[i].to_bits(),
+                        x_planar[i * width + lane].to_bits(),
+                        "n={n} width={width} lane={lane} row {i}"
                     );
                 }
             }
