@@ -24,9 +24,11 @@
 //! * `--check` — perf-smoke gate: exit non-zero unless the 32x32 case
 //!   shows ADI at least 5x faster than explicit at matched accuracy
 //!   (max junction deviation below 0.1 K), both scheduler points clear
-//!   the end-to-end tasks/sec floor with zero electrical aborts, and
-//!   the event core beats the lockstep oracle by at least 5x while
-//!   reproducing its report digest byte for byte.
+//!   the end-to-end tasks/sec floor with zero electrical aborts and
+//!   all-zero fault counters (no fault plan is installed, so the
+//!   always-on fault ports must stay perfectly inert), and the event
+//!   core beats the lockstep oracle by at least 5x while reproducing
+//!   its report digest byte for byte.
 
 use sprint_bench::figs_perf;
 
@@ -92,6 +94,15 @@ fn main() {
             run.facility.supply_aborts,
         );
         println!(
+            "perf-smoke gate: fault counters on the fault-free points: \
+             {} + {} events, {} + {} failed tasks (need all 0 — the always-on \
+             fault ports must stay inert without a plan)",
+            run.rack_power.fault_events,
+            run.facility.fault_events,
+            run.rack_power.failed_tasks,
+            run.facility.failed_tasks,
+        );
+        println!(
             "perf-smoke gate: event core {:.1}x over the lockstep oracle \
              (need >= {CHECK_MIN_EVENT_SPEEDUP}x), digest {:016x} byte-identical",
             run.event_core.speedup, run.event_core.digest,
@@ -101,8 +112,12 @@ fn main() {
             && run.facility.tasks_per_s >= CHECK_MIN_TASKS_PER_S
             && run.rack_power.supply_aborts == 0
             && run.facility.supply_aborts == 0;
+        let faults_ok = run.rack_power.fault_events == 0
+            && run.rack_power.failed_tasks == 0
+            && run.facility.fault_events == 0
+            && run.facility.failed_tasks == 0;
         let event_ok = run.event_core.speedup >= CHECK_MIN_EVENT_SPEEDUP;
-        if !solver_ok || !scheduler_ok || !event_ok {
+        if !solver_ok || !scheduler_ok || !faults_ok || !event_ok {
             eprintln!("perf-smoke gate FAILED");
             std::process::exit(1);
         }

@@ -11,7 +11,9 @@
 
 use std::time::Instant;
 
-use sprint_bench::{figs_arch, figs_facility, figs_grid, figs_model, figs_perf, figs_rack};
+use sprint_bench::{
+    figs_arch, figs_facility, figs_faults, figs_grid, figs_model, figs_perf, figs_rack,
+};
 use sprint_workloads::suite::InputSize;
 
 struct Options {
@@ -57,7 +59,7 @@ fn main() {
             "usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--size A|B|C|D]"
         );
         eprintln!(
-            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf rack rack_power facility"
+            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf rack rack_power facility faults"
         );
         eprintln!("             ablation_tmelt ablation_metal ablation_budget ablation_abort ablation_pacing");
         std::process::exit(2);
@@ -81,6 +83,7 @@ fn main() {
             "rack",
             "rack_power",
             "facility",
+            "faults",
             "ablation_tmelt",
             "ablation_metal",
             "ablation_budget",
@@ -112,6 +115,7 @@ fn main() {
             "rack" | "fig_rack" => figs_rack::fig_rack(),
             "rack_power" | "fig_rack_power" => figs_rack::fig_rack_power(),
             "facility" | "fig_facility" => figs_facility::fig_facility(opts.quick),
+            "faults" | "fig_faults" => figs_faults::fig_faults(opts.quick),
             "ablation_tmelt" => figs_model::ablation_tmelt(),
             "ablation_metal" => figs_model::ablation_metal(),
             "ablation_budget" => figs_arch::ablation_budget(),

@@ -101,13 +101,27 @@ pub fn study_facility(
     racks: usize,
     tasks: usize,
 ) -> Facility {
+    study_facility_with(policy, share_w, racks, tasks, |b| b)
+}
+
+/// [`study_facility`] with a final customization hook on the builder —
+/// the fault study reuses the whole configuration and only layers its
+/// fault plans (and a shorter horizon) on top, so the degradation
+/// numbers stay comparable to the cap sweep's.
+pub fn study_facility_with(
+    policy: FacilityPolicy,
+    share_w: f64,
+    racks: usize,
+    tasks: usize,
+    customize: impl FnOnce(FacilityBuilder) -> FacilityBuilder,
+) -> Facility {
     let nodes = FACILITY_RACK_EDGE * FACILITY_RACK_EDGE;
     let mut cfg = SprintConfig::hpca_parallel();
     // Nameplate credit, as in the rack figures: each node's governor
     // assumes a fair share of the rack's sustainable envelope.
     cfg.tdp_w = 8.0;
     cfg.sample_window_ps = FACILITY_WINDOW_PS;
-    FacilityBuilder::new(racks)
+    let builder = FacilityBuilder::new(racks)
         .rack_thermal(
             GridThermalParams::rack(FACILITY_RACK_EDGE, FACILITY_RACK_EDGE)
                 .time_scaled(FACILITY_COMPRESS),
@@ -135,8 +149,8 @@ pub fn study_facility(
         .facility_cap_w(share_w * racks as f64)
         .epoch_windows(FACILITY_EPOCH_WINDOWS)
         .max_time_s(60.0)
-        .traffic(facility_traffic(tasks))
-        .build()
+        .traffic(facility_traffic(tasks));
+    customize(builder).build()
 }
 
 /// One (cap, tier) point of the sweep.

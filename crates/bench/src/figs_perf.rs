@@ -200,6 +200,11 @@ pub struct RackPowerPerfCase {
     pub tasks_per_s: f64,
     /// Electrical sprint casualties (must be zero under rationing).
     pub supply_aborts: usize,
+    /// Fault events applied (must be zero: no perf point runs a fault
+    /// plan, and the always-on fault ports must stay inert).
+    pub fault_events: usize,
+    /// Tasks failed to crashes (must be zero, same reason).
+    pub failed_tasks: usize,
 }
 
 /// Measures the power-aware rack point (see [`RackPowerPerfCase`]).
@@ -234,6 +239,8 @@ pub fn run_rack_power_case() -> RackPowerPerfCase {
         us_per_window: wall_ms * 1e3 / cluster.windows() as f64,
         tasks_per_s: TASKS as f64 * 1e3 / wall_ms,
         supply_aborts: report.supply_aborts,
+        fault_events: report.fault_events,
+        failed_tasks: report.failed_tasks,
     }
 }
 
@@ -265,6 +272,11 @@ pub struct FacilityPerfCase {
     /// Electrical sprint casualties (must stay zero: the global tier
     /// only ever re-divides what the feed can carry).
     pub supply_aborts: usize,
+    /// Fault events applied (must be zero on the fault-free perf
+    /// point — the inert-wrapper guarantee, gated by `--check`).
+    pub fault_events: usize,
+    /// Tasks failed to crashes (must be zero, same reason).
+    pub failed_tasks: usize,
 }
 
 /// Measures the facility-scale point (see [`FacilityPerfCase`]).
@@ -301,6 +313,8 @@ pub fn run_facility_case() -> FacilityPerfCase {
         wall_ms,
         tasks_per_s: TASKS as f64 * 1e3 / wall_ms,
         supply_aborts: report.supply_aborts,
+        fault_events: report.fault_events,
+        failed_tasks: report.failed_tasks,
     }
 }
 
@@ -515,7 +529,8 @@ pub fn bench_json(
             "  \"rack_power_case\": {{\"stack\": \"{stack}\", \"nodes\": {nodes}, \
              \"tasks\": {tasks}, \"windows\": {windows}, \"wall_ms\": {wall_ms:.3}, \
              \"us_per_window\": {uspw:.3}, \"tasks_per_s\": {tps:.2}, \
-             \"supply_aborts\": {aborts}}}",
+             \"supply_aborts\": {aborts}, \"fault_events\": {faults}, \
+             \"failed_tasks\": {failed}}}",
             stack = p.stack,
             nodes = p.nodes,
             tasks = p.tasks,
@@ -524,6 +539,8 @@ pub fn bench_json(
             uspw = p.us_per_window,
             tps = p.tasks_per_s,
             aborts = p.supply_aborts,
+            faults = p.fault_events,
+            failed = p.failed_tasks,
         ));
         if facility.is_none() && event_core.is_none() {
             out.push('\n');
@@ -535,7 +552,8 @@ pub fn bench_json(
             "  \"facility_case\": {{\"stack\": \"{stack}\", \"racks\": {racks}, \
              \"nodes_per_rack\": {npr}, \"tasks\": {tasks}, \"epochs\": {epochs}, \
              \"wall_ms\": {wall_ms:.3}, \"tasks_per_s\": {tps:.2}, \
-             \"supply_aborts\": {aborts}}}",
+             \"supply_aborts\": {aborts}, \"fault_events\": {faults}, \
+             \"failed_tasks\": {failed}}}",
             stack = f.stack,
             racks = f.racks,
             npr = f.nodes_per_rack,
@@ -544,6 +562,8 @@ pub fn bench_json(
             wall_ms = f.wall_ms,
             tps = f.tasks_per_s,
             aborts = f.supply_aborts,
+            faults = f.fault_events,
+            failed = f.failed_tasks,
         ));
         if event_core.is_none() {
             out.push('\n');
@@ -794,6 +814,8 @@ mod tests {
             us_per_window: 285.7,
             tasks_per_s: 9.7,
             supply_aborts: 0,
+            fault_events: 0,
+            failed_tasks: 0,
         };
         let facility = FacilityPerfCase {
             stack: "facility 4 racks x 16 servers, globally rationed 160 W feed, \
@@ -806,6 +828,8 @@ mod tests {
             wall_ms: 2500.0,
             tasks_per_s: 48.0,
             supply_aborts: 0,
+            fault_events: 0,
+            failed_tasks: 0,
         };
         let event_core = EventCorePerfCase {
             stack: "rack 4096 servers, sparse arrivals, event core vs lockstep oracle".to_string(),

@@ -20,6 +20,7 @@
 //! repro perf        # explicit vs ADI grid-solver wall-clock sweep
 //! repro rack        # cluster sprint admission on a 16-server rack
 //! repro facility    # facility cap sweep: global vs oblivious rationing
+//! repro faults      # fault matrix: degradation-aware vs oblivious under crashes
 //! repro ablation_tmelt | ablation_metal | ablation_budget | ablation_abort | ablation_pacing
 //! ```
 
@@ -27,6 +28,7 @@
 
 pub mod figs_arch;
 pub mod figs_facility;
+pub mod figs_faults;
 pub mod figs_grid;
 pub mod figs_model;
 pub mod figs_perf;

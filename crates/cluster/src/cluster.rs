@@ -34,12 +34,17 @@
 //! test in `tests/cluster_api.rs` pins this.
 
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 use sprint_archsim::config::MachineConfig;
 use sprint_archsim::machine::Machine;
 use sprint_core::config::{ExecutionMode, SprintConfig, SupplyPolicy};
 use sprint_core::controller::{ControllerEvent, SprintState};
+use sprint_core::fault::{
+    FaultKind, FaultPlan, FaultResponse, FaultSensor, FaultState, FaultSupply, SensorFault,
+    SupplyFault,
+};
 use sprint_core::session::{RunReport, SprintSession, StepOutcome};
 use sprint_core::supply::{IdealSupply, PowerSupply};
 use sprint_core::thermal_model::ThermalModel;
@@ -116,7 +121,7 @@ type SupplyFactory = Box<dyn Fn(usize) -> Box<dyn PowerSupply>>;
 
 /// One server node's scheduling state.
 pub(crate) struct Node {
-    pub(crate) session: SprintSession<NodeThermalView, Box<dyn PowerSupply>>,
+    pub(crate) session: SprintSession<FaultSensor<NodeThermalView>, Box<dyn PowerSupply>>,
     /// Task currently running, if any.
     pub(crate) task: Option<usize>,
     /// When the current task started, seconds.
@@ -166,6 +171,31 @@ pub struct ClusterReport {
     /// controller events across all nodes) — brownout casualties the
     /// power-aware scheduler exists to prevent.
     pub supply_aborts: usize,
+    /// Fault-plan events applied so far, all kinds (zero on a
+    /// fault-free run — the perf gate pins that).
+    pub fault_events: usize,
+    /// Sensor fault onsets applied (stuck-at, bias, dropout).
+    pub sensor_faults: usize,
+    /// Supply fault onsets applied (collapse, brownout, death).
+    pub supply_faults: usize,
+    /// Node crashes applied (a crash of an already-down node is a
+    /// no-op and does not count).
+    pub node_crashes: usize,
+    /// Sprints preempted by the sensor-fault failsafe: under
+    /// [`FaultResponse::Aware`] a node whose telemetry goes bad
+    /// mid-sprint is treated as already at the limit and throttled.
+    pub failsafe_preemptions: usize,
+    /// Tasks re-enqueued after a crash took their last running copy.
+    pub requeues: usize,
+    /// Tasks that exhausted their crash-retry budget.
+    pub failed_tasks: usize,
+    /// Nodes quarantined after crashing mid-task (their stranded
+    /// threads make the node untrustworthy for the rest of the run).
+    pub quarantined_nodes: usize,
+    /// Tasks neither completed nor failed: queued, in flight, waiting
+    /// out a retry backoff, or not yet arrived. Nonzero only mid-run
+    /// or at the time limit.
+    pub outstanding_tasks: usize,
     /// Per-task outcomes, in completion order.
     pub outcomes: Vec<TaskOutcome>,
     /// Per-node coupled reports.
@@ -200,6 +230,15 @@ impl ClusterReport {
             self.sheds as u64,
             self.power_sheds as u64,
             self.supply_aborts as u64,
+            self.fault_events as u64,
+            self.sensor_faults as u64,
+            self.supply_faults as u64,
+            self.node_crashes as u64,
+            self.failsafe_preemptions as u64,
+            self.requeues as u64,
+            self.failed_tasks as u64,
+            self.quarantined_nodes as u64,
+            self.outstanding_tasks as u64,
         ] {
             eat(bits);
         }
@@ -231,6 +270,16 @@ impl ClusterReport {
         }
         hash
     }
+
+    /// The task-conservation invariant: every submitted task is
+    /// accounted for — completed, failed after exhausting its crash
+    /// retries, or still outstanding — never lost. Holds at every
+    /// window of every run, faulted or not; once a run drains,
+    /// `outstanding_tasks` is zero and arrivals = finished + failed
+    /// exactly.
+    pub fn task_conservation_holds(&self) -> bool {
+        self.completed + self.failed_tasks + self.outstanding_tasks == self.total_tasks
+    }
 }
 
 /// Nearest-rank percentile of completed-task latencies (NaN when no
@@ -251,6 +300,102 @@ fn latency_percentile_s(outcomes: &[TaskOutcome], q: f64) -> f64 {
     lat[rank - 1]
 }
 
+/// A [`ClusterBuilder`] provisioning error: the requested cluster is
+/// contradictory or unsatisfiable (a sprint draw no feed can carry, an
+/// admission threshold no cold node can meet, a fault plan naming
+/// nodes the rack does not have, …). [`ClusterBuilder::try_build`]
+/// returns these as values; [`ClusterBuilder::build`] panics with the
+/// same `Display` message, so existing panic-message expectations keep
+/// holding either way.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterBuildError {
+    /// `max_time_s` was zero, negative or NaN.
+    NonPositiveTimeLimit,
+    /// Both a shared rack supply and per-node supplies were requested.
+    ConflictingSupplies,
+    /// A shared rack supply under `SupplyPolicy::Ignore` would never
+    /// see a watt of telemetry.
+    InertRackSupply,
+    /// Power rationing was requested without a shared rack supply.
+    RationingWithoutPool,
+    /// The provisioned sprint draw exceeds the rack feed cap.
+    UnsatisfiableSprintDraw {
+        /// Provisioned per-sprint draw, watts.
+        sprint_draw_w: f64,
+        /// Rack feed cap, watts.
+        cap_w: f64,
+    },
+    /// The admission headroom threshold exceeds a cold node's headroom.
+    UnsatisfiableAdmission {
+        /// Required admission headroom, Kelvin.
+        admit_headroom_k: f64,
+        /// A cold node's headroom (`t_max - ambient`), Kelvin.
+        max_headroom_k: f64,
+    },
+    /// A task arrival was negative, NaN or infinite.
+    BadTaskArrival,
+    /// A task demanded zero threads.
+    ZeroThreadTask,
+    /// The fault plan names a node the rack does not have.
+    FaultNodeOutOfRange {
+        /// Offending node index.
+        node: u32,
+        /// Nodes in the rack.
+        nodes: usize,
+    },
+    /// The fault plan's retry backoff is zero windows.
+    ZeroFaultBackoff,
+    /// The fault plan's events are not sorted by `(window, node)`.
+    UnsortedFaultPlan,
+}
+
+impl std::fmt::Display for ClusterBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonPositiveTimeLimit => f.write_str("cluster time limit must be positive"),
+            Self::ConflictingSupplies => {
+                f.write_str("rack_supply and node_supply are mutually exclusive")
+            }
+            Self::InertRackSupply => f.write_str(
+                "a shared rack supply requires SupplyPolicy::EndSprint: \
+                 under SupplyPolicy::Ignore sessions never report draws, \
+                 so the pool's telemetry, reserve and brownout model are \
+                 all inert",
+            ),
+            Self::RationingWithoutPool => {
+                f.write_str("power rationing needs a shared rack supply to read telemetry from")
+            }
+            Self::UnsatisfiableSprintDraw {
+                sprint_draw_w,
+                cap_w,
+            } => write!(
+                f,
+                "provisioned sprint draw {sprint_draw_w} W is unsatisfiable: \
+                 the rack feed caps at {cap_w} W"
+            ),
+            Self::UnsatisfiableAdmission {
+                admit_headroom_k,
+                max_headroom_k,
+            } => write!(
+                f,
+                "admission threshold {admit_headroom_k} K is unsatisfiable: a cold node's \
+                 headroom tops out at t_max - ambient = {max_headroom_k} K"
+            ),
+            Self::BadTaskArrival => f.write_str("task arrivals must be finite and non-negative"),
+            Self::ZeroThreadTask => f.write_str("a task needs at least one thread"),
+            Self::FaultNodeOutOfRange { node, nodes } => write!(
+                f,
+                "fault plan targets node {node} but the cluster has {nodes}"
+            ),
+            Self::ZeroFaultBackoff => f.write_str("retry backoff must be at least one window"),
+            Self::UnsortedFaultPlan => f.write_str("fault plan must be sorted by (window, node)"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterBuildError {}
+
 /// Composes a rack, per-node machines, a policy and a task queue into a
 /// [`ClusterSession`].
 pub struct ClusterBuilder {
@@ -261,6 +406,7 @@ pub struct ClusterBuilder {
     power: PowerPolicy,
     supply_params: Option<RackSupplyParams>,
     node_supplies: Option<SupplyFactory>,
+    fault_plan: Option<FaultPlan>,
     tasks: Vec<ClusterTask>,
     trace_capacity: usize,
     max_time_s: f64,
@@ -292,6 +438,7 @@ impl ClusterBuilder {
             power: PowerPolicy::Oblivious,
             supply_params: None,
             node_supplies: None,
+            fault_plan: None,
             tasks: Vec::new(),
             trace_capacity: 2048,
             max_time_s: 10.0,
@@ -348,6 +495,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a window-stamped fault plan (see [`FaultPlan`]):
+    /// sensor faults, supply faults and node crashes fire at their
+    /// stamped windows and the scheduler degrades instead of
+    /// corrupting. Every node's thermal and supply ports are wrapped
+    /// in the fault ports whether or not a plan is installed — the
+    /// healthy wrappers are bit-identical passthroughs, so a cluster
+    /// without a plan reproduces its pre-fault digests exactly.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Appends tasks to the arrival queue.
     pub fn tasks(mut self, tasks: impl IntoIterator<Item = ClusterTask>) -> Self {
         self.tasks.extend(tasks);
@@ -371,64 +530,89 @@ impl ClusterBuilder {
     ///
     /// # Panics
     ///
-    /// Panics on invalid configuration/policy, a non-positive time
-    /// limit, or task arrivals that are negative or non-finite.
+    /// Panics on an invalid configuration/policy (their own
+    /// `validate`), and on any provisioning edge [`Self::try_build`]
+    /// rejects — with that [`ClusterBuildError`]'s `Display` message.
     pub fn build(self) -> ClusterSession {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::build`], returning unsatisfiable provisioning edges as
+    /// typed [`ClusterBuildError`] values instead of panicking.
+    /// Config, policy and supply-parameter invariants still panic via
+    /// their own `validate` — those are malformed *inputs*, not
+    /// unsatisfiable *combinations*.
+    pub fn try_build(self) -> Result<ClusterSession, ClusterBuildError> {
         self.config.validate();
         self.policy.validate();
         self.power.validate();
-        assert!(self.max_time_s > 0.0, "cluster time limit must be positive");
-        assert!(
-            !(self.supply_params.is_some() && self.node_supplies.is_some()),
-            "rack_supply and node_supply are mutually exclusive"
-        );
+        if self.max_time_s <= 0.0 || self.max_time_s.is_nan() {
+            return Err(ClusterBuildError::NonPositiveTimeLimit);
+        }
+        if self.supply_params.is_some() && self.node_supplies.is_some() {
+            return Err(ClusterBuildError::ConflictingSupplies);
+        }
         // `SupplyPolicy::Ignore` makes sessions skip `supply.draw`
         // entirely, so a shared pool would never see a watt of
         // telemetry: no reserve drain, no brownouts, no power
         // admission signal. A study that configures a rack feed but
         // silently disconnects it reports vacuous zero-abort results —
         // reject the contradiction up front.
-        if self.supply_params.is_some() {
-            assert!(
-                self.config.supply_policy == SupplyPolicy::EndSprint,
-                "a shared rack supply requires SupplyPolicy::EndSprint: \
-                 under SupplyPolicy::Ignore sessions never report draws, \
-                 so the pool's telemetry, reserve and brownout model are \
-                 all inert"
-            );
+        if self.supply_params.is_some() && self.config.supply_policy != SupplyPolicy::EndSprint {
+            return Err(ClusterBuildError::InertRackSupply);
         }
         if let PowerPolicy::Rationed { sprint_draw_w, .. } = self.power {
-            let params = self
-                .supply_params
-                .as_ref()
-                .expect("power rationing needs a shared rack supply to read telemetry from");
+            let Some(params) = self.supply_params.as_ref() else {
+                return Err(ClusterBuildError::RationingWithoutPool);
+            };
             // A provisioned sprint draw the empty feed cannot carry
             // would livelock a deferring queue, exactly like an
             // unsatisfiable thermal admission threshold.
-            assert!(
-                sprint_draw_w <= params.cap_w,
-                "provisioned sprint draw {sprint_draw_w} W is unsatisfiable: \
-                 the rack feed caps at {} W",
-                params.cap_w
-            );
+            if sprint_draw_w > params.cap_w {
+                return Err(ClusterBuildError::UnsatisfiableSprintDraw {
+                    sprint_draw_w,
+                    cap_w: params.cap_w,
+                });
+            }
         }
         // An admission threshold no cold node can meet would livelock
         // a deferring queue (head-of-line tasks wait forever for
         // headroom the rack cannot physically offer).
         if let Some(admit) = self.policy.admit_headroom_k() {
             let max_headroom = self.rack_params.t_max_c - self.rack_params.ambient_c;
-            assert!(
-                admit < max_headroom,
-                "admission threshold {admit} K is unsatisfiable: a cold node's headroom \
-                 tops out at t_max - ambient = {max_headroom} K"
-            );
+            if admit >= max_headroom {
+                return Err(ClusterBuildError::UnsatisfiableAdmission {
+                    admit_headroom_k: admit,
+                    max_headroom_k: max_headroom,
+                });
+            }
         }
         for t in &self.tasks {
-            assert!(
-                t.arrival_s.is_finite() && t.arrival_s >= 0.0,
-                "task arrivals must be finite and non-negative"
-            );
-            assert!(t.threads >= 1, "a task needs at least one thread");
+            if !(t.arrival_s.is_finite() && t.arrival_s >= 0.0) {
+                return Err(ClusterBuildError::BadTaskArrival);
+            }
+            if t.threads < 1 {
+                return Err(ClusterBuildError::ZeroThreadTask);
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            let nodes_n = self.rack_params.floorplan.core_count();
+            if plan.backoff_windows == 0 {
+                return Err(ClusterBuildError::ZeroFaultBackoff);
+            }
+            if !plan
+                .events
+                .windows(2)
+                .all(|p| (p[0].window, p[0].node) <= (p[1].window, p[1].node))
+            {
+                return Err(ClusterBuildError::UnsortedFaultPlan);
+            }
+            if let Some(ev) = plan.events.iter().find(|e| e.node as usize >= nodes_n) {
+                return Err(ClusterBuildError::FaultNodeOutOfRange {
+                    node: ev.node,
+                    nodes: nodes_n,
+                });
+            }
         }
         let rack = RackThermal::new(self.rack_params.build());
         let nodes_n = rack.nodes();
@@ -439,18 +623,29 @@ impl ClusterBuilder {
         let mut sustained = self.config.clone();
         sustained.mode = ExecutionMode::Sustained;
         let window_s = self.config.sample_window_ps as f64 * 1e-12;
+        let fault_states: Vec<Rc<FaultState>> = (0..nodes_n)
+            .map(|_| Rc::new(FaultState::default()))
+            .collect();
         let nodes = (0..nodes_n)
             .map(|n| {
+                // Both ports wear the fault wrappers unconditionally:
+                // a healthy wrapper is a bit-identical passthrough, so
+                // plan-free clusters keep their pre-fault digests.
                 let supply: Box<dyn PowerSupply> =
                     match (&self.supply_params, &supply_pool, &self.node_supplies) {
-                        (Some(params), Some(pool), _) => Box::new(params.node_supply(pool, n)),
-                        (_, _, Some(factory)) => factory(n),
-                        _ => Box::new(IdealSupply),
+                        (Some(params), Some(pool), _) => Box::new(FaultSupply::new(
+                            params.node_supply(pool, n),
+                            Rc::clone(&fault_states[n]),
+                        )),
+                        (_, _, Some(factory)) => {
+                            Box::new(FaultSupply::new(factory(n), Rc::clone(&fault_states[n])))
+                        }
+                        _ => Box::new(FaultSupply::new(IdealSupply, Rc::clone(&fault_states[n]))),
                     };
                 Node {
                     session: SprintSession::new(
                         Machine::new(self.machine_config.clone()),
-                        rack.node_view(n),
+                        FaultSensor::new(rack.node_view(n), Rc::clone(&fault_states[n])),
                         supply,
                         sustained.clone(),
                         self.trace_capacity,
@@ -471,7 +666,7 @@ impl ClusterBuilder {
                 .then(a.cmp(&b))
         });
         let task_count = self.tasks.len();
-        ClusterSession {
+        Ok(ClusterSession {
             rack,
             supply: supply_pool,
             power: self.power,
@@ -490,11 +685,28 @@ impl ClusterBuilder {
             task_done: vec![false; task_count],
             task_copies: vec![0; task_count],
             task_sprinted: vec![false; task_count],
+            task_failed: vec![false; task_count],
+            task_retries: vec![0; task_count],
             events: Vec::new(),
             grant_order: Vec::new(),
             peak_junction_c: f64::NEG_INFINITY,
             temps_buf: vec![0.0; nodes_n],
-        }
+            fault_plan: self.fault_plan,
+            next_fault: 0,
+            fault_states,
+            node_down: vec![false; nodes_n],
+            node_quarantined: vec![false; nodes_n],
+            requeue: Vec::new(),
+            next_requeue: 0,
+            requeue_seq: 0,
+            crashed_scratch: Vec::new(),
+            fault_events_applied: 0,
+            sensor_fault_count: 0,
+            supply_fault_count: 0,
+            node_crash_count: 0,
+            failsafe_preemptions: 0,
+            requeue_count: 0,
+        })
     }
 }
 
@@ -522,12 +734,43 @@ pub struct ClusterSession {
     task_copies: Vec<usize>,
     /// Whether any copy of the task was admitted to sprint.
     task_sprinted: Vec<bool>,
+    /// Tasks that exhausted their crash-retry budget.
+    task_failed: Vec<bool>,
+    /// Crash-retry attempts consumed per task.
+    task_retries: Vec<u32>,
     events: Vec<ClusterEvent>,
     /// Sprinting nodes, oldest admission first (round-robin shed order).
     pub(crate) grant_order: Vec<usize>,
     pub(crate) peak_junction_c: f64,
     /// Per-window node temperatures (reused; no per-step allocation).
     pub(crate) temps_buf: Vec<f64>,
+    /// The installed fault plan, if any (window-stamped, sorted).
+    pub(crate) fault_plan: Option<FaultPlan>,
+    /// Cursor into the plan's event list.
+    pub(crate) next_fault: usize,
+    /// Per-node fault state, shared with each node's wrapped thermal
+    /// and supply ports.
+    fault_states: Vec<Rc<FaultState>>,
+    /// Nodes currently crashed (cleared by `NodeRecover` unless
+    /// quarantined).
+    node_down: Vec<bool>,
+    /// Nodes permanently retired after crashing mid-task.
+    node_quarantined: Vec<bool>,
+    /// Crash-retry queue: `(due window, insertion seq, task)`, sorted;
+    /// `next_requeue` is the drain cursor (mirroring `next_arrival`).
+    pub(crate) requeue: Vec<(u64, u64, usize)>,
+    pub(crate) next_requeue: usize,
+    requeue_seq: u64,
+    /// Nodes that crashed *while busy* this window — the event core
+    /// must execute their first rest at the crash window itself (it
+    /// zeroes their core power before the next settlement).
+    pub(crate) crashed_scratch: Vec<u32>,
+    fault_events_applied: usize,
+    sensor_fault_count: usize,
+    supply_fault_count: usize,
+    node_crash_count: usize,
+    failsafe_preemptions: usize,
+    requeue_count: usize,
 }
 
 impl std::fmt::Debug for ClusterSession {
@@ -601,13 +844,17 @@ impl ClusterSession {
         self.nodes[node].session.state()
     }
 
-    /// True once every submitted task has completed. Losing
+    /// True once every submitted task has been resolved: completed,
+    /// or failed after exhausting its crash-retry budget. Losing
     /// competitive-duplicate copies do not count as outstanding work —
     /// their result is discarded by definition, so the queue is
     /// drained the moment every task has a winner (a loser may still
     /// be mid-run on its node when stepping stops).
     pub fn drained(&self) -> bool {
-        self.task_done.iter().all(|&d| d)
+        self.task_done
+            .iter()
+            .zip(&self.task_failed)
+            .all(|(&done, &failed)| done || failed)
     }
 
     /// Tasks that have arrived but not yet been assigned to a node —
@@ -642,12 +889,18 @@ impl ClusterSession {
         if self.windows >= self.max_windows {
             return ClusterOutcome::TimeLimit;
         }
+        // 0. Faults stamped for this window fire before anything reads
+        // a sensor or places work.
+        self.apply_faults();
         let now = self.now_s();
         // Refresh the per-node temperature snapshot once per window
-        // (the slice-based accessor keeps this allocation-free).
+        // (the slice-based accessor keeps this allocation-free), then
+        // overlay what faulted sensors actually report.
         self.rack.node_temps_c_into(&mut self.temps_buf);
-        // 1. Arrivals.
+        self.mask_faulted_temps();
+        // 1. Arrivals, then crash-retry requeues whose backoff expired.
         self.pop_arrivals(now);
+        self.pop_requeues();
         // 2. Assignment (and 3., the shed passes: thermal, then the
         // power emergency).
         self.assign_ready(now);
@@ -681,6 +934,196 @@ impl ClusterSession {
             self.ready.push_back(task);
             self.next_arrival += 1;
         }
+    }
+
+    /// Drains crash-retry requeues whose backoff window has come into
+    /// the ready queue (after `pop_arrivals`, so a same-window arrival
+    /// always queues ahead of a same-window retry — in both engines).
+    pub(crate) fn pop_requeues(&mut self) {
+        while let Some(&(due, _seq, task)) = self.requeue.get(self.next_requeue) {
+            if due > self.windows {
+                break;
+            }
+            self.next_requeue += 1;
+            if !self.task_done[task] && !self.task_failed[task] {
+                self.ready.push_back(task);
+            }
+        }
+    }
+
+    /// Applies every fault-plan event stamped for the current window,
+    /// in `(window, node)` order — shared verbatim between the
+    /// lockstep loop and the event-driven core (which runs it on fault
+    /// ticks). Fills [`Self::crashed_scratch`] with nodes that crashed
+    /// while busy, which the event core must execute this window.
+    pub(crate) fn apply_faults(&mut self) {
+        self.crashed_scratch.clear();
+        let Some(plan) = self.fault_plan.as_ref() else {
+            return;
+        };
+        let (response, max_retries, backoff) =
+            (plan.response, plan.max_retries, plan.backoff_windows);
+        let w = self.windows;
+        while let Some(&ev) = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.events.get(self.next_fault))
+        {
+            if ev.window != w {
+                debug_assert!(ev.window > w, "a fault event was scheduled in the past");
+                break;
+            }
+            self.next_fault += 1;
+            self.fault_events_applied += 1;
+            let node = ev.node as usize;
+            match ev.kind {
+                FaultKind::SensorStuck(v) => {
+                    self.sensor_fault_on(node, SensorFault::StuckAt(v), response)
+                }
+                FaultKind::SensorBias(d) => {
+                    self.sensor_fault_on(node, SensorFault::Bias(d), response)
+                }
+                FaultKind::SensorDropout => {
+                    self.sensor_fault_on(node, SensorFault::Dropout, response)
+                }
+                FaultKind::SensorClear => self.fault_states[node].set_sensor(None),
+                FaultKind::SupplyCollapse(scale) => {
+                    self.supply_fault_count += 1;
+                    self.fault_states[node].set_supply(Some(SupplyFault::Collapsed(scale)));
+                }
+                FaultKind::SupplyBrownout => {
+                    self.supply_fault_count += 1;
+                    self.fault_states[node].set_supply(Some(SupplyFault::Brownout));
+                }
+                FaultKind::SupplyDead => {
+                    self.supply_fault_count += 1;
+                    self.fault_states[node].set_supply(Some(SupplyFault::Dead));
+                }
+                // Dead-sticky: `FaultState::set_supply` ignores the
+                // clear when the regulator died outright.
+                FaultKind::SupplyClear => self.fault_states[node].set_supply(None),
+                FaultKind::NodeCrash => self.crash_node(node, response, max_retries, backoff),
+                FaultKind::NodeRecover => {
+                    if !self.node_quarantined[node] {
+                        self.node_down[node] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A sensor fault onset: corrupt the node's reported telemetry
+    /// and, under [`FaultResponse::Aware`], fire the conservative
+    /// failsafe — a node mid-sprint on telemetry that just went bad is
+    /// treated as already at the limit and preempted on the spot
+    /// (the throttle analogue of `HotspotPolicy`'s hardware failsafe).
+    fn sensor_fault_on(&mut self, node: usize, fault: SensorFault, response: FaultResponse) {
+        self.sensor_fault_count += 1;
+        self.fault_states[node].set_sensor(Some(fault));
+        if response == FaultResponse::Aware {
+            let n = &mut self.nodes[node];
+            if n.task.is_some()
+                && matches!(
+                    n.session.state(),
+                    SprintState::Ramping | SprintState::Sprinting
+                )
+            {
+                n.session.preempt_sprint();
+                self.failsafe_preemptions += 1;
+                // The stale grant falls out of the rotation in this
+                // window's shed pass (its retain keeps only live
+                // sprints) — which runs this window in both engines,
+                // because a fault tick forces the scheduler phase.
+            }
+        }
+    }
+
+    /// A node crash. An idle node just goes down (recoverable); a busy
+    /// node's stranded threads make it untrustworthy for the rest of
+    /// the run (there is no thread-kill API), so it is quarantined
+    /// permanently and — under [`FaultResponse::Aware`] — its
+    /// nameplate share is returned to the rack pool. The in-flight
+    /// task, if no duplicate copy survives elsewhere, re-enters the
+    /// queue after an exponential window backoff, up to the plan's
+    /// retry budget; past that it is recorded failed.
+    fn crash_node(&mut self, node: usize, response: FaultResponse, max_retries: u32, backoff: u64) {
+        if self.node_down[node] || self.node_quarantined[node] {
+            return;
+        }
+        self.node_crash_count += 1;
+        self.node_down[node] = true;
+        let Some(task) = self.nodes[node].task.take() else {
+            return;
+        };
+        self.node_quarantined[node] = true;
+        self.crashed_scratch.push(node as u32);
+        if response == FaultResponse::Aware {
+            if let Some(pool) = &self.supply {
+                pool.decommission_node();
+            }
+        }
+        if self.task_done[task] || self.task_failed[task] {
+            return;
+        }
+        if self.nodes.iter().any(|n| n.task == Some(task)) {
+            return; // a duplicate copy is still racing elsewhere
+        }
+        if self.task_retries[task] < max_retries {
+            self.task_retries[task] += 1;
+            let shift = (self.task_retries[task] - 1).min(32);
+            let delay = backoff.saturating_mul(1u64 << shift).max(1);
+            self.requeue_count += 1;
+            let due = self.windows.saturating_add(delay);
+            let seq = self.requeue_seq;
+            self.requeue_seq += 1;
+            let entry = (due, seq, task);
+            let tail = &self.requeue[self.next_requeue..];
+            let pos = self.next_requeue + tail.partition_point(|&e| e <= entry);
+            self.requeue.insert(pos, entry);
+        } else {
+            self.task_failed[task] = true;
+        }
+    }
+
+    /// Overlays faulted sensors onto the per-window temperature
+    /// snapshot. Aware scheduling substitutes the failsafe reading
+    /// (treat-as-hot: `t_max`, zero admission headroom); oblivious
+    /// scheduling consumes whatever the broken sensor reports —
+    /// including a stuck-cold value that makes a hot node look like
+    /// the best sprint candidate in the rack.
+    pub(crate) fn mask_faulted_temps(&mut self) {
+        let Some(plan) = self.fault_plan.as_ref() else {
+            return;
+        };
+        let aware = plan.response == FaultResponse::Aware;
+        for i in 0..self.nodes.len() {
+            if let Some(fault) = self.fault_states[i].sensor() {
+                self.temps_buf[i] = if aware {
+                    self.nodes[i].session.thermal().t_max_c()
+                } else {
+                    match fault {
+                        SensorFault::StuckAt(v) => v,
+                        SensorFault::Bias(d) => self.temps_buf[i] + d,
+                        SensorFault::Dropout => f64::NAN,
+                    }
+                };
+            }
+        }
+    }
+
+    /// Whether the installed fault plan reacts to faults
+    /// ([`FaultResponse::Aware`]); false without a plan.
+    fn fault_aware(&self) -> bool {
+        self.fault_plan
+            .as_ref()
+            .is_some_and(|p| p.response == FaultResponse::Aware)
+    }
+
+    /// Fraction of the fleet not quarantined, in `(0, 1]` — the
+    /// degradation signal a facility tier re-deals the feed by.
+    pub fn alive_fraction(&self) -> f64 {
+        let quarantined = self.node_quarantined.iter().filter(|&&q| q).count();
+        (self.nodes.len() - quarantined) as f64 / self.nodes.len() as f64
     }
 
     /// Executes node `i`'s share of the current window: one session
@@ -796,9 +1239,46 @@ impl ClusterSession {
                 .flat_map(|n| n.session.events().iter())
                 .filter(|e| matches!(e, ControllerEvent::SupplyLimited { .. }))
                 .count(),
+            fault_events: self.fault_events_applied,
+            sensor_faults: self.sensor_fault_count,
+            supply_faults: self.supply_fault_count,
+            node_crashes: self.node_crash_count,
+            failsafe_preemptions: self.failsafe_preemptions,
+            requeues: self.requeue_count,
+            failed_tasks: self.task_failed.iter().filter(|&&f| f).count(),
+            quarantined_nodes: self.node_quarantined.iter().filter(|&&q| q).count(),
+            outstanding_tasks: self.outstanding_tasks(),
             outcomes: self.outcomes.clone(),
             node_reports: self.nodes.iter().map(|n| n.session.report()).collect(),
         }
+    }
+
+    /// Tasks neither completed nor failed, counted *structurally* —
+    /// every place an unresolved task can live (not yet arrived, the
+    /// ready queue, a pending crash-retry, a node) is scanned, so a
+    /// task the bookkeeping lost would make the conservation invariant
+    /// fail rather than silently balance.
+    fn outstanding_tasks(&self) -> usize {
+        let mut seen = vec![false; self.tasks.len()];
+        for &t in &self.arrival_order[self.next_arrival..] {
+            seen[t] = true;
+        }
+        for &t in &self.ready {
+            seen[t] = true;
+        }
+        for &(_, _, t) in &self.requeue[self.next_requeue..] {
+            seen[t] = true;
+        }
+        for n in &self.nodes {
+            if let Some(t) = n.task {
+                seen[t] = true;
+            }
+        }
+        seen.iter()
+            .zip(&self.task_done)
+            .zip(&self.task_failed)
+            .filter(|((&held, &done), &failed)| held && !done && !failed)
+            .count()
     }
 
     /// Nodes currently in a sprint (ramping counts: the admission slot
@@ -827,11 +1307,15 @@ impl ClusterSession {
     /// sprinting beat the unmanaged rack.
     pub(crate) fn assign_ready(&mut self, now: f64) {
         while !self.ready.is_empty() {
+            // Down and quarantined nodes cannot take work in either
+            // response mode — a crashed server is gone, not slow.
+            let down = &self.node_down;
+            let quarantined = &self.node_quarantined;
             let mut idle: Vec<usize> = self
                 .nodes
                 .iter()
                 .enumerate()
-                .filter(|(_, n)| n.task.is_none())
+                .filter(|&(i, n)| n.task.is_none() && !down[i] && !quarantined[i])
                 .map(|(i, _)| i)
                 .collect();
             if idle.is_empty() {
@@ -882,6 +1366,16 @@ impl ClusterSession {
     /// gate must both clear — a task denied on either axis defers under
     /// the same sprint-or-defer machinery.
     fn admits_on(&self, node: usize) -> bool {
+        if self.node_down[node] || self.node_quarantined[node] {
+            return false;
+        }
+        // Aware scheduling never grants a sprint on a node whose
+        // telemetry is known-bad: the masked snapshot already reads
+        // t_max (zero headroom), but headroom-blind policies like
+        // `AllSprint` need the explicit veto too.
+        if self.fault_aware() && self.fault_states[node].sensor().is_some() {
+            return false;
+        }
         let allowance = self
             .policy
             .max_sprinting_at(self.nodes.len(), self.rack.headroom_k());
@@ -1138,5 +1632,20 @@ mod tests {
         assert_eq!(report.admitted_sprints, 0);
         assert_eq!(report.denied_sprints, 0);
         assert_eq!(report.sheds + report.power_sheds + report.supply_aborts, 0);
+        // A plan-free run must report all-zero fault counters, and the
+        // conservation invariant must hold with every task outstanding.
+        assert_eq!(
+            report.fault_events
+                + report.sensor_faults
+                + report.supply_faults
+                + report.node_crashes
+                + report.failsafe_preemptions
+                + report.requeues
+                + report.failed_tasks
+                + report.quarantined_nodes,
+            0
+        );
+        assert_eq!(report.outstanding_tasks, report.total_tasks);
+        assert!(report.task_conservation_holds());
     }
 }

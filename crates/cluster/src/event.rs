@@ -64,13 +64,16 @@ use crate::rack::RackThermal;
 use crate::supply::RackSupply;
 
 /// Component kinds, in tie-break order within one window — the
-/// lockstep phase order: arrivals feed the scheduler, the scheduler
-/// precedes settlement, settlement (node 0, the grid/pool leader)
-/// precedes the remaining node sessions.
-const KIND_ARRIVALS: u8 = 0;
-const KIND_SCHEDULER: u8 = 1;
-const KIND_SETTLEMENT: u8 = 2;
-const KIND_NODE: u8 = 3;
+/// lockstep phase order: faults fire before anything reads a sensor,
+/// arrivals feed the scheduler, the scheduler precedes settlement,
+/// settlement (node 0, the grid/pool leader) precedes the remaining
+/// node sessions. (Kind values order the heap only — they never touch
+/// simulated state, so renumbering is digest-neutral.)
+const KIND_FAULT: u8 = 0;
+const KIND_ARRIVALS: u8 = 1;
+const KIND_SCHEDULER: u8 = 2;
+const KIND_SETTLEMENT: u8 = 3;
+const KIND_NODE: u8 = 4;
 
 /// One scheduled tick: `(window, component kind, node index)`. The
 /// tuple's lexicographic order *is* the deterministic event order.
@@ -161,7 +164,8 @@ impl EventDrivenCluster {
     /// Schedules the initial ticks: the settlement leader at window 0,
     /// every node's first rest at window 0 (recording its idle draw on
     /// the shared pool — the one rest effect later settlements read),
-    /// and the arrivals component at the first task's window.
+    /// the arrivals component at the first task's window, and the
+    /// fault component at the plan's first stamped window.
     fn prime(&mut self) {
         let mut ticks = std::mem::take(&mut self.scratch);
         ticks.push((0, KIND_SETTLEMENT, 0u32));
@@ -171,8 +175,20 @@ impl EventDrivenCluster {
         if let Some(w) = self.next_arrival_tick() {
             ticks.push((w, KIND_ARRIVALS, 0));
         }
+        if let Some(w) = self.next_fault_tick() {
+            ticks.push((w, KIND_FAULT, 0));
+        }
         self.push_ticks(&mut ticks);
         self.scratch = ticks;
+    }
+
+    /// The fault component's `next_tick()`: the next unapplied plan
+    /// event's stamped window. Like arrivals, the component re-arms
+    /// itself each time it fires, so the chain visits every stamped
+    /// window exactly once.
+    fn next_fault_tick(&self) -> Option<u64> {
+        let plan = self.inner.fault_plan.as_ref()?;
+        plan.events.get(self.inner.next_fault).map(|e| e.window)
     }
 
     /// The arrivals component's `next_tick()`: the first window whose
@@ -181,17 +197,33 @@ impl EventDrivenCluster {
     /// exact predicate the arrivals pop uses, so the tick can neither
     /// miss the task nor fire a window early.
     fn next_arrival_tick(&self) -> Option<u64> {
-        let task = *self.inner.arrival_order.get(self.inner.next_arrival)?;
-        let arrival_s = self.inner.tasks[task].arrival_s;
-        let w = self.inner.window_s;
-        let mut k = ((arrival_s / w).ceil()).max(0.0) as u64;
-        while (k as f64) * w < arrival_s {
-            k += 1;
+        let arrival = self
+            .inner
+            .arrival_order
+            .get(self.inner.next_arrival)
+            .map(|&task| {
+                let arrival_s = self.inner.tasks[task].arrival_s;
+                let w = self.inner.window_s;
+                let mut k = ((arrival_s / w).ceil()).max(0.0) as u64;
+                while (k as f64) * w < arrival_s {
+                    k += 1;
+                }
+                while k > 0 && ((k - 1) as f64) * w >= arrival_s {
+                    k -= 1;
+                }
+                k
+            });
+        // Crash-retry requeues enter the ready queue through the same
+        // component (their due is already a window).
+        let requeue = self
+            .inner
+            .requeue
+            .get(self.inner.next_requeue)
+            .map(|&(due, _, _)| due);
+        match (arrival, requeue) {
+            (Some(a), Some(r)) => Some(a.min(r)),
+            (a, r) => a.or(r),
         }
-        while k > 0 && ((k - 1) as f64) * w >= arrival_s {
-            k -= 1;
-        }
-        Some(k)
     }
 
     /// The scheduler component's `next_tick()` condition: whether the
@@ -278,6 +310,7 @@ impl EventDrivenCluster {
         let w = self.inner.windows;
         // Drain this window's ticks in deterministic (kind, node)
         // order.
+        let mut fault_due = false;
         let mut arrivals_due = false;
         let mut scheduler_due = false;
         self.due_nodes.clear();
@@ -288,6 +321,7 @@ impl EventDrivenCluster {
             }
             self.heap.pop();
             match kind {
+                KIND_FAULT => fault_due = true,
                 KIND_ARRIVALS => arrivals_due = true,
                 KIND_SCHEDULER => scheduler_due = true,
                 KIND_SETTLEMENT => {}
@@ -300,15 +334,26 @@ impl EventDrivenCluster {
                 }
             }
         }
+        // Fault phase: apply this window's stamped faults before
+        // anything reads a sensor — the lockstep order. The failsafe
+        // may preempt a sprint and a crash may free a node, so a fault
+        // window always runs the full scheduler phase below (its
+        // retain/shed passes are exactly what lockstep runs).
+        if fault_due {
+            self.inner.apply_faults();
+        }
         let now = self.inner.now_s();
         // Scheduler phase — exactly the lockstep passes, run only on
         // windows where they could act (see `scheduler_armed`).
-        if arrivals_due || scheduler_due {
+        let scheduling = fault_due || arrivals_due || scheduler_due;
+        if scheduling {
             let mut temps = std::mem::take(&mut self.inner.temps_buf);
             self.inner.rack.node_temps_c_into(&mut temps);
             self.inner.temps_buf = temps;
+            self.inner.mask_faulted_temps();
             if arrivals_due {
                 self.inner.pop_arrivals(now);
+                self.inner.pop_requeues();
             }
             if !self.inner.ready.is_empty() {
                 // Assignment may start work on any idle node: bring
@@ -325,19 +370,29 @@ impl EventDrivenCluster {
         // a tick (their retirement rest) is due.
         let mut ticks = std::mem::take(&mut self.scratch);
         let nodes = self.inner.nodes.len();
-        if arrivals_due || scheduler_due {
+        if scheduling {
             // A scheduler window may have assigned tasks anywhere:
             // scan the fleet (the temperature snapshot above already
             // paid O(fleet) this window) and rebuild the busy list.
             self.busy.clear();
             let mut di = 0;
+            let mut ci = 0;
             for i in 0..nodes {
                 let due = self.due_nodes.get(di) == Some(&(i as u32));
                 if due {
                     di += 1;
                 }
+                // A node that crashed *while busy* this window was
+                // current at the window start and must still execute:
+                // its first rest zeroes the core power its sprint was
+                // injecting, before the next settlement integrates the
+                // grid. (It then sleeps like any idle node.)
+                let crashed = fault_due && self.inner.crashed_scratch.get(ci) == Some(&(i as u32));
+                if crashed {
+                    ci += 1;
+                }
                 let busy = self.inner.nodes[i].task.is_some();
-                if i == 0 || busy || due {
+                if i == 0 || busy || due || crashed {
                     debug_assert_eq!(self.done[i], w, "an executing node must be current");
                     self.inner.run_node_window(i);
                     self.done[i] = w + 1;
@@ -407,9 +462,19 @@ impl EventDrivenCluster {
         if self.scheduler_armed() {
             ticks.push((w + 1, KIND_SCHEDULER, 0));
         }
-        if arrivals_due {
+        // A fault window may have scheduled a crash-retry requeue,
+        // which arrives through the arrivals component: re-arm it on
+        // fault windows too (a duplicate arrivals tick is harmless —
+        // a spurious scheduler phase replays exactly the lockstep
+        // window).
+        if arrivals_due || fault_due {
             if let Some(aw) = self.next_arrival_tick() {
                 ticks.push((aw.max(w + 1), KIND_ARRIVALS, 0));
+            }
+        }
+        if fault_due {
+            if let Some(fw) = self.next_fault_tick() {
+                ticks.push((fw.max(w + 1), KIND_FAULT, 0));
             }
         }
         self.push_ticks(&mut ticks);
@@ -460,7 +525,8 @@ impl EventDrivenCluster {
         self.inner.nodes.len()
     }
 
-    /// True once every submitted task has completed.
+    /// True once every submitted task has been resolved (completed,
+    /// or failed after exhausting its crash retries).
     pub fn drained(&self) -> bool {
         self.inner.drained()
     }

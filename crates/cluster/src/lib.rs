@@ -105,6 +105,26 @@
 //! invariant; see the [`event`] module docs for the component model in
 //! detail.
 //!
+//! # Fault injection and graceful degradation
+//!
+//! Every node's thermal and supply ports are wrapped in
+//! `sprint-core`'s fault ports (`FaultSensor` / `FaultSupply`) —
+//! bit-identical passthroughs until a window-stamped
+//! `sprint_core::fault::FaultPlan` (installed via
+//! [`cluster::ClusterBuilder::fault_plan`]) flips them. The scheduler
+//! *degrades instead of corrupting*: a faulted sensor reads as
+//! already-at-the-limit under `FaultResponse::Aware` (conservative
+//! treat-as-hot failsafe, mid-sprint preemption included), a crashed
+//! node's in-flight task re-enters the queue with a bounded retry
+//! budget and exponential window backoff, mid-task crashes quarantine
+//! the node and return its nameplate share to the rack pool
+//! ([`supply::RackSupply::decommission_node`]), and
+//! [`cluster::ClusterReport`] accounts every submitted task as
+//! completed, failed-after-retries, or outstanding — never lost
+//! ([`cluster::ClusterReport::task_conservation_holds`]). Faults are
+//! ticks on the event core's heap, so faulted event-driven runs stay
+//! byte-identical to the lockstep oracle.
+//!
 //! # Quick start
 //!
 //! ```
@@ -133,7 +153,9 @@ pub mod queue;
 pub mod rack;
 pub mod supply;
 
-pub use cluster::{ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession};
+pub use cluster::{
+    ClusterBuildError, ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession,
+};
 pub use event::EventDrivenCluster;
 pub use policy::{ClusterPolicy, PowerPolicy};
 pub use queue::{ClusterTask, TaskOutcome};
@@ -143,7 +165,8 @@ pub use supply::{NodeSupplyView, RackSupply, RackSupplyParams};
 /// Commonly-used items in one import.
 pub mod prelude {
     pub use crate::cluster::{
-        ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession,
+        ClusterBuildError, ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport,
+        ClusterSession,
     };
     pub use crate::event::EventDrivenCluster;
     pub use crate::policy::{ClusterPolicy, PowerPolicy};

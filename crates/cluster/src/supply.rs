@@ -164,6 +164,14 @@ struct SupplyShared {
     brownout_intervals: u64,
     /// One node's commissioning-time share of the feed, watts.
     nameplate_share_w: f64,
+    /// The feed the nameplate shares were cut from, watts — frozen at
+    /// commissioning (facility re-provisioning moves `cap_w`, never
+    /// this).
+    commissioned_cap_w: f64,
+    /// Nodes still commissioned on the feed;
+    /// [`RackSupply::decommission_node`] shrinks it and re-cuts the
+    /// nameplate shares among the survivors.
+    alive_nodes: usize,
 }
 
 impl SupplyShared {
@@ -232,6 +240,8 @@ impl RackSupply {
                 brownout: false,
                 brownout_intervals: 0,
                 nameplate_share_w: params.cap_w / nodes as f64,
+                commissioned_cap_w: params.cap_w,
+                alive_nodes: nodes,
             })),
         }
     }
@@ -282,6 +292,26 @@ impl RackSupply {
     pub fn set_cap_w(&self, cap_w: f64) {
         assert!(cap_w > 0.0 && !cap_w.is_nan(), "rack cap must be positive");
         self.shared.borrow_mut().cap_w = cap_w;
+    }
+
+    /// Retires one node's nameplate booking after a permanent failure:
+    /// the commissioned feed is re-cut among the surviving nodes, so
+    /// each survivor's nameplate share — its local governor's
+    /// provisioning figure and its brownout ride-through boundary —
+    /// grows. The live cap, reserve and telemetry are untouched
+    /// (decommissioning reroutes busbar watts, it does not add any),
+    /// and the last commissioned node always keeps the full feed.
+    pub fn decommission_node(&self) {
+        let mut s = self.shared.borrow_mut();
+        if s.alive_nodes > 1 {
+            s.alive_nodes -= 1;
+            s.nameplate_share_w = s.commissioned_cap_w / s.alive_nodes as f64;
+        }
+    }
+
+    /// Nodes still commissioned on the feed (total minus decommissioned).
+    pub fn alive_nodes(&self) -> usize {
+        self.shared.borrow().alive_nodes
     }
 
     /// Live total upstream draw across all nodes, watts (telemetry the

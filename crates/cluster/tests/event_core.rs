@@ -9,6 +9,7 @@
 
 use sprint_cluster::prelude::*;
 use sprint_core::config::SprintConfig;
+use sprint_core::fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, FaultResponse};
 use sprint_thermal::grid::GridThermalParams;
 use sprint_workloads::suite::{InputSize, WorkloadKind};
 
@@ -80,7 +81,7 @@ fn time_limited_rack() -> ClusterSession {
 
 /// Runs `build()` both ways and asserts byte-identical reports (via
 /// the FNV digest) and identical terminal outcomes and window counts.
-fn assert_equivalent(build: fn() -> ClusterSession, label: &str) {
+fn assert_equivalent(build: impl Fn() -> ClusterSession, label: &str) {
     let mut lockstep = build();
     let lockstep_outcome = lockstep.run_to_completion();
     let lockstep_report = lockstep.report();
@@ -183,6 +184,163 @@ fn event_order_fuzzing_is_bit_invariant() {
             want,
             "seed {seed:#x} changed the shed rotation"
         );
+    }
+}
+
+/// A handcrafted plan that exercises every fault kind — stuck-cold
+/// and biased sensors (with clears), every supply fault including a
+/// sticky regulator death, and node crash/recover on both busy and
+/// idle nodes — stamped across the rationed rack's active phase.
+fn dense_fault_plan(response: FaultResponse) -> FaultPlan {
+    let ev = |window: u64, node: u32, kind: FaultKind| FaultEvent { window, node, kind };
+    FaultPlan::new(vec![
+        ev(3, 2, FaultKind::SensorStuck(20.0)),
+        ev(5, 0, FaultKind::SupplyCollapse(2.0)),
+        ev(8, 4, FaultKind::NodeCrash),
+        ev(12, 2, FaultKind::SensorClear),
+        ev(15, 1, FaultKind::SensorBias(30.0)),
+        ev(30, 4, FaultKind::NodeRecover),
+        ev(40, 3, FaultKind::SupplyBrownout),
+        ev(60, 3, FaultKind::SupplyClear),
+        ev(80, 5, FaultKind::NodeCrash),
+        ev(90, 1, FaultKind::SensorClear),
+        ev(110, 0, FaultKind::SupplyClear),
+        ev(120, 6, FaultKind::SupplyDead),
+        ev(150, 6, FaultKind::SupplyClear), // sticky: death ignores it
+        ev(200, 7, FaultKind::NodeCrash),
+        ev(210, 7, FaultKind::NodeRecover),
+        ev(260, 8, FaultKind::SensorDropout),
+        ev(320, 8, FaultKind::SensorClear),
+        ev(400, 2, FaultKind::NodeCrash),
+    ])
+    .with_retries(2, 16)
+    .with_response(response)
+}
+
+/// The rationed rack under the dense handcrafted plan. A finite time
+/// limit bounds runs where quarantine leaves tasks unservable.
+fn faulted_rationed_rack(response: FaultResponse) -> ClusterSession {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    ClusterBuilder::new(GridThermalParams::rack(3, 3).time_scaled(6000.0))
+        .policy(ClusterPolicy::greedy_default())
+        .power_policy(PowerPolicy::rationed_default())
+        .rack_supply(RackSupplyParams::rack(9).time_scaled(6000.0))
+        .config(cfg)
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            16,
+            12,
+            0.0,
+            60e-6,
+        ))
+        .fault_plan(dense_fault_plan(response))
+        .max_time_s(0.004)
+        .trace_capacity(0)
+        .build()
+}
+
+/// A small rack under a seeded random plan — the conservation-sweep
+/// fixture (4 nodes, batch arrivals, bounded run).
+fn seeded_faulted_rack(seed: u64, response: FaultResponse) -> ClusterSession {
+    let rates = FaultRates {
+        mean_sensor_gap_windows: 60,
+        sensor_hold_windows: 40,
+        mean_crash_gap_windows: 300,
+        crash_hold_windows: 50,
+        mean_supply_gap_windows: 120,
+        supply_hold_windows: 40,
+    };
+    ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(3000.0))
+        .policy(ClusterPolicy::greedy_default())
+        .tasks(ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 8, 10))
+        .fault_plan(FaultPlan::seeded(seed, 4, 4000, rates).with_response(response))
+        .max_time_s(0.004)
+        .trace_capacity(0)
+        .build()
+}
+
+/// Tentpole invariant: under a plan that exercises every fault kind,
+/// the event-driven run still reproduces the lockstep digest
+/// byte-for-byte — in both response modes — and the plan actually
+/// bites (nonzero fault counters).
+#[test]
+fn event_core_matches_lockstep_under_dense_faults() {
+    for response in [FaultResponse::Aware, FaultResponse::Oblivious] {
+        assert_equivalent(
+            || faulted_rationed_rack(response),
+            &format!("dense faults ({response:?})"),
+        );
+    }
+    let mut run = faulted_rationed_rack(FaultResponse::Aware);
+    run.run_to_completion();
+    let report = run.report();
+    assert!(report.fault_events > 0, "the plan never fired");
+    assert!(report.node_crashes > 0, "no crash was applied");
+    assert!(report.sensor_faults > 0, "no sensor fault was applied");
+    assert!(report.supply_faults > 0, "no supply fault was applied");
+    assert!(report.quarantined_nodes > 0, "no busy node was quarantined");
+    assert!(report.task_conservation_holds(), "a task was lost");
+}
+
+/// Satellite: the seeded event-order fuzzing, with fault ticks
+/// interleaved on the heap — insertion order must still not change a
+/// bit of the run.
+#[test]
+fn event_order_fuzzing_is_bit_invariant_under_faults() {
+    for response in [FaultResponse::Aware, FaultResponse::Oblivious] {
+        let mut oracle = faulted_rationed_rack(response);
+        oracle.run_to_completion();
+        let want = oracle.report().digest();
+        for seed in [11u64, 0xFEED_FACE, u64::MAX - 1] {
+            let mut fuzzed =
+                EventDrivenCluster::with_event_seed(faulted_rationed_rack(response), seed);
+            fuzzed.run_to_completion();
+            assert_eq!(
+                fuzzed.report().digest(),
+                want,
+                "seed {seed:#x} changed the faulted run ({response:?})"
+            );
+        }
+    }
+}
+
+/// Satellite: task conservation over random fault plans, on both
+/// engines — every submitted task ends completed, failed, or
+/// outstanding; drained runs leave nothing outstanding.
+#[test]
+fn task_conservation_holds_under_random_fault_plans() {
+    for seed in [2012u64, 7, 0x0BAD_5EED] {
+        for response in [FaultResponse::Aware, FaultResponse::Oblivious] {
+            let mut lockstep = seeded_faulted_rack(seed, response);
+            let outcome = lockstep.run_to_completion();
+            let report = lockstep.report();
+            assert!(
+                report.task_conservation_holds(),
+                "seed {seed:#x} ({response:?}): conservation broke: \
+                 {} completed + {} failed + {} outstanding != {}",
+                report.completed,
+                report.failed_tasks,
+                report.outstanding_tasks,
+                report.total_tasks,
+            );
+            if outcome == ClusterOutcome::Drained {
+                assert_eq!(
+                    report.outstanding_tasks, 0,
+                    "drained with tasks outstanding"
+                );
+            }
+            let mut event = EventDrivenCluster::new(seeded_faulted_rack(seed, response));
+            event.run_to_completion();
+            let event_report = event.report();
+            assert!(event_report.task_conservation_holds());
+            assert_eq!(
+                report.digest(),
+                event_report.digest(),
+                "seed {seed:#x} ({response:?}): faulted event run diverged"
+            );
+        }
     }
 }
 

@@ -24,6 +24,12 @@
 //!   port, it carries blanket `&mut S`/`Box<S>` impls, so a session can
 //!   borrow, erase, or (via `sprint-cluster`'s per-node rack supply
 //!   views) share its supply.
+//! * [`fault::FaultPlan`] and the fault ports [`fault::FaultSensor`] /
+//!   [`fault::FaultSupply`] — seeded, deterministic fault injection
+//!   composed over the thermal and supply ports: sensor stuck-at /
+//!   bias / dropout, supply collapse / brownout / death, node
+//!   crash/recovery. Healthy wrappers are bit-identical passthroughs,
+//!   so fault tolerance never costs the determinism contract.
 //! * [`budget::ThermalBudget`] — the activity-based estimator that
 //!   integrates dissipated energy against the package's joule capacity.
 //! * [`controller::SprintController`] — activation ramp, sprint
@@ -98,6 +104,7 @@ pub mod budget;
 pub mod conceptual;
 pub mod config;
 pub mod controller;
+pub mod fault;
 pub mod metrics;
 pub mod session;
 pub mod supply;
@@ -110,6 +117,10 @@ pub use config::{
     SupplyPolicy,
 };
 pub use controller::{ControllerEvent, SprintController, SprintState};
+pub use fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultRates, FaultResponse, FaultSensor, FaultState,
+    FaultSupply, SensorFault, SupplyFault,
+};
 pub use metrics::{arithmetic_mean, geometric_mean, Comparison};
 pub use session::{
     RunReport, RunSample, ScenarioBuilder, SessionObserver, SprintSession, StepOutcome,

@@ -7,10 +7,11 @@ use std::thread;
 use serde::{Deserialize, Serialize};
 use sprint_archsim::config::MachineConfig;
 use sprint_cluster::{
-    ClusterBuilder, ClusterOutcome, ClusterPolicy, ClusterReport, ClusterSession, ClusterTask,
-    PowerPolicy, RackSupplyParams,
+    ClusterBuildError, ClusterBuilder, ClusterOutcome, ClusterPolicy, ClusterReport,
+    ClusterSession, ClusterTask, PowerPolicy, RackSupplyParams,
 };
 use sprint_core::config::SprintConfig;
+use sprint_core::fault::{FaultPlan, FaultRates, FaultResponse};
 use sprint_thermal::grid::GridThermalParams;
 use sprint_workloads::traffic::TrafficParams;
 
@@ -37,6 +38,8 @@ pub struct RackSpec {
     pub supply: Option<RackSupplyParams>,
     /// The rack's arrival queue.
     pub tasks: Vec<ClusterTask>,
+    /// Seeded fault schedule injected into this rack, if any.
+    pub fault: Option<FaultPlan>,
     /// Per-node retained trace samples (0 disables tracing).
     pub trace_capacity: usize,
     /// Hard wall on the rack's simulated time, seconds.
@@ -47,7 +50,17 @@ impl RackSpec {
     /// Builds the rack's session — exactly the [`ClusterBuilder`] call
     /// a standalone study would make, so a one-rack facility and a
     /// hand-built cluster start from identical state.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`try_build`](Self::try_build) would err.
     pub fn build(&self) -> ClusterSession {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the rack's session, reporting unsatisfiable provisioning
+    /// as a typed error instead of panicking.
+    pub fn try_build(&self) -> Result<ClusterSession, ClusterBuildError> {
         let mut builder = ClusterBuilder::new(self.thermal.clone())
             .machine(self.machine.clone())
             .config(self.config.clone())
@@ -59,7 +72,10 @@ impl RackSpec {
         if let Some(supply) = self.supply {
             builder = builder.rack_supply(supply);
         }
-        builder.build()
+        if let Some(fault) = &self.fault {
+            builder = builder.fault_plan(fault.clone());
+        }
+        builder.try_build()
     }
 }
 
@@ -120,6 +136,25 @@ pub struct FacilityReport {
     pub power_sheds: usize,
     /// Supply-ended sprints (brownout casualties), summed over racks.
     pub supply_aborts: usize,
+    /// Fault-plan events applied, summed over racks.
+    pub fault_events: usize,
+    /// Sensor faults injected, summed over racks.
+    pub sensor_faults: usize,
+    /// Supply faults injected, summed over racks.
+    pub supply_faults: usize,
+    /// Node crashes applied, summed over racks.
+    pub node_crashes: usize,
+    /// Treat-as-hot failsafe sprint preemptions, summed over racks.
+    pub failsafe_preemptions: usize,
+    /// Crash-lost tasks re-enqueued, summed over racks.
+    pub requeues: usize,
+    /// Tasks that exhausted their crash-retry budget, summed over racks.
+    pub failed_tasks: usize,
+    /// Nodes quarantined by a mid-task crash, summed over racks.
+    pub quarantined_nodes: usize,
+    /// Tasks neither completed nor failed at the end of the run,
+    /// summed over racks.
+    pub outstanding_tasks: usize,
     /// True when every rack drained its queue (false if any hit its
     /// time limit with tasks outstanding).
     pub all_drained: bool,
@@ -154,6 +189,15 @@ impl FacilityReport {
             self.sheds as u64,
             self.power_sheds as u64,
             self.supply_aborts as u64,
+            self.fault_events as u64,
+            self.sensor_faults as u64,
+            self.supply_faults as u64,
+            self.node_crashes as u64,
+            self.failsafe_preemptions as u64,
+            self.requeues as u64,
+            self.failed_tasks as u64,
+            self.quarantined_nodes as u64,
+            self.outstanding_tasks as u64,
             self.all_drained as u64,
         ] {
             eat(bits);
@@ -162,6 +206,18 @@ impl FacilityReport {
             eat(cluster_report_digest(report));
         }
         hash
+    }
+
+    /// The facility-wide task-conservation invariant: every submitted
+    /// task is accounted for as completed, failed-after-retries, or
+    /// outstanding at the end of the run — faults may degrade service,
+    /// never lose work.
+    pub fn task_conservation_holds(&self) -> bool {
+        self.completed + self.failed_tasks + self.outstanding_tasks == self.total_tasks
+            && self
+                .rack_reports
+                .iter()
+                .all(|r| r.task_conservation_holds())
     }
 }
 
@@ -190,6 +246,91 @@ fn percentile_s(sorted_latencies: &[f64], q: f64) -> f64 {
     sorted_latencies[rank - 1]
 }
 
+/// A facility configuration [`FacilityBuilder::try_build`] rejects.
+/// [`FacilityBuilder::build`] panics with the identical [`Display`]
+/// message, so callers migrating from the panicking path keep their
+/// diagnostics byte-for-byte.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FacilityBuildError {
+    /// The settlement epoch is zero windows long.
+    ZeroEpochWindows,
+    /// [`FacilityPolicy::GlobalRationed`] without a facility cap.
+    MissingFacilityCap,
+    /// The facility feed policy rejected the cap/floor/slot shape
+    /// (message from [`FacilityPolicy::validate`]).
+    Policy(String),
+    /// A non-positive or non-finite facility cap.
+    BadFacilityCap,
+    /// A facility cap with no rack supplies to enforce it through.
+    CapWithoutRackSupply,
+    /// A starved rack would head-of-line block forever: the minimum
+    /// dealt share cannot carry a sprint and the defer window is
+    /// infinite.
+    StarvedRackInfiniteDefer {
+        /// The smallest share the facility tier can pin a rack at, W.
+        min_share_w: f64,
+        /// The per-sprint booking local admission demands, W.
+        sprint_draw_w: f64,
+    },
+    /// An invalid row-coupling shape (message text matches the old
+    /// panic).
+    Row(&'static str),
+    /// Traffic routing with fewer tasks than racks.
+    SparseTraffic,
+    /// A per-rack fault plan the cluster tier would reject (message
+    /// from the cluster's own checks).
+    Fault(String),
+    /// A rack spec any [`ClusterBuilder`] check rejects.
+    Rack(ClusterBuildError),
+}
+
+impl std::fmt::Display for FacilityBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroEpochWindows => write!(f, "an epoch needs at least one window"),
+            Self::MissingFacilityCap => {
+                write!(f, "global rationing needs a facility_cap_w to divide")
+            }
+            Self::Policy(msg) | Self::Fault(msg) => write!(f, "{msg}"),
+            Self::BadFacilityCap => write!(f, "a facility cap must be positive and finite"),
+            Self::CapWithoutRackSupply => write!(
+                f,
+                "a facility cap moves each rack's live supply cap: give racks a rack_supply"
+            ),
+            Self::StarvedRackInfiniteDefer {
+                min_share_w,
+                sprint_draw_w,
+            } => write!(
+                f,
+                "a {min_share_w} W share cannot carry a {sprint_draw_w} W sprint: \
+                 an infinite defer window would head-of-line block a starved \
+                 rack until its time limit — use a finite defer_s"
+            ),
+            Self::Row(msg) => write!(f, "{msg}"),
+            Self::SparseTraffic => write!(f, "traffic must carry at least one task per rack"),
+            Self::Rack(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FacilityBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Rack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterBuildError> for FacilityBuildError {
+    fn from(e: ClusterBuildError) -> Self {
+        Self::Rack(e)
+    }
+}
+
 /// Composes rack specs, row coupling and the facility feed into a
 /// [`Facility`]. Defaults mirror [`ClusterBuilder`]'s: the paper's
 /// 16-core machine per node, `hpca_parallel` sprints, greedy-headroom
@@ -211,6 +352,10 @@ pub struct FacilityBuilder {
     epoch_windows: u64,
     traffic: Option<TrafficParams>,
     rack_tasks: Vec<Vec<ClusterTask>>,
+    rack_faults: Vec<Option<FaultPlan>>,
+    fault_rates: Option<FaultRates>,
+    fault_seed: u64,
+    fault_response: FaultResponse,
     event_driven: bool,
 }
 
@@ -239,6 +384,10 @@ impl FacilityBuilder {
             epoch_windows: 200,
             traffic: None,
             rack_tasks: vec![Vec::new(); racks],
+            rack_faults: vec![None; racks],
+            fault_rates: None,
+            fault_seed: 2012,
+            fault_response: FaultResponse::Aware,
             event_driven: false,
         }
     }
@@ -361,22 +510,65 @@ impl FacilityBuilder {
         self
     }
 
+    /// Injects seeded faults into every rack: each derives its own
+    /// [`FaultPlan::seeded`] schedule from
+    /// [`fault_seed`](Self::fault_seed) (distinct per-rack streams, the
+    /// same mixing as rack traffic) over a horizon covering the rack's
+    /// time limit. All-zero rates leave every rack fault-free.
+    pub fn fault_rates(mut self, rates: FaultRates) -> Self {
+        self.fault_rates = Some(rates);
+        self
+    }
+
+    /// Seeds the per-rack fault streams (default 2012).
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Sets every derived fault plan's scheduler reaction (default
+    /// [`FaultResponse::Aware`]: failsafe throttles, quarantine,
+    /// retry). [`FaultResponse::Oblivious`] is the comparison baseline
+    /// that believes faulted telemetry.
+    pub fn fault_response(mut self, response: FaultResponse) -> Self {
+        self.fault_response = response;
+        self
+    }
+
+    /// Installs an explicit fault plan on one rack (overrides
+    /// [`fault_rates`](Self::fault_rates) for that rack).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range rack index.
+    pub fn fault_on(mut self, rack: usize, plan: FaultPlan) -> Self {
+        self.rack_faults[rack] = Some(plan);
+        self
+    }
+
     /// Builds the facility: per-rack specs (tasks routed from traffic
     /// or the explicit lists) plus the settlement configuration.
     ///
     /// # Panics
     ///
-    /// Panics on an invalid settlement configuration: zero epoch
-    /// windows; global rationing without rack supplies or a facility
-    /// cap, or with a cap/floor the racks cannot satisfy; a row
-    /// coupling whose inlet ceiling violates a rack's thermal limit or
-    /// PCM melting point; traffic with fewer tasks than racks; or a
-    /// rack config any [`ClusterBuilder`] check rejects.
+    /// Panics where [`try_build`](Self::try_build) would err, with the
+    /// identical message.
     pub fn build(self) -> Facility {
-        assert!(
-            self.epoch_windows >= 1,
-            "an epoch needs at least one window"
-        );
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the facility, reporting an invalid settlement
+    /// configuration as a typed [`FacilityBuildError`] instead of
+    /// panicking: zero epoch windows; global rationing without rack
+    /// supplies or a facility cap, or with a cap/floor the racks cannot
+    /// satisfy; a row coupling whose inlet ceiling violates a rack's
+    /// thermal limit or PCM melting point; traffic with fewer tasks
+    /// than racks; a fault plan targeting nodes a rack does not have;
+    /// or a rack config any [`ClusterBuilder`] check rejects.
+    pub fn try_build(self) -> Result<Facility, FacilityBuildError> {
+        if self.epoch_windows < 1 {
+            return Err(FacilityBuildError::ZeroEpochWindows);
+        }
         let nameplate: Vec<f64> = (0..self.racks)
             .map(|_| self.supply.map_or(f64::INFINITY, |s| s.cap_w))
             .collect();
@@ -387,79 +579,112 @@ impl FacilityBuilder {
             FacilityPolicy::GlobalRationed { floor_w, .. } => {
                 let cap = self
                     .facility_cap_w
-                    .expect("global rationing needs a facility_cap_w to divide");
-                self.facility_policy.validate(cap, &nameplate);
+                    .ok_or(FacilityBuildError::MissingFacilityCap)?;
+                self.facility_policy
+                    .check(cap, &nameplate)
+                    .map_err(FacilityBuildError::Policy)?;
                 Some(floor_w)
             }
             FacilityPolicy::PerRack => {
                 if let Some(cap) = self.facility_cap_w {
-                    assert!(
-                        cap.is_finite() && cap > 0.0,
-                        "a facility cap must be positive and finite"
-                    );
+                    if !(cap.is_finite() && cap > 0.0) {
+                        return Err(FacilityBuildError::BadFacilityCap);
+                    }
                 }
                 self.facility_cap_w.map(|cap| cap / self.racks as f64)
             }
         };
         if let Some(min_share_w) = min_share_w {
-            assert!(
-                self.supply.is_some(),
-                "a facility cap moves each rack's live supply cap: give racks a rack_supply"
-            );
+            if self.supply.is_none() {
+                return Err(FacilityBuildError::CapWithoutRackSupply);
+            }
             // A rack parked at the minimum share with power-rationed
             // local admission can never admit a sprint if that share
             // cannot carry one; with an infinite defer window its queue
             // would head-of-line block until the time limit. Demand a
             // finite defer so starved racks degrade to sustained runs.
             if let PowerPolicy::Rationed { sprint_draw_w, .. } = self.power {
-                if min_share_w < sprint_draw_w {
-                    assert!(
-                        self.policy.defer_window_s() != Some(f64::INFINITY),
-                        "a {min_share_w} W share cannot carry a {sprint_draw_w} W sprint: \
-                         an infinite defer window would head-of-line block a starved \
-                         rack until its time limit — use a finite defer_s"
-                    );
+                if min_share_w < sprint_draw_w
+                    && self.policy.defer_window_s() == Some(f64::INFINITY)
+                {
+                    return Err(FacilityBuildError::StarvedRackInfiniteDefer {
+                        min_share_w,
+                        sprint_draw_w,
+                    });
                 }
             }
         }
         if let Some(row) = self.row {
-            assert!(row.racks_per_row >= 1, "a row needs at least one rack");
-            assert!(
-                row.recirc_k_per_w >= 0.0 && row.recirc_k_per_w.is_finite(),
-                "recirculation coefficient must be finite and non-negative"
-            );
-            assert!(
-                row.crac_capacity_w >= 0.0,
-                "CRAC capacity must be non-negative"
-            );
+            if row.racks_per_row < 1 {
+                return Err(FacilityBuildError::Row("a row needs at least one rack"));
+            }
+            if !(row.recirc_k_per_w >= 0.0 && row.recirc_k_per_w.is_finite()) {
+                return Err(FacilityBuildError::Row(
+                    "recirculation coefficient must be finite and non-negative",
+                ));
+            }
+            if row.crac_capacity_w < 0.0 {
+                return Err(FacilityBuildError::Row(
+                    "CRAC capacity must be non-negative",
+                ));
+            }
             if row.recirc_k_per_w > 0.0 {
-                assert!(
-                    row.max_inlet_c >= self.thermal.ambient_c,
-                    "the inlet ceiling sits below the commissioned ambient"
-                );
-                assert!(
-                    row.max_inlet_c < self.thermal.t_max_c,
-                    "the inlet ceiling must stay below the racks' thermal limit"
-                );
+                if row.max_inlet_c < self.thermal.ambient_c {
+                    return Err(FacilityBuildError::Row(
+                        "the inlet ceiling sits below the commissioned ambient",
+                    ));
+                }
+                if row.max_inlet_c >= self.thermal.t_max_c {
+                    return Err(FacilityBuildError::Row(
+                        "the inlet ceiling must stay below the racks' thermal limit",
+                    ));
+                }
                 for layer in &self.thermal.layers {
                     if let Some(pc) = &layer.phase_change {
-                        assert!(
-                            row.max_inlet_c < pc.melt_temp_c,
-                            "the inlet ceiling must stay below the PCM melting point"
-                        );
+                        if row.max_inlet_c >= pc.melt_temp_c {
+                            return Err(FacilityBuildError::Row(
+                                "the inlet ceiling must stay below the PCM melting point",
+                            ));
+                        }
                     }
                 }
             }
         }
-        let mut specs = Vec::with_capacity(self.racks);
+        // Derive per-rack fault plans: an explicit plan wins, otherwise
+        // the seeded rates (each rack on its own stream, mixed exactly
+        // as rack traffic seeds are) over a horizon covering the rack's
+        // whole time limit.
+        let nodes = self.thermal.floorplan.core_count();
+        let window_s = self.config.sample_window_ps as f64 * 1e-12;
+        let horizon_windows = (self.max_time_s / window_s).ceil() as u64;
+        let mut faults = Vec::with_capacity(self.racks);
         for rack in 0..self.racks {
+            let plan = match (&self.rack_faults[rack], self.fault_rates) {
+                (Some(plan), _) => Some(plan.clone()),
+                (None, Some(rates)) => {
+                    let seed = self
+                        .fault_seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(rack as u64 + 1));
+                    Some(
+                        FaultPlan::seeded(seed, nodes, horizon_windows, rates)
+                            .with_response(self.fault_response),
+                    )
+                }
+                (None, None) => None,
+            };
+            if let Some(plan) = &plan {
+                check_fault_plan(plan, nodes)?;
+            }
+            faults.push(plan);
+        }
+        let mut specs = Vec::with_capacity(self.racks);
+        for (rack, fault) in faults.into_iter().enumerate() {
             let tasks = if !self.rack_tasks[rack].is_empty() {
                 self.rack_tasks[rack].clone()
             } else if let Some(base) = &self.traffic {
-                assert!(
-                    base.tasks >= self.racks,
-                    "traffic must carry at least one task per rack"
-                );
+                if base.tasks < self.racks {
+                    return Err(FacilityBuildError::SparseTraffic);
+                }
                 rack_traffic(base, rack, self.racks)
                     .generate()
                     .into_iter()
@@ -481,22 +706,50 @@ impl FacilityBuilder {
                 power: self.power,
                 supply: self.supply,
                 tasks,
+                fault,
                 trace_capacity: self.trace_capacity,
                 max_time_s: self.max_time_s,
             });
         }
         // Fail fast on rack configs ClusterBuilder would reject — at
         // build time on the caller's thread, not inside a worker.
-        drop(specs[0].build());
-        Facility {
+        drop(specs[0].try_build()?);
+        Ok(Facility {
             specs,
             row: self.row,
             policy: self.facility_policy,
             facility_cap_w: self.facility_cap_w.unwrap_or(f64::INFINITY),
             epoch_windows: self.epoch_windows,
             event_driven: self.event_driven,
-        }
+        })
     }
+}
+
+/// The cluster tier's fault-plan shape checks, as values: every rack's
+/// plan is vetted on the builder's thread, not inside a worker whose
+/// panic would poison the facility channels mid-run.
+fn check_fault_plan(plan: &FaultPlan, nodes: usize) -> Result<(), FacilityBuildError> {
+    if plan.backoff_windows == 0 {
+        return Err(FacilityBuildError::Fault(
+            "retry backoff must be at least one window".into(),
+        ));
+    }
+    if let Some(e) = plan.events.iter().find(|e| (e.node as usize) >= nodes) {
+        return Err(FacilityBuildError::Fault(format!(
+            "fault plan targets node {} but the cluster has {nodes}",
+            e.node
+        )));
+    }
+    if !plan
+        .events
+        .windows(2)
+        .all(|p| (p[0].window, p[0].node) <= (p[1].window, p[1].node))
+    {
+        return Err(FacilityBuildError::Fault(
+            "fault plan must be sorted by (window, node)".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Derives rack `rack`'s traffic stream from the facility-wide base:
@@ -553,7 +806,9 @@ impl Facility {
     /// # Panics
     ///
     /// Panics on zero threads, or if a worker thread panics (a rack
-    /// config error or a poisoned channel).
+    /// config error or a poisoned channel) — the worker's own message
+    /// is forwarded and re-raised rather than deadlocking the
+    /// settlement barrier on the dead worker's racks.
     pub fn run(&self, threads: usize) -> FacilityReport {
         assert!(threads >= 1, "the facility needs at least one worker");
         let n = self.specs.len();
@@ -564,6 +819,29 @@ impl Facility {
             .map(|s| s.supply.map_or(f64::INFINITY, |p| p.cap_w))
             .collect();
         let base_inlet: Vec<f64> = self.specs.iter().map(|s| s.thermal.ambient_c).collect();
+        // Racks whose fault plan runs degradation-aware report their
+        // quarantine losses to the feed tier: the settlement sees a
+        // dead node's share of the rack nameplate as gone and re-deals
+        // it. Oblivious racks keep claiming their full nameplate.
+        let fault_aware: Vec<bool> = self
+            .specs
+            .iter()
+            .map(|s| {
+                s.fault
+                    .as_ref()
+                    .is_some_and(|p| p.response == FaultResponse::Aware)
+            })
+            .collect();
+        // The feed tier mirrors the supply tier's decommissioning rule
+        // (the last commissioned node always keeps the full feed): even
+        // a fully-quarantined rack is never ceded below one node's
+        // share, so the settlement can never provision a rack's busbar
+        // to the zero watts `RackSupply::set_cap_w` rejects.
+        let min_alive: Vec<f64> = self
+            .specs
+            .iter()
+            .map(|s| 1.0 / s.thermal.floorplan.core_count() as f64)
+            .collect();
 
         thread::scope(|scope| {
             let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
@@ -576,8 +854,27 @@ impl Facility {
                     .map(|r| (r, self.specs[r].clone()))
                     .collect();
                 let tx = reply_tx.clone();
+                let panic_tx = reply_tx.clone();
                 let event_driven = self.event_driven;
-                scope.spawn(move || shard::worker(owned, event_driven, cmd_rx, tx));
+                scope.spawn(move || {
+                    // Forward a worker panic through the reply channel
+                    // before re-raising it: with several workers, the
+                    // survivors keep the channel open, so without this
+                    // the settlement barrier would wait on the dead
+                    // worker's racks forever instead of failing.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        shard::worker(owned, event_driven, cmd_rx, tx)
+                    }));
+                    if let Err(payload) = result {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        let _ = panic_tx.send(Reply::Panic(msg));
+                        std::panic::resume_unwind(payload);
+                    }
+                });
             }
             drop(reply_tx);
 
@@ -585,14 +882,27 @@ impl Facility {
             let mut last_cap = nameplate.clone();
             let mut heat = vec![0.0f64; n];
             let mut demand = vec![0usize; n];
+            let mut alive = vec![1.0f64; n];
             let mut terminal = vec![false; n];
             let mut epochs = 0u64;
             let mut peak_inlet_c = base_inlet.iter().copied().fold(f64::MIN, f64::max);
 
             loop {
                 // Settle, in rack index order, from last epoch's
-                // telemetry: facility cap shares...
-                let caps = self.policy.settle(self.facility_cap_w, &nameplate, &demand);
+                // telemetry: facility cap shares (dealt against each
+                // rack's *effective* nameplate — a degradation-aware
+                // rack that quarantined nodes cedes their share of the
+                // feed back to the pool)...
+                let effective: Vec<f64> = (0..n)
+                    .map(|r| {
+                        if fault_aware[r] {
+                            nameplate[r] * alive[r].max(min_alive[r])
+                        } else {
+                            nameplate[r]
+                        }
+                    })
+                    .collect();
+                let caps = self.policy.settle(self.facility_cap_w, &effective, &demand);
                 // ...and row inlets.
                 let mut inputs = vec![
                     RackInputs {
@@ -644,9 +954,11 @@ impl Facility {
                         Reply::Epoch(rack, stats) => {
                             heat[rack] = stats.heat_w;
                             demand[rack] = stats.backlog + stats.sprinting;
+                            alive[rack] = stats.alive_frac;
                             terminal[rack] = stats.terminal;
                         }
                         Reply::Final(..) => unreachable!("Final before Finish"),
+                        Reply::Panic(msg) => panic!("facility worker panicked: {msg}"),
                     }
                 }
                 epochs += 1;
@@ -664,6 +976,7 @@ impl Facility {
                 match reply_rx.recv().expect("worker thread hung up at finish") {
                     Reply::Final(rack, report, outcome) => finals[rack] = Some((report, outcome)),
                     Reply::Epoch(..) => unreachable!("Epoch after Finish"),
+                    Reply::Panic(msg) => panic!("facility worker panicked: {msg}"),
                 }
             }
 
@@ -719,6 +1032,15 @@ impl Facility {
             sheds: rack_reports.iter().map(|r| r.sheds).sum(),
             power_sheds: rack_reports.iter().map(|r| r.power_sheds).sum(),
             supply_aborts: rack_reports.iter().map(|r| r.supply_aborts).sum(),
+            fault_events: rack_reports.iter().map(|r| r.fault_events).sum(),
+            sensor_faults: rack_reports.iter().map(|r| r.sensor_faults).sum(),
+            supply_faults: rack_reports.iter().map(|r| r.supply_faults).sum(),
+            node_crashes: rack_reports.iter().map(|r| r.node_crashes).sum(),
+            failsafe_preemptions: rack_reports.iter().map(|r| r.failsafe_preemptions).sum(),
+            requeues: rack_reports.iter().map(|r| r.requeues).sum(),
+            failed_tasks: rack_reports.iter().map(|r| r.failed_tasks).sum(),
+            quarantined_nodes: rack_reports.iter().map(|r| r.quarantined_nodes).sum(),
+            outstanding_tasks: rack_reports.iter().map(|r| r.outstanding_tasks).sum(),
             all_drained,
             rack_reports,
         }
@@ -763,6 +1085,15 @@ mod tests {
             sheds: 0,
             power_sheds: 0,
             supply_aborts: 0,
+            fault_events: 0,
+            sensor_faults: 0,
+            supply_faults: 0,
+            node_crashes: 0,
+            failsafe_preemptions: 0,
+            requeues: 0,
+            failed_tasks: 0,
+            quarantined_nodes: 0,
+            outstanding_tasks: 0,
             outcomes,
             node_reports: Vec::new(),
         }

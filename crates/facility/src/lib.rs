@@ -59,6 +59,25 @@
 //! standalone [`ClusterSession`](sprint_cluster::ClusterSession) run
 //! byte for byte: the facility layer's observer effect is zero.
 //!
+//! # Faults at facility scale
+//!
+//! [`FacilityBuilder::fault_rates`] derives one seeded
+//! `sprint_core::fault::FaultPlan` per rack (distinct per-rack
+//! streams, the same seed mixing as rack traffic), and
+//! [`FacilityBuilder::fault_on`] installs explicit plans. Each rack
+//! degrades locally — failsafe throttles, crash re-enqueue with
+//! bounded retries, quarantine — and under
+//! `sprint_core::fault::FaultResponse::Aware` reports its surviving
+//! node fraction at the settlement barrier, where the feed tier
+//! re-deals a degraded rack's ceded nameplate share to healthy racks.
+//! [`FacilityReport`] sums every rack's fault/retry/quarantine
+//! counters and pins facility-wide task conservation
+//! ([`FacilityReport::task_conservation_holds`]): arrivals are never
+//! lost, only finished, failed after retries, or left outstanding at
+//! the time limit. Fault ticks ride the same event heap as everything
+//! else, so faulted facilities keep the any-worker-count digest
+//! guarantee.
+//!
 //! # Quick start
 //!
 //! ```
@@ -85,14 +104,16 @@ pub mod policy;
 mod shard;
 
 pub use facility::{
-    cluster_report_digest, Facility, FacilityBuilder, FacilityReport, RackSpec, RowParams,
+    cluster_report_digest, Facility, FacilityBuildError, FacilityBuilder, FacilityReport, RackSpec,
+    RowParams,
 };
 pub use policy::FacilityPolicy;
 
 /// Commonly-used items in one import.
 pub mod prelude {
     pub use crate::facility::{
-        cluster_report_digest, Facility, FacilityBuilder, FacilityReport, RackSpec, RowParams,
+        cluster_report_digest, Facility, FacilityBuildError, FacilityBuilder, FacilityReport,
+        RackSpec, RowParams,
     };
     pub use crate::policy::FacilityPolicy;
 }

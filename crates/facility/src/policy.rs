@@ -52,27 +52,37 @@ impl FacilityPolicy {
     /// above some rack's nameplate, or a facility cap that cannot cover
     /// every rack's floor.
     pub fn validate(&self, facility_cap_w: f64, nameplate_w: &[f64]) {
-        if let FacilityPolicy::GlobalRationed { floor_w, slot_w } = self {
-            assert!(
-                floor_w.is_finite() && *floor_w > 0.0,
-                "rationing floor must be positive"
-            );
-            assert!(
-                slot_w.is_finite() && *slot_w > 0.0,
-                "rationing slot must be positive"
-            );
-            for (rack, &np) in nameplate_w.iter().enumerate() {
-                assert!(
-                    *floor_w <= np,
-                    "rationing floor {floor_w} W exceeds rack {rack}'s {np} W nameplate"
-                );
-            }
-            assert!(
-                facility_cap_w >= *floor_w * nameplate_w.len() as f64,
-                "facility cap {facility_cap_w} W cannot cover {} racks at the {floor_w} W floor",
-                nameplate_w.len()
-            );
+        if let Err(msg) = self.check(facility_cap_w, nameplate_w) {
+            panic!("{msg}");
         }
+    }
+
+    /// The checked core of [`validate`](Self::validate): the same
+    /// diagnostics as values instead of panics, for
+    /// [`FacilityBuilder::try_build`](crate::FacilityBuilder::try_build).
+    pub(crate) fn check(&self, facility_cap_w: f64, nameplate_w: &[f64]) -> Result<(), String> {
+        if let FacilityPolicy::GlobalRationed { floor_w, slot_w } = self {
+            if !(floor_w.is_finite() && *floor_w > 0.0) {
+                return Err("rationing floor must be positive".into());
+            }
+            if !(slot_w.is_finite() && *slot_w > 0.0) {
+                return Err("rationing slot must be positive".into());
+            }
+            for (rack, &np) in nameplate_w.iter().enumerate() {
+                if *floor_w > np {
+                    return Err(format!(
+                        "rationing floor {floor_w} W exceeds rack {rack}'s {np} W nameplate"
+                    ));
+                }
+            }
+            if facility_cap_w < *floor_w * nameplate_w.len() as f64 {
+                return Err(format!(
+                    "facility cap {facility_cap_w} W cannot cover {} racks at the {floor_w} W floor",
+                    nameplate_w.len()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Settles one epoch: the per-rack cap vector, or `None` when this

@@ -84,6 +84,9 @@ pub(crate) struct RackEpochStats {
     pub backlog: usize,
     /// Nodes currently holding a sprint grant.
     pub sprinting: usize,
+    /// Fraction of the rack's nodes not quarantined by crashes (1.0
+    /// for a healthy rack).
+    pub alive_frac: f64,
     /// Whether the rack can make no further progress.
     pub terminal: bool,
 }
@@ -109,6 +112,11 @@ pub(crate) enum Reply {
     Epoch(usize, RackEpochStats),
     /// Final per-rack report and outcome after `Finish`.
     Final(usize, Box<ClusterReport>, ClusterOutcome),
+    /// A worker died mid-run: its panic message, re-raised by the
+    /// driver. Without this a surviving worker's open channel would
+    /// park the settlement barrier's `recv` forever — the run must
+    /// fail with the worker's diagnostic, not hang.
+    Panic(String),
 }
 
 /// The worker loop: builds the owned racks (on the driver the facility
@@ -155,6 +163,7 @@ pub(crate) fn worker(
                         heat_w: session.rack_heat_w(),
                         backlog: session.ready_backlog(),
                         sprinting: session.sprinting_count(),
+                        alive_frac: session.alive_fraction(),
                         terminal: outcome.is_terminal(),
                     };
                     if tx.send(Reply::Epoch(*rack, stats)).is_err() {

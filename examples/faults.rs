@@ -1,0 +1,199 @@
+//! Fault injection across the sprint stack: seeded sensor lies, supply
+//! sags and node crashes on a small facility, with graceful degradation
+//! measured against a fault-oblivious control.
+//!
+//! The same seeded fault plans drive every run here, so the study
+//! compares *policies*, never luck:
+//!
+//! * **aware** — faulted sensors read as worst-case hot (failsafe
+//!   preemption instead of blind sprinting), crashed nodes are
+//!   quarantined with their nameplate share returned to the rack pool,
+//!   and the facility tier re-deals the feed by each rack's surviving
+//!   capacity;
+//! * **oblivious** — the scheduler consumes the lying sensor values and
+//!   keeps budgeting watts for dead nodes. Crash recovery (re-enqueue
+//!   with bounded retries) stays on in both modes: losing a task is a
+//!   bug, not a policy.
+//!
+//! Whatever the plans do, two invariants are non-negotiable and
+//! asserted here (the CI fault-matrix job runs both profiles):
+//!
+//! 1. *determinism* — the event-driven facility reproduces the lockstep
+//!    oracle's report digest byte for byte at 1, 2 and 8 workers;
+//! 2. *conservation* — every arrival ends completed, failed after
+//!    retries, or still outstanding at the time limit. Nothing vanishes.
+//!
+//! ```text
+//! cargo run --release --example faults
+//! ```
+//!
+//! Knobs: `SPRINT_FAULTS_PROFILE` (`aware` | `oblivious`; selects the
+//! profile put through the full determinism sweep — the closing table
+//! always shows both), `SPRINT_FAULTS_RACKS`, `SPRINT_FAULTS_TASKS`.
+
+use computational_sprinting::prelude::*;
+
+/// Thermal/electrical time compression (so the example runs in seconds).
+const COMPRESS: f64 = 3000.0;
+/// Seed for both the arrival streams and (xor-folded) the fault plans.
+const SEED: u64 = 5;
+
+fn knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Fault rates sized to the fixture's ~10k-window horizon: enough
+/// onsets that every fault family provably fires, crashes rare enough
+/// that part of the fleet survives to show the degradation gradient
+/// (a busy-crash quarantine is permanent).
+fn biting_rates() -> FaultRates {
+    FaultRates {
+        mean_sensor_gap_windows: 400,
+        sensor_hold_windows: 200,
+        mean_crash_gap_windows: 20_000,
+        crash_hold_windows: 300,
+        mean_supply_gap_windows: 800,
+        supply_hold_windows: 250,
+    }
+}
+
+// This run mirrors the facility crate's fault determinism suite
+// (`crates/facility/tests/faults.rs`) — the example asserts the same
+// invariants through the public facade, so a regression in either
+// place fails CI twice over.
+fn study(racks: usize, tasks: usize, event_driven: bool, response: FaultResponse) -> Facility {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    FacilityBuilder::new(racks)
+        .rack_thermal(GridThermalParams::rack(2, 1).time_scaled(COMPRESS))
+        .rack_supply(RackSupplyParams::rack(2).time_scaled(COMPRESS))
+        .config(cfg)
+        .policy(ClusterPolicy::GreedyHeadroom {
+            admit_headroom_k: 15.0,
+            shed_headroom_k: 4.0,
+            min_sprinting: 1,
+            defer_s: 2e-4,
+        })
+        .power_policy(PowerPolicy::Rationed {
+            sprint_draw_w: 14.0,
+            shed_reserve_fraction: 0.5,
+        })
+        .row(RowParams {
+            racks_per_row: 4,
+            recirc_k_per_w: 0.05,
+            crac_capacity_w: 8.0,
+            max_inlet_c: 40.0,
+        })
+        .facility_policy(FacilityPolicy::GlobalRationed {
+            floor_w: 7.5,
+            slot_w: 14.0,
+        })
+        .facility_cap_w(14.5 * racks as f64)
+        .epoch_windows(32)
+        // Finite horizon: a rack whose quarantined nodes strand part of
+        // the queue must still terminate, with the remainder reported
+        // as outstanding rather than spun on forever.
+        .max_time_s(0.05)
+        .traffic({
+            let mut traffic = TrafficParams::frontend(SEED, tasks, 60_000.0);
+            traffic.size_weights = [1.0, 0.0, 0.0, 0.0];
+            traffic
+        })
+        .fault_rates(biting_rates())
+        .fault_seed(SEED ^ 0xFA17)
+        .fault_response(response)
+        .event_driven(event_driven)
+        .build()
+}
+
+fn assert_conserved(label: &str, report: &FacilityReport) {
+    assert!(
+        report.task_conservation_holds(),
+        "{label}: a task was lost: {} completed + {} failed + {} outstanding != {}",
+        report.completed,
+        report.failed_tasks,
+        report.outstanding_tasks,
+        report.total_tasks,
+    );
+}
+
+fn row(label: &str, report: &FacilityReport) {
+    println!(
+        "{label:10} p99 {:7.3} ms | done {:3} | failed {:2} | stranded {:2} | \
+         requeues {:3} | failsafe {:3} | quarantined {:2}",
+        report.p99_latency_s * 1e3,
+        report.completed,
+        report.failed_tasks,
+        report.outstanding_tasks,
+        report.requeues,
+        report.failsafe_preemptions,
+        report.quarantined_nodes,
+    );
+}
+
+fn main() {
+    let racks = knob("SPRINT_FAULTS_RACKS", 4);
+    let tasks = knob("SPRINT_FAULTS_TASKS", 24);
+    let profile = match std::env::var("SPRINT_FAULTS_PROFILE").as_deref() {
+        Ok("oblivious") => FaultResponse::Oblivious,
+        Ok("aware") | Err(_) => FaultResponse::Aware,
+        Ok(other) => panic!("SPRINT_FAULTS_PROFILE must be aware|oblivious, got {other}"),
+    };
+    println!(
+        "== {racks} racks x 2 servers, {tasks} tasks, seeded faults \
+         (profile under sweep: {profile:?}) ==\n"
+    );
+
+    // The lockstep golden oracle, then the event core at three worker
+    // counts: all four runs must be byte-identical under the plans.
+    let oracle = study(racks, tasks, false, profile).run(1);
+    assert!(oracle.fault_events > 0, "the fault plans never fired");
+    assert!(oracle.sensor_faults > 0, "no sensor ever faulted");
+    assert!(oracle.supply_faults > 0, "no supply ever faulted");
+    assert!(oracle.node_crashes > 0, "no node ever crashed");
+    assert_conserved("oracle", &oracle);
+    for threads in [1usize, 2, 8] {
+        let report = study(racks, tasks, true, profile).run(threads);
+        assert_eq!(
+            oracle.digest(),
+            report.digest(),
+            "event-driven facility at {threads} workers diverged from the \
+             lockstep oracle under faults"
+        );
+        assert_conserved("event", &report);
+    }
+    println!(
+        "determinism: lockstep oracle == event core at 1/2/8 workers \
+         (digest {:016x}); {} fault events bit ({} sensor, {} supply, \
+         {} crashes), nothing lost.\n",
+        oracle.digest(),
+        oracle.fault_events,
+        oracle.sensor_faults,
+        oracle.supply_faults,
+        oracle.node_crashes,
+    );
+
+    // The degradation comparison: identical plans, opposite responses.
+    let aware = study(racks, tasks, true, FaultResponse::Aware).run(2);
+    let oblivious = study(racks, tasks, true, FaultResponse::Oblivious).run(2);
+    assert_conserved("aware", &aware);
+    assert_conserved("oblivious", &oblivious);
+    assert_ne!(
+        aware.digest(),
+        oblivious.digest(),
+        "Aware and Oblivious produced identical runs — the faults never \
+         touched a scheduling decision"
+    );
+    row("aware", &aware);
+    row("oblivious", &oblivious);
+    println!(
+        "\nthe aware profile trades throughput for honesty: faulted sensors \
+         read worst-case hot (failsafe preemptions above), dead nodes give \
+         their watts back, and the feed follows surviving capacity. The \
+         oblivious control schedules on the lies instead — same plans, same \
+         seeds, different physics."
+    );
+}

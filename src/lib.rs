@@ -25,7 +25,10 @@
 //!   shared CRAC airflow and a facility feed, with a global
 //!   sprint-admission tier rationing facility headroom across racks,
 //!   sharded deterministically over worker threads
-//!   (`examples/facility.rs`, `repro facility`).
+//!   (`examples/facility.rs`, `repro facility`), with seeded
+//!   deterministic fault injection — sensor lies, supply sags, node
+//!   crashes — and graceful degradation spanning every tier
+//!   (`examples/faults.rs`, `repro faults`).
 //!
 //! # Quick start
 //!
@@ -84,17 +87,19 @@ pub use sprint_workloads as workloads;
 pub mod prelude {
     pub use sprint_archsim::{Machine, MachineConfig};
     pub use sprint_cluster::{
-        ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterPolicy, ClusterReport, ClusterSession,
-        ClusterTask, NodeSupplyView, NodeThermalView, PowerPolicy, RackSupply, RackSupplyParams,
-        RackThermal, TaskOutcome,
+        ClusterBuildError, ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterPolicy,
+        ClusterReport, ClusterSession, ClusterTask, NodeSupplyView, NodeThermalView, PowerPolicy,
+        RackSupply, RackSupplyParams, RackThermal, TaskOutcome,
     };
     pub use sprint_core::{
-        ControllerEvent, EfficiencyCurve, ExecutionMode, HotspotPolicy, IdealSupply, LumpedThermal,
-        PinLimited, PowerSupply, Regulator, RunReport, ScenarioBuilder, SessionObserver,
-        SprintConfig, SprintSession, SprintSystem, StepOutcome, SupplyPolicy, ThermalModel,
+        ControllerEvent, EfficiencyCurve, ExecutionMode, FaultEvent, FaultKind, FaultPlan,
+        FaultRates, FaultResponse, HotspotPolicy, IdealSupply, LumpedThermal, PinLimited,
+        PowerSupply, Regulator, RunReport, ScenarioBuilder, SessionObserver, SprintConfig,
+        SprintSession, SprintSystem, StepOutcome, SupplyPolicy, ThermalModel,
     };
     pub use sprint_facility::{
-        Facility, FacilityBuilder, FacilityPolicy, FacilityReport, RackSpec, RowParams,
+        Facility, FacilityBuildError, FacilityBuilder, FacilityPolicy, FacilityReport, RackSpec,
+        RowParams,
     };
     pub use sprint_powersource::{Battery, HybridSupply, PackagePins, Ultracapacitor};
     pub use sprint_thermal::{
