@@ -614,7 +614,11 @@ impl ClusterBuilder {
                 });
             }
         }
-        let rack = RackThermal::new(self.rack_params.build());
+        // One env var (`SPRINT_SOLVER_THREADS`) sweeps every cluster's
+        // ADI lane count; threaded sweeps are byte-identical to serial,
+        // so this is a pure wall-clock knob (and the CI determinism
+        // matrix relies on exactly that).
+        let rack = RackThermal::new(self.rack_params.with_env_solver_threads().build());
         let nodes_n = rack.nodes();
         let supply_pool = self
             .supply_params

@@ -55,11 +55,65 @@
 //!   Prefer it for fine grids (16x16 and up), long scenarios, and
 //!   rack-scale floorplans; its traces are deterministic but *not*
 //!   bit-identical to the explicit solver's.
+//!
+//! ## Batched and threaded sweeps
+//!
+//! The ADI sweeps are hundreds of *independent* tridiagonal lines per
+//! sub-step (one per row, column and vertical cell stack), and the
+//! engine exploits that on two axes:
+//!
+//! * **Batching (always on).** Lines of a sweep are solved as lanes of
+//!   one structure-of-arrays pass ([`crate::tridiag`]'s `solve_batch` /
+//!   `solve_planar`): the Thomas recurrence is a serially-dependent
+//!   chain *within* a line, but lanes are independent, so laying lines
+//!   side by side turns the latency-bound per-line chain into
+//!   unit-stride inner loops the auto-vectorizer chews whole `f64`
+//!   lanes at a time. Every lane performs the per-line arithmetic in
+//!   the per-line order, so batched sweeps are bit-identical to
+//!   line-at-a-time sweeps (pinned by the tridiag property tests and
+//!   the in-module reference-equivalence tests).
+//!
+//! * **Threading ([`GridThermalParams::solver_threads`], default 1).**
+//!   On a PCM-free grid (the rack/facility scale case) the sweep lines
+//!   and the per-cell operator evaluation fan out across a small
+//!   persistent worker pool ([`crate::pool::SolverPool`]). Determinism
+//!   rules: the line→lane assignment is a fixed pure function of the
+//!   counts, concurrent writes land in lane-disjoint cells, and the one
+//!   cross-line reduction (`boundary_absorbed_j`) is re-accumulated by
+//!   the caller in ascending cell order — so traces are **byte-identical
+//!   at 1, 2 or 8 threads** and to the serial engine
+//!   (`tests/grid_threads.rs` pins it). `solver_threads: 1` runs
+//!   today's serial code path untouched. Grids *with* PCM integrate
+//!   serially regardless (still batched): the phase-state relineariza-
+//!   tion is per-sub-step and cheap next to the sweeps it gates.
+//!   Guidance: threads only pay where a sweep has enough lines to
+//!   amortize two condvar round-trips per region — rack grids (32x32
+//!   and up) benefit; die-scale grids (16x16 and below) should stay
+//!   single-threaded. The `SPRINT_SOLVER_THREADS` env var overrides
+//!   the builder default via
+//!   [`GridThermalParams::with_env_solver_threads`] (the
+//!   cluster/facility builders and examples apply it).
+//!
+//! ## Automatic explicit fallback
+//!
+//! An ADI sub-step costs several explicit sub-steps' worth of work
+//! (operator evaluation plus three sweeps). On coarse or strongly
+//! time-compressed grids the explicit stability bound can be so close
+//! to the ADI accuracy bound that implicit sweeps are pure overhead, so
+//! when [`GridThermalParams::adi_explicit_fallback`] is on (the
+//! default), a window whose explicit sub-step count is within
+//! [`ADI_FALLBACK_COST_RATIO`]x of its ADI sub-step count integrates
+//! explicitly instead — per `advance` call, from the same state, with
+//! the same invariants. Disable it to pin the ADI path itself (as the
+//! solver-equivalence tests do).
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::floorplan::Floorplan;
 use crate::phone::PhoneThermalParams;
+use crate::pool::{lane_range, SolverPool};
 use crate::tridiag::{Tridiag, TridiagFactor};
 
 /// Integration scheme for a [`GridThermal`] backend. See the
@@ -202,6 +256,18 @@ pub struct GridThermalParams {
     pub stability_fraction: f64,
     /// Integration scheme (see the module docs' "Choosing a solver").
     pub solver: GridSolver,
+    /// Execution lanes for the ADI sweeps on PCM-free grids: 1 (the
+    /// default) is the serial engine; `k > 1` fans sweep lines across a
+    /// persistent `k`-lane [`SolverPool`] with byte-identical results
+    /// at any lane count (see the module docs' "Batched and threaded
+    /// sweeps"). Ignored by the explicit solver and on grids with PCM.
+    pub solver_threads: usize,
+    /// Let a window whose explicit sub-step count is within
+    /// [`ADI_FALLBACK_COST_RATIO`]x of its ADI sub-step count integrate
+    /// explicitly even under [`GridSolver::Adi`] (on by default; see
+    /// the module docs' "Automatic explicit fallback"). Disable to pin
+    /// the ADI path itself regardless of cost.
+    pub adi_explicit_fallback: bool,
 }
 
 impl GridThermalParams {
@@ -251,6 +317,8 @@ impl GridThermalParams {
             r_sink_ambient_k_per_w: 1.0,
             stability_fraction: 0.2,
             solver: GridSolver::Explicit,
+            solver_threads: 1,
+            adi_explicit_fallback: true,
         }
     }
 
@@ -310,6 +378,8 @@ impl GridThermalParams {
             // against the exactly-integrated lumped reference.
             stability_fraction: 0.05,
             solver: GridSolver::Explicit,
+            solver_threads: 1,
+            adi_explicit_fallback: true,
         }
     }
 
@@ -381,6 +451,8 @@ impl GridThermalParams {
             r_sink_ambient_k_per_w: r_sink,
             stability_fraction: 0.2,
             solver: GridSolver::Adi,
+            solver_threads: 1,
+            adi_explicit_fallback: true,
         }
     }
 
@@ -400,6 +472,45 @@ impl GridThermalParams {
     /// Selects the integration scheme (builder style).
     pub fn with_solver(mut self, solver: GridSolver) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Sets the ADI sweep lane count (builder style); see
+    /// [`Self::solver_threads`]. Results are byte-identical at any
+    /// count, so this is purely a wall-clock knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "solver needs at least one lane");
+        self.solver_threads = threads;
+        self
+    }
+
+    /// Enables or disables the automatic explicit fallback for cheap
+    /// windows (builder style); see [`Self::adi_explicit_fallback`].
+    pub fn with_adi_fallback(mut self, enabled: bool) -> Self {
+        self.adi_explicit_fallback = enabled;
+        self
+    }
+
+    /// Applies the `SPRINT_SOLVER_THREADS` environment override to the
+    /// lane count, if set and parseable as a positive integer (builder
+    /// style). The cluster/facility builders and the examples route
+    /// through this, so one env var sweeps a whole stack's solvers —
+    /// and because threaded results are byte-identical, CI can run the
+    /// same test suite at 1/2/8 threads as a determinism pin. Not
+    /// applied inside [`Self::build`]: tests comparing explicit lane
+    /// counts must stay meaningful under the CI matrix.
+    pub fn with_env_solver_threads(mut self) -> Self {
+        if let Ok(v) = std::env::var("SPRINT_SOLVER_THREADS") {
+            if let Ok(threads) = v.trim().parse::<usize>() {
+                if threads >= 1 {
+                    self.solver_threads = threads;
+                }
+            }
+        }
         self
     }
 
@@ -450,6 +561,7 @@ impl GridThermalParams {
             self.stability_fraction > 0.0 && self.stability_fraction <= 0.5,
             "stability fraction must be in (0, 0.5]"
         );
+        assert!(self.solver_threads >= 1, "solver needs at least one lane");
         for layer in &self.layers {
             layer.validate();
             if let Some(pc) = &layer.phase_change {
@@ -485,6 +597,53 @@ impl GridThermalParams {
 /// magnitude below backward Euler's. The sprint-cycle equivalence tests
 /// pin the resulting accuracy.
 const ADI_THETA: f64 = 0.55;
+
+/// Cost of one ADI sub-step in explicit sub-steps: a full operator
+/// evaluation (= one explicit step) plus three batched sweeps, each a
+/// few passes over the grid. With [`GridThermalParams::
+/// adi_explicit_fallback`] on, an `advance` window integrates
+/// explicitly whenever its explicit sub-step count is within this
+/// ratio of its ADI count — i.e. whenever implicit sweeps cannot pay
+/// for themselves. Coarse, heavily time-compressed racks (the
+/// event-core perf case: explicit/ADI step ratio ≈ 1.2) and lumped 1x1
+/// chains (ratio 1) fall back; every die-scale case stays ADI (8x8 at
+/// the perfbench window is ratio 11, a 16x16 is ratio 41). The
+/// crossover is pinned by `tests/grid_adi.rs`.
+pub const ADI_FALLBACK_COST_RATIO: f64 = 5.0;
+
+/// The sweep pool a grid integrates through when
+/// [`GridThermalParams::solver_threads`] exceeds 1 — created lazily on
+/// first use, or shared across backends via
+/// [`GridThermal::install_solver_pool`] (the facility installs one pool
+/// per worker shard so a single pool services every rack the shard
+/// owns). A runtime resource, not model state: clones share the pool,
+/// comparisons ignore it, and (de)serialization drops it (the lazy
+/// rebuild restores it on the next threaded `advance`).
+#[derive(Default, Serialize, Deserialize)]
+struct PoolHandle(#[serde(skip)] Option<Arc<SolverPool>>);
+
+impl Clone for PoolHandle {
+    fn clone(&self) -> Self {
+        PoolHandle(self.0.clone())
+    }
+}
+
+impl PartialEq for PoolHandle {
+    fn eq(&self, _other: &Self) -> bool {
+        // The pool never influences results (byte-identical at any lane
+        // count), so two grids differing only in pool wiring are equal.
+        true
+    }
+}
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(pool) => write!(f, "PoolHandle({} lanes)", pool.lanes()),
+            None => write!(f, "PoolHandle(none)"),
+        }
+    }
+}
 
 /// A conductance edge between two cells.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -599,12 +758,28 @@ pub struct GridThermal {
     tri_sup: Vec<f64>,
     tri_rhs: Vec<f64>,
     tri_x: Vec<f64>,
-    /// ADI scratch for the PCM-free fast path: a whole plane (column
+    /// ADI scratch for the batched paths: a whole plane (row/column
     /// sweep) or the whole grid (stack sweep) of solutions from one
     /// planar Thomas pass.
     adi_plane: Vec<f64>,
+    /// Lane-major coefficient planes for the general (PCM) batched
+    /// sweeps: per-lane tridiagonal systems assembled side by side so
+    /// one [`Tridiag::solve_batch`] call sweeps a whole layer (or every
+    /// vertical stack) at once.
+    adi_bat_sub: Vec<f64>,
+    adi_bat_diag: Vec<f64>,
+    adi_bat_sup: Vec<f64>,
+    adi_bat_rhs: Vec<f64>,
+    /// Staging scratch for [`TridiagFactor::solve_batch`] row bundles.
+    adi_batch_scratch: Vec<f64>,
+    /// Per-last-layer-cell sink flows from a threaded region, reduced
+    /// into `boundary_absorbed_j` by the main thread in ascending cell
+    /// order (the serial accumulation order).
+    adi_sink_q: Vec<f64>,
     tridiag: Tridiag,
     adi_cache: AdiCoeffCache,
+    /// The sweep pool for `solver_threads > 1`; see [`PoolHandle`].
+    pool: PoolHandle,
 }
 
 impl GridThermal {
@@ -802,8 +977,15 @@ impl GridThermal {
             tri_rhs: vec![0.0; line_max],
             tri_x: vec![0.0; line_max],
             adi_plane: vec![0.0; n],
+            adi_bat_sub: vec![0.0; n],
+            adi_bat_diag: vec![0.0; n],
+            adi_bat_sup: vec![0.0; n],
+            adi_bat_rhs: vec![0.0; n],
+            adi_batch_scratch: Vec::new(),
+            adi_sink_q: vec![0.0; cells],
             tridiag: Tridiag::with_capacity(line_max),
             adi_cache: AdiCoeffCache::default(),
+            pool: PoolHandle::default(),
             params,
         };
         grid.reset_to_ambient();
@@ -840,6 +1022,53 @@ impl GridThermal {
     /// The integration scheme this backend steps with.
     pub fn solver(&self) -> GridSolver {
         self.params.solver
+    }
+
+    /// Execution lanes the ADI sweeps fan across (1 = serial engine).
+    pub fn solver_threads(&self) -> usize {
+        self.params.solver_threads
+    }
+
+    /// Installs a shared sweep pool, replacing any lazily-created one.
+    /// This is the cross-rack batch seam: a facility worker shard
+    /// creates one pool and installs it into every rack it owns, so a
+    /// single set of parked workers services every rack's sweeps in
+    /// turn instead of each rack spawning its own. The pool's lane
+    /// count may exceed this grid's `solver_threads` (it is sized for
+    /// the widest rack in the shard); results are byte-identical at any
+    /// lane count, so sharing cannot perturb a trace.
+    pub fn install_solver_pool(&mut self, pool: Arc<SolverPool>) {
+        self.pool = PoolHandle(Some(pool));
+    }
+
+    /// The pool threaded advances run through, creating it on first use
+    /// when `solver_threads > 1` and none was installed.
+    fn ensure_pool(&mut self) -> Arc<SolverPool> {
+        if self.pool.0.is_none() {
+            self.pool = PoolHandle(Some(Arc::new(SolverPool::new(self.params.solver_threads))));
+        }
+        self.pool.0.clone().expect("pool just ensured")
+    }
+
+    /// The scheme a window of `dt_s` seconds actually integrates with:
+    /// the configured solver, except that a cheap-window ADI `advance`
+    /// falls back to explicit when implicit sweeps cannot pay for
+    /// themselves (see [`ADI_FALLBACK_COST_RATIO`]; disabled via
+    /// [`GridThermalParams::adi_explicit_fallback`]).
+    pub fn effective_solver(&self, dt_s: f64) -> GridSolver {
+        match self.params.solver {
+            GridSolver::Explicit => GridSolver::Explicit,
+            GridSolver::Adi => {
+                if self.params.adi_explicit_fallback && dt_s > 0.0 {
+                    let steps_e = (dt_s / self.sub_step_s).ceil().max(1.0);
+                    let steps_a = (dt_s / self.adi_sub_step_s).ceil().max(1.0);
+                    if steps_e <= ADI_FALLBACK_COST_RATIO * steps_a {
+                        return GridSolver::Explicit;
+                    }
+                }
+                GridSolver::Adi
+            }
+        }
     }
 
     /// Current simulation time, seconds.
@@ -1225,13 +1454,14 @@ impl GridThermal {
             self.apply_core_power_map();
         }
         if dt_s > 0.0 {
-            let bound = match self.params.solver {
+            let solver = self.effective_solver(dt_s);
+            let bound = match solver {
                 GridSolver::Explicit => self.sub_step_s,
                 GridSolver::Adi => self.adi_sub_step_s,
             };
             let steps = (dt_s / bound).ceil().max(1.0) as u64;
             let sub = dt_s / steps as f64;
-            match self.params.solver {
+            match solver {
                 GridSolver::Explicit => {
                     for _ in 0..steps {
                         self.step_once(sub);
@@ -1239,9 +1469,24 @@ impl GridThermal {
                     }
                 }
                 GridSolver::Adi => {
-                    for _ in 0..steps {
-                        self.adi_step(sub);
-                        self.time_s += sub;
+                    // Threading applies to the PCM-free linear engine
+                    // (the rack/facility scale case); PCM grids batch
+                    // but integrate serially.
+                    let pool = (self.params.solver_threads > 1 && self.pcm_cells.is_empty())
+                        .then(|| self.ensure_pool());
+                    match pool {
+                        Some(pool) => {
+                            for _ in 0..steps {
+                                self.adi_step_linear_threaded(sub, &pool);
+                                self.time_s += sub;
+                            }
+                        }
+                        None => {
+                            for _ in 0..steps {
+                                self.adi_step(sub);
+                                self.time_s += sub;
+                            }
+                        }
                     }
                 }
             }
@@ -1333,8 +1578,77 @@ impl GridThermal {
     }
 
     /// The general (phase-aware) ADI sub-step; see [`adi_step`]
-    /// (Self::adi_step) for the scheme.
+    /// (Self::adi_step) for the scheme. Sweeps run batched: PCM-free
+    /// layers replay their cached factor over the whole layer at once,
+    /// PCM layers assemble every line's (possibly plateau-modified)
+    /// system lane-major and sweep them in one general batch. Each
+    /// lane's arithmetic — and each cell's enthalpy-update and
+    /// `boundary_absorbed_j` order — matches the line-at-a-time loop
+    /// exactly, so the batch is bit-identical to
+    /// [`Self::adi_step_general_reference`] (pinned in the test module).
     fn adi_step_general(&mut self, dt: f64) {
+        let n = self.enthalpy_j.len();
+        for i in 0..n {
+            self.adi_ceff[i] = match &self.phase[i] {
+                None => self.capacity_j_per_k[i],
+                Some(pc) => {
+                    let h0 = pc.melt_temp_c * self.capacity_j_per_k[i];
+                    if self.enthalpy_j[i] <= h0 {
+                        self.capacity_j_per_k[i]
+                    } else if self.enthalpy_j[i] <= h0 + pc.latent_heat_j {
+                        f64::INFINITY
+                    } else {
+                        pc.liquid_capacity_j_per_k
+                    }
+                }
+            };
+        }
+        self.fill_temps();
+        self.fill_flows(dt);
+        for i in 0..n {
+            let e = self.scratch_flows[i] * dt;
+            self.enthalpy_j[i] += e;
+            self.adi_rhs[i] = e;
+        }
+        let wdt = ADI_THETA * dt;
+        self.ensure_adi_cache(wdt);
+        let cache = std::mem::take(&mut self.adi_cache);
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let layers = self.params.layers.len();
+        if nx > 1 {
+            for li in 0..layers {
+                let g = self.lat_gx[li];
+                if g > 0.0 {
+                    match cache.rows[li].as_ref() {
+                        Some(f) => self.adi_rows_factored(li, g, wdt, f),
+                        None => self.adi_rows_general(li, g, wdt),
+                    }
+                }
+            }
+        }
+        if ny > 1 {
+            for li in 0..layers {
+                let g = self.lat_gy[li];
+                if g > 0.0 {
+                    match cache.cols[li].as_ref() {
+                        Some(f) => self.adi_cols_factored(li, g, wdt, f),
+                        None => self.adi_cols_general(li, g, wdt),
+                    }
+                }
+            }
+        }
+        match cache.stack.as_ref() {
+            Some(f) => self.adi_stack_factored(wdt, f),
+            None => self.adi_stack_general(wdt),
+        }
+        self.adi_cache = cache;
+    }
+
+    /// The pre-batching general sub-step: one [`Self::adi_sweep_line`] /
+    /// [`Self::adi_sweep_stack`] call per line. Kept as the oracle the
+    /// batched [`Self::adi_step_general`] is pinned against bit for bit.
+    #[cfg(test)]
+    fn adi_step_general_reference(&mut self, dt: f64) {
         let n = self.enthalpy_j.len();
         // Freeze each cell's phase branch for this step. INFINITY marks
         // the melting plateau (a Dirichlet, zero-increment row).
@@ -1494,6 +1808,10 @@ impl GridThermal {
     /// `factor` carries the line's cached elimination when the layer is
     /// PCM-free (the coefficients cannot change between sub-steps);
     /// with it the per-line work is just the two substitution passes.
+    ///
+    /// Only the reference sub-step drives this now; the live engine
+    /// batches whole sweeps (see [`Self::adi_step_general`]).
+    #[cfg(test)]
     fn adi_sweep_line(
         &mut self,
         base: usize,
@@ -1571,6 +1889,10 @@ impl GridThermal {
     /// phase change — one factorization then serves every cell column,
     /// which on a PCM-free rack grid removes the entire per-column
     /// assembly-and-eliminate cost.
+    ///
+    /// Only the reference sub-step drives this now; the live engine
+    /// batches whole sweeps (see [`Self::adi_step_general`]).
+    #[cfg(test)]
     fn adi_sweep_stack(&mut self, c: usize, wdt: f64, factor: Option<&TridiagFactor>) {
         let cells = self.cells_per_layer;
         let layers = self.params.layers.len();
@@ -1654,7 +1976,6 @@ impl GridThermal {
         self.ensure_adi_cache(wdt);
         let cache = std::mem::take(&mut self.adi_cache);
         let (nx, ny) = (self.params.nx, self.params.ny);
-        let cells = self.cells_per_layer;
         let layers = self.params.layers.len();
         if nx > 1 {
             for li in 0..layers {
@@ -1663,9 +1984,7 @@ impl GridThermal {
                     let factor = cache.rows[li]
                         .as_ref()
                         .expect("PCM-free conducting layer always has a row factor");
-                    for y in 0..ny {
-                        self.adi_row_linear(li * cells + y * nx, nx, g, wdt, factor);
-                    }
+                    self.adi_rows_factored(li, g, wdt, factor);
                 }
             }
         }
@@ -1676,7 +1995,7 @@ impl GridThermal {
                     let factor = cache.cols[li]
                         .as_ref()
                         .expect("PCM-free conducting layer always has a column factor");
-                    self.adi_cols_linear(li, g, wdt, factor);
+                    self.adi_cols_factored(li, g, wdt, factor);
                 }
             }
         }
@@ -1684,27 +2003,225 @@ impl GridThermal {
             .stack
             .as_ref()
             .expect("PCM-free grid always has a stack factor");
-        self.adi_stack_linear(wdt, stack);
+        self.adi_stack_factored(wdt, stack);
         self.adi_cache = cache;
     }
 
-    /// One row line of the linear fast path: the cached factor solves
-    /// directly on the contiguous `adi_rhs` span, then the corrections
-    /// and `C * w` write-back of [`adi_sweep_line`](Self::adi_sweep_line)
-    /// run unchanged (with `capacity_j_per_k` standing in for the
-    /// all-sensible `adi_ceff`).
-    fn adi_row_linear(&mut self, base: usize, len: usize, g: f64, wdt: f64, f: &TridiagFactor) {
+    /// Every row of layer `li` in one contiguous bundle: the cached
+    /// factor's [`TridiagFactor::solve_batch`] stages the layer's `ny`
+    /// back-to-back lines through the transposed scratch (the SIMD
+    /// layout), then the corrections and `C * w` write-back of the
+    /// per-line sweep run per row unchanged. Callable from both the
+    /// linear and the general path: on a PCM-free layer `adi_ceff`
+    /// holds exactly `capacity_j_per_k`, so reading the capacity keeps
+    /// the write-back bit-identical either way.
+    fn adi_rows_factored(&mut self, li: usize, g: f64, wdt: f64, f: &TridiagFactor) {
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let cells = self.cells_per_layer;
+        let base = li * cells;
         let gdt = g * wdt;
-        f.solve(&self.adi_rhs[base..base + len], &mut self.tri_x[..len]);
-        for k in 0..len - 1 {
-            let i = base + k;
-            let q = (self.tri_x[k] - self.tri_x[k + 1]) * gdt;
-            self.enthalpy_j[i] -= q;
-            self.enthalpy_j[i + 1] += q;
+        f.solve_batch(
+            &self.adi_rhs[base..base + cells],
+            &mut self.adi_plane[..cells],
+            &mut self.adi_batch_scratch,
+        );
+        for y in 0..ny {
+            let row = y * nx;
+            for k in 0..nx - 1 {
+                let q = (self.adi_plane[row + k] - self.adi_plane[row + k + 1]) * gdt;
+                self.enthalpy_j[base + row + k] -= q;
+                self.enthalpy_j[base + row + k + 1] += q;
+            }
+            for k in 0..nx {
+                let i = base + row + k;
+                self.adi_rhs[i] = self.capacity_j_per_k[i] * self.adi_plane[row + k];
+            }
         }
-        for k in 0..len {
-            let i = base + k;
-            self.adi_rhs[i] = self.capacity_j_per_k[i] * self.tri_x[k];
+    }
+
+    /// Every row of a PCM layer in one general batch: lane `y` of the
+    /// lane-major coefficient planes is row `y`'s system, assembled with
+    /// the per-line expressions (melting-plateau cells become Dirichlet
+    /// rows) and swept by [`Tridiag::solve_batch`]. Bit-identical per
+    /// row to the per-line assembly-and-solve.
+    fn adi_rows_general(&mut self, li: usize, g: f64, wdt: f64) {
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let cells = self.cells_per_layer;
+        let base = li * cells;
+        let gdt = g * wdt;
+        let lanes = ny;
+        for k in 0..nx {
+            for y in 0..ny {
+                let i = base + y * nx + k;
+                let idx = k * lanes + y;
+                let ceff = self.adi_ceff[i];
+                if ceff.is_finite() {
+                    let mut diag = ceff;
+                    let mut sub = 0.0;
+                    let mut sup = 0.0;
+                    if k > 0 {
+                        diag += gdt;
+                        sub = -gdt;
+                    }
+                    if k + 1 < nx {
+                        diag += gdt;
+                        sup = -gdt;
+                    }
+                    self.adi_bat_sub[idx] = sub;
+                    self.adi_bat_diag[idx] = diag;
+                    self.adi_bat_sup[idx] = sup;
+                    self.adi_bat_rhs[idx] = self.adi_rhs[i];
+                } else {
+                    self.adi_bat_sub[idx] = 0.0;
+                    self.adi_bat_diag[idx] = 1.0;
+                    self.adi_bat_sup[idx] = 0.0;
+                    self.adi_bat_rhs[idx] = 0.0;
+                }
+            }
+        }
+        self.tridiag.solve_batch(
+            &self.adi_bat_sub[..cells],
+            &self.adi_bat_diag[..cells],
+            &self.adi_bat_sup[..cells],
+            &self.adi_bat_rhs[..cells],
+            &mut self.adi_plane[..cells],
+            lanes,
+        );
+        for y in 0..ny {
+            for k in 0..nx - 1 {
+                let i = base + y * nx + k;
+                let q = (self.adi_plane[k * lanes + y] - self.adi_plane[(k + 1) * lanes + y]) * gdt;
+                self.enthalpy_j[i] -= q;
+                self.enthalpy_j[i + 1] += q;
+            }
+            for k in 0..nx {
+                let i = base + y * nx + k;
+                let ceff = self.adi_ceff[i];
+                if ceff.is_finite() {
+                    self.adi_rhs[i] = ceff * self.adi_plane[k * lanes + y];
+                }
+            }
+        }
+    }
+
+    /// Every column of a PCM layer in one general batch: lane `x` is
+    /// column `x`'s system, and the lane-major index `y * nx + x` *is*
+    /// the natural plane index, so assembly needs no transpose.
+    fn adi_cols_general(&mut self, li: usize, g: f64, wdt: f64) {
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let cells = self.cells_per_layer;
+        let base = li * cells;
+        let gdt = g * wdt;
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = base + y * nx + x;
+                let idx = y * nx + x;
+                let ceff = self.adi_ceff[i];
+                if ceff.is_finite() {
+                    let mut diag = ceff;
+                    let mut sub = 0.0;
+                    let mut sup = 0.0;
+                    if y > 0 {
+                        diag += gdt;
+                        sub = -gdt;
+                    }
+                    if y + 1 < ny {
+                        diag += gdt;
+                        sup = -gdt;
+                    }
+                    self.adi_bat_sub[idx] = sub;
+                    self.adi_bat_diag[idx] = diag;
+                    self.adi_bat_sup[idx] = sup;
+                    self.adi_bat_rhs[idx] = self.adi_rhs[i];
+                } else {
+                    self.adi_bat_sub[idx] = 0.0;
+                    self.adi_bat_diag[idx] = 1.0;
+                    self.adi_bat_sup[idx] = 0.0;
+                    self.adi_bat_rhs[idx] = 0.0;
+                }
+            }
+        }
+        self.tridiag.solve_batch(
+            &self.adi_bat_sub[..cells],
+            &self.adi_bat_diag[..cells],
+            &self.adi_bat_sup[..cells],
+            &self.adi_bat_rhs[..cells],
+            &mut self.adi_plane[..cells],
+            nx,
+        );
+        for y in 0..ny - 1 {
+            let row = y * nx;
+            for x in 0..nx {
+                let q = (self.adi_plane[row + x] - self.adi_plane[row + nx + x]) * gdt;
+                self.enthalpy_j[base + row + x] -= q;
+                self.enthalpy_j[base + row + nx + x] += q;
+            }
+        }
+        for idx in 0..cells {
+            let i = base + idx;
+            let ceff = self.adi_ceff[i];
+            if ceff.is_finite() {
+                self.adi_rhs[i] = ceff * self.adi_plane[idx];
+            }
+        }
+    }
+
+    /// Every vertical stack in one general batch: lane `c` is cell
+    /// column `c`'s system (lane-major index `l * cells + c` is the
+    /// natural layer-major order), assembled with the per-stack
+    /// expressions including the last-layer sink term; the sink booking
+    /// stays cell-ascending, preserving the `boundary_absorbed_j`
+    /// accumulation order of the per-stack loop.
+    fn adi_stack_general(&mut self, wdt: f64) {
+        let cells = self.cells_per_layer;
+        let layers = self.params.layers.len();
+        let n = layers * cells;
+        let g_sink = self.g_sink_cell;
+        for l in 0..layers {
+            let g_up = if l > 0 { self.g_vert[l - 1] } else { 0.0 };
+            let g_dn = if l + 1 < layers { self.g_vert[l] } else { 0.0 };
+            for c in 0..cells {
+                let i = l * cells + c;
+                let ceff = self.adi_ceff[i];
+                if ceff.is_finite() {
+                    let mut diag = ceff + wdt * (g_up + g_dn);
+                    if l + 1 == layers {
+                        diag += wdt * g_sink;
+                    }
+                    self.adi_bat_sub[i] = -wdt * g_up;
+                    self.adi_bat_diag[i] = diag;
+                    self.adi_bat_sup[i] = -wdt * g_dn;
+                    self.adi_bat_rhs[i] = self.adi_rhs[i];
+                } else {
+                    self.adi_bat_sub[i] = 0.0;
+                    self.adi_bat_diag[i] = 1.0;
+                    self.adi_bat_sup[i] = 0.0;
+                    self.adi_bat_rhs[i] = 0.0;
+                }
+            }
+        }
+        self.tridiag.solve_batch(
+            &self.adi_bat_sub[..n],
+            &self.adi_bat_diag[..n],
+            &self.adi_bat_sup[..n],
+            &self.adi_bat_rhs[..n],
+            &mut self.adi_plane[..n],
+            cells,
+        );
+        for l in 0..layers - 1 {
+            let row = l * cells;
+            let gv = self.g_vert[l];
+            for c in 0..cells {
+                let q = (self.adi_plane[row + c] - self.adi_plane[row + cells + c]) * gv * wdt;
+                self.enthalpy_j[row + c] -= q;
+                self.enthalpy_j[row + cells + c] += q;
+            }
+        }
+        let row = (layers - 1) * cells;
+        for c in 0..cells {
+            let q_sink = self.adi_plane[row + c] * g_sink * wdt;
+            self.enthalpy_j[row + c] -= q_sink;
+            self.boundary_absorbed_j += q_sink;
         }
     }
 
@@ -1712,7 +2229,7 @@ impl GridThermal {
     /// planar solve is column `x`'s Thomas recurrence; the correction
     /// loops run y-outer so each cell sees its `+q`/`-q` pair in the
     /// same order as the per-column loop.
-    fn adi_cols_linear(&mut self, li: usize, g: f64, wdt: f64, f: &TridiagFactor) {
+    fn adi_cols_factored(&mut self, li: usize, g: f64, wdt: f64, f: &TridiagFactor) {
         let (nx, ny) = (self.params.nx, self.params.ny);
         let cells = self.cells_per_layer;
         let base = li * cells;
@@ -1740,7 +2257,7 @@ impl GridThermal {
     /// [`adi_sweep_stack`](Self::adi_sweep_stack) with the layer loop
     /// outermost; the sink booking stays cell-ascending, so the
     /// `boundary_absorbed_j` accumulation order is untouched.
-    fn adi_stack_linear(&mut self, wdt: f64, f: &TridiagFactor) {
+    fn adi_stack_factored(&mut self, wdt: f64, f: &TridiagFactor) {
         let cells = self.cells_per_layer;
         let layers = self.params.layers.len();
         let n = layers * cells;
@@ -1763,6 +2280,289 @@ impl GridThermal {
         }
     }
 
+    /// One linear ADI sub-step with every region fanned across the
+    /// worker pool. Bit-identical to [`Self::adi_step_linear`] at any
+    /// lane count (pinned by `tests/grid_threads.rs`), by construction:
+    ///
+    /// - every parallel region partitions its index space with
+    ///   [`lane_range`], so each lane writes a fixed, disjoint set of
+    ///   cells (rows, x-columns, or cell stacks own all the cells they
+    ///   update — sweep corrections never cross a line);
+    /// - the per-cell explicit gather replays the serial edge-scan's
+    ///   accumulation order exactly (power, vertical-in, y-in, x-in,
+    ///   x-out, y-out, vertical-out, sink — including the `±0.0`
+    ///   contributions of zero-conductance lateral edges the serial
+    ///   edge list still carries);
+    /// - Thomas recurrences replay the cached factor per line in the
+    ///   line's own order, which is the same arithmetic
+    ///   [`TridiagFactor::solve_batch`] / `solve_planar` perform lane
+    ///   by lane;
+    /// - the only cross-line reduction, `boundary_absorbed_j`, is
+    ///   staged into the per-cell `adi_sink_q` scratch and accumulated
+    ///   by the calling thread in ascending cell order — the serial
+    ///   sink loop's exact add sequence.
+    fn adi_step_linear_threaded(&mut self, dt: f64, pool: &SolverPool) {
+        let lanes = pool.lanes();
+        let n = self.enthalpy_j.len();
+        let (nx, ny) = (self.params.nx, self.params.ny);
+        let cells = self.cells_per_layer;
+        let layers = self.params.layers.len();
+        let wdt = ADI_THETA * dt;
+        self.ensure_adi_cache(wdt);
+        let cache = std::mem::take(&mut self.adi_cache);
+
+        // Region 1: enthalpy -> temperature, cell-partitioned.
+        {
+            let temps = RawCells(self.scratch_temps.as_mut_ptr());
+            let h = &self.enthalpy_j[..];
+            let c = &self.capacity_j_per_k[..];
+            pool.run(&|lane| {
+                for i in lane_range(n, lane, lanes) {
+                    // Safety: lanes own disjoint index ranges.
+                    unsafe { temps.set(i, h[i] / c[i]) };
+                }
+            });
+        }
+
+        // Region 2: explicit full-operator gather, enthalpy kick and
+        // RHS, cell-partitioned; sink heat staged per cell.
+        {
+            let temps = &self.scratch_temps[..];
+            let power = &self.power_w[..];
+            let lat_gx = &self.lat_gx[..];
+            let lat_gy = &self.lat_gy[..];
+            let g_vert = &self.g_vert[..];
+            let g_sink = self.g_sink_cell;
+            let ambient = self.params.ambient_c;
+            let h = RawCells(self.enthalpy_j.as_mut_ptr());
+            let rhs = RawCells(self.adi_rhs.as_mut_ptr());
+            let sink_q = RawCells(self.adi_sink_q.as_mut_ptr());
+            pool.run(&|lane| {
+                for i in lane_range(n, lane, lanes) {
+                    let li = i / cells;
+                    let c = i - li * cells;
+                    let y = c / nx;
+                    let x = c - y * nx;
+                    let t = temps[i];
+                    let mut f = power[i];
+                    if li > 0 {
+                        f += (temps[i - cells] - t) * g_vert[li - 1];
+                    }
+                    let (gx, gy) = (lat_gx[li], lat_gy[li]);
+                    if gx > 0.0 || gy > 0.0 {
+                        // The serial edge list emits both axes whenever
+                        // the layer conducts laterally at all, so a
+                        // zero-g axis still contributes its +/-0.0.
+                        if y > 0 {
+                            f += (temps[i - nx] - t) * gy;
+                        }
+                        if x > 0 {
+                            f += (temps[i - 1] - t) * gx;
+                        }
+                        if x + 1 < nx {
+                            f -= (t - temps[i + 1]) * gx;
+                        }
+                        if y + 1 < ny {
+                            f -= (t - temps[i + nx]) * gy;
+                        }
+                    }
+                    if li + 1 < layers {
+                        f -= (t - temps[i + cells]) * g_vert[li];
+                    }
+                    if li + 1 == layers {
+                        let q = (t - ambient) * g_sink;
+                        f -= q;
+                        // Safety: `c` ranges over disjoint lane-owned
+                        // last-layer cells.
+                        unsafe { sink_q.set(c, q) };
+                    }
+                    let e = f * dt;
+                    // Safety: lane-owned index.
+                    unsafe {
+                        h.set(i, h.get(i) + e);
+                        rhs.set(i, e);
+                    }
+                }
+            });
+            for c in 0..cells {
+                self.boundary_absorbed_j += self.adi_sink_q[c] * dt;
+            }
+        }
+
+        // Region 3 (per conducting layer): row sweeps, row-partitioned.
+        if nx > 1 {
+            for li in 0..layers {
+                let g = self.lat_gx[li];
+                if g <= 0.0 {
+                    continue;
+                }
+                let f = cache.rows[li]
+                    .as_ref()
+                    .expect("PCM-free conducting layer always has a row factor");
+                let (fsub, fcp, fm) = f.parts();
+                let base = li * cells;
+                let gdt = g * wdt;
+                let caps = &self.capacity_j_per_k[..];
+                let h = RawCells(self.enthalpy_j.as_mut_ptr());
+                let rhs = RawCells(self.adi_rhs.as_mut_ptr());
+                let plane = RawCells(self.adi_plane.as_mut_ptr());
+                pool.run(&|lane| {
+                    // Safety: every index below lives in this lane's
+                    // rows, which no other lane touches.
+                    for yy in lane_range(ny, lane, lanes) {
+                        let row = base + yy * nx;
+                        unsafe {
+                            plane.set(row, rhs.get(row) * fm[0]);
+                            for k in 1..nx {
+                                let w =
+                                    (rhs.get(row + k) - fsub[k] * plane.get(row + k - 1)) * fm[k];
+                                plane.set(row + k, w);
+                            }
+                            for k in (0..nx - 1).rev() {
+                                plane.set(
+                                    row + k,
+                                    plane.get(row + k) - fcp[k] * plane.get(row + k + 1),
+                                );
+                            }
+                            for k in 0..nx - 1 {
+                                let q = (plane.get(row + k) - plane.get(row + k + 1)) * gdt;
+                                h.set(row + k, h.get(row + k) - q);
+                                h.set(row + k + 1, h.get(row + k + 1) + q);
+                            }
+                            for k in 0..nx {
+                                rhs.set(row + k, caps[row + k] * plane.get(row + k));
+                            }
+                        }
+                    }
+                });
+            }
+        }
+
+        // Region 4 (per conducting layer): column sweeps, partitioned
+        // by x so each lane owns whole columns.
+        if ny > 1 {
+            for li in 0..layers {
+                let g = self.lat_gy[li];
+                if g <= 0.0 {
+                    continue;
+                }
+                let f = cache.cols[li]
+                    .as_ref()
+                    .expect("PCM-free conducting layer always has a column factor");
+                let (fsub, fcp, fm) = f.parts();
+                let base = li * cells;
+                let gdt = g * wdt;
+                let caps = &self.capacity_j_per_k[..];
+                let h = RawCells(self.enthalpy_j.as_mut_ptr());
+                let rhs = RawCells(self.adi_rhs.as_mut_ptr());
+                let plane = RawCells(self.adi_plane.as_mut_ptr());
+                pool.run(&|lane| {
+                    let xr = lane_range(nx, lane, lanes);
+                    // Safety: every index below is in a lane-owned
+                    // column (fixed x); corrections stay in-column.
+                    unsafe {
+                        for x in xr.clone() {
+                            plane.set(x, rhs.get(base + x) * fm[0]);
+                        }
+                        for y in 1..ny {
+                            let row = y * nx;
+                            for x in xr.clone() {
+                                let w = (rhs.get(base + row + x)
+                                    - fsub[y] * plane.get(row - nx + x))
+                                    * fm[y];
+                                plane.set(row + x, w);
+                            }
+                        }
+                        for y in (0..ny - 1).rev() {
+                            let row = y * nx;
+                            for x in xr.clone() {
+                                plane.set(
+                                    row + x,
+                                    plane.get(row + x) - fcp[y] * plane.get(row + nx + x),
+                                );
+                            }
+                        }
+                        for y in 0..ny - 1 {
+                            let row = y * nx;
+                            for x in xr.clone() {
+                                let q = (plane.get(row + x) - plane.get(row + nx + x)) * gdt;
+                                h.set(base + row + x, h.get(base + row + x) - q);
+                                h.set(base + row + nx + x, h.get(base + row + nx + x) + q);
+                            }
+                        }
+                        for y in 0..ny {
+                            let row = y * nx;
+                            for x in xr.clone() {
+                                rhs.set(base + row + x, caps[base + row + x] * plane.get(row + x));
+                            }
+                        }
+                    }
+                });
+            }
+        }
+
+        // Region 5: stack sweep, partitioned by cell column; sink heat
+        // staged per cell and reduced in ascending order below.
+        {
+            let f = cache
+                .stack
+                .as_ref()
+                .expect("PCM-free grid always has a stack factor");
+            let (fsub, fcp, fm) = f.parts();
+            let g_sink = self.g_sink_cell;
+            let g_vert = &self.g_vert[..];
+            let h = RawCells(self.enthalpy_j.as_mut_ptr());
+            let rhs = RawCells(self.adi_rhs.as_mut_ptr());
+            let plane = RawCells(self.adi_plane.as_mut_ptr());
+            let sink_q = RawCells(self.adi_sink_q.as_mut_ptr());
+            pool.run(&|lane| {
+                let cr = lane_range(cells, lane, lanes);
+                // Safety: every index below is in a lane-owned vertical
+                // stack (fixed cell column).
+                unsafe {
+                    for c in cr.clone() {
+                        plane.set(c, rhs.get(c) * fm[0]);
+                    }
+                    for l in 1..layers {
+                        let row = l * cells;
+                        for c in cr.clone() {
+                            let w =
+                                (rhs.get(row + c) - fsub[l] * plane.get(row - cells + c)) * fm[l];
+                            plane.set(row + c, w);
+                        }
+                    }
+                    for l in (0..layers - 1).rev() {
+                        let row = l * cells;
+                        for c in cr.clone() {
+                            plane.set(
+                                row + c,
+                                plane.get(row + c) - fcp[l] * plane.get(row + cells + c),
+                            );
+                        }
+                    }
+                    for (l, &gv) in g_vert.iter().enumerate().take(layers - 1) {
+                        let row = l * cells;
+                        for c in cr.clone() {
+                            let q = (plane.get(row + c) - plane.get(row + cells + c)) * gv * wdt;
+                            h.set(row + c, h.get(row + c) - q);
+                            h.set(row + cells + c, h.get(row + cells + c) + q);
+                        }
+                    }
+                    let row = (layers - 1) * cells;
+                    for c in cr {
+                        let q_sink = plane.get(row + c) * g_sink * wdt;
+                        h.set(row + c, h.get(row + c) - q_sink);
+                        sink_q.set(c, q_sink);
+                    }
+                }
+            });
+            for c in 0..cells {
+                self.boundary_absorbed_j += self.adi_sink_q[c];
+            }
+        }
+        self.adi_cache = cache;
+    }
+
     fn track_peaks(&mut self) {
         // One die scan refreshes both the gradient tracker and the
         // junction cache: `hi` is exactly the fold `junction_temp_c`
@@ -1782,6 +2582,34 @@ impl GridThermal {
                 self.peak_core_temps_c[core] = t;
             }
         }
+    }
+}
+
+/// A raw view of a cell array that the threaded sweep regions share.
+/// `&mut`-free so the region closure can be `Fn + Sync`; soundness
+/// comes from the sweep's partitioning discipline — every lane reads
+/// and writes only indices in its own [`lane_range`] (or its own rows/
+/// columns/stacks), so no two lanes ever touch the same element within
+/// a region, and [`SolverPool::run`] is a full barrier between regions.
+struct RawCells(*mut f64);
+
+unsafe impl Send for RawCells {}
+unsafe impl Sync for RawCells {}
+
+impl RawCells {
+    /// # Safety
+    /// `i` must be in bounds and, within a pool region, owned by the
+    /// calling lane (no lane reads an element another lane writes).
+    #[inline]
+    unsafe fn get(&self, i: usize) -> f64 {
+        *self.0.add(i)
+    }
+
+    /// # Safety
+    /// Same contract as [`Self::get`].
+    #[inline]
+    unsafe fn set(&self, i: usize, v: f64) {
+        *self.0.add(i) = v;
     }
 }
 
@@ -2202,5 +3030,83 @@ mod tests {
         {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// Drives the pre-batching per-line general sub-step
+    /// ([`GridThermal::adi_step_general_reference`]) with the same
+    /// sub-stepping and peak tracking as [`GridThermal::advance`].
+    fn advance_general_reference(g: &mut GridThermal, dt_s: f64) {
+        assert!(matches!(g.params.solver, GridSolver::Adi));
+        if g.core_power_dirty {
+            g.apply_core_power_map();
+        }
+        if dt_s > 0.0 {
+            let steps = (dt_s / g.adi_sub_step_s).ceil().max(1.0) as u64;
+            let sub = dt_s / steps as f64;
+            for _ in 0..steps {
+                g.adi_step_general_reference(sub);
+                g.time_s += sub;
+            }
+        }
+        g.track_peaks();
+    }
+
+    #[test]
+    fn batched_general_sweeps_match_the_per_line_reference_bit_for_bit() {
+        // The lane-major batched assembly (and the factored whole-layer
+        // bundles on the PCM-free layers) must reproduce the
+        // line-at-a-time general sweep to the last bit — through solid
+        // heating, the melting plateau (Dirichlet rows), full melt and
+        // refreeze.
+        let mut batched = GridThermalParams::hpca_like()
+            .with_grid(6, 5)
+            .with_solver(GridSolver::Adi)
+            .build();
+        let mut reference = GridThermalParams::hpca_like()
+            .with_grid(6, 5)
+            .with_solver(GridSolver::Adi)
+            .build();
+        assert!(
+            !batched.pcm_cells.is_empty(),
+            "the hpca preset must carry PCM for this test"
+        );
+        // Sprint hard into the melt, dwell on the plateau, then cool.
+        let schedule = [
+            (18.0, 0.4),
+            (16.0, 0.6),
+            (20.0, 0.5),
+            (0.0, 0.8),
+            (22.0, 0.7),
+            (0.0, 2.0),
+        ];
+        for &(watts, dt) in &schedule {
+            batched.set_chip_power_w(watts);
+            reference.set_chip_power_w(watts);
+            advance_general(&mut batched, dt);
+            advance_general_reference(&mut reference, dt);
+        }
+        assert!(
+            batched.peak_core_temps_c.iter().any(|&t| t > 59.0),
+            "the schedule must actually reach the melt region"
+        );
+        for i in 0..batched.enthalpy_j.len() {
+            assert_eq!(
+                batched.enthalpy_j[i].to_bits(),
+                reference.enthalpy_j[i].to_bits(),
+                "cell {i} diverged"
+            );
+        }
+        assert_eq!(
+            batched.boundary_absorbed_j.to_bits(),
+            reference.boundary_absorbed_j.to_bits()
+        );
+        assert_eq!(
+            batched.junction_cache_c.to_bits(),
+            reference.junction_cache_c.to_bits()
+        );
+        assert_eq!(
+            batched.peak_hotspot_gradient_k.to_bits(),
+            reference.peak_hotspot_gradient_k.to_bits()
+        );
     }
 }

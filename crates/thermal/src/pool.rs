@@ -1,0 +1,298 @@
+//! A small persistent worker pool for the parallel ADI sweeps.
+//!
+//! Each `adi_step` sweep is hundreds of *independent* tridiagonal lines
+//! (rows per layer, columns per layer, vertical cell stacks), so the
+//! grid solver fans fixed contiguous line ranges out across workers.
+//! The determinism rules mirror the facility settlement barrier: the
+//! line→worker assignment is a pure function of `(line count, lane,
+//! lane count)`, every concurrent write lands in a worker-owned
+//! disjoint range, and the one cross-line reduction
+//! (`boundary_absorbed_j`) is re-accumulated serially by the caller in
+//! ascending cell order — so results are bit-identical at 1, 2 or 8
+//! threads (pinned by `tests/grid_threads.rs`).
+//!
+//! Why not `std::thread::scope` per advance: a scope spawns and joins
+//! its workers on every call, which at rack scale means hundreds of
+//! spawn/join round-trips per sampling window — more than the sweeps
+//! themselves cost. The pool keeps the workers parked on a condvar
+//! between regions instead, and preserves the property scoped threads
+//! give for free (the job borrow never outlives the call) by refusing
+//! to return from [`SolverPool::run`] until every worker has finished
+//! the region.
+//!
+//! No external dependencies: `std` mutex/condvar dispatch only.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased pointer to the region closure. Sound because
+/// [`SolverPool::run`] blocks until every worker has dropped its use of
+/// the pointee (the completion wait is unconditional, panic or not).
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// The pointee is `Sync` (required by `run`'s signature) and the pointer
+// is only dereferenced while `run` keeps the borrow alive.
+unsafe impl Send for JobPtr {}
+
+/// Dispatch state shared between the caller and the parked workers.
+struct Slot {
+    /// Monotone region counter; a worker runs one job per increment.
+    epoch: u64,
+    /// The current region's closure (set while `remaining > 0`).
+    job: Option<JobPtr>,
+    /// Workers still inside the current region.
+    remaining: usize,
+    /// First worker panic message of the region, re-raised by `run`.
+    panicked: Option<String>,
+    /// Tear-down flag (set by `Drop`).
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Wakes workers for a new epoch (or shutdown).
+    work: Condvar,
+    /// Wakes the caller when `remaining` hits zero.
+    done: Condvar,
+}
+
+/// A persistent pool of `lanes - 1` parked worker threads plus the
+/// calling thread (lane 0). See the [module docs](self) for the
+/// determinism contract.
+pub struct SolverPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    lanes: usize,
+}
+
+impl std::fmt::Debug for SolverPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverPool")
+            .field("lanes", &self.lanes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolverPool {
+    /// Spawns a pool with `lanes` total execution lanes: the caller is
+    /// lane 0, and `lanes - 1` worker threads are parked for the rest.
+    /// `lanes` is clamped to at least 1 (a one-lane pool runs every
+    /// region inline with zero synchronization).
+    pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..lanes)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("adi-sweep-{lane}"))
+                    .spawn(move || worker_loop(shared, lane))
+                    .expect("failed to spawn ADI sweep worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            lanes,
+        }
+    }
+
+    /// Total execution lanes (workers + the calling thread).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs one region: `job(lane)` executes once per lane (`0 ..
+    /// lanes()`), lane 0 on the calling thread, and the call returns
+    /// only after *every* lane has finished. The job must confine each
+    /// lane's writes to lane-disjoint data; the pool guarantees nothing
+    /// about inter-lane ordering within a region.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from any lane (after all lanes have settled,
+    /// so no borrow escapes).
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() {
+            job(0);
+            return;
+        }
+        // Erase the borrow's lifetime: the raw trait-object pointer
+        // defaults to `'static`, which the completion wait below makes
+        // honest (the pointee outlives every dereference).
+        let erased = JobPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(job as *const _)
+        });
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.job = Some(erased);
+            slot.remaining = self.workers.len();
+            slot.epoch += 1;
+            self.shared.work.notify_all();
+        }
+        // Lane 0 runs here; a panic is held until the workers settle so
+        // the erased borrow cannot outlive the region.
+        let main_result = catch_unwind(AssertUnwindSafe(|| job(0)));
+        let worker_panic = {
+            let mut slot = self.shared.slot.lock().unwrap();
+            while slot.remaining > 0 {
+                slot = self.shared.done.wait(slot).unwrap();
+            }
+            slot.job = None;
+            slot.panicked.take()
+        };
+        if let Err(payload) = main_result {
+            resume_unwind(payload);
+        }
+        if let Some(msg) = worker_panic {
+            panic!("ADI sweep worker panicked: {msg}");
+        }
+    }
+}
+
+impl Drop for SolverPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().unwrap();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen {
+                    seen = slot.epoch;
+                    break slot.job.expect("epoch advanced without a job");
+                }
+                slot = shared.work.wait(slot).unwrap();
+            }
+        };
+        // The pointee outlives this call: `run` blocks on `remaining`
+        // before releasing the borrow.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(lane) }));
+        let mut slot = shared.slot.lock().unwrap();
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            slot.panicked.get_or_insert(msg);
+        }
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// The fixed work split behind every threaded sweep: lane `lane` of
+/// `lanes` owns the contiguous index range returned for a `len`-item
+/// region. Pure function of its arguments — the same item always lands
+/// on the same lane for a given lane count, and *which* lane an item
+/// lands on cannot affect results anyway (disjoint writes, caller-side
+/// reductions), which is what keeps traces byte-identical across lane
+/// counts.
+pub fn lane_range(len: usize, lane: usize, lanes: usize) -> std::ops::Range<usize> {
+    let per = len / lanes;
+    let rem = len % lanes;
+    let lo = lane * per + lane.min(rem);
+    let hi = lo + per + usize::from(lane < rem);
+    lo..hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn lane_ranges_partition_exactly() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for lanes in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                let mut next = 0;
+                for lane in 0..lanes {
+                    let r = lane_range(len, lane, lanes);
+                    assert_eq!(r.start, next, "len={len} lanes={lanes} lane={lane}");
+                    covered += r.len();
+                    next = r.end;
+                }
+                assert_eq!(covered, len);
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn every_lane_runs_exactly_once_per_region() {
+        let pool = SolverPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..100 {
+            pool.run(&|lane| {
+                hits[lane].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for (lane, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 100, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline() {
+        let pool = SolverPool::new(1);
+        assert_eq!(pool.lanes(), 1);
+        let hit = AtomicUsize::new(0);
+        pool.run(&|lane| {
+            assert_eq!(lane, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_after_the_region_settles() {
+        let pool = SolverPool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane == 2 {
+                    panic!("lane 2 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the worker panic must propagate");
+        // The pool must still be serviceable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+}

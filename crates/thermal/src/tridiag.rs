@@ -92,6 +92,72 @@ impl Tridiag {
             x[i] = self.dp[i] - self.cp[i] * x[i + 1];
         }
     }
+
+    /// Solves `lanes` independent tridiagonal systems in one interleaved
+    /// pass, each with its *own* coefficients. Every array is a
+    /// transposed (structure-of-arrays) plane: row `i` of lane `j` lives
+    /// at index `i * lanes + j`, so the inner loops stream over unit
+    /// stride and the auto-vectorizer can chew whole `f64` lanes at
+    /// once. Lane `j` performs exactly the operations of [`Self::solve`]
+    /// on its gathered line, in the same order — the batching only
+    /// changes which lane runs next, never the arithmetic within a lane
+    /// — so each lane's solution is bit-identical to the per-line call.
+    ///
+    /// This is the general-coefficient batch the ADI sweeps of a PCM
+    /// layer need: melting-plateau cells become per-lane Dirichlet rows
+    /// (`diag 1`, zero couplings), which is just another coefficient
+    /// pattern here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero, the slice lengths differ, or they are
+    /// not a multiple of `lanes`.
+    pub fn solve_batch(
+        &mut self,
+        sub: &[f64],
+        diag: &[f64],
+        sup: &[f64],
+        rhs: &[f64],
+        x: &mut [f64],
+        lanes: usize,
+    ) {
+        assert!(lanes > 0, "batched solve needs at least one lane");
+        let total = diag.len();
+        assert!(
+            total.is_multiple_of(lanes) && total > 0,
+            "batched slice lengths must be a non-zero multiple of the lane count"
+        );
+        let n = total / lanes;
+        assert!(
+            sub.len() == total && sup.len() == total && rhs.len() == total && x.len() == total,
+            "tridiagonal slice lengths must match"
+        );
+        self.cp.clear();
+        self.cp.resize(total, 0.0);
+        self.dp.clear();
+        self.dp.resize(total, 0.0);
+        for j in 0..lanes {
+            let m0 = 1.0 / diag[j];
+            self.cp[j] = sup[j] * m0;
+            self.dp[j] = rhs[j] * m0;
+        }
+        for i in 1..n {
+            let row = i * lanes;
+            for j in 0..lanes {
+                let m = 1.0 / (diag[row + j] - sub[row + j] * self.cp[row - lanes + j]);
+                self.cp[row + j] = sup[row + j] * m;
+                self.dp[row + j] = (rhs[row + j] - sub[row + j] * self.dp[row - lanes + j]) * m;
+            }
+        }
+        let last = (n - 1) * lanes;
+        x[last..last + lanes].copy_from_slice(&self.dp[last..last + lanes]);
+        for i in (0..n - 1).rev() {
+            let row = i * lanes;
+            for j in 0..lanes {
+                x[row + j] = self.dp[row + j] - self.cp[row + j] * x[row + lanes + j];
+            }
+        }
+    }
 }
 
 /// A prefactored tridiagonal matrix: the Thomas forward-elimination
@@ -211,6 +277,60 @@ impl TridiagFactor {
                 x[row + j] -= ci * x[row + width + j];
             }
         }
+    }
+
+    /// Solves a bundle of *contiguous* lines sharing this factorization:
+    /// `rhs` holds `count = rhs.len() / len()` whole lines back to back
+    /// (line `j` at `rhs[j * len() ..][.. len()]`), the layout ADI row
+    /// sweeps produce naturally. The bundle is staged through `scratch`
+    /// into the transposed (structure-of-arrays) layout, swept with
+    /// [`Self::solve_planar`] — whose unit-stride inner loops the
+    /// auto-vectorizer turns into whole-`f64`-lane arithmetic — and
+    /// transposed back. The transposes move data without touching it,
+    /// and each planar lane is bit-identical to [`Self::solve`], so
+    /// line `j`'s solution matches a per-line `solve` bit for bit.
+    ///
+    /// `scratch` is resized as needed and holds no state between calls;
+    /// keep one per caller (or per worker thread) to amortize the
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` and `x` differ in length, or their length is not
+    /// a non-zero multiple of the factored size.
+    pub fn solve_batch(&self, rhs: &[f64], x: &mut [f64], scratch: &mut Vec<f64>) {
+        let n = self.m.len();
+        assert!(
+            rhs.len() == x.len() && !rhs.is_empty() && rhs.len().is_multiple_of(n),
+            "batched slice lengths must be a non-zero multiple of the factored size"
+        );
+        let count = rhs.len() / n;
+        scratch.clear();
+        scratch.resize(2 * n * count, 0.0);
+        let (staged, solved) = scratch.split_at_mut(n * count);
+        for j in 0..count {
+            let line = &rhs[j * n..(j + 1) * n];
+            for (i, &v) in line.iter().enumerate() {
+                staged[i * count + j] = v;
+            }
+        }
+        self.solve_planar(staged, solved, count);
+        for j in 0..count {
+            let line = &mut x[j * n..(j + 1) * n];
+            for (i, out) in line.iter_mut().enumerate() {
+                *out = solved[i * count + j];
+            }
+        }
+    }
+
+    /// The factorization's raw parts `(sub, cp, m)` — the sub-diagonal,
+    /// modified super-diagonal and pivot reciprocals — for callers that
+    /// replay the [`Self::solve_planar`] recurrences over a *subrange*
+    /// of lanes (the threaded ADI sweeps partition a planar solve by
+    /// lane ranges; each lane's arithmetic is unchanged, so the split is
+    /// bit-identical to the whole-plane call).
+    pub(crate) fn parts(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.sub, &self.cp, &self.m)
     }
 }
 
@@ -410,6 +530,111 @@ mod tests {
                         lane_x[i].to_bits(),
                         x_planar[i * width + lane].to_bits(),
                         "n={n} width={width} lane={lane} row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_factor_solve_is_bit_identical_per_line() {
+        // `solve_batch` stages contiguous lines through the transposed
+        // layout; every line must come back bit-identical to a per-line
+        // `solve`, or the batched ADI row sweeps would perturb traces.
+        let mut state = 0x1234_5678_9abc_def0_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
+        };
+        let mut scratch = Vec::new();
+        for (n, count) in [(1usize, 4usize), (3, 1), (8, 5), (16, 16), (33, 7)] {
+            let mut sub = vec![0.0; n];
+            let mut diag = vec![0.0; n];
+            let mut sup = vec![0.0; n];
+            for i in 0..n {
+                if i > 0 {
+                    sub[i] = next();
+                }
+                if i + 1 < n {
+                    sup[i] = next();
+                }
+                diag[i] = 2.5 + next().abs() + sub[i].abs() + sup[i].abs();
+            }
+            let factor = TridiagFactor::new(&sub, &diag, &sup);
+            let rhs: Vec<f64> = (0..n * count).map(|_| 10.0 * next()).collect();
+            let mut x_batch = vec![0.0; n * count];
+            factor.solve_batch(&rhs, &mut x_batch, &mut scratch);
+            for line in 0..count {
+                let mut x_line = vec![0.0; n];
+                factor.solve(&rhs[line * n..(line + 1) * n], &mut x_line);
+                for i in 0..n {
+                    assert_eq!(
+                        x_line[i].to_bits(),
+                        x_batch[line * n + i].to_bits(),
+                        "n={n} count={count} line={line} row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_general_solve_is_bit_identical_per_lane() {
+        // The general batch carries per-lane coefficients (the PCM path:
+        // melting-plateau cells become Dirichlet rows in *some* lanes);
+        // every lane must match a per-line `solve` bit for bit.
+        let mut state = 0xfeed_face_cafe_beef_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
+        };
+        let mut solver = Tridiag::new();
+        let mut batch = Tridiag::new();
+        for (n, lanes) in [(1usize, 3usize), (4, 1), (8, 8), (16, 5)] {
+            let total = n * lanes;
+            let mut sub = vec![0.0; total];
+            let mut diag = vec![0.0; total];
+            let mut sup = vec![0.0; total];
+            let mut rhs = vec![0.0; total];
+            for j in 0..lanes {
+                for i in 0..n {
+                    let k = i * lanes + j;
+                    if i > 0 {
+                        sub[k] = next();
+                    }
+                    if i + 1 < n {
+                        sup[k] = next();
+                    }
+                    diag[k] = 2.5 + next().abs() + sub[k].abs() + sup[k].abs();
+                    rhs[k] = 10.0 * next();
+                }
+                // Sprinkle Dirichlet (plateau) rows into odd lanes, the
+                // exact pattern the linearized PCM sweeps produce.
+                if j % 2 == 1 && n > 2 {
+                    let k = (n / 2) * lanes + j;
+                    sub[k] = 0.0;
+                    diag[k] = 1.0;
+                    sup[k] = 0.0;
+                    rhs[k] = 0.0;
+                }
+            }
+            let mut x_batch = vec![0.0; total];
+            batch.solve_batch(&sub, &diag, &sup, &rhs, &mut x_batch, lanes);
+            for j in 0..lanes {
+                let gather =
+                    |plane: &[f64]| -> Vec<f64> { (0..n).map(|i| plane[i * lanes + j]).collect() };
+                let (s, d, u, r) = (gather(&sub), gather(&diag), gather(&sup), gather(&rhs));
+                let mut x_line = vec![0.0; n];
+                solver.solve(&s, &d, &u, &r, &mut x_line);
+                for i in 0..n {
+                    assert_eq!(
+                        x_line[i].to_bits(),
+                        x_batch[i * lanes + j].to_bits(),
+                        "n={n} lanes={lanes} lane={j} row {i}"
                     );
                 }
             }

@@ -56,18 +56,74 @@ fn adi_matches_explicit_on_32x32_sprint_and_rest() {
 }
 
 /// A 1x1 grid is the lumped chain; the ADI z-sweep alone must integrate
-/// it to the same trajectory as the explicit scheme.
+/// it to the same trajectory as the explicit scheme. The fallback is
+/// pinned off: on the lumped chain the explicit bound is just as cheap,
+/// so the default would (correctly) route every window to explicit and
+/// leave the ADI z-sweep untested.
 #[test]
 fn adi_matches_explicit_on_the_lumped_equivalent_chain() {
     use sprint_thermal::phone::PhoneThermalParams;
     let mut phone = PhoneThermalParams::hpca();
     phone.board_path = None;
-    let params = GridThermalParams::phone_equivalent(&phone);
+    let params = GridThermalParams::phone_equivalent(&phone).with_adi_fallback(false);
     let dev = max_junction_dev(params, 16.0, 0.8, 1.2, 0.02);
     assert!(
         dev < 0.1,
         "1x1 ADI must track the explicit chain within 0.1 K, got {dev:.4} K"
     );
+}
+
+/// Pins the explicit-fallback crossover ([`ADI_FALLBACK_COST_RATIO`]):
+/// an ADI `advance` routes the window to whichever scheme is cheaper,
+/// so coarse grids (whose explicit bound is already slack) never pay
+/// the Thomas sweeps' fixed cost — the 8x8 regression case from
+/// BENCH_grid.json — while fine grids keep the implicit win.
+#[test]
+fn adi_fallback_crossover_is_pinned() {
+    use sprint_thermal::grid::ADI_FALLBACK_COST_RATIO;
+    use sprint_thermal::phone::PhoneThermalParams;
+    assert_eq!(ADI_FALLBACK_COST_RATIO, 5.0);
+
+    // Lumped 1x1 chain: the bounds coincide (ratio ~1), ADI buys
+    // nothing — every window falls back.
+    let mut phone = PhoneThermalParams::hpca();
+    phone.board_path = None;
+    let lumped = GridThermalParams::phone_equivalent(&phone)
+        .with_solver(GridSolver::Adi)
+        .build();
+    assert_eq!(lumped.effective_solver(0.02), GridSolver::Explicit);
+    assert!(lumped.sub_step_s() >= lumped.adi_sub_step_s() / ADI_FALLBACK_COST_RATIO);
+
+    // ...unless the fallback is disabled outright.
+    let pinned = GridThermalParams::phone_equivalent(&phone)
+        .with_solver(GridSolver::Adi)
+        .with_adi_fallback(false)
+        .build();
+    assert_eq!(pinned.effective_solver(0.02), GridSolver::Adi);
+
+    // 8x8 and up: the explicit bound shrinks with resolution, the ADI
+    // bound does not, so real grids clear the ratio and stay implicit.
+    for (nx, ny) in [(8, 8), (16, 16), (32, 32)] {
+        let g = GridThermalParams::hpca_like()
+            .with_grid(nx, ny)
+            .with_solver(GridSolver::Adi)
+            .build();
+        assert_eq!(
+            g.effective_solver(0.005),
+            GridSolver::Adi,
+            "{nx}x{ny} must stay ADI"
+        );
+        assert!(
+            g.sub_step_s() < g.adi_sub_step_s() / ADI_FALLBACK_COST_RATIO,
+            "{nx}x{ny} explicit bound must be >{ADI_FALLBACK_COST_RATIO}x tighter"
+        );
+    }
+
+    // An explicit-solver grid is never rerouted, and a zero-length
+    // window never falls back (there is nothing to integrate).
+    let explicit = GridThermalParams::hpca_like().build();
+    assert_eq!(explicit.effective_solver(0.005), GridSolver::Explicit);
+    assert_eq!(pinned.effective_solver(0.0), GridSolver::Adi);
 }
 
 /// The whole point of the implicit sweeps: sub-steps 100x beyond the

@@ -1,0 +1,110 @@
+//! Determinism pin for the threaded ADI engine: advancing a PCM-free
+//! rack grid with 2 or 8 solver threads must reproduce the serial
+//! (1-thread) trajectory byte for byte — every cell temperature, the
+//! boundary energy ledger, the junction and the per-core peaks. The
+//! whole threaded design (fixed `lane_range` partitions, caller-side
+//! sink reductions) exists to make this test pass; see the grid module
+//! docs' "Batched and threaded sweeps" section.
+
+use sprint_thermal::grid::{GridSolver, GridThermal, GridThermalParams};
+use sprint_thermal::pool::SolverPool;
+use std::sync::Arc;
+
+/// A bitwise fingerprint of everything the backend reports.
+fn fingerprint(g: &GridThermal) -> Vec<u64> {
+    let mut out = Vec::new();
+    for layer in 0..g.layer_count() {
+        for y in 0..g.params().ny {
+            for x in 0..g.params().nx {
+                out.push(g.cell_temp_c(layer, x, y).to_bits());
+            }
+        }
+    }
+    out.push(g.total_stored_enthalpy_j().to_bits());
+    out.push(g.boundary_absorbed_j().to_bits());
+    out.push(g.junction_temp_c().to_bits());
+    out.push(g.hotspot_gradient_k().to_bits());
+    for core in 0..g.params().floorplan.cores().len() {
+        out.push(g.core_temp_c(core).to_bits());
+    }
+    out
+}
+
+/// Drives a mixed busy/idle power schedule with awkward window sizes
+/// and returns the final fingerprint.
+fn drive(mut g: GridThermal) -> Vec<u64> {
+    let cores = g.params().floorplan.cores().len();
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for window in 0..60 {
+        for core in 0..cores {
+            let u = next();
+            let watts = if u < 0.3 { 0.0 } else { 24.0 * u };
+            g.set_core_power_w(core, watts);
+        }
+        let dt = if window % 5 == 0 { 0.08 } else { 0.004 };
+        g.advance(dt);
+    }
+    fingerprint(&g)
+}
+
+/// Uneven cell dimensions so every lane partition hits a remainder
+/// (13 rows / 10 columns / 130 stacks never split evenly at 2, 3, 4
+/// or 8 lanes).
+fn uneven_rack() -> GridThermalParams {
+    GridThermalParams::rack(3, 2).with_grid(13, 10)
+}
+
+#[test]
+fn threaded_adi_is_byte_identical_at_1_2_and_8_lanes() {
+    // The schedule must actually exercise the implicit engine, not the
+    // explicit fallback.
+    assert_eq!(
+        uneven_rack().build().effective_solver(0.004),
+        GridSolver::Adi
+    );
+    let serial = drive(uneven_rack().with_solver_threads(1).build());
+    for threads in [2usize, 8] {
+        let threaded = drive(uneven_rack().with_solver_threads(threads).build());
+        assert_eq!(serial, threaded, "{threads} lanes diverged from serial");
+    }
+}
+
+#[test]
+fn a_shared_installed_pool_is_byte_identical_too() {
+    // The cross-rack seam: one pool (sized for the widest rack of a
+    // shard) services grids configured for fewer lanes. The pool's
+    // lane count, not `solver_threads`, decides the partition — and
+    // either way the bytes must match serial.
+    let serial = drive(uneven_rack().build());
+    let pool = Arc::new(SolverPool::new(4));
+    for threads in [2usize, 3] {
+        let mut g = uneven_rack().with_solver_threads(threads).build();
+        g.install_solver_pool(Arc::clone(&pool));
+        let shared = drive(g);
+        assert_eq!(
+            serial, shared,
+            "shared 4-lane pool diverged (solver_threads = {threads})"
+        );
+    }
+}
+
+#[test]
+fn a_pcm_grid_ignores_the_thread_knob_and_stays_serial_batched() {
+    // Threading covers the PCM-free linear engine; a PCM grid must
+    // produce its usual (serial, batched-general) trajectory no matter
+    // the configured lane count.
+    let params = || {
+        GridThermalParams::hpca_like()
+            .with_grid(6, 5)
+            .with_solver(GridSolver::Adi)
+    };
+    let serial = drive(params().build());
+    let threaded = drive(params().with_solver_threads(8).build());
+    assert_eq!(serial, threaded);
+}
