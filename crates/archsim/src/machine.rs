@@ -792,6 +792,41 @@ impl Machine {
         Ok(())
     }
 
+    /// Kills every unfinished thread immediately, returning how many were
+    /// killed. The machine-level cancel primitive behind competitive-
+    /// duplicate reclamation: when another replica of the same task wins,
+    /// the losing machine's threads are discarded mid-kernel rather than
+    /// run to completion.
+    ///
+    /// Killed threads stop retiring instructions the moment this returns:
+    /// their op buffers are dropped, every core's run queue is cleared,
+    /// and the barrier and lock state is reset (a killed holder cannot
+    /// release, and no live thread remains to wait). Caches, memory-system
+    /// state, accumulated stats and machine time are left untouched — the
+    /// work already executed stays on the books, exactly as a crashed
+    /// node's does. After cancellation [`all_done`](Self::all_done) is
+    /// true and the machine accepts fresh [`spawn`](Self::spawn)s.
+    pub fn cancel_all(&mut self) -> usize {
+        let mut killed = 0;
+        for th in &mut self.threads {
+            if th.state != ThreadState::Done {
+                th.state = ThreadState::Done;
+                th.buf.clear();
+                th.cursor = 0;
+                th.done_pending = false;
+                killed += 1;
+            }
+        }
+        self.live_threads = 0;
+        for core in &mut self.cores {
+            core.run_q.clear();
+            core.rr = 0;
+        }
+        self.barrier = BarrierState::default();
+        self.locks = LockPool::default();
+        killed
+    }
+
     fn finish_thread(&mut self, t: usize) {
         debug_assert_ne!(self.threads[t].state, ThreadState::Done);
         self.threads[t].state = ThreadState::Done;
@@ -1025,6 +1060,84 @@ mod tests {
         }
         assert!(m.stats().migrations >= 4);
         assert_eq!(m.stats().loads + m.stats().stores, 4 * 5_000);
+    }
+
+    #[test]
+    fn cancel_all_kills_in_flight_threads_and_allows_respawn() {
+        let mut m = small_machine(4);
+        for t in 0..4u64 {
+            m.spawn(Box::new(SyntheticKernel::new(
+                16,
+                1_000_000,
+                (t + 1) << 24,
+                64,
+            )));
+        }
+        m.run_window(1_000_000);
+        assert!(!m.all_done());
+        let before = m.stats().instructions;
+        assert_eq!(m.cancel_all(), 4);
+        assert!(m.all_done());
+        // Cancelled threads retire nothing further; executed work stays.
+        m.run_window(1_000_000);
+        assert_eq!(m.stats().instructions, before);
+        // Cancelling an already-done machine is a no-op.
+        assert_eq!(m.cancel_all(), 0);
+        // A fresh burst runs normally on the same machine.
+        let accesses_before = m.stats().loads + m.stats().stores;
+        m.spawn(Box::new(SyntheticKernel::new(4, 500, 1 << 20, 64)));
+        let r = m.run_to_completion(1_000_000, 100_000);
+        assert!(r.all_done);
+        assert_eq!(m.stats().loads + m.stats().stores, accesses_before + 500);
+    }
+
+    #[test]
+    fn cancel_all_releases_barrier_and_lock_state() {
+        // One thread parks at the barrier, the other holds a lock; after
+        // cancellation a fresh pair must synchronize cleanly.
+        let mut m = small_machine(2);
+        m.spawn(Box::new(FnKernel(
+            |_t, _i: &mut Inbox, out: &mut Vec<Op>| {
+                out.push(Op::Barrier);
+                KernelStatus::Running
+            },
+        )));
+        let mut acquired = false;
+        m.spawn(Box::new(FnKernel(
+            move |_t, _i: &mut Inbox, out: &mut Vec<Op>| {
+                if !acquired {
+                    acquired = true;
+                    out.push(Op::LockAcquire { lock: 0 });
+                }
+                out.push(Op::Pause);
+                KernelStatus::Running
+            },
+        )));
+        for _ in 0..4 {
+            m.run_window(1_000_000);
+        }
+        assert_eq!(m.cancel_all(), 2);
+        let episodes = m.stats().barrier_episodes;
+        for _ in 0..2 {
+            let mut phase = 0;
+            m.spawn(Box::new(FnKernel(
+                move |_t, _i: &mut Inbox, out: &mut Vec<Op>| {
+                    phase += 1;
+                    if phase == 1 {
+                        out.push(Op::LockAcquire { lock: 0 });
+                        out.push(Op::LockRelease { lock: 0 });
+                        out.push(Op::Barrier);
+                        KernelStatus::Running
+                    } else {
+                        KernelStatus::Done
+                    }
+                },
+            )));
+        }
+        while !m.all_done() {
+            m.run_window(1_000_000);
+        }
+        assert_eq!(m.stats().barrier_episodes, episodes + 1);
     }
 
     #[test]

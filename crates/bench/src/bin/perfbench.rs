@@ -1,15 +1,18 @@
 //! `perfbench` — the grid-solver performance harness.
 //!
 //! Times the explicit and ADI solvers through one sprint-and-rest cycle
-//! across grid resolutions, plus four scheduler-scale points — the
+//! across grid resolutions, plus five scheduler-scale points — the
 //! thermal `rack_case`, the power-aware scheduler loop
 //! (`rack_power_case`: shared-supply settlement, regulator math and
 //! joint thermal+power admission on the 16-node rack), the facility
 //! settlement loop (`facility_case`: sharded racks, row CRAC coupling
-//! and cross-rack cap rationing) and the event-driven cluster core
+//! and cross-rack cap rationing), the event-driven cluster core
 //! (`event_core_case`: a 4096-server sparse-arrival drain stepped by
 //! both the lockstep golden oracle and the event core, digests
-//! asserted byte-identical) — prints the comparison table, and writes
+//! asserted byte-identical) and the heterogeneous duplication point
+//! (`hetero_rack_case`: the degraded big/little rack under a crash
+//! plan, competitive duplicates with loser cancellation vs bounded
+//! retry-in-place) — prints the comparison table, and writes
 //! `BENCH_grid.json` at the repository root (override the location
 //! with `SPRINT_BENCH_OUT`).
 //!
@@ -30,8 +33,11 @@
 //!   both scheduler points clear the end-to-end tasks/sec floor with
 //!   zero electrical aborts and all-zero fault counters (no fault plan
 //!   is installed, so the always-on fault ports must stay perfectly
-//!   inert), and the event core beats the lockstep oracle by at least
-//!   5x while reproducing its report digest byte for byte.
+//!   inert), the event core beats the lockstep oracle by at least
+//!   5x while reproducing its report digest byte for byte, and on the
+//!   degraded heterogeneous rack the duplicate+cancel p99 beats the
+//!   retry-in-place p99 (duplication must stay a latency hedge, not a
+//!   throughput tax).
 
 use sprint_bench::figs_perf;
 
@@ -134,6 +140,11 @@ fn main() {
              (need >= {CHECK_MIN_EVENT_SPEEDUP}x), digest {:016x} byte-identical",
             run.event_core.speedup, run.event_core.digest,
         );
+        println!(
+            "perf-smoke gate: hetero rack dup+cancel p99 {:.2} ms vs retry p99 \
+             {:.2} ms (need dup < retry), {} losers cancelled",
+            run.hetero.dup_p99_ms, run.hetero.retry_p99_ms, run.hetero.cancelled_copies,
+        );
         let solver_ok = case32.speedup >= CHECK_MIN_SPEEDUP && case32.max_dev_k < CHECK_MAX_DEV_K;
         let threaded_ok = !threaded_gated || run.threaded.speedup >= CHECK_MIN_THREADED_SPEEDUP;
         let scheduler_ok = run.rack_power.tasks_per_s >= CHECK_MIN_TASKS_PER_S
@@ -145,7 +156,8 @@ fn main() {
             && run.facility.fault_events == 0
             && run.facility.failed_tasks == 0;
         let event_ok = run.event_core.speedup >= CHECK_MIN_EVENT_SPEEDUP;
-        if !solver_ok || !threaded_ok || !scheduler_ok || !faults_ok || !event_ok {
+        let hetero_ok = run.hetero.dup_p99_ms < run.hetero.retry_p99_ms;
+        if !solver_ok || !threaded_ok || !scheduler_ok || !faults_ok || !event_ok || !hetero_ok {
             eprintln!("perf-smoke gate FAILED");
             std::process::exit(1);
         }

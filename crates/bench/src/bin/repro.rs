@@ -2,9 +2,13 @@
 //!
 //! Usage:
 //! ```text
-//! repro <experiment>... [--quick] [--full] [--bw2x] [--size A|B|C|D]
+//! repro <experiment>... [--quick] [--full] [--bw2x] [--oracle] [--size A|B|C|D]
 //! repro all [--quick]
 //! ```
+//!
+//! `--oracle` makes the facility sweep re-run every point on the
+//! lockstep golden oracle and assert the event-driven report digest
+//! matches it byte for byte.
 //!
 //! Tables print to stdout; series are written to `results/*.csv`
 //! (override the directory with `SPRINT_RESULTS_DIR`).
@@ -12,7 +16,7 @@
 use std::time::Instant;
 
 use sprint_bench::{
-    figs_arch, figs_facility, figs_faults, figs_grid, figs_model, figs_perf, figs_rack,
+    figs_arch, figs_facility, figs_faults, figs_grid, figs_hetero, figs_model, figs_perf, figs_rack,
 };
 use sprint_workloads::suite::InputSize;
 
@@ -20,6 +24,7 @@ struct Options {
     quick: bool,
     full: bool,
     bw2x: bool,
+    oracle: bool,
     size: InputSize,
 }
 
@@ -30,6 +35,7 @@ fn main() {
         quick: false,
         full: false,
         bw2x: false,
+        oracle: false,
         size: InputSize::C,
     };
     let mut iter = args.iter().peekable();
@@ -38,6 +44,7 @@ fn main() {
             "--quick" => opts.quick = true,
             "--full" => opts.full = true,
             "--bw2x" => opts.bw2x = true,
+            "--oracle" => opts.oracle = true,
             "--size" => {
                 let v = iter.next().expect("--size needs A|B|C|D");
                 opts.size = match v.as_str() {
@@ -56,10 +63,10 @@ fn main() {
     }
     if experiments.is_empty() {
         eprintln!(
-            "usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--size A|B|C|D]"
+            "usage: repro <experiment>... | all  [--quick] [--full] [--bw2x] [--oracle] [--size A|B|C|D]"
         );
         eprintln!(
-            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf rack rack_power facility faults"
+            "experiments: fig1 fig2 table1 fig4a fig4b fig5 fig6 fig7 fig8 fig9 fig10 power grid perf rack rack_power facility faults hetero"
         );
         eprintln!("             ablation_tmelt ablation_metal ablation_budget ablation_abort ablation_pacing");
         std::process::exit(2);
@@ -84,6 +91,7 @@ fn main() {
             "rack_power",
             "facility",
             "faults",
+            "hetero",
             "ablation_tmelt",
             "ablation_metal",
             "ablation_budget",
@@ -114,8 +122,9 @@ fn main() {
             "perf" | "fig_perf" => figs_perf::fig_perf(opts.quick, opts.full),
             "rack" | "fig_rack" => figs_rack::fig_rack(),
             "rack_power" | "fig_rack_power" => figs_rack::fig_rack_power(),
-            "facility" | "fig_facility" => figs_facility::fig_facility(opts.quick),
+            "facility" | "fig_facility" => figs_facility::fig_facility(opts.quick, opts.oracle),
             "faults" | "fig_faults" => figs_faults::fig_faults(opts.quick),
+            "hetero" | "fig_hetero" => figs_hetero::fig_hetero(opts.quick),
             "ablation_tmelt" => figs_model::ablation_tmelt(),
             "ablation_metal" => figs_model::ablation_metal(),
             "ablation_budget" => figs_arch::ablation_budget(),

@@ -24,6 +24,12 @@
 //! needs it, while global rationing rides the rotating peaks — the
 //! facility-scale version of the paper's core claim that pooled
 //! thermal/electrical headroom beats per-unit worst-case provisioning.
+//!
+//! Racks are stepped by the event-driven core by default (idle nodes
+//! cost event-heap ticks, not lockstep windows); `repro facility
+//! --oracle` re-runs every sweep point on the lockstep golden oracle
+//! and asserts the two report digests are byte-identical — the
+//! cluster-level equivalence contract, re-proved at study scale.
 
 use std::time::Instant;
 
@@ -149,6 +155,10 @@ pub fn study_facility_with(
         .facility_cap_w(share_w * racks as f64)
         .epoch_windows(FACILITY_EPOCH_WINDOWS)
         .max_time_s(60.0)
+        // The event-driven core is the default study engine; the
+        // lockstep oracle stays reachable through the customize hook
+        // (the `--oracle` cross-check rebuilds with it).
+        .event_driven(true)
         .traffic(facility_traffic(tasks));
     customize(builder).build()
 }
@@ -165,18 +175,33 @@ pub struct FacilityRow {
     pub wall_s: f64,
 }
 
-/// Runs one sweep point on every available core.
+/// Runs one sweep point on every available core. With `oracle` set,
+/// the identical configuration is additionally run on the lockstep
+/// golden oracle and the two report digests are asserted byte-equal
+/// (the wall-clock recorded is always the event-driven run's).
 pub fn run_facility_policy(
     label: &'static str,
     policy: FacilityPolicy,
     share_w: f64,
     racks: usize,
     tasks: usize,
+    oracle: bool,
 ) -> FacilityRow {
     let facility = study_facility(policy, share_w, racks, tasks);
     let start = Instant::now();
     let report = facility.run(facility_threads());
     let wall_s = start.elapsed().as_secs_f64();
+    if oracle {
+        let lockstep =
+            study_facility_with(policy, share_w, racks, tasks, |b| b.event_driven(false))
+                .run(facility_threads());
+        assert_eq!(
+            report.digest(),
+            lockstep.digest(),
+            "{label} @ {share_w} W/rack: event-driven facility diverged from \
+             the lockstep oracle"
+        );
+    }
     // A truncated rack would flatter the slow tier (only completed
     // tasks enter the percentiles), so refuse to compare truncated
     // runs — same stance as the rack figures.
@@ -195,7 +220,13 @@ pub fn run_facility_policy(
 
 /// The facility figure at explicit scale: `racks` racks, `tasks` tasks
 /// per run, sweeping `shares` (per-rack watts) under both tiers.
-pub fn fig_facility_at(racks: usize, tasks: usize, shares: &[f64]) -> (Vec<FacilityRow>, String) {
+/// `oracle` cross-checks every point against the lockstep stepper.
+pub fn fig_facility_at(
+    racks: usize,
+    tasks: usize,
+    shares: &[f64],
+    oracle: bool,
+) -> (Vec<FacilityRow>, String) {
     let mut rows = Vec::with_capacity(shares.len() * 2);
     for &share in shares {
         rows.push(run_facility_policy(
@@ -204,6 +235,7 @@ pub fn fig_facility_at(racks: usize, tasks: usize, shares: &[f64]) -> (Vec<Facil
             share,
             racks,
             tasks,
+            oracle,
         ));
         rows.push(run_facility_policy(
             "global",
@@ -214,6 +246,7 @@ pub fn fig_facility_at(racks: usize, tasks: usize, shares: &[f64]) -> (Vec<Facil
             share,
             racks,
             tasks,
+            oracle,
         ));
     }
     let mut out = format!(
@@ -338,12 +371,19 @@ pub fn fig_facility_at(racks: usize, tasks: usize, shares: &[f64]) -> (Vec<Facil
 }
 
 /// The facility figure (`repro facility`): the full 16-rack, 102k-task
-/// sweep, or a 4-rack reduced sweep under `--quick`.
-pub fn fig_facility(quick: bool) -> String {
+/// sweep, or a 4-rack reduced sweep under `--quick`. `oracle` re-runs
+/// every point on the lockstep stepper and asserts digest equality.
+pub fn fig_facility(quick: bool, oracle: bool) -> String {
     if quick {
-        fig_facility_at(4, 800, &[25.0, 120.0]).1
+        fig_facility_at(4, 800, &[25.0, 120.0], oracle).1
     } else {
-        fig_facility_at(FACILITY_RACKS, FACILITY_TASKS, &FACILITY_CAP_SHARES_W).1
+        fig_facility_at(
+            FACILITY_RACKS,
+            FACILITY_TASKS,
+            &FACILITY_CAP_SHARES_W,
+            oracle,
+        )
+        .1
     }
 }
 
@@ -354,11 +394,14 @@ mod tests {
     /// A miniature of the sweep machinery: two racks, a tight share,
     /// both tiers drain, and the global tier's p99 is no worse. (The
     /// full-scale ordering is asserted inside `fig_facility` itself and
-    /// exercised by the example-smoke CI job at reduced scale.)
+    /// exercised by the example-smoke CI job at reduced scale.) Runs
+    /// with the oracle cross-check on, so the event-driven default is
+    /// digest-pinned to the lockstep stepper on the study's own
+    /// configuration.
     #[test]
     fn reduced_facility_sweep_runs_and_orders() {
         let tasks = 64;
-        let obl = run_facility_policy("oblivious", FacilityPolicy::PerRack, 40.0, 2, tasks);
+        let obl = run_facility_policy("oblivious", FacilityPolicy::PerRack, 40.0, 2, tasks, true);
         let glob = run_facility_policy(
             "global",
             FacilityPolicy::GlobalRationed {
@@ -368,6 +411,7 @@ mod tests {
             40.0,
             2,
             tasks,
+            true,
         );
         assert_eq!(obl.report.completed, tasks);
         assert_eq!(glob.report.completed, tasks);

@@ -519,6 +519,83 @@ pub fn run_event_core_case() -> EventCorePerfCase {
     }
 }
 
+/// The heterogeneous-fleet point: the `repro hetero` study's degraded
+/// big/little rack (per-node [`sprint_cluster::NodeSpec`]s,
+/// cheapest-headroom placement, a seeded two-node crash plan) drained
+/// twice on the event core — once under bounded retry-in-place, once
+/// under competitive duplication with same-window loser cancellation.
+/// The tail claim (`duplication beats retry-in-place on the p99 of a
+/// degraded rack`) and its price (the extra feed draw) are both
+/// recorded; `perfbench --check` gates the former.
+#[derive(Debug, Clone)]
+pub struct HeteroRackPerfCase {
+    /// Human-readable configuration label.
+    pub stack: String,
+    /// Servers on the rack (2 big + 2 little).
+    pub nodes: usize,
+    /// Open-arrival tasks per policy run.
+    pub tasks: usize,
+    /// p99 latency under bounded retry-in-place, milliseconds.
+    pub retry_p99_ms: f64,
+    /// p99 latency under duplication + cancellation, milliseconds.
+    pub dup_p99_ms: f64,
+    /// `retry_p99_ms / dup_p99_ms` — the gated tail win.
+    pub p99_gain: f64,
+    /// Rack feed draw under retry-in-place, joules.
+    pub retry_energy_j: f64,
+    /// Rack feed draw under duplication + cancellation, joules.
+    pub dup_energy_j: f64,
+    /// `dup_energy_j / retry_energy_j - 1` — the quantified price of
+    /// the duplication hedge after cancellation reclaims dead work.
+    pub extra_draw_frac: f64,
+    /// Losing replicas preempted the window their winner committed.
+    pub cancelled_copies: usize,
+    /// Crash retries paid by the retry-in-place run (must be nonzero —
+    /// otherwise the fixture degraded nothing and the claim is empty).
+    pub requeues: usize,
+    /// Wall-clock for both runs, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Measures the heterogeneous-fleet point (see [`HeteroRackPerfCase`]).
+/// The fixture is the hetero figure's own
+/// ([`crate::figs_hetero::degraded_cluster`]), so retuning the figure
+/// retunes this point with it; the study-level invariants (drain,
+/// conservation, crashes bite) are asserted inside `run_hetero_point`.
+pub fn run_hetero_rack_case() -> HeteroRackPerfCase {
+    use crate::figs_hetero::{run_hetero_point, HETERO_TASKS};
+    let start = Instant::now();
+    let retry = run_hetero_point(
+        "retry-in-place",
+        ClusterPolicy::greedy_default(),
+        HETERO_TASKS,
+    );
+    let dup = run_hetero_point(
+        "duplicate+cancel",
+        ClusterPolicy::competitive_default(),
+        HETERO_TASKS,
+    );
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let retry_p99_ms = retry.report.p99_latency_s * 1e3;
+    let dup_p99_ms = dup.report.p99_latency_s * 1e3;
+    HeteroRackPerfCase {
+        stack: "degraded hetero rack, 2 big + 2 little servers, duplication \
+                + cancel vs retry-in-place"
+            .to_string(),
+        nodes: retry.report.node_reports.len(),
+        tasks: HETERO_TASKS,
+        retry_p99_ms,
+        dup_p99_ms,
+        p99_gain: retry_p99_ms / dup_p99_ms,
+        retry_energy_j: retry.energy_j,
+        dup_energy_j: dup.energy_j,
+        extra_draw_frac: dup.energy_j / retry.energy_j - 1.0,
+        cancelled_copies: dup.report.cancelled_copies,
+        requeues: retry.report.requeues,
+        wall_ms,
+    }
+}
+
 /// Grid resolutions for a run: `--quick` trims to the CI pair, `--full`
 /// adds the 64x64 rack-scale preview (explicit there is minutes of
 /// wall-clock — the point the figure makes).
@@ -563,6 +640,7 @@ pub fn bench_json(
     rack_power: Option<&RackPowerPerfCase>,
     facility: Option<&FacilityPerfCase>,
     event_core: Option<&EventCorePerfCase>,
+    hetero: Option<&HeteroRackPerfCase>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"grid_solver_perf\",\n");
@@ -684,6 +762,28 @@ pub fn bench_json(
             digest = e.digest,
         ));
     }
+    if let Some(h) = hetero {
+        sections.push(format!(
+            "  \"hetero_rack_case\": {{\"stack\": \"{stack}\", \"nodes\": {nodes}, \
+             \"tasks\": {tasks}, \"retry_p99_ms\": {retry_p99:.3}, \
+             \"dup_p99_ms\": {dup_p99:.3}, \"p99_gain\": {gain:.2}, \
+             \"retry_energy_j\": {retry_j:.4}, \"dup_energy_j\": {dup_j:.4}, \
+             \"extra_draw_frac\": {extra:.3}, \"cancelled_copies\": {cancelled}, \
+             \"requeues\": {requeues}, \"wall_ms\": {wall_ms:.3}}}",
+            stack = h.stack,
+            nodes = h.nodes,
+            tasks = h.tasks,
+            retry_p99 = h.retry_p99_ms,
+            dup_p99 = h.dup_p99_ms,
+            gain = h.p99_gain,
+            retry_j = h.retry_energy_j,
+            dup_j = h.dup_energy_j,
+            extra = h.extra_draw_frac,
+            cancelled = h.cancelled_copies,
+            requeues = h.requeues,
+            wall_ms = h.wall_ms,
+        ));
+    }
     for s in &sections {
         out.push_str(",\n");
         out.push_str(s);
@@ -706,6 +806,8 @@ pub struct PerfRun {
     pub facility: FacilityPerfCase,
     /// The event-core vs lockstep-oracle point.
     pub event_core: EventCorePerfCase,
+    /// The heterogeneous duplication-under-faults point.
+    pub hetero: HeteroRackPerfCase,
     /// The rendered stdout report.
     pub report: String,
 }
@@ -856,6 +958,22 @@ pub fn fig_perf_cases(quick: bool, full: bool) -> PerfRun {
         windows = event_core.windows,
         speedup = event_core.speedup,
     ));
+    // The heterogeneous point: the duplication-economics claim on the
+    // degraded big/little rack — competitive duplicates with loser
+    // cancellation must beat bounded retry-in-place at the p99 (the
+    // figure's fixture, so retuning `figs_hetero` retunes this point).
+    let hetero = run_hetero_rack_case();
+    out.push_str(&format!(
+        "hetero rack ({nodes} servers, big/little, crash plan): retry p99 \
+         {retry:.2} ms vs dup+cancel {dup:.2} ms — {gain:.1}x at +{extra:.0}% feed \
+         draw ({cancelled} losers cancelled)\n",
+        nodes = hetero.nodes,
+        retry = hetero.retry_p99_ms,
+        dup = hetero.dup_p99_ms,
+        gain = hetero.p99_gain,
+        extra = hetero.extra_draw_frac * 100.0,
+        cancelled = hetero.cancelled_copies,
+    ));
     let path = bench_json_path(quick);
     match std::fs::write(
         &path,
@@ -866,6 +984,7 @@ pub fn fig_perf_cases(quick: bool, full: bool) -> PerfRun {
             Some(&rack_power),
             Some(&facility),
             Some(&event_core),
+            Some(&hetero),
         ),
     ) {
         Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
@@ -878,6 +997,7 @@ pub fn fig_perf_cases(quick: bool, full: bool) -> PerfRun {
         rack_power,
         facility,
         event_core,
+        hetero,
         report: out,
     }
 }
@@ -905,7 +1025,7 @@ mod tests {
     #[test]
     fn bench_json_is_wellformed_enough() {
         let cases = vec![run_case(8)];
-        let json = bench_json(&cases, None, None, None, None, None);
+        let json = bench_json(&cases, None, None, None, None, None, None);
         assert!(json.contains("\"grid\": \"8x8x3\""));
         assert!(json.contains("\"threads\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -919,7 +1039,7 @@ mod tests {
         assert_eq!(rack.n, 32);
         assert!(rack.adi_ms > 0.0);
         assert!(rack.explicit_ms.is_none(), "explicit is a --full extra");
-        let json = bench_json(&cases, Some(&rack), None, None, None, None);
+        let json = bench_json(&cases, Some(&rack), None, None, None, None, None);
         assert!(json.contains("\"rack_case\""));
         assert!(json.contains("\"grid\": \"32x32x2\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -942,7 +1062,7 @@ mod tests {
             digest: 0x0012_3456_789a_bcde,
         };
         let cases = vec![run_case(8)];
-        let json = bench_json(&cases, None, Some(&threaded), None, None, None);
+        let json = bench_json(&cases, None, Some(&threaded), None, None, None, None);
         assert!(json.contains("\"threaded_rack_case\""));
         assert!(json.contains("\"grid\": \"64x64x2\""));
         assert!(json.contains("\"cpus\": 8"));
@@ -1004,6 +1124,22 @@ mod tests {
             speedup: 11.9,
             digest: 0x00ab_cdef_0123_4567,
         };
+        let hetero = HeteroRackPerfCase {
+            stack: "degraded hetero rack, 2 big + 2 little servers, duplication + cancel \
+                    vs retry-in-place"
+                .to_string(),
+            nodes: 4,
+            tasks: 16,
+            retry_p99_ms: 2.522,
+            dup_p99_ms: 1.310,
+            p99_gain: 2.522 / 1.310,
+            retry_energy_j: 0.0412,
+            dup_energy_j: 0.0595,
+            extra_draw_frac: 0.445,
+            cancelled_copies: 15,
+            requeues: 2,
+            wall_ms: 1300.0,
+        };
         let cases = vec![run_case(8)];
         let rack = run_rack_case(false);
         let json = bench_json(
@@ -1013,13 +1149,18 @@ mod tests {
             Some(&power),
             Some(&facility),
             Some(&event_core),
+            Some(&hetero),
         );
         assert!(json.contains("\"rack_power_case\""));
         assert!(json.contains("\"facility_case\""));
         assert!(json.contains("\"event_core_case\""));
+        assert!(json.contains("\"hetero_rack_case\""));
         assert!(json.contains("\"tasks_per_s\": 9.70"));
         assert!(json.contains("\"tasks_per_s\": 48.00"));
         assert!(json.contains("\"speedup\": 11.90"));
+        assert!(json.contains("\"retry_p99_ms\": 2.522"));
+        assert!(json.contains("\"p99_gain\": 1.93"));
+        assert!(json.contains("\"cancelled_copies\": 15"));
         // The digest serializes as fixed-width hex, leading zeros kept
         // (a truncated digest could alias two different reports).
         assert!(json.contains("\"digest\": \"00abcdef01234567\""));
@@ -1036,22 +1177,32 @@ mod tests {
             speedup: 100.0 / 110.0,
             digest: 1,
         };
-        for (r, t, p, f, e) in [
-            (None, None, Some(&power), None, None),
-            (None, None, None, Some(&facility), None),
-            (Some(&rack), None, None, Some(&facility), None),
-            (None, None, None, None, Some(&event_core)),
-            (Some(&rack), Some(&threaded), None, None, Some(&event_core)),
-            (None, Some(&threaded), None, None, None),
+        for (r, t, p, f, e, h) in [
+            (None, None, Some(&power), None, None, None),
+            (None, None, None, Some(&facility), None, None),
+            (Some(&rack), None, None, Some(&facility), None, None),
+            (None, None, None, None, Some(&event_core), None),
+            (
+                Some(&rack),
+                Some(&threaded),
+                None,
+                None,
+                Some(&event_core),
+                None,
+            ),
+            (None, Some(&threaded), None, None, None, None),
+            (None, None, None, None, None, Some(&hetero)),
+            (None, None, Some(&power), None, None, Some(&hetero)),
             (
                 None,
                 Some(&threaded),
                 Some(&power),
                 Some(&facility),
                 Some(&event_core),
+                Some(&hetero),
             ),
         ] {
-            let alone = bench_json(&cases, r, t, p, f, e);
+            let alone = bench_json(&cases, r, t, p, f, e, h);
             assert_eq!(alone.matches('{').count(), alone.matches('}').count());
             assert_eq!(alone.matches('[').count(), alone.matches(']').count());
         }

@@ -20,7 +20,10 @@
 //! repro perf        # explicit vs ADI grid-solver wall-clock sweep
 //! repro rack        # cluster sprint admission on a 16-server rack
 //! repro facility    # facility cap sweep: global vs oblivious rationing
+//!                   # (event-driven racks; --oracle cross-checks lockstep digests)
 //! repro faults      # fault matrix: degradation-aware vs oblivious under crashes
+//! repro hetero      # degraded big/little rack: duplication + loser
+//!                   # cancellation vs bounded retry-in-place
 //! repro ablation_tmelt | ablation_metal | ablation_budget | ablation_abort | ablation_pacing
 //! ```
 
@@ -30,6 +33,7 @@ pub mod figs_arch;
 pub mod figs_facility;
 pub mod figs_faults;
 pub mod figs_grid;
+pub mod figs_hetero;
 pub mod figs_model;
 pub mod figs_perf;
 pub mod figs_rack;

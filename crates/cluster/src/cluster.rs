@@ -119,6 +119,82 @@ pub enum ClusterEvent {
 /// Per-node supply factory for independently supplied clusters.
 type SupplyFactory = Box<dyn Fn(usize) -> Box<dyn PowerSupply>>;
 
+/// Per-node provisioning for a heterogeneous fleet: the node's machine
+/// configuration plus its commissioning-time weights in the rack's two
+/// shared pools.
+///
+/// The weights keep Porto et al.'s nameplate-vs-telemetry split intact
+/// under heterogeneity: they are *commissioning-time* figures fixed
+/// when the rack is racked, not live telemetry —
+///
+/// * `share_weight` scales the node's nameplate share of the rack feed
+///   (a weight-2 node is promised twice the even `cap / nodes` cut,
+///   and the total always re-normalizes to the cap);
+/// * `thermal_weight` scales the node's floorplan rectangle *area*
+///   about its center, which is exactly what sizes its nameplate
+///   thermal sprint budget (`RackThermal` derives each node's budget
+///   from its own rect).
+///
+/// A fleet of [`NodeSpec::standard`] specs — every weight 1.0, one
+/// shared machine config — is **byte-for-byte identical** to the
+/// legacy clone-one-config path; the property tests pin this on the
+/// cluster and facility digests.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// The node's machine configuration (core count, clocks, caches,
+    /// energy model) — big and little servers differ here.
+    pub machine: MachineConfig,
+    /// Relative nameplate share of the rack feed (1.0 = the even
+    /// `cap / nodes` cut). Must be finite and positive.
+    pub share_weight: f64,
+    /// Relative thermal-footprint area scale of the node's floorplan
+    /// rectangle (1.0 = the rack preset's rect). Must be finite and
+    /// positive.
+    pub thermal_weight: f64,
+}
+
+impl NodeSpec {
+    /// A standard node: the given machine at even weights — the spec
+    /// that reproduces the clone path exactly.
+    pub fn standard(machine: MachineConfig) -> Self {
+        Self {
+            machine,
+            share_weight: 1.0,
+            thermal_weight: 1.0,
+        }
+    }
+
+    /// Sets the nameplate share weight.
+    pub fn with_share_weight(mut self, weight: f64) -> Self {
+        self.share_weight = weight;
+        self
+    }
+
+    /// Sets the thermal-footprint weight.
+    pub fn with_thermal_weight(mut self, weight: f64) -> Self {
+        self.thermal_weight = weight;
+        self
+    }
+}
+
+/// How ready tasks are placed onto idle nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// The policy's own ordering: coolest-node-first for headroom-aware
+    /// policies, node-index order otherwise — the pre-refactor
+    /// behaviour, byte-for-byte.
+    PolicyDefault,
+    /// Cost-aware placement for heterogeneous fleets: idle nodes are
+    /// ranked by (task affinity, joint headroom cost, index). A node
+    /// too narrow for the task's `min_cores` class sorts behind every
+    /// wide-enough node; among equals the task books where the joint
+    /// thermal + electrical headroom is cheapest — thermal cost is the
+    /// node's fraction of its own temperature range consumed,
+    /// electrical cost its live draw over its nameplate share. Fully
+    /// deterministic: ties break toward the lower node index.
+    CheapestHeadroom,
+}
+
 /// One server node's scheduling state.
 pub(crate) struct Node {
     pub(crate) session: SprintSession<FaultSensor<NodeThermalView>, Box<dyn PowerSupply>>,
@@ -187,6 +263,16 @@ pub struct ClusterReport {
     pub failsafe_preemptions: usize,
     /// Tasks re-enqueued after a crash took their last running copy.
     pub requeues: usize,
+    /// Losing competitive-duplicate replicas preempted through the
+    /// machine-level cancel API the window their task's winner
+    /// committed (zero under `cancel_losers: false`, where losers run
+    /// to completion and are discarded).
+    pub cancelled_copies: usize,
+    /// Crash-retry tasks handed off to a facility tier for cross-rack
+    /// re-placement ([`ClusterSession::drain_stranded_requeues`]) —
+    /// resolved elsewhere, no longer this rack's to account. Zero
+    /// unless a facility routes requeues.
+    pub migrated_tasks: usize,
     /// Tasks that exhausted their crash-retry budget.
     pub failed_tasks: usize,
     /// Nodes quarantined after crashing mid-task (their stranded
@@ -236,6 +322,8 @@ impl ClusterReport {
             self.node_crashes as u64,
             self.failsafe_preemptions as u64,
             self.requeues as u64,
+            self.cancelled_copies as u64,
+            self.migrated_tasks as u64,
             self.failed_tasks as u64,
             self.quarantined_nodes as u64,
             self.outstanding_tasks as u64,
@@ -273,12 +361,14 @@ impl ClusterReport {
 
     /// The task-conservation invariant: every submitted task is
     /// accounted for — completed, failed after exhausting its crash
-    /// retries, or still outstanding — never lost. Holds at every
-    /// window of every run, faulted or not; once a run drains,
-    /// `outstanding_tasks` is zero and arrivals = finished + failed
-    /// exactly.
+    /// retries, migrated to another rack by a facility requeue router,
+    /// or still outstanding — never lost. Holds at every window of
+    /// every run, faulted or not; once a run drains,
+    /// `outstanding_tasks` is zero and arrivals = finished + failed +
+    /// migrated exactly.
     pub fn task_conservation_holds(&self) -> bool {
-        self.completed + self.failed_tasks + self.outstanding_tasks == self.total_tasks
+        self.completed + self.failed_tasks + self.migrated_tasks + self.outstanding_tasks
+            == self.total_tasks
     }
 }
 
@@ -348,6 +438,16 @@ pub enum ClusterBuildError {
     ZeroFaultBackoff,
     /// The fault plan's events are not sorted by `(window, node)`.
     UnsortedFaultPlan,
+    /// The per-node spec list does not match the rack's node count.
+    NodeSpecCountMismatch {
+        /// Specs supplied.
+        specs: usize,
+        /// Nodes in the rack.
+        nodes: usize,
+    },
+    /// A node spec's share or thermal weight is non-finite or
+    /// non-positive.
+    BadNodeSpecWeight,
 }
 
 impl std::fmt::Display for ClusterBuildError {
@@ -390,6 +490,11 @@ impl std::fmt::Display for ClusterBuildError {
             ),
             Self::ZeroFaultBackoff => f.write_str("retry backoff must be at least one window"),
             Self::UnsortedFaultPlan => f.write_str("fault plan must be sorted by (window, node)"),
+            Self::NodeSpecCountMismatch { specs, nodes } => write!(
+                f,
+                "node spec list has {specs} entries but the rack has {nodes} nodes"
+            ),
+            Self::BadNodeSpecWeight => f.write_str("node spec weights must be finite and positive"),
         }
     }
 }
@@ -401,6 +506,8 @@ impl std::error::Error for ClusterBuildError {}
 pub struct ClusterBuilder {
     rack_params: GridThermalParams,
     machine_config: MachineConfig,
+    node_specs: Option<Vec<NodeSpec>>,
+    placement: Placement,
     config: SprintConfig,
     policy: ClusterPolicy,
     power: PowerPolicy,
@@ -433,6 +540,8 @@ impl ClusterBuilder {
         Self {
             rack_params,
             machine_config: MachineConfig::hpca(),
+            node_specs: None,
+            placement: Placement::PolicyDefault,
             config: SprintConfig::hpca_parallel(),
             policy: ClusterPolicy::greedy_default(),
             power: PowerPolicy::Oblivious,
@@ -445,9 +554,28 @@ impl ClusterBuilder {
         }
     }
 
-    /// Sets the per-node machine configuration.
+    /// Sets the per-node machine configuration (every node identical —
+    /// the homogeneous-fleet shorthand; [`Self::node_specs`] overrides
+    /// it per node).
     pub fn machine(mut self, config: MachineConfig) -> Self {
         self.machine_config = config;
+        self
+    }
+
+    /// Provisions the fleet heterogeneously: one [`NodeSpec`] per rack
+    /// node, in node-index order — each node gets its own machine
+    /// config, nameplate share weight and thermal-footprint weight.
+    /// Overrides [`Self::machine`]. A list of [`NodeSpec::standard`]
+    /// specs reproduces the homogeneous path byte-for-byte.
+    pub fn node_specs(mut self, specs: impl IntoIterator<Item = NodeSpec>) -> Self {
+        self.node_specs = Some(specs.into_iter().collect());
+        self
+    }
+
+    /// Sets the placement strategy (default
+    /// [`Placement::PolicyDefault`], the pre-refactor ordering).
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -614,16 +742,51 @@ impl ClusterBuilder {
                 });
             }
         }
+        if let Some(specs) = &self.node_specs {
+            let nodes_n = self.rack_params.floorplan.core_count();
+            if specs.len() != nodes_n {
+                return Err(ClusterBuildError::NodeSpecCountMismatch {
+                    specs: specs.len(),
+                    nodes: nodes_n,
+                });
+            }
+            if !specs.iter().all(|s| {
+                s.share_weight.is_finite()
+                    && s.share_weight > 0.0
+                    && s.thermal_weight.is_finite()
+                    && s.thermal_weight > 0.0
+            }) {
+                return Err(ClusterBuildError::BadNodeSpecWeight);
+            }
+        }
+        // Heterogeneous thermal footprints: scale each node's rack-plane
+        // rectangle by its spec's weight before the grid is built —
+        // `RackThermal` derives every node's nameplate sprint budget
+        // from its own rect, so the budget follows the footprint. A
+        // weight of exactly 1.0 is a guaranteed no-op (`scale_core`
+        // early-outs), keeping homogeneous specs byte-identical.
+        let mut rack_params = self.rack_params;
+        if let Some(specs) = &self.node_specs {
+            for (n, s) in specs.iter().enumerate() {
+                rack_params.floorplan.scale_core(n, s.thermal_weight);
+            }
+        }
         // One env var (`SPRINT_SOLVER_THREADS`) sweeps every cluster's
         // ADI lane count; threaded sweeps are byte-identical to serial,
         // so this is a pure wall-clock knob (and the CI determinism
         // matrix relies on exactly that).
-        let rack = RackThermal::new(self.rack_params.with_env_solver_threads().build());
+        let rack = RackThermal::new(rack_params.with_env_solver_threads().build());
         let nodes_n = rack.nodes();
-        let supply_pool = self
-            .supply_params
-            .as_ref()
-            .map(|p| RackSupply::new(*p, nodes_n));
+        // Weighted nameplate cuts for a heterogeneous fleet; the unit-
+        // weight cut is bitwise `cap / nodes`, so a homogeneous spec
+        // list commissions the identical pool.
+        let supply_pool = self.supply_params.as_ref().map(|p| match &self.node_specs {
+            Some(specs) => {
+                let weights: Vec<f64> = specs.iter().map(|s| s.share_weight).collect();
+                RackSupply::new_weighted(*p, &weights)
+            }
+            None => RackSupply::new(*p, nodes_n),
+        });
         let mut sustained = self.config.clone();
         sustained.mode = ExecutionMode::Sustained;
         let window_s = self.config.sample_window_ps as f64 * 1e-12;
@@ -646,9 +809,13 @@ impl ClusterBuilder {
                         }
                         _ => Box::new(FaultSupply::new(IdealSupply, Rc::clone(&fault_states[n]))),
                     };
+                let machine_config = match &self.node_specs {
+                    Some(specs) => specs[n].machine.clone(),
+                    None => self.machine_config.clone(),
+                };
                 Node {
                     session: SprintSession::new(
-                        Machine::new(self.machine_config.clone()),
+                        Machine::new(machine_config),
                         FaultSensor::new(rack.node_view(n), Rc::clone(&fault_states[n])),
                         supply,
                         sustained.clone(),
@@ -680,6 +847,7 @@ impl ClusterBuilder {
             next_arrival: 0,
             ready: VecDeque::new(),
             policy: self.policy,
+            placement: self.placement,
             sprint_config: self.config,
             sustained_config: sustained,
             window_s,
@@ -690,6 +858,7 @@ impl ClusterBuilder {
             task_copies: vec![0; task_count],
             task_sprinted: vec![false; task_count],
             task_failed: vec![false; task_count],
+            task_migrated: vec![false; task_count],
             task_retries: vec![0; task_count],
             events: Vec::new(),
             grant_order: Vec::new(),
@@ -704,12 +873,16 @@ impl ClusterBuilder {
             next_requeue: 0,
             requeue_seq: 0,
             crashed_scratch: Vec::new(),
+            cancelled_scratch: Vec::new(),
+            cancelled_after_run: Vec::new(),
+            duplicates_cancelled: 0,
             fault_events_applied: 0,
             sensor_fault_count: 0,
             supply_fault_count: 0,
             node_crash_count: 0,
             failsafe_preemptions: 0,
             requeue_count: 0,
+            migrated_count: 0,
         })
     }
 }
@@ -728,6 +901,7 @@ pub struct ClusterSession {
     pub(crate) next_arrival: usize,
     pub(crate) ready: VecDeque<usize>,
     pub(crate) policy: ClusterPolicy,
+    placement: Placement,
     sprint_config: SprintConfig,
     sustained_config: SprintConfig,
     pub(crate) window_s: f64,
@@ -740,6 +914,9 @@ pub struct ClusterSession {
     task_sprinted: Vec<bool>,
     /// Tasks that exhausted their crash-retry budget.
     task_failed: Vec<bool>,
+    /// Tasks handed off to a facility requeue router — resolved
+    /// elsewhere, terminal for this rack.
+    task_migrated: Vec<bool>,
     /// Crash-retry attempts consumed per task.
     task_retries: Vec<u32>,
     events: Vec<ClusterEvent>,
@@ -769,12 +946,26 @@ pub struct ClusterSession {
     /// must execute their first rest at the crash window itself (it
     /// zeroes their core power before the next settlement).
     pub(crate) crashed_scratch: Vec<u32>,
+    /// Losing duplicate copies cancelled this window on nodes *after*
+    /// the winner in index order: their rest still executes this
+    /// window (the lockstep loop reaches them with `task == None`),
+    /// and the event core must do the same.
+    pub(crate) cancelled_scratch: Vec<u32>,
+    /// Losing duplicate copies cancelled this window on nodes *before*
+    /// the winner: they already ran their window while still busy, so
+    /// their first rest lands next window — the event core schedules
+    /// them a retirement tick and drops them from its busy list.
+    pub(crate) cancelled_after_run: Vec<u32>,
+    /// Losing replicas preempted through the machine-level cancel API
+    /// the window their task's winner committed.
+    duplicates_cancelled: usize,
     fault_events_applied: usize,
     sensor_fault_count: usize,
     supply_fault_count: usize,
     node_crash_count: usize,
     failsafe_preemptions: usize,
     requeue_count: usize,
+    migrated_count: usize,
 }
 
 impl std::fmt::Debug for ClusterSession {
@@ -849,7 +1040,8 @@ impl ClusterSession {
     }
 
     /// True once every submitted task has been resolved: completed,
-    /// or failed after exhausting its crash-retry budget. Losing
+    /// failed after exhausting its crash-retry budget, or migrated to
+    /// another rack by a facility requeue router. Losing
     /// competitive-duplicate copies do not count as outstanding work —
     /// their result is discarded by definition, so the queue is
     /// drained the moment every task has a winner (a loser may still
@@ -858,7 +1050,8 @@ impl ClusterSession {
         self.task_done
             .iter()
             .zip(&self.task_failed)
-            .all(|(&done, &failed)| done || failed)
+            .zip(&self.task_migrated)
+            .all(|((&done, &failed), &migrated)| done || failed || migrated)
     }
 
     /// Tasks that have arrived but not yet been assigned to a node —
@@ -893,6 +1086,13 @@ impl ClusterSession {
         if self.windows >= self.max_windows {
             return ClusterOutcome::TimeLimit;
         }
+        // The cancellation scratches are per-window: populated by
+        // `complete` during the node phase, consumed by the event core
+        // through the end of its step — so both engines clear them at
+        // the top of the *next* window (the event core cannot rely on
+        // `apply_faults`, which it only runs on fault ticks).
+        self.cancelled_scratch.clear();
+        self.cancelled_after_run.clear();
         // 0. Faults stamped for this window fire before anything reads
         // a sensor or places work.
         self.apply_faults();
@@ -949,10 +1149,55 @@ impl ClusterSession {
                 break;
             }
             self.next_requeue += 1;
-            if !self.task_done[task] && !self.task_failed[task] {
+            if !self.task_done[task] && !self.task_failed[task] && !self.task_migrated[task] {
                 self.ready.push_back(task);
             }
         }
+    }
+
+    /// Removes every crash-retry task still waiting out its backoff and
+    /// hands it back (original arrival time and class intact) for a
+    /// facility tier to re-place — possibly on another rack, which is
+    /// the fix for retry-in-place head-of-line blocking on a degraded
+    /// rack. Each drained task is marked migrated: terminal for this
+    /// rack's accounting ([`ClusterReport::migrated_tasks`]), resolved
+    /// wherever [`Self::inject_task`] lands it. Tasks already resolved
+    /// (a duplicate copy won after the requeue was booked) are simply
+    /// dropped from the backoff list. Empty — and completely free —
+    /// when nothing is waiting, so a facility that never routes
+    /// requeues is byte-identical to one that polls this every epoch.
+    pub fn drain_stranded_requeues(&mut self) -> Vec<ClusterTask> {
+        let mut stranded = Vec::new();
+        for idx in self.next_requeue..self.requeue.len() {
+            let (_, _, task) = self.requeue[idx];
+            if !self.task_done[task] && !self.task_failed[task] && !self.task_migrated[task] {
+                self.task_migrated[task] = true;
+                self.migrated_count += 1;
+                stranded.push(self.tasks[task]);
+            }
+        }
+        self.requeue.truncate(self.next_requeue);
+        stranded
+    }
+
+    /// Admits a task mid-run as if it had just arrived: it joins the
+    /// back of the ready queue this window and counts toward this
+    /// rack's submitted total. The facility requeue router uses this to
+    /// land a stranded crash-retry on a healthier rack; the task keeps
+    /// its original `arrival_s`, so its eventual latency spans the
+    /// crash and the migration, not just the new rack's service time.
+    /// Returns the task's index on this rack.
+    pub fn inject_task(&mut self, task: ClusterTask) -> usize {
+        let id = self.tasks.len();
+        self.tasks.push(task);
+        self.task_done.push(false);
+        self.task_copies.push(0);
+        self.task_sprinted.push(false);
+        self.task_failed.push(false);
+        self.task_migrated.push(false);
+        self.task_retries.push(0);
+        self.ready.push_back(id);
+        id
     }
 
     /// Applies every fault-plan event stamped for the current window,
@@ -1063,7 +1308,7 @@ impl ClusterSession {
         self.crashed_scratch.push(node as u32);
         if response == FaultResponse::Aware {
             if let Some(pool) = &self.supply {
-                pool.decommission_node();
+                pool.decommission_node(node);
             }
         }
         if self.task_done[task] || self.task_failed[task] {
@@ -1249,6 +1494,8 @@ impl ClusterSession {
             node_crashes: self.node_crash_count,
             failsafe_preemptions: self.failsafe_preemptions,
             requeues: self.requeue_count,
+            cancelled_copies: self.duplicates_cancelled,
+            migrated_tasks: self.migrated_count,
             failed_tasks: self.task_failed.iter().filter(|&&f| f).count(),
             quarantined_nodes: self.node_quarantined.iter().filter(|&&q| q).count(),
             outstanding_tasks: self.outstanding_tasks(),
@@ -1281,7 +1528,8 @@ impl ClusterSession {
         seen.iter()
             .zip(&self.task_done)
             .zip(&self.task_failed)
-            .filter(|((&held, &done), &failed)| held && !done && !failed)
+            .zip(&self.task_migrated)
+            .filter(|(((&held, &done), &failed), &migrated)| held && !done && !failed && !migrated)
             .count()
     }
 
@@ -1325,16 +1573,34 @@ impl ClusterSession {
             if idle.is_empty() {
                 return;
             }
-            if self.policy.places_coolest_first() {
-                let temps = &self.temps_buf;
-                idle.sort_by(|&a, &b| {
-                    temps[a]
-                        .partial_cmp(&temps[b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
-            }
             let task = *self.ready.front().expect("checked non-empty");
+            match self.placement {
+                Placement::PolicyDefault => {
+                    if self.policy.places_coolest_first() {
+                        let temps = &self.temps_buf;
+                        idle.sort_by(|&a, &b| {
+                            temps[a]
+                                .partial_cmp(&temps[b])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(a.cmp(&b))
+                        });
+                    }
+                }
+                Placement::CheapestHeadroom => {
+                    let min_cores = self.tasks[task].min_cores;
+                    let mut keyed: Vec<(bool, f64, usize)> = idle
+                        .iter()
+                        .map(|&n| {
+                            let narrow = self.nodes[n].session.machine().config().cores < min_cores;
+                            (narrow, self.placement_cost(n), n)
+                        })
+                        .collect();
+                    keyed.sort_by(|a, b| {
+                        a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2))
+                    });
+                    idle = keyed.into_iter().map(|(_, _, n)| n).collect();
+                }
+            }
             // Admission is judged on the best (first-placed) candidate:
             // if even the coolest idle node cannot sprint, the task
             // defers rather than degrade — unless its window expired.
@@ -1351,8 +1617,9 @@ impl ClusterSession {
             self.ready.pop_front();
             // Duplicate only onto nodes no waiting task needs
             // (Yonezawa's spare-capacity condition); a deferred task
-            // falling back to sustained never duplicates.
-            let copies = if force_sustained {
+            // falling back to sustained never duplicates, and a task
+            // whose class forbids replication always runs one copy.
+            let copies = if force_sustained || !self.tasks[task].duplicable {
                 1
             } else {
                 let spare = idle.len().saturating_sub(self.ready.len());
@@ -1363,6 +1630,39 @@ impl ClusterSession {
                 self.start_task_on(node, task, now, force_sustained);
             }
         }
+    }
+
+    /// The joint headroom cost [`Placement::CheapestHeadroom`] ranks
+    /// idle nodes by: the fraction of the node's own temperature range
+    /// already consumed, plus (on a shared feed) its live upstream
+    /// draw over its *nameplate* share — both dimensionless, so a node
+    /// that is thermally cool but electrically over-share ranks behind
+    /// one comfortable on both axes. A broken sensor (NaN snapshot)
+    /// reads as maximally hot: placement avoids what it cannot see.
+    fn placement_cost(&self, node: usize) -> f64 {
+        let thermal_port = self.nodes[node].session.thermal();
+        let ambient = thermal_port.ambient_c();
+        let range = thermal_port.t_max_c() - ambient;
+        let mut thermal = if range > 0.0 {
+            ((self.temps_buf[node] - ambient) / range).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        if thermal.is_nan() {
+            thermal = 1.0;
+        }
+        let electrical = match &self.supply {
+            Some(pool) => {
+                let share = pool.nameplate_share_w(node);
+                if share.is_finite() && share > 0.0 {
+                    (pool.node_draw_w(node) / share).clamp(0.0, 4.0)
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        thermal + electrical
     }
 
     /// Whether the policy would admit a sprint on `node` right now: the
@@ -1526,7 +1826,7 @@ impl ClusterSession {
             // credit only the over-share excess — an emergency pass
             // should err toward shedding one node too many, never one
             // too few.
-            total -= (draws[node] - pool.nameplate_share_w()).max(0.0);
+            total -= (draws[node] - pool.nameplate_share_w(node)).max(0.0);
             self.events.push(ClusterEvent::PowerShed {
                 node,
                 at_s: now,
@@ -1565,6 +1865,33 @@ impl ClusterSession {
             outcome.completed_s,
         );
         self.outcomes.push(outcome);
+        // Competitive-duplicate cancellation: the window the winner
+        // commits, every losing replica is preempted through the
+        // machine-level cancel API and its node reclaimed — the loser
+        // stops burning feed watts *now*, not when it happens to
+        // finish. Off (`cancel_losers: false`), losers run to
+        // completion and are discarded on arrival here — the
+        // pre-cancel baseline the duplication studies compare against.
+        if self.task_copies[task] > 1 && self.policy.cancels_losers() {
+            for j in 0..self.nodes.len() {
+                if self.nodes[j].task == Some(task) {
+                    self.nodes[j].task = None;
+                    self.nodes[j].session.cancel_workload();
+                    self.grant_order.retain(|&g| g != j);
+                    self.duplicates_cancelled += 1;
+                    // Losers after the winner in index order still get
+                    // their rest this window (the lockstep loop reaches
+                    // them task-less); losers before it already ran, so
+                    // their first rest lands next window. The event
+                    // core consumes both lists to stay in lockstep.
+                    if j > node {
+                        self.cancelled_scratch.push(j as u32);
+                    } else {
+                        self.cancelled_after_run.push(j as u32);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -1645,6 +1972,8 @@ mod tests {
                 + report.node_crashes
                 + report.failsafe_preemptions
                 + report.requeues
+                + report.cancelled_copies
+                + report.migrated_tasks
                 + report.failed_tasks
                 + report.quarantined_nodes,
             0

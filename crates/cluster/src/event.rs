@@ -60,6 +60,7 @@ use std::collections::BinaryHeap;
 use sprint_core::controller::SprintState;
 
 use crate::cluster::{ClusterOutcome, ClusterReport, ClusterSession};
+use crate::queue::ClusterTask;
 use crate::rack::RackThermal;
 use crate::supply::RackSupply;
 
@@ -307,6 +308,11 @@ impl EventDrivenCluster {
             self.catch_up_all(self.inner.windows);
             return ClusterOutcome::TimeLimit;
         }
+        // Last window's cancellation scratches were consumed through
+        // the end of that step (cancel-window rests, retirement ticks);
+        // clear them before anything this window can read them.
+        self.inner.cancelled_scratch.clear();
+        self.inner.cancelled_after_run.clear();
         let w = self.inner.windows;
         // Drain this window's ticks in deterministic (kind, node)
         // order.
@@ -391,8 +397,16 @@ impl EventDrivenCluster {
                 if crashed {
                     ci += 1;
                 }
+                // A losing replica cancelled this window by a
+                // lower-indexed winner has not had its turn yet: it
+                // still executes this window's rest (the lockstep loop
+                // reaches it task-less), zeroing the core power its
+                // copy was injecting before the next settlement.
+                // Entries appear mid-loop (the winner runs first), so
+                // this is a membership scan, not a cursor.
+                let cancelled = self.inner.cancelled_scratch.contains(&(i as u32));
                 let busy = self.inner.nodes[i].task.is_some();
-                if i == 0 || busy || due || crashed {
+                if i == 0 || busy || due || crashed || cancelled {
                     debug_assert_eq!(self.done[i], w, "an executing node must be current");
                     self.inner.run_node_window(i);
                     self.done[i] = w + 1;
@@ -433,7 +447,16 @@ impl EventDrivenCluster {
                 di += usize::from(nd <= nb);
                 debug_assert_eq!(self.done[i], w, "an executing node must be current");
                 let busy = self.inner.nodes[i].task.is_some();
-                debug_assert_eq!(busy, nb <= nd, "busy list out of sync");
+                // A busy-list entry whose task vanished mid-window is
+                // a loser a winner cancelled moments ago — its rest
+                // below is exactly the lockstep behaviour; anything
+                // else is a genuine desync.
+                debug_assert!(
+                    busy == (nb <= nd)
+                        || self.inner.cancelled_scratch.contains(&(i as u32))
+                        || self.inner.cancelled_after_run.contains(&(i as u32)),
+                    "busy list out of sync"
+                );
                 self.inner.run_node_window(i);
                 self.done[i] = w + 1;
                 if busy && self.inner.nodes[i].task.is_none() {
@@ -444,6 +467,21 @@ impl EventDrivenCluster {
             if retired {
                 let fleet = &self.inner.nodes;
                 self.busy.retain(|&i| fleet[i as usize].task.is_some());
+            }
+        }
+        // Cancellation epilogue: a loser cancelled *after* it had
+        // already run this window (lower index than its winner) is
+        // still on the busy list and owes a retirement rest next
+        // window — the rest lockstep gives it at `w + 1`, which zeroes
+        // its core power and records its idle draw before that
+        // window's settlement. Losers cancelled *before* their turn
+        // already rested this window through the cancelled-scratch
+        // path and sleep like any other idle node.
+        if !self.inner.cancelled_after_run.is_empty() {
+            let fleet = &self.inner.nodes;
+            self.busy.retain(|&i| fleet[i as usize].task.is_some());
+            for &j in &self.inner.cancelled_after_run {
+                ticks.push((w + 1, KIND_NODE, j));
             }
         }
         self.inner.windows = w + 1;
@@ -513,6 +551,30 @@ impl EventDrivenCluster {
     /// their private rest ledgers until the next catch-up point).
     pub fn session(&self) -> &ClusterSession {
         &self.inner
+    }
+
+    /// [`ClusterSession::drain_stranded_requeues`], event-aware: any
+    /// arrivals ticks already armed for the drained entries' due
+    /// windows become no-ops (a spurious scheduler phase replays
+    /// exactly the lockstep window, which runs its scheduler every
+    /// window anyway), so draining between steps preserves the
+    /// golden-oracle digest equivalence.
+    pub fn drain_stranded_requeues(&mut self) -> Vec<ClusterTask> {
+        self.inner.drain_stranded_requeues()
+    }
+
+    /// [`ClusterSession::inject_task`], event-aware: arms a scheduler
+    /// tick at the current window so the admission pass observes the
+    /// new ready entry immediately — without it a fully-sleeping fleet
+    /// (e.g. a rack that had drained before the facility routed a
+    /// stranded task here) would never wake to run the task.
+    pub fn inject_task(&mut self, task: ClusterTask) -> usize {
+        let id = self.inner.inject_task(task);
+        let mut ticks = std::mem::take(&mut self.scratch);
+        ticks.push((self.inner.windows, KIND_SCHEDULER, 0));
+        self.push_ticks(&mut ticks);
+        self.scratch = ticks;
+        id
     }
 
     /// Sampling windows stepped so far.

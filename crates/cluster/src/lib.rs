@@ -125,6 +125,37 @@
 //! ticks on the event core's heap, so faulted event-driven runs stay
 //! byte-identical to the lockstep oracle.
 //!
+//! # Heterogeneous fleets: per-node specs, task classes, placement
+//!
+//! Nothing above assumes the rack is a clone-farm. A fleet is described
+//! by one [`cluster::NodeSpec`] per node — its machine config (big or
+//! little core counts, frequencies), its **nameplate share weight**
+//! (commissioning-time fraction of the feed: the supply pool cuts
+//! `cap · wᵢ / Σw_alive` per node and re-cuts on decommission), and its
+//! **thermal-footprint weight** (the floorplan scales that node's rect
+//! area about its center, so a big node occupies more die and couples
+//! more heat into the plenum). A homogeneous `NodeSpec` fleet is
+//! **byte-for-byte identical** to the legacy single-config clone path:
+//! unit weights cut the feed with the exact same arithmetic and a
+//! footprint factor of 1.0 never touches the floorplan.
+//!
+//! Tasks carry classes ([`queue::ClusterTask::with_min_cores`] affinity
+//! and a [`queue::ClusterTask::not_duplicable`] flag), and admission
+//! gains a cost-aware pass ([`cluster::Placement::CheapestHeadroom`])
+//! that ranks idle nodes by affinity fit, then thermal + electrical
+//! headroom cost; the default [`cluster::Placement::PolicyDefault`]
+//! keeps the pre-refactor coolest-first order bit-for-bit.
+//!
+//! Competitive duplication closes the loop: with
+//! `CompetitiveDuplicate { cancel_losers: true, .. }` the first replica
+//! to finish wins and the losers are **preempted in the same window**
+//! the winner commits (`SprintSession::cancel_workload` →
+//! `Machine::cancel_all`), returning their nodes to the idle pool
+//! instead of burning the duplicate to completion. Cancelled copies are
+//! reported in [`cluster::ClusterReport::cancelled_copies`], and the
+//! event core stays digest-identical to the lockstep oracle under
+//! duplication *and* cancellation.
+//!
 //! # Quick start
 //!
 //! ```
@@ -155,6 +186,7 @@ pub mod supply;
 
 pub use cluster::{
     ClusterBuildError, ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport, ClusterSession,
+    NodeSpec, Placement,
 };
 pub use event::EventDrivenCluster;
 pub use policy::{ClusterPolicy, PowerPolicy};
@@ -166,7 +198,7 @@ pub use supply::{NodeSupplyView, RackSupply, RackSupplyParams};
 pub mod prelude {
     pub use crate::cluster::{
         ClusterBuildError, ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterReport,
-        ClusterSession,
+        ClusterSession, NodeSpec, Placement,
     };
     pub use crate::event::EventDrivenCluster;
     pub use crate::policy::{ClusterPolicy, PowerPolicy};

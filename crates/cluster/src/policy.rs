@@ -138,11 +138,22 @@ pub enum ClusterPolicy {
     /// wins; the rest of each decision follows `GreedyHeadroom` with
     /// the same admission threshold. Trades thermal budget (duplicate
     /// heat) for latency (the coolest copy sprints longest).
+    ///
+    /// With `cancel_losers` set, the window the winning copy commits
+    /// every losing replica is killed through the machine-level cancel
+    /// API (`SprintSession::cancel_workload`) and its node returns to
+    /// the idle pool immediately — duplication stops paying for the
+    /// losers' full runs, which is what turns it from a hedge that
+    /// burns the shared feed into a provable latency win. Unset, the
+    /// losers run to completion and are discarded (the pre-cancel
+    /// behaviour, kept as the comparison baseline).
     CompetitiveDuplicate {
         /// Maximum copies of one task (including the original).
         copies: usize,
         /// Minimum node-local headroom (Kelvin) to admit a sprint.
         admit_headroom_k: f64,
+        /// Kill losing replicas the window the winner commits.
+        cancel_losers: bool,
     },
 }
 
@@ -198,6 +209,7 @@ impl ClusterPolicy {
             ClusterPolicy::CompetitiveDuplicate {
                 copies,
                 admit_headroom_k,
+                ..
             } => {
                 assert!(*copies >= 2, "duplication needs at least two copies");
                 assert!(
@@ -296,6 +308,28 @@ impl ClusterPolicy {
         }
     }
 
+    /// A competitive-duplication default with loser cancellation on:
+    /// two copies, the greedy 15 K admission threshold.
+    pub fn competitive_default() -> Self {
+        ClusterPolicy::CompetitiveDuplicate {
+            copies: 2,
+            admit_headroom_k: 15.0,
+            cancel_losers: true,
+        }
+    }
+
+    /// True when losing replicas are cancelled the window their task's
+    /// winner commits.
+    pub fn cancels_losers(&self) -> bool {
+        matches!(
+            self,
+            ClusterPolicy::CompetitiveDuplicate {
+                cancel_losers: true,
+                ..
+            }
+        )
+    }
+
     /// How long a denied task may wait in the queue for admission
     /// before falling back to a sustained run; `None` assigns denied
     /// tasks sustained immediately (no deferral).
@@ -388,6 +422,7 @@ mod tests {
         ClusterPolicy::CompetitiveDuplicate {
             copies: 1,
             admit_headroom_k: 5.0,
+            cancel_losers: false,
         }
         .validate();
     }

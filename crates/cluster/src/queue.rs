@@ -6,6 +6,14 @@ use sprint_workloads::suite::{InputSize, WorkloadKind};
 /// One task in the cluster's arrival queue: a suite kernel at a given
 /// input size, spawned with `threads` threads on whichever node the
 /// scheduler picks.
+///
+/// Beyond the kernel itself a task carries its *class*: a core-width
+/// affinity (`min_cores` — on a heterogeneous fleet, placement prefers
+/// nodes wide enough that the task's parallelism is not folded) and a
+/// `duplicable` flag (whether competitive-duplication policies may
+/// replicate it; a task with side effects outside the simulation's
+/// model would set it false). The [`ClusterTask::new`] defaults —
+/// no affinity, duplicable — reproduce the pre-class behaviour exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClusterTask {
     /// Kernel to run.
@@ -16,21 +24,44 @@ pub struct ClusterTask {
     pub threads: usize,
     /// Arrival time, seconds of cluster simulated time.
     pub arrival_s: f64,
+    /// Core-width affinity: placement prefers nodes with at least this
+    /// many cores (0 = no preference). Soft — a narrower node still
+    /// runs the task if nothing wider is idle.
+    pub min_cores: usize,
+    /// Whether a competitive-duplication policy may replicate this task.
+    pub duplicable: bool,
 }
 
 impl ClusterTask {
+    /// One task with the default class (no core affinity, duplicable).
+    pub fn new(kind: WorkloadKind, size: InputSize, threads: usize, arrival_s: f64) -> Self {
+        Self {
+            kind,
+            size,
+            threads,
+            arrival_s,
+            min_cores: 0,
+            duplicable: true,
+        }
+    }
+
+    /// Sets the core-width affinity class.
+    pub fn with_min_cores(mut self, min_cores: usize) -> Self {
+        self.min_cores = min_cores;
+        self
+    }
+
+    /// Marks the task non-duplicable (competitive policies run exactly
+    /// one copy).
+    pub fn not_duplicable(mut self) -> Self {
+        self.duplicable = false;
+        self
+    }
+
     /// A batch of `count` identical tasks all arriving at time zero —
     /// the makespan benchmark shape.
     pub fn batch(kind: WorkloadKind, size: InputSize, threads: usize, count: usize) -> Vec<Self> {
-        vec![
-            Self {
-                kind,
-                size,
-                threads,
-                arrival_s: 0.0,
-            };
-            count
-        ]
+        vec![Self::new(kind, size, threads, 0.0); count]
     }
 
     /// `count` identical tasks arriving `spacing_s` apart, the first at
@@ -44,12 +75,7 @@ impl ClusterTask {
         spacing_s: f64,
     ) -> Vec<Self> {
         (0..count)
-            .map(|k| Self {
-                kind,
-                size,
-                threads,
-                arrival_s: start_s + spacing_s * k as f64,
-            })
+            .map(|k| Self::new(kind, size, threads, start_s + spacing_s * k as f64))
             .collect()
     }
 }

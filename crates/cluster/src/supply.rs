@@ -162,16 +162,45 @@ struct SupplyShared {
     brownout: bool,
     /// Settled intervals spent browned out (diagnostic).
     brownout_intervals: u64,
-    /// One node's commissioning-time share of the feed, watts.
-    nameplate_share_w: f64,
+    /// Each node's commissioning-time share of the feed, watts. Even
+    /// (`cap / nodes`) on a homogeneous rack; a heterogeneous fleet
+    /// commissions weighted cuts ([`RackSupply::new_weighted`]).
+    nameplate_share_w: Vec<f64>,
+    /// The commissioning share weights the cuts were made from
+    /// (re-cuts after a decommission reuse them).
+    share_weights: Vec<f64>,
     /// The feed the nameplate shares were cut from, watts — frozen at
     /// commissioning (facility re-provisioning moves `cap_w`, never
     /// this).
     commissioned_cap_w: f64,
-    /// Nodes still commissioned on the feed;
-    /// [`RackSupply::decommission_node`] shrinks it and re-cuts the
+    /// Which nodes are still commissioned on the feed;
+    /// [`RackSupply::decommission_node`] retires one and re-cuts the
     /// nameplate shares among the survivors.
+    node_alive: Vec<bool>,
+    /// Nodes still commissioned (cached count of `node_alive`).
     alive_nodes: usize,
+}
+
+impl SupplyShared {
+    /// Re-cuts every node's nameplate share: the commissioned feed
+    /// split by commissioning weight across the still-alive nodes.
+    /// With unit weights this is bitwise `cap / alive` — summing 1.0
+    /// per alive node is exact integer arithmetic in `f64`, and
+    /// multiplying by a weight of exactly 1.0 is the identity — so the
+    /// homogeneous path reproduces the legacy even cut byte-for-byte.
+    fn recut_shares(&mut self) {
+        let alive_weight: f64 = self
+            .node_alive
+            .iter()
+            .zip(&self.share_weights)
+            .filter(|&(&alive, _)| alive)
+            .map(|(_, &w)| w)
+            .sum();
+        for n in 0..self.nameplate_share_w.len() {
+            self.nameplate_share_w[n] =
+                self.commissioned_cap_w * self.share_weights[n] / alive_weight;
+        }
+    }
 }
 
 impl SupplyShared {
@@ -219,30 +248,53 @@ pub struct RackSupply {
 }
 
 impl RackSupply {
-    /// Commissions a pool for `nodes` servers.
+    /// Commissions a pool for `nodes` servers with even nameplate
+    /// shares (`cap / nodes` each).
     ///
     /// # Panics
     ///
     /// Panics on invalid parameters or zero nodes.
     pub fn new(params: RackSupplyParams, nodes: usize) -> Self {
+        Self::new_weighted(params, &vec![1.0; nodes])
+    }
+
+    /// Commissions a pool with *weighted* nameplate shares — the
+    /// heterogeneous-fleet cut: node `n` is promised
+    /// `cap * weights[n] / sum(weights)` of the feed. Unit weights
+    /// reproduce [`RackSupply::new`]'s even cut bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters, zero nodes, or a non-finite or
+    /// non-positive weight.
+    pub fn new_weighted(params: RackSupplyParams, weights: &[f64]) -> Self {
         params.validate();
+        let nodes = weights.len();
         assert!(nodes >= 1, "a rack feed needs at least one node");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "nameplate share weights must be finite and positive"
+        );
+        let mut shared = SupplyShared {
+            replay_cache: None,
+            cap_w: params.cap_w,
+            reserve_j: params.reserve_capacity_j,
+            reserve_capacity_j: params.reserve_capacity_j,
+            recharge_w: params.reserve_recharge_w,
+            node_draw_w: vec![0.0; nodes],
+            node_time_s: vec![0.0; nodes],
+            settled_to_s: 0.0,
+            brownout: false,
+            brownout_intervals: 0,
+            nameplate_share_w: vec![0.0; nodes],
+            share_weights: weights.to_vec(),
+            commissioned_cap_w: params.cap_w,
+            node_alive: vec![true; nodes],
+            alive_nodes: nodes,
+        };
+        shared.recut_shares();
         Self {
-            shared: Rc::new(RefCell::new(SupplyShared {
-                replay_cache: None,
-                cap_w: params.cap_w,
-                reserve_j: params.reserve_capacity_j,
-                reserve_capacity_j: params.reserve_capacity_j,
-                recharge_w: params.reserve_recharge_w,
-                node_draw_w: vec![0.0; nodes],
-                node_time_s: vec![0.0; nodes],
-                settled_to_s: 0.0,
-                brownout: false,
-                brownout_intervals: 0,
-                nameplate_share_w: params.cap_w / nodes as f64,
-                commissioned_cap_w: params.cap_w,
-                alive_nodes: nodes,
-            })),
+            shared: Rc::new(RefCell::new(shared)),
         }
     }
 
@@ -270,10 +322,15 @@ impl RackSupply {
         self.shared.borrow().cap_w
     }
 
-    /// One node's nameplate share of the feed, watts (constant after
-    /// commissioning — the figure node-local governors see).
-    pub fn nameplate_share_w(&self) -> f64 {
-        self.shared.borrow().nameplate_share_w
+    /// Node `node`'s nameplate share of the feed, watts (fixed at
+    /// commissioning — the figure that node's local governor sees;
+    /// even `cap / nodes` unless the pool was commissioned weighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node index.
+    pub fn nameplate_share_w(&self, node: usize) -> f64 {
+        self.shared.borrow().nameplate_share_w[node]
     }
 
     /// Re-provisions the live feed cap — the facility settlement hook
@@ -294,18 +351,21 @@ impl RackSupply {
         self.shared.borrow_mut().cap_w = cap_w;
     }
 
-    /// Retires one node's nameplate booking after a permanent failure:
-    /// the commissioned feed is re-cut among the surviving nodes, so
-    /// each survivor's nameplate share — its local governor's
-    /// provisioning figure and its brownout ride-through boundary —
-    /// grows. The live cap, reserve and telemetry are untouched
-    /// (decommissioning reroutes busbar watts, it does not add any),
-    /// and the last commissioned node always keeps the full feed.
-    pub fn decommission_node(&self) {
+    /// Retires node `node`'s nameplate booking after a permanent
+    /// failure: the commissioned feed is re-cut (by commissioning
+    /// weight) among the surviving nodes, so each survivor's nameplate
+    /// share — its local governor's provisioning figure and its
+    /// brownout ride-through boundary — grows. The live cap, reserve
+    /// and telemetry are untouched (decommissioning reroutes busbar
+    /// watts, it does not add any), the last commissioned node always
+    /// keeps the full feed, and retiring an already-retired node is a
+    /// no-op.
+    pub fn decommission_node(&self, node: usize) {
         let mut s = self.shared.borrow_mut();
-        if s.alive_nodes > 1 {
+        if s.alive_nodes > 1 && s.node_alive[node] {
+            s.node_alive[node] = false;
             s.alive_nodes -= 1;
-            s.nameplate_share_w = s.commissioned_cap_w / s.alive_nodes as f64;
+            s.recut_shares();
         }
     }
 
@@ -434,10 +494,10 @@ impl PowerSupply for NodeSupplyView {
         // nameplate share; in-share (sustained) draws ride through.
         // The boundary is tolerance-consistent with the advertised
         // share, like `PinLimited`.
-        if s.brownout && power_w > s.nameplate_share_w * (1.0 + BOUNDARY_REL_TOL) {
+        if s.brownout && power_w > s.nameplate_share_w[self.node] * (1.0 + BOUNDARY_REL_TOL) {
             return Err(SupplyError::CurrentLimit {
                 requested_w: power_w,
-                available_w: s.nameplate_share_w,
+                available_w: s.nameplate_share_w[self.node],
             });
         }
         Ok(())
@@ -448,7 +508,7 @@ impl PowerSupply for NodeSupplyView {
         // state — a node's governor was provisioned at commissioning
         // and has no rack telemetry (module docs). The scheduler reads
         // the live pool through `RackSupply` instead.
-        self.shared.borrow().nameplate_share_w
+        self.shared.borrow().nameplate_share_w[self.node]
     }
 
     fn remaining_energy_j(&self) -> f64 {
@@ -595,7 +655,7 @@ mod tests {
     fn brownout_sheds_over_share_draws_but_not_in_share_ones() {
         let pool = pool4(40.0, 5.0);
         let mut views: Vec<NodeSupplyView> = (0..4).map(|n| pool.node_view(n)).collect();
-        assert_eq!(pool.nameplate_share_w(), 10.0);
+        assert_eq!(pool.nameplate_share_w(0), 10.0);
         // 80 W on a 40 W feed: the 5 J reserve covers 0.125 s.
         let mut failed_at = None;
         for round in 0..10 {
@@ -748,5 +808,56 @@ mod tests {
     #[should_panic(expected = "node index")]
     fn out_of_range_view_rejected() {
         let _ = pool4(10.0, 1.0).node_view(4);
+    }
+
+    /// The heterogeneous commissioning cut: weighted shares
+    /// re-normalize to the cap, unit weights reproduce the even cut
+    /// bitwise, and a decommission re-cuts by weight among survivors.
+    #[test]
+    fn weighted_shares_cut_and_recut_by_weight() {
+        let params = RackSupplyParams {
+            cap_w: 40.0,
+            reserve_capacity_j: 10.0,
+            reserve_recharge_w: 4.0,
+            regulator: EfficiencyCurve::ideal(),
+        };
+        // A big node weighted 2.0 against three weight-1 littles.
+        let pool = RackSupply::new_weighted(params, &[2.0, 1.0, 1.0, 1.0]);
+        assert_eq!(pool.nameplate_share_w(0), 16.0);
+        assert_eq!(pool.nameplate_share_w(1), 8.0);
+        let total: f64 = (0..4).map(|n| pool.nameplate_share_w(n)).sum();
+        assert!(
+            (total - 40.0).abs() < 1e-12,
+            "shares re-normalize to the cap"
+        );
+        // The big node's view advertises its weighted share.
+        assert_eq!(pool.node_view(0).available_power_w(), 16.0);
+        // Retiring a little re-cuts 40 W over weight 4: big gets 20 W.
+        pool.decommission_node(3);
+        assert_eq!(pool.alive_nodes(), 3);
+        assert_eq!(pool.nameplate_share_w(0), 20.0);
+        assert_eq!(pool.nameplate_share_w(1), 10.0);
+        // Retiring the same node again is a no-op.
+        pool.decommission_node(3);
+        assert_eq!(pool.alive_nodes(), 3);
+        assert_eq!(pool.nameplate_share_w(0), 20.0);
+        // Unit weights are bitwise the even cut, before and after a
+        // decommission (the homogeneous byte-identity contract).
+        let even = RackSupply::new(params, 4);
+        let weighted = RackSupply::new_weighted(params, &[1.0; 4]);
+        for n in 0..4 {
+            assert_eq!(
+                even.nameplate_share_w(n).to_bits(),
+                weighted.nameplate_share_w(n).to_bits()
+            );
+        }
+        even.decommission_node(1);
+        weighted.decommission_node(1);
+        for n in 0..4 {
+            assert_eq!(
+                even.nameplate_share_w(n).to_bits(),
+                weighted.nameplate_share_w(n).to_bits()
+            );
+        }
     }
 }

@@ -99,12 +99,7 @@ fn one_node_cluster_on_a_hybrid_supply_matches_a_standalone_session() {
     // before the second arrives, so the node rests (and the hybrid
     // recharges) for the windows in between.
     let gap_arrival_s = 2e-3;
-    let task = |arrival_s| ClusterTask {
-        kind: WorkloadKind::Sobel,
-        size: InputSize::A,
-        threads: 16,
-        arrival_s,
-    };
+    let task = |arrival_s| ClusterTask::new(WorkloadKind::Sobel, InputSize::A, 16, arrival_s);
 
     // The standalone mirror replays the cluster scheduler's exact
     // per-window protocol: sustained-armed build, then per task
@@ -309,6 +304,7 @@ fn competitive_duplication_keeps_the_fastest_copy() {
         .policy(ClusterPolicy::CompetitiveDuplicate {
             copies: 2,
             admit_headroom_k: 2.0,
+            cancel_losers: false,
         })
         .tasks(ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 16, 1))
         .trace_capacity(0)
@@ -336,6 +332,7 @@ fn competitive_duplication_keeps_the_fastest_copy() {
         .policy(ClusterPolicy::CompetitiveDuplicate {
             copies: 2,
             admit_headroom_k: 2.0,
+            cancel_losers: false,
         })
         .tasks(ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 16, 8))
         .trace_capacity(0)

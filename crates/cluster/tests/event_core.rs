@@ -55,6 +55,32 @@ fn duplicating_rack() -> ClusterSession {
         .policy(ClusterPolicy::CompetitiveDuplicate {
             admit_headroom_k: 10.0,
             copies: 2,
+            cancel_losers: false,
+        })
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            8,
+            6,
+            0.0,
+            150e-6,
+        ))
+        .trace_capacity(0)
+        .build()
+}
+
+/// Duplication with same-window loser cancellation: the winner's
+/// commit preempts every losing replica through the machine-level
+/// cancel API, mid-window — the cancelled-scratch handoff between the
+/// engines (losers above the winner rest *this* window, losers below
+/// it owe a retirement tick next window) is exactly what this config
+/// hammers.
+fn cancelling_rack() -> ClusterSession {
+    ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(3000.0))
+        .policy(ClusterPolicy::CompetitiveDuplicate {
+            admit_headroom_k: 10.0,
+            copies: 2,
+            cancel_losers: true,
         })
         .tasks(ClusterTask::arrivals(
             WorkloadKind::Sobel,
@@ -121,6 +147,47 @@ fn event_core_matches_lockstep_on_round_robin_shedding() {
 #[test]
 fn event_core_matches_lockstep_on_competitive_duplication() {
     assert_equivalent(duplicating_rack, "competitive duplication");
+}
+
+/// Tentpole invariant for the cancellation refactor: with losers
+/// cancelled the window their winner commits, the event-driven run
+/// still reproduces the lockstep digest byte-for-byte — and the
+/// cancellation actually bites (a nonzero cancelled-copies counter;
+/// the discard baseline reports zero by construction).
+#[test]
+fn event_core_matches_lockstep_under_loser_cancellation() {
+    assert_equivalent(cancelling_rack, "competitive duplication + cancel");
+    let mut run = cancelling_rack();
+    run.run_to_completion();
+    let report = run.report();
+    assert!(
+        report.cancelled_copies > 0,
+        "no losing replica was ever cancelled — the config never raced copies"
+    );
+    assert_eq!(report.completed, report.total_tasks);
+    assert!(report.task_conservation_holds());
+    // The discard baseline reports zero cancellations by construction.
+    let mut baseline = duplicating_rack();
+    baseline.run_to_completion();
+    assert_eq!(baseline.report().cancelled_copies, 0);
+}
+
+/// Event-order fuzzing over the cancellation path, too: the mid-window
+/// cancel must be a function of simulation state alone.
+#[test]
+fn event_order_fuzzing_is_bit_invariant_under_cancellation() {
+    let mut oracle = cancelling_rack();
+    oracle.run_to_completion();
+    let want = oracle.report().digest();
+    for seed in [3u64, 0xCAFE_F00D] {
+        let mut fuzzed = EventDrivenCluster::with_event_seed(cancelling_rack(), seed);
+        fuzzed.run_to_completion();
+        assert_eq!(
+            fuzzed.report().digest(),
+            want,
+            "seed {seed:#x} changed the cancelling run"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,212 @@
+//! Heterogeneous-fleet contracts: the per-node spec path must be a
+//! strict generalization of the clone-farm it replaced.
+//!
+//! Three invariants pin the refactor:
+//!
+//! * a homogeneous [`NodeSpec`] fleet (unit weights, one machine
+//!   config) is **byte-for-byte identical** to the pre-refactor
+//!   single-`machine` clone path — including under node crashes, where
+//!   the weighted supply re-cut must reproduce the legacy scalar
+//!   arithmetic exactly;
+//! * cost-aware placement is deterministic, honours task core-width
+//!   affinity, and stays digest-identical between the lockstep oracle
+//!   and the event-driven core — with competitive duplication and
+//!   loser cancellation in the mix;
+//! * the heterogeneous report itself is reproducible run to run.
+
+use sprint_archsim::config::MachineConfig;
+use sprint_cluster::prelude::*;
+use sprint_core::config::SprintConfig;
+use sprint_core::fault::{FaultEvent, FaultKind, FaultPlan, FaultResponse};
+use sprint_thermal::grid::GridThermalParams;
+use sprint_workloads::suite::{InputSize, WorkloadKind};
+
+fn base_builder() -> ClusterBuilder {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(3000.0))
+        .policy(ClusterPolicy::greedy_default())
+        .rack_supply(RackSupplyParams::rack(4).time_scaled(3000.0))
+        .config(cfg)
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            16,
+            6,
+            0.0,
+            60e-6,
+        ))
+        .max_time_s(0.01)
+}
+
+/// A crash plan that quarantines one busy node — exercising the
+/// weighted supply's decommission re-cut on both build paths.
+fn crash_plan() -> FaultPlan {
+    FaultPlan::new(vec![FaultEvent {
+        window: 10,
+        node: 2,
+        kind: FaultKind::NodeCrash,
+    }])
+    .with_retries(3, 16)
+    .with_response(FaultResponse::Aware)
+}
+
+/// The tentpole's hard invariant: a fleet of `NodeSpec::standard`
+/// nodes reproduces the clone path byte for byte — same floorplan (a
+/// 1.0 footprint factor never touches a rect), same nameplate cuts
+/// (unit weights are the exact legacy `cap / alive` arithmetic), same
+/// machines — so the report digests match exactly, crashes included.
+#[test]
+fn homogeneous_node_specs_are_byte_identical_to_the_clone_path() {
+    let clone_path = {
+        let mut s = base_builder()
+            .machine(MachineConfig::hpca())
+            .fault_plan(crash_plan())
+            .build();
+        s.run_to_completion();
+        s.report()
+    };
+    let spec_path = {
+        let mut s = base_builder()
+            .node_specs((0..4).map(|_| NodeSpec::standard(MachineConfig::hpca())))
+            .fault_plan(crash_plan())
+            .build();
+        s.run_to_completion();
+        s.report()
+    };
+    assert_eq!(
+        clone_path.digest(),
+        spec_path.digest(),
+        "a homogeneous NodeSpec fleet diverged from the clone path: \
+         makespan {} vs {}, peak {} vs {}",
+        clone_path.makespan_s,
+        spec_path.makespan_s,
+        clone_path.peak_junction_c,
+        spec_path.peak_junction_c,
+    );
+    assert!(spec_path.node_crashes > 0, "the crash plan must bite");
+}
+
+/// A mixed big/little rack: two 16-core nodes with heavier nameplate
+/// and thermal footprints, two 8-core nodes with lighter ones.
+fn hetero_specs() -> Vec<NodeSpec> {
+    let big = MachineConfig::hpca();
+    let little = MachineConfig::hpca().with_cores(8);
+    vec![
+        NodeSpec::standard(big.clone())
+            .with_share_weight(1.5)
+            .with_thermal_weight(1.25),
+        NodeSpec::standard(little.clone())
+            .with_share_weight(0.75)
+            .with_thermal_weight(0.8),
+        NodeSpec::standard(big)
+            .with_share_weight(1.5)
+            .with_thermal_weight(1.25),
+        NodeSpec::standard(little)
+            .with_share_weight(0.75)
+            .with_thermal_weight(0.8),
+    ]
+}
+
+fn hetero_session() -> ClusterSession {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    let mut tasks = ClusterTask::arrivals(WorkloadKind::Sobel, InputSize::A, 16, 8, 0.0, 60e-6);
+    // Alternate wide-affinity and unconstrained classes so placement
+    // has real decisions to make.
+    for (i, t) in tasks.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            *t = t.with_min_cores(16);
+        }
+    }
+    ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(3000.0))
+        .policy(ClusterPolicy::CompetitiveDuplicate {
+            admit_headroom_k: 10.0,
+            copies: 2,
+            cancel_losers: true,
+        })
+        .rack_supply(RackSupplyParams::rack(4).time_scaled(3000.0))
+        .config(cfg)
+        .node_specs(hetero_specs())
+        .placement(Placement::CheapestHeadroom)
+        .tasks(tasks)
+        .max_time_s(0.01)
+        .build()
+}
+
+/// Cost-aware placement is a pure function of the rack state: the
+/// same heterogeneous configuration reproduces its report digest run
+/// to run.
+#[test]
+fn cheapest_headroom_placement_is_deterministic() {
+    let digest = |mut s: ClusterSession| {
+        s.run_to_completion();
+        s.report().digest()
+    };
+    let a = digest(hetero_session());
+    let b = digest(hetero_session());
+    assert_eq!(a, b, "heterogeneous placement is not deterministic");
+}
+
+/// The golden-oracle invariant survives the full heterogeneous stack:
+/// per-node specs, cost-aware placement, competitive duplication and
+/// same-window loser cancellation all running, the event core's report
+/// is digest-identical to the lockstep stepper's.
+#[test]
+fn hetero_event_core_matches_lockstep() {
+    let mut lockstep = hetero_session();
+    lockstep.run_to_completion();
+    let oracle = lockstep.report();
+    assert!(
+        oracle.cancelled_copies > 0,
+        "the cancellation path never fired on this fixture"
+    );
+
+    let mut event = EventDrivenCluster::new(hetero_session());
+    event.run_to_completion();
+    assert_eq!(
+        oracle.digest(),
+        event.report().digest(),
+        "event core diverged from lockstep on the heterogeneous rack"
+    );
+}
+
+/// Core-width affinity steers placement: with a big and a little node
+/// both idle and equally cool, a `min_cores(16)` task lands on the
+/// 16-core node under `CheapestHeadroom`, not on the lower-indexed
+/// 8-core one the legacy order would pick.
+#[test]
+fn min_cores_affinity_prefers_the_wide_node() {
+    let build = |placement: Placement| {
+        let little = MachineConfig::hpca().with_cores(8);
+        let big = MachineConfig::hpca();
+        ClusterBuilder::new(GridThermalParams::rack(2, 1).time_scaled(3000.0))
+            .policy(ClusterPolicy::greedy_default())
+            .node_specs([NodeSpec::standard(little), NodeSpec::standard(big)])
+            .placement(placement)
+            .tasks(vec![ClusterTask::new(
+                WorkloadKind::Sobel,
+                InputSize::A,
+                16,
+                0.0,
+            )
+            .with_min_cores(16)])
+            .max_time_s(0.01)
+            .build()
+    };
+    let mut aware = build(Placement::CheapestHeadroom);
+    assert_eq!(aware.run_to_completion(), ClusterOutcome::Drained);
+    let report = aware.report();
+    assert_eq!(
+        report.outcomes[0].node, 1,
+        "the wide-affinity task must land on the 16-core node"
+    );
+
+    let mut legacy = build(Placement::PolicyDefault);
+    assert_eq!(legacy.run_to_completion(), ClusterOutcome::Drained);
+    assert_eq!(
+        legacy.report().outcomes[0].node,
+        0,
+        "the legacy order ignores affinity (this is what CheapestHeadroom fixes)"
+    );
+}

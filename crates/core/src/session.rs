@@ -383,6 +383,25 @@ impl<T: ThermalModel, S: PowerSupply> SprintSession<T, S> {
         self.drain_events();
     }
 
+    /// Cancels the in-flight workload: every unfinished machine thread is
+    /// killed immediately (`Machine::cancel_all`) and any in-flight sprint
+    /// is preempted, returning how many threads were killed. The work
+    /// already executed — retired instructions, dissipated energy, the
+    /// heat in the package — stays on the books; only the *future* of the
+    /// workload is reclaimed. This is the session-level half of the
+    /// competitive-duplicate cancel API: a cluster scheduler calls it on
+    /// the losing replica's node the window the winner commits, so the
+    /// loser's nameplate power and thermal headroom return to the shared
+    /// pool one window later instead of after the replica limps to its
+    /// own finish. After cancellation the session is idle (step reports
+    /// `Finished`); spawn fresh work and [`begin_burst`](Self::begin_burst)
+    /// to reuse the node.
+    pub fn cancel_workload(&mut self) -> usize {
+        let killed = self.machine.cancel_all();
+        self.preempt_sprint();
+        killed
+    }
+
     /// Replaces the sprint configuration. The sampling window and time
     /// limit take effect immediately; the *controller* keeps running
     /// its current burst under the old configuration until
@@ -828,6 +847,31 @@ mod tests {
         s.preempt_sprint();
         assert_eq!(s.events().len(), events);
         assert_eq!(s.run_to_completion(), StepOutcome::Finished);
+    }
+
+    #[test]
+    fn cancel_workload_reclaims_the_node_mid_sprint() {
+        let mut s = fast_session();
+        for _ in 0..200 {
+            if s.step() != StepOutcome::Running {
+                break;
+            }
+        }
+        assert_eq!(s.state(), SprintState::Sprinting);
+        let retired = s.machine().stats().instructions;
+        assert_eq!(s.cancel_workload(), 16);
+        // The sprint ended with the workload; executed work stays on the
+        // books and the session is immediately idle.
+        assert_eq!(s.state(), SprintState::Sustained);
+        assert_eq!(s.machine().stats().instructions, retired);
+        assert_eq!(s.step(), StepOutcome::Finished);
+        // Cancelling an idle session is a no-op.
+        assert_eq!(s.cancel_workload(), 0);
+        // The node is reusable: fresh work, fresh burst.
+        spawn_threads(s.machine_mut(), 4, 2_000);
+        s.begin_burst();
+        assert_eq!(s.run_to_completion(), StepOutcome::Finished);
+        assert!(s.report().finished);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use sprint_archsim::config::MachineConfig;
 use sprint_cluster::{
     ClusterBuildError, ClusterBuilder, ClusterOutcome, ClusterPolicy, ClusterReport,
-    ClusterSession, ClusterTask, PowerPolicy, RackSupplyParams,
+    ClusterSession, ClusterTask, NodeSpec, Placement, PowerPolicy, RackSupplyParams,
 };
 use sprint_core::config::SprintConfig;
 use sprint_core::fault::{FaultPlan, FaultRates, FaultResponse};
@@ -24,8 +24,17 @@ use crate::shard::{self, Command, RackInputs, Reply};
 pub struct RackSpec {
     /// The rack's thermal grid parameters (one node per floorplan core).
     pub thermal: GridThermalParams,
-    /// Per-node machine configuration.
+    /// Per-node machine configuration (every node, unless
+    /// [`node_specs`](Self::node_specs) overrides per node).
     pub machine: MachineConfig,
+    /// Per-node specs for a heterogeneous rack: machine config,
+    /// nameplate share weight, thermal-footprint weight. `None` — the
+    /// default — clones [`machine`](Self::machine) onto every node,
+    /// byte-identically to the pre-heterogeneity path.
+    pub node_specs: Option<Vec<NodeSpec>>,
+    /// Idle-node ranking for the admission pass (default
+    /// [`Placement::PolicyDefault`], the pre-refactor order).
+    pub placement: Placement,
     /// Sprint configuration admitted tasks run under.
     pub config: SprintConfig,
     /// The rack's local thermal admission policy.
@@ -66,9 +75,13 @@ impl RackSpec {
             .config(self.config.clone())
             .policy(self.policy.clone())
             .power_policy(self.power)
+            .placement(self.placement)
             .tasks(self.tasks.iter().copied())
             .trace_capacity(self.trace_capacity)
             .max_time_s(self.max_time_s);
+        if let Some(specs) = &self.node_specs {
+            builder = builder.node_specs(specs.iter().cloned());
+        }
         if let Some(supply) = self.supply {
             builder = builder.rack_supply(supply);
         }
@@ -148,6 +161,15 @@ pub struct FacilityReport {
     pub failsafe_preemptions: usize,
     /// Crash-lost tasks re-enqueued, summed over racks.
     pub requeues: usize,
+    /// Losing competitive-duplicate replicas preempted when their
+    /// task's winner committed, summed over racks.
+    pub cancelled_copies: usize,
+    /// Stranded crash-retries the requeue router moved between racks
+    /// (zero unless [`FacilityBuilder::route_requeues`] is on). Each
+    /// migration appears in both the origin's and destination's
+    /// per-rack totals; [`total_tasks`](Self::total_tasks) is already
+    /// net of the double count.
+    pub migrated_tasks: usize,
     /// Tasks that exhausted their crash-retry budget, summed over racks.
     pub failed_tasks: usize,
     /// Nodes quarantined by a mid-task crash, summed over racks.
@@ -195,6 +217,8 @@ impl FacilityReport {
             self.node_crashes as u64,
             self.failsafe_preemptions as u64,
             self.requeues as u64,
+            self.cancelled_copies as u64,
+            self.migrated_tasks as u64,
             self.failed_tasks as u64,
             self.quarantined_nodes as u64,
             self.outstanding_tasks as u64,
@@ -340,6 +364,8 @@ pub struct FacilityBuilder {
     racks: usize,
     thermal: GridThermalParams,
     machine: MachineConfig,
+    node_specs: Option<Vec<NodeSpec>>,
+    placement: Placement,
     config: SprintConfig,
     policy: ClusterPolicy,
     power: PowerPolicy,
@@ -357,6 +383,7 @@ pub struct FacilityBuilder {
     fault_seed: u64,
     fault_response: FaultResponse,
     event_driven: bool,
+    route_requeues: bool,
 }
 
 impl FacilityBuilder {
@@ -372,6 +399,8 @@ impl FacilityBuilder {
             racks,
             thermal: GridThermalParams::rack(4, 4),
             machine: MachineConfig::hpca(),
+            node_specs: None,
+            placement: Placement::PolicyDefault,
             config: SprintConfig::hpca_parallel(),
             policy: ClusterPolicy::greedy_default(),
             power: PowerPolicy::Oblivious,
@@ -389,6 +418,7 @@ impl FacilityBuilder {
             fault_seed: 2012,
             fault_response: FaultResponse::Aware,
             event_driven: false,
+            route_requeues: false,
         }
     }
 
@@ -414,6 +444,36 @@ impl FacilityBuilder {
     /// Sets every rack's per-node machine configuration.
     pub fn machine(mut self, config: MachineConfig) -> Self {
         self.machine = config;
+        self
+    }
+
+    /// Makes every rack heterogeneous: one [`NodeSpec`] per node
+    /// (machine config, nameplate share weight, thermal-footprint
+    /// weight), in node index order. A homogeneous spec list is
+    /// byte-identical to the [`machine`](Self::machine) clone path.
+    pub fn node_specs(mut self, specs: impl IntoIterator<Item = NodeSpec>) -> Self {
+        self.node_specs = Some(specs.into_iter().collect());
+        self
+    }
+
+    /// Sets every rack's idle-node placement ranking (default
+    /// [`Placement::PolicyDefault`], the pre-refactor coolest-first
+    /// order; [`Placement::CheapestHeadroom`] is the cost-aware pass
+    /// a heterogeneous fleet wants).
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Routes crash-retry requeues through facility placement (default
+    /// off): a task waiting out its retry backoff at a settlement
+    /// barrier is drained off its rack and re-placed on the
+    /// least-loaded live rack — possibly a different one, which is the
+    /// fix for retry-in-place head-of-line blocking when the origin
+    /// rack's nodes are quarantined. Off, or on with no crashes, the
+    /// run is byte-identical to the unrouted facility.
+    pub fn route_requeues(mut self, route: bool) -> Self {
+        self.route_requeues = route;
         self
     }
 
@@ -688,12 +748,7 @@ impl FacilityBuilder {
                 rack_traffic(base, rack, self.racks)
                     .generate()
                     .into_iter()
-                    .map(|a| ClusterTask {
-                        kind: a.kind,
-                        size: a.size,
-                        threads: a.threads,
-                        arrival_s: a.arrival_s,
-                    })
+                    .map(|a| ClusterTask::new(a.kind, a.size, a.threads, a.arrival_s))
                     .collect()
             } else {
                 Vec::new()
@@ -701,6 +756,8 @@ impl FacilityBuilder {
             specs.push(RackSpec {
                 thermal: self.thermal.clone(),
                 machine: self.machine.clone(),
+                node_specs: self.node_specs.clone(),
+                placement: self.placement,
                 config: self.config.clone(),
                 policy: self.policy.clone(),
                 power: self.power,
@@ -721,6 +778,7 @@ impl FacilityBuilder {
             facility_cap_w: self.facility_cap_w.unwrap_or(f64::INFINITY),
             epoch_windows: self.epoch_windows,
             event_driven: self.event_driven,
+            route_requeues: self.route_requeues,
         })
     }
 }
@@ -775,6 +833,7 @@ pub struct Facility {
     facility_cap_w: f64,
     epoch_windows: u64,
     event_driven: bool,
+    route_requeues: bool,
 }
 
 impl Facility {
@@ -856,6 +915,7 @@ impl Facility {
                 let tx = reply_tx.clone();
                 let panic_tx = reply_tx.clone();
                 let event_driven = self.event_driven;
+                let route_requeues = self.route_requeues;
                 scope.spawn(move || {
                     // Forward a worker panic through the reply channel
                     // before re-raising it: with several workers, the
@@ -863,7 +923,7 @@ impl Facility {
                     // the settlement barrier would wait on the dead
                     // worker's racks forever instead of failing.
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        shard::worker(owned, event_driven, cmd_rx, tx)
+                        shard::worker(owned, event_driven, route_requeues, cmd_rx, tx)
                     }));
                     if let Err(payload) = result {
                         let msg = payload
@@ -886,6 +946,17 @@ impl Facility {
             let mut terminal = vec![false; n];
             let mut epochs = 0u64;
             let mut peak_inlet_c = base_inlet.iter().copied().fold(f64::MIN, f64::max);
+            // Requeue routing state: tasks drained at the last barrier
+            // (slotted by origin rack so the routing order is worker-
+            // count independent) and their placements, injected at the
+            // next epoch's start.
+            let rack_nodes: Vec<f64> = self
+                .specs
+                .iter()
+                .map(|s| s.thermal.floorplan.core_count() as f64)
+                .collect();
+            let mut stranded_slots: Vec<Vec<ClusterTask>> = vec![Vec::new(); n];
+            let mut pending: Vec<Vec<ClusterTask>> = vec![Vec::new(); n];
 
             loop {
                 // Settle, in rack index order, from last epoch's
@@ -904,13 +975,10 @@ impl Facility {
                     .collect();
                 let caps = self.policy.settle(self.facility_cap_w, &effective, &demand);
                 // ...and row inlets.
-                let mut inputs = vec![
-                    RackInputs {
-                        inlet_c: None,
-                        cap_w: None,
-                    };
-                    n
-                ];
+                let mut inputs = vec![RackInputs::default(); n];
+                for r in 0..n {
+                    inputs[r].inject = std::mem::take(&mut pending[r]);
+                }
                 if let Some(row) = self.row.filter(|r| r.recirc_k_per_w > 0.0) {
                     let rows = n.div_ceil(row.racks_per_row);
                     let mut row_heat = vec![0.0f64; rows];
@@ -938,10 +1006,11 @@ impl Facility {
                     }
                 }
 
+                let mut inputs: Vec<Option<RackInputs>> = inputs.into_iter().map(Some).collect();
                 for (w, cmd) in commands.iter().enumerate() {
                     let worker_inputs: Vec<RackInputs> = (0..n)
                         .filter(|r| r % workers == w)
-                        .map(|r| inputs[r])
+                        .map(|r| inputs[r].take().expect("each rack owned by one worker"))
                         .collect();
                     cmd.send(Command::Advance {
                         windows: self.epoch_windows,
@@ -951,18 +1020,51 @@ impl Facility {
                 }
                 for _ in 0..n {
                     match reply_rx.recv().expect("worker thread hung up mid-epoch") {
-                        Reply::Epoch(rack, stats) => {
+                        Reply::Epoch(rack, stats, stranded) => {
                             heat[rack] = stats.heat_w;
                             demand[rack] = stats.backlog + stats.sprinting;
                             alive[rack] = stats.alive_frac;
                             terminal[rack] = stats.terminal;
+                            stranded_slots[rack] = stranded;
                         }
                         Reply::Final(..) => unreachable!("Final before Finish"),
                         Reply::Panic(msg) => panic!("facility worker panicked: {msg}"),
                     }
                 }
+                // Re-place stranded crash-retries through facility
+                // placement: cheapest live rack first — non-terminal,
+                // then lowest load per *alive* node (a rack that
+                // quarantined half its fleet looks twice as loaded),
+                // ties to the lowest index. Origin-rack order then
+                // drain order keeps the routing deterministic at any
+                // worker count.
+                for slot in stranded_slots.iter_mut().take(n) {
+                    for task in std::mem::take(slot) {
+                        let dest = (0..n)
+                            .min_by(|&a, &b| {
+                                let load = |d: usize| {
+                                    // A rack with no alive nodes can
+                                    // serve nothing, whatever its
+                                    // (empty) backlog says: rank it
+                                    // behind every live rack.
+                                    let alive_nodes = alive[d] * rack_nodes[d];
+                                    if alive_nodes < 0.5 {
+                                        f64::INFINITY
+                                    } else {
+                                        (demand[d] + pending[d].len()) as f64 / alive_nodes
+                                    }
+                                };
+                                u8::from(terminal[a])
+                                    .cmp(&u8::from(terminal[b]))
+                                    .then(load(a).total_cmp(&load(b)))
+                                    .then(a.cmp(&b))
+                            })
+                            .expect("a facility has at least one rack");
+                        pending[dest].push(task);
+                    }
+                }
                 epochs += 1;
-                if terminal.iter().all(|&t| t) {
+                if terminal.iter().all(|&t| t) && pending.iter().all(|p| p.is_empty()) {
                     break;
                 }
             }
@@ -1011,11 +1113,16 @@ impl Facility {
         } else {
             latencies.iter().sum::<f64>() / completed as f64
         };
+        // A routed task is counted by its origin (submitted there,
+        // resolved as migrated) *and* its destination (injected as a
+        // fresh submission): net the double count out so the facility
+        // total is the number of distinct tasks submitted.
+        let migrated: usize = rack_reports.iter().map(|r| r.migrated_tasks).sum();
         FacilityReport {
             racks: rack_reports.len(),
             epochs,
             completed,
-            total_tasks: rack_reports.iter().map(|r| r.total_tasks).sum(),
+            total_tasks: rack_reports.iter().map(|r| r.total_tasks).sum::<usize>() - migrated,
             mean_latency_s,
             p95_latency_s: percentile_s(&latencies, 0.95),
             p99_latency_s: percentile_s(&latencies, 0.99),
@@ -1038,6 +1145,8 @@ impl Facility {
             node_crashes: rack_reports.iter().map(|r| r.node_crashes).sum(),
             failsafe_preemptions: rack_reports.iter().map(|r| r.failsafe_preemptions).sum(),
             requeues: rack_reports.iter().map(|r| r.requeues).sum(),
+            cancelled_copies: rack_reports.iter().map(|r| r.cancelled_copies).sum(),
+            migrated_tasks: migrated,
             failed_tasks: rack_reports.iter().map(|r| r.failed_tasks).sum(),
             quarantined_nodes: rack_reports.iter().map(|r| r.quarantined_nodes).sum(),
             outstanding_tasks: rack_reports.iter().map(|r| r.outstanding_tasks).sum(),
@@ -1091,6 +1200,8 @@ mod tests {
             node_crashes: 0,
             failsafe_preemptions: 0,
             requeues: 0,
+            cancelled_copies: 0,
+            migrated_tasks: 0,
             failed_tasks: 0,
             quarantined_nodes: 0,
             outstanding_tasks: 0,

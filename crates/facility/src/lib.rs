@@ -59,6 +59,38 @@
 //! standalone [`ClusterSession`](sprint_cluster::ClusterSession) run
 //! byte for byte: the facility layer's observer effect is zero.
 //!
+//! # Heterogeneous racks
+//!
+//! Fleets need not be uniform. [`FacilityBuilder::node_specs`] (and
+//! the per-rack [`RackSpec::node_specs`] override) give every node its
+//! own [`NodeSpec`](sprint_cluster::NodeSpec) — machine config,
+//! nameplate share weight, thermal-footprint weight — and
+//! [`FacilityBuilder::placement`] selects the idle-node ranking
+//! ([`Placement::CheapestHeadroom`](sprint_cluster::Placement) is the
+//! cost-aware pass a mixed fleet wants). The refactor is
+//! observer-free by construction: a homogeneous spec list reproduces
+//! the pre-heterogeneity clone path byte for byte, pinned by the
+//! hetero test suites at both the rack and facility tiers. Racks
+//! running [`ClusterPolicy::CompetitiveDuplicate`](sprint_cluster::ClusterPolicy)
+//! report their duplication economics upward —
+//! [`FacilityReport::cancelled_copies`] sums every losing replica
+//! preempted the window its winner committed.
+//!
+//! # Cross-rack requeue routing
+//!
+//! [`FacilityBuilder::route_requeues`] turns the settlement barrier
+//! into a migration fabric for crash victims: each epoch the barrier
+//! drains every rack's crash-requeued tasks, routes each to the live
+//! rack with the most surviving capacity per queued task (rack index
+//! breaks ties), and injects them at the next epoch start. That fixes
+//! retry-in-place head-of-line blocking when a task's origin rack has
+//! quarantined the only nodes that could rerun it.
+//! [`FacilityReport::migrated_tasks`] counts the moves, facility-wide
+//! task conservation still holds, and — because routing is computed
+//! single-threaded at the barrier from index-ordered telemetry — the
+//! any-worker-count digest guarantee survives. Off, or on with no
+//! crashes, the run is byte-identical to the unrouted facility.
+//!
 //! # Faults at facility scale
 //!
 //! [`FacilityBuilder::fault_rates`] derives one seeded

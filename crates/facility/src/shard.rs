@@ -13,7 +13,9 @@
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
-use sprint_cluster::{ClusterOutcome, ClusterReport, ClusterSession, EventDrivenCluster};
+use sprint_cluster::{
+    ClusterOutcome, ClusterReport, ClusterSession, ClusterTask, EventDrivenCluster,
+};
 use sprint_thermal::pool::SolverPool;
 
 use crate::facility::RackSpec;
@@ -63,18 +65,44 @@ impl RackDriver {
             RackDriver::Event(e) => e.report(),
         }
     }
+
+    /// Pulls every crash-retry task still waiting out its backoff off
+    /// this rack, marked migrated, for the facility to re-place.
+    fn drain_stranded(&mut self) -> Vec<ClusterTask> {
+        match self {
+            RackDriver::Lockstep(s) => s.drain_stranded_requeues(),
+            RackDriver::Event(e) => e.drain_stranded_requeues(),
+        }
+    }
+
+    /// Admits a routed task onto this rack as a fresh ready-queue
+    /// entry (the event core also arms the wake-up tick).
+    fn inject(&mut self, task: ClusterTask) {
+        match self {
+            RackDriver::Lockstep(s) => {
+                s.inject_task(task);
+            }
+            RackDriver::Event(e) => {
+                e.inject_task(task);
+            }
+        }
+    }
 }
 
 /// Boundary inputs applied to one rack at the start of an epoch.
-/// `None` means "leave the knob where it is" — the facility only
-/// touches a rack when a settlement actually moved its value, so an
-/// uncoupled facility is bit-for-bit a set of standalone racks.
-#[derive(Debug, Clone, Copy)]
+/// `None` (and an empty injection list) means "leave the knob where it
+/// is" — the facility only touches a rack when a settlement actually
+/// moved its value, so an uncoupled facility is bit-for-bit a set of
+/// standalone racks.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct RackInputs {
     /// New inlet-air temperature from the row airflow model, Celsius.
     pub inlet_c: Option<f64>,
     /// New live supply cap from the facility feed tier, watts.
     pub cap_w: Option<f64>,
+    /// Stranded crash-retries the requeue router re-placed here,
+    /// admitted before the epoch's first window.
+    pub inject: Vec<ClusterTask>,
 }
 
 /// Plain-data telemetry one rack reports at the settlement barrier.
@@ -110,8 +138,10 @@ pub(crate) enum Command {
 
 /// Worker-to-main replies, tagged with the global rack index.
 pub(crate) enum Reply {
-    /// End-of-epoch telemetry for one rack.
-    Epoch(usize, RackEpochStats),
+    /// End-of-epoch telemetry for one rack, plus any stranded
+    /// crash-retries drained off it for cross-rack re-placement
+    /// (always empty unless the facility routes requeues).
+    Epoch(usize, RackEpochStats, Vec<ClusterTask>),
     /// Final per-rack report and outcome after `Finish`.
     Final(usize, Box<ClusterReport>, ClusterOutcome),
     /// A worker died mid-run: its panic message, re-raised by the
@@ -127,6 +157,7 @@ pub(crate) enum Reply {
 pub(crate) fn worker(
     specs: Vec<(usize, RackSpec)>,
     event_driven: bool,
+    route_requeues: bool,
     rx: Receiver<Command>,
     tx: Sender<Reply>,
 ) {
@@ -159,7 +190,7 @@ pub(crate) fn worker(
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Advance { windows, inputs } => {
-                for ((rack, driver, outcome), input) in racks.iter_mut().zip(&inputs) {
+                for ((rack, driver, outcome), input) in racks.iter_mut().zip(inputs) {
                     if let Some(inlet_c) = input.inlet_c {
                         driver.session().rack().set_inlet_c(inlet_c);
                     }
@@ -170,12 +201,25 @@ pub(crate) fn worker(
                             .expect("facility cap settlement requires a rack supply")
                             .set_cap_w(cap_w);
                     }
+                    for task in input.inject {
+                        driver.inject(task);
+                    }
                     for _ in 0..windows {
                         *outcome = driver.step();
                         if outcome.is_terminal() {
                             break;
                         }
                     }
+                    // Requeue routing drains *after* the epoch's
+                    // windows: anything still waiting out a crash-retry
+                    // backoff at the barrier is re-placed by the
+                    // settlement instead of retrying in place. Free
+                    // (and empty) when nothing is stranded.
+                    let stranded = if route_requeues {
+                        driver.drain_stranded()
+                    } else {
+                        Vec::new()
+                    };
                     let session = driver.session();
                     let stats = RackEpochStats {
                         heat_w: session.rack_heat_w(),
@@ -184,7 +228,7 @@ pub(crate) fn worker(
                         alive_frac: session.alive_fraction(),
                         terminal: outcome.is_terminal(),
                     };
-                    if tx.send(Reply::Epoch(*rack, stats)).is_err() {
+                    if tx.send(Reply::Epoch(*rack, stats, stranded)).is_err() {
                         return;
                     }
                 }

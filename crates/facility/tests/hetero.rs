@@ -1,0 +1,94 @@
+//! Facility-tier heterogeneity: per-node specs and cost-aware
+//! placement thread through rack specs without costing identity or
+//! determinism.
+//!
+//! * a facility of homogeneous [`NodeSpec`] racks is byte-identical to
+//!   the single-machine clone path on the facility digest;
+//! * a genuinely heterogeneous facility (big/little nodes, weighted
+//!   nameplates, `CheapestHeadroom` placement) reports byte-identically
+//!   at 1, 2 and 8 workers and on either stepping core.
+
+use sprint_archsim::config::MachineConfig;
+use sprint_cluster::{ClusterPolicy, NodeSpec, Placement, RackSupplyParams};
+use sprint_core::config::SprintConfig;
+use sprint_facility::prelude::*;
+use sprint_thermal::grid::GridThermalParams;
+use sprint_workloads::traffic::TrafficParams;
+
+fn base_builder(racks: usize, event_driven: bool) -> FacilityBuilder {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    FacilityBuilder::new(racks)
+        .rack_thermal(GridThermalParams::rack(2, 1).time_scaled(3000.0))
+        .rack_supply(RackSupplyParams::rack(2).time_scaled(3000.0))
+        .config(cfg)
+        .policy(ClusterPolicy::greedy_default())
+        .epoch_windows(32)
+        .max_time_s(0.01)
+        .traffic({
+            let mut traffic = TrafficParams::frontend(7, 8, 60_000.0);
+            traffic.size_weights = [1.0, 0.0, 0.0, 0.0];
+            traffic
+        })
+        .event_driven(event_driven)
+}
+
+/// Homogeneous specs through the facility tier reproduce the clone
+/// path's facility digest exactly.
+#[test]
+fn homogeneous_spec_facility_is_byte_identical_to_the_clone_path() {
+    let clone_path = base_builder(2, false)
+        .machine(MachineConfig::hpca())
+        .build()
+        .run(2);
+    let spec_path = base_builder(2, false)
+        .node_specs((0..2).map(|_| NodeSpec::standard(MachineConfig::hpca())))
+        .build()
+        .run(2);
+    assert_eq!(
+        clone_path.digest(),
+        spec_path.digest(),
+        "homogeneous NodeSpec racks diverged from the clone path at the \
+         facility tier: p99 {} vs {}",
+        clone_path.p99_latency_s,
+        spec_path.p99_latency_s,
+    );
+}
+
+fn hetero_builder(event_driven: bool) -> FacilityBuilder {
+    base_builder(4, event_driven)
+        .node_specs([
+            NodeSpec::standard(MachineConfig::hpca())
+                .with_share_weight(1.4)
+                .with_thermal_weight(1.2),
+            NodeSpec::standard(MachineConfig::hpca().with_cores(8))
+                .with_share_weight(0.8)
+                .with_thermal_weight(0.85),
+        ])
+        .placement(Placement::CheapestHeadroom)
+}
+
+/// The worker-count and stepping-core independence the facility digest
+/// promises, now on a heterogeneous fleet with cost-aware placement.
+#[test]
+fn hetero_facility_is_byte_identical_across_cores_and_worker_counts() {
+    let oracle = hetero_builder(false).build().run(1);
+    assert!(oracle.completed > 0, "the fixture never completed a task");
+    for threads in [2usize, 8] {
+        let report = hetero_builder(false).build().run(threads);
+        assert_eq!(
+            oracle.digest(),
+            report.digest(),
+            "heterogeneous lockstep facility diverged at {threads} workers"
+        );
+    }
+    for threads in [1usize, 2, 8] {
+        let report = hetero_builder(true).build().run(threads);
+        assert_eq!(
+            oracle.digest(),
+            report.digest(),
+            "heterogeneous event-driven facility at {threads} workers \
+             diverged from the lockstep oracle"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Cross-rack requeue routing: a crash-retry stranded on a rack whose
+//! nodes are all quarantined must be able to land on another rack.
+//!
+//! Retry-in-place is the regression under test: without routing, a
+//! task whose rack lost every node re-enters that same rack's queue
+//! forever and is still outstanding at the time limit. With
+//! [`FacilityBuilder::route_requeues`] the settlement barrier drains
+//! the stranded retry and places it on the least-loaded live rack,
+//! where it completes. Routing must also not cost determinism: the
+//! routed facility report is byte-identical at any worker count and on
+//! either stepping core.
+
+use sprint_cluster::{ClusterPolicy, ClusterTask, RackSupplyParams};
+use sprint_core::config::SprintConfig;
+use sprint_core::fault::{FaultEvent, FaultKind, FaultPlan, FaultResponse};
+use sprint_facility::prelude::*;
+use sprint_thermal::grid::GridThermalParams;
+use sprint_workloads::suite::{InputSize, WorkloadKind};
+
+/// Two 2-node racks; rack 0's crash plan kills both of its nodes
+/// mid-task, stranding their work in the crash-retry queue. The
+/// 64-window retry backoff spans the 32-window epoch, so a settlement
+/// barrier always sees the stranded tasks before their in-place retry
+/// would fire.
+fn crashed_rack_facility(route: bool, event_driven: bool) -> Facility {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    let ev = |window: u64, node: u32| FaultEvent {
+        window,
+        node,
+        kind: FaultKind::NodeCrash,
+    };
+    FacilityBuilder::new(2)
+        .rack_thermal(GridThermalParams::rack(2, 1).time_scaled(3000.0))
+        .rack_supply(RackSupplyParams::rack(2).time_scaled(3000.0))
+        .config(cfg)
+        .policy(ClusterPolicy::greedy_default())
+        .tasks_on(
+            0,
+            ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 16, 2),
+        )
+        .tasks_on(
+            1,
+            ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 16, 2),
+        )
+        .fault_on(
+            0,
+            FaultPlan::new(vec![ev(10, 0), ev(12, 1)])
+                .with_retries(3, 64)
+                .with_response(FaultResponse::Aware),
+        )
+        .epoch_windows(32)
+        .max_time_s(0.01)
+        .event_driven(event_driven)
+        .route_requeues(route)
+        .build()
+}
+
+/// The regression itself: retry-in-place strands work on a dead rack;
+/// routing completes every task on the surviving one.
+#[test]
+fn routing_rescues_tasks_stranded_on_a_quarantined_rack() {
+    let in_place = crashed_rack_facility(false, false).run(1);
+    assert_eq!(in_place.node_crashes, 2, "the crash plan must bite");
+    assert_eq!(
+        in_place.rack_reports[0].quarantined_nodes, 2,
+        "both origin nodes must be quarantined"
+    );
+    assert!(
+        in_place.outstanding_tasks > 0 && !in_place.all_drained,
+        "retry-in-place on a dead rack must strand work at the time \
+         limit — otherwise this fixture tests nothing"
+    );
+    assert_eq!(in_place.migrated_tasks, 0);
+    assert!(in_place.task_conservation_holds());
+
+    let routed = crashed_rack_facility(true, false).run(1);
+    assert_eq!(routed.node_crashes, 2);
+    assert!(
+        routed.migrated_tasks >= 1,
+        "no stranded retry was ever routed"
+    );
+    assert_eq!(
+        routed.rack_reports[0].migrated_tasks, routed.migrated_tasks,
+        "every migration originates on the crashed rack"
+    );
+    assert_eq!(
+        routed.completed, routed.total_tasks,
+        "a routed facility must finish every submitted task: {} of {} \
+         done, {} outstanding",
+        routed.completed, routed.total_tasks, routed.outstanding_tasks,
+    );
+    assert!(routed.all_drained);
+    assert!(routed.task_conservation_holds());
+    // The facility total is net of the migration double count: both
+    // runs submitted the same four tasks.
+    assert_eq!(routed.total_tasks, in_place.total_tasks);
+    // Rack 1 resolved its own two tasks plus every routed one.
+    assert_eq!(routed.rack_reports[1].completed, 2 + routed.migrated_tasks);
+    // A routed task's latency spans the crash and the migration: it
+    // can only be worse than an undisturbed task's, and must be
+    // finite.
+    assert!(routed.max_latency_s.is_finite());
+}
+
+/// Routing must not cost a bit of determinism: worker count and
+/// stepping core are both invisible in the routed report digest.
+#[test]
+fn routed_facility_is_byte_identical_across_cores_and_worker_counts() {
+    let oracle = crashed_rack_facility(true, false).run(1);
+    assert!(oracle.migrated_tasks >= 1, "the routing never fired");
+    let report = crashed_rack_facility(true, false).run(2);
+    assert_eq!(
+        oracle.digest(),
+        report.digest(),
+        "routed lockstep facility diverged at 2 workers"
+    );
+    for threads in [1usize, 2] {
+        let report = crashed_rack_facility(true, true).run(threads);
+        assert_eq!(
+            oracle.digest(),
+            report.digest(),
+            "routed event-driven facility at {threads} workers diverged \
+             from the lockstep oracle"
+        );
+    }
+}
+
+/// The flag alone must change nothing: with no crash plan there is
+/// nothing to strand, and the routed facility is byte-identical to the
+/// unrouted one.
+#[test]
+fn routing_without_crashes_is_byte_identical_to_the_unrouted_run() {
+    let build = |route: bool| {
+        let mut cfg = SprintConfig::hpca_parallel();
+        cfg.tdp_w = 8.0;
+        FacilityBuilder::new(2)
+            .rack_thermal(GridThermalParams::rack(2, 1).time_scaled(3000.0))
+            .rack_supply(RackSupplyParams::rack(2).time_scaled(3000.0))
+            .config(cfg)
+            .policy(ClusterPolicy::greedy_default())
+            .tasks_on(
+                0,
+                ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 16, 2),
+            )
+            .tasks_on(
+                1,
+                ClusterTask::batch(WorkloadKind::Sobel, InputSize::A, 16, 2),
+            )
+            .epoch_windows(32)
+            .max_time_s(0.01)
+            .route_requeues(route)
+            .build()
+    };
+    let plain = build(false).run(2);
+    let routed = build(true).run(2);
+    assert_eq!(plain.migrated_tasks, 0);
+    assert_eq!(
+        plain.digest(),
+        routed.digest(),
+        "an idle requeue router must be invisible"
+    );
+}

@@ -152,6 +152,43 @@ impl Floorplan {
         self.cores.len()
     }
 
+    /// Scales core `core`'s rectangle *area* by `area_factor` about its
+    /// center (each dimension scales by `sqrt(area_factor)`), sliding
+    /// the rectangle back inside the die if the growth would cross an
+    /// edge. This is the heterogeneous-fleet hook: on a rack plane
+    /// where each rectangle is one server's footprint, the rectangle
+    /// area is exactly what sizes that node's nameplate thermal sprint
+    /// budget, so a big node commissions a bigger rect. A factor of
+    /// exactly 1.0 is a guaranteed no-op (not merely a numerical one),
+    /// preserving byte-identity for homogeneous specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range core index, a non-finite or
+    /// non-positive factor, or a scaled rectangle larger than the die.
+    pub fn scale_core(&mut self, core: usize, area_factor: f64) {
+        assert!(
+            area_factor.is_finite() && area_factor > 0.0,
+            "area factor must be finite and positive"
+        );
+        if area_factor == 1.0 {
+            return;
+        }
+        let (die_w, die_h) = (self.die_w, self.die_h);
+        let rect = &mut self.cores[core];
+        let s = area_factor.sqrt();
+        let (w, h) = (rect.w * s, rect.h * s);
+        assert!(
+            w <= die_w + 1e-12 && h <= die_h + 1e-12,
+            "scaled core exceeds the die"
+        );
+        let (cx, cy) = (rect.x + rect.w / 2.0, rect.y + rect.h / 2.0);
+        rect.x = (cx - w / 2.0).clamp(0.0, (die_w - w).max(0.0));
+        rect.y = (cy - h / 2.0).clamp(0.0, (die_h - h).max(0.0));
+        rect.w = w;
+        rect.h = h;
+    }
+
     /// Rasterizes core `core` onto an `nx x ny` grid: returns
     /// `(cell_index, weight)` pairs where `cell_index = y * nx + x` and
     /// the weights (overlap area / core area) sum to one.
@@ -253,5 +290,37 @@ mod tests {
     #[should_panic(expected = "beyond the die")]
     fn core_outside_die_rejected() {
         let _ = Floorplan::new(1.0, 1.0).with_core("c", 0.8, 0.8, 0.5, 0.5);
+    }
+
+    #[test]
+    fn scale_core_scales_area_about_center_and_stays_on_die() {
+        let mut fp = Floorplan::regular_array(2, 2, 0.8, 0.8);
+        let before = fp.cores()[1].clone();
+        fp.scale_core(1, 2.0);
+        let after = &fp.cores()[1];
+        assert!((after.area() - 2.0 * before.area()).abs() < 1e-12);
+        // Center preserved (the rect had room to grow in place).
+        assert!((after.x + after.w / 2.0 - (before.x + before.w / 2.0)).abs() < 1e-12);
+        assert!((after.y + after.h / 2.0 - (before.y + before.h / 2.0)).abs() < 1e-12);
+        // Rasterization weights still sum to one.
+        let sum: f64 = fp.cell_weights(1, 7, 5).iter().map(|&(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // A corner rect grown past the edge slides back inside.
+        let mut corner = Floorplan::new(1.0, 1.0).with_core("c", 0.0, 0.0, 0.5, 0.5);
+        corner.scale_core(0, 3.0);
+        let c = &corner.cores()[0];
+        assert!(c.x >= 0.0 && c.y >= 0.0);
+        assert!(c.x + c.w <= 1.0 + 1e-12 && c.y + c.h <= 1.0 + 1e-12);
+        // Factor 1.0 is a guaranteed no-op, bit for bit.
+        let mut same = Floorplan::regular_array(2, 2, 0.8, 0.8);
+        same.scale_core(3, 1.0);
+        assert_eq!(same, Floorplan::regular_array(2, 2, 0.8, 0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the die")]
+    fn scale_core_rejects_over_die_growth() {
+        let mut fp = Floorplan::new(1.0, 1.0).with_core("c", 0.1, 0.1, 0.8, 0.8);
+        fp.scale_core(0, 2.0);
     }
 }

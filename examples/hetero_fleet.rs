@@ -1,0 +1,162 @@
+//! A heterogeneous, degraded rack: competitive duplication with loser
+//! cancellation vs bounded retry-in-place.
+//!
+//! The fleet mixes two 16-core servers (heavier nameplate share and
+//! thermal footprint) with two 8-core ones, placed by cheapest
+//! headroom. A seeded crash plan kills one big and one little node
+//! mid-task, leaving a big/little survivor pair — so duplicate copies
+//! keep racing at genuinely different speeds all the way through the
+//! drain, and the loser-cancellation path has losers to preempt.
+//!
+//! The comparison everything below asserts: with a second copy on
+//! another node the tail never sees a crash, so duplication beats
+//! retry-in-place at the p99; same-window loser cancellation keeps
+//! that immunity while clawing back part of duplication's extra feed
+//! draw. The event-driven core runs the study and must reproduce the
+//! lockstep golden oracle's report digest byte for byte.
+//!
+//! Run with: `cargo run --release --example hetero_fleet`
+
+use std::time::Instant;
+
+use computational_sprinting::prelude::*;
+
+/// Open-arrival tasks to drain (the reduced-study scale).
+const TASKS: usize = 8;
+/// Arrival spacing, seconds — sparse, so the duplicate copy rides idle
+/// capacity instead of queueing behind live work.
+const SPACING_S: f64 = 800e-6;
+/// Thermal/electrical time compression (the cluster fixtures').
+const COMPRESS: f64 = 3000.0;
+/// Run horizon, seconds — room for a crash victim to wait out its
+/// backoff and rerun from scratch.
+const MAX_TIME_S: f64 = 0.03;
+
+/// Two big + two little servers, interleaved.
+fn specs() -> Vec<NodeSpec> {
+    let big = MachineConfig::hpca();
+    let little = MachineConfig::hpca().with_cores(8);
+    vec![
+        NodeSpec::standard(big.clone())
+            .with_share_weight(1.5)
+            .with_thermal_weight(1.25),
+        NodeSpec::standard(little.clone())
+            .with_share_weight(0.75)
+            .with_thermal_weight(0.8),
+        NodeSpec::standard(big)
+            .with_share_weight(1.5)
+            .with_thermal_weight(1.25),
+        NodeSpec::standard(little)
+            .with_share_weight(0.75)
+            .with_thermal_weight(0.8),
+    ]
+}
+
+/// One big and one little node crash while early arrivals run on them.
+fn crash_plan() -> FaultPlan {
+    let ev = |window: u64, node: u32| FaultEvent {
+        window,
+        node,
+        kind: FaultKind::NodeCrash,
+    };
+    FaultPlan::new(vec![ev(700, 0), ev(3100, 1)])
+        .with_retries(3, 512)
+        .with_response(FaultResponse::Aware)
+}
+
+/// The degraded rack under `policy`; everything else is held fixed.
+fn build(policy: ClusterPolicy) -> ClusterSession {
+    let mut cfg = SprintConfig::hpca_parallel();
+    cfg.tdp_w = 8.0;
+    ClusterBuilder::new(GridThermalParams::rack(2, 2).time_scaled(COMPRESS))
+        .policy(policy)
+        .rack_supply(RackSupplyParams::rack(4).time_scaled(COMPRESS))
+        .config(cfg)
+        .node_specs(specs())
+        .placement(Placement::CheapestHeadroom)
+        .tasks(ClusterTask::arrivals(
+            WorkloadKind::Sobel,
+            InputSize::A,
+            16,
+            TASKS,
+            0.0,
+            SPACING_S,
+        ))
+        .fault_plan(crash_plan())
+        .max_time_s(MAX_TIME_S)
+        .build()
+}
+
+/// Drains one policy on the event-driven core; returns (report, feed
+/// draw in joules, wall seconds).
+fn run(label: &str, policy: ClusterPolicy) -> (ClusterReport, f64, f64) {
+    let mut cluster = EventDrivenCluster::new(build(policy));
+    let start = Instant::now();
+    let outcome = cluster.run_to_completion();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(outcome, ClusterOutcome::Drained, "{label}: must drain");
+    let report = cluster.report();
+    assert!(report.task_conservation_holds(), "{label}: a task was lost");
+    assert_eq!(report.completed, TASKS, "{label}: no task may go missing");
+    assert!(report.node_crashes > 0, "{label}: the crash plan never bit");
+    let energy_j: f64 = report.node_reports.iter().map(|r| r.energy_j).sum();
+    println!(
+        "  {label:16} p99 {:7.3} ms  feed {:.4} J  ({} requeues, {} losers cancelled, \
+         {:.2} s wall)",
+        report.p99_latency_s * 1e3,
+        energy_j,
+        report.requeues,
+        report.cancelled_copies,
+        wall_s,
+    );
+    (report, energy_j, wall_s)
+}
+
+fn main() {
+    println!(
+        "heterogeneous degraded rack: 2 big + 2 little servers, {TASKS} sobel bursts \
+         {:.0} us apart, two mid-task node crashes",
+        SPACING_S * 1e6,
+    );
+    let (retry, retry_j, _) = run("retry-in-place", ClusterPolicy::greedy_default());
+    let (cancel, cancel_j, _) = run("duplicate+cancel", ClusterPolicy::competitive_default());
+
+    // The headline ordering: duplication under faults wins the tail,
+    // cancellation actually fired, and the premium is priced honestly.
+    assert!(
+        retry.requeues > 0,
+        "retry-in-place never paid a crash retry"
+    );
+    assert!(cancel.cancelled_copies > 0, "no loser was ever cancelled");
+    assert!(
+        cancel.p99_latency_s < retry.p99_latency_s,
+        "duplicate+cancel lost the p99 to retry-in-place"
+    );
+    assert!(
+        cancel_j > retry_j,
+        "two copies of healthy work cannot draw less feed than one"
+    );
+    println!(
+        "  duplication hides the crash from the tail: p99 {:.3} ms vs {:.3} ms \
+         ({:.1}x) at {:+.1}% feed draw",
+        cancel.p99_latency_s * 1e3,
+        retry.p99_latency_s * 1e3,
+        retry.p99_latency_s / cancel.p99_latency_s,
+        (cancel_j / retry_j - 1.0) * 100.0,
+    );
+
+    // The determinism contract: the event-driven study reproduces the
+    // lockstep golden oracle byte for byte — under heterogeneity,
+    // duplication, cancellation and the crash plan all at once.
+    let mut lockstep = build(ClusterPolicy::competitive_default());
+    lockstep.run_to_completion();
+    assert_eq!(
+        lockstep.report().digest(),
+        cancel.digest(),
+        "event core diverged from the lockstep oracle"
+    );
+    println!(
+        "  event-driven report digest byte-identical to the lockstep oracle ({:016x})",
+        cancel.digest(),
+    );
+}

@@ -20,7 +20,11 @@
 //!   shared rack grid *and* one shared power-delivery pool (PDU cap,
 //!   ride-through reserve, per-node regulators) under jointly
 //!   thermal- and power-aware sprint admission (Porto et al.'s
-//!   data-center regime).
+//!   data-center regime). Fleets may be heterogeneous — per-node
+//!   machine configs and share weights via [`cluster::NodeSpec`],
+//!   cost-aware placement via [`cluster::Placement`], and competitive
+//!   task duplication with loser cancellation
+//!   (`examples/hetero_fleet.rs`, `repro hetero`).
 //! * [`facility`] — datacenter scale: rows of racks coupled through
 //!   shared CRAC airflow and a facility feed, with a global
 //!   sprint-admission tier rationing facility headroom across racks,
@@ -88,8 +92,9 @@ pub mod prelude {
     pub use sprint_archsim::{Machine, MachineConfig};
     pub use sprint_cluster::{
         ClusterBuildError, ClusterBuilder, ClusterEvent, ClusterOutcome, ClusterPolicy,
-        ClusterReport, ClusterSession, ClusterTask, NodeSupplyView, NodeThermalView, PowerPolicy,
-        RackSupply, RackSupplyParams, RackThermal, TaskOutcome,
+        ClusterReport, ClusterSession, ClusterTask, EventDrivenCluster, NodeSpec, NodeSupplyView,
+        NodeThermalView, Placement, PowerPolicy, RackSupply, RackSupplyParams, RackThermal,
+        TaskOutcome,
     };
     pub use sprint_core::{
         ControllerEvent, EfficiencyCurve, ExecutionMode, FaultEvent, FaultKind, FaultPlan,
